@@ -1,0 +1,57 @@
+// Ablation — Algorithm 1 iteration cap vs trace completeness.
+//
+// The iterative span search stops when the set stops growing or after
+// `max_iterations` rounds (paper default: 30). Deep call chains need one
+// iteration per association hop; this sweep assembles Bookinfo traces under
+// different caps and reports recovered spans and assembly cost.
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+int main() {
+  using namespace deepflow;
+  bench::print_header(
+      "Ablation — trace-assembly iteration cap (paper default: 30)\n"
+      "workload: polyglot app (HTTP -> DNS/HTTP2/Kafka -> Dubbo): no\n"
+      "X-Request-ID shortcut, so the search must hop association keys\n"
+      "(tcp seq -> systrace -> tcp seq -> ...) one iteration at a time");
+
+  workloads::Topology topo = workloads::make_polyglot();
+  core::Deployment deepflow(topo.cluster.get());
+  if (!deepflow.deploy()) return 1;
+  topo.app->run_constant_load(topo.entry, 20.0, 2 * kSecond);
+  deepflow.finish();
+
+  const auto starts = deepflow.server().find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kSystem && !s.from_server_side &&
+           s.endpoint == "/";
+  });
+  if (starts.empty()) return 1;
+
+  std::printf("  %12s %14s %14s %12s\n", "iterations", "spans/trace",
+              "iters-used", "mean-ms");
+  for (const u32 cap : {1u, 2u, 3u, 4u, 5u, 8u, 30u}) {
+    server::TraceAssembler assembler(
+        &deepflow.server().store(),
+        server::AssemblerConfig{.max_iterations = cap});
+    size_t total_spans = 0;
+    u32 max_used = 0;
+    const bench::WallTimer timer;
+    for (const u64 start : starts) {
+      const server::AssembledTrace trace = assembler.assemble(start);
+      total_spans += trace.spans.size();
+      max_used = std::max(max_used, trace.iterations_used);
+    }
+    std::printf("  %12u %14.1f %14u %12.3f\n", cap,
+                static_cast<double>(total_spans) /
+                    static_cast<double>(starts.size()),
+                max_used,
+                timer.elapsed_seconds() * 1e3 /
+                    static_cast<double>(starts.size()));
+  }
+  std::printf(
+      "\n  shape: spans/trace grows with the cap until the search converges\n"
+      "  (set stops updating); further iterations are free because the loop\n"
+      "  exits early — which is why the paper can default to 30.\n\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation — session-aggregation time-window duration (§3.3.1).
+//
+// DeepFlow's production slot is 60 s: request/response pairing only
+// consults the same slot and its neighbours, so responses delayed past the
+// retained horizon (e.g. by retransmission timeouts) surface as incomplete
+// sessions. This sweep injects 30% packet loss with a 2 s RTO on one
+// vswitch and measures how session completeness depends on slot duration.
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+int main() {
+  using namespace deepflow;
+  bench::print_header(
+      "Ablation — aggregation slot duration vs session completeness\n"
+      "(30% loss / 2 s RTO on one vswitch; paper default slot: 60 s)");
+  std::printf("  %12s %12s %10s %10s %12s\n", "slot", "agent-match",
+              "expired", "complete%", "server-rescue");
+
+  for (const DurationNs slot :
+       {500 * kMillisecond, 1 * kSecond, 2 * kSecond, 5 * kSecond,
+        60 * kSecond, 300 * kSecond}) {
+    u64 local_matched = 0, local_expired = 0, rescued = 0;
+    for (const bool forward : {false, true}) {
+      workloads::Topology topo = workloads::make_spring_boot_demo();
+      netsim::Device* lossy =
+          topo.cluster->vswitch_of(topo.cluster->nodes()[1]);
+      lossy->fault.drop_probability = 0.30;
+      lossy->fault.retransmit_timeout_ns = 2 * kSecond;
+
+      core::DeploymentConfig config;
+      config.agent.session.slot_ns = slot;
+      config.forward_stragglers = forward;
+      core::Deployment deepflow(topo.cluster.get(), config);
+      if (!deepflow.deploy()) return 1;
+      topo.app->run_constant_load(topo.entry, 40.0, 10 * kSecond);
+      deepflow.finish();
+
+      const agent::AgentStats stats = deepflow.aggregate_stats();
+      if (forward) {
+        rescued = deepflow.server().reaggregated_sessions();
+      } else {
+        local_matched = stats.matched_sessions;
+        local_expired = stats.expired_requests;
+      }
+    }
+    const double total = static_cast<double>(local_matched + local_expired);
+    std::printf("  %10llums %12llu %10llu %9.1f%% %12llu\n",
+                (unsigned long long)(slot / kMillisecond),
+                (unsigned long long)local_matched,
+                (unsigned long long)local_expired,
+                total > 0 ? 100.0 * local_matched / total : 0.0,
+                (unsigned long long)rescued);
+  }
+  std::printf(
+      "\n  shape: local completeness rises with slot duration and saturates\n"
+      "  once the horizon covers the worst-case recovery delay (the paper's\n"
+      "  60 s default sits past that knee); with straggler upload enabled\n"
+      "  (the paper's server-side re-aggregation) the out-of-window pairs\n"
+      "  are recovered server-side regardless of the agent slot.\n\n");
+  return 0;
+}

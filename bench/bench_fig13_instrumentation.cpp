@@ -1,0 +1,160 @@
+// Fig 13 — per-event instrumentation overhead.
+//
+// (a) hook-mechanism overhead: empty program, kprobe pair, tracepoint pair.
+// (b) per-ABI overhead of DeepFlow's full collection programs (enter-stage +
+//     exit-merge + perf submit) and of the SSL uprobe extension path.
+//
+// Two numbers per row:
+//   * model-ns : the latency the simulated kernel charges the traced
+//                syscall (calibrated to the paper's testbed measurements);
+//   * real-ns  : measured wall-clock cost of executing this repository's
+//                actual collection code path per event on this machine.
+#include <benchmark/benchmark.h>
+
+#include "agent/collector.h"
+#include "protocols/http1.h"
+#include "bench/bench_util.h"
+
+namespace deepflow {
+namespace {
+
+struct Fixture {
+  Fixture() : kernel(loop, "bench-node", nullptr) {
+    pid = kernel.tasks().create_process("bench");
+    tid = kernel.tasks().create_thread(pid);
+    sock = kernel.open_socket(
+        pid, FiveTuple{Ipv4::parse("10.0.0.1"), Ipv4::parse("10.0.0.2"), 40000,
+                       80, L4Proto::kTcp});
+    tls_sock = kernel.open_socket(
+        pid, FiveTuple{Ipv4::parse("10.0.0.1"), Ipv4::parse("10.0.0.2"), 40001,
+                       443, L4Proto::kTcp},
+        L4Proto::kTcp, /*tls=*/true);
+  }
+  EventLoop loop;
+  kernelsim::Kernel kernel;
+  Pid pid{};
+  Tid tid{};
+  SocketId sock{};
+  SocketId tls_sock{};
+};
+
+const std::string kPayload =
+    protocols::build_http1_request("GET", "/bench/item");
+// NOLINTNEXTLINE: benchmark fixtures are intentionally static.
+Fixture* g_fixture = nullptr;
+
+void BM_UntracedSyscall(benchmark::State& state) {
+  Fixture& f = *g_fixture;
+  TimestampNs ts = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.kernel.sys_send(f.tid, f.sock, kPayload,
+                          kernelsim::SyscallAbi::kWrite, ts += 10'000));
+  }
+}
+BENCHMARK(BM_UntracedSyscall);
+
+void BM_EmptyBpfProgram(benchmark::State& state) {
+  // Theoretical minimum: an attached program that does nothing.
+  Fixture f;
+  const auto id = f.kernel.hooks().attach_syscall(
+      kernelsim::HookType::kKprobe, kernelsim::SyscallAbi::kWrite,
+      [](const kernelsim::HookContext&) {});
+  TimestampNs ts = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.kernel.sys_send(f.tid, f.sock, kPayload,
+                          kernelsim::SyscallAbi::kWrite, ts += 10'000));
+  }
+  f.kernel.hooks().detach(id);
+}
+BENCHMARK(BM_EmptyBpfProgram);
+
+void BM_FullCollectorPath(benchmark::State& state) {
+  // DeepFlow's real enter+exit programs: map staging, merge, perf submit.
+  Fixture f;
+  agent::CollectorConfig config;
+  config.perf_ring_capacity = 1 << 20;
+  agent::Collector collector(&f.kernel, config);
+  collector.deploy_syscall_programs();
+  TimestampNs ts = 0;
+  size_t produced = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.kernel.sys_send(f.tid, f.sock, kPayload,
+                          kernelsim::SyscallAbi::kWrite, ts += 10'000));
+    if (++produced % 4096 == 0) {
+      collector.syscall_events().drain(1 << 16,
+                                       [](ebpf::SyscallEventRecord&&) {});
+    }
+  }
+}
+BENCHMARK(BM_FullCollectorPath);
+
+void BM_SslUprobePath(benchmark::State& state) {
+  Fixture f;
+  agent::CollectorConfig config;
+  config.perf_ring_capacity = 1 << 20;
+  agent::Collector collector(&f.kernel, config);
+  collector.deploy_syscall_programs();
+  collector.deploy_ssl_programs();
+  TimestampNs ts = 0;
+  size_t produced = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.kernel.sys_send(f.tid, f.tls_sock, kPayload,
+                          kernelsim::SyscallAbi::kWrite, ts += 10'000));
+    if (++produced % 4096 == 0) {
+      collector.syscall_events().drain(1 << 16,
+                                       [](ebpf::SyscallEventRecord&&) {});
+    }
+  }
+}
+BENCHMARK(BM_SslUprobePath);
+
+void print_model_table() {
+  using kernelsim::SyscallAbi;
+  bench::print_header(
+      "Fig 13(a) — modelled per-event hook latency added to a syscall\n"
+      "(simulated-kernel charge per mechanism; paper: 277-889 ns per event,\n"
+      " <=588 ns added per syscall, uprobe base ~6153 ns)");
+  EventLoop loop;
+  kernelsim::Kernel kernel(loop, "model", nullptr);
+  const kernelsim::KernelConfig& config = kernel.config();
+  bench::print_row("kprobe handler (enter or exit)",
+                   std::to_string(config.kprobe_overhead_ns) + " ns");
+  bench::print_row("tracepoint handler (enter or exit)",
+                   std::to_string(config.tracepoint_overhead_ns) + " ns");
+  bench::print_row("uprobe/uretprobe crossing",
+                   std::to_string(config.uprobe_overhead_ns) + " ns");
+  bench::print_row("ssl_read/ssl_write intrinsic cost",
+                   std::to_string(config.ssl_base_ns) + " ns");
+
+  bench::print_header(
+      "Fig 13(b) — modelled added latency per instrumented ABI\n"
+      "(enter+exit pair attached, as DeepFlow deploys it)");
+  agent::Collector collector(&kernel);
+  collector.deploy_syscall_programs();
+  for (const auto& abis : {kernelsim::kIngressAbis, kernelsim::kEgressAbis}) {
+    for (const SyscallAbi abi : abis) {
+      bench::print_row(std::string(kernelsim::abi_name(abi)),
+                       std::to_string(kernel.instrumentation_latency(abi)) +
+                           " ns per syscall");
+    }
+  }
+  std::printf(
+      "\nReal per-event CPU cost of this implementation's collection path\n"
+      "follows (google-benchmark): compare BM_FullCollectorPath against\n"
+      "BM_UntracedSyscall to read the added cost per event.\n\n");
+}
+
+}  // namespace
+}  // namespace deepflow
+
+int main(int argc, char** argv) {
+  deepflow::g_fixture = new deepflow::Fixture();
+  deepflow::print_model_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

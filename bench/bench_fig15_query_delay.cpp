@@ -1,0 +1,110 @@
+// Fig 15 — user query delay: span-list queries over a 15-minute window and
+// full trace-assembly queries, each issued sequentially and in random order
+// (paper: trace query ~1 s on the production store; span list ~0.06 s).
+// Queries here run against an in-memory store, so absolute numbers are
+// faster; the shape to check is trace >> span-list and sequential ~ random.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+struct QueryStats {
+  double mean_ms = 0;
+  double max_ms = 0;
+};
+
+template <typename Fn>
+QueryStats measure(size_t count, Fn&& run_one) {
+  QueryStats stats;
+  double total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const bench::WallTimer timer;
+    run_one(i);
+    const double ms = timer.elapsed_seconds() * 1e3;
+    total += ms;
+    stats.max_ms = std::max(stats.max_ms, ms);
+  }
+  stats.mean_ms = total / static_cast<double>(count);
+  return stats;
+}
+
+}  // namespace
+}  // namespace deepflow
+
+int main() {
+  using namespace deepflow;
+  bench::print_header(
+      "Fig 15 — query delay (span-list over a 15-minute window; full trace\n"
+      "assembly from a user-chosen span; sequential and random order)");
+
+  // Load the store through the real pipeline: the Spring Boot demo at a
+  // rate that spreads spans over a 15-minute simulated window.
+  workloads::Topology topo = workloads::make_spring_boot_demo();
+  core::Deployment deepflow(topo.cluster.get());
+  if (!deepflow.deploy()) return 1;
+  topo.app->run_constant_load(topo.entry, 10.0, 900 * kSecond);
+  deepflow.finish();
+  const auto& server = deepflow.server();
+  std::printf("  store: %zu spans from %llu sessions\n",
+              server.store().row_count(),
+              (unsigned long long)server.ingested_spans());
+
+  // Candidate starting spans: one client span per request.
+  std::vector<u64> starts = server.find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kSystem && !s.from_server_side &&
+           s.endpoint == "/";
+  });
+  if (starts.empty()) {
+    std::fprintf(stderr, "no starting spans found\n");
+    return 1;
+  }
+  Rng rng(77);
+  std::vector<u64> shuffled = starts;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+  }
+
+  constexpr size_t kQueries = 200;
+  // Span lists are paginated views (1000 rows per page, like the UI).
+  constexpr size_t kPage = 1'000;
+  const QueryStats span_list_seq = measure(kQueries, [&](size_t i) {
+    const TimestampNs from = (i % 60) * 15 * kSecond;
+    auto spans = server.query_span_list(from, from + 900 * kSecond, kPage);
+    if (spans.empty()) std::abort();
+  });
+  const QueryStats span_list_rand = measure(kQueries, [&](size_t i) {
+    const TimestampNs from = (rng.below(60)) * 15 * kSecond + i % 3;
+    auto spans = server.query_span_list(from, from + 900 * kSecond, kPage);
+    if (spans.empty()) std::abort();
+  });
+  const QueryStats trace_seq = measure(kQueries, [&](size_t i) {
+    auto trace = server.query_trace(starts[i % starts.size()]);
+    if (trace.spans.empty()) std::abort();
+  });
+  const QueryStats trace_rand = measure(kQueries, [&](size_t i) {
+    auto trace = server.query_trace(shuffled[i % shuffled.size()]);
+    if (trace.spans.empty()) std::abort();
+  });
+
+  std::printf("\n  %-28s %12s %12s\n", "query", "mean-ms", "max-ms");
+  std::printf("  %-28s %12.3f %12.3f\n", "span list (sequential)",
+              span_list_seq.mean_ms, span_list_seq.max_ms);
+  std::printf("  %-28s %12.3f %12.3f\n", "span list (random)",
+              span_list_rand.mean_ms, span_list_rand.max_ms);
+  std::printf("  %-28s %12.3f %12.3f\n", "trace (sequential)",
+              trace_seq.mean_ms, trace_seq.max_ms);
+  std::printf("  %-28s %12.3f %12.3f\n", "trace (random)",
+              trace_rand.mean_ms, trace_rand.max_ms);
+  std::printf(
+      "\n  note: the paper's absolute numbers (trace ~1 s, span list\n"
+      "  ~0.06 s) are dominated by ClickHouse round-trips — Algorithm 1\n"
+      "  issues up to 30 sequential database queries per trace. This store\n"
+      "  is in-memory, so both queries are milliseconds; the preserved\n"
+      "  properties are random ~ sequential and cost scaling with rows\n"
+      "  touched (1000-row page vs ~50-span trace).\n\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig 19 (Appendix B) — DeepFlow Agent impact on a single-VM Nginx under a
+// wrk2-style constant-rate load: Baseline, eBPF module only, full Agent.
+//
+// The paper measures 44k / 31k / 27k rps and the corresponding p50/p90
+// inflation under "the theoretically strictest conditions": client and
+// server share one 8-vCPU VM, the served work is ~1 ms, and every traced
+// event pays kernel-hook plus (for the full agent) user-space processing.
+// Per-event charges below are calibrated to those endpoint ratios — an
+// order of magnitude above the bare Fig 13 hook latency, exactly as the
+// paper's own appendix discusses.
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+enum class Mode { kBaseline, kEbpfOnly, kFullAgent };
+
+kernelsim::KernelConfig config_for(Mode mode) {
+  kernelsim::KernelConfig config;
+  switch (mode) {
+    case Mode::kBaseline:
+      break;
+    case Mode::kEbpfOnly:
+      // Kernel-side collection only (hooks + map staging + perf copy).
+      config.kprobe_overhead_ns = 18'000;
+      config.tracepoint_overhead_ns = 16'000;
+      break;
+    case Mode::kFullAgent:
+      // Plus the colocated user-space pipeline's amortized share.
+      config.kprobe_overhead_ns = 26'000;
+      config.tracepoint_overhead_ns = 24'000;
+      break;
+  }
+  return config;
+}
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kBaseline: return "baseline";
+    case Mode::kEbpfOnly: return "ebpf";
+    case Mode::kFullAgent: return "agent";
+  }
+  return "?";
+}
+
+}  // namespace
+}  // namespace deepflow
+
+int main() {
+  using namespace deepflow;
+  bench::print_header(
+      "Fig 19 (Appendix B) — Nginx on one VM under wrk2-style load:\n"
+      "Baseline vs eBPF module vs full Agent\n"
+      "(paper: throughput 44k -> 31k -> 27k rps; p50/p90 inflate with rate)");
+
+  const std::vector<double> rates = {1'000, 2'000, 4'000, 6'000,
+                                     7'000, 8'000, 9'000};
+  for (const Mode mode :
+       {Mode::kBaseline, Mode::kEbpfOnly, Mode::kFullAgent}) {
+    std::printf("\n  [%s]\n", mode_name(mode));
+    std::printf("  %10s %10s %10s %10s\n", "offered", "achieved", "p50-us",
+                "p90-us");
+    double max_achieved = 0;
+    for (const double rate : rates) {
+      workloads::Topology topo =
+          workloads::make_nginx_single_vm(17, config_for(mode));
+      std::unique_ptr<core::Deployment> deepflow;
+      if (mode != Mode::kBaseline) {
+        // Attach collection (the hook cost model above charges the node);
+        // eBPF-only mode skips the user-space drain.
+        core::DeploymentConfig config;
+        config.capture_devices = mode == Mode::kFullAgent;
+        deepflow = std::make_unique<core::Deployment>(topo.cluster.get(),
+                                                      config);
+        if (!deepflow->deploy()) return 1;
+      }
+      const workloads::LoadResult result = topo.app->run_constant_load(
+          topo.entry, rate, 2 * kSecond, /*connections=*/96);
+      max_achieved = std::max(max_achieved, result.achieved_rps);
+      std::printf("  %10.0f %10.0f %10llu %10llu\n", result.offered_rps,
+                  result.achieved_rps,
+                  (unsigned long long)(result.latency.p50() / 1'000),
+                  (unsigned long long)(result.latency.p90() / 1'000));
+    }
+    std::printf("  peak achieved: %.0f rps\n", max_achieved);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Shared helpers for the reproduction benches: wall-clock measurement,
+// paper-style table printing, and synthetic span generation.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agent/span.h"
+#include "common/rand.h"
+#include "netsim/resource.h"
+
+namespace deepflow::bench {
+
+/// Wall-clock timer for real CPU-path measurements (micro benches measure
+/// the implementation, not the simulated clock).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  u64 elapsed_ns() const {
+    return static_cast<u64>(elapsed_seconds() * 1e9);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::string& label, const std::string& value) {
+  std::printf("  %-44s %s\n", label.c_str(), value.c_str());
+}
+
+/// Populate a registry with a production-like resource inventory and return
+/// pod IPs usable for synthetic spans.
+struct SyntheticCluster {
+  netsim::ResourceRegistry registry;
+  std::vector<Ipv4> pod_ips;
+};
+
+inline SyntheticCluster make_synthetic_cluster(size_t nodes, size_t pods_per_node,
+                                               size_t labels_per_pod) {
+  SyntheticCluster out;
+  const auto vpc = out.registry.create_vpc("vpc-prod", "region-east");
+  for (size_t n = 0; n < nodes; ++n) {
+    const auto node =
+        out.registry.create_node(vpc, "node-" + std::to_string(n),
+                                 "az-" + std::to_string(n % 3));
+    const auto service =
+        out.registry.create_service(vpc, "svc-" + std::to_string(n % 8));
+    for (size_t p = 0; p < pods_per_node; ++p) {
+      std::vector<netsim::Label> labels;
+      for (size_t l = 0; l < labels_per_pod; ++l) {
+        labels.push_back({"label-" + std::to_string(l),
+                          "value-" + std::to_string((n * 31 + p * 7 + l) % 50)});
+      }
+      const Ipv4 ip{static_cast<u32>((10u << 24) | (n << 8) | (p + 1))};
+      out.registry.create_pod(node, "pod-" + std::to_string(n) + "-" +
+                                        std::to_string(p),
+                              ip, service, std::move(labels));
+      out.pod_ips.push_back(ip);
+    }
+  }
+  return out;
+}
+
+/// One synthetic traced span between two random pods.
+inline agent::Span make_synthetic_span(u64 id, Rng& rng,
+                                       const SyntheticCluster& cluster) {
+  agent::Span span;
+  span.span_id = id;
+  span.kind = agent::SpanKind::kSystem;
+  span.start_ts = id * 1'000;
+  span.end_ts = span.start_ts + rng.between(100'000, 5'000'000);
+  span.host = "node-" + std::to_string(rng.below(16));
+  span.pid = static_cast<Pid>(100 + rng.below(64));
+  span.tid = static_cast<Tid>(1000 + rng.below(512));
+  span.systrace_id = id / 8 + 1;
+  span.req_tcp_seq = static_cast<TcpSeq>(rng.next());
+  span.resp_tcp_seq = static_cast<TcpSeq>(rng.next());
+  span.protocol = protocols::L7Protocol::kHttp1;
+  span.method = "GET";
+  span.endpoint = "/api/v1/item/" + std::to_string(rng.below(100));
+  span.status_code = rng.chance(0.02) ? 500 : 200;
+  const Ipv4 src = cluster.pod_ips[rng.below(cluster.pod_ips.size())];
+  const Ipv4 dst = cluster.pod_ips[rng.below(cluster.pod_ips.size())];
+  span.tuple = FiveTuple{src, dst, static_cast<u16>(40000 + rng.below(20000)),
+                         8080, L4Proto::kTcp};
+  span.int_tags.vpc_id = 1;
+  span.int_tags.client_ip = src.addr;
+  span.int_tags.server_ip = dst.addr;
+  return span;
+}
+
+}  // namespace deepflow::bench

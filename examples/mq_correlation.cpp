@@ -1,0 +1,105 @@
+// §4.1.3 — cooperative debugging with network metrics and traces.
+//
+// An online service sees latency spikes and connection terminations.
+// Application-level tracing alone showed "which spans got slower" after six
+// hours of digging; DeepFlow's tag-based correlation links the slow spans
+// to their flows' TCP metrics and finds the RabbitMQ queue backlog causing
+// connection resets in about a minute.
+#include <cstdio>
+
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+using namespace deepflow;
+
+int main() {
+  workloads::Topology topo = workloads::make_mq_pipeline();
+  // The incident: the broker falls behind (queue backlog) and its uplink
+  // starts resetting connections under pressure.
+  topo.app->instance(topo.services.at("rabbitmq"), 0)->set_slowdown(40.0);
+  topo.app->instance(topo.services.at("rabbitmq"), 0)
+      ->pod()
+      .veth->fault.reset_probability = 0.02;
+
+  core::Deployment deepflow(topo.cluster.get());
+  if (!deepflow.deploy()) return 1;
+  const workloads::LoadResult load =
+      topo.app->run_constant_load(topo.entry, 60.0, 2 * kSecond);
+  deepflow.finish();
+  std::printf("symptom: latency %s, %llu failed requests\n\n",
+              load.latency.summary().c_str(),
+              (unsigned long long)load.failed);
+
+  const auto& server = deepflow.server();
+
+  // Step 1: the trace view — per-protocol span latency immediately ranks
+  // the broker leg as the outlier.
+  struct LegStat {
+    const char* name;
+    u16 server_port;  // 8000 + service index distinguishes the legs
+    DurationNs total = 0;
+    size_t count = 0;
+  };
+  const auto port_of = [&topo](const char* service) {
+    return static_cast<u16>(8000 + topo.services.at(service));
+  };
+  LegStat legs[] = {{"orders (http)", port_of("orders")},
+                    {"rabbitmq (mqtt)", port_of("rabbitmq")},
+                    {"worker (http)", port_of("worker")},
+                    {"analytics (kafka)", port_of("analytics")}};
+  for (LegStat& leg : legs) {
+    for (const u64 id : server.find_spans([&leg](const agent::Span& s) {
+           return s.tuple.dst_port == leg.server_port && s.from_server_side &&
+                  s.kind == agent::SpanKind::kSystem;
+         })) {
+      leg.total += server.store().row(id)->span.duration();
+      ++leg.count;
+    }
+  }
+  std::printf("step 1: mean server-side span duration per leg:\n");
+  for (const LegStat& leg : legs) {
+    std::printf("  %-20s %8.1f us  (%zu spans)\n", leg.name,
+                leg.count ? static_cast<double>(leg.total) /
+                                static_cast<double>(leg.count) / 1e3
+                          : 0.0,
+                leg.count);
+  }
+
+  // Step 2: metric-by-metric analysis of the slow leg's flows — the
+  // correlation step other tracers cannot do. The broker flows show TCP
+  // resets; the healthy legs show none.
+  std::printf("\nstep 2: TCP metrics on each leg's flows:\n");
+  u64 mq_resets = 0, other_resets = 0;
+  for (const LegStat& leg : legs) {
+    u64 resets = 0, retrans = 0;
+    for (const u64 id : server.find_spans([&leg](const agent::Span& s) {
+           return s.tuple.dst_port == leg.server_port && s.from_server_side &&
+                  s.kind == agent::SpanKind::kSystem;
+         })) {
+      const auto* metrics =
+          server.metrics_for(server.store().row(id)->span);
+      if (metrics != nullptr) {
+        resets = std::max(resets, metrics->resets);
+        retrans = std::max(retrans, metrics->retransmissions);
+      }
+    }
+    std::printf("  %-20s resets=%llu retransmissions=%llu\n", leg.name,
+                (unsigned long long)resets, (unsigned long long)retrans);
+    if (leg.server_port == port_of("rabbitmq") ||
+        leg.server_port == port_of("worker")) {
+      // Both flows traverse the broker pod's network interface — the
+      // fault domain the resets cluster on.
+      mq_resets += resets;
+    } else {
+      other_resets += resets;
+    }
+  }
+
+  const bool located = mq_resets > 0 && other_resets == 0;
+  std::printf("\nroot cause: RabbitMQ queue backlog -> TCP connection resets"
+              " -> %s\n",
+              located ? "LOCATED (resets cluster on flows through the"
+                        " broker pod; client and kafka legs are clean)"
+                      : "MISMATCH");
+  return located ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// §4.1.2 — accurate diagnosis of network infrastructure anomalies.
+//
+// Newly installed pods intermittently cannot reach the gateway; operators
+// chased an extra ARP request for months without finding its source.
+// DeepFlow's network coverage lets them walk the traces hop by hop and
+// compare ARP behaviour at every device: the storm comes from one
+// defective physical NIC.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+using namespace deepflow;
+
+int main() {
+  workloads::Topology topo = workloads::make_ecommerce();
+  // The planted defect: node-2's physical NIC storms ARP on new flows and
+  // adds latency while the neighbour table churns.
+  netsim::Device* bad_nic = topo.cluster->pnic_of(topo.cluster->nodes()[1]);
+  bad_nic->fault.arp_anomaly = true;
+  bad_nic->fault.extra_latency_ns = 8 * kMillisecond;
+
+  core::Deployment deepflow(topo.cluster.get());
+  if (!deepflow.deploy()) return 1;
+  topo.app->run_constant_load(topo.entry, 60.0, 2 * kSecond);
+  deepflow.finish();
+
+  const auto& server = deepflow.server();
+
+  // Step 1: traces show the slow hop. Pick a slow trace and render it —
+  // the gap sits between two specific devices.
+  const auto slow = server.find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kSystem && !s.from_server_side &&
+           s.duration() > 10 * kMillisecond;
+  });
+  std::printf("step 1: %zu slow client spans (>10ms)\n", slow.size());
+  if (!slow.empty()) {
+    const auto trace = server.query_trace(slow.front());
+    std::printf("\none slow trace (watch the hop timings):\n%s\n",
+                trace.render().c_str());
+  }
+
+  // Step 2: rule out containers/VMs/vswitches, device by device — exactly
+  // the elimination the paper describes — using per-device ARP counters.
+  struct DeviceArp {
+    std::string name;
+    double arp_per_packet;
+  };
+  std::vector<DeviceArp> ranked;
+  for (const auto& device : topo.cluster->fabric().devices()) {
+    const netsim::DeviceMetrics* m = server.device_metrics(device->name);
+    if (m == nullptr || m->packets == 0) continue;
+    ranked.push_back({device->name, static_cast<double>(m->arp_requests) /
+                                        static_cast<double>(m->packets)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const DeviceArp& a, const DeviceArp& b) {
+              return a.arp_per_packet > b.arp_per_packet;
+            });
+  std::printf("step 2: ARP requests per forwarded packet, by device:\n");
+  for (const DeviceArp& d : ranked) {
+    std::printf("  %-24s %.4f\n", d.name.c_str(), d.arp_per_packet);
+  }
+
+  const bool located = !ranked.empty() && ranked.front().name == bad_nic->name;
+  std::printf("\nroot cause: %s -> %s\n",
+              ranked.empty() ? "?" : ranked.front().name.c_str(),
+              located ? "LOCATED (the defective physical NIC)" : "MISMATCH");
+  return located ? 0 : 1;
+}

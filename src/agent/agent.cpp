@@ -1,0 +1,170 @@
+#include "agent/agent.h"
+#include "common/logging.h"
+
+#include "common/hash.h"
+
+namespace deepflow::agent {
+
+Agent::Agent(kernelsim::Kernel* kernel,
+             const netsim::ResourceRegistry* registry, AgentConfig config,
+             SpanSink sink)
+    : kernel_(kernel),
+      config_(config),
+      collector_(kernel, config.collector),
+      registry_(protocols::ProtocolRegistry::with_builtin()),
+      sys_flows_(&registry_, config.inference),
+      net_flows_(&registry_, config.inference),
+      sys_sessions_(config.session),
+      net_sessions_(config.session),
+      builder_(kernel != nullptr ? kernel->hostname() : "unknown", registry),
+      sink_(std::move(sink)) {}
+
+bool Agent::deploy(const std::vector<netsim::Device*>& node_devices) {
+  if (!collector_.deploy_syscall_programs()) {
+    error_ = collector_.error();
+    return false;
+  }
+  if (config_.enable_ssl_uprobes && !collector_.deploy_ssl_programs()) {
+    error_ = collector_.error();
+    return false;
+  }
+  if (config_.enable_nic_capture) {
+    for (netsim::Device* device : node_devices) {
+      if (!collector_.deploy_nic_capture(device)) {
+        error_ = collector_.error();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Agent::undeploy() { collector_.undeploy(); }
+
+void Agent::set_straggler_sink(SessionAggregator::StragglerSink sink) {
+  sys_sessions_.set_straggler_sink(sink);
+  net_sessions_.set_straggler_sink(std::move(sink));
+}
+
+void Agent::emit_session(Session&& session) {
+  Span span = builder_.build(session);
+  ++spans_emitted_;
+  if (sink_) sink_(std::move(span));
+}
+
+void Agent::handle_syscall_record(ebpf::SyscallEventRecord&& record) {
+  ++syscall_records_;
+  MessageData message;
+  message.record = record;
+  message.origin = record.abi == kernelsim::SyscallAbi::kSslRead ||
+                           record.abi == kernelsim::SyscallAbi::kSslWrite
+                       ? CaptureOrigin::kSslUprobe
+                       : CaptureOrigin::kSyscall;
+
+  // Protocol inference is cached per socket; SSL and plain flows of the
+  // same socket infer independently (ciphertext never matches a parser, so
+  // TLS sockets only yield app spans — exactly the real behaviour).
+  const u64 flow_key = flow_key_of(message);
+  const protocols::ProtocolParser* parser =
+      sys_flows_.parser_for(flow_key, record.payload_view());
+  if (parser == nullptr) {
+    ++unparseable_;
+    return;
+  }
+  auto parsed = parser->parse(record.payload_view());
+  if (!parsed.has_value()) {
+    ++unparseable_;
+    DF_LOG_DEBUG("unparseable sys msg proto=%d abi=%s payload[0..8]=%02x %02x %02x %02x %02x %02x %02x %02x len=%zu",
+                 (int)parser->protocol(), std::string(kernelsim::abi_name(record.abi)).c_str(),
+                 (unsigned)(unsigned char)record.payload[0], (unsigned)(unsigned char)record.payload[1],
+                 (unsigned)(unsigned char)record.payload[2], (unsigned)(unsigned char)record.payload[3],
+                 (unsigned)(unsigned char)record.payload[4], (unsigned)(unsigned char)record.payload[5],
+                 (unsigned)(unsigned char)record.payload[6], (unsigned)(unsigned char)record.payload[7],
+                 (size_t)record.payload_len);
+    return;
+  }
+  message.parsed = std::move(*parsed);
+  message.mode = parser->match_mode();
+
+  // Pseudo-thread: coroutine lineage root, or the kernel thread itself.
+  message.pseudo_thread_id =
+      record.coroutine_id != 0
+          ? kernel_->tasks().pseudo_thread_root(record.coroutine_id)
+          : record.tid;
+
+  systrace_.assign(message);
+  sys_sessions_.offer(flow_key, std::move(message),
+                      [this](Session&& s) { emit_session(std::move(s)); });
+}
+
+void Agent::handle_packet_record(ebpf::PacketEventRecord&& record) {
+  ++packet_records_;
+  MessageData message;
+  message.origin = CaptureOrigin::kPacketTap;
+  message.device_id = record.device_id;
+  message.device_name.assign(record.device_name);
+  message.record.tuple = record.tuple;
+  message.record.tcp_seq = record.tcp_seq;
+  message.record.enter_ts = record.timestamp;
+  message.record.exit_ts = record.timestamp;
+  message.record.total_bytes = record.total_bytes;
+  message.record.cpu = record.cpu;
+  message.record.set_payload(record.payload_view());
+
+  const u64 flow_key = flow_key_of(message);
+  const protocols::ProtocolParser* parser =
+      net_flows_.parser_for(flow_key, record.payload_view());
+  if (parser == nullptr) {
+    ++unparseable_;
+    return;
+  }
+  auto parsed = parser->parse(record.payload_view());
+  if (!parsed.has_value()) {
+    ++unparseable_;
+    return;
+  }
+  message.parsed = std::move(*parsed);
+  message.mode = parser->match_mode();
+
+  net_sessions_.offer(flow_key, std::move(message),
+                      [this](Session&& s) { emit_session(std::move(s)); });
+}
+
+size_t Agent::poll(size_t budget) {
+  size_t processed = 0;
+  processed += collector_.syscall_events().drain(
+      budget, [this](ebpf::SyscallEventRecord&& record) {
+        handle_syscall_record(std::move(record));
+      });
+  if (processed < budget) {
+    processed += collector_.packet_events().drain(
+        budget - processed, [this](ebpf::PacketEventRecord&& record) {
+          handle_packet_record(std::move(record));
+        });
+  }
+  return processed;
+}
+
+void Agent::finish() {
+  while (poll() > 0) {
+  }
+  sys_sessions_.flush([this](Session&& s) { emit_session(std::move(s)); });
+  net_sessions_.flush([this](Session&& s) { emit_session(std::move(s)); });
+}
+
+AgentStats Agent::stats() const {
+  AgentStats stats;
+  stats.syscall_records = syscall_records_;
+  stats.packet_records = packet_records_;
+  stats.spans_emitted = spans_emitted_;
+  stats.unparseable_messages = unparseable_;
+  stats.perf_lost =
+      collector_.syscall_events().lost() + collector_.packet_events().lost();
+  stats.matched_sessions =
+      sys_sessions_.matched_sessions() + net_sessions_.matched_sessions();
+  stats.expired_requests =
+      sys_sessions_.expired_requests() + net_sessions_.expired_requests();
+  return stats;
+}
+
+}  // namespace deepflow::agent

@@ -1,0 +1,95 @@
+// The DeepFlow Agent (Figure 4): deployed per node, it owns the eBPF
+// collection programs, the user-space parsing/aggregation pipeline, and the
+// transport of finished spans (plus network metrics) to the server.
+// Deployment is zero-code: attaching requires no change to any monitored
+// process.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "agent/collector.h"
+#include "agent/flow_inference.h"
+#include "agent/session_aggregator.h"
+#include "agent/span_builder.h"
+#include "agent/systrace.h"
+#include "netsim/fabric.h"
+
+namespace deepflow::agent {
+
+struct AgentConfig {
+  CollectorConfig collector;
+  SessionAggregatorConfig session;
+  FlowInferenceConfig inference;
+  /// Attach SSL_read/SSL_write uprobes (plaintext above TLS).
+  bool enable_ssl_uprobes = true;
+  /// Attach cBPF/AF_PACKET capture to this node's devices (net spans).
+  bool enable_nic_capture = true;
+};
+
+/// Where finished spans go (the agent -> server transport).
+using SpanSink = std::function<void(Span&&)>;
+
+struct AgentStats {
+  u64 syscall_records = 0;
+  u64 packet_records = 0;
+  u64 spans_emitted = 0;
+  u64 unparseable_messages = 0;
+  u64 perf_lost = 0;
+  u64 matched_sessions = 0;
+  u64 expired_requests = 0;
+};
+
+class Agent {
+ public:
+  Agent(kernelsim::Kernel* kernel, const netsim::ResourceRegistry* registry,
+        AgentConfig config, SpanSink sink);
+
+  /// Attach every collection program. `node_devices` are this node's
+  /// devices for NIC capture (ignored when nic capture is disabled).
+  /// Returns false with error() on verifier rejection.
+  bool deploy(const std::vector<netsim::Device*>& node_devices = {});
+
+  /// Stop tracing (on-demand monitoring can detach at any time).
+  void undeploy();
+
+  /// Forward out-of-window messages to the server for re-aggregation
+  /// instead of surfacing them locally as incomplete sessions (§3.3.1).
+  void set_straggler_sink(SessionAggregator::StragglerSink sink);
+
+  /// Drain up to `budget` records from the perf buffers through the
+  /// pipeline; emits spans to the sink. Returns records processed.
+  size_t poll(size_t budget = 65536);
+
+  /// End-of-run: drain everything and flush incomplete sessions.
+  void finish();
+
+  const std::string& error() const { return error_; }
+  AgentStats stats() const;
+  const Collector& collector() const { return collector_; }
+
+ private:
+  void handle_syscall_record(ebpf::SyscallEventRecord&& record);
+  void handle_packet_record(ebpf::PacketEventRecord&& record);
+  void emit_session(Session&& session);
+
+  kernelsim::Kernel* kernel_;
+  AgentConfig config_;
+  Collector collector_;
+  protocols::ProtocolRegistry registry_;
+  FlowProtocolCache sys_flows_;
+  FlowProtocolCache net_flows_;
+  SystraceAssigner systrace_;
+  SessionAggregator sys_sessions_;
+  SessionAggregator net_sessions_;
+  SpanBuilder builder_;
+  SpanSink sink_;
+  std::string error_;
+  u64 syscall_records_ = 0;
+  u64 packet_records_ = 0;
+  u64 spans_emitted_ = 0;
+  u64 unparseable_ = 0;
+};
+
+}  // namespace deepflow::agent

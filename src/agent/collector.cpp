@@ -1,0 +1,201 @@
+#include "agent/collector.h"
+
+#include "common/hash.h"
+
+namespace deepflow::agent {
+
+namespace {
+u64 task_key(Pid pid, Tid tid) {
+  return (static_cast<u64>(pid) << 32) | tid;
+}
+}  // namespace
+
+Collector::Collector(kernelsim::Kernel* kernel, CollectorConfig config)
+    : kernel_(kernel),
+      config_(config),
+      loader_(kernel),
+      enter_map_(config.enter_map_entries),
+      syscall_events_(config.cpu_count, config.perf_ring_capacity),
+      packet_events_(config.cpu_count, config.perf_ring_capacity) {}
+
+u32 Collector::cpu_of(Tid tid) const {
+  // A thread runs on one CPU at a time; hashing tid models the scheduler's
+  // placement while keeping per-thread event order intact.
+  return static_cast<u32>(mix64(tid) % config_.cpu_count);
+}
+
+void Collector::on_enter(const kernelsim::HookContext& ctx) {
+  // Stage enter parameters; overwritten (not duplicated) if the map already
+  // holds a stale entry for this task.
+  enter_map_.update(task_key(ctx.pid, ctx.tid),
+                    EnterInfo{ctx.timestamp, ctx.tcp_seq});
+}
+
+void Collector::on_exit(const kernelsim::HookContext& ctx,
+                        bool is_uprobe_pair) {
+  // Only the first syscall of a message produces a record (§3.3.1: "we only
+  // process the first system call for a message").
+  if (!ctx.is_first_syscall_of_message) {
+    enter_map_.erase(task_key(ctx.pid, ctx.tid));
+    return;
+  }
+  const auto staged = enter_map_.lookup_and_delete(task_key(ctx.pid, ctx.tid));
+  if (!staged) return;  // lost enter (map overflow): drop the record
+
+  ebpf::SyscallEventRecord record;
+  record.pid = ctx.pid;
+  record.tid = ctx.tid;
+  record.coroutine_id = ctx.coroutine_id;
+  record.set_comm(ctx.comm);
+  record.socket_id = ctx.socket_id;
+  record.tuple = ctx.tuple;
+  record.tcp_seq = staged->tcp_seq;
+  record.enter_ts = staged->enter_ts;
+  record.exit_ts = ctx.timestamp;
+  record.direction = ctx.direction;
+  record.abi = ctx.abi;
+  record.total_bytes = ctx.total_bytes;
+  record.set_payload(ctx.payload);
+  record.is_first_of_message = ctx.is_first_syscall_of_message;
+  record.cpu = cpu_of(ctx.tid);
+  (void)is_uprobe_pair;
+
+  if (syscall_events_.submit(record.cpu, record)) ++records_emitted_;
+}
+
+void Collector::on_packet(const netsim::TapContext& ctx) {
+  ebpf::PacketEventRecord record;
+  record.device_id = ctx.device->id;
+  record.device_kind = ctx.device->kind;
+  record.set_device_name(ctx.device->name);
+  record.node_id = ctx.device->node_id;
+  record.tuple = ctx.message->tuple;
+  record.tcp_seq = ctx.message->tcp_seq;
+  record.total_bytes = ctx.message->total_bytes;
+  record.timestamp = ctx.timestamp;
+  record.is_retransmission = ctx.is_retransmission;
+  record.cpu = ctx.device->id % config_.cpu_count;
+  record.set_payload(std::string_view(ctx.message->payload)
+                         .substr(0, std::min(ctx.message->payload.size(),
+                                             ebpf::kPayloadLen)));
+  if (packet_events_.submit(record.cpu, record)) ++records_emitted_;
+}
+
+bool Collector::deploy_syscall_programs() {
+  using kernelsim::SyscallAbi;
+  const ebpf::ProgramType enter_type = config_.use_tracepoints
+                                           ? ebpf::ProgramType::kTracepoint
+                                           : ebpf::ProgramType::kKprobe;
+  const ebpf::ProgramType exit_type = config_.use_tracepoints
+                                          ? ebpf::ProgramType::kTracepointExit
+                                          : ebpf::ProgramType::kKretprobe;
+  for (const auto& abis : {kernelsim::kIngressAbis, kernelsim::kEgressAbis}) {
+    for (const SyscallAbi abi : abis) {
+      ebpf::Program enter;
+      enter.spec.name =
+          "df_enter_" + std::string(kernelsim::abi_name(abi));
+      enter.spec.type = enter_type;
+      enter.spec.instruction_count = 96;
+      enter.spec.stack_bytes = 128;
+      enter.spec.helpers = {ebpf::Helper::kGetCurrentPidTgid,
+                            ebpf::Helper::kKtimeGetNs,
+                            ebpf::Helper::kMapUpdate};
+      enter.on_hook = [this](const kernelsim::HookContext& ctx) {
+        on_enter(ctx);
+      };
+      auto enter_result = loader_.load_syscall(std::move(enter), abi);
+      if (!enter_result.ok) {
+        error_ = enter_result.error;
+        return false;
+      }
+      links_.push_back(enter_result.link);
+
+      ebpf::Program exit;
+      exit.spec.name = "df_exit_" + std::string(kernelsim::abi_name(abi));
+      exit.spec.type = exit_type;
+      exit.spec.instruction_count = 512;
+      exit.spec.stack_bytes = 384;
+      exit.spec.helpers = {ebpf::Helper::kGetCurrentPidTgid,
+                           ebpf::Helper::kKtimeGetNs,
+                           ebpf::Helper::kMapLookup, ebpf::Helper::kMapDelete,
+                           ebpf::Helper::kProbeRead,
+                           ebpf::Helper::kPerfEventOutput};
+      exit.on_hook = [this](const kernelsim::HookContext& ctx) {
+        on_exit(ctx, /*is_uprobe_pair=*/false);
+      };
+      auto exit_result = loader_.load_syscall(std::move(exit), abi);
+      if (!exit_result.ok) {
+        error_ = exit_result.error;
+        return false;
+      }
+      links_.push_back(exit_result.link);
+    }
+  }
+  return true;
+}
+
+bool Collector::deploy_ssl_programs() {
+  for (const std::string symbol : {"SSL_read", "SSL_write"}) {
+    ebpf::Program enter;
+    enter.spec.name = "df_uprobe_" + symbol;
+    enter.spec.type = ebpf::ProgramType::kUprobe;
+    enter.spec.instruction_count = 80;
+    enter.spec.stack_bytes = 128;
+    enter.spec.helpers = {ebpf::Helper::kGetCurrentPidTgid,
+                          ebpf::Helper::kKtimeGetNs, ebpf::Helper::kMapUpdate};
+    enter.on_hook = [this](const kernelsim::HookContext& ctx) {
+      on_enter(ctx);
+    };
+    auto enter_result = loader_.load_uprobe(std::move(enter), symbol);
+    if (!enter_result.ok) {
+      error_ = enter_result.error;
+      return false;
+    }
+    links_.push_back(enter_result.link);
+
+    ebpf::Program exit;
+    exit.spec.name = "df_uretprobe_" + symbol;
+    exit.spec.type = ebpf::ProgramType::kUretprobe;
+    exit.spec.instruction_count = 448;
+    exit.spec.stack_bytes = 384;
+    exit.spec.helpers = {ebpf::Helper::kGetCurrentPidTgid,
+                         ebpf::Helper::kKtimeGetNs, ebpf::Helper::kMapLookup,
+                         ebpf::Helper::kMapDelete, ebpf::Helper::kProbeRead,
+                         ebpf::Helper::kPerfEventOutput};
+    exit.on_hook = [this](const kernelsim::HookContext& ctx) {
+      on_exit(ctx, /*is_uprobe_pair=*/true);
+    };
+    auto exit_result = loader_.load_uprobe(std::move(exit), symbol);
+    if (!exit_result.ok) {
+      error_ = exit_result.error;
+      return false;
+    }
+    links_.push_back(exit_result.link);
+  }
+  return true;
+}
+
+bool Collector::deploy_nic_capture(netsim::Device* device) {
+  ebpf::Program prog;
+  prog.spec.name = "df_cbpf_" + (device != nullptr ? device->name : "null");
+  prog.spec.type = ebpf::ProgramType::kSocketFilter;
+  prog.spec.instruction_count = 64;
+  prog.spec.stack_bytes = 64;
+  prog.spec.helpers = {ebpf::Helper::kSkbLoadBytes,
+                       ebpf::Helper::kPerfEventOutput};
+  prog.on_packet = [this](const netsim::TapContext& ctx) { on_packet(ctx); };
+  auto result = loader_.load_socket_filter(std::move(prog), device);
+  if (!result.ok) {
+    error_ = result.error;
+    return false;
+  }
+  links_.push_back(result.link);
+  return true;
+}
+
+void Collector::undeploy() {
+  for (const ebpf::Link& link : links_) loader_.unload(link);
+  links_.clear();
+}
+
+}  // namespace deepflow::agent

@@ -1,0 +1,84 @@
+// The tracing plane's collection programs (§3.2.2, Figure 5): kprobes and
+// tracepoints on the ten syscall ABIs, uprobes on the TLS library, and
+// cBPF/AF_PACKET socket filters on network devices. Enter parameters are
+// staged in a BPF hash map keyed by (pid, tid) and merged with the exit
+// parameters kernel-side; completed records stream to user space through
+// per-CPU perf buffers.
+#pragma once
+
+#include <string>
+
+#include "ebpf/event.h"
+#include "ebpf/loader.h"
+#include "ebpf/map.h"
+#include "ebpf/perf_buffer.h"
+
+namespace deepflow::agent {
+
+struct CollectorConfig {
+  u32 cpu_count = 4;
+  size_t perf_ring_capacity = 16384;   // records per CPU ring
+  size_t enter_map_entries = 65536;    // (pid,tid) staging map
+  bool use_tracepoints = false;  // kprobes by default, tracepoints optional
+};
+
+class Collector {
+ public:
+  Collector(kernelsim::Kernel* kernel, CollectorConfig config = {});
+
+  /// Load and attach the enter/exit programs for all ten kernel ABIs.
+  /// Returns false (with `error()` set) if any program fails verification.
+  bool deploy_syscall_programs();
+
+  /// Load and attach SSL_read/SSL_write uprobe programs (TLS plaintext).
+  bool deploy_ssl_programs();
+
+  /// Attach a packet-capture socket filter to one device.
+  bool deploy_nic_capture(netsim::Device* device);
+
+  /// Detach every program (agent shutdown / on-demand monitoring stop).
+  void undeploy();
+
+  ebpf::PerfBuffer<ebpf::SyscallEventRecord>& syscall_events() {
+    return syscall_events_;
+  }
+  const ebpf::PerfBuffer<ebpf::SyscallEventRecord>& syscall_events() const {
+    return syscall_events_;
+  }
+  ebpf::PerfBuffer<ebpf::PacketEventRecord>& packet_events() {
+    return packet_events_;
+  }
+  const ebpf::PerfBuffer<ebpf::PacketEventRecord>& packet_events() const {
+    return packet_events_;
+  }
+
+  const std::string& error() const { return error_; }
+  u64 records_emitted() const { return records_emitted_; }
+  u64 enter_map_overflows() const {
+    return enter_map_.stats().full_failures;
+  }
+
+ private:
+  /// (pid,tid) -> staged enter-side parameters.
+  struct EnterInfo {
+    TimestampNs enter_ts = 0;
+    TcpSeq tcp_seq = 0;
+  };
+
+  u32 cpu_of(Tid tid) const;
+  void on_enter(const kernelsim::HookContext& ctx);
+  void on_exit(const kernelsim::HookContext& ctx, bool is_uprobe_pair);
+  void on_packet(const netsim::TapContext& ctx);
+
+  kernelsim::Kernel* kernel_;
+  CollectorConfig config_;
+  ebpf::Loader loader_;
+  ebpf::BpfHashMap<u64, EnterInfo> enter_map_;
+  ebpf::PerfBuffer<ebpf::SyscallEventRecord> syscall_events_;
+  ebpf::PerfBuffer<ebpf::PacketEventRecord> packet_events_;
+  std::vector<ebpf::Link> links_;
+  std::string error_;
+  u64 records_emitted_ = 0;
+};
+
+}  // namespace deepflow::agent

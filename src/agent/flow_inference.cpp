@@ -1,0 +1,28 @@
+#include "agent/flow_inference.h"
+
+namespace deepflow::agent {
+
+const protocols::ProtocolParser* FlowProtocolCache::parser_for(
+    u64 flow_key, std::string_view payload) {
+  if (config_.reinfer_every_message) {
+    ++inference_runs_;
+    return registry_->infer(payload);
+  }
+  FlowState& state = flows_[flow_key];
+  if (state.parser != nullptr) {
+    ++cache_hits_;
+    return state.parser;
+  }
+  if (state.gave_up) {
+    ++cache_hits_;
+    return nullptr;
+  }
+  ++inference_runs_;
+  state.parser = registry_->infer(payload);
+  if (state.parser == nullptr && ++state.attempts >= config_.max_attempts) {
+    state.gave_up = true;
+  }
+  return state.parser;
+}
+
+}  // namespace deepflow::agent

@@ -1,0 +1,52 @@
+// Per-flow protocol inference cache (§3.3.1, phase two): DeepFlow runs the
+// protocol signature scan once per newly established connection and caches
+// the verdict, instead of re-inferring on every message. The ablation bench
+// quantifies what that caching buys.
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "protocols/parser.h"
+
+namespace deepflow::agent {
+
+struct FlowInferenceConfig {
+  /// Give up on a flow after this many failed signature scans (ciphertext
+  /// or unsupported protocols never match).
+  u32 max_attempts = 5;
+  /// Ablation switch: re-run inference on every message (no caching).
+  bool reinfer_every_message = false;
+};
+
+class FlowProtocolCache {
+ public:
+  FlowProtocolCache(const protocols::ProtocolRegistry* registry,
+                    FlowInferenceConfig config = {})
+      : registry_(registry), config_(config) {}
+
+  /// Parser for the flow identified by `flow_key`, inferring from `payload`
+  /// when the flow is new. Returns null while the protocol is unknown.
+  const protocols::ProtocolParser* parser_for(u64 flow_key,
+                                              std::string_view payload);
+
+  u64 inference_runs() const { return inference_runs_; }
+  u64 cache_hits() const { return cache_hits_; }
+  size_t tracked_flows() const { return flows_.size(); }
+
+ private:
+  struct FlowState {
+    const protocols::ProtocolParser* parser = nullptr;
+    u32 attempts = 0;
+    bool gave_up = false;
+  };
+
+  const protocols::ProtocolRegistry* registry_;
+  FlowInferenceConfig config_;
+  std::unordered_map<u64, FlowState> flows_;
+  u64 inference_runs_ = 0;
+  u64 cache_hits_ = 0;
+};
+
+}  // namespace deepflow::agent

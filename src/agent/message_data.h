@@ -1,0 +1,58 @@
+// MessageData: the paper's term for one merged enter/exit syscall record
+// after user-space protocol parsing (§3.3.1, Figure 6). This is the unit
+// session aggregation and systrace assignment operate on.
+#pragma once
+
+#include <string>
+
+#include "common/hash.h"
+#include "ebpf/event.h"
+#include "protocols/message.h"
+
+namespace deepflow::agent {
+
+/// Capture origin of a message: kernel syscall hooks, TLS-library uprobes,
+/// or device packet taps. Determines the span kind downstream.
+enum class CaptureOrigin : u8 { kSyscall, kSslUprobe, kPacketTap };
+
+struct MessageData {
+  ebpf::SyscallEventRecord record;
+  protocols::ParsedMessage parsed;
+  protocols::SessionMatchMode mode = protocols::SessionMatchMode::kPipeline;
+  CaptureOrigin origin = CaptureOrigin::kSyscall;
+  /// Packet-tap messages: capturing device (syscall messages: zero/empty).
+  u32 device_id = 0;
+  std::string device_name;
+  /// Pseudo-thread id resolved from the record (coroutine root or tid).
+  PseudoThreadId pseudo_thread_id = 0;
+  /// Assigned by the systrace assigner before session aggregation.
+  SystraceId systrace_id = kInvalidSystraceId;
+
+  bool is_request() const {
+    return parsed.type == protocols::MessageType::kRequest;
+  }
+  bool is_response() const {
+    return parsed.type == protocols::MessageType::kResponse;
+  }
+};
+
+/// Canonical aggregation flow key of a message. Socket ids are globally
+/// unique across kernels and SSL-uprobe traffic aggregates separately from
+/// the ciphertext syscalls of the same socket; packet-tap flows key on
+/// (device, canonical tuple). Shared by the agent pipeline and the server's
+/// re-aggregation of out-of-window stragglers.
+inline u64 flow_key_of(const MessageData& message) {
+  switch (message.origin) {
+    case CaptureOrigin::kSyscall:
+      return message.record.socket_id;
+    case CaptureOrigin::kSslUprobe:
+      return hash_combine(message.record.socket_id, 0x55Eu);
+    case CaptureOrigin::kPacketTap:
+      return hash_combine(message.device_id,
+                          message.record.tuple.canonical().hash()) |
+             1u;
+  }
+  return 0;
+}
+
+}  // namespace deepflow::agent

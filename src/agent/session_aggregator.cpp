@@ -1,0 +1,220 @@
+#include "agent/session_aggregator.h"
+
+namespace deepflow::agent {
+
+void SessionAggregator::remove_from_flow(const Entry& entry, u64 token) {
+  const auto flow_it = flows_.find(entry.flow_key);
+  if (flow_it == flows_.end()) return;
+  FlowState& flow = flow_it->second;
+  const TimestampNs ts = entry.message.record.enter_ts;
+  auto erase_ts = [token, ts](std::multimap<TimestampNs, u64>& map) {
+    for (auto [it, end] = map.equal_range(ts); it != end; ++it) {
+      if (it->second == token) {
+        map.erase(it);
+        return;
+      }
+    }
+  };
+  if (entry.message.mode == protocols::SessionMatchMode::kParallel) {
+    const u64 stream = entry.message.parsed.stream_id;
+    auto& map = entry.message.is_request() ? flow.requests_by_stream
+                                           : flow.responses_by_stream;
+    if (const auto it = map.find(stream);
+        it != map.end() && it->second == token) {
+      map.erase(it);
+    }
+  } else {
+    erase_ts(entry.message.is_request() ? flow.requests_by_ts
+                                        : flow.responses_by_ts);
+  }
+}
+
+void SessionAggregator::emit_pair(u64 flow_key, u64 request_token,
+                                  u64 response_token,
+                                  const SessionSink& sink) {
+  auto req_it = staged_.find(request_token);
+  auto resp_it = staged_.find(response_token);
+  if (req_it == staged_.end() || resp_it == staged_.end()) return;
+  ++matched_;
+  Session session;
+  session.flow_key = flow_key;
+  session.request = std::move(req_it->second.message);
+  session.response = std::move(resp_it->second.message);
+  staged_.erase(req_it);
+  staged_.erase(resp_it);
+  sink(std::move(session));
+}
+
+void SessionAggregator::drain_pipeline_pairs(u64 flow_key, FlowState& flow,
+                                             const SessionSink& sink,
+                                             bool force) {
+  // FIFO pairing over capture timestamps. Pairing is deferred until the
+  // drain watermark has passed both heads by the configured slack: only
+  // then is it certain that no earlier-stamped message is still sitting in
+  // a per-CPU ring (the cross-CPU disorder of §3.3.1). At flush (force),
+  // everything has drained, so heads pair immediately and a response older
+  // than every request is a true orphan.
+  while (!flow.requests_by_ts.empty() && !flow.responses_by_ts.empty()) {
+    const auto req_head = flow.requests_by_ts.begin();
+    const auto resp_head = flow.responses_by_ts.begin();
+    if (resp_head->first < req_head->first) {
+      if (!force) break;
+      const u64 orphan = resp_head->second;
+      flow.responses_by_ts.erase(resp_head);
+      if (const auto it = staged_.find(orphan); it != staged_.end()) {
+        if (stragglers_) {
+          ++forwarded_;
+          stragglers_(std::move(it->second.message));
+        } else {
+          ++dropped_orphans_;
+        }
+        staged_.erase(it);
+      }
+      continue;
+    }
+    if (!force) {
+      const TimestampNs newest = std::max(req_head->first, resp_head->first);
+      if (newest + config_.pairing_slack_ns > watermark()) break;
+    }
+    const u64 request_token = req_head->second;
+    const u64 response_token = resp_head->second;
+    flow.requests_by_ts.erase(req_head);
+    flow.responses_by_ts.erase(resp_head);
+    emit_pair(flow_key, request_token, response_token, sink);
+  }
+}
+
+void SessionAggregator::stage(u64 flow_key, MessageData&& message,
+                              const SessionSink& sink) {
+  const TimestampNs ts = message.record.enter_ts;
+  const bool is_request = message.is_request();
+  const bool parallel = message.mode == protocols::SessionMatchMode::kParallel;
+  const u64 stream = message.parsed.stream_id;
+  cpu_last_ts_[message.record.cpu] =
+      std::max(cpu_last_ts_[message.record.cpu], ts);
+
+  const u64 token = next_token_++;
+  staged_.emplace(token, Entry{flow_key, std::move(message)});
+  FlowState& flow = flows_[flow_key];
+
+  if (parallel) {
+    // Exact correlation: the embedded stream/transaction id (§3.3.1's
+    // "embedded distinguishing attributes") is immune to drain disorder.
+    auto& opposite =
+        is_request ? flow.responses_by_stream : flow.requests_by_stream;
+    if (const auto match = opposite.find(stream); match != opposite.end()) {
+      const u64 other = match->second;
+      opposite.erase(match);
+      if (is_request) {
+        emit_pair(flow_key, token, other, sink);
+      } else {
+        emit_pair(flow_key, other, token, sink);
+      }
+      return;
+    }
+    auto& own = is_request ? flow.requests_by_stream : flow.responses_by_stream;
+    // Stream-id reuse before the previous one matched: expire the stale one.
+    if (const auto stale = own.find(stream); stale != own.end()) {
+      expire_token(stale->second, sink);
+    }
+    own[stream] = token;
+  } else {
+    auto& own = is_request ? flow.requests_by_ts : flow.responses_by_ts;
+    own.emplace(ts, token);
+    drain_pipeline_pairs(flow_key, flow, sink, /*force=*/false);
+    mark_ready(flow_key, flow);
+  }
+  drain_ready(sink);
+
+  // Expiry bookkeeping: the window advancing evicts old tokens; eviction of
+  // an already-paired token is a no-op (checked against staged_).
+  expiry_.insert(ts, token, [this, &sink](u64&& expired) {
+    expire_token(expired, sink);
+  });
+}
+
+void SessionAggregator::expire_token(u64 token, const SessionSink& sink) {
+  const auto it = staged_.find(token);
+  if (it == staged_.end()) return;  // already paired
+  Entry entry = std::move(it->second);
+  staged_.erase(it);
+  remove_from_flow(entry, token);
+  if (stragglers_) {
+    ++forwarded_;
+    stragglers_(std::move(entry.message));
+    return;
+  }
+  if (entry.message.is_request()) {
+    ++expired_requests_;
+    Session session;
+    session.flow_key = entry.flow_key;
+    session.request = std::move(entry.message);
+    session.response = std::nullopt;
+    sink(std::move(session));
+  } else {
+    ++dropped_orphans_;
+  }
+}
+
+void SessionAggregator::mark_ready(u64 flow_key, const FlowState& flow) {
+  if (flow.requests_by_ts.empty() || flow.responses_by_ts.empty()) return;
+  const TimestampNs ready_ts = std::max(flow.requests_by_ts.begin()->first,
+                                        flow.responses_by_ts.begin()->first);
+  ready_.emplace(ready_ts, flow_key);
+}
+
+void SessionAggregator::drain_ready(const SessionSink& sink) {
+  const TimestampNs mark = watermark();
+  while (!ready_.empty()) {
+    const auto head = ready_.begin();
+    if (head->first + config_.pairing_slack_ns > mark) break;
+    const u64 flow_key = head->second;
+    ready_.erase(head);
+    const auto flow_it = flows_.find(flow_key);
+    if (flow_it == flows_.end()) continue;
+    drain_pipeline_pairs(flow_key, flow_it->second, sink, /*force=*/false);
+    // Heads may remain (a blocking older response waits for expiry, or the
+    // new heads are still inside the slack); re-arm only when the readiness
+    // timestamp moved forward, so a blocked flow cannot spin.
+    FlowState& flow = flow_it->second;
+    if (!flow.requests_by_ts.empty() && !flow.responses_by_ts.empty()) {
+      const TimestampNs ready_ts =
+          std::max(flow.requests_by_ts.begin()->first,
+                   flow.responses_by_ts.begin()->first);
+      if (ready_ts + config_.pairing_slack_ns > mark) {
+        ready_.emplace(ready_ts, flow_key);
+      }
+    }
+  }
+}
+
+TimestampNs SessionAggregator::watermark() const {
+  // Conservative drain progress: the slowest CPU bounds what may still
+  // arrive. CPUs never seen contribute nothing (their rings were empty).
+  TimestampNs low = ~TimestampNs{0};
+  for (const auto& [cpu, ts] : cpu_last_ts_) low = std::min(low, ts);
+  return cpu_last_ts_.empty() ? 0 : low;
+}
+
+void SessionAggregator::offer(u64 flow_key, MessageData message,
+                              const SessionSink& sink) {
+  if (!message.is_request() && !message.is_response()) return;
+  stage(flow_key, std::move(message), sink);
+}
+
+void SessionAggregator::flush(const SessionSink& sink) {
+  // Everything has drained: final forced pairing per flow, then expire the
+  // leftovers (requests -> incomplete sessions, responses -> orphans).
+  for (auto& [flow_key, flow] : flows_) {
+    drain_pipeline_pairs(flow_key, flow, sink, /*force=*/true);
+  }
+  std::multimap<TimestampNs, u64> by_ts;
+  for (const auto& [token, entry] : staged_) {
+    by_ts.emplace(entry.message.record.enter_ts, token);
+  }
+  for (const auto& [ts, token] : by_ts) expire_token(token, sink);
+  expiry_.flush([](u64&&) {});
+  flows_.clear();
+}
+
+}  // namespace deepflow::agent

@@ -1,0 +1,127 @@
+// Session aggregation (§3.3.1, phase three): pair one request with one
+// response from the same flow.
+//
+// Pipeline protocols preserve request/response ordering on a connection, so
+// the k-th request pairs with the k-th response. The perf-buffer drain,
+// however, interleaves CPUs and delivers messages out of global order; the
+// aggregator therefore stages messages per flow in capture-timestamp order
+// and pairs heads only when the order is provably right (oldest response
+// not older than oldest request). Parallel protocols match on the embedded
+// stream/transaction id instead.
+//
+// A time-window array bounds staging: messages older than the window
+// horizon are surfaced — requests as incomplete sessions (the paper's
+// unexpected terminations), responses as orphan drops.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "agent/message_data.h"
+#include "common/time_window.h"
+
+namespace deepflow::agent {
+
+/// One aggregated session: the request always exists; the response is
+/// missing for expired (unexpectedly terminated) requests.
+struct Session {
+  u64 flow_key = 0;
+  MessageData request;
+  std::optional<MessageData> response;
+};
+
+struct SessionAggregatorConfig {
+  /// Time-slot duration (the paper's production setting is 60 s).
+  DurationNs slot_ns = 60 * kSecond;
+  /// Retained slots; the expiry horizon is slot_ns * slot_count.
+  size_t slot_count = 3;
+  /// Pipeline pairing waits until the drain watermark — the minimum, over
+  /// all CPUs seen so far, of the newest capture timestamp drained from
+  /// that CPU — has passed a head by this slack. That guarantees no
+  /// earlier-stamped record is still sitting in a per-CPU ring (modulo the
+  /// bounded skew of one handler segment, which the slack absorbs).
+  DurationNs pairing_slack_ns = 200 * kMillisecond;
+};
+
+class SessionAggregator {
+ public:
+  using SessionSink = std::function<void(Session&&)>;
+  /// Receives messages that fell out of the aggregation window (or stayed
+  /// unpaired at flush). When installed, such messages are forwarded for
+  /// server-side re-aggregation (§3.3.1: "Messages received outside of the
+  /// time period are uploaded to the DeepFlow Server, where they can be
+  /// aggregated again using the same technique") instead of surfacing as
+  /// incomplete sessions / dropped orphans locally.
+  using StragglerSink = std::function<void(MessageData&&)>;
+
+  explicit SessionAggregator(SessionAggregatorConfig config = {})
+      : config_(config), expiry_(config.slot_ns, config.slot_count) {}
+
+  /// Feed one parsed message belonging to flow `flow_key`. Completed and
+  /// expired sessions are handed to `sink` (possibly several per call when
+  /// the window advances).
+  void offer(u64 flow_key, MessageData message, const SessionSink& sink);
+
+  /// End-of-run: flush every pending request as an incomplete session.
+  void flush(const SessionSink& sink);
+
+  void set_straggler_sink(StragglerSink sink) {
+    stragglers_ = std::move(sink);
+  }
+
+  u64 matched_sessions() const { return matched_; }
+  u64 forwarded_stragglers() const { return forwarded_; }
+  u64 expired_requests() const { return expired_requests_; }
+  u64 dropped_orphan_responses() const { return dropped_orphans_; }
+  size_t pending_count() const { return staged_.size(); }
+
+ private:
+  struct Entry {
+    u64 flow_key = 0;
+    MessageData message;
+  };
+  struct FlowState {
+    // Pipeline: staged messages ordered by capture timestamp.
+    std::multimap<TimestampNs, u64> requests_by_ts;
+    std::multimap<TimestampNs, u64> responses_by_ts;
+    // Parallel: staged messages keyed by stream id.
+    std::unordered_map<u64, u64> requests_by_stream;
+    std::unordered_map<u64, u64> responses_by_stream;
+  };
+
+  void stage(u64 flow_key, MessageData&& message, const SessionSink& sink);
+  /// Pair as many (request, response) heads as ordering allows. With
+  /// `force` (flush time: every record has drained) the watermark guard is
+  /// skipped and blocking orphan responses are discarded.
+  void drain_pipeline_pairs(u64 flow_key, FlowState& flow,
+                            const SessionSink& sink, bool force);
+  void emit_pair(u64 flow_key, u64 request_token, u64 response_token,
+                 const SessionSink& sink);
+  void expire_token(u64 token, const SessionSink& sink);
+  void remove_from_flow(const Entry& entry, u64 token);
+  /// Note a pipeline flow as pairing-ready (both heads staged) and drain
+  /// every ready flow the watermark has passed.
+  void mark_ready(u64 flow_key, const FlowState& flow);
+  void drain_ready(const SessionSink& sink);
+
+  SessionAggregatorConfig config_;
+  std::unordered_map<u64, Entry> staged_;      // token -> staged message
+  std::unordered_map<u64, FlowState> flows_;
+  TimestampNs watermark() const;
+
+  TimeWindowArray<u64> expiry_;                // tokens by capture timestamp
+  std::unordered_map<u32, TimestampNs> cpu_last_ts_;
+  /// Pipeline flows whose heads are staged and waiting for the watermark:
+  /// (ready timestamp, flow key). Popped as the watermark advances.
+  std::multimap<TimestampNs, u64> ready_;
+  StragglerSink stragglers_;
+  u64 next_token_ = 1;
+  u64 matched_ = 0;
+  u64 forwarded_ = 0;
+  u64 expired_requests_ = 0;
+  u64 dropped_orphans_ = 0;
+};
+
+}  // namespace deepflow::agent

@@ -1,0 +1,92 @@
+// The span model shared by the agent (producer) and server (store/assembler).
+//
+// A DeepFlow span is a *session*: one request paired with one response
+// (§3.3.1). It carries every association attribute Algorithm 1 searches on —
+// systrace id, pseudo-thread id, X-Request-ID, TCP sequences, third-party
+// trace id — plus the semantic fields parsed from the payload and the tag
+// set used for correlation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/five_tuple.h"
+#include "common/types.h"
+#include "protocols/message.h"
+
+namespace deepflow::agent {
+
+/// Origin of a span, which also determines its role in parent assignment.
+enum class SpanKind : u8 {
+  kSystem,      // eBPF syscall capture (sys span)
+  kApplication, // uprobe capture above TLS (app span)
+  kNetwork,     // cBPF/AF_PACKET device capture (net span)
+  kThirdParty,  // integrated from OpenTelemetry-style frameworks
+};
+
+std::string_view span_kind_name(SpanKind kind);
+
+/// Uniform key/value tag (pre-encoding form).
+struct Tag {
+  std::string key;
+  std::string value;
+
+  bool operator==(const Tag&) const = default;
+};
+
+/// Integer tags the agent injects during the smart-encoding collection
+/// phase (§3.4): only VPC and IP identifiers travel with the span; the
+/// server expands them into resource tags at ingest time.
+struct AgentIntTags {
+  u32 vpc_id = 0;
+  u32 client_ip = 0;  // Ipv4::addr of the client endpoint
+  u32 server_ip = 0;  // Ipv4::addr of the server endpoint
+};
+
+struct Span {
+  u64 span_id = 0;
+  SpanKind kind = SpanKind::kSystem;
+
+  // -- Association attributes (Algorithm 1 search keys).
+  SystraceId systrace_id = kInvalidSystraceId;
+  PseudoThreadId pseudo_thread_id = 0;
+  std::string x_request_id;
+  std::string otel_trace_id;   // third-party trace context, "" when absent
+  TcpSeq req_tcp_seq = 0;      // sequence of the request message
+  TcpSeq resp_tcp_seq = 0;     // sequence of the response message (0: none)
+
+  // -- Collection location.
+  std::string host;            // agent hostname
+  bool from_server_side = false;  // session observed at the serving process
+  u32 device_id = 0;           // net spans: capturing device
+  std::string device_name;     // net spans: capturing device name
+  Pid pid = 0;
+  Tid tid = 0;
+
+  // -- Timing.
+  TimestampNs start_ts = 0;    // request observed
+  TimestampNs end_ts = 0;      // response observed (start_ts if missing)
+
+  // -- Semantics.
+  protocols::L7Protocol protocol = protocols::L7Protocol::kUnknown;
+  std::string method;
+  std::string endpoint;
+  u32 status_code = 0;
+  bool ok = true;
+  /// True when the request never got a response inside the aggregation
+  /// window — the paper treats this as an unexpected execution termination.
+  bool incomplete = false;
+  FiveTuple tuple;             // client-perspective five-tuple
+
+  // -- Correlation tags.
+  AgentIntTags int_tags;       // smart-encoding phase-one tags
+  std::vector<Tag> tags;       // expanded/self-defined tags (query side)
+
+  DurationNs duration() const {
+    return end_ts >= start_ts ? end_ts - start_ts : 0;
+  }
+
+  u64 parent_span_id = 0;      // assigned by the trace assembler (0 = root)
+};
+
+}  // namespace deepflow::agent

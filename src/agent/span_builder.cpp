@@ -1,0 +1,94 @@
+#include "agent/span_builder.h"
+
+namespace deepflow::agent {
+
+std::atomic<u64> SpanBuilder::global_span_id_{1};
+
+std::string_view span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSystem: return "sys";
+    case SpanKind::kApplication: return "app";
+    case SpanKind::kNetwork: return "net";
+    case SpanKind::kThirdParty: return "otel";
+  }
+  return "?";
+}
+
+Span SpanBuilder::build(const Session& session) const {
+  const MessageData& request = session.request;
+  Span span;
+  span.span_id = global_span_id_.fetch_add(1, std::memory_order_relaxed);
+
+  switch (request.origin) {
+    case CaptureOrigin::kSyscall: span.kind = SpanKind::kSystem; break;
+    case CaptureOrigin::kSslUprobe: span.kind = SpanKind::kApplication; break;
+    case CaptureOrigin::kPacketTap: span.kind = SpanKind::kNetwork; break;
+  }
+
+  // Association attributes. The pseudo-thread id is only a search key for
+  // coroutine runtimes (one root coroutine per logical request); exposing a
+  // plain kernel tid here would false-link unrelated requests that merely
+  // reused the same pool thread.
+  span.systrace_id = request.systrace_id;
+  span.pseudo_thread_id =
+      request.record.coroutine_id != 0 ? request.pseudo_thread_id : 0;
+  span.x_request_id = !request.parsed.x_request_id.empty()
+                          ? request.parsed.x_request_id
+                          : (session.response.has_value()
+                                 ? session.response->parsed.x_request_id
+                                 : std::string{});
+  span.otel_trace_id = protocols::extract_trace_id(request.parsed.trace_context);
+  span.req_tcp_seq = request.record.tcp_seq;
+  span.resp_tcp_seq =
+      session.response.has_value() ? session.response->record.tcp_seq : 0;
+
+  // Location.
+  span.host = host_;
+  span.from_server_side =
+      request.origin != CaptureOrigin::kPacketTap &&
+      request.record.direction == kernelsim::Direction::kIngress;
+  span.device_id = request.device_id;
+  span.device_name = request.device_name;
+  span.pid = request.record.pid;
+  span.tid = request.record.tid;
+
+  // Timing: request brackets the start, response the end. Expired sessions
+  // keep the request's own window and are flagged incomplete.
+  span.start_ts = request.record.enter_ts;
+  if (session.response.has_value()) {
+    span.end_ts = session.response->record.exit_ts;
+  } else {
+    span.end_ts = request.record.exit_ts;
+    span.incomplete = true;
+    span.ok = false;
+  }
+
+  // Semantics.
+  span.protocol = request.parsed.protocol;
+  span.method = request.parsed.method;
+  span.endpoint = request.parsed.endpoint;
+  if (session.response.has_value()) {
+    span.status_code = session.response->parsed.status_code;
+    span.ok = session.response->parsed.ok;
+  }
+  // The request message always travels client -> server, so its tuple is
+  // already in client perspective.
+  span.tuple = request.record.tuple;
+
+  // Phase-one integer tags (smart-encoding): VPC + both endpoint IPs.
+  if (registry_ != nullptr) {
+    const netsim::ResourceInfo client_info =
+        registry_->resolve(span.tuple.src_ip);
+    const netsim::ResourceInfo server_info =
+        registry_->resolve(span.tuple.dst_ip);
+    span.int_tags.vpc_id =
+        client_info.vpc != 0 ? client_info.vpc : server_info.vpc;
+    span.int_tags.client_ip = span.tuple.src_ip.addr;
+    span.int_tags.server_ip = span.tuple.dst_ip.addr;
+  }
+
+  ++spans_built_;
+  return span;
+}
+
+}  // namespace deepflow::agent

@@ -1,0 +1,35 @@
+// Session -> Span conversion: the final step of span construction. A
+// session's request marks the start and its response the end (Figure 1);
+// association attributes and parsed semantics are carried over, and the
+// agent's phase-one integer tags (VPC + IPs) are attached for
+// smart-encoding.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "agent/session_aggregator.h"
+#include "agent/span.h"
+#include "netsim/resource.h"
+
+namespace deepflow::agent {
+
+class SpanBuilder {
+ public:
+  SpanBuilder(std::string host, const netsim::ResourceRegistry* registry)
+      : host_(std::move(host)), registry_(registry) {}
+
+  /// Build the span for one aggregated session (any capture origin).
+  Span build(const Session& session) const;
+
+  u64 spans_built() const { return spans_built_; }
+
+ private:
+  std::string host_;
+  const netsim::ResourceRegistry* registry_;
+  mutable u64 spans_built_ = 0;
+
+  static std::atomic<u64> global_span_id_;
+};
+
+}  // namespace deepflow::agent

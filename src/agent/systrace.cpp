@@ -1,0 +1,49 @@
+#include "agent/systrace.h"
+
+namespace deepflow::agent {
+
+std::atomic<SystraceId> SystraceAssigner::global_next_{1};
+
+SystraceId SystraceAssigner::next_id() {
+  ++ids_issued_;
+  return global_next_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SystraceAssigner::assign(MessageData& message) {
+  const auto& record = message.record;
+  ThreadState& state = threads_[thread_key(record.pid,
+                                           message.pseudo_thread_id)];
+
+  const bool ingress =
+      record.direction == kernelsim::Direction::kIngress;
+  const bool is_request = message.is_request();
+
+  if (ingress && is_request) {
+    // A server-side component picked up a new inbound request. Whether the
+    // thread is fresh or reused, this begins a new causal flow (Fig 7(b):
+    // time-sequence partition on thread reuse).
+    state.current = next_id();
+    state.handling = true;
+  } else if (!ingress && is_request) {
+    // Outbound call to a downstream component. If this thread is currently
+    // handling an inbound request, the call inherits its systrace_id
+    // (Fig 7(a)). A pure client thread (no inbound request being handled,
+    // e.g. a load generator) starts a fresh flow per outbound call — the
+    // time-sequence partition of Fig 7(b): consecutive messages of the SAME
+    // type on a reused thread belong to different flows.
+    if (!state.handling) state.current = next_id();
+  } else if (ingress && !is_request) {
+    // Response returning from a downstream call: stays on the current flow.
+    if (state.current == kInvalidSystraceId) state.current = next_id();
+  } else {
+    // Outbound response: completes the inbound request's flow.
+    if (state.current == kInvalidSystraceId) state.current = next_id();
+    state.handling = false;
+  }
+
+  message.systrace_id = state.current;
+  state.last_socket = record.socket_id;
+  state.last_direction = record.direction;
+}
+
+}  // namespace deepflow::agent

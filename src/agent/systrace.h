@@ -1,0 +1,53 @@
+// Intra-component causal association (§3.3.2, Figure 7): assign a globally
+// unique systrace_id to messages that belong to the same request flow inside
+// one component, using only thread identity, time sequence, and the
+// scheduling insight that computation does not yield but network I/O does.
+//
+// Rules implemented (per pseudo-thread):
+//   (a) messages on the same pseudo-thread share the current systrace_id;
+//   (b) thread reuse partitions the trace: receiving a *new* inbound request
+//       starts a fresh systrace_id (time-sequence partition, Fig 7(b));
+//   (c) consecutive messages of different ingress/egress types on different
+//       sockets stay associated (multiple requests/responses, Fig 7(c)).
+#pragma once
+
+#include <atomic>
+#include <unordered_map>
+
+#include "agent/message_data.h"
+#include "common/types.h"
+
+namespace deepflow::agent {
+
+class SystraceAssigner {
+ public:
+  /// Stamp `message` (mutates systrace_id and pseudo_thread_id). Messages of
+  /// one pseudo-thread must arrive in per-thread causal order, which the
+  /// per-CPU perf rings guarantee.
+  void assign(MessageData& message);
+
+  u64 ids_issued() const { return ids_issued_; }
+
+ private:
+  struct ThreadState {
+    SystraceId current = kInvalidSystraceId;
+    SocketId last_socket = 0;
+    kernelsim::Direction last_direction = kernelsim::Direction::kIngress;
+    bool handling = false;  // between inbound request and outbound response
+  };
+
+  static u64 thread_key(Pid pid, PseudoThreadId ptid) {
+    return (static_cast<u64>(pid) << 32) ^ ptid;
+  }
+
+  SystraceId next_id();
+
+  std::unordered_map<u64, ThreadState> threads_;
+  u64 ids_issued_ = 0;
+
+  // Globally unique across every agent in the process, like the paper's
+  // globally unique systrace_id.
+  static std::atomic<SystraceId> global_next_;
+};
+
+}  // namespace deepflow::agent

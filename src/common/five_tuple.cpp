@@ -1,0 +1,48 @@
+#include "common/five_tuple.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace deepflow {
+
+std::string Ipv4::to_string() const {
+  std::array<char, 16> buf{};
+  const int n = std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u",
+                              (addr >> 24) & 0xff, (addr >> 16) & 0xff,
+                              (addr >> 8) & 0xff, addr & 0xff);
+  return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+Ipv4 Ipv4::parse(const std::string& text) {
+  u32 out = 0;
+  const char* p = text.data();
+  const char* end = p + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    const auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255) return Ipv4{};
+    out = (out << 8) | value;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return Ipv4{};
+      ++p;
+    }
+  }
+  if (p != end) return Ipv4{};
+  return Ipv4{out};
+}
+
+std::string FiveTuple::to_string() const {
+  std::string s = src_ip.to_string();
+  s += ':';
+  s += std::to_string(src_port);
+  s += " -> ";
+  s += dst_ip.to_string();
+  s += ':';
+  s += std::to_string(dst_port);
+  s += proto == L4Proto::kTcp ? "/tcp" : "/udp";
+  return s;
+}
+
+}  // namespace deepflow

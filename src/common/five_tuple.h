@@ -1,0 +1,70 @@
+// The classic connection five-tuple plus helpers for direction-agnostic flow
+// matching. DeepFlow records the five-tuple of every traced message (§3.2.1)
+// and uses it (with the TCP sequence) for inter-component association.
+#pragma once
+
+#include <string>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace deepflow {
+
+/// Transport protocol of a flow.
+enum class L4Proto : u8 { kTcp = 6, kUdp = 17 };
+
+/// IPv4 address stored host-order for simple arithmetic in the simulators.
+struct Ipv4 {
+  u32 addr = 0;
+
+  constexpr bool operator==(const Ipv4&) const = default;
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+  /// Dotted-quad rendering ("10.1.2.3").
+  std::string to_string() const;
+
+  /// Parse a dotted quad; returns 0.0.0.0 on malformed input.
+  static Ipv4 parse(const std::string& text);
+};
+
+/// Source/destination endpoints plus protocol. Equality is directional; use
+/// canonical() when a direction-agnostic key is required (e.g. flow tables
+/// keyed by connection rather than by packet direction).
+struct FiveTuple {
+  Ipv4 src_ip;
+  Ipv4 dst_ip;
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  L4Proto proto = L4Proto::kTcp;
+
+  constexpr bool operator==(const FiveTuple&) const = default;
+
+  /// The same tuple viewed from the peer's side.
+  FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+
+  /// Direction-agnostic canonical form: lower (ip,port) endpoint first.
+  FiveTuple canonical() const {
+    if (src_ip.addr < dst_ip.addr ||
+        (src_ip.addr == dst_ip.addr && src_port <= dst_port)) {
+      return *this;
+    }
+    return reversed();
+  }
+
+  u64 hash() const {
+    u64 h = hash_combine(src_ip.addr, dst_ip.addr);
+    h = hash_combine(h, (static_cast<u64>(src_port) << 16) | dst_port);
+    return hash_combine(h, static_cast<u64>(proto));
+  }
+
+  /// "10.0.0.1:80 -> 10.0.0.2:4242/tcp"
+  std::string to_string() const;
+};
+
+struct FiveTupleHash {
+  u64 operator()(const FiveTuple& t) const { return t.hash(); }
+};
+
+}  // namespace deepflow

@@ -1,0 +1,39 @@
+// Small non-cryptographic hashing helpers used for map keys and id
+// derivation across the tracing plane.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.h"
+
+namespace deepflow {
+
+/// 64-bit FNV-1a over a byte range.
+constexpr u64 fnv1a(std::string_view bytes, u64 seed = 0xcbf29ce484222325ULL) {
+  u64 h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mix an integer into an existing hash (boost::hash_combine flavour,
+/// 64-bit variant).
+constexpr u64 hash_combine(u64 h, u64 v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  return h;
+}
+
+/// Finalizer from MurmurHash3: spreads entropy across all bits so that
+/// sequential ids become well-distributed map keys.
+constexpr u64 mix64(u64 x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace deepflow

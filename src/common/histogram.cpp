@@ -1,0 +1,118 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace deepflow {
+
+LatencyHistogram::LatencyHistogram(u64 max_value)
+    : max_value_(std::max<u64>(max_value, kSubBucketCount)),
+      min_seen_(std::numeric_limits<u64>::max()) {
+  // Octaves needed so that the top octave covers max_value_.
+  const u32 max_bit = 64u - static_cast<u32>(std::countl_zero(max_value_));
+  const u32 octaves = max_bit <= kSubBucketBits ? 1 : max_bit - kSubBucketBits + 1;
+  counts_.assign(static_cast<size_t>(octaves) * kSubBucketCount, 0);
+}
+
+size_t LatencyHistogram::bucket_index(u64 value) const {
+  if (value < 1) value = 1;
+  // Octave 0 covers [0, kSubBucketCount) linearly; octave k scales by 2^k.
+  const u32 bit = 64u - static_cast<u32>(std::countl_zero(value));
+  const u32 octave = bit <= kSubBucketBits ? 0 : bit - kSubBucketBits;
+  const u64 sub = value >> octave;  // in [kSubBucketCount/2, kSubBucketCount)
+  size_t index = static_cast<size_t>(octave) * kSubBucketCount +
+                 static_cast<size_t>(sub);
+  return std::min(index, counts_.size() - 1);
+}
+
+u64 LatencyHistogram::bucket_low(size_t index) const {
+  const u32 octave = static_cast<u32>(index / kSubBucketCount);
+  const u64 sub = index % kSubBucketCount;
+  return sub << octave;
+}
+
+u64 LatencyHistogram::bucket_high(size_t index) const {
+  const u32 octave = static_cast<u32>(index / kSubBucketCount);
+  const u64 sub = index % kSubBucketCount;
+  return ((sub + 1) << octave) - 1;
+}
+
+void LatencyHistogram::record(u64 value_ns) { record_n(value_ns, 1); }
+
+void LatencyHistogram::record_n(u64 value_ns, u64 count) {
+  if (count == 0) return;
+  if (value_ns > max_value_) {
+    overflow_count_ += count;
+    value_ns = max_value_;
+  }
+  counts_[bucket_index(value_ns)] += count;
+  total_count_ += count;
+  total_sum_ += value_ns * count;
+  min_seen_ = std::min(min_seen_, value_ns);
+  max_seen_ = std::max(max_seen_, value_ns);
+}
+
+u64 LatencyHistogram::min() const { return total_count_ ? min_seen_ : 0; }
+u64 LatencyHistogram::max() const { return max_seen_; }
+
+double LatencyHistogram::mean() const {
+  return total_count_ ? static_cast<double>(total_sum_) /
+                            static_cast<double>(total_count_)
+                      : 0.0;
+}
+
+u64 LatencyHistogram::value_at_quantile(double q) const {
+  if (total_count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const u64 target = static_cast<u64>(q * static_cast<double>(total_count_));
+  u64 running = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    if (running > target || (q >= 1.0 && running >= total_count_)) {
+      // Midpoint of the bucket bounds the relative error.
+      return std::min((bucket_low(i) + bucket_high(i)) / 2, max_seen_);
+    }
+  }
+  return max_seen_;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_count_ = 0;
+  total_sum_ = 0;
+  min_seen_ = std::numeric_limits<u64>::max();
+  max_seen_ = 0;
+  overflow_count_ = 0;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  const size_t n = std::min(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < n; ++i) counts_[i] += other.counts_[i];
+  // Overlength buckets of `other` clamp into our top bucket.
+  for (size_t i = n; i < other.counts_.size(); ++i) {
+    counts_.back() += other.counts_[i];
+  }
+  total_count_ += other.total_count_;
+  total_sum_ += other.total_sum_;
+  if (other.total_count_) {
+    min_seen_ = std::min(min_seen_, other.min_seen_);
+    max_seen_ = std::max(max_seen_, other.max_seen_);
+  }
+  overflow_count_ += other.overflow_count_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(total_count_), mean() / 1e3,
+                static_cast<double>(p50()) / 1e3,
+                static_cast<double>(p90()) / 1e3,
+                static_cast<double>(p99()) / 1e3,
+                static_cast<double>(max()) / 1e3);
+  return buf;
+}
+
+}  // namespace deepflow

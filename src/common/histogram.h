@@ -1,0 +1,64 @@
+// Log-linear latency histogram in the spirit of HdrHistogram: constant-time
+// recording, bounded relative error, exact counts. Used by the load
+// generators (wrk2 substitute) and by every benchmark that reports latency
+// percentiles.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deepflow {
+
+/// Records values in [1, max_value] nanoseconds with ~1/64 relative
+/// precision. Values above max_value clamp into the top bucket and are
+/// counted separately so saturation is visible.
+class LatencyHistogram {
+ public:
+  /// max_value: largest representable latency (default 100 s).
+  explicit LatencyHistogram(u64 max_value = 100 * kSecond);
+
+  void record(u64 value_ns);
+  /// Record the same value `count` times (for coalesced samples).
+  void record_n(u64 value_ns, u64 count);
+
+  u64 count() const { return total_count_; }
+  u64 min() const;
+  u64 max() const;
+  double mean() const;
+  /// Value at quantile q in [0, 1]; e.g. q=0.5 for the median. Returns 0 when
+  /// empty.
+  u64 value_at_quantile(double q) const;
+  u64 p50() const { return value_at_quantile(0.50); }
+  u64 p90() const { return value_at_quantile(0.90); }
+  u64 p99() const { return value_at_quantile(0.99); }
+  /// Number of recordings that exceeded max_value (clamped).
+  u64 overflow_count() const { return overflow_count_; }
+
+  void reset();
+  /// Merge another histogram recorded with identical bounds.
+  void merge(const LatencyHistogram& other);
+
+  /// One-line human-readable summary ("n=... p50=...us p90=...us ...").
+  std::string summary() const;
+
+ private:
+  static constexpr u32 kSubBucketBits = 6;  // 64 linear sub-buckets per octave
+  static constexpr u32 kSubBucketCount = 1u << kSubBucketBits;
+
+  size_t bucket_index(u64 value) const;
+  u64 bucket_low(size_t index) const;
+  u64 bucket_high(size_t index) const;
+
+  u64 max_value_;
+  std::vector<u64> counts_;
+  u64 total_count_ = 0;
+  u64 total_sum_ = 0;
+  u64 min_seen_;
+  u64 max_seen_ = 0;
+  u64 overflow_count_ = 0;
+};
+
+}  // namespace deepflow

@@ -1,0 +1,42 @@
+// Minimal leveled logging. The library is quiet by default (benchmarks and
+// tests must not drown in output); examples raise the level to show the
+// troubleshooting narrative.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace deepflow {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < log_level()) return;
+  if constexpr (sizeof...(Args) == 0) {
+    detail::log_line(level, fmt);
+  } else {
+    char buf[1024];
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+    std::snprintf(buf, sizeof buf, fmt, std::forward<Args>(args)...);
+#pragma GCC diagnostic pop
+    detail::log_line(level, buf);
+  }
+}
+
+#define DF_LOG_DEBUG(...) ::deepflow::log(::deepflow::LogLevel::kDebug, __VA_ARGS__)
+#define DF_LOG_INFO(...) ::deepflow::log(::deepflow::LogLevel::kInfo, __VA_ARGS__)
+#define DF_LOG_WARN(...) ::deepflow::log(::deepflow::LogLevel::kWarn, __VA_ARGS__)
+#define DF_LOG_ERROR(...) ::deepflow::log(::deepflow::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace deepflow

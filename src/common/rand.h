@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic decision in the simulators (service-time jitter, fault
+// arrival, payload sizes) draws from an explicitly seeded Rng so that a whole
+// experiment is reproducible from its seed. std::mt19937_64 is avoided for
+// speed and state size; xoshiro256** has excellent statistical quality for
+// simulation purposes.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/types.h"
+
+namespace deepflow {
+
+/// xoshiro256** generator with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(u64 seed) {
+    u64 x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step: decorrelates consecutive seeds.
+      x += 0x9e3779b97f4a7c15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u64 below(u64 bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u64 between(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean (for Poisson
+  /// arrival processes and memoryless service times).
+  double exponential(double mean) {
+    double u = uniform();
+    // Avoid log(0).
+    if (u <= 0.0) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// Log-normal-ish positive jitter around `mean` with modest dispersion,
+  /// used for service-time variation where an exponential tail is too heavy.
+  double jittered(double mean, double rel_stddev) {
+    // Sum of three uniforms approximates a bell curve cheaply.
+    const double g = (uniform() + uniform() + uniform()) / 1.5 - 1.0;  // ~[-1,1]
+    double v = mean * (1.0 + g * rel_stddev);
+    return v > 0.0 ? v : mean * 0.01;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace deepflow

@@ -1,0 +1,80 @@
+// Discrete-event simulation core: a virtual clock plus a time-ordered event
+// queue. All simulators (kernel, network, workloads) share one EventLoop per
+// experiment so that cross-machine causality is globally ordered.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deepflow {
+
+/// A deterministic discrete-event loop. Events scheduled for the same
+/// timestamp run in scheduling order (stable FIFO tie-break), which keeps
+/// experiments reproducible across runs and platforms.
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  TimestampNs now() const { return now_; }
+
+  /// Schedule `action` to run at absolute simulated time `at` (clamped to
+  /// now() if in the past).
+  void schedule_at(TimestampNs at, Action action) {
+    if (at < now_) at = now_;
+    queue_.push(Event{at, next_seq_++, std::move(action)});
+  }
+
+  /// Schedule `action` to run `delay` ns from now.
+  void schedule_after(DurationNs delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  bool has_pending() const { return !queue_.empty(); }
+  size_t pending_count() const { return queue_.size(); }
+
+  /// Run a single event; returns false when the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top returns const&; the event is copied out so the
+    // action can schedule further events safely while we pop.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.action();
+    return true;
+  }
+
+  /// Run until the queue drains or the clock passes `until` (whichever comes
+  /// first). Events stamped after `until` remain queued.
+  void run_until(TimestampNs until) {
+    while (!queue_.empty() && queue_.top().at <= until) step();
+    if (now_ < until) now_ = until;
+  }
+
+  /// Run until no events remain.
+  void run() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    TimestampNs at;
+    u64 seq;
+    Action action;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  TimestampNs now_ = 0;
+  u64 next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace deepflow

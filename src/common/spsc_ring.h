@@ -1,0 +1,72 @@
+// Bounded single-producer/single-consumer ring buffer.
+//
+// The eBPF perf buffer (src/ebpf) hands events from the "kernel" side to the
+// agent's user-space drain loop through one of these per simulated CPU. The
+// ring is lossy by design: when full, pushes fail and the producer counts a
+// drop, exactly like a real perf ring under burst (the loss counter feeds the
+// bench_ablation_perfbuf experiment).
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deepflow {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  size_t capacity() const { return buffer_.size(); }
+
+  /// Producer side. Returns false (and increments dropped()) when full.
+  bool push(T item) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= buffer_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    buffer_[head & mask_] = std::move(item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when the ring is drained.
+  std::optional<T> pop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T item = std::move(buffer_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return item;
+  }
+
+  size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Events rejected because the ring was full.
+  u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<T> buffer_;
+  size_t mask_ = 0;
+  std::atomic<size_t> head_{0};
+  std::atomic<size_t> tail_{0};
+  std::atomic<u64> dropped_{0};
+};
+
+}  // namespace deepflow

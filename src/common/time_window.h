@@ -1,0 +1,128 @@
+// Time-window array for disorder-tolerant aggregation (§3.3.1).
+//
+// DeepFlow matches requests to responses even when multiple CPU cores deliver
+// message data out of order. The paper's mechanism: slot messages into fixed
+// duration time windows by timestamp and, when aggregating, only consult the
+// same slot and its neighbours. Items older than the sliding horizon are
+// evicted to the caller (in production they are re-aggregated on the server).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deepflow {
+
+/// A sliding array of time slots, each holding items of type T.
+///
+/// The window keeps `slot_count` slots of `slot_duration` each. Inserting an
+/// item whose timestamp is older than the retained horizon fails (the caller
+/// forwards such stragglers upstream, mirroring DeepFlow's upload of
+/// out-of-window messages to the Server). Advancing time evicts expired slots
+/// through the eviction callback.
+template <typename T>
+class TimeWindowArray {
+ public:
+  using EvictFn = std::function<void(T&&)>;
+
+  TimeWindowArray(DurationNs slot_duration, size_t slot_count)
+      : slot_duration_(slot_duration), slot_count_(slot_count) {}
+
+  DurationNs slot_duration() const { return slot_duration_; }
+  size_t slot_count() const { return slot_count_; }
+
+  /// Total items currently retained.
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& s : slots_) n += s.items.size();
+    return n;
+  }
+
+  /// Insert an item stamped `ts`. Returns false when ts falls before the
+  /// retained horizon (item not inserted). Inserting a future timestamp
+  /// advances the window, evicting expired slots via `evict`.
+  bool insert(TimestampNs ts, T item, const EvictFn& evict) {
+    const u64 slot = ts / slot_duration_;
+    if (!slots_.empty() && slot < first_slot_) return false;
+    advance_to(slot, evict);
+    slots_[static_cast<size_t>(slot - first_slot_)].items.push_back(
+        std::move(item));
+    return true;
+  }
+
+  /// Slide the window forward so that `ts` is representable, evicting
+  /// expired slots without inserting anything.
+  void advance(TimestampNs ts, const EvictFn& evict) {
+    advance_to(ts / slot_duration_, evict);
+  }
+
+  /// Visit every item in the slot containing `ts` and the two adjacent slots
+  /// (the paper's "same time slot or next to it" rule). The visitor returns
+  /// true to claim the item, which removes it from the window; visiting stops
+  /// after the first claim. Returns the claimed item if any.
+  std::optional<T> claim_nearby(TimestampNs ts,
+                                const std::function<bool(const T&)>& match) {
+    if (slots_.empty()) return std::nullopt;
+    const u64 slot = ts / slot_duration_;
+    // Older slot first: for pipeline protocols the oldest staged message
+    // must match first (FIFO pairing).
+    for (const i64 delta : {i64{-1}, i64{0}, i64{1}}) {
+      const i64 want = static_cast<i64>(slot) + delta;
+      if (want < static_cast<i64>(first_slot_)) continue;
+      const u64 index = static_cast<u64>(want) - first_slot_;
+      if (index >= slots_.size()) continue;
+      auto& items = slots_[static_cast<size_t>(index)].items;
+      for (auto it = items.begin(); it != items.end(); ++it) {
+        if (match(*it)) {
+          T claimed = std::move(*it);
+          items.erase(it);
+          return claimed;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Evict everything (end-of-run flush), oldest slots first.
+  void flush(const EvictFn& evict) {
+    for (auto& slot : slots_) {
+      for (auto& item : slot.items) evict(std::move(item));
+      slot.items.clear();
+    }
+    slots_.clear();
+  }
+
+ private:
+  struct Slot {
+    std::vector<T> items;
+  };
+
+  void advance_to(u64 slot, const EvictFn& evict) {
+    if (slots_.empty()) {
+      first_slot_ = slot >= slot_count_ - 1 ? slot - (slot_count_ - 1) : 0;
+      slots_.resize(static_cast<size_t>(slot - first_slot_) + 1);
+      return;
+    }
+    const u64 last_slot = first_slot_ + slots_.size() - 1;
+    if (slot <= last_slot) return;
+    // Grow forward, evicting slots that fall off the back of the horizon.
+    for (u64 s = last_slot + 1; s <= slot; ++s) {
+      slots_.emplace_back();
+      if (slots_.size() > slot_count_) {
+        for (auto& item : slots_.front().items) evict(std::move(item));
+        slots_.pop_front();
+        ++first_slot_;
+      }
+    }
+  }
+
+  DurationNs slot_duration_;
+  size_t slot_count_;
+  u64 first_slot_ = 0;
+  std::deque<Slot> slots_;
+};
+
+}  // namespace deepflow

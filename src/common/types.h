@@ -1,0 +1,50 @@
+// Fundamental integer aliases and identifier types shared by every DeepFlow
+// module. Kept deliberately minimal: wider domain types live with the module
+// that owns them (e.g. Span in agent/, syscall ABIs in kernelsim/).
+#pragma once
+
+#include <cstdint>
+
+namespace deepflow {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Nanoseconds since the start of a simulation run (simulated clock domain)
+/// or since an arbitrary epoch (real clock domain). The two domains are never
+/// mixed: simulation data structures carry simulated time, micro-benchmarks
+/// measure real time.
+using TimestampNs = u64;
+/// A duration in nanoseconds.
+using DurationNs = u64;
+
+constexpr DurationNs kMicrosecond = 1'000;
+constexpr DurationNs kMillisecond = 1'000'000;
+constexpr DurationNs kSecond = 1'000'000'000;
+
+/// Process id inside the simulated kernel.
+using Pid = u32;
+/// Thread id inside the simulated kernel (globally unique, not per-process).
+using Tid = u32;
+/// Coroutine id for goroutine-style runtimes (0 = not a coroutine).
+using CoroutineId = u64;
+/// Globally unique socket identifier assigned by the tracing plane.
+/// The paper calls this "the DeepFlow-assigned global unique socket ID".
+using SocketId = u64;
+/// TCP sequence number (32-bit wrap-around semantics as on the wire).
+using TcpSeq = u32;
+/// Global systrace id assigned during intra-component association (§3.3.2).
+using SystraceId = u64;
+/// Pseudo-thread id: equals Tid for plain threads, or a synthetic id derived
+/// from coroutine ancestry for coroutine runtimes (§3.3.1).
+using PseudoThreadId = u64;
+
+constexpr SystraceId kInvalidSystraceId = 0;
+
+}  // namespace deepflow

@@ -1,0 +1,97 @@
+#include "core/deployment.h"
+
+#include "otelsim/tracer.h"
+
+namespace deepflow::core {
+
+Deployment::Deployment(netsim::Cluster* cluster, DeploymentConfig config)
+    : cluster_(cluster),
+      config_(config),
+      server_(&cluster->registry(), config.server) {}
+
+bool Deployment::deploy() {
+  if (deployed_) return true;
+  agent::AgentConfig agent_config = config_.agent;
+  agent_config.enable_nic_capture = config_.capture_devices;
+
+  for (const netsim::NodeId node : cluster_->nodes()) {
+    kernelsim::Kernel* kernel = cluster_->kernel_of(node);
+    auto a = std::make_unique<agent::Agent>(
+        kernel, &cluster_->registry(), agent_config,
+        [this](agent::Span&& span) { server_.ingest(std::move(span)); });
+    if (config_.forward_stragglers) {
+      const std::string host = kernel->hostname();
+      a->set_straggler_sink([this, host](agent::MessageData&& message) {
+        server_.ingest_straggler(host, std::move(message));
+      });
+    }
+
+    // This node's devices; fabric-shared devices (node_id 0, e.g. the ToR
+    // mirror port of Appendix A) are handled by the first node's agent.
+    std::vector<netsim::Device*> devices;
+    if (config_.capture_devices) {
+      const bool first_node = node == cluster_->nodes().front();
+      for (const auto& device : cluster_->fabric().devices()) {
+        if (device->node_id == node ||
+            (first_node && device->node_id == 0)) {
+          devices.push_back(device.get());
+        }
+      }
+    }
+    if (!a->deploy(devices)) {
+      error_ = a->error();
+      return false;
+    }
+    agents_.push_back(std::move(a));
+  }
+  deployed_ = true;
+  return true;
+}
+
+void Deployment::undeploy() {
+  for (auto& a : agents_) a->undeploy();
+  agents_.clear();
+  deployed_ = false;
+}
+
+size_t Deployment::poll() {
+  size_t n = 0;
+  for (auto& a : agents_) n += a->poll();
+  return n;
+}
+
+void Deployment::finish() {
+  for (auto& a : agents_) a->finish();
+  server_.finalize();
+  // Metric integration (§3.4): flow and device counters become queryable
+  // alongside the traces they correlate with.
+  for (const auto& [tuple, metrics] : cluster_->fabric().flows()) {
+    server_.ingest_flow_metrics(tuple, metrics);
+  }
+  for (const auto& device : cluster_->fabric().devices()) {
+    server_.ingest_device_metrics(device->name, device->metrics);
+  }
+}
+
+otelsim::ExportSink Deployment::third_party_sink() {
+  return [this](agent::Span&& span) {
+    server_.ingest_third_party(std::move(span));
+  };
+}
+
+agent::AgentStats Deployment::aggregate_stats() const {
+  agent::AgentStats total;
+  for (const auto& a : agents_) {
+    const agent::AgentStats s = a->stats();
+    total.syscall_records += s.syscall_records;
+    total.packet_records += s.packet_records;
+    total.spans_emitted += s.spans_emitted;
+    total.unparseable_messages += s.unparseable_messages;
+    total.perf_lost += s.perf_lost;
+    total.matched_sessions += s.matched_sessions;
+    total.expired_requests += s.expired_requests;
+  }
+  return total;
+}
+
+}  // namespace deepflow::core

@@ -1,0 +1,76 @@
+// deepflow::core::Deployment — the out-of-the-box entry point (Figure 4):
+// one Agent per node, one cluster-level Server, wired together. Deploying
+// requires zero changes to any monitored workload; it can be attached to a
+// cluster that is already serving traffic ("on-the-fly", §4.1.1) and
+// detached again.
+//
+//   netsim::Cluster cluster;                 // or a workloads::Topology
+//   ...build apps...
+//   core::Deployment deepflow(&cluster);
+//   deepflow.deploy();
+//   ...run traffic...
+//   deepflow.finish();
+//   auto spans = deepflow.server().query_span_list(t0, t1);
+//   auto trace = deepflow.server().query_trace(spans[0].span_id);
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "agent/agent.h"
+#include "netsim/cluster.h"
+#include "otelsim/tracer.h"
+#include "server/server.h"
+
+namespace deepflow::core {
+
+struct DeploymentConfig {
+  agent::AgentConfig agent;
+  server::ServerConfig server;
+  /// Attach cBPF/AF_PACKET capture to every infrastructure device (pod
+  /// veths, vswitches, pNICs, the ToR) — the full network-coverage mode.
+  bool capture_devices = true;
+  /// Upload out-of-window messages to the server for re-aggregation
+  /// (§3.3.1) instead of emitting them as incomplete sessions at the agent.
+  bool forward_stragglers = true;
+};
+
+class Deployment {
+ public:
+  explicit Deployment(netsim::Cluster* cluster, DeploymentConfig config = {});
+
+  /// Attach an agent to every node. Returns false (with error()) if any
+  /// collection program fails verification.
+  bool deploy();
+
+  /// Detach all agents (on-demand monitoring can stop at any time).
+  void undeploy();
+
+  /// Drain all agents' perf buffers once.
+  size_t poll();
+
+  /// End of run: drain everything, flush aggregation windows, and upload
+  /// network metrics (per-flow and per-device) to the server.
+  void finish();
+
+  server::DeepFlowServer& server() { return server_; }
+  const server::DeepFlowServer& server() const { return server_; }
+
+  /// Export sink for third-party (OpenTelemetry) tracers: spans flow into
+  /// the same store and participate in trace assembly.
+  otelsim::ExportSink third_party_sink();
+
+  agent::AgentStats aggregate_stats() const;
+  const std::string& error() const { return error_; }
+  size_t agent_count() const { return agents_.size(); }
+
+ private:
+  netsim::Cluster* cluster_;
+  DeploymentConfig config_;
+  server::DeepFlowServer server_;
+  std::vector<std::unique_ptr<agent::Agent>> agents_;
+  std::string error_;
+  bool deployed_ = false;
+};
+
+}  // namespace deepflow::core

@@ -1,0 +1,96 @@
+// Fixed-layout event records emitted by BPF collection programs into the
+// perf buffer. These are the wire format between "kernel space" and the
+// DeepFlow agent's user-space pipeline, so they are PODs with bounded
+// inline storage (a BPF program cannot allocate).
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <string_view>
+
+#include "common/five_tuple.h"
+#include "common/types.h"
+#include "kernelsim/syscall_abi.h"
+#include "netsim/device.h"
+
+namespace deepflow::ebpf {
+
+constexpr size_t kCommLen = 16;     // TASK_COMM_LEN
+constexpr size_t kPayloadLen = 256; // bounded payload snapshot
+
+/// One completed traced syscall: enter and exit information already merged
+/// kernel-side via the (pid, tid) hash map (paper §3.3.1, phase one).
+struct SyscallEventRecord {
+  // Program information.
+  Pid pid = 0;
+  Tid tid = 0;
+  CoroutineId coroutine_id = 0;
+  char comm[kCommLen] = {};
+
+  // Network information.
+  SocketId socket_id = 0;
+  FiveTuple tuple;
+  TcpSeq tcp_seq = 0;
+
+  // Tracing information.
+  TimestampNs enter_ts = 0;
+  TimestampNs exit_ts = 0;
+  kernelsim::Direction direction = kernelsim::Direction::kIngress;
+  u32 cpu = 0;  // CPU that emitted the record (drain order ≠ event order)
+
+  // Syscall information.
+  kernelsim::SyscallAbi abi = kernelsim::SyscallAbi::kRead;
+  u64 total_bytes = 0;
+  u16 payload_len = 0;
+  char payload[kPayloadLen] = {};
+  bool is_first_of_message = true;
+
+  std::string_view payload_view() const {
+    return std::string_view(payload, payload_len);
+  }
+
+  void set_comm(std::string_view name) {
+    const size_t n = std::min(name.size(), kCommLen - 1);
+    std::memcpy(comm, name.data(), n);
+    comm[n] = '\0';
+  }
+
+  void set_payload(std::string_view bytes) {
+    payload_len = static_cast<u16>(std::min(bytes.size(), kPayloadLen));
+    std::memcpy(payload, bytes.data(), payload_len);
+  }
+};
+
+/// One packet observation from a cBPF/AF_PACKET tap on a network device —
+/// the raw material of DeepFlow's network (device-level) spans.
+struct PacketEventRecord {
+  u32 device_id = 0;
+  netsim::DeviceKind device_kind = netsim::DeviceKind::kVeth;
+  char device_name[32] = {};
+  u32 node_id = 0;
+  FiveTuple tuple;
+  TcpSeq tcp_seq = 0;
+  u64 total_bytes = 0;
+  TimestampNs timestamp = 0;
+  u32 cpu = 0;  // CPU the capture ran on (drain order != event order)
+  bool is_retransmission = false;
+  u16 payload_len = 0;
+  char payload[kPayloadLen] = {};
+
+  std::string_view payload_view() const {
+    return std::string_view(payload, payload_len);
+  }
+
+  void set_device_name(std::string_view name) {
+    const size_t n = std::min(name.size(), sizeof(device_name) - 1);
+    std::memcpy(device_name, name.data(), n);
+    device_name[n] = '\0';
+  }
+
+  void set_payload(std::string_view bytes) {
+    payload_len = static_cast<u16>(std::min(bytes.size(), kPayloadLen));
+    std::memcpy(payload, bytes.data(), payload_len);
+  }
+};
+
+}  // namespace deepflow::ebpf

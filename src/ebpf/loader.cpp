@@ -1,0 +1,74 @@
+#include "ebpf/loader.h"
+
+namespace deepflow::ebpf {
+
+namespace {
+kernelsim::HookType hook_type_for(ProgramType type) {
+  switch (type) {
+    case ProgramType::kKprobe: return kernelsim::HookType::kKprobe;
+    case ProgramType::kKretprobe: return kernelsim::HookType::kKretprobe;
+    case ProgramType::kTracepoint: return kernelsim::HookType::kTracepointEnter;
+    case ProgramType::kTracepointExit:
+      return kernelsim::HookType::kTracepointExit;
+    case ProgramType::kUprobe: return kernelsim::HookType::kUprobe;
+    case ProgramType::kUretprobe: return kernelsim::HookType::kUretprobe;
+    case ProgramType::kSocketFilter: break;
+  }
+  return kernelsim::HookType::kKprobe;
+}
+}  // namespace
+
+LoadResult Loader::load_syscall(Program program, kernelsim::SyscallAbi abi) {
+  const VerifyResult vr = verifier_.verify(program);
+  if (!vr.ok) return {false, vr.reason, {}};
+  if (program.spec.type == ProgramType::kSocketFilter ||
+      program.spec.type == ProgramType::kUprobe ||
+      program.spec.type == ProgramType::kUretprobe) {
+    return {false, "program type cannot attach to a syscall", {}};
+  }
+  const kernelsim::HookId hook_id = kernel_->hooks().attach_syscall(
+      hook_type_for(program.spec.type), abi, std::move(program.on_hook));
+  const u64 link_id = next_link_id_++;
+  attached_.push_back({link_id, hook_id});
+  return {true, {}, Link{link_id, program.spec.name, program.spec.type}};
+}
+
+LoadResult Loader::load_uprobe(Program program, const std::string& symbol) {
+  const VerifyResult vr = verifier_.verify(program);
+  if (!vr.ok) return {false, vr.reason, {}};
+  if (program.spec.type != ProgramType::kUprobe &&
+      program.spec.type != ProgramType::kUretprobe) {
+    return {false, "not a uprobe program", {}};
+  }
+  const kernelsim::HookId hook_id = kernel_->hooks().attach_uprobe(
+      hook_type_for(program.spec.type), symbol, std::move(program.on_hook));
+  const u64 link_id = next_link_id_++;
+  attached_.push_back({link_id, hook_id});
+  return {true, {}, Link{link_id, program.spec.name, program.spec.type}};
+}
+
+LoadResult Loader::load_socket_filter(Program program,
+                                      netsim::Device* device) {
+  const VerifyResult vr = verifier_.verify(program);
+  if (!vr.ok) return {false, vr.reason, {}};
+  if (program.spec.type != ProgramType::kSocketFilter) {
+    return {false, "not a socket_filter program", {}};
+  }
+  if (device == nullptr) return {false, "null device", {}};
+  device->attach_tap(std::move(program.on_packet));
+  const u64 link_id = next_link_id_++;
+  attached_.push_back({link_id, 0});
+  return {true, {}, Link{link_id, program.spec.name, program.spec.type}};
+}
+
+void Loader::unload(const Link& link) {
+  for (auto it = attached_.begin(); it != attached_.end(); ++it) {
+    if (it->link_id == link.link_id) {
+      if (it->hook_id != 0) kernel_->hooks().detach(it->hook_id);
+      attached_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace deepflow::ebpf

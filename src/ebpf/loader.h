@@ -1,0 +1,70 @@
+// BPF program loader/attacher. Verifies, then binds programs to kernel hook
+// points or to device taps. Attachment is in-flight: monitored applications
+// are never restarted, recompiled, or redeployed (the paper's zero-code
+// deployment property).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.h"
+#include "ebpf/verifier.h"
+#include "kernelsim/kernel.h"
+#include "netsim/device.h"
+
+namespace deepflow::ebpf {
+
+/// A successfully attached program (bpf_link equivalent). Detach via
+/// Loader::unload; destruction does not auto-detach (links outlive the
+/// loader call scope in the agent).
+struct Link {
+  u64 link_id = 0;
+  std::string program_name;
+  ProgramType type = ProgramType::kKprobe;
+};
+
+/// Outcome of a load attempt.
+struct LoadResult {
+  bool ok = false;
+  std::string error;
+  Link link;
+};
+
+class Loader {
+ public:
+  explicit Loader(kernelsim::Kernel* kernel, VerifierLimits limits = {})
+      : kernel_(kernel), verifier_(limits) {}
+
+  /// Verify and attach a syscall-hook program to `abi`. kprobe/kretprobe and
+  /// tracepoint/tracepoint_exit map to the corresponding kernel hook types.
+  LoadResult load_syscall(Program program, kernelsim::SyscallAbi abi);
+
+  /// Verify and attach a uprobe/uretprobe program to a user-space symbol.
+  LoadResult load_uprobe(Program program, const std::string& symbol);
+
+  /// Verify and attach a socket-filter program to a device tap (the
+  /// cBPF/AF_PACKET path for NIC-side capture).
+  LoadResult load_socket_filter(Program program, netsim::Device* device);
+
+  /// Detach a previously attached program. Socket-filter links cannot be
+  /// detached in this emulation (device taps are append-only); hook links
+  /// are removed from the registry.
+  void unload(const Link& link);
+
+  const Verifier& verifier() const { return verifier_; }
+  size_t attached_count() const { return attached_.size(); }
+
+ private:
+  struct Attached {
+    u64 link_id;
+    kernelsim::HookId hook_id;  // 0 for socket filters
+  };
+
+  kernelsim::Kernel* kernel_;
+  Verifier verifier_;
+  std::vector<Attached> attached_;
+  u64 next_link_id_ = 1;
+};
+
+}  // namespace deepflow::ebpf

@@ -1,0 +1,105 @@
+// BPF map emulation. Real BPF maps have fixed maximum entry counts set at
+// load time and fail updates when full; collection logic must tolerate that
+// (a busy box can always out-pace a map). The agent's enter-parameter map
+// and socket-protocol map are built on these.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deepflow::ebpf {
+
+/// Counters every map keeps, mirroring bpftool's map statistics.
+struct MapStats {
+  u64 lookups = 0;
+  u64 hits = 0;
+  u64 updates = 0;
+  u64 deletes = 0;
+  u64 full_failures = 0;  // updates rejected because max_entries was reached
+};
+
+/// BPF_MAP_TYPE_HASH equivalent with bounded capacity.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class BpfHashMap {
+ public:
+  explicit BpfHashMap(size_t max_entries) : max_entries_(max_entries) {}
+
+  /// Insert or overwrite. Fails (returns false) when inserting a new key
+  /// into a full map — existing keys can always be updated in place.
+  bool update(const K& key, V value) {
+    ++stats_.updates;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second = std::move(value);
+      return true;
+    }
+    if (entries_.size() >= max_entries_) {
+      ++stats_.full_failures;
+      return false;
+    }
+    entries_.emplace(key, std::move(value));
+    return true;
+  }
+
+  std::optional<V> lookup(const K& key) const {
+    ++stats_.lookups;
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    ++stats_.hits;
+    return it->second;
+  }
+
+  /// Lookup and remove in one step — the agent's enter/exit merge uses this
+  /// (exit consumes the stored enter parameters).
+  std::optional<V> lookup_and_delete(const K& key) {
+    ++stats_.lookups;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    ++stats_.hits;
+    V value = std::move(it->second);
+    entries_.erase(it);
+    ++stats_.deletes;
+    return value;
+  }
+
+  bool erase(const K& key) {
+    const bool erased = entries_.erase(key) > 0;
+    if (erased) ++stats_.deletes;
+    return erased;
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t max_entries() const { return max_entries_; }
+  const MapStats& stats() const { return stats_; }
+
+ private:
+  size_t max_entries_;
+  std::unordered_map<K, V, Hash> entries_;
+  mutable MapStats stats_;
+};
+
+/// BPF_MAP_TYPE_ARRAY equivalent: fixed size, zero-initialized.
+template <typename V>
+class BpfArrayMap {
+ public:
+  explicit BpfArrayMap(size_t size) : values_(size) {}
+
+  V* lookup(size_t index) {
+    ++stats_.lookups;
+    if (index >= values_.size()) return nullptr;
+    ++stats_.hits;
+    return &values_[index];
+  }
+
+  size_t size() const { return values_.size(); }
+  const MapStats& stats() const { return stats_; }
+
+ private:
+  std::vector<V> values_;
+  mutable MapStats stats_;
+};
+
+}  // namespace deepflow::ebpf

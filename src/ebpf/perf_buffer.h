@@ -1,0 +1,72 @@
+// Perf event buffer: per-CPU rings carrying records from BPF programs to the
+// agent's user-space drain loop. Two properties of the real mechanism are
+// preserved because DeepFlow's design depends on them:
+//   1. per-CPU ordering only — the drain interleaves CPUs, so user space
+//      sees records out of global order (motivates the time-window array);
+//   2. bounded capacity — bursts overflow and events are lost, which the
+//      agent must surface rather than hide (bench_ablation_perfbuf).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/spsc_ring.h"
+#include "common/types.h"
+
+namespace deepflow::ebpf {
+
+template <typename Record>
+class PerfBuffer {
+ public:
+  PerfBuffer(u32 cpu_count, size_t per_cpu_capacity) {
+    rings_.reserve(cpu_count);
+    for (u32 i = 0; i < cpu_count; ++i) {
+      rings_.push_back(std::make_unique<SpscRing<Record>>(per_cpu_capacity));
+    }
+  }
+
+  u32 cpu_count() const { return static_cast<u32>(rings_.size()); }
+
+  /// Kernel side: submit a record from `cpu`. Returns false on overflow.
+  bool submit(u32 cpu, Record record) {
+    return rings_[cpu % rings_.size()]->push(std::move(record));
+  }
+
+  /// User side: drain up to `budget` records, round-robin across CPUs (the
+  /// interleaving that scrambles global order). Returns records drained.
+  template <typename Fn>
+  size_t drain(size_t budget, Fn&& consume) {
+    size_t drained = 0;
+    bool any = true;
+    while (drained < budget && any) {
+      any = false;
+      for (auto& ring : rings_) {
+        if (drained >= budget) break;
+        if (auto record = ring->pop()) {
+          consume(std::move(*record));
+          ++drained;
+          any = true;
+        }
+      }
+    }
+    return drained;
+  }
+
+  size_t pending() const {
+    size_t n = 0;
+    for (const auto& ring : rings_) n += ring->size();
+    return n;
+  }
+
+  /// Records lost to overflow across all CPUs.
+  u64 lost() const {
+    u64 n = 0;
+    for (const auto& ring : rings_) n += ring->dropped();
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SpscRing<Record>>> rings_;
+};
+
+}  // namespace deepflow::ebpf

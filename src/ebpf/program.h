@@ -1,0 +1,63 @@
+// BPF program model: a handler plus the metadata the verifier checks.
+// DeepFlow's stability story rests on the verifier — a rejected program
+// never attaches, and an attached program cannot crash the kernel — so the
+// runtime reproduces that contract: load() verifies first, and only
+// verified programs reach the hook registry.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernelsim/hook.h"
+#include "netsim/device.h"
+
+namespace deepflow::ebpf {
+
+/// Program types supported by the loader (subset of bpf_prog_type).
+enum class ProgramType : u8 {
+  kKprobe,
+  kKretprobe,
+  kTracepoint,       // sys_enter
+  kTracepointExit,   // sys_exit
+  kUprobe,
+  kUretprobe,
+  kSocketFilter,     // cBPF/AF_PACKET capture on a network device
+};
+
+std::string_view program_type_name(ProgramType type);
+
+/// Kernel helpers a program may call; the verifier enforces the per-type
+/// whitelist, as the real verifier does.
+enum class Helper : u8 {
+  kMapLookup,
+  kMapUpdate,
+  kMapDelete,
+  kPerfEventOutput,
+  kKtimeGetNs,
+  kGetCurrentPidTgid,
+  kGetCurrentComm,
+  kProbeRead,       // kprobe/uprobe family only
+  kSkbLoadBytes,    // socket filter only
+};
+
+/// Static properties of a program, declared by its author and checked by the
+/// verifier before attachment.
+struct ProgramSpec {
+  std::string name;
+  ProgramType type = ProgramType::kKprobe;
+  u32 instruction_count = 0;   // post-compilation size
+  u32 stack_bytes = 0;         // maximum stack usage
+  bool loops_bounded = true;   // all loops have verifier-provable bounds
+  std::vector<Helper> helpers;
+};
+
+/// A loadable program: spec + behavior. Syscall-hook programs receive the
+/// kernel HookContext; socket-filter programs receive the device TapContext.
+struct Program {
+  ProgramSpec spec;
+  kernelsim::HookHandler on_hook;                    // hook program types
+  std::function<void(const netsim::TapContext&)> on_packet;  // socket filter
+};
+
+}  // namespace deepflow::ebpf

@@ -1,0 +1,86 @@
+#include "ebpf/verifier.h"
+
+namespace deepflow::ebpf {
+
+std::string_view program_type_name(ProgramType type) {
+  switch (type) {
+    case ProgramType::kKprobe: return "kprobe";
+    case ProgramType::kKretprobe: return "kretprobe";
+    case ProgramType::kTracepoint: return "tracepoint";
+    case ProgramType::kTracepointExit: return "tracepoint_exit";
+    case ProgramType::kUprobe: return "uprobe";
+    case ProgramType::kUretprobe: return "uretprobe";
+    case ProgramType::kSocketFilter: return "socket_filter";
+  }
+  return "?";
+}
+
+bool Verifier::helper_allowed(ProgramType type, Helper helper) {
+  const bool is_probe = type != ProgramType::kSocketFilter;
+  switch (helper) {
+    case Helper::kMapLookup:
+    case Helper::kMapUpdate:
+    case Helper::kMapDelete:
+    case Helper::kPerfEventOutput:
+    case Helper::kKtimeGetNs:
+      return true;  // available to every supported type
+    case Helper::kGetCurrentPidTgid:
+    case Helper::kGetCurrentComm:
+    case Helper::kProbeRead:
+      // Process-context helpers: socket filters run in softirq context where
+      // "current" is meaningless — the real verifier rejects these there.
+      return is_probe;
+    case Helper::kSkbLoadBytes:
+      return type == ProgramType::kSocketFilter;
+  }
+  return false;
+}
+
+VerifyResult Verifier::verify(const Program& program) const {
+  const ProgramSpec& spec = program.spec;
+
+  if (spec.instruction_count == 0) {
+    ++rejected_;
+    return VerifyResult::reject("empty program: zero instructions");
+  }
+  if (spec.instruction_count > limits_.max_instructions) {
+    ++rejected_;
+    return VerifyResult::reject(
+        "program too large: " + std::to_string(spec.instruction_count) +
+        " insns > " + std::to_string(limits_.max_instructions));
+  }
+  if (spec.stack_bytes > limits_.max_stack_bytes) {
+    ++rejected_;
+    return VerifyResult::reject(
+        "stack overflow: " + std::to_string(spec.stack_bytes) + " bytes > " +
+        std::to_string(limits_.max_stack_bytes));
+  }
+  if (!spec.loops_bounded) {
+    ++rejected_;
+    return VerifyResult::reject("back-edge without provable bound");
+  }
+  for (const Helper helper : spec.helpers) {
+    if (!helper_allowed(spec.type, helper)) {
+      ++rejected_;
+      return VerifyResult::reject(
+          "helper not allowed for program type " +
+          std::string(program_type_name(spec.type)));
+    }
+  }
+  // Behavior must match type: hook programs need a hook handler, socket
+  // filters need a packet handler.
+  if (spec.type == ProgramType::kSocketFilter) {
+    if (!program.on_packet) {
+      ++rejected_;
+      return VerifyResult::reject("socket_filter without packet handler");
+    }
+  } else if (!program.on_hook) {
+    ++rejected_;
+    return VerifyResult::reject("hook program without hook handler");
+  }
+
+  ++verified_;
+  return VerifyResult::accept();
+}
+
+}  // namespace deepflow::ebpf

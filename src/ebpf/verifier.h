@@ -1,0 +1,46 @@
+// The eBPF verifier stand-in. Validates a program's declared static
+// properties against the kernel's limits before the loader may attach it.
+// A program that fails verification never runs — this is the mechanism that
+// lets DeepFlow promise "no kernel crashes" (§2.3.1).
+#pragma once
+
+#include <string>
+
+#include "ebpf/program.h"
+
+namespace deepflow::ebpf {
+
+struct VerifyResult {
+  bool ok = false;
+  std::string reason;  // empty on success
+
+  static VerifyResult accept() { return {true, {}}; }
+  static VerifyResult reject(std::string why) { return {false, std::move(why)}; }
+};
+
+/// Kernel limits enforced on every program.
+struct VerifierLimits {
+  u32 max_instructions = 4096;  // classic per-program cap
+  u32 max_stack_bytes = 512;
+};
+
+class Verifier {
+ public:
+  explicit Verifier(VerifierLimits limits = {}) : limits_(limits) {}
+
+  /// Run all checks; the first failed check rejects with its reason.
+  VerifyResult verify(const Program& program) const;
+
+  u64 verified_count() const { return verified_; }
+  u64 rejected_count() const { return rejected_; }
+
+ private:
+  /// True when `helper` is callable from programs of type `type`.
+  static bool helper_allowed(ProgramType type, Helper helper);
+
+  VerifierLimits limits_;
+  mutable u64 verified_ = 0;
+  mutable u64 rejected_ = 0;
+};
+
+}  // namespace deepflow::ebpf

@@ -1,0 +1,129 @@
+#include "kernelsim/hook.h"
+
+#include <algorithm>
+
+namespace deepflow::kernelsim {
+
+namespace {
+size_t abi_index(SyscallAbi abi) { return static_cast<size_t>(abi); }
+}  // namespace
+
+HookId HookRegistry::attach_syscall(HookType type, SyscallAbi abi,
+                                    HookHandler handler) {
+  auto& hooks = syscall_hooks_[abi_index(abi)];
+  const HookId id = next_id_++;
+  switch (type) {
+    case HookType::kKprobe:
+      hooks.kprobe.push_back({id, std::move(handler)});
+      break;
+    case HookType::kKretprobe:
+      hooks.kretprobe.push_back({id, std::move(handler)});
+      break;
+    case HookType::kTracepointEnter:
+      hooks.tp_enter.push_back({id, std::move(handler)});
+      break;
+    case HookType::kTracepointExit:
+      hooks.tp_exit.push_back({id, std::move(handler)});
+      break;
+    case HookType::kUprobe:
+    case HookType::kUretprobe:
+      // Uprobes target symbols, not syscalls; treat as programming error but
+      // stay noexcept-safe: register nothing.
+      return 0;
+  }
+  return id;
+}
+
+HookId HookRegistry::attach_uprobe(HookType type, std::string symbol,
+                                   HookHandler handler) {
+  if (type != HookType::kUprobe && type != HookType::kUretprobe) return 0;
+  auto it = std::find_if(uprobe_hooks_.begin(), uprobe_hooks_.end(),
+                         [&](const auto& p) { return p.first == symbol; });
+  if (it == uprobe_hooks_.end()) {
+    uprobe_hooks_.emplace_back(std::move(symbol), UprobeHooks{});
+    it = std::prev(uprobe_hooks_.end());
+  }
+  const HookId id = next_id_++;
+  auto& vec = type == HookType::kUprobe ? it->second.entry : it->second.exit;
+  vec.push_back({id, std::move(handler)});
+  return id;
+}
+
+void HookRegistry::detach(HookId id) {
+  auto erase_from = [id](std::vector<Entry>& entries) {
+    std::erase_if(entries, [id](const Entry& e) { return e.id == id; });
+  };
+  for (auto& hooks : syscall_hooks_) {
+    erase_from(hooks.kprobe);
+    erase_from(hooks.kretprobe);
+    erase_from(hooks.tp_enter);
+    erase_from(hooks.tp_exit);
+  }
+  for (auto& [symbol, hooks] : uprobe_hooks_) {
+    erase_from(hooks.entry);
+    erase_from(hooks.exit);
+  }
+}
+
+size_t HookRegistry::attached_count() const {
+  size_t n = 0;
+  for (const auto& hooks : syscall_hooks_) {
+    n += hooks.kprobe.size() + hooks.kretprobe.size() + hooks.tp_enter.size() +
+         hooks.tp_exit.size();
+  }
+  for (const auto& [symbol, hooks] : uprobe_hooks_) {
+    n += hooks.entry.size() + hooks.exit.size();
+  }
+  return n;
+}
+
+void HookRegistry::fire_all(const std::vector<Entry>& entries,
+                            const HookContext& ctx) {
+  for (const auto& entry : entries) entry.handler(ctx);
+}
+
+void HookRegistry::fire_syscall_enter(SyscallAbi abi,
+                                      const HookContext& ctx) const {
+  const auto& hooks = syscall_hooks_[abi_index(abi)];
+  fire_all(hooks.kprobe, ctx);
+  fire_all(hooks.tp_enter, ctx);
+}
+
+void HookRegistry::fire_syscall_exit(SyscallAbi abi,
+                                     const HookContext& ctx) const {
+  const auto& hooks = syscall_hooks_[abi_index(abi)];
+  fire_all(hooks.kretprobe, ctx);
+  fire_all(hooks.tp_exit, ctx);
+}
+
+void HookRegistry::fire_uprobe(const std::string& symbol,
+                               const HookContext& ctx) const {
+  for (const auto& [name, hooks] : uprobe_hooks_) {
+    if (name == symbol) fire_all(hooks.entry, ctx);
+  }
+}
+
+void HookRegistry::fire_uretprobe(const std::string& symbol,
+                                  const HookContext& ctx) const {
+  for (const auto& [name, hooks] : uprobe_hooks_) {
+    if (name == symbol) fire_all(hooks.exit, ctx);
+  }
+}
+
+bool HookRegistry::syscall_hooked(SyscallAbi abi) const {
+  const auto& hooks = syscall_hooks_[abi_index(abi)];
+  return !hooks.kprobe.empty() || !hooks.kretprobe.empty() ||
+         !hooks.tp_enter.empty() || !hooks.tp_exit.empty();
+}
+
+size_t HookRegistry::enter_handler_count(SyscallAbi abi) const {
+  const auto& hooks = syscall_hooks_[abi_index(abi)];
+  return hooks.kprobe.size() + hooks.tp_enter.size();
+}
+
+size_t HookRegistry::exit_handler_count(SyscallAbi abi) const {
+  const auto& hooks = syscall_hooks_[abi_index(abi)];
+  return hooks.kretprobe.size() + hooks.tp_exit.size();
+}
+
+}  // namespace deepflow::kernelsim

@@ -1,0 +1,126 @@
+// Hook points of the simulated kernel: the attachment surface that the eBPF
+// runtime (src/ebpf) binds programs to. Mirrors the real mechanisms DeepFlow
+// uses — kprobe/kretprobe and tracepoint sys_enter/sys_exit on the ten ABIs,
+// uprobe/uretprobe on user-space symbols (paper Figure 5).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/five_tuple.h"
+#include "common/types.h"
+#include "kernelsim/syscall_abi.h"
+
+namespace deepflow::kernelsim {
+
+/// Kind of kernel attachment point.
+enum class HookType : u8 {
+  kKprobe,      // fires at syscall entry
+  kKretprobe,   // fires at syscall exit
+  kTracepointEnter,  // raw_syscalls:sys_enter
+  kTracepointExit,   // raw_syscalls:sys_exit
+  kUprobe,      // user-space function entry (e.g. SSL_read)
+  kUretprobe,   // user-space function exit
+};
+
+constexpr std::string_view hook_type_name(HookType t) {
+  switch (t) {
+    case HookType::kKprobe: return "kprobe";
+    case HookType::kKretprobe: return "kretprobe";
+    case HookType::kTracepointEnter: return "tracepoint/sys_enter";
+    case HookType::kTracepointExit: return "tracepoint/sys_exit";
+    case HookType::kUprobe: return "uprobe";
+    case HookType::kUretprobe: return "uretprobe";
+  }
+  return "?";
+}
+
+/// Everything a hook handler can observe about one syscall crossing the
+/// kernel boundary. This is the paper's four information categories
+/// (§3.2.1): program info, network info, tracing info, syscall info.
+struct HookContext {
+  // -- Program information.
+  Pid pid = 0;
+  Tid tid = 0;
+  CoroutineId coroutine_id = 0;  // 0 when not running on a coroutine
+  std::string_view comm;         // process name
+
+  // -- Network information.
+  SocketId socket_id = 0;
+  FiveTuple tuple;
+  TcpSeq tcp_seq = 0;  // sequence at the first byte of this message
+
+  // -- Tracing information.
+  TimestampNs timestamp = 0;  // simulated time of this hook firing
+  Direction direction = Direction::kIngress;
+
+  // -- Syscall information.
+  SyscallAbi abi = SyscallAbi::kRead;
+  u64 total_bytes = 0;          // full read/write length
+  std::string_view payload;     // bounded snapshot available to the program
+  i64 return_value = 0;         // only meaningful on exit-side hooks
+  bool is_first_syscall_of_message = true;  // continuation reads/writes false
+};
+
+/// A registered hook program. Handlers run synchronously inside the
+/// simulated kernel, as real eBPF programs do.
+using HookHandler = std::function<void(const HookContext&)>;
+
+using HookId = u64;
+
+/// Registry of attachment points for one simulated kernel. Attach/detach are
+/// in-flight operations: no restart of monitored processes is needed, which
+/// is the zero-code property the paper leans on.
+class HookRegistry {
+ public:
+  /// Attach to a kernel syscall ABI hook. `type` must be one of the four
+  /// kernel hook types. Returns an id usable with detach().
+  HookId attach_syscall(HookType type, SyscallAbi abi, HookHandler handler);
+
+  /// Attach a uprobe/uretprobe to a user-space symbol (e.g. "SSL_read").
+  HookId attach_uprobe(HookType type, std::string symbol, HookHandler handler);
+
+  /// Remove a previously attached hook. Unknown ids are ignored.
+  void detach(HookId id);
+
+  /// Number of handlers currently attached (all types).
+  size_t attached_count() const;
+
+  // -- Kernel-side dispatch (called by Kernel, not by users). ------------
+
+  void fire_syscall_enter(SyscallAbi abi, const HookContext& ctx) const;
+  void fire_syscall_exit(SyscallAbi abi, const HookContext& ctx) const;
+  void fire_uprobe(const std::string& symbol, const HookContext& ctx) const;
+  void fire_uretprobe(const std::string& symbol, const HookContext& ctx) const;
+
+  /// True when any enter/exit handler is attached to `abi` — lets the kernel
+  /// skip snapshot work for untraced syscalls.
+  bool syscall_hooked(SyscallAbi abi) const;
+
+  /// Handlers attached to `abi` on the enter and exit side respectively —
+  /// the kernel uses these to model per-hook latency (Fig 13).
+  size_t enter_handler_count(SyscallAbi abi) const;
+  size_t exit_handler_count(SyscallAbi abi) const;
+
+ private:
+  struct Entry {
+    HookId id;
+    HookHandler handler;
+  };
+  struct SyscallHooks {
+    std::vector<Entry> kprobe, kretprobe, tp_enter, tp_exit;
+  };
+  struct UprobeHooks {
+    std::vector<Entry> entry, exit;
+  };
+
+  static void fire_all(const std::vector<Entry>& entries,
+                       const HookContext& ctx);
+
+  std::array<SyscallHooks, kSyscallAbiCount> syscall_hooks_{};
+  std::vector<std::pair<std::string, UprobeHooks>> uprobe_hooks_;
+  HookId next_id_ = 1;
+};
+
+}  // namespace deepflow::kernelsim

@@ -1,0 +1,213 @@
+#include "kernelsim/kernel.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace deepflow::kernelsim {
+
+SocketId Kernel::next_socket_id_ = 1;
+
+Kernel::Kernel(EventLoop& loop, std::string hostname, NetworkBackend* backend,
+               KernelConfig config)
+    : loop_(loop),
+      hostname_(std::move(hostname)),
+      backend_(backend),
+      config_(config) {}
+
+SocketId Kernel::open_socket(Pid pid, const FiveTuple& tuple, L4Proto proto,
+                             bool tls) {
+  const SocketId id = next_socket_id_++;
+  Socket sock;
+  sock.id = id;
+  sock.owner_pid = pid;
+  sock.tuple = tuple;
+  sock.proto = proto;
+  sock.tls = tls;
+  // Derive a deterministic per-connection ISN so sequences from different
+  // connections do not collide even at equal byte offsets.
+  sock.send_seq = static_cast<TcpSeq>(mix64(tuple.hash() ^ id));
+  sock.recv_seq = 0;  // learned from the first inbound message
+  sockets_.emplace(id, sock);
+  return id;
+}
+
+void Kernel::close_socket(SocketId id) {
+  if (auto it = sockets_.find(id); it != sockets_.end()) {
+    it->second.open = false;
+  }
+}
+
+Socket* Kernel::socket(SocketId id) {
+  const auto it = sockets_.find(id);
+  return it == sockets_.end() ? nullptr : &it->second;
+}
+
+const Socket* Kernel::socket(SocketId id) const {
+  const auto it = sockets_.find(id);
+  return it == sockets_.end() ? nullptr : &it->second;
+}
+
+std::string_view Kernel::snapshot_of(const std::string& payload) const {
+  return std::string_view(payload).substr(
+      0, std::min(payload.size(), config_.payload_snapshot_len));
+}
+
+std::string Kernel::ciphertext_of(const std::string& plaintext) {
+  // Not cryptography — just an opaque, non-parseable byte pattern with the
+  // same length, which is all the tracing plane can observe post-encryption.
+  std::string out(plaintext.size(), '\0');
+  u64 state = fnv1a(std::string_view(plaintext).substr(
+      0, std::min<size_t>(16, plaintext.size())));
+  for (size_t i = 0; i < out.size(); ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    out[i] = static_cast<char>((state >> 33) | 0x80);  // high bit: non-ASCII
+  }
+  return out;
+}
+
+HookContext Kernel::make_context(Tid tid, const Socket& sock, SyscallAbi abi,
+                                 Direction dir, TcpSeq seq, u64 bytes,
+                                 std::string_view snapshot, TimestampNs ts,
+                                 bool first_of_message) const {
+  HookContext ctx;
+  const Thread* thread = tasks_.thread(tid);
+  ctx.pid = thread != nullptr ? thread->pid : 0;
+  ctx.tid = tid;
+  ctx.coroutine_id = thread != nullptr ? thread->running_coroutine : 0;
+  if (const Process* proc = tasks_.process(ctx.pid)) ctx.comm = proc->comm;
+  ctx.socket_id = sock.id;
+  ctx.tuple = dir == Direction::kEgress ? sock.tuple : sock.tuple.reversed();
+  ctx.tcp_seq = seq;
+  ctx.timestamp = ts;
+  ctx.direction = dir;
+  ctx.abi = abi;
+  ctx.total_bytes = bytes;
+  ctx.payload = snapshot;
+  ctx.is_first_syscall_of_message = first_of_message;
+  return ctx;
+}
+
+DurationNs Kernel::instrumentation_latency(SyscallAbi abi) const {
+  // Approximation of the measured per-hook costs: kprobes and tracepoints
+  // carry different fixed costs; we charge the mean of the two classes per
+  // attached handler. Uprobe ABIs pay the trap cost per crossing.
+  const size_t handlers =
+      hooks_.enter_handler_count(abi) + hooks_.exit_handler_count(abi);
+  if (handlers == 0) return 0;
+  const DurationNs per_handler = is_kernel_abi(abi)
+                                     ? (config_.kprobe_overhead_ns +
+                                        config_.tracepoint_overhead_ns) /
+                                           2
+                                     : config_.uprobe_overhead_ns;
+  return per_handler * handlers;
+}
+
+SyscallOutcome Kernel::sys_send(Tid tid, SocketId socket_id,
+                                std::string payload, SyscallAbi abi,
+                                TimestampNs at, bool first_of_message) {
+  Socket* sock = socket(socket_id);
+  if (sock == nullptr || !sock->open) return {};
+  ++syscall_count_;
+
+  const TcpSeq seq = sock->send_seq;
+  const u64 bytes = payload.size();
+  const DurationNs instr = instrumentation_latency(abi);
+  instr_cpu_total_ += instr;
+
+  const TimestampNs enter_ts = at;
+  const TimestampNs exit_ts = at + config_.syscall_base_ns + instr;
+
+  // TLS applications call SSL_write first; the uprobe observes plaintext.
+  std::string app_payload = std::move(payload);
+  std::string wire_payload;
+  if (sock->tls) {
+    HookContext ssl_ctx =
+        make_context(tid, *sock, SyscallAbi::kSslWrite, Direction::kEgress,
+                     seq, bytes, snapshot_of(app_payload), enter_ts,
+                     first_of_message);
+    hooks_.fire_uprobe("SSL_write", ssl_ctx);
+    ssl_ctx.timestamp = enter_ts + config_.ssl_base_ns;
+    hooks_.fire_uretprobe("SSL_write", ssl_ctx);
+    wire_payload = ciphertext_of(app_payload);
+  } else {
+    wire_payload = app_payload;
+  }
+
+  const std::string_view snapshot = snapshot_of(wire_payload);
+  HookContext enter = make_context(tid, *sock, abi, Direction::kEgress, seq,
+                                   bytes, snapshot, enter_ts,
+                                   first_of_message);
+  hooks_.fire_syscall_enter(abi, enter);
+
+  sock->send_seq += static_cast<TcpSeq>(bytes);
+
+  HookContext exit = enter;
+  exit.timestamp = exit_ts;
+  exit.return_value = static_cast<i64>(bytes);
+  hooks_.fire_syscall_exit(abi, exit);
+
+  // Build the wire message only after the hooks are done with the snapshot
+  // view: moving a short std::string relocates its SSO buffer and would
+  // invalidate the payload string_view the hook contexts hold.
+  WireMessage message;
+  message.from_socket = sock->id;
+  message.tuple = sock->tuple;
+  message.tcp_seq = seq;
+  message.total_bytes = bytes;
+  message.send_ts = exit_ts;
+  message.payload = std::move(wire_payload);
+  message.app_payload = std::move(app_payload);
+
+  if (backend_ != nullptr) {
+    backend_->transmit(*this, *sock, std::move(message));
+  }
+
+  return SyscallOutcome{enter_ts, exit_ts, seq, bytes};
+}
+
+SyscallOutcome Kernel::sys_recv(Tid tid, SocketId socket_id,
+                                const WireMessage& message, SyscallAbi abi,
+                                TimestampNs at, bool first_of_message) {
+  Socket* sock = socket(socket_id);
+  if (sock == nullptr || !sock->open) return {};
+  ++syscall_count_;
+
+  const u64 bytes = message.total_bytes;
+  const DurationNs instr = instrumentation_latency(abi);
+  instr_cpu_total_ += instr;
+
+  const TimestampNs enter_ts = at;
+  const TimestampNs exit_ts = at + config_.syscall_base_ns + instr;
+
+  sock->recv_seq = message.tcp_seq + static_cast<TcpSeq>(bytes);
+
+  const std::string_view snapshot = snapshot_of(message.payload);
+  HookContext enter = make_context(tid, *sock, abi, Direction::kIngress,
+                                   message.tcp_seq, bytes, snapshot, enter_ts,
+                                   first_of_message);
+  hooks_.fire_syscall_enter(abi, enter);
+
+  HookContext exit = enter;
+  exit.timestamp = exit_ts;
+  exit.return_value = static_cast<i64>(bytes);
+  hooks_.fire_syscall_exit(abi, exit);
+
+  // TLS applications decrypt after the kernel read; the SSL_read uprobes
+  // observe the recovered plaintext carried in message.app_payload.
+  if (sock->tls) {
+    HookContext ssl_ctx = enter;
+    ssl_ctx.abi = SyscallAbi::kSslRead;
+    ssl_ctx.payload = std::string_view(message.app_payload)
+                          .substr(0, std::min(message.app_payload.size(),
+                                              config_.payload_snapshot_len));
+    ssl_ctx.timestamp = exit_ts;
+    hooks_.fire_uprobe("SSL_read", ssl_ctx);
+    ssl_ctx.timestamp = exit_ts + config_.ssl_base_ns;
+    hooks_.fire_uretprobe("SSL_read", ssl_ctx);
+  }
+
+  return SyscallOutcome{enter_ts, exit_ts, message.tcp_seq, bytes};
+}
+
+}  // namespace deepflow::kernelsim

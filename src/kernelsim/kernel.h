@@ -1,0 +1,134 @@
+// The simulated per-node kernel: socket table, task table, hook registry and
+// the ten traced syscall ABIs. Workload components execute syscalls through
+// this class; every traced syscall fires enter/exit hooks exactly as the
+// real kernel fires kprobes/tracepoints for the DeepFlow agent.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/five_tuple.h"
+#include "common/sim_clock.h"
+#include "common/types.h"
+#include "kernelsim/hook.h"
+#include "kernelsim/socket.h"
+#include "kernelsim/task.h"
+
+namespace deepflow::kernelsim {
+
+class Kernel;
+
+/// Transport used by the kernel to hand an outbound message to the network
+/// fabric (implemented by netsim). The backend is responsible for latency,
+/// device taps, fault injection and final delivery to the peer kernel.
+class NetworkBackend {
+ public:
+  virtual ~NetworkBackend() = default;
+  virtual void transmit(Kernel& source, const Socket& socket,
+                        WireMessage message) = 0;
+};
+
+/// Tunable costs of the simulated syscall path. Defaults approximate the
+/// paper's Fig 13 measurements on the testbed hardware.
+struct KernelConfig {
+  /// Base in-kernel execution time of a traced data-movement syscall.
+  DurationNs syscall_base_ns = 2'000;
+  /// Added latency per attached kprobe/kretprobe handler.
+  DurationNs kprobe_overhead_ns = 250;
+  /// Added latency per attached tracepoint handler (slightly cheaper).
+  DurationNs tracepoint_overhead_ns = 200;
+  /// Added latency per uprobe/uretprobe crossing (trap into kernel).
+  DurationNs uprobe_overhead_ns = 420;
+  /// Intrinsic cost of the user-space TLS read/write function itself.
+  DurationNs ssl_base_ns = 6'153;
+  /// Bytes of payload snapshotted for hook handlers (BPF bounded copy).
+  size_t payload_snapshot_len = 256;
+};
+
+/// Result of one simulated syscall: the enter/exit timestamps bracketing the
+/// in-kernel execution plus the sequence the message occupied.
+struct SyscallOutcome {
+  TimestampNs enter_ts = 0;
+  TimestampNs exit_ts = 0;
+  TcpSeq tcp_seq = 0;
+  u64 bytes = 0;
+};
+
+class Kernel {
+ public:
+  /// `hostname` identifies the node for tagging; `backend` may be null for
+  /// kernels used in loopback-only tests.
+  Kernel(EventLoop& loop, std::string hostname, NetworkBackend* backend,
+         KernelConfig config = {});
+
+  const std::string& hostname() const { return hostname_; }
+  EventLoop& loop() { return loop_; }
+  TaskManager& tasks() { return tasks_; }
+  const TaskManager& tasks() const { return tasks_; }
+  HookRegistry& hooks() { return hooks_; }
+  const KernelConfig& config() const { return config_; }
+
+  // -- Socket lifecycle. --------------------------------------------------
+
+  /// Open a socket owned by `pid` with the given local-perspective tuple.
+  /// Socket ids are unique across every Kernel in the process, mirroring
+  /// DeepFlow's globally unique socket id.
+  SocketId open_socket(Pid pid, const FiveTuple& tuple,
+                       L4Proto proto = L4Proto::kTcp, bool tls = false);
+  void close_socket(SocketId id);
+  Socket* socket(SocketId id);
+  const Socket* socket(SocketId id) const;
+
+  // -- Traced syscalls. ----------------------------------------------------
+
+  /// Execute an egress syscall on thread `tid` at simulated time `at`:
+  /// fires enter hooks, advances the send sequence, hands the wire message
+  /// to the network backend (delivery scheduled at exit time), fires exit
+  /// hooks. `first_of_message` distinguishes the initial syscall of a
+  /// message from continuation writes (DeepFlow only processes the first).
+  SyscallOutcome sys_send(Tid tid, SocketId socket_id, std::string payload,
+                          SyscallAbi abi, TimestampNs at,
+                          bool first_of_message = true);
+
+  /// Execute an ingress syscall consuming a delivered message. Called by the
+  /// workload engine when the component's thread picks the message up.
+  SyscallOutcome sys_recv(Tid tid, SocketId socket_id,
+                          const WireMessage& message, SyscallAbi abi,
+                          TimestampNs at, bool first_of_message = true);
+
+  /// Latency the current instrumentation adds to one `abi` syscall
+  /// (enter+exit hook handlers). Used by benches and by the workload CPU
+  /// model: attached tracing literally consumes node CPU.
+  DurationNs instrumentation_latency(SyscallAbi abi) const;
+
+  /// Total CPU-time consumed by instrumentation so far on this kernel.
+  DurationNs instrumentation_cpu_total() const { return instr_cpu_total_; }
+
+  /// Count of traced syscalls executed (both directions).
+  u64 syscall_count() const { return syscall_count_; }
+
+ private:
+  HookContext make_context(Tid tid, const Socket& sock, SyscallAbi abi,
+                           Direction dir, TcpSeq seq, u64 bytes,
+                           std::string_view snapshot, TimestampNs ts,
+                           bool first_of_message) const;
+  std::string_view snapshot_of(const std::string& payload) const;
+  /// Scrambled view of a TLS payload as kernel hooks would see it.
+  static std::string ciphertext_of(const std::string& plaintext);
+
+  EventLoop& loop_;
+  std::string hostname_;
+  NetworkBackend* backend_;
+  KernelConfig config_;
+  TaskManager tasks_;
+  HookRegistry hooks_;
+  std::unordered_map<SocketId, Socket> sockets_;
+  DurationNs instr_cpu_total_ = 0;
+  u64 syscall_count_ = 0;
+
+  static SocketId next_socket_id_;  // process-wide uniqueness
+};
+
+}  // namespace deepflow::kernelsim

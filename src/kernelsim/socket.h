@@ -1,0 +1,46 @@
+// Socket table entries of the simulated kernel. Each socket carries the
+// per-direction TCP sequence counters that DeepFlow records at capture time
+// and later uses for inter-component association (network forwarding never
+// rewrites the sequence, §3.3.2).
+#pragma once
+
+#include <string>
+
+#include "common/five_tuple.h"
+#include "common/types.h"
+
+namespace deepflow::kernelsim {
+
+struct Socket {
+  SocketId id = 0;          // globally unique across all simulated kernels
+  Pid owner_pid = 0;
+  FiveTuple tuple;          // local perspective: src = this host's endpoint
+  L4Proto proto = L4Proto::kTcp;
+  /// Sequence number of the next byte this side will send. Initialized to a
+  /// per-connection ISN so that distinct connections never collide.
+  TcpSeq send_seq = 0;
+  /// Next expected inbound sequence (peer's send_seq mirror).
+  TcpSeq recv_seq = 0;
+  /// When true the application encrypts via the simulated TLS library:
+  /// kernel-side hooks observe ciphertext and only the SSL_read/SSL_write
+  /// uprobes see plaintext.
+  bool tls = false;
+  bool open = true;
+};
+
+/// A message crossing the simulated wire. Carries everything a capture point
+/// (kernel hook or device tap) can observe.
+struct WireMessage {
+  SocketId from_socket = 0;
+  FiveTuple tuple;        // direction of travel: src = sender
+  TcpSeq tcp_seq = 0;     // sequence of the first payload byte
+  std::string payload;    // bytes on the wire (ciphertext if TLS)
+  /// Plaintext as seen by the application above the TLS library. Equals
+  /// `payload` for non-TLS flows. Kernel hooks and device taps never see
+  /// this; only the SSL_read/SSL_write uprobes (and the receiving app) do.
+  std::string app_payload;
+  u64 total_bytes = 0;
+  TimestampNs send_ts = 0;
+};
+
+}  // namespace deepflow::kernelsim

@@ -1,0 +1,97 @@
+// The ten instrumented syscall ABIs of DeepFlow's narrow-waist model
+// (paper Table 3) plus the user-space extension points (uprobes on TLS
+// read/write). These cover every data-communication pattern between
+// microservice components — blocking or non-blocking, synchronous or
+// asynchronous — independent of application logic and protocol.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace deepflow::kernelsim {
+
+/// Direction of a data-movement ABI as classified by the tracing plane.
+/// Note (§3.2.1): ingress/egress does NOT map 1:1 to request/response — a
+/// client's egress is a request while a server's egress is a response; the
+/// request/response inference happens later, in protocol parsing.
+enum class Direction : u8 { kIngress, kEgress };
+
+/// Instrumented ABIs. The first ten are the kernel syscalls of Table 3; the
+/// ssl_* entries are the uprobe extension points used to observe plaintext
+/// before TLS encryption (§3.2.1, "Instrumentation Extensions").
+enum class SyscallAbi : u8 {
+  // Ingress system calls.
+  kRecvMsg,
+  kRecvMmsg,
+  kReadV,
+  kRead,
+  kRecvFrom,
+  // Egress system calls.
+  kSendMsg,
+  kSendMmsg,
+  kWriteV,
+  kWrite,
+  kSendTo,
+  // User-space uprobe extension points.
+  kSslRead,
+  kSslWrite,
+};
+
+constexpr size_t kSyscallAbiCount = 12;
+constexpr size_t kKernelAbiCount = 10;
+
+constexpr std::array<SyscallAbi, 5> kIngressAbis = {
+    SyscallAbi::kRecvMsg, SyscallAbi::kRecvMmsg, SyscallAbi::kReadV,
+    SyscallAbi::kRead, SyscallAbi::kRecvFrom};
+
+constexpr std::array<SyscallAbi, 5> kEgressAbis = {
+    SyscallAbi::kSendMsg, SyscallAbi::kSendMmsg, SyscallAbi::kWriteV,
+    SyscallAbi::kWrite, SyscallAbi::kSendTo};
+
+constexpr Direction direction_of(SyscallAbi abi) {
+  switch (abi) {
+    case SyscallAbi::kRecvMsg:
+    case SyscallAbi::kRecvMmsg:
+    case SyscallAbi::kReadV:
+    case SyscallAbi::kRead:
+    case SyscallAbi::kRecvFrom:
+    case SyscallAbi::kSslRead:
+      return Direction::kIngress;
+    case SyscallAbi::kSendMsg:
+    case SyscallAbi::kSendMmsg:
+    case SyscallAbi::kWriteV:
+    case SyscallAbi::kWrite:
+    case SyscallAbi::kSendTo:
+    case SyscallAbi::kSslWrite:
+      return Direction::kEgress;
+  }
+  return Direction::kIngress;
+}
+
+/// True for the ten kernel syscalls (kprobe/tracepoint targets); false for
+/// the uprobe extension points.
+constexpr bool is_kernel_abi(SyscallAbi abi) {
+  return abi != SyscallAbi::kSslRead && abi != SyscallAbi::kSslWrite;
+}
+
+constexpr std::string_view abi_name(SyscallAbi abi) {
+  switch (abi) {
+    case SyscallAbi::kRecvMsg: return "recvmsg";
+    case SyscallAbi::kRecvMmsg: return "recvmmsg";
+    case SyscallAbi::kReadV: return "readv";
+    case SyscallAbi::kRead: return "read";
+    case SyscallAbi::kRecvFrom: return "recvfrom";
+    case SyscallAbi::kSendMsg: return "sendmsg";
+    case SyscallAbi::kSendMmsg: return "sendmmsg";
+    case SyscallAbi::kWriteV: return "writev";
+    case SyscallAbi::kWrite: return "write";
+    case SyscallAbi::kSendTo: return "sendto";
+    case SyscallAbi::kSslRead: return "ssl_read";
+    case SyscallAbi::kSslWrite: return "ssl_write";
+  }
+  return "?";
+}
+
+}  // namespace deepflow::kernelsim

@@ -1,0 +1,58 @@
+#include "kernelsim/task.h"
+
+namespace deepflow::kernelsim {
+
+Pid TaskManager::create_process(std::string comm) {
+  const Pid pid = next_pid_++;
+  processes_.emplace(pid, Process{pid, std::move(comm), {}});
+  return pid;
+}
+
+Tid TaskManager::create_thread(Pid pid) {
+  const Tid tid = next_tid_++;
+  threads_.emplace(tid, Thread{tid, pid, 0});
+  if (auto it = processes_.find(pid); it != processes_.end()) {
+    it->second.threads.push_back(tid);
+  }
+  return tid;
+}
+
+CoroutineId TaskManager::create_coroutine(Pid pid, CoroutineId parent) {
+  const CoroutineId id = next_coroutine_++;
+  coroutines_.emplace(id, Coroutine{id, parent, pid});
+  return id;
+}
+
+const Process* TaskManager::process(Pid pid) const {
+  const auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+const Thread* TaskManager::thread(Tid tid) const {
+  const auto it = threads_.find(tid);
+  return it == threads_.end() ? nullptr : &it->second;
+}
+
+const Coroutine* TaskManager::coroutine(CoroutineId id) const {
+  const auto it = coroutines_.find(id);
+  return it == coroutines_.end() ? nullptr : &it->second;
+}
+
+void TaskManager::set_running_coroutine(Tid tid, CoroutineId id) {
+  if (auto it = threads_.find(tid); it != threads_.end()) {
+    it->second.running_coroutine = id;
+  }
+}
+
+CoroutineId TaskManager::pseudo_thread_root(CoroutineId id) const {
+  // Walk the parent chain; bounded by creation depth, loop-free because
+  // parents always predate children.
+  CoroutineId current = id;
+  while (true) {
+    const Coroutine* c = coroutine(current);
+    if (c == nullptr || c->parent == 0) return current;
+    current = c->parent;
+  }
+}
+
+}  // namespace deepflow::kernelsim

@@ -1,0 +1,73 @@
+// Task model of the simulated kernel: processes, threads, and coroutines.
+//
+// Threads matter to DeepFlow because intra-component association hinges on
+// (pid, tid) pairs and on the observation that a thread processes one message
+// at a time (§3.3.1). Coroutines matter because goroutine-style runtimes
+// multiplex many logical flows onto few kernel threads; DeepFlow watches
+// coroutine creation to build a pseudo-thread structure that restores the
+// 1:1 mapping.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deepflow::kernelsim {
+
+struct Process {
+  Pid pid = 0;
+  std::string comm;              // executable name, e.g. "nginx"
+  std::vector<Tid> threads;
+};
+
+struct Thread {
+  Tid tid = 0;
+  Pid pid = 0;
+  CoroutineId running_coroutine = 0;  // 0 = plain thread execution
+};
+
+struct Coroutine {
+  CoroutineId id = 0;
+  CoroutineId parent = 0;  // 0 = root coroutine
+  Pid pid = 0;
+};
+
+/// Creation/lookup of tasks. Thread ids are globally unique (Linux-style
+/// global tid namespace) so (pid, tid) association never aliases.
+class TaskManager {
+ public:
+  Pid create_process(std::string comm);
+  Tid create_thread(Pid pid);
+  /// Create a coroutine owned by `pid`; `parent` is the spawning coroutine
+  /// (0 for a root coroutine, e.g. one started per accepted connection).
+  CoroutineId create_coroutine(Pid pid, CoroutineId parent = 0);
+
+  const Process* process(Pid pid) const;
+  const Thread* thread(Tid tid) const;
+  const Coroutine* coroutine(CoroutineId id) const;
+
+  /// Mark which coroutine a thread is currently running (0 = none). This is
+  /// what lets hook handlers see the coroutine id of a syscall.
+  void set_running_coroutine(Tid tid, CoroutineId id);
+
+  /// Root ancestor of a coroutine: the pseudo-thread id used to associate
+  /// spans that belong to one logical request flow even as it hops between
+  /// worker threads (paper: "parent-child coroutine relationship in a
+  /// pseudo-thread structure").
+  CoroutineId pseudo_thread_root(CoroutineId id) const;
+
+  size_t process_count() const { return processes_.size(); }
+  size_t thread_count() const { return threads_.size(); }
+
+ private:
+  std::unordered_map<Pid, Process> processes_;
+  std::unordered_map<Tid, Thread> threads_;
+  std::unordered_map<CoroutineId, Coroutine> coroutines_;
+  Pid next_pid_ = 100;
+  Tid next_tid_ = 1000;
+  CoroutineId next_coroutine_ = 1;
+};
+
+}  // namespace deepflow::kernelsim

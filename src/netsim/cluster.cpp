@@ -1,0 +1,119 @@
+#include "netsim/cluster.h"
+
+namespace deepflow::netsim {
+
+Cluster::Cluster(u64 seed, kernelsim::KernelConfig kernel_config)
+    : fabric_(loop_, seed), kernel_config_(kernel_config) {}
+
+NodeId Cluster::add_node(const std::string& name) {
+  if (vpc_ == 0) {
+    vpc_ = registry_.create_vpc("vpc-default");
+    tor_ = fabric_.create_device(DeviceKind::kTorSwitch, "tor-1", 0,
+                                 /*base_latency_ns=*/5'000);
+  }
+  const NodeId id = registry_.create_node(vpc_, name);
+  auto infra = std::make_unique<NodeInfra>();
+  infra->id = id;
+  infra->kernel =
+      std::make_unique<kernelsim::Kernel>(loop_, name, &fabric_, kernel_config_);
+  infra->vswitch = fabric_.create_device(DeviceKind::kVSwitch,
+                                         name + "/vswitch", id, 8'000);
+  infra->pnic =
+      fabric_.create_device(DeviceKind::kPhysicalNic, name + "/pnic", id, 4'000);
+  // Node IP: 192.168.0.<node>
+  registry_.register_node_ip(id, Ipv4{(192u << 24) | (168u << 16) | id});
+  node_ids_.push_back(id);
+  node_infra_.push_back(std::move(infra));
+  return id;
+}
+
+Cluster::NodeInfra* Cluster::infra_of(NodeId node) {
+  for (auto& infra : node_infra_) {
+    if (infra->id == node) return infra.get();
+  }
+  return nullptr;
+}
+
+kernelsim::Kernel* Cluster::kernel_of(NodeId node) {
+  NodeInfra* infra = infra_of(node);
+  return infra != nullptr ? infra->kernel.get() : nullptr;
+}
+
+Device* Cluster::vswitch_of(NodeId node) {
+  NodeInfra* infra = infra_of(node);
+  return infra != nullptr ? infra->vswitch : nullptr;
+}
+
+Device* Cluster::pnic_of(NodeId node) {
+  NodeInfra* infra = infra_of(node);
+  return infra != nullptr ? infra->pnic : nullptr;
+}
+
+ServiceId Cluster::add_service(const std::string& name) {
+  if (vpc_ == 0) add_node("node-auto-1");
+  return registry_.create_service(vpc_, name);
+}
+
+PodHandle Cluster::add_pod(NodeId node, const std::string& name,
+                           const std::string& comm, ServiceId service,
+                           std::vector<Label> labels) {
+  NodeInfra* infra = infra_of(node);
+  if (infra == nullptr) return {};
+  // Pod IP: 10.0.<node>.<pod-index>
+  const Ipv4 ip{(10u << 24) | (node << 8) | ++infra->pod_index};
+  const PodId pod =
+      registry_.create_pod(node, name, ip, service, std::move(labels));
+  PodHandle handle;
+  handle.pod = pod;
+  handle.node = node;
+  handle.ip = ip;
+  handle.kernel = infra->kernel.get();
+  handle.pid = infra->kernel->tasks().create_process(comm);
+  handle.veth = fabric_.create_device(DeviceKind::kVeth, name + "/veth", node,
+                                      2'000);
+  return handle;
+}
+
+ConnectionHandle Cluster::connect(const PodHandle& client,
+                                  const PodHandle& server, u16 server_port,
+                                  bool tls, std::vector<Device*> extra_middle) {
+  const u16 client_port = next_ephemeral_port_++;
+  FiveTuple tuple{client.ip, server.ip, client_port, server_port,
+                  L4Proto::kTcp};
+
+  const SocketId client_sock =
+      client.kernel->open_socket(client.pid, tuple, L4Proto::kTcp, tls);
+  const SocketId server_sock = server.kernel->open_socket(
+      server.pid, tuple.reversed(), L4Proto::kTcp, tls);
+
+  // Build the client -> server device path.
+  std::vector<Device*> path;
+  path.push_back(client.veth);
+  NodeInfra* client_infra = infra_of(client.node);
+  NodeInfra* server_infra = infra_of(server.node);
+  if (client.node == server.node) {
+    path.push_back(client_infra->vswitch);
+    for (Device* d : extra_middle) path.push_back(d);
+  } else {
+    path.push_back(client_infra->vswitch);
+    path.push_back(client_infra->pnic);
+    for (Device* d : extra_middle) path.push_back(d);
+    path.push_back(tor_);
+    path.push_back(server_infra->pnic);
+    path.push_back(server_infra->vswitch);
+  }
+  path.push_back(server.veth);
+
+  fabric_.register_connection(client.kernel, client_sock, server.kernel,
+                              server_sock, std::move(path));
+
+  ConnectionHandle handle;
+  handle.client_socket = client_sock;
+  handle.server_socket = server_sock;
+  handle.client_kernel = client.kernel;
+  handle.server_kernel = server.kernel;
+  handle.tuple = tuple;
+  return handle;
+}
+
+}  // namespace deepflow::netsim

@@ -1,0 +1,92 @@
+// Cluster builder: assembles kernels, devices, resources and the fabric into
+// a Kubernetes-like testbed. This is the "three-node cluster with standard
+// configurations" of the paper's §5 evaluation, in simulator form.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "kernelsim/kernel.h"
+#include "netsim/fabric.h"
+#include "netsim/resource.h"
+
+namespace deepflow::netsim {
+
+/// A pod plus the simulated process backing it.
+struct PodHandle {
+  PodId pod = 0;
+  NodeId node = 0;
+  Ipv4 ip;
+  kernelsim::Kernel* kernel = nullptr;
+  Pid pid = 0;
+  Device* veth = nullptr;
+};
+
+/// One established connection (socket pair) between two pods.
+struct ConnectionHandle {
+  SocketId client_socket = 0;
+  SocketId server_socket = 0;
+  kernelsim::Kernel* client_kernel = nullptr;
+  kernelsim::Kernel* server_kernel = nullptr;
+  FiveTuple tuple;  // client perspective
+};
+
+class Cluster {
+ public:
+  explicit Cluster(u64 seed = 42, kernelsim::KernelConfig kernel_config = {});
+
+  EventLoop& loop() { return loop_; }
+  Fabric& fabric() { return fabric_; }
+  ResourceRegistry& registry() { return registry_; }
+
+  /// Add a node (creating a default VPC on first use). Each node gets its
+  /// own kernel, a vswitch and a physical NIC; all nodes share one ToR.
+  NodeId add_node(const std::string& name);
+
+  /// Add a pod on `node` running a process named `comm`.
+  PodHandle add_pod(NodeId node, const std::string& name,
+                    const std::string& comm, ServiceId service = 0,
+                    std::vector<Label> labels = {});
+
+  ServiceId add_service(const std::string& name);
+
+  /// Establish a TCP connection from `client` to `server`:`server_port`.
+  /// The device path is derived from placement (same-node traffic stays on
+  /// the vswitch; cross-node traffic crosses pNICs and the ToR). Extra
+  /// devices (gateways, middleware) are spliced into the middle of the path.
+  ConnectionHandle connect(const PodHandle& client, const PodHandle& server,
+                           u16 server_port, bool tls = false,
+                           std::vector<Device*> extra_middle = {});
+
+  kernelsim::Kernel* kernel_of(NodeId node);
+  Device* vswitch_of(NodeId node);
+  Device* pnic_of(NodeId node);
+  Device* tor() { return tor_; }
+
+  const std::vector<NodeId>& nodes() const { return node_ids_; }
+
+ private:
+  struct NodeInfra {
+    NodeId id = 0;
+    std::unique_ptr<kernelsim::Kernel> kernel;
+    Device* vswitch = nullptr;
+    Device* pnic = nullptr;
+    u8 pod_index = 0;
+  };
+
+  NodeInfra* infra_of(NodeId node);
+
+  EventLoop loop_;
+  Fabric fabric_;
+  ResourceRegistry registry_;
+  kernelsim::KernelConfig kernel_config_;
+  VpcId vpc_ = 0;
+  Device* tor_ = nullptr;
+  std::vector<std::unique_ptr<NodeInfra>> node_infra_;
+  std::vector<NodeId> node_ids_;
+  u16 next_ephemeral_port_ = 40'000;
+};
+
+}  // namespace deepflow::netsim

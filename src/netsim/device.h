@@ -1,0 +1,83 @@
+// Network infrastructure devices: the hops a message traverses between two
+// microservice components. DeepFlow eliminates network blind spots by
+// capturing traffic at these hops (cBPF/AF_PACKET taps, paper §3.2.1 and
+// Appendix A); the fault injector reproduces the anomaly sources of Fig 2(b).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "kernelsim/socket.h"
+
+namespace deepflow::netsim {
+
+/// Where in the infrastructure a device sits. Mirrors Fig 2(b)'s breakdown
+/// of network-side anomaly sources.
+enum class DeviceKind : u8 {
+  kVeth,        // pod-side virtual ethernet
+  kVirtualNic,  // VM / node virtual NIC
+  kVSwitch,     // virtual switch (OVS-style)
+  kPhysicalNic,
+  kTorSwitch,   // top-of-rack
+  kL4Gateway,   // load balancer that forwards without touching TCP seq
+  kL7Gateway,   // proxy that terminates connections (e.g. ingress)
+  kMiddleware,  // message queue / broker appliance
+};
+
+std::string_view device_kind_name(DeviceKind kind);
+
+/// Fault configuration of one device (all off by default). The injector
+/// reproduces the production anomaly classes: latency spikes, packet loss
+/// (surfacing as TCP retransmissions), connection resets, and the ARP-storm
+/// NIC defect of case study §4.1.2.
+struct FaultProfile {
+  DurationNs extra_latency_ns = 0;   // added to every traversal
+  double drop_probability = 0.0;     // each traversal; drop => retransmit
+  double reset_probability = 0.0;    // each traversal; RST both ends
+  bool arp_anomaly = false;          // emits spurious ARP on new flows
+  DurationNs retransmit_timeout_ns = 200 * kMillisecond;
+};
+
+/// Monotonic counters maintained per device. The agent exports these as the
+/// network metrics correlated with traces (§3.4, case study §4.1.3).
+struct DeviceMetrics {
+  u64 packets = 0;
+  u64 bytes = 0;
+  u64 retransmissions = 0;
+  u64 resets = 0;
+  u64 arp_requests = 0;  // gratuitous/spurious ARP observed
+  DurationNs total_transit_ns = 0;  // sum of per-packet transit times
+};
+
+/// What a capture tap observes when a message traverses a device.
+struct TapContext {
+  const struct Device* device = nullptr;
+  const kernelsim::WireMessage* message = nullptr;
+  TimestampNs timestamp = 0;    // when the message passed this device
+  bool is_retransmission = false;
+};
+
+/// AF_PACKET-style capture callback; attached by the eBPF runtime's socket
+/// filter (cBPF) programs.
+using PacketTap = std::function<void(const TapContext&)>;
+
+struct Device {
+  u32 id = 0;
+  DeviceKind kind = DeviceKind::kVeth;
+  std::string name;           // e.g. "node-1/eth0"
+  u32 node_id = 0;            // owning node (0 for shared fabric devices)
+  DurationNs base_latency_ns = 20'000;  // one-way traversal latency
+  FaultProfile fault;
+  DeviceMetrics metrics;
+  std::vector<PacketTap> taps;
+
+  void attach_tap(PacketTap tap) { taps.push_back(std::move(tap)); }
+
+  void fire_taps(const TapContext& ctx) const {
+    for (const auto& tap : taps) tap(ctx);
+  }
+};
+
+}  // namespace deepflow::netsim

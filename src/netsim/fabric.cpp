@@ -1,0 +1,170 @@
+#include "netsim/fabric.h"
+
+#include "common/logging.h"
+
+namespace deepflow::netsim {
+
+std::string_view device_kind_name(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kVeth: return "veth";
+    case DeviceKind::kVirtualNic: return "vnic";
+    case DeviceKind::kVSwitch: return "vswitch";
+    case DeviceKind::kPhysicalNic: return "pnic";
+    case DeviceKind::kTorSwitch: return "tor";
+    case DeviceKind::kL4Gateway: return "l4-gw";
+    case DeviceKind::kL7Gateway: return "l7-gw";
+    case DeviceKind::kMiddleware: return "middleware";
+  }
+  return "?";
+}
+
+Fabric::Fabric(EventLoop& loop, u64 seed) : loop_(loop), rng_(seed) {}
+
+Device* Fabric::create_device(DeviceKind kind, std::string name, u32 node_id,
+                              DurationNs base_latency_ns) {
+  auto device = std::make_unique<Device>();
+  device->id = next_device_id_++;
+  device->kind = kind;
+  device->name = std::move(name);
+  device->node_id = node_id;
+  device->base_latency_ns = base_latency_ns;
+  devices_.push_back(std::move(device));
+  return devices_.back().get();
+}
+
+void Fabric::register_connection(kernelsim::Kernel* kernel_a, SocketId a,
+                                 kernelsim::Kernel* kernel_b, SocketId b,
+                                 std::vector<Device*> path) {
+  std::vector<Device*> reversed(path.rbegin(), path.rend());
+  routes_[a] = Route{kernel_b, b, kernel_a, std::move(path)};
+  routes_[b] = Route{kernel_a, a, kernel_b, std::move(reversed)};
+}
+
+void Fabric::set_delivery_handler(SocketId socket, DeliveryHandler handler) {
+  delivery_[socket] = std::move(handler);
+}
+
+void Fabric::set_reset_handler(SocketId socket, ResetHandler handler) {
+  reset_[socket] = std::move(handler);
+}
+
+void Fabric::transmit(kernelsim::Kernel& source,
+                      const kernelsim::Socket& socket,
+                      kernelsim::WireMessage message) {
+  const auto route_it = routes_.find(socket.id);
+  if (route_it == routes_.end()) {
+    DF_LOG_WARN("fabric: no route for socket %llu, message dropped",
+                static_cast<unsigned long long>(socket.id));
+    return;
+  }
+  const Route& route = route_it->second;
+  (void)source;
+
+  const FiveTuple canonical = message.tuple.canonical();
+  FlowMetrics& flow = flows_[canonical];
+  const bool new_flow = !flow_seen_[canonical];
+  flow_seen_[canonical] = true;
+
+  // Shared ownership: the message outlives this call inside scheduled tap
+  // and delivery events.
+  auto shared = std::make_shared<kernelsim::WireMessage>(std::move(message));
+
+  TimestampNs cursor = shared->send_ts;
+  bool retransmitted = false;
+  bool reset = false;
+
+  for (Device* device : route.path) {
+    cursor += device->base_latency_ns + device->fault.extra_latency_ns;
+
+    // New-flow ARP bookkeeping: every L2-adjacent device resolves the next
+    // hop once per flow; a faulty NIC (case §4.1.2) storms extra requests.
+    if (new_flow) {
+      device->metrics.arp_requests += device->fault.arp_anomaly ? 4 : 1;
+    }
+
+    if (device->fault.reset_probability > 0.0 &&
+        rng_.chance(device->fault.reset_probability)) {
+      device->metrics.resets += 1;
+      flow.resets += 1;
+      ++reset_count_;
+      reset = true;
+      const TimestampNs reset_ts = cursor;
+      // Notify both endpoints and close the sockets.
+      kernelsim::Kernel* local = route.local_kernel;
+      kernelsim::Kernel* peer = route.peer_kernel;
+      const SocketId local_sock = socket.id;
+      const SocketId peer_sock = route.peer_socket;
+      loop_.schedule_at(reset_ts, [this, local, peer, local_sock, peer_sock,
+                                   reset_ts] {
+        if (local != nullptr) local->close_socket(local_sock);
+        if (peer != nullptr) peer->close_socket(peer_sock);
+        if (const auto h = reset_.find(local_sock); h != reset_.end()) {
+          h->second(reset_ts);
+        }
+        if (const auto h = reset_.find(peer_sock); h != reset_.end()) {
+          h->second(reset_ts);
+        }
+      });
+      break;
+    }
+
+    bool hop_retransmit = false;
+    if (device->fault.drop_probability > 0.0 &&
+        rng_.chance(device->fault.drop_probability)) {
+      // The dropped segment is recovered by the sender's RTO: charge the
+      // timeout to the delivery latency and count the retransmission.
+      device->metrics.retransmissions += 1;
+      flow.retransmissions += 1;
+      cursor += device->fault.retransmit_timeout_ns;
+      hop_retransmit = true;
+      retransmitted = true;
+    }
+
+    device->metrics.packets += 1;
+    device->metrics.bytes += shared->total_bytes;
+    device->metrics.total_transit_ns +=
+        device->base_latency_ns + device->fault.extra_latency_ns;
+
+    // Fire this device's taps at the traversal instant.
+    Device* captured_device = device;
+    const TimestampNs tap_ts = cursor;
+    const bool tap_retx = hop_retransmit;
+    loop_.schedule_at(tap_ts, [captured_device, shared, tap_ts, tap_retx] {
+      TapContext ctx;
+      ctx.device = captured_device;
+      ctx.message = shared.get();
+      ctx.timestamp = tap_ts;
+      ctx.is_retransmission = tap_retx;
+      captured_device->fire_taps(ctx);
+    });
+  }
+
+  if (reset) return;
+
+  flow.packets += 1;
+  flow.bytes += shared->total_bytes;
+  flow.rtt_sum += cursor - shared->send_ts;
+  flow.rtt_samples += 1;
+  if (retransmitted) {
+    // RTO inflation is visible in the flow's transit statistics.
+  }
+
+  const SocketId dest = route.peer_socket;
+  const TimestampNs arrive_ts = cursor;
+  loop_.schedule_at(arrive_ts, [this, dest, shared, arrive_ts] {
+    ++delivered_count_;
+    if (const auto h = delivery_.find(dest); h != delivery_.end()) {
+      h->second(*shared, arrive_ts);
+    } else {
+      DF_LOG_WARN("fabric: no delivery handler for socket %llu",
+                  static_cast<unsigned long long>(dest));
+    }
+  });
+}
+
+const FlowMetrics& Fabric::flow_metrics(const FiveTuple& tuple) const {
+  const auto it = flows_.find(tuple.canonical());
+  return it == flows_.end() ? zero_flow_ : it->second;
+}
+
+}  // namespace deepflow::netsim

@@ -1,0 +1,106 @@
+// The network fabric: implements kernelsim::NetworkBackend, moving wire
+// messages between kernels across chains of devices with per-hop latency,
+// capture taps, fault injection, and per-flow metric accounting.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/five_tuple.h"
+#include "common/rand.h"
+#include "common/sim_clock.h"
+#include "kernelsim/kernel.h"
+#include "netsim/device.h"
+
+namespace deepflow::netsim {
+
+/// Per-flow (canonical five-tuple) counters, the flow-granular network
+/// metrics DeepFlow attaches to traces via tags.
+struct FlowMetrics {
+  u64 packets = 0;
+  u64 bytes = 0;
+  u64 retransmissions = 0;
+  u64 resets = 0;
+  DurationNs rtt_sum = 0;   // sum of one-way transit times (proxy for RTT/2)
+  u64 rtt_samples = 0;
+
+  DurationNs avg_transit() const {
+    return rtt_samples ? rtt_sum / rtt_samples : 0;
+  }
+};
+
+/// Delivered-message callback registered by the receiving side's workload
+/// engine: (message, arrival time).
+using DeliveryHandler =
+    std::function<void(const kernelsim::WireMessage&, TimestampNs)>;
+/// Connection-reset callback: (timestamp).
+using ResetHandler = std::function<void(TimestampNs)>;
+
+class Fabric : public kernelsim::NetworkBackend {
+ public:
+  explicit Fabric(EventLoop& loop, u64 seed = 42);
+
+  /// Create a device owned by the fabric; the pointer stays valid for the
+  /// fabric's lifetime.
+  Device* create_device(DeviceKind kind, std::string name, u32 node_id = 0,
+                        DurationNs base_latency_ns = 20'000);
+
+  /// Register a bidirectional connection between two sockets. `path` lists
+  /// the devices traversed from `a` to `b`; the reverse direction uses the
+  /// reversed path. Both sockets must already exist in their kernels.
+  void register_connection(kernelsim::Kernel* kernel_a, SocketId a,
+                           kernelsim::Kernel* kernel_b, SocketId b,
+                           std::vector<Device*> path);
+
+  /// Install the receiving-side handler for messages arriving at `socket`.
+  void set_delivery_handler(SocketId socket, DeliveryHandler handler);
+  /// Install a handler invoked when a fault resets the connection under
+  /// `socket` (both ends are notified and the sockets are closed).
+  void set_reset_handler(SocketId socket, ResetHandler handler);
+
+  // kernelsim::NetworkBackend:
+  void transmit(kernelsim::Kernel& source, const kernelsim::Socket& socket,
+                kernelsim::WireMessage message) override;
+
+  /// Flow metrics for the canonical form of `tuple` (zeroed record if the
+  /// flow has never carried traffic).
+  const FlowMetrics& flow_metrics(const FiveTuple& tuple) const;
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  /// All per-flow metric records (canonical tuple -> counters).
+  const std::unordered_map<FiveTuple, FlowMetrics, FiveTupleHash>& flows()
+      const {
+    return flows_;
+  }
+
+  /// Total messages transmitted end-to-end (excluding resets).
+  u64 delivered_count() const { return delivered_count_; }
+  u64 reset_count() const { return reset_count_; }
+
+ private:
+  struct Route {
+    kernelsim::Kernel* peer_kernel = nullptr;
+    SocketId peer_socket = 0;
+    kernelsim::Kernel* local_kernel = nullptr;
+    std::vector<Device*> path;  // in travel order for this direction
+  };
+
+  EventLoop& loop_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<SocketId, Route> routes_;  // keyed by sending socket
+  std::unordered_map<SocketId, DeliveryHandler> delivery_;
+  std::unordered_map<SocketId, ResetHandler> reset_;
+  std::unordered_map<FiveTuple, FlowMetrics, FiveTupleHash> flows_;
+  std::unordered_map<FiveTuple, bool, FiveTupleHash> flow_seen_;  // ARP bookkeeping
+  FlowMetrics zero_flow_;
+  u64 delivered_count_ = 0;
+  u64 reset_count_ = 0;
+  u32 next_device_id_ = 1;
+};
+
+}  // namespace deepflow::netsim

@@ -1,0 +1,106 @@
+#include "netsim/resource.h"
+
+namespace deepflow::netsim {
+
+VpcId ResourceRegistry::create_vpc(std::string name, std::string region) {
+  const VpcId id = next_vpc_++;
+  vpcs_.emplace(id, Vpc{std::move(name), std::move(region)});
+  return id;
+}
+
+NodeId ResourceRegistry::create_node(VpcId vpc, std::string name,
+                                     std::string az) {
+  const NodeId id = next_node_++;
+  nodes_.emplace(id, Node{vpc, std::move(name), std::move(az)});
+  return id;
+}
+
+PodId ResourceRegistry::create_pod(NodeId node, std::string name, Ipv4 ip,
+                                   ServiceId service,
+                                   std::vector<Label> labels) {
+  const PodId id = next_pod_++;
+  pods_.emplace(id, Pod{node, std::move(name), ip, service, std::move(labels)});
+  ip_to_pod_.emplace(ip.addr, id);
+  return id;
+}
+
+ServiceId ResourceRegistry::create_service(VpcId vpc, std::string name) {
+  const ServiceId id = next_service_++;
+  services_.emplace(id, Service{vpc, std::move(name)});
+  return id;
+}
+
+void ResourceRegistry::register_node_ip(NodeId node, Ipv4 ip) {
+  ip_to_node_.emplace(ip.addr, node);
+}
+
+ResourceInfo ResourceRegistry::resolve(Ipv4 ip) const {
+  ResourceInfo info;
+  NodeId node_id = 0;
+  if (const auto pod_it = ip_to_pod_.find(ip.addr); pod_it != ip_to_pod_.end()) {
+    const Pod& pod = pods_.at(pod_it->second);
+    info.pod = pod_it->second;
+    info.pod_name = pod.name;
+    info.service = pod.service;
+    info.custom_labels = pod.labels;
+    node_id = pod.node;
+    if (pod.service != 0) {
+      if (const auto svc = services_.find(pod.service); svc != services_.end()) {
+        info.service_name = svc->second.name;
+      }
+    }
+  } else if (const auto node_it = ip_to_node_.find(ip.addr);
+             node_it != ip_to_node_.end()) {
+    node_id = node_it->second;
+  }
+  if (node_id != 0) {
+    const auto node_it = nodes_.find(node_id);
+    if (node_it != nodes_.end()) {
+      info.node = node_id;
+      info.node_name = node_it->second.name;
+      info.availability_zone = node_it->second.az;
+      if (const auto vpc = vpcs_.find(node_it->second.vpc); vpc != vpcs_.end()) {
+        info.vpc = node_it->second.vpc;
+        info.vpc_name = vpc->second.name;
+        info.region = vpc->second.region;
+      }
+    }
+  }
+  return info;
+}
+
+const std::string& ResourceRegistry::vpc_name(VpcId id) const {
+  const auto it = vpcs_.find(id);
+  return it == vpcs_.end() ? empty_ : it->second.name;
+}
+
+const std::string& ResourceRegistry::node_name(NodeId id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? empty_ : it->second.name;
+}
+
+const std::string& ResourceRegistry::pod_name(PodId id) const {
+  const auto it = pods_.find(id);
+  return it == pods_.end() ? empty_ : it->second.name;
+}
+
+const std::string& ResourceRegistry::service_name(ServiceId id) const {
+  const auto it = services_.find(id);
+  return it == services_.end() ? empty_ : it->second.name;
+}
+
+std::vector<PodId> ResourceRegistry::pods_of_service(ServiceId service) const {
+  std::vector<PodId> out;
+  for (const auto& [id, pod] : pods_) {
+    if (pod.service == service) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<Ipv4> ResourceRegistry::pod_ip(PodId pod) const {
+  const auto it = pods_.find(pod);
+  if (it == pods_.end()) return std::nullopt;
+  return it->second.ip;
+}
+
+}  // namespace deepflow::netsim

@@ -1,0 +1,116 @@
+// Cluster resource model: VPCs, nodes, pods, services, and their tags.
+//
+// This stands in for the Kubernetes API server and the cloud provider's
+// resource inventory. The resource registry resolves an IP (plus VPC) to the
+// full resource identity — exactly the lookup DeepFlow's smart-encoding
+// performs server-side when it expands integer VPC/IP tags into integer
+// resource tags (§3.4, Figure 8).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/five_tuple.h"
+#include "common/types.h"
+
+namespace deepflow::netsim {
+
+using VpcId = u32;
+using NodeId = u32;
+using PodId = u32;
+using ServiceId = u32;
+
+/// One key=value label, e.g. K8s "version"="v2" or cloud "region"="east-1".
+struct Label {
+  std::string key;
+  std::string value;
+
+  bool operator==(const Label&) const = default;
+};
+
+/// Full identity of an IP endpoint as known to the control plane.
+struct ResourceInfo {
+  VpcId vpc = 0;
+  NodeId node = 0;
+  PodId pod = 0;          // 0 when the IP is a bare node/VM address
+  ServiceId service = 0;  // 0 when not behind a Service
+  std::string vpc_name;
+  std::string node_name;
+  std::string pod_name;
+  std::string service_name;
+  std::string region;
+  std::string availability_zone;
+  std::vector<Label> custom_labels;  // user self-defined labels
+};
+
+/// Authoritative registry of cluster resources, queried by agents (tag
+/// collection phase) and by the server (smart-encoding expansion phase).
+class ResourceRegistry {
+ public:
+  VpcId create_vpc(std::string name, std::string region = "region-1");
+  NodeId create_node(VpcId vpc, std::string name,
+                     std::string availability_zone = "az-1");
+  PodId create_pod(NodeId node, std::string name, Ipv4 ip,
+                   ServiceId service = 0,
+                   std::vector<Label> labels = {});
+  ServiceId create_service(VpcId vpc, std::string name);
+
+  /// Register a bare (non-pod) address, e.g. a node IP or gateway VIP.
+  void register_node_ip(NodeId node, Ipv4 ip);
+
+  /// Resolve an IP to its resource identity. Unknown IPs resolve to an
+  /// empty-identity record (all ids zero) rather than failing: production
+  /// traffic routinely includes external endpoints.
+  ResourceInfo resolve(Ipv4 ip) const;
+
+  /// Name lookups for rendering; empty string for unknown ids.
+  const std::string& vpc_name(VpcId id) const;
+  const std::string& node_name(NodeId id) const;
+  const std::string& pod_name(PodId id) const;
+  const std::string& service_name(ServiceId id) const;
+
+  size_t pod_count() const { return pods_.size(); }
+  size_t node_count() const { return nodes_.size(); }
+
+  /// All pods of a service, for load-balancer style fan-out in workloads.
+  std::vector<PodId> pods_of_service(ServiceId service) const;
+  std::optional<Ipv4> pod_ip(PodId pod) const;
+
+ private:
+  struct Vpc {
+    std::string name;
+    std::string region;
+  };
+  struct Node {
+    VpcId vpc = 0;
+    std::string name;
+    std::string az;
+  };
+  struct Pod {
+    NodeId node = 0;
+    std::string name;
+    Ipv4 ip;
+    ServiceId service = 0;
+    std::vector<Label> labels;
+  };
+  struct Service {
+    VpcId vpc = 0;
+    std::string name;
+  };
+
+  std::unordered_map<VpcId, Vpc> vpcs_;
+  std::unordered_map<NodeId, Node> nodes_;
+  std::unordered_map<PodId, Pod> pods_;
+  std::unordered_map<ServiceId, Service> services_;
+  std::unordered_map<u32, PodId> ip_to_pod_;     // keyed by Ipv4::addr
+  std::unordered_map<u32, NodeId> ip_to_node_;
+  VpcId next_vpc_ = 1;
+  NodeId next_node_ = 1;
+  PodId next_pod_ = 1;
+  ServiceId next_service_ = 1;
+  std::string empty_;
+};
+
+}  // namespace deepflow::netsim

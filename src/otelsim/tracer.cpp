@@ -1,0 +1,94 @@
+#include "otelsim/tracer.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace deepflow::otelsim {
+
+Tracer::Tracer(std::string service_name, std::string host, Pid pid,
+               ExportSink sink, TracerConfig config)
+    : service_name_(std::move(service_name)),
+      host_(std::move(host)),
+      pid_(pid),
+      sink_(std::move(sink)),
+      config_(config) {}
+
+namespace {
+std::string hex32(u64 hi, u64 lo) {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+}  // namespace
+
+ActiveSpan Tracer::start_span(const std::string& name,
+                              const std::string& inbound_traceparent,
+                              TimestampNs now) {
+  ActiveSpan span;
+  span.handle = next_span_id_;
+  span.span_id = next_span_id_++;
+  span.name = name;
+  span.start_ts = now;
+
+  const std::string inherited = trace_id_of(inbound_traceparent);
+  if (!inherited.empty()) {
+    span.trace_id = inherited;
+    // Parent span id: third hyphen-separated field.
+    // "00-<32 hex>-<16 hex>-01"
+    const size_t second_dash = inbound_traceparent.find('-', 3);
+    if (second_dash != std::string::npos) {
+      span.parent_span_id = std::strtoull(
+          inbound_traceparent.c_str() + second_dash + 1, nullptr, 16);
+    }
+  } else {
+    // Fresh trace: derive a unique id from service identity and sequence.
+    const u64 hi = fnv1a(service_name_) ^ fnv1a(host_);
+    span.trace_id = hex32(hi, mix64(next_trace_seq_++ * 0x9e37u + pid_));
+  }
+  return span;
+}
+
+std::string Tracer::inject(const ActiveSpan& span) const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "00-%s-%016llx-01", span.trace_id.c_str(),
+                static_cast<unsigned long long>(span.span_id));
+  return buf;
+}
+
+void Tracer::end_span(const ActiveSpan& span, TimestampNs now, bool ok,
+                      u32 status_code) {
+  agent::Span out;
+  out.span_id = 0;  // assigned at ingest by span-id policy below
+  out.kind = agent::SpanKind::kThirdParty;
+  out.otel_trace_id = span.trace_id;  // 32-hex trace id, the association key
+  out.host = host_;
+  out.pid = pid_;
+  out.start_ts = span.start_ts;
+  out.end_ts = now;
+  out.method = span.name;
+  out.endpoint = service_name_;
+  out.ok = ok;
+  out.status_code = status_code;
+  // Exported ids live in their own range (bit 48 set) and come from a
+  // process-wide counter so spans from different tracers never collide.
+  static std::atomic<u64> export_counter{1};
+  out.span_id =
+      (u64{1} << 48) | export_counter.fetch_add(1, std::memory_order_relaxed);
+  out.parent_span_id = 0;  // linked by the assembler via otel_trace_id
+  ++spans_exported_;
+  if (sink_) sink_(std::move(out));
+}
+
+std::string Tracer::trace_id_of(const std::string& traceparent) {
+  // "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex
+  if (traceparent.size() < 55 || traceparent.compare(0, 3, "00-") != 0) {
+    return {};
+  }
+  return traceparent.substr(3, 32);
+}
+
+}  // namespace deepflow::otelsim

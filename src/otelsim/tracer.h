@@ -1,0 +1,80 @@
+// Intrusive distributed-tracing SDK in the OpenTelemetry/Jaeger/Zipkin
+// style: explicit context propagation. The application code (here, the
+// workload engine acting as an instrumented app) starts/ends spans and
+// injects a W3C traceparent header into outgoing messages; the SDK links
+// spans through the propagated trace id and parent span id.
+//
+// Two roles in the reproduction:
+//   * the intrusive baseline for the Fig 16 end-to-end comparison (per-span
+//     SDK cost, fewer spans per trace than DeepFlow);
+//   * the source of third-party spans for DeepFlow's integration path
+//     (DeepFlow parses the reserved traceparent header, §3.3.2).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "agent/span.h"
+#include "common/types.h"
+
+namespace deepflow::otelsim {
+
+/// A started, not yet finished span.
+struct ActiveSpan {
+  u64 handle = 0;
+  std::string trace_id;   // 32 hex chars
+  u64 span_id = 0;
+  u64 parent_span_id = 0;
+  std::string name;
+  TimestampNs start_ts = 0;
+};
+
+/// Finished spans are exported as DeepFlow third-party spans so both the
+/// baseline backends and DeepFlow's integration path can consume them.
+using ExportSink = std::function<void(agent::Span&&)>;
+
+struct TracerConfig {
+  /// CPU consumed by the SDK per span (start+annotate+finish+report). This
+  /// is the instrumentation overhead intrusive frameworks charge the
+  /// application (Fig 16's Jaeger/Zipkin cost).
+  DurationNs cost_per_span_ns = 25'000;
+};
+
+class Tracer {
+ public:
+  Tracer(std::string service_name, std::string host, Pid pid,
+         ExportSink sink, TracerConfig config = {});
+
+  /// Begin a span. `inbound_traceparent` is the propagated context from the
+  /// incoming request ("" starts a new trace).
+  ActiveSpan start_span(const std::string& name,
+                        const std::string& inbound_traceparent,
+                        TimestampNs now);
+
+  /// W3C traceparent header value to inject into an outgoing request made
+  /// while `span` is active: "00-<trace-id>-<span-id>-01".
+  std::string inject(const ActiveSpan& span) const;
+
+  /// Finish and export the span.
+  void end_span(const ActiveSpan& span, TimestampNs now, bool ok = true,
+                u32 status_code = 0);
+
+  /// Parse the trace id out of a traceparent header ("" on malformed).
+  static std::string trace_id_of(const std::string& traceparent);
+
+  u64 spans_exported() const { return spans_exported_; }
+  const TracerConfig& config() const { return config_; }
+
+ private:
+  std::string service_name_;
+  std::string host_;
+  Pid pid_;
+  ExportSink sink_;
+  TracerConfig config_;
+  u64 next_span_id_ = 1;
+  u64 next_trace_seq_ = 1;
+  u64 spans_exported_ = 0;
+};
+
+}  // namespace deepflow::otelsim

@@ -1,0 +1,166 @@
+#include "protocols/amqp.h"
+
+#include "protocols/bytes.h"
+
+namespace deepflow::protocols {
+
+namespace {
+
+constexpr u8 kFrameMethod = 1;
+constexpr u8 kFrameEnd = 0xCE;
+constexpr u16 kClassConnection = 10;
+constexpr u16 kClassChannel = 20;
+constexpr u16 kClassBasic = 60;
+constexpr u16 kMethodBasicPublish = 40;
+constexpr u16 kMethodBasicDeliver = 60;
+constexpr u16 kMethodBasicAck = 80;
+constexpr u16 kMethodChannelClose = 40;
+
+std::string frame(u8 type, u16 channel, const std::string& body) {
+  BinaryWriter w;
+  w.write_u8(type);
+  w.write_u16(channel);
+  w.write_u32(static_cast<u32>(body.size()));
+  w.write_bytes(body);
+  w.write_u8(kFrameEnd);
+  return std::move(w).str();
+}
+
+/// Short string (u8 length + bytes), the AMQP shortstr type.
+void write_shortstr(BinaryWriter& w, std::string_view text) {
+  const size_t n = std::min<size_t>(text.size(), 255);
+  w.write_u8(static_cast<u8>(n));
+  w.write_bytes(text.substr(0, n));
+}
+
+}  // namespace
+
+bool AmqpParser::infer(std::string_view payload) const {
+  if (payload.starts_with("AMQP\x00\x00\x09\x01")) return true;
+  if (payload.size() < 8) return false;
+  BinaryReader r(payload);
+  const auto type = r.read_u8();
+  const auto channel = r.read_u16();
+  const auto size = r.read_u32();
+  if (!type || !channel || !size) return false;
+  // Method/header/body/heartbeat frames are types 1-4, 8.
+  if (*type != kFrameMethod && *type != 2 && *type != 3 && *type != 8) {
+    return false;
+  }
+  // Complete frames must carry the 0xCE end octet where declared; capture
+  // truncation is only plausible for large bodies.
+  const size_t frame_len = 7u + *size + 1u;
+  if (payload.size() == frame_len) {
+    return static_cast<u8>(payload[frame_len - 1]) == kFrameEnd;
+  }
+  return payload.size() < frame_len && payload.size() >= 250;
+}
+
+std::optional<ParsedMessage> AmqpParser::parse(
+    std::string_view payload) const {
+  if (!infer(payload)) return std::nullopt;
+  ParsedMessage msg;
+  msg.protocol = L7Protocol::kAmqp;
+  if (payload.starts_with("AMQP")) {
+    msg.type = MessageType::kRequest;
+    msg.method = "protocol-header";
+    return msg;
+  }
+  BinaryReader r(payload);
+  const u8 type = *r.read_u8();
+  r.read_u16();  // channel
+  r.read_u32();  // size
+  if (type != kFrameMethod) {
+    // Content header/body/heartbeat: treated as continuation data.
+    msg.type = MessageType::kRequest;
+    msg.method = type == 8 ? "heartbeat" : "content";
+    return msg;
+  }
+  const auto class_id = r.read_u16();
+  const auto method_id = r.read_u16();
+  if (!class_id || !method_id) return std::nullopt;
+
+  if (*class_id == kClassBasic && *method_id == kMethodBasicPublish) {
+    msg.type = MessageType::kRequest;
+    msg.method = "basic.publish";
+    // reserved-1 (u16), then exchange + routing-key shortstrs.
+    r.skip(2);
+    if (const auto exchange_len = r.read_u8()) {
+      r.skip(*exchange_len);
+      if (const auto key_len = r.read_u8()) {
+        if (const auto key = r.read_bytes(
+                std::min<size_t>(*key_len, r.remaining()))) {
+          msg.endpoint = std::string(*key);
+        }
+      }
+    }
+    return msg;
+  }
+  if (*class_id == kClassBasic && *method_id == kMethodBasicAck) {
+    msg.type = MessageType::kResponse;
+    msg.method = "basic.ack";
+    msg.ok = true;
+    return msg;
+  }
+  if (*class_id == kClassBasic && *method_id == kMethodBasicDeliver) {
+    msg.type = MessageType::kRequest;
+    msg.method = "basic.deliver";
+    return msg;
+  }
+  if (*class_id == kClassChannel && *method_id == kMethodChannelClose) {
+    msg.type = MessageType::kResponse;
+    msg.method = "channel.close";
+    const auto reply_code = r.read_u16();
+    msg.status_code = reply_code.value_or(541);
+    msg.ok = false;
+    return msg;
+  }
+  if (*class_id == kClassConnection) {
+    msg.type = *method_id % 2 == 1 ? MessageType::kRequest
+                                   : MessageType::kResponse;
+    msg.method = "connection." + std::to_string(*method_id);
+    return msg;
+  }
+  msg.type = MessageType::kRequest;
+  msg.method = "method." + std::to_string(*class_id) + "." +
+               std::to_string(*method_id);
+  return msg;
+}
+
+std::string build_amqp_protocol_header() {
+  return std::string("AMQP\x00\x00\x09\x01", 8);
+}
+
+std::string build_amqp_publish(u16 channel, std::string_view routing_key) {
+  BinaryWriter body;
+  body.write_u16(kClassBasic);
+  body.write_u16(kMethodBasicPublish);
+  body.write_u16(0);  // reserved-1
+  write_shortstr(body, "");  // default exchange
+  write_shortstr(body, routing_key);
+  body.write_u8(0);  // mandatory/immediate bits
+  return frame(kFrameMethod, channel, body.str());
+}
+
+std::string build_amqp_ack(u16 channel) {
+  BinaryWriter body;
+  body.write_u16(kClassBasic);
+  body.write_u16(kMethodBasicAck);
+  body.write_u64(1);  // delivery tag
+  body.write_u8(0);   // multiple flag
+  return frame(kFrameMethod, channel, body.str());
+}
+
+std::string build_amqp_close(u16 channel, u16 reply_code,
+                             std::string_view reply_text) {
+  BinaryWriter body;
+  body.write_u16(kClassChannel);
+  body.write_u16(kMethodChannelClose);
+  body.write_u16(reply_code);
+  write_shortstr(body, reply_text);
+  body.write_u16(0);  // failing class id
+  body.write_u16(0);  // failing method id
+  return frame(kFrameMethod, channel, body.str());
+}
+
+}  // namespace deepflow::protocols

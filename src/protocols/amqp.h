@@ -1,0 +1,34 @@
+// AMQP 0-9-1 (RabbitMQ's native protocol): general frame format of
+// type(1) channel(2) size(4) payload frame-end(0xCE). Method frames carry
+// class-id/method-id; we model the basic publish/deliver/ack flow the
+// paper's RabbitMQ case study exercises. Pipeline protocol in this codec
+// (publishes and their acks stay ordered per channel).
+#pragma once
+
+#include <string>
+
+#include "protocols/parser.h"
+
+namespace deepflow::protocols {
+
+class AmqpParser final : public ProtocolParser {
+ public:
+  L7Protocol protocol() const override { return L7Protocol::kAmqp; }
+  SessionMatchMode match_mode() const override {
+    return SessionMatchMode::kPipeline;
+  }
+  bool infer(std::string_view payload) const override;
+  std::optional<ParsedMessage> parse(std::string_view payload) const override;
+};
+
+/// Protocol header "AMQP\x00\x00\x09\x01" opening a connection.
+std::string build_amqp_protocol_header();
+/// basic.publish method frame to `routing_key` on `channel`.
+std::string build_amqp_publish(u16 channel, std::string_view routing_key);
+/// basic.ack method frame on `channel` (the broker's confirm).
+std::string build_amqp_ack(u16 channel);
+/// channel.close with a reply code (e.g. 312 NO_ROUTE) — the error form.
+std::string build_amqp_close(u16 channel, u16 reply_code,
+                             std::string_view reply_text);
+
+}  // namespace deepflow::protocols

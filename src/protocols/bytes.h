@@ -1,0 +1,101 @@
+// Bounds-checked big-endian readers/writers for the binary protocol codecs.
+// Parsers must never read past a truncated buffer: every accessor reports
+// failure instead of touching out-of-range bytes (payload snapshots are
+// capped at 256 B, so truncation is the common case, not the exception).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace deepflow::protocols {
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool ok() const { return !failed_; }
+
+  std::optional<u8> read_u8() { return read_int<u8>(); }
+  std::optional<u16> read_u16() { return read_int<u16>(); }
+  std::optional<u32> read_u24() {
+    if (!ensure(3)) return std::nullopt;
+    u32 v = 0;
+    for (int i = 0; i < 3; ++i) v = (v << 8) | static_cast<u8>(data_[pos_++]);
+    return v;
+  }
+  std::optional<u32> read_u32() { return read_int<u32>(); }
+  std::optional<u64> read_u64() { return read_int<u64>(); }
+
+  std::optional<std::string_view> read_bytes(size_t n) {
+    if (!ensure(n)) return std::nullopt;
+    const std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  bool skip(size_t n) {
+    if (!ensure(n)) return false;
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  template <typename T>
+  std::optional<T> read_int() {
+    if (!ensure(sizeof(T))) return std::nullopt;
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>((v << 8) | static_cast<u8>(data_[pos_++]));
+    }
+    return v;
+  }
+
+  bool ensure(size_t n) {
+    if (remaining() < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+class BinaryWriter {
+ public:
+  void write_u8(u8 v) { out_.push_back(static_cast<char>(v)); }
+  void write_u16(u16 v) {
+    write_u8(static_cast<u8>(v >> 8));
+    write_u8(static_cast<u8>(v));
+  }
+  void write_u24(u32 v) {
+    write_u8(static_cast<u8>(v >> 16));
+    write_u8(static_cast<u8>(v >> 8));
+    write_u8(static_cast<u8>(v));
+  }
+  void write_u32(u32 v) {
+    write_u16(static_cast<u16>(v >> 16));
+    write_u16(static_cast<u16>(v));
+  }
+  void write_u64(u64 v) {
+    write_u32(static_cast<u32>(v >> 32));
+    write_u32(static_cast<u32>(v));
+  }
+  void write_bytes(std::string_view bytes) { out_.append(bytes); }
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+}  // namespace deepflow::protocols

@@ -1,0 +1,119 @@
+#include "protocols/dns.h"
+
+#include "protocols/bytes.h"
+
+namespace deepflow::protocols {
+
+namespace {
+
+constexpr u16 kFlagResponse = 0x8000;  // QR bit
+constexpr u16 kTypeA = 1;
+constexpr u16 kClassIn = 1;
+
+/// "api.shop.svc" -> "\x03api\x04shop\x03svc\x00"
+std::string encode_qname(std::string_view name) {
+  std::string out;
+  size_t start = 0;
+  while (start <= name.size()) {
+    size_t dot = name.find('.', start);
+    if (dot == std::string_view::npos) dot = name.size();
+    const size_t len = dot - start;
+    out.push_back(static_cast<char>(len > 63 ? 63 : len));
+    out.append(name.substr(start, len > 63 ? 63 : len));
+    if (dot >= name.size()) break;
+    start = dot + 1;
+  }
+  out.push_back('\0');
+  return out;
+}
+
+std::optional<std::string> decode_qname(BinaryReader& r) {
+  std::string out;
+  for (int labels = 0; labels < 32; ++labels) {  // bounded walk
+    const auto len = r.read_u8();
+    if (!len) return std::nullopt;
+    if (*len == 0) return out;
+    if (*len > 63) return std::nullopt;  // compression pointers unsupported
+    const auto label = r.read_bytes(*len);
+    if (!label) return std::nullopt;
+    if (!out.empty()) out.push_back('.');
+    out.append(*label);
+  }
+  return std::nullopt;
+}
+
+std::string build_message(u16 txn_id, std::string_view name, u16 flags,
+                          bool with_answer) {
+  BinaryWriter w;
+  w.write_u16(txn_id);
+  w.write_u16(flags);
+  w.write_u16(1);                        // QDCOUNT
+  w.write_u16(with_answer ? 1 : 0);      // ANCOUNT
+  w.write_u16(0);                        // NSCOUNT
+  w.write_u16(0);                        // ARCOUNT
+  w.write_bytes(encode_qname(name));
+  w.write_u16(kTypeA);
+  w.write_u16(kClassIn);
+  if (with_answer) {
+    // Minimal A record: root-pointer name, TYPE, CLASS, TTL, RDLENGTH, RDATA.
+    w.write_u8(0);
+    w.write_u16(kTypeA);
+    w.write_u16(kClassIn);
+    w.write_u32(60);
+    w.write_u16(4);
+    w.write_u32(0x0a000001);  // 10.0.0.1
+  }
+  return std::move(w).str();
+}
+
+}  // namespace
+
+bool DnsParser::infer(std::string_view payload) const {
+  if (payload.size() < 12) return false;
+  BinaryReader r(payload);
+  r.read_u16();  // txn id: any value
+  const auto flags = r.read_u16();
+  const auto qd = r.read_u16();
+  const auto an = r.read_u16();
+  const auto ns = r.read_u16();
+  const auto ar = r.read_u16();
+  if (!flags || !qd || !an || !ns || !ar) return false;
+  // Plausibility: opcode 0-2, exactly one question, sane record counts.
+  const u16 opcode = (*flags >> 11) & 0xf;
+  return opcode <= 2 && *qd == 1 && *an <= 16 && *ns <= 16 && *ar <= 16;
+}
+
+std::optional<ParsedMessage> DnsParser::parse(std::string_view payload) const {
+  if (!infer(payload)) return std::nullopt;
+  BinaryReader r(payload);
+  const u16 txn_id = *r.read_u16();
+  const u16 flags = *r.read_u16();
+  r.skip(8);  // counts
+  const auto name = decode_qname(r);
+
+  ParsedMessage msg;
+  msg.protocol = L7Protocol::kDns;
+  msg.stream_id = txn_id;
+  msg.endpoint = name.value_or("");
+  if ((flags & kFlagResponse) != 0) {
+    msg.type = MessageType::kResponse;
+    msg.status_code = flags & 0xf;  // RCODE
+    msg.ok = msg.status_code == 0;
+  } else {
+    msg.type = MessageType::kRequest;
+    msg.method = "QUERY";
+  }
+  return msg;
+}
+
+std::string build_dns_query(u16 txn_id, std::string_view name) {
+  // Standard query, recursion desired.
+  return build_message(txn_id, name, 0x0100, /*with_answer=*/false);
+}
+
+std::string build_dns_response(u16 txn_id, std::string_view name, u8 rcode) {
+  const u16 flags = static_cast<u16>(kFlagResponse | 0x0080 | rcode);
+  return build_message(txn_id, name, flags, /*with_answer=*/rcode == 0);
+}
+
+}  // namespace deepflow::protocols

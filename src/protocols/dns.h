@@ -1,0 +1,27 @@
+// DNS (RFC 1035). Parallel protocol: the 16-bit transaction id in the header
+// is the paper's canonical example of an embedded distinguishing attribute.
+#pragma once
+
+#include <string>
+
+#include "protocols/parser.h"
+
+namespace deepflow::protocols {
+
+class DnsParser final : public ProtocolParser {
+ public:
+  L7Protocol protocol() const override { return L7Protocol::kDns; }
+  SessionMatchMode match_mode() const override {
+    return SessionMatchMode::kParallel;
+  }
+  bool infer(std::string_view payload) const override;
+  std::optional<ParsedMessage> parse(std::string_view payload) const override;
+};
+
+/// A-record query for `name` with transaction id `txn_id`.
+std::string build_dns_query(u16 txn_id, std::string_view name);
+
+/// Response to `name` with the given RCODE (0 = NOERROR, 3 = NXDOMAIN).
+std::string build_dns_response(u16 txn_id, std::string_view name, u8 rcode = 0);
+
+}  // namespace deepflow::protocols

@@ -1,0 +1,82 @@
+#include "protocols/dubbo.h"
+
+#include "protocols/bytes.h"
+
+namespace deepflow::protocols {
+
+namespace {
+
+constexpr u16 kMagic = 0xdabb;
+constexpr u8 kFlagRequest = 0x80;
+constexpr u8 kFlagTwoWay = 0x40;
+constexpr u8 kStatusOk = 20;
+
+}  // namespace
+
+bool DubboParser::infer(std::string_view payload) const {
+  if (payload.size() < 16) return false;
+  BinaryReader r(payload);
+  const auto magic = r.read_u16();
+  return magic && *magic == kMagic;
+}
+
+std::optional<ParsedMessage> DubboParser::parse(
+    std::string_view payload) const {
+  if (!infer(payload)) return std::nullopt;
+  BinaryReader r(payload);
+  r.read_u16();  // magic
+  const u8 flags = *r.read_u8();
+  const u8 status = *r.read_u8();
+  const u64 request_id = *r.read_u64();
+  const u32 body_len = *r.read_u32();
+  (void)body_len;
+
+  ParsedMessage msg;
+  msg.protocol = L7Protocol::kDubbo;
+  msg.stream_id = request_id;
+  if ((flags & kFlagRequest) != 0) {
+    msg.type = MessageType::kRequest;
+    msg.method = "INVOKE";
+    // Body (builders' layout): "service\nmethod".
+    const std::string_view body = payload.substr(16);
+    const size_t nl = body.find('\n');
+    if (nl != std::string_view::npos) {
+      msg.endpoint = std::string(body.substr(0, nl)) + "." +
+                     std::string(body.substr(nl + 1));
+      msg.method = std::string(body.substr(nl + 1));
+    }
+  } else {
+    msg.type = MessageType::kResponse;
+    msg.status_code = status;
+    msg.ok = status == kStatusOk;
+  }
+  return msg;
+}
+
+std::string build_dubbo_request(u64 request_id, std::string_view service,
+                                std::string_view method) {
+  std::string body;
+  body.append(service).push_back('\n');
+  body.append(method);
+
+  BinaryWriter w;
+  w.write_u16(kMagic);
+  w.write_u8(kFlagRequest | kFlagTwoWay);
+  w.write_u8(0);  // status unused on requests
+  w.write_u64(request_id);
+  w.write_u32(static_cast<u32>(body.size()));
+  w.write_bytes(body);
+  return std::move(w).str();
+}
+
+std::string build_dubbo_response(u64 request_id, u8 status) {
+  BinaryWriter w;
+  w.write_u16(kMagic);
+  w.write_u8(0);  // response
+  w.write_u8(status);
+  w.write_u64(request_id);
+  w.write_u32(0);
+  return std::move(w).str();
+}
+
+}  // namespace deepflow::protocols

@@ -1,0 +1,27 @@
+// Apache Dubbo RPC framing: 16-byte header opening with the 0xdabb magic.
+// Parallel protocol: the 64-bit request id in the header correlates
+// multiplexed requests and responses.
+#pragma once
+
+#include <string>
+
+#include "protocols/parser.h"
+
+namespace deepflow::protocols {
+
+class DubboParser final : public ProtocolParser {
+ public:
+  L7Protocol protocol() const override { return L7Protocol::kDubbo; }
+  SessionMatchMode match_mode() const override {
+    return SessionMatchMode::kParallel;
+  }
+  bool infer(std::string_view payload) const override;
+  std::optional<ParsedMessage> parse(std::string_view payload) const override;
+};
+
+std::string build_dubbo_request(u64 request_id, std::string_view service,
+                                std::string_view method);
+/// status 20 = OK per the Dubbo spec; anything else is an error class.
+std::string build_dubbo_response(u64 request_id, u8 status = 20);
+
+}  // namespace deepflow::protocols

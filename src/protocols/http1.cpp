@@ -1,0 +1,146 @@
+#include "protocols/http1.h"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+
+namespace deepflow::protocols {
+
+namespace {
+
+constexpr std::array<std::string_view, 9> kMethods = {
+    "GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "PATCH", "TRACE",
+    "CONNECT"};
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+std::string_view first_line(std::string_view payload) {
+  const size_t eol = payload.find("\r\n");
+  return eol == std::string_view::npos ? payload : payload.substr(0, eol);
+}
+
+std::string_view status_reason(u32 status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Status";
+  }
+}
+
+}  // namespace
+
+std::string find_http1_header(std::string_view payload,
+                              std::string_view name) {
+  size_t pos = payload.find("\r\n");
+  while (pos != std::string_view::npos && pos + 2 < payload.size()) {
+    const size_t line_start = pos + 2;
+    const size_t line_end = payload.find("\r\n", line_start);
+    const std::string_view line =
+        line_end == std::string_view::npos
+            ? payload.substr(line_start)
+            : payload.substr(line_start, line_end - line_start);
+    if (line.empty()) break;  // end of headers
+    const size_t colon = line.find(':');
+    if (colon != std::string_view::npos && iequals(line.substr(0, colon), name)) {
+      std::string_view value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+      return std::string(value);
+    }
+    pos = line_end;
+  }
+  return {};
+}
+
+bool Http1Parser::infer(std::string_view payload) const {
+  if (payload.starts_with("HTTP/1.")) return true;
+  for (const std::string_view method : kMethods) {
+    if (payload.size() > method.size() &&
+        payload.starts_with(method) && payload[method.size()] == ' ') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<ParsedMessage> Http1Parser::parse(
+    std::string_view payload) const {
+  if (!infer(payload)) return std::nullopt;
+  ParsedMessage msg;
+  msg.protocol = L7Protocol::kHttp1;
+  msg.x_request_id = find_http1_header(payload, "X-Request-ID");
+  msg.trace_context = find_http1_header(payload, "traceparent");
+
+  const std::string_view line = first_line(payload);
+  if (payload.starts_with("HTTP/1.")) {
+    msg.type = MessageType::kResponse;
+    // "HTTP/1.1 200 OK"
+    const size_t sp = line.find(' ');
+    if (sp == std::string_view::npos) return std::nullopt;
+    const std::string_view code = line.substr(sp + 1, 3);
+    u32 status = 0;
+    std::from_chars(code.data(), code.data() + code.size(), status);
+    if (status < 100 || status > 599) return std::nullopt;
+    msg.status_code = status;
+    msg.ok = status < 400;
+  } else {
+    msg.type = MessageType::kRequest;
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos) return std::nullopt;
+    msg.method = std::string(line.substr(0, sp1));
+    msg.endpoint = std::string(
+        sp2 == std::string_view::npos ? line.substr(sp1 + 1)
+                                      : line.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+  return msg;
+}
+
+std::string build_http1_request(std::string_view method, std::string_view path,
+                                const std::vector<HttpHeader>& headers,
+                                std::string_view body) {
+  std::string out;
+  out.reserve(64 + body.size());
+  out.append(method).append(" ").append(path).append(" HTTP/1.1\r\n");
+  for (const auto& [key, value] : headers) {
+    out.append(key).append(": ").append(value).append("\r\n");
+  }
+  out.append("Content-Length: ").append(std::to_string(body.size()));
+  out.append("\r\n\r\n").append(body);
+  return out;
+}
+
+std::string build_http1_response(u32 status,
+                                 const std::vector<HttpHeader>& headers,
+                                 std::string_view body) {
+  std::string out;
+  out.reserve(64 + body.size());
+  out.append("HTTP/1.1 ").append(std::to_string(status)).append(" ");
+  out.append(status_reason(status)).append("\r\n");
+  for (const auto& [key, value] : headers) {
+    out.append(key).append(": ").append(value).append("\r\n");
+  }
+  out.append("Content-Length: ").append(std::to_string(body.size()));
+  out.append("\r\n\r\n").append(body);
+  return out;
+}
+
+}  // namespace deepflow::protocols

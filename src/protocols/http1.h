@@ -1,0 +1,39 @@
+// HTTP/1.1 (RFC 7231): the workhorse protocol of microservice traffic.
+// Pipeline protocol — requests and responses on one connection stay ordered.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "protocols/parser.h"
+
+namespace deepflow::protocols {
+
+class Http1Parser final : public ProtocolParser {
+ public:
+  L7Protocol protocol() const override { return L7Protocol::kHttp1; }
+  SessionMatchMode match_mode() const override {
+    return SessionMatchMode::kPipeline;
+  }
+  bool infer(std::string_view payload) const override;
+  std::optional<ParsedMessage> parse(std::string_view payload) const override;
+};
+
+/// One header line ("X-Request-ID", "abc-123").
+using HttpHeader = std::pair<std::string, std::string>;
+
+/// Serialize a request ("GET /cart HTTP/1.1\r\nHost: ...").
+std::string build_http1_request(std::string_view method, std::string_view path,
+                                const std::vector<HttpHeader>& headers = {},
+                                std::string_view body = {});
+
+/// Serialize a response ("HTTP/1.1 200 OK\r\n...").
+std::string build_http1_response(u32 status,
+                                 const std::vector<HttpHeader>& headers = {},
+                                 std::string_view body = {});
+
+/// Case-insensitive header lookup in a raw HTTP/1.x payload; empty when
+/// absent. Shared with the X-Request-ID extraction path.
+std::string find_http1_header(std::string_view payload, std::string_view name);
+
+}  // namespace deepflow::protocols

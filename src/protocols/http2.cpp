@@ -1,0 +1,142 @@
+#include "protocols/http2.h"
+
+#include <charconv>
+
+#include "protocols/bytes.h"
+
+namespace deepflow::protocols {
+
+namespace {
+
+constexpr u8 kFrameHeaders = 0x1;
+constexpr u8 kFlagEndHeaders = 0x4;
+
+/// Encode the simplified header block: repeated "key\x00value\x00".
+std::string encode_block(const std::vector<Http2Header>& headers) {
+  std::string block;
+  for (const auto& [key, value] : headers) {
+    block.append(key).push_back('\0');
+    block.append(value).push_back('\0');
+  }
+  return block;
+}
+
+std::string build_headers_frame(u32 stream_id, std::string block) {
+  BinaryWriter w;
+  w.write_u24(static_cast<u32>(block.size()));
+  w.write_u8(kFrameHeaders);
+  w.write_u8(kFlagEndHeaders);
+  w.write_u32(stream_id & 0x7fffffffu);
+  w.write_bytes(block);
+  return std::move(w).str();
+}
+
+/// Decode "key\x00value\x00" pairs, tolerating truncation.
+std::vector<Http2Header> decode_block(std::string_view block) {
+  std::vector<Http2Header> out;
+  size_t pos = 0;
+  while (pos < block.size()) {
+    const size_t key_end = block.find('\0', pos);
+    if (key_end == std::string_view::npos) break;
+    const size_t value_end = block.find('\0', key_end + 1);
+    if (value_end == std::string_view::npos) break;
+    out.emplace_back(std::string(block.substr(pos, key_end - pos)),
+                     std::string(block.substr(key_end + 1,
+                                              value_end - key_end - 1)));
+    pos = value_end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Http2Parser::infer(std::string_view payload) const {
+  if (payload.starts_with("PRI * HTTP/2.0")) return true;  // client preface
+  if (payload.size() < 9) return false;
+  BinaryReader r(payload);
+  const auto length = r.read_u24();
+  const auto type = r.read_u8();
+  const auto flags = r.read_u8();
+  const auto stream = r.read_u32();
+  if (!length || !type || !flags || !stream) return false;
+  if (*type != kFrameHeaders || (*stream & 0x7fffffffu) == 0) return false;
+  // Flag nibble must only use bits defined for HEADERS frames (END_STREAM,
+  // END_HEADERS, PADDED, PRIORITY) — random bytes rarely pass this.
+  if ((*flags & ~0x2du) != 0) return false;
+  // Declared length must be consistent with the captured bytes: equal for
+  // complete frames, larger only when the snapshot was truncated at the
+  // capture bound. This is what keeps other binary protocols (e.g. MySQL
+  // packets, whose 4th byte can be 0x01) from misrouting here.
+  constexpr size_t kSnapshotFloor = 250;
+  if (*length + 9 == payload.size()) return true;
+  return *length + 9 > payload.size() && payload.size() >= kSnapshotFloor;
+}
+
+std::optional<ParsedMessage> Http2Parser::parse(
+    std::string_view payload) const {
+  if (payload.starts_with("PRI * HTTP/2.0")) {
+    ParsedMessage msg;
+    msg.protocol = L7Protocol::kHttp2;
+    msg.type = MessageType::kRequest;
+    msg.method = "PRI";
+    msg.endpoint = "*";
+    return msg;
+  }
+  BinaryReader r(payload);
+  const auto length = r.read_u24();
+  const auto type = r.read_u8();
+  r.read_u8();  // flags
+  const auto stream = r.read_u32();
+  if (!length || !type || !stream || *type != kFrameHeaders) {
+    return std::nullopt;
+  }
+  const size_t block_len = std::min<size_t>(*length, r.remaining());
+  const auto block = r.read_bytes(block_len);
+  if (!block) return std::nullopt;
+
+  ParsedMessage msg;
+  msg.protocol = L7Protocol::kHttp2;
+  msg.stream_id = *stream & 0x7fffffffu;
+  for (const auto& [key, value] : decode_block(*block)) {
+    if (key == ":method") {
+      msg.type = MessageType::kRequest;
+      msg.method = value;
+    } else if (key == ":path") {
+      msg.endpoint = value;
+    } else if (key == ":status") {
+      msg.type = MessageType::kResponse;
+      u32 status = 0;
+      std::from_chars(value.data(), value.data() + value.size(), status);
+      msg.status_code = status;
+      msg.ok = status < 400;
+    } else if (key == "x-request-id") {
+      msg.x_request_id = value;
+    } else if (key == "traceparent") {
+      msg.trace_context = value;
+    }
+  }
+  if (msg.type == MessageType::kUnknown) return std::nullopt;
+  return msg;
+}
+
+std::string build_http2_request(u32 stream_id, std::string_view method,
+                                std::string_view path,
+                                const std::vector<Http2Header>& headers) {
+  std::vector<Http2Header> all;
+  all.reserve(headers.size() + 2);
+  all.emplace_back(":method", std::string(method));
+  all.emplace_back(":path", std::string(path));
+  all.insert(all.end(), headers.begin(), headers.end());
+  return build_headers_frame(stream_id, encode_block(all));
+}
+
+std::string build_http2_response(u32 stream_id, u32 status,
+                                 const std::vector<Http2Header>& headers) {
+  std::vector<Http2Header> all;
+  all.reserve(headers.size() + 1);
+  all.emplace_back(":status", std::to_string(status));
+  all.insert(all.end(), headers.begin(), headers.end());
+  return build_headers_frame(stream_id, encode_block(all));
+}
+
+}  // namespace deepflow::protocols

@@ -1,0 +1,40 @@
+// HTTP/2 (RFC 7540): binary-framed, multiplexed. Parallel protocol — the
+// stream identifier in each frame header is the correlation attribute the
+// paper cites for parallel-protocol session aggregation.
+//
+// Framing follows the RFC (9-byte frame header); header blocks use a
+// simplified literal key:value encoding rather than full HPACK, which is
+// sufficient for signature inference and field extraction and keeps the
+// codec honest about frame structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "protocols/parser.h"
+
+namespace deepflow::protocols {
+
+class Http2Parser final : public ProtocolParser {
+ public:
+  L7Protocol protocol() const override { return L7Protocol::kHttp2; }
+  SessionMatchMode match_mode() const override {
+    return SessionMatchMode::kParallel;
+  }
+  bool infer(std::string_view payload) const override;
+  std::optional<ParsedMessage> parse(std::string_view payload) const override;
+};
+
+using Http2Header = std::pair<std::string, std::string>;
+
+/// HEADERS frame carrying a request (":method"/":path" pseudo-headers) on
+/// the given stream. Odd stream ids are client-initiated per the RFC.
+std::string build_http2_request(u32 stream_id, std::string_view method,
+                                std::string_view path,
+                                const std::vector<Http2Header>& headers = {});
+
+/// HEADERS frame carrying a response (":status") on the given stream.
+std::string build_http2_response(u32 stream_id, u32 status,
+                                 const std::vector<Http2Header>& headers = {});
+
+}  // namespace deepflow::protocols

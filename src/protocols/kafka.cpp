@@ -1,0 +1,128 @@
+#include "protocols/kafka.h"
+
+#include "protocols/bytes.h"
+
+namespace deepflow::protocols {
+
+namespace {
+
+constexpr u16 kMaxApiKey = 67;   // highest assigned api key (circa the paper)
+constexpr u16 kMaxApiVersion = 15;
+
+std::string_view api_name(u16 api_key) {
+  switch (api_key) {
+    case 0: return "Produce";
+    case 1: return "Fetch";
+    case 2: return "ListOffsets";
+    case 3: return "Metadata";
+    case 8: return "OffsetCommit";
+    case 9: return "OffsetFetch";
+    case 18: return "ApiVersions";
+    default: return "Api";
+  }
+}
+
+/// Does the payload look like a request header (api_key/api_version/
+/// correlation_id/client_id)? The client_id length must be consistent.
+bool looks_like_request(std::string_view payload) {
+  if (payload.size() < 14) return false;
+  BinaryReader r(payload);
+  const auto size = r.read_u32();
+  const auto api_key = r.read_u16();
+  const auto api_version = r.read_u16();
+  const auto correlation = r.read_u32();
+  const auto client_id_len = r.read_u16();
+  if (!size || !api_key || !api_version || !correlation || !client_id_len) {
+    return false;
+  }
+  if (*size < 10 || *size > (1u << 20)) return false;
+  if (*api_key > kMaxApiKey || *api_version > kMaxApiVersion) return false;
+  // client_id must fit within the declared size.
+  return *client_id_len <= 256 && *client_id_len + 10u <= *size;
+}
+
+bool looks_like_response(std::string_view payload) {
+  if (payload.size() < 10) return false;
+  BinaryReader r(payload);
+  const auto size = r.read_u32();
+  if (!size) return false;
+  // Responses are short control frames in this codec: declared size must
+  // match the captured frame exactly (truncation only affects big bodies).
+  return *size + 4 == payload.size();
+}
+
+}  // namespace
+
+bool KafkaParser::infer(std::string_view payload) const {
+  return looks_like_request(payload) || looks_like_response(payload);
+}
+
+std::optional<ParsedMessage> KafkaParser::parse(
+    std::string_view payload) const {
+  ParsedMessage msg;
+  msg.protocol = L7Protocol::kKafka;
+  if (looks_like_request(payload)) {
+    BinaryReader r(payload);
+    r.read_u32();  // size
+    const u16 api_key = *r.read_u16();
+    r.read_u16();  // api version
+    const u32 correlation = *r.read_u32();
+    const u16 client_id_len = *r.read_u16();
+    r.skip(client_id_len);
+    msg.type = MessageType::kRequest;
+    msg.method = std::string(api_name(api_key));
+    msg.stream_id = correlation;
+    // Topic string follows (i16 length + bytes) in the builders' layout.
+    if (const auto topic_len = r.read_u16()) {
+      if (const auto topic = r.read_bytes(
+              std::min<size_t>(*topic_len, r.remaining()))) {
+        msg.endpoint = std::string(*topic);
+      }
+    }
+    return msg;
+  }
+  if (looks_like_response(payload)) {
+    BinaryReader r(payload);
+    r.read_u32();  // size
+    const auto correlation = r.read_u32();
+    const auto error_code = r.read_u16();
+    if (!correlation) return std::nullopt;
+    msg.type = MessageType::kResponse;
+    msg.stream_id = *correlation;
+    msg.status_code = error_code.value_or(0);
+    msg.ok = msg.status_code == 0;
+    return msg;
+  }
+  return std::nullopt;
+}
+
+std::string build_kafka_request(KafkaApi api, u32 correlation_id,
+                                std::string_view client_id,
+                                std::string_view topic) {
+  BinaryWriter body;
+  body.write_u16(static_cast<u16>(api));
+  body.write_u16(9);  // api version
+  body.write_u32(correlation_id);
+  body.write_u16(static_cast<u16>(client_id.size()));
+  body.write_bytes(client_id);
+  body.write_u16(static_cast<u16>(topic.size()));
+  body.write_bytes(topic);
+
+  BinaryWriter frame;
+  frame.write_u32(static_cast<u32>(body.size()));
+  frame.write_bytes(body.str());
+  return std::move(frame).str();
+}
+
+std::string build_kafka_response(u32 correlation_id, i16 error_code) {
+  BinaryWriter body;
+  body.write_u32(correlation_id);
+  body.write_u16(static_cast<u16>(error_code));
+
+  BinaryWriter frame;
+  frame.write_u32(static_cast<u32>(body.size()));
+  frame.write_bytes(body.str());
+  return std::move(frame).str();
+}
+
+}  // namespace deepflow::protocols

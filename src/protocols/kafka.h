@@ -1,0 +1,30 @@
+// Kafka wire protocol. Parallel protocol: every request carries a 32-bit
+// correlation id echoed by the matching response — the distinguishing
+// attribute used for session aggregation on multiplexed broker connections.
+#pragma once
+
+#include <string>
+
+#include "protocols/parser.h"
+
+namespace deepflow::protocols {
+
+class KafkaParser final : public ProtocolParser {
+ public:
+  L7Protocol protocol() const override { return L7Protocol::kKafka; }
+  SessionMatchMode match_mode() const override {
+    return SessionMatchMode::kParallel;
+  }
+  bool infer(std::string_view payload) const override;
+  std::optional<ParsedMessage> parse(std::string_view payload) const override;
+};
+
+/// Well-known api keys used by the builders and the method naming.
+enum class KafkaApi : u16 { kProduce = 0, kFetch = 1, kMetadata = 3 };
+
+std::string build_kafka_request(KafkaApi api, u32 correlation_id,
+                                std::string_view client_id,
+                                std::string_view topic);
+std::string build_kafka_response(u32 correlation_id, i16 error_code = 0);
+
+}  // namespace deepflow::protocols

@@ -1,0 +1,67 @@
+// Protocol-independent view of one application-layer message, produced by
+// the per-protocol parsers. Span construction (§3.3.1) consumes this: the
+// message type drives request/response pairing, the stream id drives
+// parallel-protocol session matching, and the embedded X-Request-ID /
+// third-party trace context feed cross-thread and third-party association.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace deepflow::protocols {
+
+/// Application protocols DeepFlow infers out of the box (§3.3.1 cites HTTP,
+/// HTTP/2, DNS, Redis, MySQL, Kafka, MQTT, Dubbo specifications).
+enum class L7Protocol : u8 {
+  kUnknown,
+  kHttp1,
+  kHttp2,
+  kDns,
+  kRedis,
+  kMysql,
+  kKafka,
+  kMqtt,
+  kDubbo,
+  kAmqp,
+};
+
+std::string_view l7_protocol_name(L7Protocol protocol);
+
+/// Extract the 32-hex-char trace id from a W3C traceparent header value
+/// ("00-<trace-id>-<span-id>-<flags>"); empty on malformed input. Used so
+/// spans that saw different hops of the same trace share one association key.
+std::string extract_trace_id(std::string_view traceparent);
+
+/// Request/response classification of one message.
+enum class MessageType : u8 { kUnknown, kRequest, kResponse };
+
+/// How requests and responses pair on one connection (§3.3.1): pipeline
+/// protocols preserve ordering; parallel protocols multiplex and carry an
+/// embedded correlation attribute (DNS txn id, HTTP/2 stream id, ...).
+enum class SessionMatchMode : u8 { kPipeline, kParallel };
+
+struct ParsedMessage {
+  L7Protocol protocol = L7Protocol::kUnknown;
+  MessageType type = MessageType::kUnknown;
+  /// Verb/command: "GET", "SELECT", "PUBLISH", "ApiVersions", ...
+  std::string method;
+  /// Resource: URL path, SQL table hint, topic, query name, ...
+  std::string endpoint;
+  /// Response status in the protocol's own numbering (HTTP 200/404, MySQL
+  /// 0=OK/0xff=ERR mapped to 0/1, Redis 0 ok / 1 err, ...). 0 for requests.
+  u32 status_code = 0;
+  /// True when a response indicates success (requests: always true).
+  bool ok = true;
+  /// Correlation attribute for parallel protocols (0 when absent).
+  u64 stream_id = 0;
+  /// X-Request-ID header value when the protocol carries one (HTTP family);
+  /// empty otherwise. Used for cross-thread intra-component association.
+  std::string x_request_id;
+  /// W3C traceparent (or equivalent) header injected by a third-party
+  /// tracing framework; empty when absent. Used for third-party span
+  /// integration.
+  std::string trace_context;
+};
+
+}  // namespace deepflow::protocols

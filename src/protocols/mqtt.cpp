@@ -1,0 +1,194 @@
+#include "protocols/mqtt.h"
+
+#include "protocols/bytes.h"
+
+namespace deepflow::protocols {
+
+namespace {
+
+enum PacketType : u8 {
+  kConnect = 1,
+  kConnAck = 2,
+  kPublish = 3,
+  kPubAck = 4,
+  kSubscribe = 8,
+  kSubAck = 9,
+  kPingReq = 12,
+  kPingResp = 13,
+  kDisconnect = 14,
+};
+
+std::string_view type_name(u8 type) {
+  switch (type) {
+    case kConnect: return "CONNECT";
+    case kConnAck: return "CONNACK";
+    case kPublish: return "PUBLISH";
+    case kPubAck: return "PUBACK";
+    case kSubscribe: return "SUBSCRIBE";
+    case kSubAck: return "SUBACK";
+    case kPingReq: return "PINGREQ";
+    case kPingResp: return "PINGRESP";
+    case kDisconnect: return "DISCONNECT";
+    default: return "RESERVED";
+  }
+}
+
+bool is_request_type(u8 type) {
+  return type == kConnect || type == kPublish || type == kSubscribe ||
+         type == kPingReq || type == kDisconnect;
+}
+
+/// Variable-length "remaining length" encoding (max 4 bytes).
+void write_remaining_length(std::string& out, u32 length) {
+  do {
+    u8 byte = length % 128;
+    length /= 128;
+    if (length > 0) byte |= 0x80;
+    out.push_back(static_cast<char>(byte));
+  } while (length > 0);
+}
+
+std::optional<u32> read_remaining_length(std::string_view payload,
+                                         size_t* pos) {
+  u32 value = 0;
+  u32 multiplier = 1;
+  for (int i = 0; i < 4; ++i) {
+    if (*pos >= payload.size()) return std::nullopt;
+    const u8 byte = static_cast<u8>(payload[(*pos)++]);
+    value += (byte & 0x7f) * multiplier;
+    if ((byte & 0x80) == 0) return value;
+    multiplier *= 128;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool MqttParser::infer(std::string_view payload) const {
+  if (payload.size() < 2) return false;
+  const u8 first = static_cast<u8>(payload[0]);
+  const u8 type = first >> 4;
+  const u8 flags = first & 0x0f;
+  if (type < kConnect || type > kDisconnect) return false;
+  // Fixed-header flag nibbles are rigidly specified: 0 for most packets,
+  // 0b0010 for SUBSCRIBE, QoS/dup/retain bits only for PUBLISH. This check
+  // is what keeps arbitrary text ('G', '*', ...) from matching.
+  if (type == kSubscribe) {
+    if (flags != 0x2) return false;
+  } else if (type != kPublish && flags != 0) {
+    return false;
+  }
+  size_t pos = 1;
+  const auto remaining = read_remaining_length(payload, &pos);
+  if (!remaining) return false;
+  switch (type) {
+    case kConnect:
+      // CONNECT must carry the protocol name.
+      return payload.find("MQTT") != std::string_view::npos ||
+             payload.find("MQIsdp") != std::string_view::npos;
+    case kConnAck:
+    case kPubAck:
+      return *remaining == 2 && payload.size() == pos + 2;
+    case kPingReq:
+    case kPingResp:
+    case kDisconnect:
+      return *remaining == 0 && payload.size() == pos;
+    case kPublish: {
+      // Topic length must fit the declared remaining length.
+      if (*remaining < 4 || pos + 2 > payload.size()) return false;
+      const u16 topic_len =
+          static_cast<u16>((static_cast<u8>(payload[pos]) << 8) |
+                           static_cast<u8>(payload[pos + 1]));
+      return topic_len + 2u <= *remaining &&
+             pos + *remaining >= payload.size();
+    }
+    default:
+      return *remaining >= 3 && pos + *remaining >= payload.size();
+  }
+}
+
+std::optional<ParsedMessage> MqttParser::parse(
+    std::string_view payload) const {
+  if (!infer(payload)) return std::nullopt;
+  const u8 first = static_cast<u8>(payload[0]);
+  const u8 type = first >> 4;
+
+  ParsedMessage msg;
+  msg.protocol = L7Protocol::kMqtt;
+  msg.method = std::string(type_name(type));
+  msg.type = is_request_type(type) ? MessageType::kRequest
+                                   : MessageType::kResponse;
+  size_t pos = 1;
+  read_remaining_length(payload, &pos);
+
+  if (type == kPublish) {
+    // Topic: u16 length + bytes.
+    if (pos + 2 <= payload.size()) {
+      const u16 len = static_cast<u16>((static_cast<u8>(payload[pos]) << 8) |
+                                       static_cast<u8>(payload[pos + 1]));
+      pos += 2;
+      const size_t take = std::min<size_t>(len, payload.size() - pos);
+      msg.endpoint = std::string(payload.substr(pos, take));
+    }
+  } else if (type == kConnAck) {
+    if (pos + 2 <= payload.size()) {
+      msg.status_code = static_cast<u8>(payload[pos + 1]);
+      msg.ok = msg.status_code == 0;
+    }
+  }
+  return msg;
+}
+
+std::string build_mqtt_connect(std::string_view client_id) {
+  std::string body;
+  BinaryWriter w;
+  w.write_u16(4);
+  w.write_bytes("MQTT");
+  w.write_u8(4);     // protocol level 3.1.1
+  w.write_u8(0x02);  // clean session
+  w.write_u16(60);   // keepalive
+  w.write_u16(static_cast<u16>(client_id.size()));
+  w.write_bytes(client_id);
+  body = std::move(w).str();
+
+  std::string out;
+  out.push_back(static_cast<char>(kConnect << 4));
+  write_remaining_length(out, static_cast<u32>(body.size()));
+  out.append(body);
+  return out;
+}
+
+std::string build_mqtt_connack(u8 return_code) {
+  std::string out;
+  out.push_back(static_cast<char>(kConnAck << 4));
+  write_remaining_length(out, 2);
+  out.push_back('\0');  // session present = 0
+  out.push_back(static_cast<char>(return_code));
+  return out;
+}
+
+std::string build_mqtt_publish(std::string_view topic, std::string_view body) {
+  BinaryWriter w;
+  w.write_u16(static_cast<u16>(topic.size()));
+  w.write_bytes(topic);
+  w.write_u16(1);  // packet id (QoS 1)
+  w.write_bytes(body);
+  const std::string payload = std::move(w).str();
+
+  std::string out;
+  out.push_back(static_cast<char>((kPublish << 4) | 0x02));  // QoS 1
+  write_remaining_length(out, static_cast<u32>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::string build_mqtt_puback(u16 packet_id) {
+  std::string out;
+  out.push_back(static_cast<char>(kPubAck << 4));
+  write_remaining_length(out, 2);
+  out.push_back(static_cast<char>(packet_id >> 8));
+  out.push_back(static_cast<char>(packet_id & 0xff));
+  return out;
+}
+
+}  // namespace deepflow::protocols

@@ -1,0 +1,26 @@
+// MQTT v3.1 fixed-header framing. Pipeline protocol in this codec (QoS-1
+// PUBLISH/PUBACK pairs flow in order on the broker connections we model).
+#pragma once
+
+#include <string>
+
+#include "protocols/parser.h"
+
+namespace deepflow::protocols {
+
+class MqttParser final : public ProtocolParser {
+ public:
+  L7Protocol protocol() const override { return L7Protocol::kMqtt; }
+  SessionMatchMode match_mode() const override {
+    return SessionMatchMode::kPipeline;
+  }
+  bool infer(std::string_view payload) const override;
+  std::optional<ParsedMessage> parse(std::string_view payload) const override;
+};
+
+std::string build_mqtt_connect(std::string_view client_id);
+std::string build_mqtt_connack(u8 return_code = 0);
+std::string build_mqtt_publish(std::string_view topic, std::string_view body);
+std::string build_mqtt_puback(u16 packet_id = 1);
+
+}  // namespace deepflow::protocols

@@ -1,0 +1,133 @@
+#include "protocols/mysql.h"
+
+#include <algorithm>
+
+namespace deepflow::protocols {
+
+namespace {
+
+constexpr u8 kComQuery = 0x03;
+constexpr u8 kComStmtPrepare = 0x16;
+constexpr u8 kComStmtExecute = 0x17;
+constexpr u8 kComPing = 0x0e;
+constexpr u8 kComQuit = 0x01;
+constexpr u8 kOkHeader = 0x00;
+constexpr u8 kErrHeader = 0xff;
+
+u32 packet_length(std::string_view payload) {
+  // 3-byte little-endian length prefix.
+  return static_cast<u8>(payload[0]) | (static_cast<u8>(payload[1]) << 8) |
+         (static_cast<u8>(payload[2]) << 16);
+}
+
+std::string packet(std::string_view body, u8 seq) {
+  std::string out;
+  const u32 len = static_cast<u32>(body.size());
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>(seq));
+  out.append(body);
+  return out;
+}
+
+/// First SQL keyword, upper-cased ("select ..." -> "SELECT").
+std::string sql_verb(std::string_view sql) {
+  size_t start = sql.find_first_not_of(" \t\r\n");
+  if (start == std::string_view::npos) return {};
+  size_t end = sql.find_first_of(" \t\r\n(", start);
+  if (end == std::string_view::npos) end = sql.size();
+  std::string verb(sql.substr(start, end - start));
+  std::transform(verb.begin(), verb.end(), verb.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return verb;
+}
+
+}  // namespace
+
+bool MysqlParser::infer(std::string_view payload) const {
+  if (payload.size() < 5) return false;
+  const u32 len = packet_length(payload);
+  if (len == 0 || len > 1 << 24) return false;
+  const u8 seq = static_cast<u8>(payload[3]);
+  const u8 first = static_cast<u8>(payload[4]);
+  if (seq == 0) {
+    // Request packets: known command bytes, and the declared length must be
+    // consistent with the capture (snapshot truncation shortens, never
+    // lengthens).
+    if (payload.size() > len + 4u) return false;
+    return first == kComQuery || first == kComStmtPrepare ||
+           first == kComStmtExecute || first == kComPing || first == kComQuit;
+  }
+  // Response packets: first server packet (seq 1), declared length matching
+  // the frame exactly, opening with an OK/ERR header or a small result-set
+  // column count. Anything looser misclassifies text protocols whose first
+  // three bytes happen to form a plausible little-endian length.
+  if (seq != 1) return false;
+  if (payload.size() != len + 4u) return false;
+  return first == kOkHeader || first == kErrHeader ||
+         (first >= 1 && first <= 64);
+}
+
+std::optional<ParsedMessage> MysqlParser::parse(
+    std::string_view payload) const {
+  if (!infer(payload)) return std::nullopt;
+  const u8 seq = static_cast<u8>(payload[3]);
+  const u8 first = static_cast<u8>(payload[4]);
+  ParsedMessage msg;
+  msg.protocol = L7Protocol::kMysql;
+  if (seq == 0) {
+    msg.type = MessageType::kRequest;
+    switch (first) {
+      case kComQuery: {
+        const std::string_view sql = payload.substr(5);
+        msg.method = sql_verb(sql);
+        msg.endpoint = std::string(sql.substr(0, std::min<size_t>(sql.size(), 64)));
+        break;
+      }
+      case kComStmtPrepare: msg.method = "STMT_PREPARE"; break;
+      case kComStmtExecute: msg.method = "STMT_EXECUTE"; break;
+      case kComPing: msg.method = "PING"; break;
+      case kComQuit: msg.method = "QUIT"; break;
+      default: msg.method = "COMMAND"; break;
+    }
+  } else {
+    msg.type = MessageType::kResponse;
+    if (first == kErrHeader) {
+      msg.status_code = payload.size() >= 7
+                            ? static_cast<u16>(static_cast<u8>(payload[5]) |
+                                               (static_cast<u8>(payload[6]) << 8))
+                            : 1;
+      msg.ok = false;
+    } else {
+      msg.status_code = 0;
+      msg.ok = true;
+    }
+  }
+  return msg;
+}
+
+std::string build_mysql_query(std::string_view sql) {
+  std::string body;
+  body.push_back(static_cast<char>(kComQuery));
+  body.append(sql);
+  return packet(body, /*seq=*/0);
+}
+
+std::string build_mysql_ok() {
+  // OK packet: header 0x00, affected_rows 0, last_insert_id 0, status, warnings.
+  const std::string body{"\x00\x00\x00\x02\x00\x00\x00", 7};
+  return packet(body, /*seq=*/1);
+}
+
+std::string build_mysql_error(u16 code, std::string_view message) {
+  std::string body;
+  body.push_back(static_cast<char>(kErrHeader));
+  body.push_back(static_cast<char>(code & 0xff));
+  body.push_back(static_cast<char>((code >> 8) & 0xff));
+  body.append("#HY000");
+  body.append(message);
+  return packet(body, /*seq=*/1);
+}
+
+}  // namespace deepflow::protocols

@@ -1,0 +1,30 @@
+// MySQL client/server protocol (command phase). Pipeline protocol.
+// Packets: 3-byte little-endian length, 1-byte sequence id, then payload;
+// requests open with a command byte (COM_QUERY = 0x03), responses with an
+// OK (0x00), ERR (0xff) or result-set header byte.
+#pragma once
+
+#include <string>
+
+#include "protocols/parser.h"
+
+namespace deepflow::protocols {
+
+class MysqlParser final : public ProtocolParser {
+ public:
+  L7Protocol protocol() const override { return L7Protocol::kMysql; }
+  SessionMatchMode match_mode() const override {
+    return SessionMatchMode::kPipeline;
+  }
+  bool infer(std::string_view payload) const override;
+  std::optional<ParsedMessage> parse(std::string_view payload) const override;
+};
+
+/// COM_QUERY packet carrying `sql`.
+std::string build_mysql_query(std::string_view sql);
+/// OK packet (affected_rows = 0).
+std::string build_mysql_ok();
+/// ERR packet with the given error code and message.
+std::string build_mysql_error(u16 code, std::string_view message);
+
+}  // namespace deepflow::protocols

@@ -1,0 +1,58 @@
+// Parser interface and the protocol registry that performs DeepFlow's
+// one-time-per-connection protocol inference (§3.3.1, phase two): iterate
+// the common protocol specifications (plus user-supplied custom parsers),
+// pick the first whose signature matches, and cache the decision per flow.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "protocols/message.h"
+
+namespace deepflow::protocols {
+
+class ProtocolParser {
+ public:
+  virtual ~ProtocolParser() = default;
+
+  virtual L7Protocol protocol() const = 0;
+  virtual SessionMatchMode match_mode() const = 0;
+
+  /// Signature check: does this payload plausibly start a message of this
+  /// protocol? Must be cheap and conservative (false negatives are retried
+  /// on the next message; false positives poison the connection's cache).
+  virtual bool infer(std::string_view payload) const = 0;
+
+  /// Full parse. Returns nullopt on malformed/foreign payloads. Must be
+  /// robust to truncation: payloads are bounded snapshots.
+  virtual std::optional<ParsedMessage> parse(std::string_view payload) const = 0;
+};
+
+/// Ordered collection of parsers. Built-in order follows specificity:
+/// magic-numbered binary protocols first, then structured text, then the
+/// permissive text protocols, so that ambiguous payloads resolve to the
+/// most constrained match.
+class ProtocolRegistry {
+ public:
+  /// Registry pre-populated with all built-in parsers.
+  static ProtocolRegistry with_builtin();
+
+  /// Append a parser (user-supplied custom protocol specifications go
+  /// through this, after the built-ins).
+  void register_parser(std::unique_ptr<ProtocolParser> parser);
+
+  /// Try every parser's signature check in order; null when none match.
+  const ProtocolParser* infer(std::string_view payload) const;
+
+  /// Parser for a known protocol; null for kUnknown/unregistered.
+  const ProtocolParser* parser_for(L7Protocol protocol) const;
+
+  size_t parser_count() const { return parsers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ProtocolParser>> parsers_;
+};
+
+}  // namespace deepflow::protocols

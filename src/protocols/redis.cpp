@@ -1,0 +1,118 @@
+#include "protocols/redis.h"
+
+#include <charconv>
+
+namespace deepflow::protocols {
+
+namespace {
+
+/// Parse "<digits>\r\n" after a type byte; nullopt on malformed input.
+std::optional<i64> read_length(std::string_view payload, size_t* pos) {
+  const size_t eol = payload.find("\r\n", *pos);
+  if (eol == std::string_view::npos) return std::nullopt;
+  i64 value = 0;
+  const std::string_view digits = payload.substr(*pos, eol - *pos);
+  if (digits.empty()) return std::nullopt;
+  const auto [next, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc{} || next != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  *pos = eol + 2;
+  return value;
+}
+
+std::optional<std::string> read_bulk(std::string_view payload, size_t* pos) {
+  if (*pos >= payload.size() || payload[*pos] != '$') return std::nullopt;
+  ++*pos;
+  const auto len = read_length(payload, pos);
+  if (!len || *len < 0) return std::nullopt;
+  // Tolerate snapshot truncation: take what is present.
+  const size_t avail = payload.size() > *pos ? payload.size() - *pos : 0;
+  const size_t take = std::min(static_cast<size_t>(*len), avail);
+  std::string out(payload.substr(*pos, take));
+  *pos += take + 2;  // skip trailing CRLF (may run past end on truncation)
+  return out;
+}
+
+}  // namespace
+
+bool RedisParser::infer(std::string_view payload) const {
+  if (payload.size() < 4) return false;
+  const char type = payload[0];
+  if (type == '*' || type == '$') {
+    // Arrays and bulk strings must be followed by a digit (or -1 null).
+    const char next = payload[1];
+    return (next >= '0' && next <= '9') || next == '-';
+  }
+  if (type == '+' || type == '-' || type == ':') {
+    return payload.find("\r\n") != std::string_view::npos;
+  }
+  return false;
+}
+
+std::optional<ParsedMessage> RedisParser::parse(
+    std::string_view payload) const {
+  if (!infer(payload)) return std::nullopt;
+  ParsedMessage msg;
+  msg.protocol = L7Protocol::kRedis;
+  switch (payload[0]) {
+    case '*': {  // command array = request
+      size_t pos = 1;
+      const auto count = read_length(payload, &pos);
+      if (!count || *count < 1) return std::nullopt;
+      const auto command = read_bulk(payload, &pos);
+      if (!command) return std::nullopt;
+      msg.type = MessageType::kRequest;
+      msg.method = *command;
+      if (*count > 1) {
+        if (const auto key = read_bulk(payload, &pos)) msg.endpoint = *key;
+      }
+      return msg;
+    }
+    case '+':
+      msg.type = MessageType::kResponse;
+      msg.status_code = 0;
+      msg.ok = true;
+      return msg;
+    case '-': {
+      msg.type = MessageType::kResponse;
+      msg.status_code = 1;
+      msg.ok = false;
+      const size_t eol = payload.find("\r\n");
+      msg.endpoint = std::string(payload.substr(1, eol - 1));
+      return msg;
+    }
+    case ':':
+    case '$':
+      msg.type = MessageType::kResponse;
+      msg.status_code = 0;
+      msg.ok = true;
+      return msg;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string build_redis_command(const std::vector<std::string>& parts) {
+  std::string out = "*" + std::to_string(parts.size()) + "\r\n";
+  for (const std::string& part : parts) {
+    out += "$" + std::to_string(part.size()) + "\r\n" + part + "\r\n";
+  }
+  return out;
+}
+
+std::string build_redis_ok(std::string_view text) {
+  return "+" + std::string(text) + "\r\n";
+}
+
+std::string build_redis_bulk(std::string_view value) {
+  return "$" + std::to_string(value.size()) + "\r\n" + std::string(value) +
+         "\r\n";
+}
+
+std::string build_redis_error(std::string_view message) {
+  return "-ERR " + std::string(message) + "\r\n";
+}
+
+}  // namespace deepflow::protocols

@@ -1,0 +1,33 @@
+// Redis serialization protocol (RESP). Pipeline protocol: commands and
+// replies on one connection stay strictly ordered.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "protocols/parser.h"
+
+namespace deepflow::protocols {
+
+class RedisParser final : public ProtocolParser {
+ public:
+  L7Protocol protocol() const override { return L7Protocol::kRedis; }
+  SessionMatchMode match_mode() const override {
+    return SessionMatchMode::kPipeline;
+  }
+  bool infer(std::string_view payload) const override;
+  std::optional<ParsedMessage> parse(std::string_view payload) const override;
+};
+
+/// RESP array of bulk strings: {"GET", "user:42"} ->
+/// "*2\r\n$3\r\nGET\r\n$7\r\nuser:42\r\n".
+std::string build_redis_command(const std::vector<std::string>& parts);
+
+/// Simple-string reply ("+OK\r\n").
+std::string build_redis_ok(std::string_view text = "OK");
+/// Bulk-string reply ("$5\r\nhello\r\n").
+std::string build_redis_bulk(std::string_view value);
+/// Error reply ("-ERR ...\r\n").
+std::string build_redis_error(std::string_view message);
+
+}  // namespace deepflow::protocols

@@ -1,0 +1,75 @@
+#include "protocols/parser.h"
+
+#include "protocols/amqp.h"
+#include "protocols/dns.h"
+#include "protocols/dubbo.h"
+#include "protocols/http1.h"
+#include "protocols/http2.h"
+#include "protocols/kafka.h"
+#include "protocols/mqtt.h"
+#include "protocols/mysql.h"
+#include "protocols/redis.h"
+
+namespace deepflow::protocols {
+
+std::string_view l7_protocol_name(L7Protocol protocol) {
+  switch (protocol) {
+    case L7Protocol::kUnknown: return "unknown";
+    case L7Protocol::kHttp1: return "http";
+    case L7Protocol::kHttp2: return "http2";
+    case L7Protocol::kDns: return "dns";
+    case L7Protocol::kRedis: return "redis";
+    case L7Protocol::kMysql: return "mysql";
+    case L7Protocol::kKafka: return "kafka";
+    case L7Protocol::kMqtt: return "mqtt";
+    case L7Protocol::kDubbo: return "dubbo";
+    case L7Protocol::kAmqp: return "amqp";
+  }
+  return "?";
+}
+
+std::string extract_trace_id(std::string_view traceparent) {
+  // "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex = 55 chars.
+  if (traceparent.size() < 55 || !traceparent.starts_with("00-") ||
+      traceparent[35] != '-') {
+    return {};
+  }
+  return std::string(traceparent.substr(3, 32));
+}
+
+ProtocolRegistry ProtocolRegistry::with_builtin() {
+  ProtocolRegistry registry;
+  // Specificity order: hard magic numbers first (Dubbo), then structured
+  // binary (HTTP/2, MySQL, Kafka, MQTT, DNS), then text (HTTP/1, Redis).
+  registry.register_parser(std::make_unique<DubboParser>());
+  registry.register_parser(std::make_unique<AmqpParser>());
+  registry.register_parser(std::make_unique<Http2Parser>());
+  registry.register_parser(std::make_unique<MysqlParser>());
+  registry.register_parser(std::make_unique<KafkaParser>());
+  registry.register_parser(std::make_unique<MqttParser>());
+  registry.register_parser(std::make_unique<DnsParser>());
+  registry.register_parser(std::make_unique<Http1Parser>());
+  registry.register_parser(std::make_unique<RedisParser>());
+  return registry;
+}
+
+void ProtocolRegistry::register_parser(
+    std::unique_ptr<ProtocolParser> parser) {
+  parsers_.push_back(std::move(parser));
+}
+
+const ProtocolParser* ProtocolRegistry::infer(std::string_view payload) const {
+  for (const auto& parser : parsers_) {
+    if (parser->infer(payload)) return parser.get();
+  }
+  return nullptr;
+}
+
+const ProtocolParser* ProtocolRegistry::parser_for(L7Protocol protocol) const {
+  for (const auto& parser : parsers_) {
+    if (parser->protocol() == protocol) return parser.get();
+  }
+  return nullptr;
+}
+
+}  // namespace deepflow::protocols

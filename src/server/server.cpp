@@ -1,0 +1,79 @@
+#include "server/server.h"
+
+namespace deepflow::server {
+
+DeepFlowServer::DeepFlowServer(const netsim::ResourceRegistry* registry,
+                               ServerConfig config)
+    : registry_(registry),
+      store_(config.encoder, registry),
+      assembler_(&store_, config.assembler),
+      reaggregator_(config.reaggregation) {}
+
+void DeepFlowServer::ingest(agent::Span&& span) {
+  ++ingested_;
+  store_.insert(std::move(span));
+}
+
+void DeepFlowServer::ingest_third_party(agent::Span&& span) {
+  span.kind = agent::SpanKind::kThirdParty;
+  ingest(std::move(span));
+}
+
+void DeepFlowServer::emit_reaggregated(const std::string& host,
+                                       agent::Session&& session) {
+  const auto [it, inserted] = builders_.try_emplace(host, host, registry_);
+  ingest(it->second.build(session));
+}
+
+void DeepFlowServer::ingest_straggler(const std::string& host,
+                                      agent::MessageData&& message) {
+  const u64 flow_key = agent::flow_key_of(message);
+  straggler_hosts_[flow_key] = host;
+  reaggregator_.offer(flow_key, std::move(message), [this](
+                                                        agent::Session&& s) {
+    emit_reaggregated(straggler_hosts_[s.flow_key], std::move(s));
+  });
+}
+
+void DeepFlowServer::finalize() {
+  reaggregator_.flush([this](agent::Session&& s) {
+    emit_reaggregated(straggler_hosts_[s.flow_key], std::move(s));
+  });
+}
+
+void DeepFlowServer::ingest_flow_metrics(const FiveTuple& tuple,
+                                         const netsim::FlowMetrics& metrics) {
+  flow_metrics_[tuple.canonical()] = metrics;
+}
+
+void DeepFlowServer::ingest_device_metrics(
+    const std::string& device, const netsim::DeviceMetrics& metrics) {
+  device_metrics_[device] = metrics;
+}
+
+std::vector<agent::Span> DeepFlowServer::query_span_list(
+    TimestampNs from, TimestampNs to, size_t limit) const {
+  std::vector<agent::Span> out;
+  for (const u64 id : store_.span_list(from, to, limit)) {
+    out.push_back(store_.materialize(id));
+  }
+  return out;
+}
+
+AssembledTrace DeepFlowServer::query_trace(u64 span_id) const {
+  return assembler_.assemble(span_id);
+}
+
+const netsim::FlowMetrics* DeepFlowServer::metrics_for(
+    const agent::Span& span) const {
+  const auto it = flow_metrics_.find(span.tuple.canonical());
+  return it == flow_metrics_.end() ? nullptr : &it->second;
+}
+
+const netsim::DeviceMetrics* DeepFlowServer::device_metrics(
+    const std::string& name) const {
+  const auto it = device_metrics_.find(name);
+  return it == device_metrics_.end() ? nullptr : &it->second;
+}
+
+}  // namespace deepflow::server

@@ -1,0 +1,108 @@
+// The DeepFlow Server (Figure 4): a cluster-level process that stores spans
+// from every agent, integrates third-party spans and network metrics, and
+// answers user queries — span lists by time range and assembled traces.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "agent/session_aggregator.h"
+#include "agent/span_builder.h"
+#include "netsim/fabric.h"
+#include "server/span_store.h"
+#include "server/trace_assembler.h"
+
+namespace deepflow::server {
+
+struct ServerConfig {
+  EncoderKind encoder = EncoderKind::kSmart;
+  AssemblerConfig assembler;
+  /// Second-chance aggregation of messages that fell out of the agents'
+  /// windows (§3.3.1): same technique, much wider window.
+  agent::SessionAggregatorConfig reaggregation{
+      .slot_ns = 600 * kSecond, .slot_count = 3,
+      .pairing_slack_ns = 10 * kSecond};
+};
+
+/// Snapshot of network metrics correlated to a flow (tag-based correlation,
+/// §3.4: traces and metrics share resource/flow tags, so a trace query can
+/// pull the related metrics in one step — the §4.1.3 debugging workflow).
+struct FlowMetricsRecord {
+  FiveTuple tuple;
+  netsim::FlowMetrics metrics;
+};
+
+class DeepFlowServer {
+ public:
+  DeepFlowServer(const netsim::ResourceRegistry* registry,
+                 ServerConfig config = {});
+
+  /// Agent transport endpoint: store one span.
+  void ingest(agent::Span&& span);
+
+  /// Third-party (OpenTelemetry-style) span integration.
+  void ingest_third_party(agent::Span&& span);
+
+  /// Agent upload of an out-of-window message: re-aggregated server-side
+  /// with the same session technique over a much wider window.
+  void ingest_straggler(const std::string& host, agent::MessageData&& message);
+
+  /// Flush the re-aggregation window; pairs that never completed become
+  /// incomplete spans. Call once after every agent has finished.
+  void finalize();
+
+  u64 reaggregated_sessions() const {
+    return reaggregator_.matched_sessions();
+  }
+
+  /// Metric integration: flow-level counters keyed by canonical tuple and
+  /// device-level counters keyed by device name.
+  void ingest_flow_metrics(const FiveTuple& tuple,
+                           const netsim::FlowMetrics& metrics);
+  void ingest_device_metrics(const std::string& device,
+                             const netsim::DeviceMetrics& metrics);
+
+  // -- Queries. -------------------------------------------------------------
+
+  /// Spans starting within [from, to], materialized, time-ordered, capped
+  /// at `limit` rows (list views are paginated in the front end).
+  std::vector<agent::Span> query_span_list(TimestampNs from, TimestampNs to,
+                                           size_t limit = ~size_t{0}) const;
+
+  /// Assemble the full trace containing `span_id` (Algorithm 1).
+  AssembledTrace query_trace(u64 span_id) const;
+
+  /// Metrics correlated with a span via its flow tags.
+  const netsim::FlowMetrics* metrics_for(const agent::Span& span) const;
+  const netsim::DeviceMetrics* device_metrics(const std::string& name) const;
+
+  /// Span ids matching a predicate (front-end style filtering: slow spans,
+  /// error spans, specific endpoints...).
+  template <typename Pred>
+  std::vector<u64> find_spans(Pred&& predicate) const {
+    std::vector<u64> out;
+    for (const u64 id : store_.span_list(0, ~TimestampNs{0})) {
+      if (predicate(store_.row(id)->span)) out.push_back(id);
+    }
+    return out;
+  }
+
+  const SpanStore& store() const { return store_; }
+  u64 ingested_spans() const { return ingested_; }
+
+ private:
+  void emit_reaggregated(const std::string& host, agent::Session&& session);
+
+  const netsim::ResourceRegistry* registry_;
+  SpanStore store_;
+  TraceAssembler assembler_;
+  agent::SessionAggregator reaggregator_;
+  std::unordered_map<std::string, agent::SpanBuilder> builders_;
+  std::unordered_map<u64, std::string> straggler_hosts_;  // flow key -> host
+  std::unordered_map<FiveTuple, netsim::FlowMetrics, FiveTupleHash>
+      flow_metrics_;
+  std::unordered_map<std::string, netsim::DeviceMetrics> device_metrics_;
+  u64 ingested_ = 0;
+};
+
+}  // namespace deepflow::server

@@ -1,0 +1,105 @@
+#include "server/span_store.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace deepflow::server {
+
+u64 pseudo_thread_key(const agent::Span& span) {
+  u64 h = fnv1a(span.host);
+  h = hash_combine(h, span.pid);
+  return hash_combine(h, span.pseudo_thread_id);
+}
+
+SpanStore::SpanStore(EncoderKind encoder_kind,
+                     const netsim::ResourceRegistry* registry)
+    : encoder_(make_encoder(encoder_kind)), registry_(registry) {}
+
+u64 SpanStore::insert(agent::Span span) {
+  // Defensive uniqueness: a colliding or zero id gets remapped into a
+  // store-private range rather than silently shadowing an existing row.
+  if (span.span_id == 0 || rows_.contains(span.span_id)) {
+    span.span_id = (u64{1} << 56) | ++remap_counter_;
+  }
+  const u64 id = span.span_id;
+  SpanRow row;
+  if (registry_ != nullptr) {
+    row.tag_blob = encoder_->encode(span, *registry_);
+  }
+  span.tags.clear();  // tags live in the blob, not the row columns
+  blob_bytes_ += row.tag_blob.size();
+  index_span(span, id);
+  row.span = std::move(span);
+  rows_.emplace(id, std::move(row));
+  return id;
+}
+
+void SpanStore::index_span(const agent::Span& span, u64 id) {
+  if (span.systrace_id != kInvalidSystraceId) {
+    by_systrace_[span.systrace_id].push_back(id);
+  }
+  if (span.pseudo_thread_id != 0) {
+    by_pseudo_thread_[pseudo_thread_key(span)].push_back(id);
+  }
+  if (!span.x_request_id.empty()) {
+    by_x_request_id_[span.x_request_id].push_back(id);
+  }
+  if (span.req_tcp_seq != 0) by_tcp_seq_[span.req_tcp_seq].push_back(id);
+  if (span.resp_tcp_seq != 0) by_tcp_seq_[span.resp_tcp_seq].push_back(id);
+  if (!span.otel_trace_id.empty()) {
+    by_otel_id_[span.otel_trace_id].push_back(id);
+  }
+  by_time_.emplace_back(span.start_ts, id);
+  time_sorted_ = false;
+}
+
+const SpanRow* SpanStore::row(u64 span_id) const {
+  const auto it = rows_.find(span_id);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+agent::Span SpanStore::materialize(u64 span_id) const {
+  const SpanRow* stored = row(span_id);
+  if (stored == nullptr) return {};
+  agent::Span span = stored->span;
+  if (registry_ != nullptr) {
+    span.tags = encoder_->decode(stored->tag_blob, span, *registry_);
+  }
+  return span;
+}
+
+std::vector<u64> SpanStore::search(const SearchFilter& filter) const {
+  std::unordered_set<u64> result;
+  const auto collect = [&result](const auto& index, const auto& keys) {
+    for (const auto& key : keys) {
+      const auto it = index.find(key);
+      if (it == index.end()) continue;
+      result.insert(it->second.begin(), it->second.end());
+    }
+  };
+  collect(by_systrace_, filter.systrace_ids);
+  collect(by_pseudo_thread_, filter.pseudo_thread_keys);
+  collect(by_x_request_id_, filter.x_request_ids);
+  collect(by_tcp_seq_, filter.tcp_seqs);
+  collect(by_otel_id_, filter.otel_trace_ids);
+  return std::vector<u64>(result.begin(), result.end());
+}
+
+std::vector<u64> SpanStore::span_list(TimestampNs from, TimestampNs to,
+                                      size_t limit) const {
+  if (!time_sorted_) {
+    std::sort(by_time_.begin(), by_time_.end());
+    time_sorted_ = true;
+  }
+  std::vector<u64> out;
+  auto lo = std::lower_bound(by_time_.begin(), by_time_.end(),
+                             std::make_pair(from, u64{0}));
+  for (auto it = lo; it != by_time_.end() && it->first <= to; ++it) {
+    if (out.size() >= limit) break;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace deepflow::server

@@ -1,0 +1,91 @@
+// Span storage: the server-side database (ClickHouse stand-in). Rows hold
+// the span's fixed columns plus the encoder-produced tag blob; secondary
+// indexes cover every association attribute Algorithm 1 filters on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "agent/span.h"
+#include "server/tag_encoding.h"
+
+namespace deepflow::server {
+
+/// One stored row: span columns + encoded tags.
+struct SpanRow {
+  agent::Span span;       // tags vector left empty; blob holds encodings
+  std::string tag_blob;
+};
+
+/// Filter for the iterative span search (Algorithm 1, lines 5-11): a span
+/// matches when ANY of its association attributes appears in the filter.
+struct SearchFilter {
+  std::unordered_set<SystraceId> systrace_ids;
+  std::unordered_set<u64> pseudo_thread_keys;  // hash(host, pid, ptid)
+  std::unordered_set<std::string> x_request_ids;
+  std::unordered_set<TcpSeq> tcp_seqs;
+  std::unordered_set<std::string> otel_trace_ids;
+
+  bool empty() const {
+    return systrace_ids.empty() && pseudo_thread_keys.empty() &&
+           x_request_ids.empty() && tcp_seqs.empty() &&
+           otel_trace_ids.empty();
+  }
+};
+
+/// Key combining host, pid and pseudo-thread id — pseudo-thread ids are only
+/// unique per kernel, so cross-host aliasing must be excluded.
+u64 pseudo_thread_key(const agent::Span& span);
+
+class SpanStore {
+ public:
+  SpanStore(EncoderKind encoder_kind, const netsim::ResourceRegistry* registry);
+
+  /// Encode tags and store the span. Returns the span id.
+  u64 insert(agent::Span span);
+
+  const SpanRow* row(u64 span_id) const;
+
+  /// Materialize a span with its full decoded tag set (query-time join).
+  agent::Span materialize(u64 span_id) const;
+
+  /// All span ids matching any filter attribute (Algorithm 1's
+  /// search_database). Complexity: proportional to matches, via indexes.
+  std::vector<u64> search(const SearchFilter& filter) const;
+
+  /// Span ids whose start timestamp falls in [from, to], time-ordered,
+  /// capped at `limit` (front ends page through span lists).
+  std::vector<u64> span_list(TimestampNs from, TimestampNs to,
+                             size_t limit = ~size_t{0}) const;
+
+  size_t row_count() const { return rows_.size(); }
+  /// Bytes consumed by row blobs (the Fig 14 "disk" proxy).
+  u64 blob_bytes() const { return blob_bytes_; }
+  /// Bytes of encoder auxiliary state (dictionaries; Fig 14 "memory" part).
+  u64 encoder_aux_bytes() const { return encoder_->auxiliary_bytes(); }
+  std::string_view encoder_name() const { return encoder_->name(); }
+
+ private:
+  void index_span(const agent::Span& span, u64 id);
+
+  std::unique_ptr<TagEncoder> encoder_;
+  const netsim::ResourceRegistry* registry_;
+  std::unordered_map<u64, SpanRow> rows_;
+  u64 blob_bytes_ = 0;
+  u64 remap_counter_ = 0;
+
+  // Secondary indexes over association attributes.
+  std::unordered_map<SystraceId, std::vector<u64>> by_systrace_;
+  std::unordered_map<u64, std::vector<u64>> by_pseudo_thread_;
+  std::unordered_map<std::string, std::vector<u64>> by_x_request_id_;
+  std::unordered_map<TcpSeq, std::vector<u64>> by_tcp_seq_;
+  std::unordered_map<std::string, std::vector<u64>> by_otel_id_;
+  // Time index: (start_ts, id), kept sorted lazily.
+  mutable std::vector<std::pair<TimestampNs, u64>> by_time_;
+  mutable bool time_sorted_ = true;
+};
+
+}  // namespace deepflow::server

@@ -1,0 +1,187 @@
+#include "server/tag_encoding.h"
+
+#include <unordered_map>
+
+#include "protocols/bytes.h"
+
+namespace deepflow::server {
+
+using agent::Span;
+using agent::Tag;
+using netsim::ResourceRegistry;
+
+std::vector<Tag> materialize_tags(const Span& span,
+                                  const ResourceRegistry& reg) {
+  std::vector<Tag> tags;
+  tags.reserve(24);
+  const netsim::ResourceInfo client = reg.resolve(span.tuple.src_ip);
+  const netsim::ResourceInfo server = reg.resolve(span.tuple.dst_ip);
+
+  const auto add = [&tags](std::string key, const std::string& value) {
+    if (!value.empty()) tags.push_back(Tag{std::move(key), value});
+  };
+
+  add("client.ip", span.tuple.src_ip.to_string());
+  add("server.ip", span.tuple.dst_ip.to_string());
+  add("vpc", !client.vpc_name.empty() ? client.vpc_name : server.vpc_name);
+  add("region", !client.region.empty() ? client.region : server.region);
+  add("client.pod", client.pod_name);
+  add("client.node", client.node_name);
+  add("client.service", client.service_name);
+  add("client.az", client.availability_zone);
+  add("server.pod", server.pod_name);
+  add("server.node", server.node_name);
+  add("server.service", server.service_name);
+  add("server.az", server.availability_zone);
+  for (const netsim::Label& label : client.custom_labels) {
+    add("client.label." + label.key, label.value);
+  }
+  for (const netsim::Label& label : server.custom_labels) {
+    add("server.label." + label.key, label.value);
+  }
+  return tags;
+}
+
+namespace {
+
+// ---------------------------------------------------------------- Direct --
+
+class DirectEncoder final : public TagEncoder {
+ public:
+  std::string_view name() const override { return "direct"; }
+
+  std::string encode(const Span& span, const ResourceRegistry& reg) override {
+    // Every tag, fully spelled out, per row: "key=value\n...".
+    std::string blob;
+    for (const Tag& tag : materialize_tags(span, reg)) {
+      blob.append(tag.key).push_back('=');
+      blob.append(tag.value).push_back('\n');
+    }
+    return blob;
+  }
+
+  std::vector<Tag> decode(const std::string& blob, const Span&,
+                          const ResourceRegistry&) const override {
+    std::vector<Tag> tags;
+    size_t pos = 0;
+    while (pos < blob.size()) {
+      const size_t eq = blob.find('=', pos);
+      const size_t nl = blob.find('\n', pos);
+      if (eq == std::string::npos || nl == std::string::npos || eq > nl) break;
+      tags.push_back(Tag{blob.substr(pos, eq - pos),
+                         blob.substr(eq + 1, nl - eq - 1)});
+      pos = nl + 1;
+    }
+    return tags;
+  }
+};
+
+// -------------------------------------------------------- LowCardinality --
+
+class LowCardinalityEncoder final : public TagEncoder {
+ public:
+  std::string_view name() const override { return "low-cardinality"; }
+
+  std::string encode(const Span& span, const ResourceRegistry& reg) override {
+    // Rows hold 32-bit dictionary references per key and per value; the
+    // dictionaries intern each distinct string once.
+    protocols::BinaryWriter w;
+    const std::vector<Tag> tags = materialize_tags(span, reg);
+    w.write_u16(static_cast<u16>(tags.size()));
+    for (const Tag& tag : tags) {
+      w.write_u32(intern(tag.key));
+      w.write_u32(intern(tag.value));
+    }
+    return std::move(w).str();
+  }
+
+  std::vector<Tag> decode(const std::string& blob, const Span&,
+                          const ResourceRegistry&) const override {
+    protocols::BinaryReader r(blob);
+    std::vector<Tag> tags;
+    const auto count = r.read_u16();
+    if (!count) return tags;
+    tags.reserve(*count);
+    for (u16 i = 0; i < *count; ++i) {
+      const auto key = r.read_u32();
+      const auto value = r.read_u32();
+      if (!key || !value) break;
+      tags.push_back(Tag{string_of(*key), string_of(*value)});
+    }
+    return tags;
+  }
+
+  u64 auxiliary_bytes() const override { return dictionary_bytes_; }
+
+ private:
+  u32 intern(const std::string& text) {
+    const auto [it, inserted] = ids_.try_emplace(text, next_id_);
+    if (inserted) {
+      strings_.push_back(text);
+      // Dictionary cost: the string bytes plus the hash-entry overhead.
+      dictionary_bytes_ += text.size() + sizeof(u32) + 32;
+      ++next_id_;
+    }
+    return it->second;
+  }
+
+  const std::string& string_of(u32 id) const {
+    static const std::string kUnknown = "?";
+    return id < strings_.size() ? strings_[id] : kUnknown;
+  }
+
+  std::unordered_map<std::string, u32> ids_;
+  std::vector<std::string> strings_;
+  u32 next_id_ = 0;
+  u64 dictionary_bytes_ = 0;
+};
+
+// ----------------------------------------------------------------- Smart --
+
+class SmartEncoder final : public TagEncoder {
+ public:
+  std::string_view name() const override { return "smart"; }
+
+  std::string encode(const Span& span, const ResourceRegistry& reg) override {
+    // Phase one happened at the agent: the span already carries integer
+    // VPC + IP tags. Phase two here: resolve the integer resource ids for
+    // both endpoints and store them as fixed-width ints. No strings.
+    protocols::BinaryWriter w;
+    w.write_u32(span.int_tags.vpc_id);
+    w.write_u32(span.int_tags.client_ip);
+    w.write_u32(span.int_tags.server_ip);
+    const netsim::ResourceInfo client = reg.resolve(Ipv4{span.int_tags.client_ip});
+    const netsim::ResourceInfo server = reg.resolve(Ipv4{span.int_tags.server_ip});
+    w.write_u32(client.pod);
+    w.write_u32(client.node);
+    w.write_u32(client.service);
+    w.write_u32(server.pod);
+    w.write_u32(server.node);
+    w.write_u32(server.service);
+    return std::move(w).str();
+  }
+
+  std::vector<Tag> decode(const std::string& blob, const Span& span,
+                          const ResourceRegistry& reg) const override {
+    // Query-time join: integer ids expand to names, and the self-defined
+    // labels are pulled from the registry only now (phase three, Fig 8 (8)).
+    protocols::BinaryReader r(blob);
+    r.skip(sizeof(u32) * 9);
+    if (!r.ok()) return {};
+    return materialize_tags(span, reg);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TagEncoder> make_encoder(EncoderKind kind) {
+  switch (kind) {
+    case EncoderKind::kDirect: return std::make_unique<DirectEncoder>();
+    case EncoderKind::kLowCardinality:
+      return std::make_unique<LowCardinalityEncoder>();
+    case EncoderKind::kSmart: return std::make_unique<SmartEncoder>();
+  }
+  return nullptr;
+}
+
+}  // namespace deepflow::server

@@ -1,0 +1,55 @@
+// Tag encoding strategies (§3.4, Figure 8). In production up to ~100 tags
+// relate to a single trace; how they are stored dominates back-end cost.
+// Three strategies are implemented, matching the paper's Fig 14 comparison:
+//
+//   * Direct         — every tag stored as full "key=value" strings.
+//   * LowCardinality — per-column dictionary encoding (ClickHouse's
+//                      LowCardinality type): strings interned once, rows
+//                      store 32-bit references.
+//   * Smart          — DeepFlow's two-phase scheme: rows store only integer
+//                      VPC/IP tags plus server-resolved integer resource
+//                      ids; name strings and self-defined labels are joined
+//                      from the resource registry at query time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/span.h"
+#include "netsim/resource.h"
+
+namespace deepflow::server {
+
+/// Expand a span's identity into the full human-readable tag set (what the
+/// front end ultimately shows): resource names for both endpoints, cloud
+/// location, plus the pods' self-defined labels.
+std::vector<agent::Tag> materialize_tags(const agent::Span& span,
+                                         const netsim::ResourceRegistry& reg);
+
+class TagEncoder {
+ public:
+  virtual ~TagEncoder() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Encode the span's tags into the opaque row blob. May consult the
+  /// registry (smart encoding resolves resource ids at ingest).
+  virtual std::string encode(const agent::Span& span,
+                             const netsim::ResourceRegistry& reg) = 0;
+
+  /// Recover the full tag set from a row blob at query time.
+  virtual std::vector<agent::Tag> decode(
+      const std::string& blob, const agent::Span& span,
+      const netsim::ResourceRegistry& reg) const = 0;
+
+  /// Bytes of auxiliary state (dictionaries etc.) beyond the row blobs.
+  virtual u64 auxiliary_bytes() const { return 0; }
+};
+
+/// Fig 14's three strategies.
+enum class EncoderKind : u8 { kDirect, kLowCardinality, kSmart };
+
+std::unique_ptr<TagEncoder> make_encoder(EncoderKind kind);
+
+}  // namespace deepflow::server

@@ -1,0 +1,152 @@
+#include "server/trace_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace deepflow::server {
+
+namespace {
+
+using agent::Span;
+using agent::SpanKind;
+
+bool is_sys_or_app(const Span& s) {
+  return s.kind == SpanKind::kSystem || s.kind == SpanKind::kApplication;
+}
+
+std::string tag_value(const Span& span, const std::string& key) {
+  for (const agent::Tag& tag : span.tags) {
+    if (tag.key == key) return tag.value;
+  }
+  return {};
+}
+
+std::string component_of(const Span& span) {
+  // Serving identity: the pod the smart-encoded tags resolve to, falling
+  // back to host:pid when the endpoint is untagged (external/unknown).
+  const std::string pod = tag_value(span, span.from_server_side
+                                              ? "server.pod"
+                                              : "client.pod");
+  if (!pod.empty()) return pod;
+  return span.host + ":" + std::to_string(span.pid);
+}
+
+}  // namespace
+
+TraceAnalysis analyze(const AssembledTrace& trace) {
+  TraceAnalysis analysis;
+  if (trace.spans.empty()) return analysis;
+
+  // Root duration = end-to-end time of the user-visible request.
+  for (const AssembledSpan& s : trace.spans) {
+    if (s.span.parent_span_id == 0 && is_sys_or_app(s.span)) {
+      analysis.total_ns = std::max(analysis.total_ns, s.span.duration());
+    }
+  }
+
+  // Match each client-side session to its server-side counterpart via the
+  // request TCP sequence (the same key the assembler chains on).
+  std::unordered_map<TcpSeq, const Span*> servers_by_seq;
+  for (const AssembledSpan& s : trace.spans) {
+    if (is_sys_or_app(s.span) && s.span.from_server_side &&
+        s.span.req_tcp_seq != 0) {
+      servers_by_seq[s.span.req_tcp_seq] = &s.span;
+    }
+  }
+
+  // Children index over sys/app spans (for exclusive-time subtraction).
+  std::unordered_map<u64, std::vector<const Span*>> children;
+  for (const AssembledSpan& s : trace.spans) {
+    if (is_sys_or_app(s.span) && s.span.parent_span_id != 0) {
+      children[s.span.parent_span_id].push_back(&s.span);
+    }
+  }
+
+  std::map<std::string, ComponentTime> components;
+  std::map<std::string, EdgeTime> edges;
+
+  for (const AssembledSpan& s : trace.spans) {
+    const Span& span = s.span;
+    if (!is_sys_or_app(span)) continue;
+
+    if (span.from_server_side) {
+      // Self time: serving duration minus the outbound calls nested in it.
+      DurationNs nested = 0;
+      if (const auto it = children.find(span.span_id); it != children.end()) {
+        for (const Span* child : it->second) {
+          if (!child->from_server_side) nested += child->duration();
+        }
+      }
+      const DurationNs self =
+          span.duration() > nested ? span.duration() - nested : 0;
+      ComponentTime& ct = components[component_of(span)];
+      ct.component = component_of(span);
+      ct.self_ns += self;
+      ct.total_ns += span.duration();
+      ct.spans += 1;
+    } else if (span.req_tcp_seq != 0) {
+      // Edge network time: the client saw the session for longer than the
+      // server served it; the difference is transit + stacks.
+      const auto server = servers_by_seq.find(span.req_tcp_seq);
+      if (server != servers_by_seq.end() &&
+          span.duration() >= server->second->duration()) {
+        const DurationNs net = span.duration() - server->second->duration();
+        const std::string name = component_of(span) + " -> " +
+                                 component_of(*server->second) +
+                                 (span.endpoint.empty() ? "" : " " +
+                                                                   span.endpoint);
+        EdgeTime& et = edges[name];
+        et.edge = name;
+        et.network_ns += net;
+        et.sessions += 1;
+      }
+    }
+  }
+
+  for (auto& [name, ct] : components) {
+    analysis.compute_ns += ct.self_ns;
+    analysis.components.push_back(std::move(ct));
+  }
+  for (auto& [name, et] : edges) {
+    analysis.network_ns += et.network_ns;
+    analysis.edges.push_back(std::move(et));
+  }
+  std::sort(analysis.components.begin(), analysis.components.end(),
+            [](const ComponentTime& a, const ComponentTime& b) {
+              return a.self_ns > b.self_ns;
+            });
+  std::sort(analysis.edges.begin(), analysis.edges.end(),
+            [](const EdgeTime& a, const EdgeTime& b) {
+              return a.network_ns > b.network_ns;
+            });
+  return analysis;
+}
+
+std::string TraceAnalysis::render() const {
+  char line[192];
+  std::string out;
+  std::snprintf(line, sizeof line,
+                "end-to-end %.1fus = compute %.1fus + network %.1fus "
+                "(+ capture skew)\n",
+                static_cast<double>(total_ns) / 1e3,
+                static_cast<double>(compute_ns) / 1e3,
+                static_cast<double>(network_ns) / 1e3);
+  out += line;
+  out += "component self-time:\n";
+  for (const ComponentTime& ct : components) {
+    std::snprintf(line, sizeof line, "  %-28s %10.1fus  (%zu spans)\n",
+                  ct.component.c_str(),
+                  static_cast<double>(ct.self_ns) / 1e3, ct.spans);
+    out += line;
+  }
+  out += "edge network time:\n";
+  for (const EdgeTime& et : edges) {
+    std::snprintf(line, sizeof line, "  %-44s %10.1fus\n", et.edge.c_str(),
+                  static_cast<double>(et.network_ns) / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace deepflow::server

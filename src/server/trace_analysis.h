@@ -1,0 +1,47 @@
+// Latency decomposition of an assembled trace: the "rapid problem location"
+// analysis the DeepFlow front end offers on top of raw traces. Splits a
+// request's end-to-end time into per-component self time (computation
+// inside one serving process) and per-edge network time (client-observed
+// minus server-observed duration of the same session, which is transit +
+// kernel stack — measurable only because both sides of every edge are
+// captured).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "server/trace_assembler.h"
+
+namespace deepflow::server {
+
+/// Self (exclusive) time spent inside one serving component.
+struct ComponentTime {
+  std::string component;  // serving pod name (or host:pid when untagged)
+  DurationNs self_ns = 0;
+  DurationNs total_ns = 0;  // inclusive (sum of its server-side spans)
+  size_t spans = 0;
+};
+
+/// Network share of one client->server edge.
+struct EdgeTime {
+  std::string edge;  // "client-pod -> server-pod /endpoint"
+  DurationNs network_ns = 0;
+  size_t sessions = 0;
+};
+
+struct TraceAnalysis {
+  DurationNs total_ns = 0;      // root span duration
+  DurationNs network_ns = 0;    // summed over edges
+  DurationNs compute_ns = 0;    // summed component self time
+  std::vector<ComponentTime> components;  // sorted, largest self time first
+  std::vector<EdgeTime> edges;            // sorted, largest network first
+
+  /// Human-readable summary table for terminals.
+  std::string render() const;
+};
+
+/// Decompose `trace`. Works on any assembled trace; incomplete spans
+/// contribute what they observed.
+TraceAnalysis analyze(const AssembledTrace& trace);
+
+}  // namespace deepflow::server

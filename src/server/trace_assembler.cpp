@@ -1,0 +1,322 @@
+#include "server/trace_assembler.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace deepflow::server {
+
+using agent::Span;
+using agent::SpanKind;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Parent rule table. Each rule is a predicate over (child X, candidate P)
+// evaluated in priority order; within the first rule that has candidates the
+// latest-starting candidate wins. Rules use the four signals the paper
+// names: collection location (client/server side), start and finish time,
+// span kind, and message semantics.
+//
+//  id | child                    | parent                    | keyed on
+// ----+--------------------------+---------------------------+--------------
+//  1  | net span                 | client-side sys/app span  | req TCP seq
+//  2  | net span                 | earlier net span          | req TCP seq
+//  3  | server-side sys/app span | latest net span           | req TCP seq
+//  4  | server-side sys/app span | client-side sys/app span  | req TCP seq
+//  5  | server-side sys/app span | client-side span, resp seq| resp TCP seq
+//  6  | client-side sys/app span | enclosing server-side span| systrace id
+//  7  | client-side sys/app span | enclosing server-side span| pseudo-thread
+//  8  | client-side sys/app span | server-side span same host| X-Request-ID
+//  9  | client-side sys/app span | enclosing client-side span| systrace id
+// 10  | third-party span         | enclosing third-party span| otel trace id
+// 11  | third-party span         | enclosing sys/app span    | otel trace id
+// 12  | sys/app span w/ context  | enclosing third-party span| otel trace id
+// 13  | app (TLS) span           | enclosing sys span        | host+pid+tid
+// 14  | sys span (ciphertext)    | enclosing app span        | host+pid+tid
+// 15  | any                      | latest same-systrace span | systrace id
+// 16  | any                      | — (root)                  |
+// --------------------------------------------------------------------------
+
+bool is_sys_or_app(const Span& s) {
+  return s.kind == SpanKind::kSystem || s.kind == SpanKind::kApplication;
+}
+
+bool same_host_pid(const Span& a, const Span& b) {
+  return a.pid == b.pid && a.host == b.host;
+}
+
+bool encloses(const Span& parent, const Span& child) {
+  return parent.start_ts <= child.start_ts && parent.end_ts >= child.end_ts;
+}
+
+/// Strictly-before-or-equal start, excluding self; keeps the parent graph
+/// acyclic (ties broken by span id order).
+bool starts_before(const Span& parent, const Span& child) {
+  if (parent.span_id == child.span_id) return false;
+  if (parent.start_ts != child.start_ts) {
+    return parent.start_ts < child.start_ts;
+  }
+  return parent.span_id < child.span_id;
+}
+
+bool shares_req_seq(const Span& a, const Span& b) {
+  return a.req_tcp_seq != 0 && a.req_tcp_seq == b.req_tcp_seq;
+}
+
+using RulePredicate = bool (*)(const Span& x, const Span& p);
+
+struct Rule {
+  ParentRuleId id;
+  RulePredicate applies;
+};
+
+constexpr Rule kRules[] = {
+    // 2: net spans chain hop by hop along the path (checked before rule 1
+    //    so a later hop prefers its predecessor hop over the client span).
+    {2,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kNetwork && p.kind == SpanKind::kNetwork &&
+              shares_req_seq(x, p);
+     }},
+    // 1: the first hop hangs off the client-side syscall that sent the
+    //    request.
+    {1,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kNetwork && is_sys_or_app(p) &&
+              !p.from_server_side && shares_req_seq(x, p);
+     }},
+    // 3: the server-side span continues from the last network hop.
+    {3,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && x.from_server_side &&
+              p.kind == SpanKind::kNetwork && shares_req_seq(x, p);
+     }},
+    // 4: no net spans captured -> server hangs directly off the client.
+    {4,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && x.from_server_side && is_sys_or_app(p) &&
+              !p.from_server_side && shares_req_seq(x, p);
+     }},
+    // 5: L4 forwarders may split request/response observation; fall back to
+    // the response sequence when request sequences were not captured.
+    {5,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && x.from_server_side && is_sys_or_app(p) &&
+              !p.from_server_side && x.resp_tcp_seq != 0 &&
+              x.resp_tcp_seq == p.resp_tcp_seq;
+     }},
+    // 6: outbound call nests in the inbound request being handled
+    //    (same systrace id, same process, enclosing time).
+    {6,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
+              p.from_server_side && same_host_pid(x, p) &&
+              x.systrace_id != kInvalidSystraceId &&
+              x.systrace_id == p.systrace_id && encloses(p, x);
+     }},
+    // 7: coroutine runtimes — same pseudo-thread lineage, enclosing time.
+    {7,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
+              p.from_server_side && same_host_pid(x, p) &&
+              x.pseudo_thread_id != 0 &&
+              x.pseudo_thread_id == p.pseudo_thread_id && encloses(p, x);
+     }},
+    // 8: cross-thread proxies (Nginx/Envoy/HAProxy) — the forwarded request
+    //    carries the X-Request-ID generated by the inbound side.
+    {8,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
+              p.from_server_side && same_host_pid(x, p) &&
+              !x.x_request_id.empty() && x.x_request_id == p.x_request_id;
+     }},
+    // 9: sibling nesting inside one component (client span inside an
+    //    enclosing client span of the same flow; rare, e.g. retries).
+    {9,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
+              !p.from_server_side && same_host_pid(x, p) &&
+              x.systrace_id != kInvalidSystraceId &&
+              x.systrace_id == p.systrace_id && encloses(p, x) &&
+              p.req_tcp_seq != x.req_tcp_seq;
+     }},
+    // 10: third-party spans nest among themselves by trace id + time.
+    {10,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kThirdParty &&
+              p.kind == SpanKind::kThirdParty && !x.otel_trace_id.empty() &&
+              x.otel_trace_id == p.otel_trace_id && encloses(p, x);
+     }},
+    // 11: a third-party span nests in the eBPF span that carried its context.
+    {11,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kThirdParty && is_sys_or_app(p) &&
+              !x.otel_trace_id.empty() &&
+              x.otel_trace_id == p.otel_trace_id && encloses(p, x);
+     }},
+    // 12: and the reverse — an eBPF span that saw a traceparent header nests
+    //     in the framework span that created it.
+    {12,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && p.kind == SpanKind::kThirdParty &&
+              !x.otel_trace_id.empty() &&
+              x.otel_trace_id == p.otel_trace_id && encloses(p, x) &&
+              same_host_pid(x, p);
+     }},
+    // 13: TLS plaintext (app) span inside the ciphertext syscall span.
+    {13,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kApplication &&
+              p.kind == SpanKind::kSystem && same_host_pid(x, p) &&
+              x.tid == p.tid && encloses(p, x);
+     }},
+    // 14: or the syscall span inside the app span when SSL_write wraps it.
+    {14,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kSystem &&
+              p.kind == SpanKind::kApplication && same_host_pid(x, p) &&
+              x.tid == p.tid && encloses(p, x);
+     }},
+    // 15: catch-all — latest earlier span of the same systrace flow.
+    {15,
+     [](const Span& x, const Span& p) {
+       return x.systrace_id != kInvalidSystraceId &&
+              x.systrace_id == p.systrace_id && is_sys_or_app(p) &&
+              p.from_server_side;
+     }},
+    // 16 is the implicit "root" outcome (no rule matched).
+};
+
+}  // namespace
+
+std::vector<u64> AssembledTrace::roots() const {
+  std::vector<u64> out;
+  for (const AssembledSpan& s : spans) {
+    if (s.span.parent_span_id == 0) out.push_back(s.span.span_id);
+  }
+  return out;
+}
+
+std::string AssembledTrace::render() const {
+  // Indent children under parents, preserving time order.
+  std::unordered_map<u64, std::vector<const AssembledSpan*>> children;
+  std::vector<const AssembledSpan*> root_spans;
+  for (const AssembledSpan& s : spans) {
+    if (s.span.parent_span_id == 0) {
+      root_spans.push_back(&s);
+    } else {
+      children[s.span.parent_span_id].push_back(&s);
+    }
+  }
+  std::string out;
+  const std::function<void(const AssembledSpan*, int)> walk =
+      [&](const AssembledSpan* node, int depth) {
+        const Span& s = node->span;
+        out.append(static_cast<size_t>(depth) * 2, ' ');
+        out += "[" + std::string(agent::span_kind_name(s.kind)) + "] ";
+        out += s.kind == SpanKind::kNetwork ? s.device_name : s.host;
+        out += s.from_server_side ? " (server)" : " (client)";
+        out += " " + std::string(protocols::l7_protocol_name(s.protocol));
+        if (!s.method.empty()) out += " " + s.method;
+        if (!s.endpoint.empty()) out += " " + s.endpoint;
+        if (s.status_code != 0) out += " -> " + std::to_string(s.status_code);
+        out += " [" + std::to_string(s.start_ts / 1000) + "us +" +
+               std::to_string(s.duration() / 1000) + "us]";
+        if (s.incomplete) out += " INCOMPLETE";
+        out += "\n";
+        for (const AssembledSpan* child : children[s.span_id]) {
+          walk(child, depth + 1);
+        }
+      };
+  for (const AssembledSpan* root : root_spans) walk(root, 0);
+  return out;
+}
+
+AssembledTrace TraceAssembler::assemble(u64 start_span_id) const {
+  AssembledTrace trace;
+  if (store_->row(start_span_id) == nullptr) return trace;
+
+  // ---- Phase one: iterative span search (Algorithm 1, lines 2-16).
+  std::unordered_map<u64, Span> span_set;
+  span_set.emplace(start_span_id, store_->row(start_span_id)->span);
+
+  for (u32 iter = 0; iter < config_.max_iterations; ++iter) {
+    trace.iterations_used = iter + 1;
+    SearchFilter filter;
+    for (const auto& [id, span] : span_set) {
+      if (span.systrace_id != kInvalidSystraceId) {
+        filter.systrace_ids.insert(span.systrace_id);
+      }
+      if (span.pseudo_thread_id != 0) {
+        filter.pseudo_thread_keys.insert(pseudo_thread_key(span));
+      }
+      if (!span.x_request_id.empty()) {
+        filter.x_request_ids.insert(span.x_request_id);
+      }
+      if (span.req_tcp_seq != 0) filter.tcp_seqs.insert(span.req_tcp_seq);
+      if (span.resp_tcp_seq != 0) filter.tcp_seqs.insert(span.resp_tcp_seq);
+      if (!span.otel_trace_id.empty()) {
+        filter.otel_trace_ids.insert(span.otel_trace_id);
+      }
+    }
+    const std::vector<u64> found = store_->search(filter);
+    const size_t before = span_set.size();
+    for (const u64 id : found) {
+      if (!span_set.contains(id)) span_set.emplace(id, store_->row(id)->span);
+    }
+    if (span_set.size() == before) break;  // not updated -> converged
+  }
+
+  // ---- Phase two: parent assignment (Algorithm 1, lines 18-24).
+  std::vector<Span> spans;
+  spans.reserve(span_set.size());
+  for (auto& [id, span] : span_set) spans.push_back(std::move(span));
+
+  std::vector<ParentRuleId> rules(spans.size(), 0);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    Span& x = spans[i];
+    x.parent_span_id = 0;
+    for (const Rule& rule : kRules) {
+      const Span* best = nullptr;
+      for (const Span& p : spans) {
+        if (!starts_before(p, x)) continue;
+        if (!rule.applies(x, p)) continue;
+        if (best == nullptr || p.start_ts > best->start_ts ||
+            (p.start_ts == best->start_ts && p.span_id > best->span_id)) {
+          best = &p;
+        }
+      }
+      if (best != nullptr) {
+        x.parent_span_id = best->span_id;
+        rules[i] = rule.id;
+        break;
+      }
+    }
+  }
+
+  // ---- Phase three: sort for display (Algorithm 1, line 25).
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (spans[a].start_ts != spans[b].start_ts) {
+      return spans[a].start_ts < spans[b].start_ts;
+    }
+    return spans[a].span_id < spans[b].span_id;
+  });
+
+  trace.spans.reserve(spans.size());
+  for (const size_t i : order) {
+    AssembledSpan out;
+    // Materialize decodes the tag blob for display.
+    out.span = store_->materialize(spans[i].span_id);
+    out.span.parent_span_id = spans[i].parent_span_id;
+    out.parent_rule = rules[i];
+    trace.spans.push_back(std::move(out));
+  }
+  return trace;
+}
+
+}  // namespace deepflow::server

@@ -1,0 +1,52 @@
+// Trace assembling (§3.3.2, Algorithm 1): starting from a user-chosen span,
+// iteratively search the store for spans sharing any association attribute
+// (systrace id, pseudo-thread id, X-Request-ID, TCP sequence, third-party
+// trace id) until the set stops growing, then assign parents using a rule
+// table keyed on collection location, start/finish time, span kind and
+// message type, and finally sort for display.
+#pragma once
+
+#include <vector>
+
+#include "server/span_store.h"
+
+namespace deepflow::server {
+
+struct AssemblerConfig {
+  /// Iteration cap of the search loop (paper default: 30).
+  u32 max_iterations = 30;
+};
+
+/// Which parent rule matched a span (0 = root / no parent). The rule table
+/// is documented in trace_assembler.cpp.
+using ParentRuleId = u8;
+
+struct AssembledSpan {
+  agent::Span span;        // materialized (tags decoded)
+  ParentRuleId parent_rule = 0;
+};
+
+struct AssembledTrace {
+  std::vector<AssembledSpan> spans;  // sorted by start time
+  u32 iterations_used = 0;
+
+  /// Convenience: ids of root spans (no parent).
+  std::vector<u64> roots() const;
+  /// Render an indented tree for terminals (examples use this).
+  std::string render() const;
+};
+
+class TraceAssembler {
+ public:
+  explicit TraceAssembler(const SpanStore* store, AssemblerConfig config = {})
+      : store_(store), config_(config) {}
+
+  /// Run Algorithm 1 from `start_span_id`. Unknown ids yield empty traces.
+  AssembledTrace assemble(u64 start_span_id) const;
+
+ private:
+  const SpanStore* store_;
+  AssemblerConfig config_;
+};
+
+}  // namespace deepflow::server

@@ -1,0 +1,236 @@
+#include "workloads/app.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "protocols/parser.h"
+
+namespace deepflow::workloads {
+
+namespace {
+
+protocols::SessionMatchMode mode_of(protocols::L7Protocol protocol) {
+  static const protocols::ProtocolRegistry registry =
+      protocols::ProtocolRegistry::with_builtin();
+  const protocols::ProtocolParser* parser = registry.parser_for(protocol);
+  return parser != nullptr ? parser->match_mode()
+                           : protocols::SessionMatchMode::kPipeline;
+}
+
+}  // namespace
+
+App::App(netsim::Cluster* cluster, u64 seed) : cluster_(cluster), rng_(seed) {}
+
+size_t App::add_service(ServiceSpec spec) {
+  specs_.push_back(std::move(spec));
+  return specs_.size() - 1;
+}
+
+void App::build() {
+  if (built_) return;
+  built_ = true;
+  if (cluster_->nodes().empty()) {
+    cluster_->add_node("node-1");
+    cluster_->add_node("node-2");
+    cluster_->add_node("node-3");
+  }
+  const auto& nodes = cluster_->nodes();
+
+  instances_.resize(specs_.size());
+  registry_ids_.resize(specs_.size());
+  size_t placement = 0;
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    registry_ids_[s] = cluster_->add_service(specs_[s].name);
+    for (u32 r = 0; r < specs_[s].replicas; ++r) {
+      const netsim::NodeId node = nodes[placement++ % nodes.size()];
+      netsim::PodHandle pod = cluster_->add_pod(
+          node, specs_[s].name + "-" + std::to_string(r), specs_[s].name,
+          registry_ids_[s], specs_[s].labels);
+      instances_[s].push_back(std::make_unique<ServiceInstance>(
+          cluster_, &specs_[s], s, r, pod, &rng_));
+    }
+  }
+
+  // Wire the call graph: every client replica gets one connection to every
+  // replica of each downstream target.
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    for (auto& client : instances_[s]) {
+      for (size_t c = 0; c < specs_[s].calls.size(); ++c) {
+        const CallSpec& call = specs_[s].calls[c];
+        const ServiceSpec& target_spec = specs_[call.target_service];
+        const auto mode = mode_of(target_spec.protocol);
+        // Pipeline protocols are one-outstanding per connection, so clients
+        // keep a keep-alive pool sized to their worker count; multiplexing
+        // protocols need only one connection per target replica.
+        const size_t pool =
+            mode == protocols::SessionMatchMode::kPipeline
+                ? std::max<size_t>(1, specs_[s].threads)
+                : 1;
+        std::vector<netsim::ConnectionHandle> conns;
+        for (auto& target : instances_[call.target_service]) {
+          for (size_t k = 0; k < pool; ++k) {
+            const u16 port = static_cast<u16>(8000 + call.target_service);
+            netsim::ConnectionHandle conn = cluster_->connect(
+                client->pod(), target->pod(), port, target_spec.tls);
+            target->accept_connection(conn);
+            conns.push_back(conn);
+          }
+        }
+        client->add_link(c, target_spec.protocol, mode, call.endpoint,
+                         std::move(conns));
+      }
+    }
+  }
+}
+
+ServiceInstance* App::instance(size_t service, size_t replica) {
+  return instances_[service][replica].get();
+}
+
+std::vector<ServiceInstance*> App::instances_of(size_t service) {
+  std::vector<ServiceInstance*> out;
+  for (auto& instance : instances_[service]) out.push_back(instance.get());
+  return out;
+}
+
+void App::instrument(size_t service, otelsim::ExportSink sink,
+                     otelsim::TracerConfig config) {
+  for (auto& instance : instances_[service]) {
+    instance->set_tracer(std::make_unique<otelsim::Tracer>(
+        specs_[service].name, instance->pod().kernel->hostname(),
+        instance->pod().pid, sink, config));
+  }
+}
+
+u64 App::total_handled() const {
+  u64 total = 0;
+  for (const auto& replicas : instances_) {
+    for (const auto& instance : replicas) total += instance->handled();
+  }
+  return total;
+}
+
+LoadResult App::run_constant_load(size_t entry_service, double rps,
+                                  DurationNs duration, u32 connections) {
+  // The load generator is itself a pod-backed process ("wrk2") whose
+  // syscalls are traced like any other component.
+  const ServiceSpec& entry_spec = specs_[entry_service];
+  netsim::PodHandle client_pod = cluster_->add_pod(
+      cluster_->nodes().front(), "wrk2", "wrk2", 0, {});
+  kernelsim::Kernel* kernel = client_pod.kernel;
+
+  struct Conn {
+    netsim::ConnectionHandle handle;
+    Tid tid = 0;
+    bool busy = false;
+    bool dead = false;
+    TimestampNs scheduled = 0;  // arrival instant of the in-flight request
+  };
+  auto conns = std::make_shared<std::vector<Conn>>();
+  auto waiting = std::make_shared<std::deque<TimestampNs>>();
+  auto result = std::make_shared<LoadResult>();
+  result->offered_rps = rps;
+
+  const auto& entries = instances_[entry_service];
+  for (u32 i = 0; i < connections; ++i) {
+    Conn conn;
+    ServiceInstance* target = entries[i % entries.size()].get();
+    conn.handle = cluster_->connect(client_pod, target->pod(),
+                                    static_cast<u16>(8000 + entry_service),
+                                    entry_spec.tls);
+    target->accept_connection(conn.handle);
+    conn.tid = kernel->tasks().create_thread(client_pod.pid);
+    conns->push_back(conn);
+  }
+
+  EventLoop& loop = cluster_->loop();
+  const TimestampNs start = loop.now();
+  const TimestampNs measure_end = start + duration;
+  const protocols::L7Protocol proto = entry_spec.protocol;
+
+  auto stream_counter = std::make_shared<u64>(1);
+  auto rr_cursor = std::make_shared<size_t>(0);
+  // Dispatch one request on connection `index` for an arrival scheduled at
+  // `scheduled`, sending now.
+  const auto dispatch = [this, conns, kernel, proto, stream_counter](
+                            size_t index, TimestampNs scheduled,
+                            TimestampNs now) {
+    Conn& conn = (*conns)[index];
+    conn.busy = true;
+    conn.scheduled = scheduled;
+    RequestContext rc;  // the raw client sends no tracing headers
+    std::string payload =
+        build_request_payload(proto, "/", (*stream_counter)++, rc);
+    kernel->sys_send(conn.tid, conn.handle.client_socket, std::move(payload),
+                     kernelsim::SyscallAbi::kSendTo, std::max(scheduled, now));
+  };
+
+  // Responses complete requests; free connections pick up queued arrivals.
+  for (size_t i = 0; i < conns->size(); ++i) {
+    const SocketId sock = (*conns)[i].handle.client_socket;
+    cluster_->fabric().set_delivery_handler(
+        sock, [this, conns, waiting, result, kernel, i, dispatch,
+               measure_end](const kernelsim::WireMessage& message,
+                            TimestampNs ts) {
+          Conn& conn = (*conns)[i];
+          const auto recv = kernel->sys_recv(
+              conn.tid, conn.handle.client_socket, message,
+              kernelsim::SyscallAbi::kRecvFrom, ts);
+          // wrk2 semantics: only completions inside the measurement window
+          // count toward throughput and latency; the drain tail does not.
+          if (recv.exit_ts <= measure_end) {
+            ++result->completed;
+            result->latency.record(recv.exit_ts - conn.scheduled);
+          }
+          conn.busy = false;
+          if (!waiting->empty()) {
+            const TimestampNs scheduled = waiting->front();
+            waiting->pop_front();
+            dispatch(i, scheduled, recv.exit_ts);
+          }
+        });
+    cluster_->fabric().set_reset_handler(
+        sock, [conns, result, i](TimestampNs) {
+          (*conns)[i].dead = true;
+          if ((*conns)[i].busy) ++result->failed;
+          (*conns)[i].busy = false;
+        });
+  }
+
+  // Constant-rate open-loop arrivals.
+  const u64 total_arrivals = static_cast<u64>(
+      rps * static_cast<double>(duration) / static_cast<double>(kSecond));
+  const double interval = static_cast<double>(kSecond) / rps;
+  for (u64 n = 0; n < total_arrivals; ++n) {
+    const TimestampNs at =
+        start + static_cast<TimestampNs>(interval * static_cast<double>(n));
+    loop.schedule_at(at, [conns, waiting, result, at, dispatch, rr_cursor] {
+      ++result->sent;
+      // Round-robin over the connections (and thus over the entry-service
+      // replicas they were opened to) so load spreads like a real LB.
+      for (size_t probe = 0; probe < conns->size(); ++probe) {
+        const size_t i = (*rr_cursor)++ % conns->size();
+        if (!(*conns)[i].busy && !(*conns)[i].dead) {
+          dispatch(i, at, at);
+          return;
+        }
+      }
+      waiting->push_back(at);  // all connections occupied: queue (wrk2 keeps
+                               // the intended schedule for latency math)
+    });
+  }
+
+  // Run the measurement window, then drain remaining in-flight work so the
+  // cluster is quiescent for whoever inspects it next.
+  loop.run_until(measure_end);
+  loop.run();
+
+  result->failed = result->sent > result->completed
+                       ? result->sent - result->completed
+                       : 0;
+  result->achieved_rps = static_cast<double>(result->completed) /
+                         (static_cast<double>(duration) / kSecond);
+  return std::move(*result);
+}
+
+}  // namespace deepflow::workloads

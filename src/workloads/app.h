@@ -1,0 +1,63 @@
+// Application builder + constant-throughput load generator (wrk2 stand-in).
+// Turns ServiceSpecs into placed pods, wires the call graph through the
+// cluster fabric, optionally instruments services with the intrusive SDK,
+// and drives open-loop load while recording wrk2-style latency (measured
+// from the scheduled arrival instant, avoiding coordinated omission).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "workloads/microservice.h"
+
+namespace deepflow::workloads {
+
+struct LoadResult {
+  double offered_rps = 0;
+  double achieved_rps = 0;
+  u64 sent = 0;
+  u64 completed = 0;
+  u64 failed = 0;  // connection resets / dead paths
+  LatencyHistogram latency{10 * kSecond};
+};
+
+class App {
+ public:
+  explicit App(netsim::Cluster* cluster, u64 seed = 7);
+
+  /// Declare a service; returns its index for CallSpec wiring.
+  size_t add_service(ServiceSpec spec);
+
+  /// Create pods (round-robin across nodes), establish every connection in
+  /// the call graph, and start serving. Call exactly once, after all
+  /// add_service calls.
+  void build();
+
+  ServiceInstance* instance(size_t service, size_t replica);
+  std::vector<ServiceInstance*> instances_of(size_t service);
+  size_t service_count() const { return specs_.size(); }
+
+  /// Attach an intrusive SDK tracer to every replica of `service`
+  /// (Jaeger/Zipkin-style baselines and third-party integration).
+  void instrument(size_t service, otelsim::ExportSink sink,
+                  otelsim::TracerConfig config = {});
+
+  /// Open-loop constant-rate load against `entry_service` for `duration`.
+  /// `connections` is the wrk2 -c equivalent. Runs the event loop.
+  LoadResult run_constant_load(size_t entry_service, double rps,
+                               DurationNs duration, u32 connections = 32);
+
+  netsim::Cluster& cluster() { return *cluster_; }
+  u64 total_handled() const;
+
+ private:
+  netsim::Cluster* cluster_;
+  Rng rng_;
+  std::vector<ServiceSpec> specs_;
+  std::vector<std::vector<std::unique_ptr<ServiceInstance>>> instances_;
+  std::vector<netsim::ServiceId> registry_ids_;
+  bool built_ = false;
+};
+
+}  // namespace deepflow::workloads

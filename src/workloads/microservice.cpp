@@ -1,0 +1,402 @@
+#include "workloads/microservice.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace deepflow::workloads {
+
+namespace {
+constexpr TimestampNs kBusy = std::numeric_limits<TimestampNs>::max();
+
+// Services cycle through the ten Table 3 ABIs so that every instrumented
+// entry point carries real traffic.
+constexpr kernelsim::SyscallAbi kIngressChoices[] = {
+    kernelsim::SyscallAbi::kRead, kernelsim::SyscallAbi::kRecvFrom,
+    kernelsim::SyscallAbi::kRecvMsg, kernelsim::SyscallAbi::kReadV,
+    kernelsim::SyscallAbi::kRecvMmsg};
+constexpr kernelsim::SyscallAbi kEgressChoices[] = {
+    kernelsim::SyscallAbi::kWrite, kernelsim::SyscallAbi::kSendTo,
+    kernelsim::SyscallAbi::kSendMsg, kernelsim::SyscallAbi::kWriteV,
+    kernelsim::SyscallAbi::kSendMmsg};
+}  // namespace
+
+ServiceInstance::ServiceInstance(netsim::Cluster* cluster,
+                                 const ServiceSpec* spec, size_t service_index,
+                                 size_t replica_index, netsim::PodHandle pod,
+                                 Rng* rng)
+    : cluster_(cluster),
+      spec_(spec),
+      service_index_(service_index),
+      replica_index_(replica_index),
+      pod_(pod),
+      rng_(rng) {
+  threads_.reserve(spec_->threads);
+  for (u32 i = 0; i < spec_->threads; ++i) {
+    threads_.push_back(kernel()->tasks().create_thread(pod_.pid));
+  }
+  free_at_.assign(threads_.size(), 0);
+  links_.resize(spec_->calls.size());
+}
+
+kernelsim::SyscallAbi ServiceInstance::ingress_abi() const {
+  return kIngressChoices[service_index_ % 5];
+}
+
+kernelsim::SyscallAbi ServiceInstance::egress_abi() const {
+  return kEgressChoices[service_index_ % 5];
+}
+
+void ServiceInstance::accept_connection(const netsim::ConnectionHandle& conn) {
+  const SocketId server_socket = conn.server_socket;
+  cluster_->fabric().set_delivery_handler(
+      server_socket,
+      [this, server_socket](const kernelsim::WireMessage& message,
+                            TimestampNs ts) {
+        on_inbound(server_socket, message, ts);
+      });
+}
+
+void ServiceInstance::add_link(size_t call_index,
+                               protocols::L7Protocol protocol,
+                               protocols::SessionMatchMode mode,
+                               std::string endpoint,
+                               std::vector<netsim::ConnectionHandle> conns) {
+  Link& link = links_[call_index];
+  link.protocol = protocol;
+  link.mode = mode;
+  link.endpoint = std::move(endpoint);
+  link.conns = std::move(conns);
+  link.busy.assign(link.conns.size(), false);
+  link.dead.assign(link.conns.size(), false);
+  for (size_t i = 0; i < link.conns.size(); ++i) {
+    const SocketId client_socket = link.conns[i].client_socket;
+    cluster_->fabric().set_delivery_handler(
+        client_socket,
+        [this, call_index, client_socket](const kernelsim::WireMessage& msg,
+                                          TimestampNs ts) {
+          on_link_response(call_index, client_socket, msg, ts);
+        });
+    cluster_->fabric().set_reset_handler(
+        client_socket, [this, call_index, client_socket](TimestampNs ts) {
+          on_link_reset(call_index, client_socket, ts);
+        });
+  }
+}
+
+void ServiceInstance::set_tracer(std::unique_ptr<otelsim::Tracer> tracer) {
+  tracer_ = std::move(tracer);
+}
+
+void ServiceInstance::on_inbound(SocketId server_socket,
+                                 const kernelsim::WireMessage& message,
+                                 TimestampNs ts) {
+  if (spec_->use_coroutines) {
+    // Goroutine model: unbounded logical concurrency; round-robin the
+    // kernel threads that back the runtime.
+    const size_t thread_index = rr_thread_++ % threads_.size();
+    start_request(server_socket, message, ts, thread_index);
+    return;
+  }
+  // Synchronous thread pool: earliest-free thread, else backlog.
+  size_t best = threads_.size();
+  for (size_t i = 0; i < free_at_.size(); ++i) {
+    if (free_at_[i] <= ts && (best == threads_.size() ||
+                              free_at_[i] < free_at_[best])) {
+      best = i;
+    }
+  }
+  if (best == threads_.size()) {
+    backlog_.push_back(QueuedInbound{server_socket, message, ts});
+    return;
+  }
+  start_request(server_socket, message, ts, best);
+}
+
+void ServiceInstance::start_request(SocketId server_socket,
+                                    kernelsim::WireMessage message,
+                                    TimestampNs start, size_t thread_index) {
+  if (!spec_->use_coroutines) free_at_[thread_index] = kBusy;
+
+  auto owned = std::make_unique<RequestCtx>();
+  RequestCtx& ctx = *owned;
+  ctx.id = next_ctx_id_++;
+  ctx.inbound_socket = server_socket;
+  ctx.thread_index = thread_index;
+  ctx.tid = threads_[thread_index];
+
+  if (spec_->use_coroutines) {
+    ctx.coroutine = kernel()->tasks().create_coroutine(pod_.pid);
+    kernel()->tasks().set_running_coroutine(ctx.tid, ctx.coroutine);
+  }
+
+  const auto recv =
+      kernel()->sys_recv(ctx.tid, server_socket, message, ingress_abi(), start);
+  ctx.cursor = recv.exit_ts;
+
+  ctx.inbound = parse_inbound(spec_->protocol, message.app_payload);
+  ctx.x_request_id = ctx.inbound.x_request_id;
+  if (spec_->is_proxy && ctx.x_request_id.empty()) {
+    // Proxies mint the X-Request-ID that stitches their worker threads
+    // together (HAProxy unique-id / Nginx request_id / Envoy x-request-id).
+    ctx.x_request_id = spec_->name + "-" +
+                       std::to_string(pod_.pod) + "-" +
+                       std::to_string(next_xrid_++);
+  }
+
+  if (tracer_ != nullptr) {
+    ctx.otel = tracer_->start_span(spec_->name + ":" + ctx.inbound.endpoint,
+                                   ctx.inbound.traceparent, ctx.cursor);
+    ctx.otel_active = true;
+    ctx.cursor += tracer_->config().cost_per_span_ns;
+    ctx.traceparent_out = tracer_->inject(ctx.otel);
+  }
+  // Un-instrumented services do NOT propagate third-party context — that
+  // broken propagation is exactly the blind spot the paper targets.
+
+  const double compute = rng_->jittered(
+      static_cast<double>(spec_->compute_ns) * slowdown_, spec_->compute_jitter);
+  ctx.cursor += static_cast<DurationNs>(compute);
+
+  if (spec_->use_coroutines) {
+    kernel()->tasks().set_running_coroutine(ctx.tid, 0);
+  }
+
+  active_.emplace(ctx.id, std::move(owned));
+  issue_call_or_finish(ctx);
+}
+
+void ServiceInstance::issue_call_or_finish(RequestCtx& ctx) {
+  if (ctx.next_call >= links_.size()) {
+    finish_request(ctx);
+    return;
+  }
+  issue_call(ctx);
+}
+
+void ServiceInstance::issue_call(RequestCtx& ctx) {
+  Link& link = links_[ctx.next_call];
+  if (link.conns.empty()) {  // unwired call slot: skip
+    ++ctx.next_call;
+    issue_call_or_finish(ctx);
+    return;
+  }
+
+  if (link.mode == protocols::SessionMatchMode::kParallel) {
+    // Multiplexing protocols: round-robin a connection, any number of
+    // outstanding calls.
+    for (size_t probe = 0; probe < link.conns.size(); ++probe) {
+      const size_t index = link.rr++ % link.conns.size();
+      if (!link.dead[index]) {
+        send_on_link(ctx, link, index);
+        return;
+      }
+    }
+    // Every path dead: fail the call.
+    ++failed_calls_;
+    ctx.downstream_failed = true;
+    ++ctx.next_call;
+    issue_call_or_finish(ctx);
+    return;
+  }
+
+  // Pipeline protocols: one outstanding request per connection (keep-alive
+  // without pipelining, the behaviour of real HTTP/1.1 clients).
+  for (size_t probe = 0; probe < link.conns.size(); ++probe) {
+    const size_t index = link.rr++ % link.conns.size();
+    if (!link.busy[index] && !link.dead[index]) {
+      send_on_link(ctx, link, index);
+      return;
+    }
+  }
+  link.waiting.push_back(ctx.id);  // resumes when a connection frees
+}
+
+void ServiceInstance::send_on_link(RequestCtx& ctx, Link& link,
+                                   size_t conn_index) {
+  const netsim::ConnectionHandle& conn = link.conns[conn_index];
+  const u64 stream = link.next_stream++;
+
+  RequestContext out_ctx;
+  out_ctx.x_request_id = ctx.x_request_id;
+  out_ctx.traceparent = ctx.traceparent_out;
+  std::string payload =
+      build_request_payload(link.protocol, link.endpoint, stream, out_ctx);
+
+  CoroutineId call_coroutine = 0;
+  if (spec_->use_coroutines) {
+    // Downstream calls run on child coroutines of the request coroutine;
+    // DeepFlow's pseudo-thread structure must still unify them.
+    call_coroutine =
+        kernel()->tasks().create_coroutine(pod_.pid, ctx.coroutine);
+    kernel()->tasks().set_running_coroutine(ctx.tid, call_coroutine);
+  }
+
+  const auto sent = kernel()->sys_send(ctx.tid, conn.client_socket,
+                                       std::move(payload), egress_abi(),
+                                       ctx.cursor);
+  ctx.cursor = sent.exit_ts;
+
+  if (spec_->use_coroutines) {
+    kernel()->tasks().set_running_coroutine(ctx.tid, 0);
+  }
+
+  if (link.mode == protocols::SessionMatchMode::kParallel) {
+    link.pending_by_stream[stream] = {ctx.id, conn.client_socket};
+  } else {
+    link.busy[conn_index] = true;
+    link.pending_by_socket[conn.client_socket] = ctx.id;
+  }
+}
+
+void ServiceInstance::on_link_response(size_t call_index,
+                                       SocketId client_socket,
+                                       const kernelsim::WireMessage& message,
+                                       TimestampNs ts) {
+  Link& link = links_[call_index];
+  u64 ctx_id = 0;
+
+  if (link.mode == protocols::SessionMatchMode::kParallel) {
+    const u64 stream = response_stream_id(link.protocol, message.app_payload);
+    const auto it = link.pending_by_stream.find(stream);
+    if (it == link.pending_by_stream.end()) return;  // late/duplicate
+    ctx_id = it->second.first;
+    link.pending_by_stream.erase(it);
+  } else {
+    const auto it = link.pending_by_socket.find(client_socket);
+    if (it == link.pending_by_socket.end()) return;
+    ctx_id = it->second;
+    link.pending_by_socket.erase(it);
+    // Free the connection; hand it to a waiter if any.
+    for (size_t i = 0; i < link.conns.size(); ++i) {
+      if (link.conns[i].client_socket == client_socket) {
+        link.busy[i] = false;
+        if (!link.waiting.empty()) {
+          const u64 waiter_id = link.waiting.front();
+          link.waiting.pop_front();
+          if (const auto waiter = active_.find(waiter_id);
+              waiter != active_.end()) {
+            RequestCtx& wctx = *waiter->second;
+            wctx.cursor = std::max(wctx.cursor, ts);
+            send_on_link(wctx, link, i);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  if (!response_ok(link.protocol, message.app_payload)) {
+    if (const auto it = active_.find(ctx_id); it != active_.end()) {
+      it->second->downstream_failed = true;
+    }
+  }
+  resume_after_call(ctx_id, client_socket, &message, ts);
+}
+
+void ServiceInstance::on_link_reset(size_t call_index, SocketId client_socket,
+                                    TimestampNs ts) {
+  Link& link = links_[call_index];
+  for (size_t i = 0; i < link.conns.size(); ++i) {
+    if (link.conns[i].client_socket == client_socket) link.dead[i] = true;
+  }
+  // Fail the call(s) outstanding on this connection.
+  if (const auto it = link.pending_by_socket.find(client_socket);
+      it != link.pending_by_socket.end()) {
+    const u64 ctx_id = it->second;
+    link.pending_by_socket.erase(it);
+    ++failed_calls_;
+    if (const auto actx = active_.find(ctx_id); actx != active_.end()) {
+      actx->second->downstream_failed = true;
+    }
+    resume_after_call(ctx_id, client_socket, nullptr, ts);
+  }
+  for (auto it = link.pending_by_stream.begin();
+       it != link.pending_by_stream.end();) {
+    if (it->second.second == client_socket) {
+      const u64 ctx_id = it->second.first;
+      it = link.pending_by_stream.erase(it);
+      ++failed_calls_;
+      if (const auto actx = active_.find(ctx_id); actx != active_.end()) {
+        actx->second->downstream_failed = true;
+      }
+      resume_after_call(ctx_id, client_socket, nullptr, ts);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServiceInstance::resume_after_call(u64 ctx_id, SocketId client_socket,
+                                        const kernelsim::WireMessage* response,
+                                        TimestampNs ts) {
+  const auto it = active_.find(ctx_id);
+  if (it == active_.end()) return;
+  RequestCtx& ctx = *it->second;
+  ctx.cursor = std::max(ctx.cursor, ts);
+
+  if (response != nullptr) {
+    if (spec_->use_coroutines && ctx.coroutine != 0) {
+      kernel()->tasks().set_running_coroutine(ctx.tid, ctx.coroutine);
+    }
+    const auto recv = kernel()->sys_recv(ctx.tid, client_socket, *response,
+                                         ingress_abi(), ctx.cursor);
+    ctx.cursor = recv.exit_ts;
+    if (spec_->use_coroutines) {
+      kernel()->tasks().set_running_coroutine(ctx.tid, 0);
+    }
+  }
+
+  ++ctx.next_call;
+  issue_call_or_finish(ctx);
+}
+
+void ServiceInstance::finish_request(RequestCtx& ctx) {
+  u32 status = 200;
+  if (fault_status_ != 0) {
+    status = fault_status_;
+  } else if (ctx.downstream_failed) {
+    status = 502;
+  }
+
+  RequestContext out_ctx;
+  out_ctx.x_request_id = ctx.x_request_id;
+  std::string payload = build_response_payload(
+      spec_->protocol, status, ctx.inbound.stream_id, out_ctx);
+
+  if (spec_->use_coroutines && ctx.coroutine != 0) {
+    kernel()->tasks().set_running_coroutine(ctx.tid, ctx.coroutine);
+  }
+  const auto sent = kernel()->sys_send(ctx.tid, ctx.inbound_socket,
+                                       std::move(payload), egress_abi(),
+                                       ctx.cursor);
+  if (sent.exit_ts != 0) ctx.cursor = sent.exit_ts;
+  if (spec_->use_coroutines) {
+    kernel()->tasks().set_running_coroutine(ctx.tid, 0);
+  }
+
+  if (ctx.otel_active && tracer_ != nullptr) {
+    tracer_->end_span(ctx.otel, ctx.cursor, status < 400, status);
+  }
+  ++handled_;
+
+  if (!spec_->use_coroutines) {
+    const size_t thread_index = ctx.thread_index;
+    const TimestampNs free_time = ctx.cursor;
+    cluster_->loop().schedule_at(free_time, [this, thread_index, free_time] {
+      release_thread(thread_index, free_time);
+    });
+  }
+  active_.erase(ctx.id);
+}
+
+void ServiceInstance::release_thread(size_t thread_index, TimestampNs at) {
+  free_at_[thread_index] = at;
+  if (backlog_.empty()) return;
+  QueuedInbound next = std::move(backlog_.front());
+  backlog_.pop_front();
+  start_request(next.socket, std::move(next.message),
+                std::max(at, next.arrival), thread_index);
+}
+
+}  // namespace deepflow::workloads

@@ -1,0 +1,135 @@
+// One running service replica: a pod-backed process with a worker-thread
+// pool (or goroutine-style coroutines), serving its protocol on inbound
+// connections and issuing sequential downstream calls on outbound links.
+// All I/O goes through the simulated kernel's traced syscalls, so the
+// tracing plane observes exactly what a real deployment would produce.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rand.h"
+#include "netsim/cluster.h"
+#include "otelsim/tracer.h"
+#include "workloads/payloads.h"
+#include "workloads/spec.h"
+
+namespace deepflow::workloads {
+
+class ServiceInstance {
+ public:
+  ServiceInstance(netsim::Cluster* cluster, const ServiceSpec* spec,
+                  size_t service_index, size_t replica_index,
+                  netsim::PodHandle pod, Rng* rng);
+
+  const netsim::PodHandle& pod() const { return pod_; }
+  const ServiceSpec& spec() const { return *spec_; }
+  size_t replica_index() const { return replica_index_; }
+
+  /// Server side: start serving the given accepted connection.
+  void accept_connection(const netsim::ConnectionHandle& conn);
+
+  /// Client side: install the outbound link for call slot `call_index`.
+  /// `conns` holds one established connection per usable path (pipeline
+  /// protocols treat each as one-outstanding; parallel protocols multiplex).
+  void add_link(size_t call_index, protocols::L7Protocol protocol,
+                protocols::SessionMatchMode mode, std::string endpoint,
+                std::vector<netsim::ConnectionHandle> conns);
+
+  /// Attach an intrusive SDK tracer (Jaeger/Zipkin-style baselines).
+  void set_tracer(std::unique_ptr<otelsim::Tracer> tracer);
+
+  /// Fault injection: force this replica to answer with `status`
+  /// (e.g. 404 for the §4.1.1 Nginx case). 0 restores normal behaviour.
+  void set_fault_status(u32 status) { fault_status_ = status; }
+  /// Fault injection: multiply this replica's compute time (backlog case).
+  void set_slowdown(double factor) { slowdown_ = factor; }
+
+  u64 handled() const { return handled_; }
+  u64 failed_calls() const { return failed_calls_; }
+
+ private:
+  struct RequestCtx {
+    u64 id = 0;
+    SocketId inbound_socket = 0;
+    size_t thread_index = 0;
+    Tid tid = 0;
+    CoroutineId coroutine = 0;
+    TimestampNs cursor = 0;
+    InboundRequest inbound;
+    std::string x_request_id;
+    std::string traceparent_out;
+    otelsim::ActiveSpan otel;
+    bool otel_active = false;
+    size_t next_call = 0;
+    bool downstream_failed = false;
+  };
+
+  struct Link {
+    protocols::L7Protocol protocol = protocols::L7Protocol::kHttp1;
+    protocols::SessionMatchMode mode = protocols::SessionMatchMode::kPipeline;
+    std::string endpoint;
+    std::vector<netsim::ConnectionHandle> conns;
+    std::vector<bool> busy;        // pipeline: one outstanding per conn
+    std::vector<bool> dead;        // reset by a fault
+    std::deque<u64> waiting;       // ctx ids queued for a free conn
+    std::unordered_map<SocketId, u64> pending_by_socket;   // pipeline
+    /// parallel: stream id -> (ctx id, socket the call went out on)
+    std::unordered_map<u64, std::pair<u64, SocketId>> pending_by_stream;
+    u64 next_stream = 1;
+    size_t rr = 0;
+  };
+
+  kernelsim::Kernel* kernel() { return pod_.kernel; }
+  kernelsim::SyscallAbi ingress_abi() const;
+  kernelsim::SyscallAbi egress_abi() const;
+
+  void on_inbound(SocketId server_socket,
+                  const kernelsim::WireMessage& message, TimestampNs ts);
+  void start_request(SocketId server_socket, kernelsim::WireMessage message,
+                     TimestampNs start, size_t thread_index);
+  void issue_call_or_finish(RequestCtx& ctx);
+  void issue_call(RequestCtx& ctx);
+  void send_on_link(RequestCtx& ctx, Link& link, size_t conn_index);
+  void on_link_response(size_t call_index, SocketId client_socket,
+                        const kernelsim::WireMessage& message, TimestampNs ts);
+  void on_link_reset(size_t call_index, SocketId client_socket,
+                     TimestampNs ts);
+  void resume_after_call(u64 ctx_id, SocketId client_socket,
+                         const kernelsim::WireMessage* response,
+                         TimestampNs ts);
+  void finish_request(RequestCtx& ctx);
+  void release_thread(size_t thread_index, TimestampNs at);
+  void run_coroutine_scope(RequestCtx& ctx, CoroutineId coroutine);
+
+  netsim::Cluster* cluster_;
+  const ServiceSpec* spec_;
+  size_t service_index_;
+  size_t replica_index_;
+  netsim::PodHandle pod_;
+  Rng* rng_;
+
+  std::vector<Tid> threads_;
+  std::vector<TimestampNs> free_at_;
+  struct QueuedInbound {
+    SocketId socket;
+    kernelsim::WireMessage message;
+    TimestampNs arrival;
+  };
+  std::deque<QueuedInbound> backlog_;
+
+  std::vector<Link> links_;  // one per CallSpec
+  std::unordered_map<u64, std::unique_ptr<RequestCtx>> active_;
+  std::unique_ptr<otelsim::Tracer> tracer_;
+  u32 fault_status_ = 0;
+  double slowdown_ = 1.0;
+  u64 next_ctx_id_ = 1;
+  u64 next_xrid_ = 1;
+  u64 handled_ = 0;
+  u64 failed_calls_ = 0;
+  size_t rr_thread_ = 0;
+};
+
+}  // namespace deepflow::workloads

@@ -1,0 +1,144 @@
+#include "workloads/payloads.h"
+
+#include "protocols/amqp.h"
+#include "protocols/dns.h"
+#include "protocols/dubbo.h"
+#include "protocols/http1.h"
+#include "protocols/http2.h"
+#include "protocols/kafka.h"
+#include "protocols/mqtt.h"
+#include "protocols/mysql.h"
+#include "protocols/parser.h"
+#include "protocols/redis.h"
+
+namespace deepflow::workloads {
+
+using namespace deepflow::protocols;
+
+std::string build_request_payload(L7Protocol protocol,
+                                  const std::string& endpoint, u64 stream_id,
+                                  const RequestContext& ctx) {
+  switch (protocol) {
+    case L7Protocol::kHttp1: {
+      std::vector<HttpHeader> headers{{"Host", "svc"}};
+      if (!ctx.x_request_id.empty()) {
+        headers.emplace_back("X-Request-ID", ctx.x_request_id);
+      }
+      if (!ctx.traceparent.empty()) {
+        headers.emplace_back("traceparent", ctx.traceparent);
+      }
+      return build_http1_request("GET", endpoint, headers);
+    }
+    case L7Protocol::kHttp2: {
+      std::vector<Http2Header> headers;
+      if (!ctx.x_request_id.empty()) {
+        headers.emplace_back("x-request-id", ctx.x_request_id);
+      }
+      if (!ctx.traceparent.empty()) {
+        headers.emplace_back("traceparent", ctx.traceparent);
+      }
+      // Client-initiated streams are odd-numbered.
+      return build_http2_request(static_cast<u32>(stream_id * 2 + 1), "GET",
+                                 endpoint, headers);
+    }
+    case L7Protocol::kDns:
+      return build_dns_query(static_cast<u16>(stream_id), endpoint);
+    case L7Protocol::kRedis:
+      return build_redis_command({"GET", endpoint});
+    case L7Protocol::kMysql:
+      return build_mysql_query("SELECT * FROM " + endpoint + " LIMIT 1");
+    case L7Protocol::kKafka:
+      return build_kafka_request(KafkaApi::kProduce,
+                                 static_cast<u32>(stream_id), "df-client",
+                                 endpoint);
+    case L7Protocol::kMqtt:
+      return build_mqtt_publish(endpoint, "payload");
+    case L7Protocol::kDubbo:
+      return build_dubbo_request(stream_id, endpoint, "invoke");
+    case L7Protocol::kAmqp:
+      return build_amqp_publish(1, endpoint);
+    case L7Protocol::kUnknown:
+      break;
+  }
+  return "?";
+}
+
+std::string build_response_payload(L7Protocol protocol, u32 status,
+                                   u64 stream_id, const RequestContext& ctx) {
+  const bool ok = status < 400;
+  switch (protocol) {
+    case L7Protocol::kHttp1: {
+      std::vector<HttpHeader> headers;
+      if (!ctx.x_request_id.empty()) {
+        headers.emplace_back("X-Request-ID", ctx.x_request_id);
+      }
+      return build_http1_response(status, headers, ok ? "ok" : "error");
+    }
+    case L7Protocol::kHttp2: {
+      std::vector<Http2Header> headers;
+      if (!ctx.x_request_id.empty()) {
+        headers.emplace_back("x-request-id", ctx.x_request_id);
+      }
+      return build_http2_response(static_cast<u32>(stream_id * 2 + 1), status,
+                                  headers);
+    }
+    case L7Protocol::kDns:
+      return build_dns_response(static_cast<u16>(stream_id), "svc",
+                                ok ? 0 : 2 /*SERVFAIL*/);
+    case L7Protocol::kRedis:
+      return ok ? build_redis_ok() : build_redis_error("backend failure");
+    case L7Protocol::kMysql:
+      return ok ? build_mysql_ok() : build_mysql_error(1064, "bad query");
+    case L7Protocol::kKafka:
+      return build_kafka_response(static_cast<u32>(stream_id), ok ? 0 : 7);
+    case L7Protocol::kMqtt:
+      return build_mqtt_puback();
+    case L7Protocol::kDubbo:
+      return build_dubbo_response(stream_id, ok ? 20 : 70);
+    case L7Protocol::kAmqp:
+      return ok ? build_amqp_ack(1) : build_amqp_close(1, 312, "NO_ROUTE");
+    case L7Protocol::kUnknown:
+      break;
+  }
+  return "?";
+}
+
+InboundRequest parse_inbound(L7Protocol protocol, const std::string& payload) {
+  InboundRequest inbound;
+  // Reuse the registry parsers: the application-side decode and the tracing
+  // plane agree on the wire format by construction.
+  static const ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  const ProtocolParser* parser = registry.parser_for(protocol);
+  if (parser == nullptr) return inbound;
+  const auto parsed = parser->parse(payload);
+  if (!parsed.has_value()) return inbound;
+  inbound.endpoint = parsed->endpoint;
+  // Undo the odd-numbering mapping for HTTP/2 so request/response builders
+  // stay symmetric.
+  inbound.stream_id = protocol == L7Protocol::kHttp2
+                          ? (parsed->stream_id - 1) / 2
+                          : parsed->stream_id;
+  inbound.x_request_id = parsed->x_request_id;
+  inbound.traceparent = parsed->trace_context;
+  return inbound;
+}
+
+u64 response_stream_id(L7Protocol protocol, const std::string& payload) {
+  static const ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  const ProtocolParser* parser = registry.parser_for(protocol);
+  if (parser == nullptr) return 0;
+  const auto parsed = parser->parse(payload);
+  if (!parsed.has_value()) return 0;
+  return protocol == L7Protocol::kHttp2 ? (parsed->stream_id - 1) / 2
+                                        : parsed->stream_id;
+}
+
+bool response_ok(L7Protocol protocol, const std::string& payload) {
+  static const ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  const ProtocolParser* parser = registry.parser_for(protocol);
+  if (parser == nullptr) return true;
+  const auto parsed = parser->parse(payload);
+  return parsed.has_value() ? parsed->ok : true;
+}
+
+}  // namespace deepflow::workloads

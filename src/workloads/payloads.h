@@ -1,0 +1,56 @@
+// Protocol-faithful payload construction and inbound-request parsing for the
+// workload engine. Applications produce real wire bytes (the same bytes the
+// tracing plane later parses), so nothing in the pipeline is mocked.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "protocols/message.h"
+
+namespace deepflow::workloads {
+
+/// Context an application attaches to an outgoing request. Only the HTTP
+/// family can carry headers; other protocols silently drop them (exactly the
+/// real-world limitation that motivates implicit propagation).
+struct RequestContext {
+  std::string x_request_id;   // "" = none
+  std::string traceparent;    // "" = no third-party tracing
+};
+
+/// Build a request in the target's protocol. `stream_id` is used by
+/// parallel protocols (HTTP/2 stream, DNS txn, Kafka correlation, Dubbo
+/// request id) and ignored by pipeline protocols.
+std::string build_request_payload(protocols::L7Protocol protocol,
+                                  const std::string& endpoint, u64 stream_id,
+                                  const RequestContext& ctx);
+
+/// Build a response. `status` uses HTTP semantics (200 = OK, >= 400 error)
+/// and is mapped to each protocol's own error vocabulary.
+std::string build_response_payload(protocols::L7Protocol protocol, u32 status,
+                                   u64 stream_id,
+                                   const RequestContext& ctx);
+
+/// What a serving application reads off an inbound request.
+struct InboundRequest {
+  std::string endpoint;
+  u64 stream_id = 0;
+  std::string x_request_id;
+  std::string traceparent;
+};
+
+/// Parse an inbound request in the service's own protocol (the application
+/// knows its protocol; no inference involved).
+InboundRequest parse_inbound(protocols::L7Protocol protocol,
+                             const std::string& payload);
+
+/// Correlation id of a response in a parallel protocol, normalized to the
+/// same id space build_request_payload consumed (0 when absent/malformed).
+u64 response_stream_id(protocols::L7Protocol protocol,
+                       const std::string& payload);
+
+/// Success flag of a response payload (true when the parse fails — callers
+/// treat undecodable responses as transport-level success).
+bool response_ok(protocols::L7Protocol protocol, const std::string& payload);
+
+}  // namespace deepflow::workloads

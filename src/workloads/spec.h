@@ -1,0 +1,52 @@
+// Declarative description of a microservice application: services, their
+// replicas, serving protocol, compute cost, threading model, and downstream
+// call graph. The App builder (app.h) turns a vector of these into running
+// pods wired through the simulated cluster.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "netsim/resource.h"
+#include "protocols/message.h"
+
+namespace deepflow::workloads {
+
+/// One downstream call a service makes while handling a request. Calls are
+/// issued sequentially (the common blocking-RPC style of the paper's demo
+/// applications).
+struct CallSpec {
+  size_t target_service = 0;   // index into the App's service list
+  std::string endpoint = "/";  // resource passed to the target
+};
+
+struct ServiceSpec {
+  std::string name;
+  u32 replicas = 1;
+  /// Worker threads per replica (synchronous model: a thread is held for
+  /// the whole residence time of a request).
+  u32 threads = 4;
+  /// CPU consumed per request before downstream calls are issued.
+  DurationNs compute_ns = 500 * kMicrosecond;
+  /// Relative jitter of the compute time.
+  double compute_jitter = 0.15;
+  /// Protocol this service serves (clients build matching payloads).
+  protocols::L7Protocol protocol = protocols::L7Protocol::kHttp1;
+  /// Proxies (Nginx/Envoy/HAProxy style) generate an X-Request-ID when the
+  /// inbound request lacks one and propagate it downstream — the mechanism
+  /// DeepFlow leans on for cross-thread intra-component association.
+  bool is_proxy = false;
+  /// Goroutine-style runtime: per-request coroutines instead of a blocking
+  /// thread pool; downstream calls run on child coroutines.
+  bool use_coroutines = false;
+  /// Serve over TLS (kernel hooks see ciphertext; only SSL uprobes see
+  /// plaintext).
+  bool tls = false;
+  std::vector<CallSpec> calls;
+  /// Self-defined pod labels (version, commit-id, ...), visible to tag
+  /// correlation.
+  std::vector<netsim::Label> labels;
+};
+
+}  // namespace deepflow::workloads

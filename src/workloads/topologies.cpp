@@ -1,0 +1,305 @@
+#include "workloads/topologies.h"
+
+namespace deepflow::workloads {
+
+using protocols::L7Protocol;
+
+namespace {
+
+Topology start(u64 seed, kernelsim::KernelConfig kernel_config, int nodes) {
+  Topology topo;
+  topo.cluster = std::make_unique<netsim::Cluster>(seed, kernel_config);
+  for (int i = 1; i <= nodes; ++i) {
+    topo.cluster->add_node("node-" + std::to_string(i));
+  }
+  topo.app = std::make_unique<App>(topo.cluster.get(), seed);
+  return topo;
+}
+
+ServiceSpec http_service(std::string name, DurationNs compute, u32 threads,
+                         u32 replicas = 1) {
+  ServiceSpec spec;
+  spec.name = std::move(name);
+  spec.compute_ns = compute;
+  spec.threads = threads;
+  spec.replicas = replicas;
+  return spec;
+}
+
+}  // namespace
+
+Topology make_spring_boot_demo(u64 seed,
+                               kernelsim::KernelConfig kernel_config) {
+  Topology topo = start(seed, kernel_config, 3);
+  App& app = *topo.app;
+
+  ServiceSpec mysql;
+  mysql.name = "mysql";
+  mysql.protocol = L7Protocol::kMysql;
+  mysql.compute_ns = 400 * kMicrosecond;
+  mysql.threads = 16;
+  const size_t mysql_id = app.add_service(mysql);
+
+  ServiceSpec redis;
+  redis.name = "redis";
+  redis.protocol = L7Protocol::kRedis;
+  redis.compute_ns = 80 * kMicrosecond;
+  redis.threads = 8;
+  const size_t redis_id = app.add_service(redis);
+
+  ServiceSpec cart = http_service("cart", 600 * kMicrosecond, 8);
+  cart.labels = {{"version", "v2"}, {"team", "commerce"}};
+  cart.calls = {{redis_id, "cart:items"}};
+  const size_t cart_id = app.add_service(cart);
+
+  ServiceSpec product = http_service("product", 700 * kMicrosecond, 8);
+  product.labels = {{"version", "v1"}, {"team", "catalog"}};
+  product.calls = {{mysql_id, "products"}};
+  const size_t product_id = app.add_service(product);
+
+  ServiceSpec front = http_service("front", 500 * kMicrosecond, 12);
+  front.calls = {{cart_id, "/cart"}, {product_id, "/product"}};
+  const size_t front_id = app.add_service(front);
+
+  ServiceSpec gateway = http_service("gateway", 150 * kMicrosecond, 16);
+  gateway.is_proxy = true;
+  gateway.calls = {{front_id, "/home"}};
+  const size_t gateway_id = app.add_service(gateway);
+
+  app.build();
+  topo.entry = gateway_id;
+  topo.services = {{"mysql", mysql_id},     {"redis", redis_id},
+                   {"cart", cart_id},       {"product", product_id},
+                   {"front", front_id},     {"gateway", gateway_id}};
+  return topo;
+}
+
+Topology make_bookinfo(u64 seed, kernelsim::KernelConfig kernel_config) {
+  Topology topo = start(seed, kernel_config, 3);
+  App& app = *topo.app;
+
+  const auto sidecar = [](std::string name, size_t target) {
+    ServiceSpec spec;
+    spec.name = std::move(name);
+    spec.is_proxy = true;
+    spec.compute_ns = 80 * kMicrosecond;
+    spec.threads = 8;
+    spec.calls = {{target, "/"}};
+    return spec;
+  };
+
+  ServiceSpec ratings = http_service("ratings", 300 * kMicrosecond, 6);
+  const size_t ratings_id = app.add_service(ratings);
+  const size_t envoy_ratings_id =
+      app.add_service(sidecar("envoy-ratings", ratings_id));
+
+  ServiceSpec reviews = http_service("reviews", 500 * kMicrosecond, 8);
+  reviews.labels = {{"version", "v3"}};
+  reviews.calls = {{envoy_ratings_id, "/ratings"}};
+  const size_t reviews_id = app.add_service(reviews);
+  const size_t envoy_reviews_id =
+      app.add_service(sidecar("envoy-reviews", reviews_id));
+
+  ServiceSpec details = http_service("details", 250 * kMicrosecond, 6);
+  const size_t details_id = app.add_service(details);
+  const size_t envoy_details_id =
+      app.add_service(sidecar("envoy-details", details_id));
+
+  ServiceSpec productpage = http_service("productpage", 700 * kMicrosecond, 12);
+  productpage.calls = {{envoy_details_id, "/details"},
+                       {envoy_reviews_id, "/reviews"}};
+  const size_t productpage_id = app.add_service(productpage);
+  const size_t envoy_pp_id =
+      app.add_service(sidecar("envoy-productpage", productpage_id));
+
+  ServiceSpec gateway = http_service("istio-ingress", 120 * kMicrosecond, 16);
+  gateway.is_proxy = true;
+  gateway.calls = {{envoy_pp_id, "/productpage"}};
+  const size_t gateway_id = app.add_service(gateway);
+
+  app.build();
+  topo.entry = gateway_id;
+  topo.services = {{"ratings", ratings_id},
+                   {"envoy-ratings", envoy_ratings_id},
+                   {"reviews", reviews_id},
+                   {"envoy-reviews", envoy_reviews_id},
+                   {"details", details_id},
+                   {"envoy-details", envoy_details_id},
+                   {"productpage", productpage_id},
+                   {"envoy-productpage", envoy_pp_id},
+                   {"gateway", gateway_id}};
+  return topo;
+}
+
+Topology make_nginx_single_vm(u64 seed, kernelsim::KernelConfig kernel_config) {
+  Topology topo = start(seed, kernel_config, 1);
+  App& app = *topo.app;
+  // Appendix B: Nginx's computational workload is ~1 ms, 8 vCPUs worth of
+  // workers on one VM.
+  ServiceSpec nginx = http_service("nginx", 1 * kMillisecond, 8);
+  nginx.is_proxy = true;
+  topo.entry = app.add_service(nginx);
+  app.build();
+  topo.services = {{"nginx", topo.entry}};
+  return topo;
+}
+
+Topology make_nginx_ingress_case(u32 faulty_replica, u64 seed,
+                                 kernelsim::KernelConfig kernel_config) {
+  Topology topo = start(seed, kernel_config, 3);
+  App& app = *topo.app;
+
+  ServiceSpec db;
+  db.name = "orders-db";
+  db.protocol = L7Protocol::kMysql;
+  db.compute_ns = 500 * kMicrosecond;
+  db.threads = 12;
+  const size_t db_id = app.add_service(db);
+
+  ServiceSpec api = http_service("api", 600 * kMicrosecond, 8, 2);
+  api.calls = {{db_id, "orders"}};
+  const size_t api_id = app.add_service(api);
+
+  ServiceSpec web = http_service("web", 400 * kMicrosecond, 8, 2);
+  web.calls = {{api_id, "/api/orders"}};
+  const size_t web_id = app.add_service(web);
+
+  ServiceSpec ingress = http_service("nginx-ingress", 150 * kMicrosecond, 8, 3);
+  ingress.is_proxy = true;
+  ingress.calls = {{web_id, "/orders"}};
+  const size_t ingress_id = app.add_service(ingress);
+
+  app.build();
+  if (faulty_replica < 3) {
+    // The broken pod of §4.1.1: answers 404 instead of forwarding properly.
+    app.instance(ingress_id, faulty_replica)->set_fault_status(404);
+  }
+  topo.entry = ingress_id;
+  topo.services = {{"orders-db", db_id},
+                   {"api", api_id},
+                   {"web", web_id},
+                   {"nginx-ingress", ingress_id}};
+  return topo;
+}
+
+Topology make_mq_pipeline(u64 seed, kernelsim::KernelConfig kernel_config) {
+  Topology topo = start(seed, kernel_config, 3);
+  App& app = *topo.app;
+
+  ServiceSpec worker = http_service("worker", 900 * kMicrosecond, 4);
+  const size_t worker_id = app.add_service(worker);
+
+  ServiceSpec rabbitmq;
+  rabbitmq.name = "rabbitmq";
+  rabbitmq.protocol = L7Protocol::kMqtt;
+  rabbitmq.compute_ns = 200 * kMicrosecond;
+  rabbitmq.threads = 4;  // small pool: backlogs under pressure (§4.1.3)
+  rabbitmq.calls = {{worker_id, "/consume"}};
+  const size_t mq_id = app.add_service(rabbitmq);
+
+  ServiceSpec analytics;
+  analytics.name = "analytics";
+  analytics.protocol = L7Protocol::kKafka;
+  analytics.compute_ns = 300 * kMicrosecond;
+  analytics.threads = 8;
+  const size_t analytics_id = app.add_service(analytics);
+
+  ServiceSpec orders = http_service("orders", 500 * kMicrosecond, 12);
+  orders.calls = {{mq_id, "orders/created"}, {analytics_id, "orders-events"}};
+  const size_t orders_id = app.add_service(orders);
+
+  app.build();
+  topo.entry = orders_id;
+  topo.services = {{"worker", worker_id},
+                   {"rabbitmq", mq_id},
+                   {"analytics", analytics_id},
+                   {"orders", orders_id}};
+  return topo;
+}
+
+Topology make_ecommerce(u64 seed, kernelsim::KernelConfig kernel_config) {
+  Topology topo = start(seed, kernel_config, 3);
+  App& app = *topo.app;
+
+  ServiceSpec inventory = http_service("inventory", 400 * kMicrosecond, 8, 2);
+  inventory.use_coroutines = true;  // Go-style backend
+  const size_t inventory_id = app.add_service(inventory);
+
+  ServiceSpec api = http_service("api", 500 * kMicrosecond, 8, 2);
+  api.tls = true;  // internal TLS: only the SSL uprobes see plaintext
+  api.calls = {{inventory_id, "/stock"}};
+  const size_t api_id = app.add_service(api);
+
+  ServiceSpec storefront = http_service("storefront", 600 * kMicrosecond, 12);
+  storefront.is_proxy = true;
+  storefront.calls = {{api_id, "/api/v1"}};
+  const size_t storefront_id = app.add_service(storefront);
+
+  app.build();
+  topo.entry = storefront_id;
+  topo.services = {{"inventory", inventory_id},
+                   {"api", api_id},
+                   {"storefront", storefront_id}};
+  return topo;
+}
+
+Topology make_polyglot(u64 seed, kernelsim::KernelConfig kernel_config) {
+  Topology topo = start(seed, kernel_config, 3);
+  App& app = *topo.app;
+
+  ServiceSpec dns;
+  dns.name = "coredns";
+  dns.protocol = L7Protocol::kDns;
+  dns.compute_ns = 50 * kMicrosecond;
+  dns.threads = 4;
+  const size_t dns_id = app.add_service(dns);
+
+  ServiceSpec dubbo;
+  dubbo.name = "dubbo-backend";
+  dubbo.protocol = L7Protocol::kDubbo;
+  dubbo.compute_ns = 400 * kMicrosecond;
+  dubbo.threads = 8;
+  const size_t dubbo_id = app.add_service(dubbo);
+
+  ServiceSpec h2;
+  h2.name = "grpc-like";
+  h2.protocol = L7Protocol::kHttp2;
+  h2.compute_ns = 350 * kMicrosecond;
+  h2.threads = 8;
+  h2.use_coroutines = true;
+  h2.calls = {{dubbo_id, "com.shop.Inventory"}};
+  const size_t h2_id = app.add_service(h2);
+
+  ServiceSpec kafka;
+  kafka.name = "kafka-broker";
+  kafka.protocol = L7Protocol::kKafka;
+  kafka.compute_ns = 200 * kMicrosecond;
+  kafka.threads = 8;
+  const size_t kafka_id = app.add_service(kafka);
+
+  ServiceSpec amqp;
+  amqp.name = "rabbit-amqp";
+  amqp.protocol = L7Protocol::kAmqp;
+  amqp.compute_ns = 150 * kMicrosecond;
+  amqp.threads = 8;
+  const size_t amqp_id = app.add_service(amqp);
+
+  ServiceSpec front = http_service("front", 500 * kMicrosecond, 12);
+  front.calls = {{dns_id, "api.shop.svc"},
+                 {h2_id, "/inventory.v1/Get"},
+                 {kafka_id, "events"},
+                 {amqp_id, "orders.created"}};
+  const size_t front_id = app.add_service(front);
+
+  app.build();
+  topo.entry = front_id;
+  topo.services = {{"coredns", dns_id},
+                   {"dubbo-backend", dubbo_id},
+                   {"grpc-like", h2_id},
+                   {"kafka-broker", kafka_id},
+                   {"rabbit-amqp", amqp_id},
+                   {"front", front_id}};
+  return topo;
+}
+
+}  // namespace deepflow::workloads

@@ -1,0 +1,59 @@
+// Pre-built application topologies matching the paper's evaluation targets:
+// the Spring Boot demo and Istio Bookinfo (+Envoy sidecars) of §5.4, the
+// Nginx single-VM setup of Appendix B, and the case-study scenarios of §4.1.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "workloads/app.h"
+
+namespace deepflow::workloads {
+
+struct Topology {
+  std::unique_ptr<netsim::Cluster> cluster;
+  std::unique_ptr<App> app;
+  size_t entry = 0;                        // service the load enters at
+  std::map<std::string, size_t> services;  // name -> index
+};
+
+/// Spring Boot demo (Fig 16a): gateway -> front -> {cart -> redis,
+/// product -> mysql}. Jaeger-style instrumentation covers the four Java
+/// services (4 spans/trace).
+Topology make_spring_boot_demo(u64 seed = 11,
+                               kernelsim::KernelConfig kernel_config = {});
+
+/// Istio Bookinfo (Fig 16b): ingress gateway and per-service Envoy sidecars
+/// around productpage -> {details, reviews -> ratings}. Zipkin-style
+/// instrumentation covers six components (6 spans/trace).
+Topology make_bookinfo(u64 seed = 13,
+                       kernelsim::KernelConfig kernel_config = {});
+
+/// Appendix B: wrk2 -> Nginx (static content, ~1 ms of work) on one VM.
+Topology make_nginx_single_vm(u64 seed = 17,
+                              kernelsim::KernelConfig kernel_config = {});
+
+/// §4.1.1: Nginx ingress with three replicas fronting a web/api/db chain;
+/// replica `faulty_replica` of the ingress answers 404.
+Topology make_nginx_ingress_case(u32 faulty_replica = 1, u64 seed = 19,
+                                 kernelsim::KernelConfig kernel_config = {});
+
+/// §4.1.3: order service publishing through a RabbitMQ-style broker (MQTT)
+/// to a worker, plus a Kafka-fed analytics path — the metric-correlation
+/// debugging scenario.
+Topology make_mq_pipeline(u64 seed = 23,
+                          kernelsim::KernelConfig kernel_config = {});
+
+/// §4.1.2 / Appendix A: storefront -> api -> inventory spread across nodes
+/// with gateway devices in path; used for the ARP-anomaly hunt and the
+/// end-host-to-gateway trace.
+Topology make_ecommerce(u64 seed = 29,
+                        kernelsim::KernelConfig kernel_config = {});
+
+/// A polyglot mix exercising every supported protocol and the coroutine +
+/// TLS paths; used by integration tests.
+Topology make_polyglot(u64 seed = 31,
+                       kernelsim::KernelConfig kernel_config = {});
+
+}  // namespace deepflow::workloads

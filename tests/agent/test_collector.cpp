@@ -1,0 +1,174 @@
+#include "agent/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::agent {
+namespace {
+
+class CollectorTest : public ::testing::Test {
+ protected:
+  CollectorTest() : kernel_(loop_, "node-1", nullptr) {
+    pid_ = kernel_.tasks().create_process("svc");
+    tid_ = kernel_.tasks().create_thread(pid_);
+    tuple_ = FiveTuple{Ipv4::parse("10.0.0.1"), Ipv4::parse("10.0.0.2"),
+                       40000, 80, L4Proto::kTcp};
+    sock_ = kernel_.open_socket(pid_, tuple_);
+  }
+
+  std::vector<ebpf::SyscallEventRecord> drain(Collector& collector) {
+    std::vector<ebpf::SyscallEventRecord> records;
+    collector.syscall_events().drain(
+        1 << 20, [&](ebpf::SyscallEventRecord&& r) {
+          records.push_back(std::move(r));
+        });
+    return records;
+  }
+
+  EventLoop loop_;
+  kernelsim::Kernel kernel_;
+  Pid pid_ = 0;
+  Tid tid_ = 0;
+  FiveTuple tuple_;
+  SocketId sock_ = 0;
+};
+
+TEST_F(CollectorTest, DeploysTwentyProgramsForTenAbis) {
+  Collector collector(&kernel_);
+  ASSERT_TRUE(collector.deploy_syscall_programs()) << collector.error();
+  // enter + exit per ABI, each registering one kernel hook.
+  EXPECT_EQ(kernel_.hooks().attached_count(), 20u);
+}
+
+TEST_F(CollectorTest, MergesEnterAndExitIntoOneRecord) {
+  Collector collector(&kernel_);
+  ASSERT_TRUE(collector.deploy_syscall_programs());
+  const auto out = kernel_.sys_send(tid_, sock_, "GET / HTTP/1.1\r\n\r\n",
+                                    kernelsim::SyscallAbi::kWrite, 1'000);
+  const auto records = drain(collector);
+  ASSERT_EQ(records.size(), 1u);
+  const auto& r = records[0];
+  EXPECT_EQ(r.pid, pid_);
+  EXPECT_EQ(r.tid, tid_);
+  EXPECT_EQ(std::string(r.comm), "svc");
+  EXPECT_EQ(r.socket_id, sock_);
+  EXPECT_EQ(r.enter_ts, out.enter_ts);
+  EXPECT_EQ(r.exit_ts, out.exit_ts);
+  EXPECT_EQ(r.tcp_seq, out.tcp_seq);
+  EXPECT_EQ(r.abi, kernelsim::SyscallAbi::kWrite);
+  EXPECT_EQ(r.direction, kernelsim::Direction::kEgress);
+  EXPECT_EQ(r.payload_view(), "GET / HTTP/1.1\r\n\r\n");
+}
+
+TEST_F(CollectorTest, ContinuationSyscallsSkipped) {
+  Collector collector(&kernel_);
+  ASSERT_TRUE(collector.deploy_syscall_programs());
+  kernel_.sys_send(tid_, sock_, "part1", kernelsim::SyscallAbi::kWrite, 0,
+                   /*first_of_message=*/true);
+  kernel_.sys_send(tid_, sock_, "part2", kernelsim::SyscallAbi::kWrite, 100,
+                   /*first_of_message=*/false);
+  EXPECT_EQ(drain(collector).size(), 1u);
+}
+
+TEST_F(CollectorTest, PerThreadRecordsStayOnOneCpu) {
+  Collector collector(&kernel_);
+  ASSERT_TRUE(collector.deploy_syscall_programs());
+  for (int i = 0; i < 10; ++i) {
+    kernel_.sys_send(tid_, sock_, "x", kernelsim::SyscallAbi::kWrite,
+                     static_cast<TimestampNs>(i) * 1'000);
+  }
+  const auto records = drain(collector);
+  ASSERT_EQ(records.size(), 10u);
+  for (const auto& r : records) EXPECT_EQ(r.cpu, records[0].cpu);
+  // And in per-thread causal order.
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GT(records[i].enter_ts, records[i - 1].enter_ts);
+  }
+}
+
+TEST_F(CollectorTest, SslUprobesEmitPlaintextRecords) {
+  Collector collector(&kernel_);
+  ASSERT_TRUE(collector.deploy_syscall_programs());
+  ASSERT_TRUE(collector.deploy_ssl_programs()) << collector.error();
+  const SocketId tls_sock =
+      kernel_.open_socket(pid_, tuple_, L4Proto::kTcp, /*tls=*/true);
+  kernel_.sys_send(tid_, tls_sock, "GET /secret HTTP/1.1\r\n\r\n",
+                   kernelsim::SyscallAbi::kWrite, 0);
+  const auto records = drain(collector);
+  // One ssl_write record (plaintext) + one write record (ciphertext).
+  ASSERT_EQ(records.size(), 2u);
+  const auto& ssl = records[0].abi == kernelsim::SyscallAbi::kSslWrite
+                        ? records[0]
+                        : records[1];
+  const auto& raw = records[0].abi == kernelsim::SyscallAbi::kSslWrite
+                        ? records[1]
+                        : records[0];
+  EXPECT_EQ(ssl.payload_view(), "GET /secret HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(raw.abi, kernelsim::SyscallAbi::kWrite);
+  EXPECT_NE(raw.payload_view(), ssl.payload_view());
+}
+
+TEST_F(CollectorTest, NicCaptureEmitsPacketRecords) {
+  Collector collector(&kernel_);
+  netsim::Device device;
+  device.id = 3;
+  device.kind = netsim::DeviceKind::kVSwitch;
+  device.name = "node-1/vswitch";
+  ASSERT_TRUE(collector.deploy_nic_capture(&device)) << collector.error();
+
+  kernelsim::WireMessage msg;
+  msg.tuple = tuple_;
+  msg.tcp_seq = 777;
+  msg.payload = "GET / HTTP/1.1\r\n\r\n";
+  msg.total_bytes = msg.payload.size();
+  netsim::TapContext ctx;
+  ctx.device = &device;
+  ctx.message = &msg;
+  ctx.timestamp = 5'000;
+  device.fire_taps(ctx);
+
+  std::vector<ebpf::PacketEventRecord> records;
+  collector.packet_events().drain(100, [&](ebpf::PacketEventRecord&& r) {
+    records.push_back(std::move(r));
+  });
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].device_id, 3u);
+  EXPECT_EQ(std::string(records[0].device_name), "node-1/vswitch");
+  EXPECT_EQ(records[0].tcp_seq, 777u);
+  EXPECT_EQ(records[0].timestamp, 5'000u);
+  EXPECT_EQ(records[0].payload_view(), "GET / HTTP/1.1\r\n\r\n");
+}
+
+TEST_F(CollectorTest, UndeployStopsCollection) {
+  Collector collector(&kernel_);
+  ASSERT_TRUE(collector.deploy_syscall_programs());
+  collector.undeploy();
+  kernel_.sys_send(tid_, sock_, "x", kernelsim::SyscallAbi::kWrite, 0);
+  EXPECT_TRUE(drain(collector).empty());
+  EXPECT_EQ(kernel_.hooks().attached_count(), 0u);
+}
+
+TEST_F(CollectorTest, PerfOverflowSurfacesAsLoss) {
+  CollectorConfig config;
+  config.cpu_count = 1;
+  config.perf_ring_capacity = 4;
+  Collector collector(&kernel_, config);
+  ASSERT_TRUE(collector.deploy_syscall_programs());
+  for (int i = 0; i < 20; ++i) {
+    kernel_.sys_send(tid_, sock_, "x", kernelsim::SyscallAbi::kWrite,
+                     static_cast<TimestampNs>(i));
+  }
+  EXPECT_GT(collector.syscall_events().lost(), 0u);
+  EXPECT_EQ(drain(collector).size(), 4u);
+}
+
+TEST_F(CollectorTest, TracepointModeAlsoCollects) {
+  CollectorConfig config;
+  config.use_tracepoints = true;
+  Collector collector(&kernel_, config);
+  ASSERT_TRUE(collector.deploy_syscall_programs()) << collector.error();
+  kernel_.sys_send(tid_, sock_, "x", kernelsim::SyscallAbi::kWrite, 0);
+  EXPECT_EQ(drain(collector).size(), 1u);
+}
+
+}  // namespace
+}  // namespace deepflow::agent

@@ -1,0 +1,82 @@
+#include "agent/flow_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/http1.h"
+#include "protocols/redis.h"
+
+namespace deepflow::agent {
+namespace {
+
+class FlowInferenceTest : public ::testing::Test {
+ protected:
+  FlowInferenceTest()
+      : registry_(protocols::ProtocolRegistry::with_builtin()) {}
+
+  protocols::ProtocolRegistry registry_;
+};
+
+TEST_F(FlowInferenceTest, InfersOncePerFlow) {
+  FlowProtocolCache cache(&registry_);
+  const std::string http = protocols::build_http1_request("GET", "/");
+  const auto* first = cache.parser_for(1, http);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->protocol(), protocols::L7Protocol::kHttp1);
+  EXPECT_EQ(cache.inference_runs(), 1u);
+
+  // Subsequent messages hit the cache — even ones that would infer as a
+  // different protocol (the verdict is sticky per connection).
+  const auto* second = cache.parser_for(1, protocols::build_redis_ok());
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(cache.inference_runs(), 1u);
+  EXPECT_EQ(cache.cache_hits(), 1u);
+}
+
+TEST_F(FlowInferenceTest, FlowsAreIndependent) {
+  FlowProtocolCache cache(&registry_);
+  const auto* http =
+      cache.parser_for(1, protocols::build_http1_request("GET", "/"));
+  const auto* redis =
+      cache.parser_for(2, protocols::build_redis_command({"GET", "k"}));
+  ASSERT_NE(http, nullptr);
+  ASSERT_NE(redis, nullptr);
+  EXPECT_EQ(http->protocol(), protocols::L7Protocol::kHttp1);
+  EXPECT_EQ(redis->protocol(), protocols::L7Protocol::kRedis);
+  EXPECT_EQ(cache.tracked_flows(), 2u);
+}
+
+TEST_F(FlowInferenceTest, RetriesUntilAttemptBudgetThenGivesUp) {
+  FlowInferenceConfig config;
+  config.max_attempts = 3;
+  FlowProtocolCache cache(&registry_, config);
+  // Ciphertext never matches; after 3 scans the flow is marked hopeless.
+  const std::string junk = "\x91\x92\x93\x94\x95\x96\x97\x98";
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cache.parser_for(1, junk), nullptr);
+  }
+  EXPECT_EQ(cache.inference_runs(), 3u);
+}
+
+TEST_F(FlowInferenceTest, LateInferenceAfterInitialGarbage) {
+  // First message unparseable (e.g. a partial frame), second one clean: the
+  // flow still gets classified within the attempt budget.
+  FlowProtocolCache cache(&registry_);
+  EXPECT_EQ(cache.parser_for(1, "\x81\x82"), nullptr);
+  const auto* parser =
+      cache.parser_for(1, protocols::build_http1_request("GET", "/"));
+  ASSERT_NE(parser, nullptr);
+  EXPECT_EQ(parser->protocol(), protocols::L7Protocol::kHttp1);
+}
+
+TEST_F(FlowInferenceTest, ReinferEveryMessageAblation) {
+  FlowInferenceConfig config;
+  config.reinfer_every_message = true;
+  FlowProtocolCache cache(&registry_, config);
+  const std::string http = protocols::build_http1_request("GET", "/");
+  for (int i = 0; i < 5; ++i) cache.parser_for(1, http);
+  EXPECT_EQ(cache.inference_runs(), 5u);
+  EXPECT_EQ(cache.cache_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace deepflow::agent

@@ -1,0 +1,226 @@
+#include "agent/session_aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rand.h"
+
+namespace deepflow::agent {
+namespace {
+
+MessageData make_msg(protocols::MessageType type, TimestampNs ts,
+                     u64 stream = 0,
+                     protocols::SessionMatchMode mode =
+                         protocols::SessionMatchMode::kPipeline,
+                     u32 cpu = 0) {
+  MessageData msg;
+  msg.record.enter_ts = ts;
+  msg.record.exit_ts = ts + 1'000;
+  msg.record.cpu = cpu;
+  msg.parsed.type = type;
+  msg.parsed.protocol = protocols::L7Protocol::kHttp1;
+  msg.parsed.stream_id = stream;
+  msg.mode = mode;
+  return msg;
+}
+
+class Collector {
+ public:
+  SessionAggregator::SessionSink sink() {
+    return [this](Session&& s) { sessions.push_back(std::move(s)); };
+  }
+  std::vector<Session> sessions;
+};
+
+TEST(SessionAggregator, PipelinePairsInOrderAtFlush) {
+  SessionAggregator agg;
+  Collector out;
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 100), out.sink());
+  agg.offer(1, make_msg(protocols::MessageType::kResponse, 200), out.sink());
+  agg.flush(out.sink());
+  ASSERT_EQ(out.sessions.size(), 1u);
+  EXPECT_TRUE(out.sessions[0].response.has_value());
+  EXPECT_EQ(out.sessions[0].request.record.enter_ts, 100u);
+  EXPECT_EQ(out.sessions[0].response->record.enter_ts, 200u);
+  EXPECT_EQ(agg.matched_sessions(), 1u);
+}
+
+TEST(SessionAggregator, EagerPairingAfterWatermarkPasses) {
+  SessionAggregatorConfig config;
+  config.pairing_slack_ns = 10 * kMillisecond;
+  SessionAggregator agg(config);
+  Collector out;
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 100), out.sink());
+  agg.offer(1, make_msg(protocols::MessageType::kResponse, 200), out.sink());
+  EXPECT_TRUE(out.sessions.empty());  // watermark not yet past the slack
+  // A much later message on the same CPU pushes the watermark forward.
+  agg.offer(2, make_msg(protocols::MessageType::kRequest, 100 * kMillisecond),
+            out.sink());
+  ASSERT_EQ(out.sessions.size(), 1u);  // the old pair emitted eagerly
+}
+
+TEST(SessionAggregator, PipelineFifoAcrossMultipleOutstanding) {
+  SessionAggregator agg;
+  Collector out;
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 100), out.sink());
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 200), out.sink());
+  agg.offer(1, make_msg(protocols::MessageType::kResponse, 300), out.sink());
+  agg.offer(1, make_msg(protocols::MessageType::kResponse, 400), out.sink());
+  agg.flush(out.sink());
+  ASSERT_EQ(out.sessions.size(), 2u);
+  EXPECT_EQ(out.sessions[0].request.record.enter_ts, 100u);
+  EXPECT_EQ(out.sessions[0].response->record.enter_ts, 300u);
+  EXPECT_EQ(out.sessions[1].request.record.enter_ts, 200u);
+  EXPECT_EQ(out.sessions[1].response->record.enter_ts, 400u);
+}
+
+TEST(SessionAggregator, CrossCpuDisorderStillPairsFifo) {
+  // Drain order scrambled across CPUs: response of request 2 drains before
+  // request 1's response. Timestamp-ordered pairing must not mispair.
+  SessionAggregator agg;
+  Collector out;
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 100, 0,
+                        protocols::SessionMatchMode::kPipeline, 0),
+            out.sink());
+  agg.offer(1, make_msg(protocols::MessageType::kResponse, 1'000, 0,
+                        protocols::SessionMatchMode::kPipeline, 1),
+            out.sink());  // response of request 2, drained early
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 900, 0,
+                        protocols::SessionMatchMode::kPipeline, 1),
+            out.sink());
+  agg.offer(1, make_msg(protocols::MessageType::kResponse, 150, 0,
+                        protocols::SessionMatchMode::kPipeline, 0),
+            out.sink());  // response of request 1, drained late
+  agg.flush(out.sink());
+  ASSERT_EQ(out.sessions.size(), 2u);
+  EXPECT_EQ(out.sessions[0].request.record.enter_ts, 100u);
+  EXPECT_EQ(out.sessions[0].response->record.enter_ts, 150u);
+  EXPECT_EQ(out.sessions[1].request.record.enter_ts, 900u);
+  EXPECT_EQ(out.sessions[1].response->record.enter_ts, 1'000u);
+}
+
+TEST(SessionAggregator, ParallelMatchesByStreamIdRegardlessOfOrder) {
+  SessionAggregator agg;
+  Collector out;
+  const auto mode = protocols::SessionMatchMode::kParallel;
+  // Responses arrive before requests and out of stream order.
+  agg.offer(1, make_msg(protocols::MessageType::kResponse, 500, 7, mode),
+            out.sink());
+  agg.offer(1, make_msg(protocols::MessageType::kResponse, 600, 9, mode),
+            out.sink());
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 100, 9, mode),
+            out.sink());
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 200, 7, mode),
+            out.sink());
+  ASSERT_EQ(out.sessions.size(), 2u);
+  for (const Session& s : out.sessions) {
+    EXPECT_EQ(s.request.parsed.stream_id, s.response->parsed.stream_id);
+  }
+}
+
+TEST(SessionAggregator, FlowsDoNotCrossContaminate) {
+  SessionAggregator agg;
+  Collector out;
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 100), out.sink());
+  agg.offer(2, make_msg(protocols::MessageType::kResponse, 200), out.sink());
+  agg.flush(out.sink());
+  // Flow 1's request expires unmatched; flow 2's response is an orphan.
+  ASSERT_EQ(out.sessions.size(), 1u);
+  EXPECT_FALSE(out.sessions[0].response.has_value());
+  EXPECT_EQ(agg.expired_requests(), 1u);
+  EXPECT_EQ(agg.dropped_orphan_responses(), 1u);
+}
+
+TEST(SessionAggregator, ExpiredRequestSurfacesAsIncompleteSession) {
+  // The paper: missing responses are unexpected execution terminations.
+  SessionAggregatorConfig config;
+  config.slot_ns = 1 * kSecond;
+  config.slot_count = 2;
+  SessionAggregator agg(config);
+  Collector out;
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 100), out.sink());
+  // Advance far beyond the horizon; the request is evicted.
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 10 * kSecond),
+            out.sink());
+  ASSERT_GE(out.sessions.size(), 1u);
+  EXPECT_FALSE(out.sessions[0].response.has_value());
+  EXPECT_EQ(agg.expired_requests(), 1u);
+  agg.flush(out.sink());
+}
+
+TEST(SessionAggregator, OrphanResponseNeverBecomesSession) {
+  SessionAggregator agg;
+  Collector out;
+  agg.offer(1, make_msg(protocols::MessageType::kResponse, 100), out.sink());
+  agg.flush(out.sink());
+  EXPECT_TRUE(out.sessions.empty());
+  EXPECT_EQ(agg.dropped_orphan_responses(), 1u);
+}
+
+TEST(SessionAggregator, UnknownTypeIgnored) {
+  SessionAggregator agg;
+  Collector out;
+  agg.offer(1, make_msg(protocols::MessageType::kUnknown, 100), out.sink());
+  agg.flush(out.sink());
+  EXPECT_TRUE(out.sessions.empty());
+  EXPECT_EQ(agg.pending_count(), 0u);
+}
+
+TEST(SessionAggregator, StreamIdReuseExpiresStaleEntry) {
+  SessionAggregator agg;
+  Collector out;
+  const auto mode = protocols::SessionMatchMode::kParallel;
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 100, 5, mode),
+            out.sink());
+  // Same stream id used again before any response: the first is stale.
+  agg.offer(1, make_msg(protocols::MessageType::kRequest, 200, 5, mode),
+            out.sink());
+  agg.offer(1, make_msg(protocols::MessageType::kResponse, 300, 5, mode),
+            out.sink());
+  agg.flush(out.sink());
+  // One incomplete (the stale request) + one matched.
+  ASSERT_EQ(out.sessions.size(), 2u);
+  EXPECT_FALSE(out.sessions[0].response.has_value());
+  EXPECT_TRUE(out.sessions[1].response.has_value());
+  EXPECT_EQ(out.sessions[1].request.record.enter_ts, 200u);
+}
+
+// Property sweep: random interleavings of N pipeline request/response pairs
+// always produce exactly N sessions with correctly ordered pairs at flush.
+class AggregatorShuffleTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(AggregatorShuffleTest, AllPairsRecoveredFromAnyDrainOrder) {
+  constexpr int kPairs = 50;
+  std::vector<MessageData> messages;
+  for (int i = 0; i < kPairs; ++i) {
+    const TimestampNs base = static_cast<TimestampNs>(i) * 10'000;
+    messages.push_back(make_msg(protocols::MessageType::kRequest, base, 0,
+                                protocols::SessionMatchMode::kPipeline,
+                                static_cast<u32>(i % 4)));
+    messages.push_back(make_msg(protocols::MessageType::kResponse, base + 5'000,
+                                0, protocols::SessionMatchMode::kPipeline,
+                                static_cast<u32>(i % 4)));
+  }
+  // Deterministic shuffle from the seed.
+  Rng rng(GetParam());
+  for (size_t i = messages.size(); i > 1; --i) {
+    std::swap(messages[i - 1], messages[rng.below(i)]);
+  }
+  SessionAggregator agg;
+  Collector out;
+  for (auto& msg : messages) agg.offer(42, std::move(msg), out.sink());
+  agg.flush(out.sink());
+  ASSERT_EQ(out.sessions.size(), static_cast<size_t>(kPairs));
+  for (const Session& s : out.sessions) {
+    ASSERT_TRUE(s.response.has_value());
+    // Each request pairs with the response 5us after it — its own.
+    EXPECT_EQ(s.response->record.enter_ts, s.request.record.enter_ts + 5'000);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatorShuffleTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace deepflow::agent

@@ -1,0 +1,155 @@
+#include "agent/span_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::agent {
+namespace {
+
+class SpanBuilderTest : public ::testing::Test {
+ protected:
+  SpanBuilderTest() {
+    const auto vpc = registry_.create_vpc("prod");
+    const auto node = registry_.create_node(vpc, "node-1");
+    registry_.create_pod(node, "client-0", Ipv4::parse("10.0.0.1"));
+    registry_.create_pod(node, "server-0", Ipv4::parse("10.0.0.2"));
+    vpc_ = vpc;
+  }
+
+  Session make_session(kernelsim::Direction request_direction) {
+    Session session;
+    session.flow_key = 1;
+    session.request.record.enter_ts = 1'000;
+    session.request.record.exit_ts = 1'500;
+    session.request.record.tcp_seq = 111;
+    session.request.record.pid = 5;
+    session.request.record.tid = 50;
+    session.request.record.direction = request_direction;
+    session.request.record.tuple =
+        FiveTuple{Ipv4::parse("10.0.0.1"), Ipv4::parse("10.0.0.2"), 40000, 80,
+                  L4Proto::kTcp};
+    session.request.parsed.type = protocols::MessageType::kRequest;
+    session.request.parsed.protocol = protocols::L7Protocol::kHttp1;
+    session.request.parsed.method = "GET";
+    session.request.parsed.endpoint = "/cart";
+    session.request.systrace_id = 77;
+
+    MessageData response;
+    response.record.enter_ts = 4'000;
+    response.record.exit_ts = 4'500;
+    response.record.tcp_seq = 222;
+    response.parsed.type = protocols::MessageType::kResponse;
+    response.parsed.status_code = 200;
+    response.parsed.ok = true;
+    session.response = std::move(response);
+    return session;
+  }
+
+  netsim::ResourceRegistry registry_;
+  netsim::VpcId vpc_ = 0;
+};
+
+TEST_F(SpanBuilderTest, SessionBecomesSpanWithRequestResponseBracket) {
+  SpanBuilder builder("node-1", &registry_);
+  const Span span = builder.build(make_session(kernelsim::Direction::kIngress));
+  EXPECT_EQ(span.start_ts, 1'000u);
+  EXPECT_EQ(span.end_ts, 4'500u);
+  EXPECT_EQ(span.duration(), 3'500u);
+  EXPECT_EQ(span.method, "GET");
+  EXPECT_EQ(span.endpoint, "/cart");
+  EXPECT_EQ(span.status_code, 200u);
+  EXPECT_TRUE(span.ok);
+  EXPECT_FALSE(span.incomplete);
+  EXPECT_EQ(span.req_tcp_seq, 111u);
+  EXPECT_EQ(span.resp_tcp_seq, 222u);
+  EXPECT_EQ(span.systrace_id, 77u);
+  EXPECT_EQ(span.host, "node-1");
+  EXPECT_EQ(span.kind, SpanKind::kSystem);
+}
+
+TEST_F(SpanBuilderTest, ServerSideDeterminedByRequestDirection) {
+  SpanBuilder builder("node-1", &registry_);
+  EXPECT_TRUE(
+      builder.build(make_session(kernelsim::Direction::kIngress)).from_server_side);
+  EXPECT_FALSE(
+      builder.build(make_session(kernelsim::Direction::kEgress)).from_server_side);
+}
+
+TEST_F(SpanBuilderTest, MissingResponseFlagsIncomplete) {
+  SpanBuilder builder("node-1", &registry_);
+  Session session = make_session(kernelsim::Direction::kIngress);
+  session.response = std::nullopt;
+  const Span span = builder.build(session);
+  EXPECT_TRUE(span.incomplete);
+  EXPECT_FALSE(span.ok);
+  EXPECT_EQ(span.end_ts, 1'500u);  // request's own bracket
+  EXPECT_EQ(span.resp_tcp_seq, 0u);
+}
+
+TEST_F(SpanBuilderTest, IntTagsResolveVpcAndIps) {
+  SpanBuilder builder("node-1", &registry_);
+  const Span span = builder.build(make_session(kernelsim::Direction::kIngress));
+  EXPECT_EQ(span.int_tags.vpc_id, vpc_);
+  EXPECT_EQ(span.int_tags.client_ip, Ipv4::parse("10.0.0.1").addr);
+  EXPECT_EQ(span.int_tags.server_ip, Ipv4::parse("10.0.0.2").addr);
+}
+
+TEST_F(SpanBuilderTest, SpanIdsUnique) {
+  SpanBuilder builder("node-1", &registry_);
+  const Span a = builder.build(make_session(kernelsim::Direction::kIngress));
+  const Span b = builder.build(make_session(kernelsim::Direction::kIngress));
+  EXPECT_NE(a.span_id, b.span_id);
+  EXPECT_EQ(builder.spans_built(), 2u);
+}
+
+TEST_F(SpanBuilderTest, PacketOriginYieldsNetworkSpan) {
+  SpanBuilder builder("node-1", &registry_);
+  Session session = make_session(kernelsim::Direction::kIngress);
+  session.request.origin = CaptureOrigin::kPacketTap;
+  session.request.device_id = 9;
+  session.request.device_name = "tor-1";
+  if (session.response) session.response->origin = CaptureOrigin::kPacketTap;
+  const Span span = builder.build(session);
+  EXPECT_EQ(span.kind, SpanKind::kNetwork);
+  EXPECT_EQ(span.device_id, 9u);
+  EXPECT_EQ(span.device_name, "tor-1");
+  EXPECT_FALSE(span.from_server_side);
+}
+
+TEST_F(SpanBuilderTest, SslOriginYieldsApplicationSpan) {
+  SpanBuilder builder("node-1", &registry_);
+  Session session = make_session(kernelsim::Direction::kIngress);
+  session.request.origin = CaptureOrigin::kSslUprobe;
+  EXPECT_EQ(builder.build(session).kind, SpanKind::kApplication);
+}
+
+TEST_F(SpanBuilderTest, PlainThreadHidesPseudoThreadId) {
+  SpanBuilder builder("node-1", &registry_);
+  Session session = make_session(kernelsim::Direction::kIngress);
+  session.request.record.coroutine_id = 0;
+  session.request.pseudo_thread_id = 50;  // tid, not a search key
+  EXPECT_EQ(builder.build(session).pseudo_thread_id, 0u);
+  session.request.record.coroutine_id = 42;
+  session.request.pseudo_thread_id = 42;
+  EXPECT_EQ(builder.build(session).pseudo_thread_id, 42u);
+}
+
+TEST_F(SpanBuilderTest, TraceContextExtractedFromHeaders) {
+  SpanBuilder builder("node-1", &registry_);
+  Session session = make_session(kernelsim::Direction::kIngress);
+  session.request.parsed.trace_context =
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  session.request.parsed.x_request_id = "xrid-9";
+  const Span span = builder.build(session);
+  EXPECT_EQ(span.otel_trace_id, "0af7651916cd43dd8448eb211c80319c");
+  EXPECT_EQ(span.x_request_id, "xrid-9");
+}
+
+TEST_F(SpanBuilderTest, XRequestIdFallsBackToResponse) {
+  SpanBuilder builder("node-1", &registry_);
+  Session session = make_session(kernelsim::Direction::kIngress);
+  session.response->parsed.x_request_id = "from-response";
+  EXPECT_EQ(builder.build(session).x_request_id, "from-response");
+}
+
+}  // namespace
+}  // namespace deepflow::agent

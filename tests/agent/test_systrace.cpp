@@ -1,0 +1,130 @@
+#include "agent/systrace.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::agent {
+namespace {
+
+MessageData make_msg(Pid pid, PseudoThreadId ptid,
+                     kernelsim::Direction direction,
+                     protocols::MessageType type, SocketId socket) {
+  MessageData msg;
+  msg.record.pid = pid;
+  msg.record.tid = static_cast<Tid>(ptid);
+  msg.record.direction = direction;
+  msg.record.socket_id = socket;
+  msg.parsed.type = type;
+  msg.pseudo_thread_id = ptid;
+  return msg;
+}
+
+constexpr auto kIn = kernelsim::Direction::kIngress;
+constexpr auto kOut = kernelsim::Direction::kEgress;
+constexpr auto kReq = protocols::MessageType::kRequest;
+constexpr auto kResp = protocols::MessageType::kResponse;
+
+TEST(Systrace, ServerHandlingSharesOneId) {
+  // Fig 7(a): inbound request, downstream call, downstream response,
+  // outbound response — all one flow on one thread.
+  SystraceAssigner assigner;
+  auto in_req = make_msg(1, 10, kIn, kReq, 100);
+  auto out_call = make_msg(1, 10, kOut, kReq, 200);
+  auto in_reply = make_msg(1, 10, kIn, kResp, 200);
+  auto out_resp = make_msg(1, 10, kOut, kResp, 100);
+  assigner.assign(in_req);
+  assigner.assign(out_call);
+  assigner.assign(in_reply);
+  assigner.assign(out_resp);
+  EXPECT_NE(in_req.systrace_id, kInvalidSystraceId);
+  EXPECT_EQ(in_req.systrace_id, out_call.systrace_id);
+  EXPECT_EQ(in_req.systrace_id, in_reply.systrace_id);
+  EXPECT_EQ(in_req.systrace_id, out_resp.systrace_id);
+}
+
+TEST(Systrace, ThreadReusePartitionsFlows) {
+  // Fig 7(b): the same thread handling a second inbound request starts a
+  // fresh systrace id.
+  SystraceAssigner assigner;
+  auto first = make_msg(1, 10, kIn, kReq, 100);
+  auto first_resp = make_msg(1, 10, kOut, kResp, 100);
+  auto second = make_msg(1, 10, kIn, kReq, 100);
+  assigner.assign(first);
+  assigner.assign(first_resp);
+  assigner.assign(second);
+  EXPECT_NE(first.systrace_id, second.systrace_id);
+}
+
+TEST(Systrace, MultipleDownstreamCallsShareTheFlow) {
+  // Fig 7(c): consecutive messages of different types on different sockets.
+  SystraceAssigner assigner;
+  auto in_req = make_msg(1, 10, kIn, kReq, 100);
+  auto call_a = make_msg(1, 10, kOut, kReq, 201);
+  auto reply_a = make_msg(1, 10, kIn, kResp, 201);
+  auto call_b = make_msg(1, 10, kOut, kReq, 202);
+  auto reply_b = make_msg(1, 10, kIn, kResp, 202);
+  for (auto* m : {&in_req, &call_a, &reply_a, &call_b, &reply_b}) {
+    assigner.assign(*m);
+  }
+  EXPECT_EQ(call_a.systrace_id, in_req.systrace_id);
+  EXPECT_EQ(call_b.systrace_id, in_req.systrace_id);
+  EXPECT_EQ(reply_b.systrace_id, in_req.systrace_id);
+}
+
+TEST(Systrace, PureClientCallsArePartitioned) {
+  // A load-generator thread issuing sequential independent calls: each call
+  // is its own flow (otherwise the whole run would collapse into one trace).
+  SystraceAssigner assigner;
+  auto req1 = make_msg(1, 10, kOut, kReq, 100);
+  auto resp1 = make_msg(1, 10, kIn, kResp, 100);
+  auto req2 = make_msg(1, 10, kOut, kReq, 100);
+  auto resp2 = make_msg(1, 10, kIn, kResp, 100);
+  for (auto* m : {&req1, &resp1, &req2, &resp2}) assigner.assign(*m);
+  EXPECT_EQ(req1.systrace_id, resp1.systrace_id);
+  EXPECT_EQ(req2.systrace_id, resp2.systrace_id);
+  EXPECT_NE(req1.systrace_id, req2.systrace_id);
+}
+
+TEST(Systrace, ThreadsAreIndependent) {
+  SystraceAssigner assigner;
+  auto on_t1 = make_msg(1, 10, kIn, kReq, 100);
+  auto on_t2 = make_msg(1, 11, kIn, kReq, 101);
+  assigner.assign(on_t1);
+  assigner.assign(on_t2);
+  EXPECT_NE(on_t1.systrace_id, on_t2.systrace_id);
+}
+
+TEST(Systrace, PidsDisambiguateSamePseudoThread) {
+  SystraceAssigner assigner;
+  auto proc_a = make_msg(1, 10, kIn, kReq, 100);
+  auto proc_b = make_msg(2, 10, kIn, kReq, 101);
+  assigner.assign(proc_a);
+  assigner.assign(proc_b);
+  EXPECT_NE(proc_a.systrace_id, proc_b.systrace_id);
+}
+
+TEST(Systrace, IdsAreGloballyUniqueAcrossAssigners) {
+  // Two agents (two assigners) must never mint the same systrace id.
+  SystraceAssigner a, b;
+  auto on_a = make_msg(1, 10, kIn, kReq, 100);
+  auto on_b = make_msg(1, 10, kIn, kReq, 100);
+  a.assign(on_a);
+  b.assign(on_b);
+  EXPECT_NE(on_a.systrace_id, on_b.systrace_id);
+}
+
+TEST(Systrace, InterleavedRequestsOnCoroutinePseudoThreads) {
+  // Two coroutine lineages on one kernel thread interleave; pseudo-thread
+  // ids keep the flows apart.
+  SystraceAssigner assigner;
+  auto req_x = make_msg(1, 1001, kIn, kReq, 100);   // pseudo-thread 1001
+  auto req_y = make_msg(1, 1002, kIn, kReq, 101);   // pseudo-thread 1002
+  auto call_x = make_msg(1, 1001, kOut, kReq, 200);
+  auto call_y = make_msg(1, 1002, kOut, kReq, 201);
+  for (auto* m : {&req_x, &req_y, &call_x, &call_y}) assigner.assign(*m);
+  EXPECT_EQ(call_x.systrace_id, req_x.systrace_id);
+  EXPECT_EQ(call_y.systrace_id, req_y.systrace_id);
+  EXPECT_NE(req_x.systrace_id, req_y.systrace_id);
+}
+
+}  // namespace
+}  // namespace deepflow::agent

@@ -1,0 +1,85 @@
+#include "common/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepflow {
+namespace {
+
+TEST(EventLoop, RunsInTimestampOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(300, [&] { order.push_back(3); });
+  loop.schedule_at(100, [&] { order.push_back(1); });
+  loop.schedule_at(200, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 300u);
+}
+
+TEST(EventLoop, TiesRunFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, PastSchedulingClampsToNow) {
+  EventLoop loop;
+  TimestampNs ran_at = 0;
+  loop.schedule_at(100, [&] {
+    loop.schedule_at(10, [&] { ran_at = loop.now(); });  // in the past
+  });
+  loop.run();
+  EXPECT_EQ(ran_at, 100u);
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) loop.schedule_after(10, recurse);
+  };
+  loop.schedule_at(0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(loop.now(), 99u * 10u);
+}
+
+TEST(EventLoop, RunUntilLeavesLaterEvents) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule_at(100, [&] { ++ran; });
+  loop.schedule_at(200, [&] { ++ran; });
+  loop.run_until(150);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.now(), 150u);  // clock advanced to the horizon
+  EXPECT_TRUE(loop.has_pending());
+  loop.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  TimestampNs inner = 0;
+  loop.schedule_at(500, [&] {
+    loop.schedule_after(25, [&] { inner = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(inner, 525u);
+}
+
+TEST(EventLoop, StepReturnsFalseWhenEmpty) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.step());
+  loop.schedule_at(1, [] {});
+  EXPECT_TRUE(loop.step());
+  EXPECT_FALSE(loop.step());
+}
+
+}  // namespace
+}  // namespace deepflow

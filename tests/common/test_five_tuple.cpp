@@ -1,0 +1,64 @@
+#include "common/five_tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow {
+namespace {
+
+FiveTuple sample() {
+  return FiveTuple{Ipv4::parse("10.1.2.3"), Ipv4::parse("10.4.5.6"), 40000,
+                   8080, L4Proto::kTcp};
+}
+
+TEST(Ipv4, RoundTrip) {
+  for (const char* text : {"0.0.0.0", "10.1.2.3", "255.255.255.255",
+                           "192.168.0.1"}) {
+    EXPECT_EQ(Ipv4::parse(text).to_string(), text);
+  }
+}
+
+TEST(Ipv4, MalformedParsesToZero) {
+  for (const char* text : {"", "10.1.2", "10.1.2.3.4", "300.1.1.1", "a.b.c.d",
+                           "10.1.2.3x"}) {
+    EXPECT_EQ(Ipv4::parse(text).addr, 0u) << text;
+  }
+}
+
+TEST(FiveTuple, ReversedSwapsEndpoints) {
+  const FiveTuple t = sample();
+  const FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, t.dst_ip);
+  EXPECT_EQ(r.dst_port, t.src_port);
+  EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(FiveTuple, CanonicalIsDirectionAgnostic) {
+  const FiveTuple t = sample();
+  EXPECT_EQ(t.canonical(), t.reversed().canonical());
+  EXPECT_EQ(t.canonical().hash(), t.reversed().canonical().hash());
+}
+
+TEST(FiveTuple, CanonicalIsIdempotent) {
+  const FiveTuple t = sample();
+  EXPECT_EQ(t.canonical().canonical(), t.canonical());
+}
+
+TEST(FiveTuple, HashDiffersAcrossFlows) {
+  FiveTuple a = sample();
+  FiveTuple b = sample();
+  b.src_port = 40001;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(FiveTuple, ToStringFormat) {
+  EXPECT_EQ(sample().to_string(), "10.1.2.3:40000 -> 10.4.5.6:8080/tcp");
+}
+
+TEST(FiveTuple, SamePortsCanonicalStable) {
+  // Equal endpoints either way must still be deterministic.
+  FiveTuple t{Ipv4{100}, Ipv4{100}, 5, 5, L4Proto::kUdp};
+  EXPECT_EQ(t.canonical(), t);
+}
+
+}  // namespace
+}  // namespace deepflow

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/rand.h"
+
+namespace deepflow {
+namespace {
+
+TEST(Hash, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64 of "a" per the reference specification.
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(Hash, Fnv1aDistinguishesInputs) {
+  EXPECT_NE(fnv1a("abc"), fnv1a("acb"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abcd"));
+}
+
+TEST(Hash, Mix64HasNoObviousFixedPatterns) {
+  std::unordered_set<u64> seen;
+  for (u64 i = 0; i < 10'000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10'000u);  // injective on a small range
+}
+
+TEST(Hash, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDecorrelated) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(3);
+  std::set<u64> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.between(5, 8));
+  EXPECT_EQ(seen, (std::set<u64>{5, 6, 7, 8}));
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(500.0);
+  EXPECT_NEAR(sum / kSamples, 500.0, 10.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, JitteredStaysPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GT(rng.jittered(100.0, 0.9), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace deepflow

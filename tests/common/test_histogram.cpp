@@ -1,0 +1,128 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rand.h"
+
+namespace deepflow {
+namespace {
+
+TEST(Histogram, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  LatencyHistogram h;
+  h.record(1'000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1'000u);
+  EXPECT_EQ(h.max(), 1'000u);
+  // Quantiles land inside the value's bucket (bounded relative error).
+  EXPECT_NEAR(static_cast<double>(h.p50()), 1'000.0, 1'000.0 / 64);
+}
+
+TEST(Histogram, MeanIsExact) {
+  LatencyHistogram h;
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(Histogram, QuantilesOrdered) {
+  LatencyHistogram h;
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) h.record(rng.between(1, 10 * kMillisecond));
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.max());
+  EXPECT_GE(h.p50(), h.min());
+}
+
+TEST(Histogram, RelativePrecisionBound) {
+  LatencyHistogram h;
+  // All mass at one value: every quantile must be within ~1/32 of it.
+  const u64 value = 123'456'789;
+  h.record_n(value, 1000);
+  for (const double q : {0.01, 0.5, 0.9, 0.99, 1.0}) {
+    const double reported = static_cast<double>(h.value_at_quantile(q));
+    EXPECT_NEAR(reported, static_cast<double>(value),
+                static_cast<double>(value) / 32.0)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, UniformQuantileAccuracy) {
+  LatencyHistogram h;
+  // Deterministic uniform grid over [1ms, 2ms].
+  for (u64 v = 1 * kMillisecond; v <= 2 * kMillisecond; v += 1'000) {
+    h.record(v);
+  }
+  EXPECT_NEAR(static_cast<double>(h.p50()), 1.5 * kMillisecond,
+              0.05 * kMillisecond);
+  EXPECT_NEAR(static_cast<double>(h.p90()), 1.9 * kMillisecond,
+              0.05 * kMillisecond);
+}
+
+TEST(Histogram, OverflowClampsAndCounts) {
+  LatencyHistogram h(/*max_value=*/1 * kSecond);
+  h.record(5 * kSecond);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_LE(h.max(), 1 * kSecond);
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  LatencyHistogram a, b;
+  a.record_n(1'000, 10);
+  b.record_n(1'000'000, 20);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 30u);
+  EXPECT_EQ(a.min(), 1'000u);
+  EXPECT_EQ(a.max(), 1'000'000u);
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.record_n(5'000, 7);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, RecordNZeroIsNoop) {
+  LatencyHistogram h;
+  h.record_n(1'000, 0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+// Property sweep: for any distribution, count is conserved and quantile 1.0
+// is >= quantile 0.0.
+class HistogramPropertyTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(HistogramPropertyTest, CountConservedAndMonotone) {
+  LatencyHistogram h;
+  Rng rng(GetParam());
+  u64 n = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    h.record(static_cast<u64>(rng.exponential(2 * kMillisecond)) + 1);
+    ++n;
+  }
+  EXPECT_EQ(h.count(), n);
+  u64 prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.1) {
+    const u64 v = h.value_at_quantile(q);
+    EXPECT_GE(v, prev) << "quantile " << q;
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
+                         ::testing::Values(1, 7, 42, 1337, 99991));
+
+}  // namespace
+}  // namespace deepflow

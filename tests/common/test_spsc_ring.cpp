@@ -1,0 +1,78 @@
+#include "common/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace deepflow {
+namespace {
+
+TEST(SpscRing, PushPopOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.push(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto v = ring.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRing, FullRejectsAndCountsDrops) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99));
+  EXPECT_FALSE(ring.push(100));
+  EXPECT_EQ(ring.dropped(), 2u);
+  EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST(SpscRing, ReusableAfterDrain) {
+  SpscRing<int> ring(2);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.push(round));
+    EXPECT_TRUE(ring.push(round + 1000));
+    EXPECT_EQ(*ring.pop(), round);
+    EXPECT_EQ(*ring.pop(), round + 1000);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SpscRing, MoveOnlyPayloads) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.push(std::make_unique<int>(42)));
+  auto v = ring.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer) {
+  SpscRing<u64> ring(1024);
+  constexpr u64 kCount = 200'000;
+  std::thread producer([&ring] {
+    for (u64 i = 0; i < kCount; ++i) {
+      while (!ring.push(i)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  u64 expected = 0;
+  while (expected < kCount) {
+    if (const auto v = ring.pop()) {
+      ASSERT_EQ(*v, expected);  // strict FIFO under concurrency
+      ++expected;
+    }
+  }
+  producer.join();
+  // dropped() counts rejected pushes; the retry loop makes them expected
+  // here — what matters is that no accepted item was lost or reordered.
+}
+
+}  // namespace
+}  // namespace deepflow

@@ -1,0 +1,129 @@
+#include "common/time_window.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepflow {
+namespace {
+
+using Window = TimeWindowArray<int>;
+
+Window::EvictFn collect(std::vector<int>* out) {
+  return [out](int&& v) { out->push_back(v); };
+}
+
+TEST(TimeWindow, InsertAndClaimSameSlot) {
+  Window w(1 * kSecond, 3);
+  std::vector<int> evicted;
+  ASSERT_TRUE(w.insert(100, 7, collect(&evicted)));
+  const auto claimed = w.claim_nearby(200, [](const int& v) { return v == 7; });
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(*claimed, 7);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_TRUE(evicted.empty());
+}
+
+TEST(TimeWindow, ClaimAdjacentSlots) {
+  Window w(1 * kSecond, 4);
+  std::vector<int> evicted;
+  ASSERT_TRUE(w.insert(900 * kMillisecond, 1, collect(&evicted)));
+  // Target in the next slot still finds the item (adjacent-slot rule).
+  EXPECT_TRUE(w.claim_nearby(1100 * kMillisecond,
+                             [](const int& v) { return v == 1; })
+                  .has_value());
+}
+
+TEST(TimeWindow, ClaimTwoSlotsAwayFails) {
+  Window w(1 * kSecond, 8);
+  std::vector<int> evicted;
+  ASSERT_TRUE(w.insert(100, 1, collect(&evicted)));
+  ASSERT_TRUE(w.insert(3500 * kMillisecond, 2, collect(&evicted)));
+  // Item 1 sits three slots before the query point: out of reach.
+  EXPECT_FALSE(w.claim_nearby(3500 * kMillisecond,
+                              [](const int& v) { return v == 1; })
+                   .has_value());
+}
+
+TEST(TimeWindow, OldInsertRejected) {
+  Window w(1 * kSecond, 2);
+  std::vector<int> evicted;
+  ASSERT_TRUE(w.insert(10 * kSecond, 1, collect(&evicted)));
+  EXPECT_FALSE(w.insert(1 * kSecond, 2, collect(&evicted)));
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(TimeWindow, AdvanceEvictsExpired) {
+  Window w(1 * kSecond, 2);
+  std::vector<int> evicted;
+  ASSERT_TRUE(w.insert(100, 1, collect(&evicted)));
+  ASSERT_TRUE(w.insert(1200 * kMillisecond, 2, collect(&evicted)));
+  // Jump far ahead: both old slots fall off the horizon.
+  w.advance(10 * kSecond, collect(&evicted));
+  EXPECT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(TimeWindow, EvictionOrderIsOldestFirst) {
+  Window w(1 * kSecond, 2);
+  std::vector<int> evicted;
+  ASSERT_TRUE(w.insert(100, 1, collect(&evicted)));
+  ASSERT_TRUE(w.insert(1100 * kMillisecond, 2, collect(&evicted)));
+  ASSERT_TRUE(w.insert(2100 * kMillisecond, 3, collect(&evicted)));
+  ASSERT_TRUE(w.insert(3100 * kMillisecond, 4, collect(&evicted)));
+  EXPECT_EQ(evicted, (std::vector<int>{1, 2}));
+}
+
+TEST(TimeWindow, FlushEvictsEverything) {
+  Window w(1 * kSecond, 4);
+  std::vector<int> evicted;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(w.insert(static_cast<TimestampNs>(i) * 200 * kMillisecond, i,
+                         collect(&evicted)));
+  }
+  w.flush(collect(&evicted));
+  EXPECT_EQ(evicted.size(), 5u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(TimeWindow, ClaimPrefersOlderSlot) {
+  Window w(1 * kSecond, 4);
+  std::vector<int> evicted;
+  ASSERT_TRUE(w.insert(500 * kMillisecond, 1, collect(&evicted)));   // slot 0
+  ASSERT_TRUE(w.insert(1500 * kMillisecond, 2, collect(&evicted)));  // slot 1
+  // Query in slot 1 matches anything; FIFO needs the slot-0 item first.
+  const auto claimed =
+      w.claim_nearby(1600 * kMillisecond, [](const int&) { return true; });
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(*claimed, 1);
+}
+
+TEST(TimeWindow, ClaimOnEmptyWindow) {
+  Window w(1 * kSecond, 4);
+  EXPECT_FALSE(w.claim_nearby(100, [](const int&) { return true; }).has_value());
+}
+
+// Parameterized sweep over slot durations: items inserted then claimed at
+// the same timestamp are always found; items two or more slots stale never
+// are.
+class TimeWindowSlotTest : public ::testing::TestWithParam<DurationNs> {};
+
+TEST_P(TimeWindowSlotTest, SameTimestampAlwaysClaimable) {
+  const DurationNs slot = GetParam();
+  Window w(slot, 3);
+  std::vector<int> evicted;
+  for (int i = 0; i < 50; ++i) {
+    const TimestampNs ts = static_cast<TimestampNs>(i) * slot / 10;
+    ASSERT_TRUE(w.insert(ts, i, collect(&evicted)));
+    const auto claimed =
+        w.claim_nearby(ts, [i](const int& v) { return v == i; });
+    ASSERT_TRUE(claimed.has_value()) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotDurations, TimeWindowSlotTest,
+                         ::testing::Values(kMillisecond, kSecond,
+                                           60 * kSecond, 300 * kSecond));
+
+}  // namespace
+}  // namespace deepflow

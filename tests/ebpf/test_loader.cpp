@@ -1,0 +1,131 @@
+#include "ebpf/loader.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::ebpf {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  LoaderTest() : kernel_(loop_, "host", nullptr), loader_(&kernel_) {}
+
+  Program hook_program(ProgramType type) {
+    Program p;
+    p.spec.name = "prog";
+    p.spec.type = type;
+    p.spec.instruction_count = 64;
+    p.spec.stack_bytes = 64;
+    p.on_hook = [this](const kernelsim::HookContext&) { ++fired_; };
+    return p;
+  }
+
+  EventLoop loop_;
+  kernelsim::Kernel kernel_;
+  Loader loader_;
+  int fired_ = 0;
+};
+
+TEST_F(LoaderTest, LoadAttachesToKernelHook) {
+  const LoadResult result = loader_.load_syscall(
+      hook_program(ProgramType::kKprobe), kernelsim::SyscallAbi::kRead);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(kernel_.hooks().syscall_hooked(kernelsim::SyscallAbi::kRead));
+  kernelsim::HookContext ctx;
+  kernel_.hooks().fire_syscall_enter(kernelsim::SyscallAbi::kRead, ctx);
+  EXPECT_EQ(fired_, 1);
+}
+
+TEST_F(LoaderTest, VerifierRejectionBlocksAttachment) {
+  Program bad = hook_program(ProgramType::kKprobe);
+  bad.spec.loops_bounded = false;
+  const LoadResult result =
+      loader_.load_syscall(std::move(bad), kernelsim::SyscallAbi::kRead);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_FALSE(kernel_.hooks().syscall_hooked(kernelsim::SyscallAbi::kRead));
+  EXPECT_EQ(loader_.attached_count(), 0u);
+}
+
+TEST_F(LoaderTest, UnloadDetaches) {
+  const LoadResult result = loader_.load_syscall(
+      hook_program(ProgramType::kKretprobe), kernelsim::SyscallAbi::kWrite);
+  ASSERT_TRUE(result.ok);
+  loader_.unload(result.link);
+  kernelsim::HookContext ctx;
+  kernel_.hooks().fire_syscall_exit(kernelsim::SyscallAbi::kWrite, ctx);
+  EXPECT_EQ(fired_, 0);
+  EXPECT_EQ(loader_.attached_count(), 0u);
+}
+
+TEST_F(LoaderTest, UprobeAttachesToSymbol) {
+  const LoadResult result =
+      loader_.load_uprobe(hook_program(ProgramType::kUprobe), "SSL_read");
+  ASSERT_TRUE(result.ok);
+  kernelsim::HookContext ctx;
+  kernel_.hooks().fire_uprobe("SSL_read", ctx);
+  kernel_.hooks().fire_uprobe("SSL_write", ctx);
+  EXPECT_EQ(fired_, 1);
+}
+
+TEST_F(LoaderTest, TypeMismatchesRejected) {
+  // A uprobe program cannot attach to a syscall and vice versa.
+  EXPECT_FALSE(loader_
+                   .load_syscall(hook_program(ProgramType::kUprobe),
+                                 kernelsim::SyscallAbi::kRead)
+                   .ok);
+  EXPECT_FALSE(
+      loader_.load_uprobe(hook_program(ProgramType::kKprobe), "SSL_read").ok);
+}
+
+TEST_F(LoaderTest, SocketFilterAttachesToDeviceTap) {
+  netsim::Device device;
+  device.id = 1;
+  device.kind = netsim::DeviceKind::kPhysicalNic;
+  device.name = "pnic";
+  int packets = 0;
+  Program p;
+  p.spec.name = "filter";
+  p.spec.type = ProgramType::kSocketFilter;
+  p.spec.instruction_count = 32;
+  p.spec.helpers = {Helper::kSkbLoadBytes};
+  p.on_packet = [&packets](const netsim::TapContext&) { ++packets; };
+  const LoadResult result = loader_.load_socket_filter(std::move(p), &device);
+  ASSERT_TRUE(result.ok) << result.error;
+  netsim::TapContext ctx;
+  device.fire_taps(ctx);
+  EXPECT_EQ(packets, 1);
+}
+
+TEST_F(LoaderTest, SocketFilterNeedsDevice) {
+  Program p;
+  p.spec.name = "filter";
+  p.spec.type = ProgramType::kSocketFilter;
+  p.spec.instruction_count = 32;
+  p.on_packet = [](const netsim::TapContext&) {};
+  EXPECT_FALSE(loader_.load_socket_filter(std::move(p), nullptr).ok);
+}
+
+TEST_F(LoaderTest, InFlightAttachDetachWhileTrafficRuns) {
+  // Zero-code deployment: attach and detach around live syscalls with no
+  // coordination with the "application".
+  const Pid pid = kernel_.tasks().create_process("app");
+  const Tid tid = kernel_.tasks().create_thread(pid);
+  const SocketId sock = kernel_.open_socket(
+      pid, FiveTuple{Ipv4{1}, Ipv4{2}, 1, 2, L4Proto::kTcp});
+
+  kernel_.sys_send(tid, sock, "before", kernelsim::SyscallAbi::kWrite, 0);
+  EXPECT_EQ(fired_, 0);
+
+  const LoadResult result = loader_.load_syscall(
+      hook_program(ProgramType::kKprobe), kernelsim::SyscallAbi::kWrite);
+  ASSERT_TRUE(result.ok);
+  kernel_.sys_send(tid, sock, "during", kernelsim::SyscallAbi::kWrite, 100);
+  EXPECT_EQ(fired_, 1);
+
+  loader_.unload(result.link);
+  kernel_.sys_send(tid, sock, "after", kernelsim::SyscallAbi::kWrite, 200);
+  EXPECT_EQ(fired_, 1);
+}
+
+}  // namespace
+}  // namespace deepflow::ebpf

@@ -1,0 +1,78 @@
+#include "ebpf/map.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace deepflow::ebpf {
+namespace {
+
+TEST(BpfHashMap, UpdateLookupDelete) {
+  BpfHashMap<u64, std::string> map(8);
+  EXPECT_TRUE(map.update(1, "a"));
+  ASSERT_TRUE(map.lookup(1).has_value());
+  EXPECT_EQ(*map.lookup(1), "a");
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.lookup(1).has_value());
+  EXPECT_FALSE(map.erase(1));
+}
+
+TEST(BpfHashMap, UpdateOverwritesInPlace) {
+  BpfHashMap<u64, int> map(1);
+  EXPECT_TRUE(map.update(1, 10));
+  EXPECT_TRUE(map.update(1, 20));  // full map, existing key: allowed
+  EXPECT_EQ(*map.lookup(1), 20);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(BpfHashMap, FullMapRejectsNewKeys) {
+  BpfHashMap<u64, int> map(2);
+  EXPECT_TRUE(map.update(1, 1));
+  EXPECT_TRUE(map.update(2, 2));
+  EXPECT_FALSE(map.update(3, 3));
+  EXPECT_EQ(map.stats().full_failures, 1u);
+  // Deleting frees a slot.
+  map.erase(1);
+  EXPECT_TRUE(map.update(3, 3));
+}
+
+TEST(BpfHashMap, LookupAndDeleteConsumes) {
+  // The enter/exit merge pattern: exit consumes the staged enter.
+  BpfHashMap<u64, int> map(4);
+  map.update(7, 99);
+  const auto v = map.lookup_and_delete(7);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 99);
+  EXPECT_FALSE(map.lookup_and_delete(7).has_value());
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(BpfHashMap, StatsCountOperations) {
+  BpfHashMap<u64, int> map(4);
+  map.update(1, 1);
+  map.lookup(1);
+  map.lookup(2);
+  EXPECT_EQ(map.stats().updates, 1u);
+  EXPECT_EQ(map.stats().lookups, 2u);
+  EXPECT_EQ(map.stats().hits, 1u);
+}
+
+TEST(BpfArrayMap, ZeroInitializedAndBounded) {
+  BpfArrayMap<u64> map(4);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_NE(map.lookup(i), nullptr);
+    EXPECT_EQ(*map.lookup(i), 0u);
+  }
+  EXPECT_EQ(map.lookup(4), nullptr);
+  EXPECT_EQ(map.lookup(1000), nullptr);
+}
+
+TEST(BpfArrayMap, InPlaceMutation) {
+  BpfArrayMap<u64> map(2);
+  *map.lookup(0) += 5;
+  *map.lookup(0) += 5;
+  EXPECT_EQ(*map.lookup(0), 10u);
+}
+
+}  // namespace
+}  // namespace deepflow::ebpf

@@ -1,0 +1,140 @@
+#include "ebpf/verifier.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::ebpf {
+namespace {
+
+Program valid_kprobe() {
+  Program p;
+  p.spec.name = "ok";
+  p.spec.type = ProgramType::kKprobe;
+  p.spec.instruction_count = 100;
+  p.spec.stack_bytes = 128;
+  p.spec.helpers = {Helper::kGetCurrentPidTgid, Helper::kMapUpdate,
+                    Helper::kPerfEventOutput};
+  p.on_hook = [](const kernelsim::HookContext&) {};
+  return p;
+}
+
+TEST(Verifier, AcceptsWellFormedProgram) {
+  Verifier verifier;
+  const VerifyResult result = verifier.verify(valid_kprobe());
+  EXPECT_TRUE(result.ok) << result.reason;
+  EXPECT_EQ(verifier.verified_count(), 1u);
+}
+
+TEST(Verifier, RejectsEmptyProgram) {
+  Verifier verifier;
+  Program p = valid_kprobe();
+  p.spec.instruction_count = 0;
+  const VerifyResult result = verifier.verify(p);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("zero instructions"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOversizedProgram) {
+  Verifier verifier;
+  Program p = valid_kprobe();
+  p.spec.instruction_count = 5'000;
+  EXPECT_FALSE(verifier.verify(p).ok);
+  EXPECT_EQ(verifier.rejected_count(), 1u);
+}
+
+TEST(Verifier, RejectsStackOverflow) {
+  Verifier verifier;
+  Program p = valid_kprobe();
+  p.spec.stack_bytes = 1'024;
+  const VerifyResult result = verifier.verify(p);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("stack"), std::string::npos);
+}
+
+TEST(Verifier, RejectsUnboundedLoops) {
+  // The property that guarantees DeepFlow cannot hang the kernel.
+  Verifier verifier;
+  Program p = valid_kprobe();
+  p.spec.loops_bounded = false;
+  const VerifyResult result = verifier.verify(p);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("bound"), std::string::npos);
+}
+
+TEST(Verifier, RejectsProcessHelpersInSocketFilters) {
+  // bpf_get_current_pid_tgid is meaningless in softirq context; the real
+  // verifier rejects it for socket filters, and so do we.
+  Verifier verifier;
+  Program p;
+  p.spec.name = "filter";
+  p.spec.type = ProgramType::kSocketFilter;
+  p.spec.instruction_count = 64;
+  p.spec.stack_bytes = 64;
+  p.spec.helpers = {Helper::kGetCurrentPidTgid};
+  p.on_packet = [](const netsim::TapContext&) {};
+  EXPECT_FALSE(verifier.verify(p).ok);
+}
+
+TEST(Verifier, RejectsSkbHelpersInKprobes) {
+  Verifier verifier;
+  Program p = valid_kprobe();
+  p.spec.helpers = {Helper::kSkbLoadBytes};
+  EXPECT_FALSE(verifier.verify(p).ok);
+}
+
+TEST(Verifier, AcceptsSkbHelpersInSocketFilters) {
+  Verifier verifier;
+  Program p;
+  p.spec.name = "filter";
+  p.spec.type = ProgramType::kSocketFilter;
+  p.spec.instruction_count = 64;
+  p.spec.stack_bytes = 64;
+  p.spec.helpers = {Helper::kSkbLoadBytes, Helper::kPerfEventOutput};
+  p.on_packet = [](const netsim::TapContext&) {};
+  EXPECT_TRUE(verifier.verify(p).ok);
+}
+
+TEST(Verifier, RejectsMissingHandler) {
+  Verifier verifier;
+  Program p = valid_kprobe();
+  p.on_hook = nullptr;
+  EXPECT_FALSE(verifier.verify(p).ok);
+
+  Program filter;
+  filter.spec.name = "filter";
+  filter.spec.type = ProgramType::kSocketFilter;
+  filter.spec.instruction_count = 10;
+  filter.on_packet = nullptr;
+  EXPECT_FALSE(verifier.verify(filter).ok);
+}
+
+TEST(Verifier, CustomLimitsRespected) {
+  Verifier strict(VerifierLimits{.max_instructions = 50, .max_stack_bytes = 64});
+  Program p = valid_kprobe();  // 100 insns
+  EXPECT_FALSE(strict.verify(p).ok);
+  p.spec.instruction_count = 50;
+  p.spec.stack_bytes = 64;
+  EXPECT_TRUE(strict.verify(p).ok);
+}
+
+// Every probe-family program type accepts the probe helper set.
+class VerifierTypeTest : public ::testing::TestWithParam<ProgramType> {};
+
+TEST_P(VerifierTypeTest, ProbeHelpersAllowed) {
+  Verifier verifier;
+  Program p = valid_kprobe();
+  p.spec.type = GetParam();
+  p.spec.helpers = {Helper::kProbeRead, Helper::kKtimeGetNs,
+                    Helper::kGetCurrentComm};
+  EXPECT_TRUE(verifier.verify(p).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbeTypes, VerifierTypeTest,
+                         ::testing::Values(ProgramType::kKprobe,
+                                           ProgramType::kKretprobe,
+                                           ProgramType::kTracepoint,
+                                           ProgramType::kTracepointExit,
+                                           ProgramType::kUprobe,
+                                           ProgramType::kUretprobe));
+
+}  // namespace
+}  // namespace deepflow::ebpf

@@ -1,0 +1,255 @@
+// Full-pipeline integration: workloads drive traced syscalls through the
+// simulated kernels; agents collect, parse, aggregate and ship spans; the
+// server assembles traces. These tests pin down the system-level invariants
+// the paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+using workloads::LoadResult;
+using workloads::Topology;
+
+struct RunResult {
+  Topology topo;
+  std::unique_ptr<core::Deployment> deepflow;
+  LoadResult load;
+};
+
+RunResult run_with_deepflow(Topology topo, double rps, DurationNs duration,
+                            core::DeploymentConfig config = {}) {
+  RunResult run{std::move(topo), nullptr, {}};
+  run.deepflow =
+      std::make_unique<core::Deployment>(run.topo.cluster.get(), config);
+  EXPECT_TRUE(run.deepflow->deploy()) << run.deepflow->error();
+  run.load = run.topo.app->run_constant_load(run.topo.entry, rps, duration);
+  run.deepflow->finish();
+  return run;
+}
+
+TEST(EndToEnd, EveryMessageBecomesExactlyOneSpan) {
+  RunResult run = run_with_deepflow(workloads::make_spring_boot_demo(), 50.0,
+                                    1 * kSecond);
+  const agent::AgentStats stats = run.deepflow->aggregate_stats();
+  EXPECT_EQ(stats.perf_lost, 0u);
+  EXPECT_EQ(stats.unparseable_messages, 0u);
+  EXPECT_EQ(stats.expired_requests, 0u);
+  // Two records (request + response) per session, sys + net combined.
+  EXPECT_EQ(stats.spans_emitted,
+            (stats.syscall_records + stats.packet_records) / 2);
+  EXPECT_EQ(run.deepflow->server().ingested_spans(), stats.spans_emitted);
+}
+
+TEST(EndToEnd, TraceContainsFullRequestPath) {
+  RunResult run = run_with_deepflow(workloads::make_spring_boot_demo(), 20.0,
+                                    1 * kSecond);
+  const auto& server = run.deepflow->server();
+  const auto starts = server.find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kSystem && !s.from_server_side &&
+           s.endpoint == "/";
+  });
+  ASSERT_EQ(starts.size(), 20u);  // one wrk2 client span per request
+  const server::AssembledTrace trace = server.query_trace(starts[3]);
+
+  // 12 sys spans (6 edges x 2 sides) + net spans at every device.
+  size_t sys = 0, net = 0;
+  std::set<std::string> methods;
+  for (const auto& s : trace.spans) {
+    if (s.span.kind == agent::SpanKind::kSystem) ++sys;
+    if (s.span.kind == agent::SpanKind::kNetwork) ++net;
+    if (!s.span.method.empty()) methods.insert(s.span.method);
+  }
+  EXPECT_EQ(sys, 12u);
+  EXPECT_GT(net, 20u);
+  EXPECT_TRUE(methods.contains("GET"));
+  EXPECT_TRUE(methods.contains("SELECT"));
+
+  // Exactly one root: the wrk2 client span.
+  EXPECT_EQ(trace.roots().size(), 1u);
+  // Every non-root parent id exists within the trace.
+  std::set<u64> ids;
+  for (const auto& s : trace.spans) ids.insert(s.span.span_id);
+  for (const auto& s : trace.spans) {
+    if (s.span.parent_span_id != 0) {
+      EXPECT_TRUE(ids.contains(s.span.parent_span_id));
+    }
+  }
+}
+
+TEST(EndToEnd, TracesAreDisjointAcrossRequests) {
+  RunResult run = run_with_deepflow(workloads::make_spring_boot_demo(), 10.0,
+                                    1 * kSecond);
+  const auto& server = run.deepflow->server();
+  const auto starts = server.find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kSystem && !s.from_server_side &&
+           s.endpoint == "/";
+  });
+  ASSERT_GE(starts.size(), 3u);
+  std::set<u64> seen;
+  for (size_t i = 0; i < 3; ++i) {
+    const auto trace = server.query_trace(starts[i]);
+    for (const auto& s : trace.spans) {
+      EXPECT_TRUE(seen.insert(s.span.span_id).second)
+          << "span shared between traces";
+    }
+  }
+}
+
+TEST(EndToEnd, BookinfoProducesDeepTraces) {
+  RunResult run =
+      run_with_deepflow(workloads::make_bookinfo(), 20.0, 1 * kSecond);
+  const auto& server = run.deepflow->server();
+  const auto starts = server.find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kSystem && !s.from_server_side &&
+           s.endpoint == "/";
+  });
+  ASSERT_FALSE(starts.empty());
+  const auto trace = server.query_trace(starts[0]);
+  // 9 edges x 2 sys spans plus device-level spans: the dense traces the
+  // paper contrasts with Zipkin's 6 spans.
+  EXPECT_GE(trace.spans.size(), 30u);
+}
+
+TEST(EndToEnd, TlsFlowsTracedOnlyViaSslUprobes) {
+  RunResult run =
+      run_with_deepflow(workloads::make_ecommerce(), 20.0, 1 * kSecond);
+  const auto& server = run.deepflow->server();
+  // The api service is TLS: its sessions appear as application spans from
+  // SSL uprobes; no sys/net spans can parse the ciphertext.
+  size_t app_spans = 0, api_net_spans = 0;
+  for (const u64 id : server.find_spans([](const agent::Span&) { return true; })) {
+    const agent::Span& s = server.store().row(id)->span;
+    if (s.kind == agent::SpanKind::kApplication) ++app_spans;
+    if (s.kind == agent::SpanKind::kNetwork && s.tuple.dst_port == 8001) {
+      ++api_net_spans;
+    }
+  }
+  EXPECT_GT(app_spans, 0u);
+  EXPECT_EQ(api_net_spans, 0u);  // network cannot see into TLS
+}
+
+TEST(EndToEnd, CoroutinePseudoThreadsLinkSpans) {
+  RunResult run =
+      run_with_deepflow(workloads::make_ecommerce(), 10.0, 1 * kSecond);
+  const auto& server = run.deepflow->server();
+  // inventory is a coroutine service: its spans carry pseudo-thread ids.
+  size_t with_pseudo = 0;
+  for (const u64 id : server.find_spans([](const agent::Span& s) {
+         return s.pseudo_thread_id != 0;
+       })) {
+    (void)id;
+    ++with_pseudo;
+  }
+  EXPECT_GT(with_pseudo, 0u);
+}
+
+TEST(EndToEnd, ThirdPartySpansJoinTraces) {
+  Topology topo = workloads::make_spring_boot_demo();
+  core::Deployment deepflow(topo.cluster.get());
+  ASSERT_TRUE(deepflow.deploy());
+  // Instrument two services with the OTel-style SDK exporting into DeepFlow.
+  topo.app->instrument(topo.services.at("front"), deepflow.third_party_sink());
+  topo.app->instrument(topo.services.at("cart"), deepflow.third_party_sink());
+  topo.app->run_constant_load(topo.entry, 10.0, 1 * kSecond);
+  deepflow.finish();
+
+  const auto& server = deepflow.server();
+  const auto otel_spans = server.find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kThirdParty;
+  });
+  EXPECT_EQ(otel_spans.size(), 20u);  // 2 services x 10 requests
+  // A trace assembled from an eBPF span pulls the third-party spans in.
+  const auto starts = server.find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kSystem && s.endpoint == "/home" &&
+           s.from_server_side;
+  });
+  ASSERT_FALSE(starts.empty());
+  const auto trace = server.query_trace(starts[0]);
+  size_t otel_in_trace = 0;
+  for (const auto& s : trace.spans) {
+    if (s.span.kind == agent::SpanKind::kThirdParty) ++otel_in_trace;
+  }
+  EXPECT_EQ(otel_in_trace, 2u);
+}
+
+TEST(EndToEnd, OnDemandDeploymentMidRun) {
+  // §4.1.1: DeepFlow can attach while the service is live. Traffic before
+  // deploy is invisible; traffic after is fully traced.
+  Topology topo = workloads::make_nginx_single_vm();
+  topo.app->run_constant_load(topo.entry, 50.0, 500 * kMillisecond);
+
+  core::Deployment deepflow(topo.cluster.get());
+  ASSERT_TRUE(deepflow.deploy());
+  topo.app->run_constant_load(topo.entry, 50.0, 500 * kMillisecond);
+  deepflow.finish();
+  const auto spans = deepflow.server().find_spans(
+      [](const agent::Span& s) { return s.kind == agent::SpanKind::kSystem; });
+  // Only the second burst (25 requests' worth of sessions) is traced.
+  EXPECT_GT(spans.size(), 0u);
+  EXPECT_LE(spans.size(), 2u * 25u + 4u);
+}
+
+TEST(EndToEnd, SmartEncodingTagsRecoverableAtQueryTime) {
+  RunResult run = run_with_deepflow(workloads::make_spring_boot_demo(), 5.0,
+                                    1 * kSecond);
+  const auto& server = run.deepflow->server();
+  const auto spans =
+      server.query_span_list(0, ~TimestampNs{0});
+  ASSERT_FALSE(spans.empty());
+  bool any_pod_tag = false;
+  for (const auto& span : spans) {
+    for (const auto& tag : span.tags) {
+      if (tag.key == "server.pod" && !tag.value.empty()) any_pod_tag = true;
+    }
+  }
+  EXPECT_TRUE(any_pod_tag);
+}
+
+TEST(EndToEnd, FlowMetricsCorrelateWithSpans) {
+  RunResult run = run_with_deepflow(workloads::make_spring_boot_demo(), 5.0,
+                                    1 * kSecond);
+  const auto& server = run.deepflow->server();
+  const auto spans = server.find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kSystem;
+  });
+  ASSERT_FALSE(spans.empty());
+  const agent::Span span = server.store().row(spans[0])->span;
+  const netsim::FlowMetrics* metrics = server.metrics_for(span);
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GT(metrics->packets, 0u);
+}
+
+TEST(EndToEnd, UndeployRestoresZeroOverhead) {
+  Topology topo = workloads::make_nginx_single_vm();
+  kernelsim::Kernel* kernel = topo.cluster->kernel_of(topo.cluster->nodes()[0]);
+  core::Deployment deepflow(topo.cluster.get());
+  ASSERT_TRUE(deepflow.deploy());
+  EXPECT_GT(kernel->instrumentation_latency(kernelsim::SyscallAbi::kWrite), 0u);
+  deepflow.undeploy();
+  EXPECT_EQ(kernel->instrumentation_latency(kernelsim::SyscallAbi::kWrite), 0u);
+}
+
+TEST(EndToEnd, PolyglotProtocolsAllProduceSpans) {
+  RunResult run =
+      run_with_deepflow(workloads::make_polyglot(), 20.0, 1 * kSecond);
+  const auto& server = run.deepflow->server();
+  std::map<protocols::L7Protocol, size_t> by_protocol;
+  for (const u64 id :
+       server.find_spans([](const agent::Span&) { return true; })) {
+    ++by_protocol[server.store().row(id)->span.protocol];
+  }
+  EXPECT_GT(by_protocol[protocols::L7Protocol::kHttp1], 0u);
+  EXPECT_GT(by_protocol[protocols::L7Protocol::kHttp2], 0u);
+  EXPECT_GT(by_protocol[protocols::L7Protocol::kDns], 0u);
+  EXPECT_GT(by_protocol[protocols::L7Protocol::kKafka], 0u);
+  EXPECT_GT(by_protocol[protocols::L7Protocol::kDubbo], 0u);
+}
+
+}  // namespace
+}  // namespace deepflow

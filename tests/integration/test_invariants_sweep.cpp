@@ -1,0 +1,148 @@
+// Property sweep across topologies and seeds: the pipeline-integrity
+// invariants (no loss, no unparseable traffic, no expired sessions, exactly
+// one span per request/response pair) must hold for every workload shape —
+// every protocol, threading model, placement, and TLS mix — and for any
+// deterministic seed.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+struct SweepCase {
+  std::string name;
+  workloads::Topology (*make)(u64, kernelsim::KernelConfig);
+  u64 seed;
+  bool has_tls = false;  // TLS flows leave ciphertext records unparseable
+};
+
+std::vector<SweepCase> cases() {
+  std::vector<SweepCase> out;
+  for (const u64 seed : {3u, 101u, 20230910u}) {
+    out.push_back({"spring_" + std::to_string(seed),
+                   &workloads::make_spring_boot_demo, seed});
+    out.push_back({"bookinfo_" + std::to_string(seed),
+                   &workloads::make_bookinfo, seed});
+    out.push_back({"ecommerce_" + std::to_string(seed),
+                   &workloads::make_ecommerce, seed, /*has_tls=*/true});
+    out.push_back({"polyglot_" + std::to_string(seed),
+                   &workloads::make_polyglot, seed});
+    out.push_back({"mq_" + std::to_string(seed),
+                   &workloads::make_mq_pipeline, seed});
+  }
+  return out;
+}
+
+class InvariantSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(InvariantSweep, LosslessPipelineForAnySeedAndTopology) {
+  const SweepCase& c = GetParam();
+  workloads::Topology topo = c.make(c.seed, kernelsim::KernelConfig{});
+  core::Deployment deepflow(topo.cluster.get());
+  ASSERT_TRUE(deepflow.deploy()) << deepflow.error();
+  const workloads::LoadResult load =
+      topo.app->run_constant_load(topo.entry, 40.0, 1 * kSecond);
+  deepflow.finish();
+
+  EXPECT_EQ(load.completed, 40u);
+  const agent::AgentStats stats = deepflow.aggregate_stats();
+  EXPECT_EQ(stats.perf_lost, 0u);
+  EXPECT_EQ(stats.expired_requests, 0u);
+  EXPECT_EQ(deepflow.server().reaggregated_sessions(), 0u);
+  if (c.has_tls) {
+    // Ciphertext records (kernel hooks + device taps on TLS paths) never
+    // parse — only the SSL-uprobe plaintext does. That is the designed
+    // behaviour, not loss.
+    EXPECT_GT(stats.unparseable_messages, 0u);
+  } else {
+    EXPECT_EQ(stats.unparseable_messages, 0u);
+  }
+  EXPECT_EQ(stats.spans_emitted,
+            (stats.syscall_records + stats.packet_records -
+             stats.unparseable_messages) /
+                2);
+  EXPECT_EQ(deepflow.server().ingested_spans(), stats.spans_emitted);
+
+  // Every stored span is well formed.
+  for (const u64 id :
+       deepflow.server().find_spans([](const agent::Span&) { return true; })) {
+    const agent::Span& span = deepflow.server().store().row(id)->span;
+    EXPECT_FALSE(span.incomplete);
+    EXPECT_GE(span.end_ts, span.start_ts);
+    EXPECT_NE(span.req_tcp_seq, 0u);
+    if (span.kind == agent::SpanKind::kSystem) {
+      EXPECT_NE(span.systrace_id, kInvalidSystraceId);
+      EXPECT_NE(span.tid, 0u);
+    }
+  }
+}
+
+TEST_P(InvariantSweep, SameSeedIsDeterministic) {
+  const SweepCase& c = GetParam();
+  u64 counts[2] = {0, 0};
+  DurationNs p90[2] = {0, 0};
+  for (int round = 0; round < 2; ++round) {
+    workloads::Topology topo = c.make(c.seed, kernelsim::KernelConfig{});
+    core::Deployment deepflow(topo.cluster.get());
+    ASSERT_TRUE(deepflow.deploy());
+    const workloads::LoadResult load =
+        topo.app->run_constant_load(topo.entry, 25.0, 1 * kSecond);
+    deepflow.finish();
+    counts[round] = deepflow.aggregate_stats().spans_emitted;
+    p90[round] = load.latency.p90();
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(p90[0], p90[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, InvariantSweep, ::testing::ValuesIn(cases()),
+    [](const auto& info) { return info.param.name; });
+
+TEST(PeriodicPolling, LivePollingMatchesFinishOnlyProcessing) {
+  // Production agents drain continuously; the tests mostly drain at
+  // finish(). Both schedules must converge to the same spans (exercises
+  // the eager watermark-gated pairing path).
+  u64 span_counts[2] = {0, 0};
+  for (const bool live : {false, true}) {
+    workloads::Topology topo = workloads::make_spring_boot_demo();
+    core::Deployment deepflow(topo.cluster.get());
+    ASSERT_TRUE(deepflow.deploy());
+    if (live) {
+      // Drain every simulated 50 ms while traffic flows.
+      for (TimestampNs t = 0; t <= 2 * kSecond; t += 50 * kMillisecond) {
+        topo.cluster->loop().schedule_at(t, [&deepflow] { deepflow.poll(); });
+      }
+    }
+    topo.app->run_constant_load(topo.entry, 50.0, 2 * kSecond);
+    deepflow.finish();
+    const agent::AgentStats stats = deepflow.aggregate_stats();
+    EXPECT_EQ(stats.expired_requests, 0u);
+    EXPECT_EQ(stats.perf_lost, 0u);
+    span_counts[live ? 1 : 0] = stats.spans_emitted;
+  }
+  EXPECT_EQ(span_counts[0], span_counts[1]);
+}
+
+TEST(PeriodicPolling, LivePollingBoundsPerfBacklog) {
+  workloads::Topology topo = workloads::make_spring_boot_demo();
+  core::DeploymentConfig config;
+  config.agent.collector.perf_ring_capacity = 2048;  // small rings
+  core::Deployment deepflow(topo.cluster.get(), config);
+  ASSERT_TRUE(deepflow.deploy());
+  for (TimestampNs t = 0; t <= 2 * kSecond; t += 20 * kMillisecond) {
+    topo.cluster->loop().schedule_at(t, [&deepflow] { deepflow.poll(); });
+  }
+  topo.app->run_constant_load(topo.entry, 100.0, 2 * kSecond);
+  deepflow.finish();
+  // With live draining, even small rings lose nothing (the same workload
+  // overflows them badly when drain is deferred — bench_ablation_perfbuf).
+  EXPECT_EQ(deepflow.aggregate_stats().perf_lost, 0u);
+}
+
+}  // namespace
+}  // namespace deepflow

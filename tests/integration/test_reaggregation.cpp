@@ -1,0 +1,105 @@
+// Server-side re-aggregation of out-of-window messages (§3.3.1): when an
+// agent's time window is too short for a delayed response (e.g. behind a
+// retransmission timeout), the straggling messages are uploaded to the
+// server and paired there with the same technique.
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+workloads::Topology lossy_demo() {
+  workloads::Topology topo = workloads::make_spring_boot_demo();
+  netsim::Device* lossy = topo.cluster->vswitch_of(topo.cluster->nodes()[1]);
+  lossy->fault.drop_probability = 0.5;
+  lossy->fault.retransmit_timeout_ns = 3 * kSecond;
+  return topo;
+}
+
+TEST(Reaggregation, WithoutForwardingShortWindowsLoseSessions) {
+  workloads::Topology topo = lossy_demo();
+  core::DeploymentConfig config;
+  config.agent.session.slot_ns = 500 * kMillisecond;  // << 3 s RTO
+  config.forward_stragglers = false;
+  core::Deployment deepflow(topo.cluster.get(), config);
+  ASSERT_TRUE(deepflow.deploy());
+  topo.app->run_constant_load(topo.entry, 30.0, 8 * kSecond);
+  deepflow.finish();
+  const agent::AgentStats stats = deepflow.aggregate_stats();
+  EXPECT_GT(stats.expired_requests, 0u);
+  // The lost pairs surface as incomplete spans in the store.
+  const auto incomplete = deepflow.server().find_spans(
+      [](const agent::Span& s) { return s.incomplete; });
+  EXPECT_EQ(incomplete.size(), stats.expired_requests);
+}
+
+TEST(Reaggregation, ForwardingRecoversOutOfWindowPairs) {
+  workloads::Topology topo = lossy_demo();
+  core::DeploymentConfig config;
+  config.agent.session.slot_ns = 500 * kMillisecond;
+  config.forward_stragglers = true;  // the paper's upload-to-server path
+  core::Deployment deepflow(topo.cluster.get(), config);
+  ASSERT_TRUE(deepflow.deploy());
+  topo.app->run_constant_load(topo.entry, 30.0, 8 * kSecond);
+  deepflow.finish();
+
+  // Agents no longer emit incomplete sessions for stragglers...
+  const agent::AgentStats stats = deepflow.aggregate_stats();
+  EXPECT_EQ(stats.expired_requests, 0u);
+  // ...the server re-pairs them...
+  EXPECT_GT(deepflow.server().reaggregated_sessions(), 0u);
+  // ...and the recovered spans are complete, with full association data.
+  size_t incomplete = 0;
+  for (const u64 id : deepflow.server().find_spans(
+           [](const agent::Span& s) { return s.incomplete; })) {
+    (void)id;
+    ++incomplete;
+  }
+  EXPECT_LT(incomplete, deepflow.server().reaggregated_sessions() / 4 + 5);
+}
+
+TEST(Reaggregation, RecoveredSpansJoinTraces) {
+  workloads::Topology topo = lossy_demo();
+  core::DeploymentConfig config;
+  config.agent.session.slot_ns = 500 * kMillisecond;
+  core::Deployment deepflow(topo.cluster.get(), config);
+  ASSERT_TRUE(deepflow.deploy());
+  topo.app->run_constant_load(topo.entry, 20.0, 8 * kSecond);
+  deepflow.finish();
+  ASSERT_GT(deepflow.server().reaggregated_sessions(), 0u);
+
+  // Take any wrk2 client span; the assembled trace must still reach the
+  // server side of its edge (whether paired locally or server-side).
+  const auto starts = deepflow.server().find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kSystem && !s.from_server_side &&
+           s.endpoint == "/" && !s.incomplete;
+  });
+  ASSERT_FALSE(starts.empty());
+  size_t with_server_side = 0;
+  for (size_t i = 0; i < std::min<size_t>(starts.size(), 20); ++i) {
+    const auto trace = deepflow.server().query_trace(starts[i]);
+    for (const auto& s : trace.spans) {
+      if (s.span.from_server_side) {
+        ++with_server_side;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_server_side, 15u);
+}
+
+TEST(Reaggregation, NoStragglersNoOverhead) {
+  // Fault-free run: nothing is forwarded, server re-aggregator stays idle.
+  workloads::Topology topo = workloads::make_spring_boot_demo();
+  core::Deployment deepflow(topo.cluster.get());
+  ASSERT_TRUE(deepflow.deploy());
+  topo.app->run_constant_load(topo.entry, 20.0, 1 * kSecond);
+  deepflow.finish();
+  EXPECT_EQ(deepflow.server().reaggregated_sessions(), 0u);
+  EXPECT_EQ(deepflow.aggregate_stats().expired_requests, 0u);
+}
+
+}  // namespace
+}  // namespace deepflow

@@ -1,0 +1,143 @@
+#include "kernelsim/hook.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::kernelsim {
+namespace {
+
+TEST(SyscallAbi, TableThreeCoverage) {
+  // The paper's Table 3 lists exactly five ingress and five egress ABIs.
+  EXPECT_EQ(kIngressAbis.size(), 5u);
+  EXPECT_EQ(kEgressAbis.size(), 5u);
+  for (const SyscallAbi abi : kIngressAbis) {
+    EXPECT_EQ(direction_of(abi), Direction::kIngress);
+    EXPECT_TRUE(is_kernel_abi(abi));
+  }
+  for (const SyscallAbi abi : kEgressAbis) {
+    EXPECT_EQ(direction_of(abi), Direction::kEgress);
+    EXPECT_TRUE(is_kernel_abi(abi));
+  }
+}
+
+TEST(SyscallAbi, SslExtensionsAreNotKernelAbis) {
+  EXPECT_FALSE(is_kernel_abi(SyscallAbi::kSslRead));
+  EXPECT_FALSE(is_kernel_abi(SyscallAbi::kSslWrite));
+  EXPECT_EQ(direction_of(SyscallAbi::kSslRead), Direction::kIngress);
+  EXPECT_EQ(direction_of(SyscallAbi::kSslWrite), Direction::kEgress);
+}
+
+TEST(SyscallAbi, NamesMatchTable) {
+  EXPECT_EQ(abi_name(SyscallAbi::kRecvMmsg), "recvmmsg");
+  EXPECT_EQ(abi_name(SyscallAbi::kSendTo), "sendto");
+  EXPECT_EQ(abi_name(SyscallAbi::kWriteV), "writev");
+}
+
+TEST(HookRegistry, FiresEnterAndExitSeparately) {
+  HookRegistry registry;
+  int enters = 0, exits = 0;
+  registry.attach_syscall(HookType::kKprobe, SyscallAbi::kRead,
+                          [&](const HookContext&) { ++enters; });
+  registry.attach_syscall(HookType::kKretprobe, SyscallAbi::kRead,
+                          [&](const HookContext&) { ++exits; });
+  HookContext ctx;
+  registry.fire_syscall_enter(SyscallAbi::kRead, ctx);
+  EXPECT_EQ(enters, 1);
+  EXPECT_EQ(exits, 0);
+  registry.fire_syscall_exit(SyscallAbi::kRead, ctx);
+  EXPECT_EQ(exits, 1);
+}
+
+TEST(HookRegistry, TracepointsFireAlongsideKprobes) {
+  HookRegistry registry;
+  int fired = 0;
+  registry.attach_syscall(HookType::kKprobe, SyscallAbi::kWrite,
+                          [&](const HookContext&) { ++fired; });
+  registry.attach_syscall(HookType::kTracepointEnter, SyscallAbi::kWrite,
+                          [&](const HookContext&) { ++fired; });
+  HookContext ctx;
+  registry.fire_syscall_enter(SyscallAbi::kWrite, ctx);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(registry.enter_handler_count(SyscallAbi::kWrite), 2u);
+}
+
+TEST(HookRegistry, AbisAreIndependent) {
+  HookRegistry registry;
+  int fired = 0;
+  registry.attach_syscall(HookType::kKprobe, SyscallAbi::kRead,
+                          [&](const HookContext&) { ++fired; });
+  HookContext ctx;
+  registry.fire_syscall_enter(SyscallAbi::kWrite, ctx);
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(registry.syscall_hooked(SyscallAbi::kWrite));
+  EXPECT_TRUE(registry.syscall_hooked(SyscallAbi::kRead));
+}
+
+TEST(HookRegistry, DetachStopsFiring) {
+  HookRegistry registry;
+  int fired = 0;
+  const HookId id = registry.attach_syscall(
+      HookType::kKprobe, SyscallAbi::kRead,
+      [&](const HookContext&) { ++fired; });
+  HookContext ctx;
+  registry.fire_syscall_enter(SyscallAbi::kRead, ctx);
+  registry.detach(id);
+  registry.fire_syscall_enter(SyscallAbi::kRead, ctx);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(registry.attached_count(), 0u);
+}
+
+TEST(HookRegistry, UprobesKeyedBySymbol) {
+  HookRegistry registry;
+  int ssl_read = 0, ssl_write = 0;
+  registry.attach_uprobe(HookType::kUprobe, "SSL_read",
+                         [&](const HookContext&) { ++ssl_read; });
+  registry.attach_uprobe(HookType::kUprobe, "SSL_write",
+                         [&](const HookContext&) { ++ssl_write; });
+  HookContext ctx;
+  registry.fire_uprobe("SSL_read", ctx);
+  registry.fire_uprobe("SSL_read", ctx);
+  EXPECT_EQ(ssl_read, 2);
+  EXPECT_EQ(ssl_write, 0);
+}
+
+TEST(HookRegistry, UretprobeDistinctFromUprobe) {
+  HookRegistry registry;
+  int entry = 0, exit = 0;
+  registry.attach_uprobe(HookType::kUprobe, "f",
+                         [&](const HookContext&) { ++entry; });
+  registry.attach_uprobe(HookType::kUretprobe, "f",
+                         [&](const HookContext&) { ++exit; });
+  HookContext ctx;
+  registry.fire_uprobe("f", ctx);
+  registry.fire_uretprobe("f", ctx);
+  registry.fire_uretprobe("f", ctx);
+  EXPECT_EQ(entry, 1);
+  EXPECT_EQ(exit, 2);
+}
+
+TEST(HookRegistry, WrongAttachKindsRejected) {
+  HookRegistry registry;
+  EXPECT_EQ(registry.attach_syscall(HookType::kUprobe, SyscallAbi::kRead,
+                                    [](const HookContext&) {}),
+            0u);
+  EXPECT_EQ(registry.attach_uprobe(HookType::kKprobe, "SSL_read",
+                                   [](const HookContext&) {}),
+            0u);
+  EXPECT_EQ(registry.attached_count(), 0u);
+}
+
+TEST(HookRegistry, MultipleHandlersAllFire) {
+  HookRegistry registry;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    registry.attach_syscall(HookType::kKretprobe, SyscallAbi::kSendMsg,
+                            [&](const HookContext&) { ++fired; });
+  }
+  HookContext ctx;
+  registry.fire_syscall_exit(SyscallAbi::kSendMsg, ctx);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(registry.exit_handler_count(SyscallAbi::kSendMsg), 5u);
+}
+
+}  // namespace
+}  // namespace deepflow::kernelsim

@@ -1,0 +1,229 @@
+#include "kernelsim/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepflow::kernelsim {
+namespace {
+
+/// Captures transmissions for inspection.
+class RecordingBackend : public NetworkBackend {
+ public:
+  void transmit(Kernel&, const Socket&, WireMessage message) override {
+    messages.push_back(std::move(message));
+  }
+  std::vector<WireMessage> messages;
+};
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest() : kernel_(loop_, "host-a", &backend_) {
+    pid_ = kernel_.tasks().create_process("svc");
+    tid_ = kernel_.tasks().create_thread(pid_);
+    tuple_ = FiveTuple{Ipv4::parse("10.0.0.1"), Ipv4::parse("10.0.0.2"),
+                       40000, 80, L4Proto::kTcp};
+    sock_ = kernel_.open_socket(pid_, tuple_);
+  }
+
+  EventLoop loop_;
+  RecordingBackend backend_;
+  Kernel kernel_;
+  Pid pid_ = 0;
+  Tid tid_ = 0;
+  FiveTuple tuple_;
+  SocketId sock_ = 0;
+};
+
+TEST_F(KernelTest, SocketIdsGloballyUnique) {
+  Kernel other(loop_, "host-b", nullptr);
+  const Pid pid = other.tasks().create_process("x");
+  const SocketId a = kernel_.open_socket(pid_, tuple_);
+  const SocketId b = other.open_socket(pid, tuple_);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, sock_);
+}
+
+TEST_F(KernelTest, SendAdvancesSequenceByBytes) {
+  const TcpSeq initial = kernel_.socket(sock_)->send_seq;
+  const SyscallOutcome first =
+      kernel_.sys_send(tid_, sock_, "hello", SyscallAbi::kWrite, 100);
+  EXPECT_EQ(first.tcp_seq, initial);
+  const SyscallOutcome second =
+      kernel_.sys_send(tid_, sock_, "world!", SyscallAbi::kWrite, 200);
+  EXPECT_EQ(second.tcp_seq, initial + 5);
+  EXPECT_EQ(kernel_.socket(sock_)->send_seq, initial + 11);
+}
+
+TEST_F(KernelTest, SyscallTimingIncludesBaseCost) {
+  const SyscallOutcome out =
+      kernel_.sys_send(tid_, sock_, "x", SyscallAbi::kWrite, 1'000);
+  EXPECT_EQ(out.enter_ts, 1'000u);
+  EXPECT_EQ(out.exit_ts, 1'000u + kernel_.config().syscall_base_ns);
+}
+
+TEST_F(KernelTest, InstrumentationAddsLatencyOnlyWhenHooked) {
+  EXPECT_EQ(kernel_.instrumentation_latency(SyscallAbi::kWrite), 0u);
+  kernel_.hooks().attach_syscall(HookType::kKprobe, SyscallAbi::kWrite,
+                                 [](const HookContext&) {});
+  kernel_.hooks().attach_syscall(HookType::kKretprobe, SyscallAbi::kWrite,
+                                 [](const HookContext&) {});
+  const DurationNs instr = kernel_.instrumentation_latency(SyscallAbi::kWrite);
+  EXPECT_GT(instr, 0u);
+  const SyscallOutcome out =
+      kernel_.sys_send(tid_, sock_, "x", SyscallAbi::kWrite, 0);
+  EXPECT_EQ(out.exit_ts, kernel_.config().syscall_base_ns + instr);
+  EXPECT_EQ(kernel_.instrumentation_cpu_total(), instr);
+}
+
+TEST_F(KernelTest, HookContextCarriesAllFourInfoCategories) {
+  // HookContext views (payload, comm) are only valid during the hook call,
+  // as with real BPF contexts — copy what must outlive it.
+  HookContext seen;
+  std::string payload_copy;
+  kernel_.hooks().attach_syscall(
+      HookType::kKprobe, SyscallAbi::kSendTo,
+      [&](const HookContext& ctx) {
+        seen = ctx;
+        payload_copy = std::string(ctx.payload);
+      });
+  kernel_.sys_send(tid_, sock_, "payload-bytes", SyscallAbi::kSendTo, 777);
+  EXPECT_EQ(seen.pid, pid_);                       // program info
+  EXPECT_EQ(seen.tid, tid_);
+  EXPECT_EQ(seen.comm, "svc");
+  EXPECT_EQ(seen.socket_id, sock_);                // network info
+  EXPECT_EQ(seen.tuple, tuple_);
+  EXPECT_EQ(seen.timestamp, 777u);                 // tracing info
+  EXPECT_EQ(seen.direction, Direction::kEgress);
+  EXPECT_EQ(seen.abi, SyscallAbi::kSendTo);        // syscall info
+  EXPECT_EQ(seen.total_bytes, 13u);
+  EXPECT_EQ(payload_copy, "payload-bytes");
+}
+
+TEST_F(KernelTest, RecvTupleIsReversedToSenderPerspective) {
+  HookContext seen;
+  kernel_.hooks().attach_syscall(
+      HookType::kKprobe, SyscallAbi::kRead,
+      [&](const HookContext& ctx) { seen = ctx; });
+  WireMessage msg;
+  msg.tuple = tuple_.reversed();  // inbound: peer -> us
+  msg.tcp_seq = 42;
+  msg.payload = "req";
+  msg.app_payload = "req";
+  msg.total_bytes = 3;
+  kernel_.sys_recv(tid_, sock_, msg, SyscallAbi::kRead, 10);
+  // Ingress hook context shows the flow from the sender's perspective.
+  EXPECT_EQ(seen.tuple, tuple_.reversed());
+  EXPECT_EQ(seen.tcp_seq, 42u);
+  EXPECT_EQ(seen.direction, Direction::kIngress);
+}
+
+TEST_F(KernelTest, PayloadSnapshotIsBounded) {
+  HookContext seen;
+  kernel_.hooks().attach_syscall(
+      HookType::kKprobe, SyscallAbi::kWrite,
+      [&](const HookContext& ctx) { seen = ctx; });
+  const std::string big(10'000, 'a');
+  kernel_.sys_send(tid_, sock_, big, SyscallAbi::kWrite, 0);
+  EXPECT_EQ(seen.payload.size(), kernel_.config().payload_snapshot_len);
+  EXPECT_EQ(seen.total_bytes, 10'000u);
+}
+
+TEST_F(KernelTest, TransmitHandsMessageToBackend) {
+  kernel_.sys_send(tid_, sock_, "data", SyscallAbi::kWriteV, 50);
+  ASSERT_EQ(backend_.messages.size(), 1u);
+  EXPECT_EQ(backend_.messages[0].payload, "data");
+  EXPECT_EQ(backend_.messages[0].tuple, tuple_);
+  EXPECT_EQ(backend_.messages[0].total_bytes, 4u);
+}
+
+TEST_F(KernelTest, ClosedSocketRefusesIo) {
+  kernel_.close_socket(sock_);
+  const SyscallOutcome out =
+      kernel_.sys_send(tid_, sock_, "x", SyscallAbi::kWrite, 0);
+  EXPECT_EQ(out.exit_ts, 0u);
+  EXPECT_TRUE(backend_.messages.empty());
+}
+
+TEST_F(KernelTest, TlsSocketsScrambleWirePayloadButExposePlaintext) {
+  const SocketId tls_sock =
+      kernel_.open_socket(pid_, tuple_, L4Proto::kTcp, /*tls=*/true);
+  std::string uprobe_payload;
+  std::string kprobe_payload;
+  kernel_.hooks().attach_uprobe(
+      HookType::kUprobe, "SSL_write",
+      [&](const HookContext& ctx) { uprobe_payload = ctx.payload; });
+  kernel_.hooks().attach_syscall(
+      HookType::kKprobe, SyscallAbi::kWrite,
+      [&](const HookContext& ctx) { kprobe_payload = ctx.payload; });
+  kernel_.sys_send(tid_, tls_sock, "GET / HTTP/1.1\r\n\r\n",
+                   SyscallAbi::kWrite, 0);
+  EXPECT_EQ(uprobe_payload, "GET / HTTP/1.1\r\n\r\n");  // plaintext
+  EXPECT_NE(kprobe_payload, "GET / HTTP/1.1\r\n\r\n");  // ciphertext
+  ASSERT_EQ(backend_.messages.size(), 1u);
+  EXPECT_EQ(backend_.messages[0].app_payload, "GET / HTTP/1.1\r\n\r\n");
+  EXPECT_NE(backend_.messages[0].payload, backend_.messages[0].app_payload);
+}
+
+TEST_F(KernelTest, TlsRecvFiresSslReadWithPlaintext) {
+  const SocketId tls_sock =
+      kernel_.open_socket(pid_, tuple_, L4Proto::kTcp, /*tls=*/true);
+  std::string plaintext_seen;
+  kernel_.hooks().attach_uprobe(
+      HookType::kUprobe, "SSL_read",
+      [&](const HookContext& ctx) { plaintext_seen = ctx.payload; });
+  WireMessage msg;
+  msg.tuple = tuple_.reversed();
+  msg.payload = "\x9c\xa2\xb7";  // ciphertext on the wire
+  msg.app_payload = "secret";
+  msg.total_bytes = 6;
+  kernel_.sys_recv(tid_, tls_sock, msg, SyscallAbi::kRead, 0);
+  EXPECT_EQ(plaintext_seen, "secret");
+}
+
+TEST_F(KernelTest, SyscallCountTracksBothDirections) {
+  kernel_.sys_send(tid_, sock_, "a", SyscallAbi::kWrite, 0);
+  WireMessage msg;
+  msg.tuple = tuple_.reversed();
+  msg.payload = "b";
+  msg.app_payload = "b";
+  msg.total_bytes = 1;
+  kernel_.sys_recv(tid_, sock_, msg, SyscallAbi::kRead, 10);
+  EXPECT_EQ(kernel_.syscall_count(), 2u);
+}
+
+// Every Table 3 ABI drives the same capture machinery.
+class AllAbisTest : public KernelTest,
+                    public ::testing::WithParamInterface<SyscallAbi> {};
+
+TEST_P(AllAbisTest, HooksFireForEveryAbi) {
+  const SyscallAbi abi = GetParam();
+  int fired = 0;
+  kernel_.hooks().attach_syscall(HookType::kKprobe, abi,
+                                 [&](const HookContext&) { ++fired; });
+  kernel_.hooks().attach_syscall(HookType::kKretprobe, abi,
+                                 [&](const HookContext&) { ++fired; });
+  if (direction_of(abi) == Direction::kEgress) {
+    kernel_.sys_send(tid_, sock_, "x", abi, 0);
+  } else {
+    WireMessage msg;
+    msg.tuple = tuple_.reversed();
+    msg.payload = "x";
+    msg.app_payload = "x";
+    msg.total_bytes = 1;
+    kernel_.sys_recv(tid_, sock_, msg, abi, 0);
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableThree, AllAbisTest,
+    ::testing::Values(SyscallAbi::kRecvMsg, SyscallAbi::kRecvMmsg,
+                      SyscallAbi::kReadV, SyscallAbi::kRead,
+                      SyscallAbi::kRecvFrom, SyscallAbi::kSendMsg,
+                      SyscallAbi::kSendMmsg, SyscallAbi::kWriteV,
+                      SyscallAbi::kWrite, SyscallAbi::kSendTo),
+    [](const auto& info) { return std::string(abi_name(info.param)); });
+
+}  // namespace
+}  // namespace deepflow::kernelsim

@@ -1,0 +1,85 @@
+#include "kernelsim/task.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::kernelsim {
+namespace {
+
+TEST(TaskManager, ProcessCreationAndLookup) {
+  TaskManager tasks;
+  const Pid pid = tasks.create_process("nginx");
+  const Process* proc = tasks.process(pid);
+  ASSERT_NE(proc, nullptr);
+  EXPECT_EQ(proc->comm, "nginx");
+  EXPECT_TRUE(proc->threads.empty());
+  EXPECT_EQ(tasks.process(9999), nullptr);
+}
+
+TEST(TaskManager, ThreadsLinkedToProcess) {
+  TaskManager tasks;
+  const Pid pid = tasks.create_process("svc");
+  const Tid t1 = tasks.create_thread(pid);
+  const Tid t2 = tasks.create_thread(pid);
+  EXPECT_NE(t1, t2);
+  const Process* proc = tasks.process(pid);
+  ASSERT_EQ(proc->threads.size(), 2u);
+  EXPECT_EQ(tasks.thread(t1)->pid, pid);
+}
+
+TEST(TaskManager, ThreadIdsGloballyUniqueAcrossProcesses) {
+  TaskManager tasks;
+  const Pid a = tasks.create_process("a");
+  const Pid b = tasks.create_process("b");
+  const Tid ta = tasks.create_thread(a);
+  const Tid tb = tasks.create_thread(b);
+  EXPECT_NE(ta, tb);
+}
+
+TEST(TaskManager, RunningCoroutineTracked) {
+  TaskManager tasks;
+  const Pid pid = tasks.create_process("go-svc");
+  const Tid tid = tasks.create_thread(pid);
+  const CoroutineId coro = tasks.create_coroutine(pid);
+  EXPECT_EQ(tasks.thread(tid)->running_coroutine, 0u);
+  tasks.set_running_coroutine(tid, coro);
+  EXPECT_EQ(tasks.thread(tid)->running_coroutine, coro);
+  tasks.set_running_coroutine(tid, 0);
+  EXPECT_EQ(tasks.thread(tid)->running_coroutine, 0u);
+}
+
+TEST(TaskManager, PseudoThreadRootOfRootIsItself) {
+  TaskManager tasks;
+  const Pid pid = tasks.create_process("go-svc");
+  const CoroutineId root = tasks.create_coroutine(pid);
+  EXPECT_EQ(tasks.pseudo_thread_root(root), root);
+}
+
+TEST(TaskManager, PseudoThreadRootWalksAncestry) {
+  // The paper: coroutine parent-child relationships form a pseudo-thread
+  // structure; all descendants resolve to the same root.
+  TaskManager tasks;
+  const Pid pid = tasks.create_process("go-svc");
+  const CoroutineId root = tasks.create_coroutine(pid);
+  const CoroutineId child = tasks.create_coroutine(pid, root);
+  const CoroutineId grandchild = tasks.create_coroutine(pid, child);
+  EXPECT_EQ(tasks.pseudo_thread_root(child), root);
+  EXPECT_EQ(tasks.pseudo_thread_root(grandchild), root);
+}
+
+TEST(TaskManager, SeparateLineagesSeparateRoots) {
+  TaskManager tasks;
+  const Pid pid = tasks.create_process("go-svc");
+  const CoroutineId r1 = tasks.create_coroutine(pid);
+  const CoroutineId r2 = tasks.create_coroutine(pid);
+  const CoroutineId c1 = tasks.create_coroutine(pid, r1);
+  const CoroutineId c2 = tasks.create_coroutine(pid, r2);
+  EXPECT_NE(tasks.pseudo_thread_root(c1), tasks.pseudo_thread_root(c2));
+}
+
+TEST(TaskManager, UnknownCoroutineRootsToItself) {
+  TaskManager tasks;
+  EXPECT_EQ(tasks.pseudo_thread_root(424242), 424242u);
+}
+
+}  // namespace
+}  // namespace deepflow::kernelsim

@@ -1,0 +1,122 @@
+#include "netsim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::netsim {
+namespace {
+
+TEST(Cluster, NodesGetKernelAndInfra) {
+  Cluster cluster;
+  const NodeId node = cluster.add_node("node-1");
+  ASSERT_NE(cluster.kernel_of(node), nullptr);
+  EXPECT_EQ(cluster.kernel_of(node)->hostname(), "node-1");
+  ASSERT_NE(cluster.vswitch_of(node), nullptr);
+  ASSERT_NE(cluster.pnic_of(node), nullptr);
+  ASSERT_NE(cluster.tor(), nullptr);
+}
+
+TEST(Cluster, PodsGetUniqueIpsAndProcesses) {
+  Cluster cluster;
+  const NodeId node = cluster.add_node("node-1");
+  const PodHandle a = cluster.add_pod(node, "svc-0", "svc");
+  const PodHandle b = cluster.add_pod(node, "svc-1", "svc");
+  EXPECT_NE(a.ip, b.ip);
+  EXPECT_NE(a.pid, b.pid);
+  EXPECT_NE(a.veth, b.veth);
+  EXPECT_EQ(cluster.registry().resolve(a.ip).pod_name, "svc-0");
+}
+
+TEST(Cluster, SameNodeConnectionStaysLocal) {
+  Cluster cluster;
+  const NodeId node = cluster.add_node("node-1");
+  const PodHandle a = cluster.add_pod(node, "a-0", "a");
+  const PodHandle b = cluster.add_pod(node, "b-0", "b");
+  const ConnectionHandle conn = cluster.connect(a, b, 8080);
+  EXPECT_NE(conn.client_socket, 0u);
+  EXPECT_NE(conn.server_socket, 0u);
+  EXPECT_EQ(conn.client_kernel, conn.server_kernel);
+  EXPECT_EQ(conn.tuple.src_ip, a.ip);
+  EXPECT_EQ(conn.tuple.dst_ip, b.ip);
+  EXPECT_EQ(conn.tuple.dst_port, 8080);
+}
+
+TEST(Cluster, CrossNodeMessageTraversesTorAndPnics) {
+  Cluster cluster;
+  const NodeId n1 = cluster.add_node("node-1");
+  const NodeId n2 = cluster.add_node("node-2");
+  const PodHandle a = cluster.add_pod(n1, "a-0", "a");
+  const PodHandle b = cluster.add_pod(n2, "b-0", "b");
+  const ConnectionHandle conn = cluster.connect(a, b, 80);
+
+  const Pid pid = a.pid;
+  const Tid tid = a.kernel->tasks().create_thread(pid);
+  bool delivered = false;
+  cluster.fabric().set_delivery_handler(
+      conn.server_socket,
+      [&](const kernelsim::WireMessage&, TimestampNs) { delivered = true; });
+  a.kernel->sys_send(tid, conn.client_socket, "hi",
+                     kernelsim::SyscallAbi::kWrite, 0);
+  cluster.loop().run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(cluster.tor()->metrics.packets, 1u);
+  EXPECT_EQ(cluster.pnic_of(n1)->metrics.packets, 1u);
+  EXPECT_EQ(cluster.pnic_of(n2)->metrics.packets, 1u);
+  EXPECT_EQ(a.veth->metrics.packets, 1u);
+  EXPECT_EQ(b.veth->metrics.packets, 1u);
+}
+
+TEST(Cluster, SameNodeMessageSkipsTor) {
+  Cluster cluster;
+  const NodeId n1 = cluster.add_node("node-1");
+  const PodHandle a = cluster.add_pod(n1, "a-0", "a");
+  const PodHandle b = cluster.add_pod(n1, "b-0", "b");
+  const ConnectionHandle conn = cluster.connect(a, b, 80);
+  const Tid tid = a.kernel->tasks().create_thread(a.pid);
+  cluster.fabric().set_delivery_handler(
+      conn.server_socket, [](const kernelsim::WireMessage&, TimestampNs) {});
+  a.kernel->sys_send(tid, conn.client_socket, "hi",
+                     kernelsim::SyscallAbi::kWrite, 0);
+  cluster.loop().run();
+  EXPECT_EQ(cluster.tor()->metrics.packets, 0u);
+  EXPECT_EQ(cluster.vswitch_of(n1)->metrics.packets, 1u);
+}
+
+TEST(Cluster, ExtraMiddleDevicesSplicedIntoPath) {
+  Cluster cluster;
+  const NodeId n1 = cluster.add_node("node-1");
+  const NodeId n2 = cluster.add_node("node-2");
+  const PodHandle a = cluster.add_pod(n1, "a-0", "a");
+  const PodHandle b = cluster.add_pod(n2, "b-0", "b");
+  Device* gateway = cluster.fabric().create_device(DeviceKind::kL4Gateway,
+                                                   "slb-1", 0, 10'000);
+  const ConnectionHandle conn = cluster.connect(a, b, 80, false, {gateway});
+  const Tid tid = a.kernel->tasks().create_thread(a.pid);
+  cluster.fabric().set_delivery_handler(
+      conn.server_socket, [](const kernelsim::WireMessage&, TimestampNs) {});
+  a.kernel->sys_send(tid, conn.client_socket, "hi",
+                     kernelsim::SyscallAbi::kWrite, 0);
+  cluster.loop().run();
+  EXPECT_EQ(gateway->metrics.packets, 1u);
+}
+
+TEST(Cluster, EphemeralPortsDistinct) {
+  Cluster cluster;
+  const NodeId n1 = cluster.add_node("node-1");
+  const PodHandle a = cluster.add_pod(n1, "a-0", "a");
+  const PodHandle b = cluster.add_pod(n1, "b-0", "b");
+  const ConnectionHandle c1 = cluster.connect(a, b, 80);
+  const ConnectionHandle c2 = cluster.connect(a, b, 80);
+  EXPECT_NE(c1.tuple.src_port, c2.tuple.src_port);
+}
+
+TEST(Cluster, ServiceRegistryIntegration) {
+  Cluster cluster;
+  const NodeId n1 = cluster.add_node("node-1");
+  const ServiceId svc = cluster.add_service("web");
+  cluster.add_pod(n1, "web-0", "web", svc);
+  cluster.add_pod(n1, "web-1", "web", svc);
+  EXPECT_EQ(cluster.registry().pods_of_service(svc).size(), 2u);
+}
+
+}  // namespace
+}  // namespace deepflow::netsim

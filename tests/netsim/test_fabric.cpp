@@ -1,0 +1,195 @@
+#include "netsim/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::netsim {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest()
+      : fabric_(loop_, /*seed=*/7),
+        kernel_a_(loop_, "a", &fabric_),
+        kernel_b_(loop_, "b", &fabric_) {
+    pid_a_ = kernel_a_.tasks().create_process("client");
+    tid_a_ = kernel_a_.tasks().create_thread(pid_a_);
+    pid_b_ = kernel_b_.tasks().create_process("server");
+    tid_b_ = kernel_b_.tasks().create_thread(pid_b_);
+    tuple_ = FiveTuple{Ipv4::parse("10.0.0.1"), Ipv4::parse("10.0.0.2"),
+                       40000, 80, L4Proto::kTcp};
+    sock_a_ = kernel_a_.open_socket(pid_a_, tuple_);
+    sock_b_ = kernel_b_.open_socket(pid_b_, tuple_.reversed());
+  }
+
+  void wire(std::vector<Device*> path) {
+    fabric_.register_connection(&kernel_a_, sock_a_, &kernel_b_, sock_b_,
+                                std::move(path));
+  }
+
+  EventLoop loop_;
+  Fabric fabric_;
+  kernelsim::Kernel kernel_a_, kernel_b_;
+  Pid pid_a_ = 0, pid_b_ = 0;
+  Tid tid_a_ = 0, tid_b_ = 0;
+  FiveTuple tuple_;
+  SocketId sock_a_ = 0, sock_b_ = 0;
+};
+
+TEST_F(FabricTest, DeliversAcrossPath) {
+  Device* d1 = fabric_.create_device(DeviceKind::kVeth, "veth", 0, 1'000);
+  Device* d2 = fabric_.create_device(DeviceKind::kVSwitch, "vsw", 0, 2'000);
+  wire({d1, d2});
+  std::string delivered;
+  TimestampNs arrive_ts = 0;
+  fabric_.set_delivery_handler(
+      sock_b_, [&](const kernelsim::WireMessage& msg, TimestampNs ts) {
+        delivered = msg.payload;
+        arrive_ts = ts;
+      });
+  const auto out =
+      kernel_a_.sys_send(tid_a_, sock_a_, "ping", kernelsim::SyscallAbi::kWrite, 0);
+  loop_.run();
+  EXPECT_EQ(delivered, "ping");
+  EXPECT_EQ(arrive_ts, out.exit_ts + 3'000);  // sum of hop latencies
+  EXPECT_EQ(fabric_.delivered_count(), 1u);
+}
+
+TEST_F(FabricTest, TapsFireAtTraversalInstants) {
+  Device* d1 = fabric_.create_device(DeviceKind::kVeth, "veth", 0, 1'000);
+  Device* d2 = fabric_.create_device(DeviceKind::kTorSwitch, "tor", 0, 5'000);
+  wire({d1, d2});
+  std::vector<std::pair<std::string, TimestampNs>> taps;
+  for (Device* d : {d1, d2}) {
+    d->attach_tap([&taps, d](const TapContext& ctx) {
+      taps.emplace_back(d->name, ctx.timestamp);
+    });
+  }
+  fabric_.set_delivery_handler(sock_b_,
+                               [](const kernelsim::WireMessage&, TimestampNs) {});
+  const auto out =
+      kernel_a_.sys_send(tid_a_, sock_a_, "x", kernelsim::SyscallAbi::kWrite, 0);
+  loop_.run();
+  ASSERT_EQ(taps.size(), 2u);
+  EXPECT_EQ(taps[0].first, "veth");
+  EXPECT_EQ(taps[0].second, out.exit_ts + 1'000);
+  EXPECT_EQ(taps[1].first, "tor");
+  EXPECT_EQ(taps[1].second, out.exit_ts + 6'000);
+}
+
+TEST_F(FabricTest, TcpSeqUnchangedAcrossForwarding) {
+  // The property inter-component association relies on (§3.3.2): L2/3/4
+  // forwarding never rewrites the TCP sequence.
+  Device* d1 = fabric_.create_device(DeviceKind::kL4Gateway, "lb", 0, 1'000);
+  wire({d1});
+  TcpSeq at_tap = 0, at_delivery = 0;
+  d1->attach_tap([&](const TapContext& ctx) { at_tap = ctx.message->tcp_seq; });
+  fabric_.set_delivery_handler(
+      sock_b_, [&](const kernelsim::WireMessage& msg, TimestampNs) {
+        at_delivery = msg.tcp_seq;
+      });
+  const auto out =
+      kernel_a_.sys_send(tid_a_, sock_a_, "abc", kernelsim::SyscallAbi::kWrite, 0);
+  loop_.run();
+  EXPECT_EQ(at_tap, out.tcp_seq);
+  EXPECT_EQ(at_delivery, out.tcp_seq);
+}
+
+TEST_F(FabricTest, DeviceMetricsAccumulate) {
+  Device* d = fabric_.create_device(DeviceKind::kPhysicalNic, "pnic", 0, 500);
+  wire({d});
+  fabric_.set_delivery_handler(sock_b_,
+                               [](const kernelsim::WireMessage&, TimestampNs) {});
+  kernel_a_.sys_send(tid_a_, sock_a_, "12345", kernelsim::SyscallAbi::kWrite, 0);
+  kernel_a_.sys_send(tid_a_, sock_a_, "678", kernelsim::SyscallAbi::kWrite, 100);
+  loop_.run();
+  EXPECT_EQ(d->metrics.packets, 2u);
+  EXPECT_EQ(d->metrics.bytes, 8u);
+}
+
+TEST_F(FabricTest, DropFaultCausesRetransmissionDelayAndMetric) {
+  Device* d = fabric_.create_device(DeviceKind::kVSwitch, "vsw", 0, 1'000);
+  d->fault.drop_probability = 1.0;  // always drop once (recovered by RTO)
+  d->fault.retransmit_timeout_ns = 50 * kMillisecond;
+  wire({d});
+  TimestampNs arrive = 0;
+  fabric_.set_delivery_handler(
+      sock_b_, [&](const kernelsim::WireMessage&, TimestampNs ts) { arrive = ts; });
+  const auto out =
+      kernel_a_.sys_send(tid_a_, sock_a_, "x", kernelsim::SyscallAbi::kWrite, 0);
+  loop_.run();
+  EXPECT_EQ(d->metrics.retransmissions, 1u);
+  EXPECT_GE(arrive, out.exit_ts + 50 * kMillisecond);
+  EXPECT_EQ(fabric_.flow_metrics(tuple_).retransmissions, 1u);
+}
+
+TEST_F(FabricTest, ResetFaultClosesBothEndsAndNotifies) {
+  Device* d = fabric_.create_device(DeviceKind::kMiddleware, "mq", 0, 1'000);
+  d->fault.reset_probability = 1.0;
+  wire({d});
+  int resets_seen = 0;
+  fabric_.set_reset_handler(sock_a_, [&](TimestampNs) { ++resets_seen; });
+  fabric_.set_reset_handler(sock_b_, [&](TimestampNs) { ++resets_seen; });
+  bool delivered = false;
+  fabric_.set_delivery_handler(
+      sock_b_, [&](const kernelsim::WireMessage&, TimestampNs) { delivered = true; });
+  kernel_a_.sys_send(tid_a_, sock_a_, "x", kernelsim::SyscallAbi::kWrite, 0);
+  loop_.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(resets_seen, 2);
+  EXPECT_FALSE(kernel_a_.socket(sock_a_)->open);
+  EXPECT_FALSE(kernel_b_.socket(sock_b_)->open);
+  EXPECT_EQ(fabric_.reset_count(), 1u);
+  EXPECT_EQ(fabric_.flow_metrics(tuple_).resets, 1u);
+}
+
+TEST_F(FabricTest, ArpAnomalyStormsOnNewFlows) {
+  Device* good = fabric_.create_device(DeviceKind::kVSwitch, "vsw", 0, 1'000);
+  Device* bad = fabric_.create_device(DeviceKind::kPhysicalNic, "pnic", 0, 1'000);
+  bad->fault.arp_anomaly = true;  // the §4.1.2 defective NIC
+  wire({good, bad});
+  fabric_.set_delivery_handler(sock_b_,
+                               [](const kernelsim::WireMessage&, TimestampNs) {});
+  kernel_a_.sys_send(tid_a_, sock_a_, "a", kernelsim::SyscallAbi::kWrite, 0);
+  kernel_a_.sys_send(tid_a_, sock_a_, "b", kernelsim::SyscallAbi::kWrite, 10);
+  loop_.run();
+  // One ARP per flow on healthy devices; a burst on the faulty one.
+  EXPECT_EQ(good->metrics.arp_requests, 1u);
+  EXPECT_GT(bad->metrics.arp_requests, good->metrics.arp_requests);
+}
+
+TEST_F(FabricTest, ExtraLatencyFaultSlowsTransit) {
+  Device* d = fabric_.create_device(DeviceKind::kVirtualNic, "vnic", 0, 1'000);
+  d->fault.extra_latency_ns = 10 * kMillisecond;
+  wire({d});
+  TimestampNs arrive = 0;
+  fabric_.set_delivery_handler(
+      sock_b_, [&](const kernelsim::WireMessage&, TimestampNs ts) { arrive = ts; });
+  const auto out =
+      kernel_a_.sys_send(tid_a_, sock_a_, "x", kernelsim::SyscallAbi::kWrite, 0);
+  loop_.run();
+  EXPECT_EQ(arrive, out.exit_ts + 1'000 + 10 * kMillisecond);
+}
+
+TEST_F(FabricTest, FlowMetricsTrackTransit) {
+  Device* d = fabric_.create_device(DeviceKind::kVeth, "veth", 0, 3'000);
+  wire({d});
+  fabric_.set_delivery_handler(sock_b_,
+                               [](const kernelsim::WireMessage&, TimestampNs) {});
+  kernel_a_.sys_send(tid_a_, sock_a_, "x", kernelsim::SyscallAbi::kWrite, 0);
+  loop_.run();
+  const FlowMetrics& metrics = fabric_.flow_metrics(tuple_);
+  EXPECT_EQ(metrics.packets, 1u);
+  EXPECT_EQ(metrics.avg_transit(), 3'000u);
+  // Direction-agnostic lookup.
+  EXPECT_EQ(fabric_.flow_metrics(tuple_.reversed()).packets, 1u);
+}
+
+TEST_F(FabricTest, UnroutedSocketDropsQuietly) {
+  // No register_connection: message vanishes without crashing.
+  kernel_a_.sys_send(tid_a_, sock_a_, "x", kernelsim::SyscallAbi::kWrite, 0);
+  loop_.run();
+  EXPECT_EQ(fabric_.delivered_count(), 0u);
+}
+
+}  // namespace
+}  // namespace deepflow::netsim

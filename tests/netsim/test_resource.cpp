@@ -1,0 +1,90 @@
+#include "netsim/resource.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::netsim {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() {
+    vpc_ = registry_.create_vpc("prod", "us-east");
+    node_ = registry_.create_node(vpc_, "node-1", "az-2");
+    service_ = registry_.create_service(vpc_, "checkout");
+    pod_ = registry_.create_pod(node_, "checkout-0", Ipv4::parse("10.0.1.5"),
+                                service_, {{"version", "v3"}});
+    registry_.register_node_ip(node_, Ipv4::parse("192.168.0.1"));
+  }
+
+  ResourceRegistry registry_;
+  VpcId vpc_ = 0;
+  NodeId node_ = 0;
+  ServiceId service_ = 0;
+  PodId pod_ = 0;
+};
+
+TEST_F(RegistryTest, PodIpResolvesFullIdentity) {
+  const ResourceInfo info = registry_.resolve(Ipv4::parse("10.0.1.5"));
+  EXPECT_EQ(info.vpc, vpc_);
+  EXPECT_EQ(info.node, node_);
+  EXPECT_EQ(info.pod, pod_);
+  EXPECT_EQ(info.service, service_);
+  EXPECT_EQ(info.pod_name, "checkout-0");
+  EXPECT_EQ(info.node_name, "node-1");
+  EXPECT_EQ(info.service_name, "checkout");
+  EXPECT_EQ(info.vpc_name, "prod");
+  EXPECT_EQ(info.region, "us-east");
+  EXPECT_EQ(info.availability_zone, "az-2");
+  ASSERT_EQ(info.custom_labels.size(), 1u);
+  EXPECT_EQ(info.custom_labels[0].key, "version");
+}
+
+TEST_F(RegistryTest, NodeIpResolvesWithoutPod) {
+  const ResourceInfo info = registry_.resolve(Ipv4::parse("192.168.0.1"));
+  EXPECT_EQ(info.node, node_);
+  EXPECT_EQ(info.pod, 0u);
+  EXPECT_EQ(info.vpc, vpc_);
+}
+
+TEST_F(RegistryTest, UnknownIpResolvesEmpty) {
+  // External endpoints are routine production traffic; resolution must not
+  // fail, just return an empty identity.
+  const ResourceInfo info = registry_.resolve(Ipv4::parse("8.8.8.8"));
+  EXPECT_EQ(info.vpc, 0u);
+  EXPECT_EQ(info.node, 0u);
+  EXPECT_EQ(info.pod, 0u);
+  EXPECT_TRUE(info.pod_name.empty());
+}
+
+TEST_F(RegistryTest, NameLookups) {
+  EXPECT_EQ(registry_.vpc_name(vpc_), "prod");
+  EXPECT_EQ(registry_.node_name(node_), "node-1");
+  EXPECT_EQ(registry_.pod_name(pod_), "checkout-0");
+  EXPECT_EQ(registry_.service_name(service_), "checkout");
+  EXPECT_EQ(registry_.vpc_name(999), "");
+}
+
+TEST_F(RegistryTest, PodsOfService) {
+  const PodId second = registry_.create_pod(
+      node_, "checkout-1", Ipv4::parse("10.0.1.6"), service_);
+  auto pods = registry_.pods_of_service(service_);
+  EXPECT_EQ(pods.size(), 2u);
+  EXPECT_TRUE((pods[0] == pod_ && pods[1] == second) ||
+              (pods[0] == second && pods[1] == pod_));
+}
+
+TEST_F(RegistryTest, PodIpLookup) {
+  ASSERT_TRUE(registry_.pod_ip(pod_).has_value());
+  EXPECT_EQ(registry_.pod_ip(pod_)->to_string(), "10.0.1.5");
+  EXPECT_FALSE(registry_.pod_ip(12345).has_value());
+}
+
+TEST_F(RegistryTest, CountsTrackCreation) {
+  EXPECT_EQ(registry_.node_count(), 1u);
+  EXPECT_EQ(registry_.pod_count(), 1u);
+  registry_.create_pod(node_, "extra", Ipv4::parse("10.0.1.9"));
+  EXPECT_EQ(registry_.pod_count(), 2u);
+}
+
+}  // namespace
+}  // namespace deepflow::netsim

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "protocols/amqp.h"
+#include "protocols/dns.h"
+#include "protocols/dubbo.h"
+#include "protocols/kafka.h"
+#include "protocols/mqtt.h"
+#include "protocols/mysql.h"
+
+namespace deepflow::protocols {
+namespace {
+
+// ------------------------------------------------------------------- DNS --
+
+TEST(Dns, QueryRoundTrip) {
+  DnsParser parser;
+  const std::string payload = build_dns_query(0x1234, "api.shop.svc");
+  ASSERT_TRUE(parser.infer(payload));
+  const auto msg = parser.parse(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kRequest);
+  EXPECT_EQ(msg->method, "QUERY");
+  EXPECT_EQ(msg->endpoint, "api.shop.svc");
+  EXPECT_EQ(msg->stream_id, 0x1234u);
+}
+
+TEST(Dns, ResponseCarriesRcode) {
+  DnsParser parser;
+  const auto ok = parser.parse(build_dns_response(7, "svc", 0));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->type, MessageType::kResponse);
+  EXPECT_TRUE(ok->ok);
+  EXPECT_EQ(ok->stream_id, 7u);
+
+  const auto nx = parser.parse(build_dns_response(7, "svc", 3));  // NXDOMAIN
+  ASSERT_TRUE(nx.has_value());
+  EXPECT_FALSE(nx->ok);
+  EXPECT_EQ(nx->status_code, 3u);
+}
+
+TEST(Dns, TransactionIdCorrelates) {
+  DnsParser parser;
+  const auto query = parser.parse(build_dns_query(42, "a.b"));
+  const auto response = parser.parse(build_dns_response(42, "a.b"));
+  ASSERT_TRUE(query && response);
+  EXPECT_EQ(query->stream_id, response->stream_id);
+}
+
+TEST(Dns, RejectsShortAndImplausible) {
+  DnsParser parser;
+  EXPECT_FALSE(parser.infer("short"));
+  EXPECT_FALSE(parser.infer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+}
+
+// ----------------------------------------------------------------- MySQL --
+
+TEST(Mysql, QueryParsesVerbAndStatement) {
+  MysqlParser parser;
+  const std::string payload =
+      build_mysql_query("select * from orders where id = 7");
+  ASSERT_TRUE(parser.infer(payload));
+  const auto msg = parser.parse(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kRequest);
+  EXPECT_EQ(msg->method, "SELECT");  // upper-cased verb
+}
+
+TEST(Mysql, OkAndErrResponses) {
+  MysqlParser parser;
+  const auto ok = parser.parse(build_mysql_ok());
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->type, MessageType::kResponse);
+  EXPECT_TRUE(ok->ok);
+
+  const auto err = parser.parse(build_mysql_error(1064, "syntax"));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_FALSE(err->ok);
+  EXPECT_EQ(err->status_code, 1064u);
+}
+
+TEST(Mysql, RejectsTextProtocols) {
+  // The regression this guards: "GET " decodes as a plausible 3-byte
+  // little-endian length, which once misclassified all HTTP as MySQL.
+  MysqlParser parser;
+  EXPECT_FALSE(parser.infer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+  EXPECT_FALSE(parser.infer("HTTP/1.1 200 OK\r\n\r\n"));
+  EXPECT_FALSE(parser.infer("+OK\r\n"));
+  EXPECT_FALSE(parser.infer("*2\r\n$3\r\nGET\r\n$3\r\nkey\r\n"));
+}
+
+// ----------------------------------------------------------------- Kafka --
+
+TEST(Kafka, RequestRoundTrip) {
+  KafkaParser parser;
+  const std::string payload =
+      build_kafka_request(KafkaApi::kProduce, 555, "client-1", "orders");
+  ASSERT_TRUE(parser.infer(payload));
+  const auto msg = parser.parse(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kRequest);
+  EXPECT_EQ(msg->method, "Produce");
+  EXPECT_EQ(msg->endpoint, "orders");
+  EXPECT_EQ(msg->stream_id, 555u);
+}
+
+TEST(Kafka, CorrelationIdMatchesResponse) {
+  KafkaParser parser;
+  const auto resp = parser.parse(build_kafka_response(555, 0));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->type, MessageType::kResponse);
+  EXPECT_EQ(resp->stream_id, 555u);
+  EXPECT_TRUE(resp->ok);
+}
+
+TEST(Kafka, ErrorCodePropagates) {
+  KafkaParser parser;
+  const auto resp = parser.parse(build_kafka_response(1, 7));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->status_code, 7u);
+}
+
+TEST(Kafka, RejectsImplausibleApiKeys) {
+  KafkaParser parser;
+  EXPECT_FALSE(parser.infer("GET / HTTP/1.1\r\nHost: abc\r\n\r\n"));
+}
+
+// ------------------------------------------------------------------ MQTT --
+
+TEST(Mqtt, ConnectRequiresProtocolName) {
+  MqttParser parser;
+  EXPECT_TRUE(parser.infer(build_mqtt_connect("sensor-1")));
+  const auto msg = parser.parse(build_mqtt_connect("sensor-1"));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->method, "CONNECT");
+  EXPECT_EQ(msg->type, MessageType::kRequest);
+}
+
+TEST(Mqtt, PublishCarriesTopic) {
+  MqttParser parser;
+  const auto msg = parser.parse(build_mqtt_publish("orders/created", "{}"));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->method, "PUBLISH");
+  EXPECT_EQ(msg->endpoint, "orders/created");
+  EXPECT_EQ(msg->type, MessageType::kRequest);
+}
+
+TEST(Mqtt, PubackIsResponse) {
+  MqttParser parser;
+  const auto msg = parser.parse(build_mqtt_puback());
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->method, "PUBACK");
+  EXPECT_EQ(msg->type, MessageType::kResponse);
+}
+
+TEST(Mqtt, ConnackReturnCode) {
+  MqttParser parser;
+  const auto accepted = parser.parse(build_mqtt_connack(0));
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_TRUE(accepted->ok);
+  const auto refused = parser.parse(build_mqtt_connack(5));
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_FALSE(refused->ok);
+}
+
+TEST(Mqtt, FlagNibbleRejectsText) {
+  // 'G' = type 4 with flags 7: invalid per spec; guards against HTTP.
+  MqttParser parser;
+  EXPECT_FALSE(parser.infer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+  EXPECT_FALSE(parser.infer("*2\r\n$3\r\nGET\r\n$3\r\nkey\r\n"));
+}
+
+// ----------------------------------------------------------------- Dubbo --
+
+TEST(Dubbo, MagicNumberAnchorsInference) {
+  DubboParser parser;
+  const std::string payload =
+      build_dubbo_request(99, "com.shop.Inventory", "deduct");
+  EXPECT_TRUE(parser.infer(payload));
+  EXPECT_FALSE(parser.infer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+}
+
+TEST(Dubbo, RequestRoundTrip) {
+  DubboParser parser;
+  const auto msg =
+      parser.parse(build_dubbo_request(99, "com.shop.Inventory", "deduct"));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kRequest);
+  EXPECT_EQ(msg->stream_id, 99u);
+  EXPECT_EQ(msg->method, "deduct");
+  EXPECT_EQ(msg->endpoint, "com.shop.Inventory.deduct");
+}
+
+TEST(Dubbo, ResponseStatus) {
+  DubboParser parser;
+  const auto ok = parser.parse(build_dubbo_response(99, 20));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->ok);
+  EXPECT_EQ(ok->stream_id, 99u);
+  const auto err = parser.parse(build_dubbo_response(99, 70));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_FALSE(err->ok);
+}
+
+TEST(Dubbo, SixtyFourBitRequestIds) {
+  DubboParser parser;
+  const u64 big = 0xdeadbeefcafe1234ULL;
+  const auto msg = parser.parse(build_dubbo_request(big, "s", "m"));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->stream_id, big);
+}
+
+// ------------------------------------------------------------------ AMQP --
+
+TEST(Amqp, ProtocolHeaderInferred) {
+  AmqpParser parser;
+  const auto msg = parser.parse(build_amqp_protocol_header());
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->method, "protocol-header");
+  EXPECT_EQ(msg->type, MessageType::kRequest);
+}
+
+TEST(Amqp, PublishCarriesRoutingKey) {
+  AmqpParser parser;
+  const std::string payload = build_amqp_publish(1, "orders.created");
+  ASSERT_TRUE(parser.infer(payload));
+  const auto msg = parser.parse(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kRequest);
+  EXPECT_EQ(msg->method, "basic.publish");
+  EXPECT_EQ(msg->endpoint, "orders.created");
+}
+
+TEST(Amqp, AckIsSuccessfulResponse) {
+  AmqpParser parser;
+  const auto msg = parser.parse(build_amqp_ack(1));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kResponse);
+  EXPECT_TRUE(msg->ok);
+}
+
+TEST(Amqp, ChannelCloseCarriesReplyCode) {
+  AmqpParser parser;
+  const auto msg = parser.parse(build_amqp_close(1, 312, "NO_ROUTE"));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kResponse);
+  EXPECT_FALSE(msg->ok);
+  EXPECT_EQ(msg->status_code, 312u);
+}
+
+TEST(Amqp, FrameEndOctetRequired) {
+  AmqpParser parser;
+  std::string payload = build_amqp_publish(1, "k");
+  payload.back() = '\x00';  // corrupt the 0xCE end octet
+  EXPECT_FALSE(parser.infer(payload));
+}
+
+TEST(Amqp, RejectsForeignPayloads) {
+  AmqpParser parser;
+  EXPECT_FALSE(parser.infer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+  EXPECT_FALSE(parser.infer("+OK\r\n"));
+  EXPECT_FALSE(parser.infer(""));
+}
+
+}  // namespace
+}  // namespace deepflow::protocols

@@ -1,0 +1,110 @@
+// Robustness fuzzing: the tracing plane feeds parsers arbitrary bytes
+// (ciphertext, corrupted frames, truncated snapshots). Parsers must never
+// crash, never read out of bounds, and keep infer/parse consistent —
+// infer() returning true must make parse() at least attempt-safe, and the
+// registry must never return a parser whose parse then misbehaves.
+#include <gtest/gtest.h>
+
+#include "common/rand.h"
+#include "protocols/amqp.h"
+#include "protocols/dns.h"
+#include "protocols/dubbo.h"
+#include "protocols/http1.h"
+#include "protocols/http2.h"
+#include "protocols/kafka.h"
+#include "protocols/mqtt.h"
+#include "protocols/mysql.h"
+#include "protocols/parser.h"
+#include "protocols/redis.h"
+#include "workloads/payloads.h"
+
+namespace deepflow::protocols {
+namespace {
+
+std::string random_bytes(Rng& rng, size_t max_len) {
+  std::string out(rng.below(max_len + 1), '\0');
+  for (char& c : out) c = static_cast<char>(rng.next() & 0xff);
+  return out;
+}
+
+std::string mutate(Rng& rng, std::string payload) {
+  if (payload.empty()) return payload;
+  const size_t flips = 1 + rng.below(4);
+  for (size_t i = 0; i < flips; ++i) {
+    payload[rng.below(payload.size())] =
+        static_cast<char>(rng.next() & 0xff);
+  }
+  if (rng.chance(0.3)) payload.resize(rng.below(payload.size()) + 1);
+  return payload;
+}
+
+class FuzzTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzTest, RandomBytesNeverCrashAnyParser) {
+  const ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  Rng rng(GetParam());
+  for (int i = 0; i < 20'000; ++i) {
+    const std::string payload = random_bytes(rng, 300);
+    const ProtocolParser* inferred = registry.infer(payload);
+    if (inferred != nullptr) {
+      // A positive signature must lead to a safe parse (value or nullopt).
+      const auto parsed = inferred->parse(payload);
+      if (parsed.has_value()) {
+        // Parsed semantics must be self-consistent.
+        if (parsed->type == MessageType::kRequest) {
+          EXPECT_EQ(parsed->status_code, 0u);
+        }
+      }
+    }
+    // And every parser individually survives arbitrary input.
+    for (const L7Protocol proto :
+         {L7Protocol::kHttp1, L7Protocol::kHttp2, L7Protocol::kDns,
+          L7Protocol::kRedis, L7Protocol::kMysql, L7Protocol::kKafka,
+          L7Protocol::kMqtt, L7Protocol::kDubbo, L7Protocol::kAmqp}) {
+      registry.parser_for(proto)->parse(payload);
+    }
+  }
+}
+
+TEST_P(FuzzTest, MutatedRealPayloadsNeverCrash) {
+  const ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  Rng rng(GetParam() ^ 0xfeedULL);
+  workloads::RequestContext ctx;
+  ctx.x_request_id = "xrid-fuzz";
+  for (int i = 0; i < 20'000; ++i) {
+    const auto proto = static_cast<L7Protocol>(1 + rng.below(9));
+    std::string payload = rng.chance(0.5)
+                              ? workloads::build_request_payload(
+                                    proto, "/fuzz/endpoint", rng.next(), ctx)
+                              : workloads::build_response_payload(
+                                    proto, rng.chance(0.5) ? 200 : 500,
+                                    rng.next() & 0xffff, ctx);
+    payload = mutate(rng, std::move(payload));
+    const ProtocolParser* inferred = registry.infer(payload);
+    if (inferred != nullptr) inferred->parse(payload);
+  }
+}
+
+TEST_P(FuzzTest, TruncationAtEveryBoundaryIsSafe) {
+  const ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  workloads::RequestContext ctx;
+  ctx.traceparent =
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  Rng rng(GetParam() ^ 0xc0ffeeULL);
+  for (int round = 0; round < 64; ++round) {
+    const auto proto = static_cast<L7Protocol>(1 + rng.below(9));
+    const std::string full =
+        workloads::build_request_payload(proto, "/truncate/me", 7, ctx);
+    for (size_t cut = 0; cut <= full.size(); ++cut) {
+      const std::string payload = full.substr(0, cut);
+      const ProtocolParser* inferred = registry.infer(payload);
+      if (inferred != nullptr) inferred->parse(payload);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1, 42, 12345, 0xdeadbeef));
+
+}  // namespace
+}  // namespace deepflow::protocols

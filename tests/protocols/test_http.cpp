@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "protocols/http1.h"
+#include "protocols/http2.h"
+
+namespace deepflow::protocols {
+namespace {
+
+// ---------------------------------------------------------------- HTTP/1 --
+
+TEST(Http1, RequestRoundTrip) {
+  Http1Parser parser;
+  const std::string payload = build_http1_request(
+      "GET", "/cart", {{"X-Request-ID", "abc-1"}, {"traceparent",
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"}});
+  ASSERT_TRUE(parser.infer(payload));
+  const auto msg = parser.parse(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kRequest);
+  EXPECT_EQ(msg->method, "GET");
+  EXPECT_EQ(msg->endpoint, "/cart");
+  EXPECT_EQ(msg->x_request_id, "abc-1");
+  EXPECT_EQ(extract_trace_id(msg->trace_context),
+            "0af7651916cd43dd8448eb211c80319c");
+}
+
+TEST(Http1, ResponseRoundTrip) {
+  Http1Parser parser;
+  const std::string payload = build_http1_response(404, {}, "missing");
+  const auto msg = parser.parse(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kResponse);
+  EXPECT_EQ(msg->status_code, 404u);
+  EXPECT_FALSE(msg->ok);
+}
+
+TEST(Http1, StatusClassesMapToOk) {
+  Http1Parser parser;
+  for (const auto& [status, ok] :
+       std::vector<std::pair<u32, bool>>{{200, true}, {204, true}, {301, true},
+                                         {400, false}, {500, false},
+                                         {503, false}}) {
+    const auto msg = parser.parse(build_http1_response(status));
+    ASSERT_TRUE(msg.has_value()) << status;
+    EXPECT_EQ(msg->ok, ok) << status;
+  }
+}
+
+TEST(Http1, AllMethodsInferred) {
+  Http1Parser parser;
+  for (const char* method : {"GET", "POST", "PUT", "DELETE", "HEAD",
+                             "OPTIONS", "PATCH"}) {
+    EXPECT_TRUE(parser.infer(build_http1_request(method, "/")));
+  }
+}
+
+TEST(Http1, HeaderLookupIsCaseInsensitive) {
+  const std::string payload =
+      build_http1_request("GET", "/", {{"x-request-id", "lower"}});
+  EXPECT_EQ(find_http1_header(payload, "X-Request-ID"), "lower");
+}
+
+TEST(Http1, MissingHeaderIsEmpty) {
+  const std::string payload = build_http1_request("GET", "/");
+  EXPECT_EQ(find_http1_header(payload, "X-Request-ID"), "");
+}
+
+TEST(Http1, RejectsForeignPayloads) {
+  Http1Parser parser;
+  EXPECT_FALSE(parser.infer("*1\r\n$4\r\nPING\r\n"));
+  EXPECT_FALSE(parser.infer("\xda\xbb..."));
+  EXPECT_FALSE(parser.infer("GETX / HTTP/1.1"));  // method must end in space
+  EXPECT_FALSE(parser.infer(""));
+}
+
+TEST(Http1, TruncatedRequestStillParses) {
+  // Payload snapshots cut at 256 bytes; the request line survives.
+  std::string payload = build_http1_request("POST", "/big", {}, std::string(1000, 'x'));
+  payload.resize(256);
+  Http1Parser parser;
+  const auto msg = parser.parse(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->method, "POST");
+  EXPECT_EQ(msg->endpoint, "/big");
+}
+
+TEST(Http1, MalformedStatusRejected) {
+  Http1Parser parser;
+  EXPECT_FALSE(parser.parse("HTTP/1.1 9xx Nope\r\n\r\n").has_value());
+  EXPECT_FALSE(parser.parse("HTTP/1.1").has_value());
+}
+
+// ---------------------------------------------------------------- HTTP/2 --
+
+TEST(Http2, RequestRoundTripWithStreamId) {
+  Http2Parser parser;
+  const std::string payload =
+      build_http2_request(7, "GET", "/reviews", {{"x-request-id", "r-9"}});
+  ASSERT_TRUE(parser.infer(payload));
+  const auto msg = parser.parse(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kRequest);
+  EXPECT_EQ(msg->method, "GET");
+  EXPECT_EQ(msg->endpoint, "/reviews");
+  EXPECT_EQ(msg->stream_id, 7u);
+  EXPECT_EQ(msg->x_request_id, "r-9");
+}
+
+TEST(Http2, ResponseCarriesStatusAndStream) {
+  Http2Parser parser;
+  const auto msg = parser.parse(build_http2_response(7, 503));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kResponse);
+  EXPECT_EQ(msg->status_code, 503u);
+  EXPECT_FALSE(msg->ok);
+  EXPECT_EQ(msg->stream_id, 7u);
+}
+
+TEST(Http2, StreamIdsDistinguishMultiplexedExchanges) {
+  // The paper's parallel-protocol example: stream ids correlate request
+  // and response on a multiplexed connection.
+  Http2Parser parser;
+  const auto req_a = parser.parse(build_http2_request(1, "GET", "/a"));
+  const auto req_b = parser.parse(build_http2_request(3, "GET", "/b"));
+  const auto resp_b = parser.parse(build_http2_response(3, 200));
+  ASSERT_TRUE(req_a && req_b && resp_b);
+  EXPECT_NE(req_a->stream_id, req_b->stream_id);
+  EXPECT_EQ(req_b->stream_id, resp_b->stream_id);
+}
+
+TEST(Http2, PrefaceInferred) {
+  Http2Parser parser;
+  EXPECT_TRUE(parser.infer("PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"));
+}
+
+TEST(Http2, MatchModeIsParallel) {
+  EXPECT_EQ(Http2Parser().match_mode(), SessionMatchMode::kParallel);
+  EXPECT_EQ(Http1Parser().match_mode(), SessionMatchMode::kPipeline);
+}
+
+TEST(Http2, RejectsShortOrForeign) {
+  Http2Parser parser;
+  EXPECT_FALSE(parser.infer("GET / HTTP/1.1\r\n"));
+  EXPECT_FALSE(parser.infer("\x00\x01"));
+  EXPECT_FALSE(parser.parse("HTTP/1.1 200 OK\r\n\r\n").has_value());
+}
+
+TEST(Http2, ReservedBitMaskedFromStreamId) {
+  Http2Parser parser;
+  // Stream id with the reserved high bit set must be masked per RFC 7540.
+  const std::string payload = build_http2_request(0x7fffffff, "GET", "/");
+  const auto msg = parser.parse(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->stream_id, 0x7fffffffu);
+}
+
+}  // namespace
+}  // namespace deepflow::protocols

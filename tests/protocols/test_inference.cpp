@@ -1,0 +1,145 @@
+// Cross-protocol inference properties: the registry must route every
+// builder-produced payload to its own protocol — the one-time-per-connection
+// inference (§3.3.1) is only sound if signatures never collide on real
+// traffic.
+#include <gtest/gtest.h>
+
+#include "protocols/amqp.h"
+#include "protocols/dns.h"
+#include "protocols/dubbo.h"
+#include "protocols/http1.h"
+#include "protocols/http2.h"
+#include "protocols/kafka.h"
+#include "protocols/mqtt.h"
+#include "protocols/mysql.h"
+#include "protocols/parser.h"
+#include "protocols/redis.h"
+
+namespace deepflow::protocols {
+namespace {
+
+struct Sample {
+  L7Protocol protocol;
+  std::string name;
+  std::string payload;
+};
+
+std::vector<Sample> all_samples() {
+  return {
+      {L7Protocol::kHttp1, "http1_req", build_http1_request("GET", "/x")},
+      {L7Protocol::kHttp1, "http1_resp", build_http1_response(200)},
+      {L7Protocol::kHttp1, "http1_err", build_http1_response(500)},
+      {L7Protocol::kHttp2, "http2_req", build_http2_request(3, "GET", "/y")},
+      {L7Protocol::kHttp2, "http2_resp", build_http2_response(3, 200)},
+      {L7Protocol::kDns, "dns_query", build_dns_query(9, "svc.cluster")},
+      {L7Protocol::kDns, "dns_resp", build_dns_response(9, "svc.cluster")},
+      {L7Protocol::kRedis, "redis_cmd", build_redis_command({"GET", "k"})},
+      {L7Protocol::kRedis, "redis_ok", build_redis_ok()},
+      {L7Protocol::kRedis, "redis_err", build_redis_error("nope")},
+      {L7Protocol::kMysql, "mysql_query", build_mysql_query("SELECT 1")},
+      {L7Protocol::kMysql, "mysql_ok", build_mysql_ok()},
+      {L7Protocol::kMysql, "mysql_err", build_mysql_error(1064, "bad")},
+      {L7Protocol::kKafka, "kafka_req",
+       build_kafka_request(KafkaApi::kFetch, 12, "c", "topic")},
+      {L7Protocol::kKafka, "kafka_resp", build_kafka_response(12)},
+      {L7Protocol::kMqtt, "mqtt_connect", build_mqtt_connect("dev-1")},
+      {L7Protocol::kMqtt, "mqtt_publish", build_mqtt_publish("t/1", "body")},
+      {L7Protocol::kMqtt, "mqtt_puback", build_mqtt_puback()},
+      {L7Protocol::kDubbo, "dubbo_req", build_dubbo_request(1, "svc", "m")},
+      {L7Protocol::kDubbo, "dubbo_resp", build_dubbo_response(1)},
+      {L7Protocol::kAmqp, "amqp_header", build_amqp_protocol_header()},
+      {L7Protocol::kAmqp, "amqp_publish", build_amqp_publish(1, "orders")},
+      {L7Protocol::kAmqp, "amqp_ack", build_amqp_ack(1)},
+      {L7Protocol::kAmqp, "amqp_close", build_amqp_close(1, 312, "NO_ROUTE")},
+  };
+}
+
+class InferenceTest : public ::testing::TestWithParam<Sample> {};
+
+TEST_P(InferenceTest, RegistryRoutesToOwnProtocol) {
+  const ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  const Sample& sample = GetParam();
+  const ProtocolParser* parser = registry.infer(sample.payload);
+  ASSERT_NE(parser, nullptr) << sample.name;
+  EXPECT_EQ(parser->protocol(), sample.protocol) << sample.name;
+}
+
+TEST_P(InferenceTest, OwnParserAcceptsOwnPayload) {
+  const ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  const Sample& sample = GetParam();
+  const ProtocolParser* parser = registry.parser_for(sample.protocol);
+  ASSERT_NE(parser, nullptr);
+  EXPECT_TRUE(parser->infer(sample.payload)) << sample.name;
+  EXPECT_TRUE(parser->parse(sample.payload).has_value()) << sample.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuilders, InferenceTest, ::testing::ValuesIn(all_samples()),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Inference, CiphertextNeverMatches) {
+  // TLS ciphertext (high-bit-set bytes) must not match any parser — that is
+  // why kernel-side hooks alone cannot trace TLS flows.
+  const ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  std::string ciphertext(64, '\0');
+  for (size_t i = 0; i < ciphertext.size(); ++i) {
+    ciphertext[i] = static_cast<char>(0x80 | (i * 37 % 64));
+  }
+  EXPECT_EQ(registry.infer(ciphertext), nullptr);
+}
+
+TEST(Inference, EmptyAndTinyPayloads) {
+  const ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  EXPECT_EQ(registry.infer(""), nullptr);
+  EXPECT_EQ(registry.infer("a"), nullptr);
+  EXPECT_EQ(registry.infer("\r\n"), nullptr);
+}
+
+TEST(Inference, BuiltinCountAndLookup) {
+  const ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  EXPECT_EQ(registry.parser_count(), 9u);
+  EXPECT_EQ(registry.parser_for(L7Protocol::kUnknown), nullptr);
+  for (const L7Protocol proto :
+       {L7Protocol::kHttp1, L7Protocol::kHttp2, L7Protocol::kDns,
+        L7Protocol::kRedis, L7Protocol::kMysql, L7Protocol::kKafka,
+        L7Protocol::kMqtt, L7Protocol::kDubbo, L7Protocol::kAmqp}) {
+    ASSERT_NE(registry.parser_for(proto), nullptr);
+    EXPECT_EQ(registry.parser_for(proto)->protocol(), proto);
+  }
+}
+
+TEST(Inference, UserSuppliedParserExtendsRegistry) {
+  // §3.3.1: "optional user-supplied protocol specifications".
+  class CustomParser final : public ProtocolParser {
+   public:
+    L7Protocol protocol() const override { return L7Protocol::kUnknown; }
+    SessionMatchMode match_mode() const override {
+      return SessionMatchMode::kPipeline;
+    }
+    bool infer(std::string_view payload) const override {
+      return payload.starts_with("CUSTOM/");
+    }
+    std::optional<ParsedMessage> parse(std::string_view) const override {
+      ParsedMessage msg;
+      msg.type = MessageType::kRequest;
+      return msg;
+    }
+  };
+  ProtocolRegistry registry = ProtocolRegistry::with_builtin();
+  registry.register_parser(std::make_unique<CustomParser>());
+  const ProtocolParser* parser = registry.infer("CUSTOM/1 hello");
+  ASSERT_NE(parser, nullptr);
+  EXPECT_EQ(parser->protocol(), L7Protocol::kUnknown);
+}
+
+TEST(Inference, TraceIdExtraction) {
+  EXPECT_EQ(
+      extract_trace_id("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"),
+      "0af7651916cd43dd8448eb211c80319c");
+  EXPECT_EQ(extract_trace_id(""), "");
+  EXPECT_EQ(extract_trace_id("01-zzz"), "");
+  EXPECT_EQ(extract_trace_id("00-tooshort-x-01"), "");
+}
+
+}  // namespace
+}  // namespace deepflow::protocols

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "protocols/redis.h"
+
+namespace deepflow::protocols {
+namespace {
+
+TEST(Redis, CommandRoundTrip) {
+  RedisParser parser;
+  const std::string payload = build_redis_command({"GET", "user:42"});
+  ASSERT_TRUE(parser.infer(payload));
+  const auto msg = parser.parse(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kRequest);
+  EXPECT_EQ(msg->method, "GET");
+  EXPECT_EQ(msg->endpoint, "user:42");
+}
+
+TEST(Redis, MultiArgumentCommand) {
+  RedisParser parser;
+  const auto msg =
+      parser.parse(build_redis_command({"SET", "key", "value", "EX", "60"}));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->method, "SET");
+  EXPECT_EQ(msg->endpoint, "key");
+}
+
+TEST(Redis, SimpleStringReply) {
+  RedisParser parser;
+  const auto msg = parser.parse(build_redis_ok());
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kResponse);
+  EXPECT_TRUE(msg->ok);
+}
+
+TEST(Redis, BulkReply) {
+  RedisParser parser;
+  const auto msg = parser.parse(build_redis_bulk("hello world"));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kResponse);
+  EXPECT_TRUE(msg->ok);
+}
+
+TEST(Redis, ErrorReply) {
+  RedisParser parser;
+  const auto msg = parser.parse(build_redis_error("wrong type"));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_FALSE(msg->ok);
+  EXPECT_EQ(msg->status_code, 1u);
+  EXPECT_NE(msg->endpoint.find("wrong type"), std::string::npos);
+}
+
+TEST(Redis, IntegerReply) {
+  RedisParser parser;
+  const auto msg = parser.parse(":1000\r\n");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MessageType::kResponse);
+  EXPECT_TRUE(msg->ok);
+}
+
+TEST(Redis, RejectsForeignPayloads) {
+  RedisParser parser;
+  EXPECT_FALSE(parser.infer("GET / HTTP/1.1\r\n"));
+  EXPECT_FALSE(parser.infer("*x\r\n"));  // '*' must be followed by a digit
+  EXPECT_FALSE(parser.infer("+no-crlf"));
+  EXPECT_FALSE(parser.infer(""));
+}
+
+TEST(Redis, TruncatedBulkStillParses) {
+  RedisParser parser;
+  std::string payload = build_redis_command({"SET", std::string(500, 'k')});
+  payload.resize(100);  // snapshot cut
+  const auto msg = parser.parse(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->method, "SET");
+}
+
+TEST(Redis, MalformedArrayRejected) {
+  RedisParser parser;
+  EXPECT_FALSE(parser.parse("*2\r\nnot-a-bulk\r\n").has_value());
+}
+
+}  // namespace
+}  // namespace deepflow::protocols

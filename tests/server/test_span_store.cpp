@@ -1,0 +1,151 @@
+#include "server/span_store.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::server {
+namespace {
+
+agent::Span make_span(u64 id, TimestampNs start) {
+  agent::Span span;
+  span.span_id = id;
+  span.start_ts = start;
+  span.end_ts = start + 1'000;
+  span.host = "node-1";
+  span.pid = 10;
+  return span;
+}
+
+class SpanStoreTest : public ::testing::Test {
+ protected:
+  SpanStoreTest() : store_(EncoderKind::kSmart, &registry_) {}
+  netsim::ResourceRegistry registry_;
+  SpanStore store_;
+};
+
+TEST_F(SpanStoreTest, InsertAndRowLookup) {
+  store_.insert(make_span(1, 100));
+  ASSERT_NE(store_.row(1), nullptr);
+  EXPECT_EQ(store_.row(1)->span.start_ts, 100u);
+  EXPECT_EQ(store_.row(2), nullptr);
+  EXPECT_EQ(store_.row_count(), 1u);
+}
+
+TEST_F(SpanStoreTest, SearchBySystraceId) {
+  agent::Span a = make_span(1, 100);
+  a.systrace_id = 42;
+  agent::Span b = make_span(2, 200);
+  b.systrace_id = 42;
+  agent::Span c = make_span(3, 300);
+  c.systrace_id = 99;
+  store_.insert(a);
+  store_.insert(b);
+  store_.insert(c);
+  SearchFilter filter;
+  filter.systrace_ids.insert(42);
+  const auto found = store_.search(filter);
+  EXPECT_EQ(found.size(), 2u);
+}
+
+TEST_F(SpanStoreTest, SearchByTcpSeqCoversBothDirections) {
+  agent::Span a = make_span(1, 100);
+  a.req_tcp_seq = 1'000;
+  a.resp_tcp_seq = 2'000;
+  store_.insert(a);
+  SearchFilter by_req;
+  by_req.tcp_seqs.insert(1'000);
+  EXPECT_EQ(store_.search(by_req).size(), 1u);
+  SearchFilter by_resp;
+  by_resp.tcp_seqs.insert(2'000);
+  EXPECT_EQ(store_.search(by_resp).size(), 1u);
+}
+
+TEST_F(SpanStoreTest, SearchByXRequestIdAndOtelId) {
+  agent::Span a = make_span(1, 100);
+  a.x_request_id = "xrid-1";
+  a.otel_trace_id = "deadbeef";
+  store_.insert(a);
+  SearchFilter filter;
+  filter.x_request_ids.insert("xrid-1");
+  EXPECT_EQ(store_.search(filter).size(), 1u);
+  SearchFilter otel;
+  otel.otel_trace_ids.insert("deadbeef");
+  EXPECT_EQ(store_.search(otel).size(), 1u);
+}
+
+TEST_F(SpanStoreTest, SearchUnionsWithoutDuplicates) {
+  agent::Span a = make_span(1, 100);
+  a.systrace_id = 42;
+  a.x_request_id = "xrid-1";
+  store_.insert(a);
+  SearchFilter filter;
+  filter.systrace_ids.insert(42);
+  filter.x_request_ids.insert("xrid-1");
+  EXPECT_EQ(store_.search(filter).size(), 1u);  // one span, two index hits
+}
+
+TEST_F(SpanStoreTest, PseudoThreadKeyIncludesHostAndPid) {
+  agent::Span a = make_span(1, 100);
+  a.pseudo_thread_id = 7;
+  agent::Span b = make_span(2, 200);
+  b.pseudo_thread_id = 7;
+  b.host = "node-2";  // same ptid on a different host: distinct key
+  store_.insert(a);
+  store_.insert(b);
+  SearchFilter filter;
+  filter.pseudo_thread_keys.insert(pseudo_thread_key(a));
+  EXPECT_EQ(store_.search(filter).size(), 1u);
+}
+
+TEST_F(SpanStoreTest, ZeroAttributesNotIndexed) {
+  // systrace 0, seq 0, empty strings must not pollute the indexes.
+  store_.insert(make_span(1, 100));
+  SearchFilter filter;
+  filter.systrace_ids.insert(0);
+  filter.tcp_seqs.insert(0);
+  filter.x_request_ids.insert("");
+  EXPECT_TRUE(store_.search(filter).empty());
+}
+
+TEST_F(SpanStoreTest, SpanListFiltersAndOrdersByTime) {
+  store_.insert(make_span(3, 300));
+  store_.insert(make_span(1, 100));
+  store_.insert(make_span(2, 200));
+  store_.insert(make_span(4, 999'999));
+  const auto in_window = store_.span_list(100, 300);
+  ASSERT_EQ(in_window.size(), 3u);
+  EXPECT_EQ(in_window[0], 1u);
+  EXPECT_EQ(in_window[1], 2u);
+  EXPECT_EQ(in_window[2], 3u);
+}
+
+TEST_F(SpanStoreTest, BlobBytesAccumulate) {
+  const auto vpc = registry_.create_vpc("v");
+  const auto node = registry_.create_node(vpc, "n");
+  registry_.create_pod(node, "p", Ipv4::parse("10.0.0.1"));
+  agent::Span span = make_span(1, 100);
+  span.int_tags.client_ip = Ipv4::parse("10.0.0.1").addr;
+  store_.insert(span);
+  EXPECT_GT(store_.blob_bytes(), 0u);
+  EXPECT_EQ(store_.encoder_name(), "smart");
+}
+
+TEST_F(SpanStoreTest, MaterializeDecodesTags) {
+  const auto vpc = registry_.create_vpc("v");
+  const auto node = registry_.create_node(vpc, "n");
+  registry_.create_pod(node, "pod-x", Ipv4::parse("10.0.0.1"));
+  agent::Span span = make_span(1, 100);
+  span.tuple.src_ip = Ipv4::parse("10.0.0.1");
+  span.int_tags.client_ip = span.tuple.src_ip.addr;
+  store_.insert(span);
+  const agent::Span loaded = store_.materialize(1);
+  bool found = false;
+  for (const auto& tag : loaded.tags) {
+    if (tag.key == "client.pod" && tag.value == "pod-x") found = true;
+  }
+  EXPECT_TRUE(found);
+  // Rows themselves keep no decoded tags.
+  EXPECT_TRUE(store_.row(1)->span.tags.empty());
+}
+
+}  // namespace
+}  // namespace deepflow::server

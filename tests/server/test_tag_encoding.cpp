@@ -1,0 +1,126 @@
+#include "server/tag_encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::server {
+namespace {
+
+class TagEncodingTest : public ::testing::Test {
+ protected:
+  TagEncodingTest() {
+    const auto vpc = registry_.create_vpc("prod", "eu-west");
+    const auto node = registry_.create_node(vpc, "node-7", "az-b");
+    const auto service = registry_.create_service(vpc, "checkout");
+    registry_.create_pod(node, "client-0", Ipv4::parse("10.0.0.1"), service,
+                         {{"version", "v1"}, {"team", "pay"}});
+    registry_.create_pod(node, "server-0", Ipv4::parse("10.0.0.2"), service,
+                         {{"version", "v2"}});
+    vpc_ = vpc;
+  }
+
+  agent::Span make_span() {
+    agent::Span span;
+    span.span_id = 1;
+    span.tuple = FiveTuple{Ipv4::parse("10.0.0.1"), Ipv4::parse("10.0.0.2"),
+                           40000, 80, L4Proto::kTcp};
+    span.int_tags.vpc_id = vpc_;
+    span.int_tags.client_ip = span.tuple.src_ip.addr;
+    span.int_tags.server_ip = span.tuple.dst_ip.addr;
+    return span;
+  }
+
+  netsim::ResourceRegistry registry_;
+  netsim::VpcId vpc_ = 0;
+};
+
+TEST_F(TagEncodingTest, MaterializeProducesFullTagSet) {
+  const auto tags = materialize_tags(make_span(), registry_);
+  EXPECT_GE(tags.size(), 12u);
+  const auto find = [&tags](const std::string& key) -> std::string {
+    for (const auto& t : tags) {
+      if (t.key == key) return t.value;
+    }
+    return {};
+  };
+  EXPECT_EQ(find("client.pod"), "client-0");
+  EXPECT_EQ(find("server.pod"), "server-0");
+  EXPECT_EQ(find("vpc"), "prod");
+  EXPECT_EQ(find("region"), "eu-west");
+  EXPECT_EQ(find("client.label.version"), "v1");
+  EXPECT_EQ(find("server.label.version"), "v2");
+  EXPECT_EQ(find("client.label.team"), "pay");
+}
+
+TEST_F(TagEncodingTest, EveryEncoderRoundTripsTheTags) {
+  const agent::Span span = make_span();
+  const auto reference = materialize_tags(span, registry_);
+  for (const EncoderKind kind :
+       {EncoderKind::kDirect, EncoderKind::kLowCardinality,
+        EncoderKind::kSmart}) {
+    auto encoder = make_encoder(kind);
+    const std::string blob = encoder->encode(span, registry_);
+    const auto decoded = encoder->decode(blob, span, registry_);
+    EXPECT_EQ(decoded, reference) << encoder->name();
+  }
+}
+
+TEST_F(TagEncodingTest, SmartBlobIsSmallestAndFixedWidth) {
+  const agent::Span span = make_span();
+  auto direct = make_encoder(EncoderKind::kDirect);
+  auto low_card = make_encoder(EncoderKind::kLowCardinality);
+  auto smart = make_encoder(EncoderKind::kSmart);
+  const size_t direct_size = direct->encode(span, registry_).size();
+  const size_t low_card_size = low_card->encode(span, registry_).size();
+  const size_t smart_size = smart->encode(span, registry_).size();
+  EXPECT_LT(smart_size, low_card_size);
+  EXPECT_LT(low_card_size, direct_size);
+  EXPECT_EQ(smart_size, 9 * sizeof(u32));  // pure integers, no strings
+}
+
+TEST_F(TagEncodingTest, LowCardinalityDictionaryAmortizes) {
+  const agent::Span span = make_span();
+  auto encoder = make_encoder(EncoderKind::kLowCardinality);
+  encoder->encode(span, registry_);
+  const u64 after_first = encoder->auxiliary_bytes();
+  for (int i = 0; i < 100; ++i) encoder->encode(span, registry_);
+  // Identical tag values: the dictionary must not grow.
+  EXPECT_EQ(encoder->auxiliary_bytes(), after_first);
+}
+
+TEST_F(TagEncodingTest, DirectEncoderHasNoAuxiliaryState) {
+  auto encoder = make_encoder(EncoderKind::kDirect);
+  encoder->encode(make_span(), registry_);
+  EXPECT_EQ(encoder->auxiliary_bytes(), 0u);
+}
+
+TEST_F(TagEncodingTest, UnknownEndpointsEncodeGracefully) {
+  agent::Span span = make_span();
+  span.tuple.dst_ip = Ipv4::parse("8.8.8.8");  // external endpoint
+  span.int_tags.server_ip = span.tuple.dst_ip.addr;
+  for (const EncoderKind kind :
+       {EncoderKind::kDirect, EncoderKind::kLowCardinality,
+        EncoderKind::kSmart}) {
+    auto encoder = make_encoder(kind);
+    const std::string blob = encoder->encode(span, registry_);
+    const auto decoded = encoder->decode(blob, span, registry_);
+    // Client-side tags still resolve; server-side ones are simply absent.
+    bool has_client_pod = false, has_server_pod = false;
+    for (const auto& t : decoded) {
+      if (t.key == "client.pod") has_client_pod = true;
+      if (t.key == "server.pod") has_server_pod = true;
+    }
+    EXPECT_TRUE(has_client_pod) << encoder->name();
+    EXPECT_FALSE(has_server_pod) << encoder->name();
+  }
+}
+
+TEST_F(TagEncodingTest, DirectDecoderIgnoresCorruptTail) {
+  auto encoder = make_encoder(EncoderKind::kDirect);
+  std::string blob = encoder->encode(make_span(), registry_);
+  blob += "garbage-without-separator";
+  const auto decoded = encoder->decode(blob, make_span(), registry_);
+  EXPECT_EQ(decoded, materialize_tags(make_span(), registry_));
+}
+
+}  // namespace
+}  // namespace deepflow::server

@@ -1,0 +1,119 @@
+#include "server/trace_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+namespace deepflow::server {
+namespace {
+
+AssembledSpan make(u64 id, u64 parent, bool server_side, TcpSeq seq,
+                   TimestampNs start, TimestampNs end,
+                   const std::string& host, const std::string& pod = {}) {
+  AssembledSpan s;
+  s.span.span_id = id;
+  s.span.parent_span_id = parent;
+  s.span.kind = agent::SpanKind::kSystem;
+  s.span.from_server_side = server_side;
+  s.span.req_tcp_seq = seq;
+  s.span.start_ts = start;
+  s.span.end_ts = end;
+  s.span.host = host;
+  s.span.pid = 1;
+  if (!pod.empty()) {
+    s.span.tags.push_back({server_side ? "server.pod" : "client.pod", pod});
+  }
+  return s;
+}
+
+TEST(TraceAnalysis, EmptyTrace) {
+  const TraceAnalysis a = analyze(AssembledTrace{});
+  EXPECT_EQ(a.total_ns, 0u);
+  EXPECT_TRUE(a.components.empty());
+}
+
+TEST(TraceAnalysis, SingleEdgeDecomposition) {
+  AssembledTrace trace;
+  // Client sees 1000us; server served for 600us => network 400us.
+  trace.spans.push_back(make(1, 0, false, 77, 0, 1'000'000, "n1", "client"));
+  trace.spans.push_back(make(2, 1, true, 77, 200'000, 800'000, "n2", "srv"));
+  const TraceAnalysis a = analyze(trace);
+  EXPECT_EQ(a.total_ns, 1'000'000u);
+  ASSERT_EQ(a.components.size(), 1u);
+  EXPECT_EQ(a.components[0].component, "srv");
+  EXPECT_EQ(a.components[0].self_ns, 600'000u);
+  ASSERT_EQ(a.edges.size(), 1u);
+  EXPECT_EQ(a.edges[0].network_ns, 400'000u);
+  EXPECT_EQ(a.compute_ns, 600'000u);
+}
+
+TEST(TraceAnalysis, NestedCallsSubtractFromSelfTime) {
+  AssembledTrace trace;
+  // srv-a handles for 1000us, of which 300us is a nested call to srv-b
+  // (server-side 200us -> network 100us).
+  trace.spans.push_back(make(1, 0, false, 10, 0, 1'200'000, "n1", "client"));
+  trace.spans.push_back(make(2, 1, true, 10, 100'000, 1'100'000, "n2", "srv-a"));
+  trace.spans.push_back(make(3, 2, false, 20, 400'000, 700'000, "n2", "srv-a"));
+  trace.spans.push_back(make(4, 3, true, 20, 450'000, 650'000, "n3", "srv-b"));
+  const TraceAnalysis a = analyze(trace);
+  ASSERT_EQ(a.components.size(), 2u);
+  // srv-a self = 1000us - 300us nested call = 700us.
+  EXPECT_EQ(a.components[0].component, "srv-a");
+  EXPECT_EQ(a.components[0].self_ns, 700'000u);
+  EXPECT_EQ(a.components[1].component, "srv-b");
+  EXPECT_EQ(a.components[1].self_ns, 200'000u);
+  // Two edges: client->srv-a (200us) and srv-a->srv-b (100us).
+  EXPECT_EQ(a.edges.size(), 2u);
+  EXPECT_EQ(a.network_ns, 300'000u);
+}
+
+TEST(TraceAnalysis, SlowComponentRanksFirst) {
+  // Full-pipeline check: plant a slowdown, confirm the analysis ranks the
+  // slowed pod first by self time.
+  workloads::Topology topo = workloads::make_spring_boot_demo();
+  topo.app->instance(topo.services.at("cart"), 0)->set_slowdown(20.0);
+  core::Deployment deepflow(topo.cluster.get());
+  ASSERT_TRUE(deepflow.deploy());
+  topo.app->run_constant_load(topo.entry, 10.0, 1 * kSecond);
+  deepflow.finish();
+
+  const auto starts = deepflow.server().find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kSystem && !s.from_server_side &&
+           s.endpoint == "/";
+  });
+  ASSERT_FALSE(starts.empty());
+  const TraceAnalysis a =
+      analyze(deepflow.server().query_trace(starts.front()));
+  ASSERT_FALSE(a.components.empty());
+  EXPECT_EQ(a.components.front().component, "cart-0");
+  // Decomposition accounts for most of the end-to-end time.
+  EXPECT_GT(a.compute_ns + a.network_ns, a.total_ns / 2);
+  EXPECT_LE(a.compute_ns + a.network_ns, a.total_ns + a.total_ns / 10);
+  // Render produces the expected sections.
+  const std::string rendered = a.render();
+  EXPECT_NE(rendered.find("component self-time"), std::string::npos);
+  EXPECT_NE(rendered.find("cart-0"), std::string::npos);
+}
+
+TEST(TraceAnalysis, NetworkHeavyTraceShowsEdgeTime) {
+  workloads::Topology topo = workloads::make_spring_boot_demo();
+  // Slow the ToR: every cross-node edge gains transit time.
+  topo.cluster->tor()->fault.extra_latency_ns = 2 * kMillisecond;
+  core::Deployment deepflow(topo.cluster.get());
+  ASSERT_TRUE(deepflow.deploy());
+  topo.app->run_constant_load(topo.entry, 10.0, 1 * kSecond);
+  deepflow.finish();
+  const auto starts = deepflow.server().find_spans([](const agent::Span& s) {
+    return s.kind == agent::SpanKind::kSystem && !s.from_server_side &&
+           s.endpoint == "/";
+  });
+  ASSERT_FALSE(starts.empty());
+  const TraceAnalysis a =
+      analyze(deepflow.server().query_trace(starts.front()));
+  // Network share dominates compute now (5 cross-node edges x 4ms RTT).
+  EXPECT_GT(a.network_ns, a.compute_ns);
+}
+
+}  // namespace
+}  // namespace deepflow::server

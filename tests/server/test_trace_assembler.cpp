@@ -1,0 +1,234 @@
+#include "server/trace_assembler.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::server {
+namespace {
+
+using agent::Span;
+using agent::SpanKind;
+
+/// Builds a synthetic request path: client sys span -> N net spans ->
+/// server sys span, all sharing one request TCP sequence.
+class AssemblerTest : public ::testing::Test {
+ protected:
+  AssemblerTest() : store_(EncoderKind::kSmart, &registry_) {}
+
+  Span base_span(u64 id, TimestampNs start, TimestampNs end) {
+    Span span;
+    span.span_id = id;
+    span.start_ts = start;
+    span.end_ts = end;
+    span.host = "node-1";
+    span.pid = 10;
+    return span;
+  }
+
+  Span client_span(u64 id, TcpSeq seq, TimestampNs start, TimestampNs end,
+                   SystraceId systrace = 0) {
+    Span span = base_span(id, start, end);
+    span.kind = SpanKind::kSystem;
+    span.from_server_side = false;
+    span.req_tcp_seq = seq;
+    span.systrace_id = systrace;
+    return span;
+  }
+
+  Span server_span(u64 id, TcpSeq seq, TimestampNs start, TimestampNs end,
+                   SystraceId systrace = 0) {
+    Span span = base_span(id, start, end);
+    span.kind = SpanKind::kSystem;
+    span.from_server_side = true;
+    span.req_tcp_seq = seq;
+    span.systrace_id = systrace;
+    span.host = "node-2";
+    span.pid = 20;
+    return span;
+  }
+
+  Span net_span(u64 id, TcpSeq seq, TimestampNs start, const char* device) {
+    Span span = base_span(id, start, start + 100);
+    span.kind = SpanKind::kNetwork;
+    span.req_tcp_seq = seq;
+    span.device_name = device;
+    span.host = "";
+    span.pid = 0;
+    return span;
+  }
+
+  netsim::ResourceRegistry registry_;
+  SpanStore store_;
+};
+
+TEST_F(AssemblerTest, UnknownStartYieldsEmptyTrace) {
+  TraceAssembler assembler(&store_);
+  EXPECT_TRUE(assembler.assemble(12345).spans.empty());
+}
+
+TEST_F(AssemblerTest, SingleSpanTrace) {
+  store_.insert(client_span(1, 100, 0, 1'000));
+  TraceAssembler assembler(&store_);
+  const AssembledTrace trace = assembler.assemble(1);
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_EQ(trace.spans[0].span.parent_span_id, 0u);
+  EXPECT_EQ(trace.roots(), std::vector<u64>{1});
+}
+
+TEST_F(AssemblerTest, TcpSeqChainsClientNetServer) {
+  store_.insert(client_span(1, 500, 0, 10'000));
+  store_.insert(net_span(2, 500, 1'000, "veth"));
+  store_.insert(net_span(3, 500, 2'000, "tor"));
+  store_.insert(server_span(4, 500, 3'000, 9'000));
+  TraceAssembler assembler(&store_);
+  const AssembledTrace trace = assembler.assemble(4);  // start anywhere
+  ASSERT_EQ(trace.spans.size(), 4u);
+  // Time-sorted output; parents follow the path order.
+  EXPECT_EQ(trace.spans[0].span.span_id, 1u);
+  EXPECT_EQ(trace.spans[1].span.parent_span_id, 1u);  // veth <- client
+  EXPECT_EQ(trace.spans[2].span.parent_span_id, 2u);  // tor <- veth
+  EXPECT_EQ(trace.spans[3].span.parent_span_id, 3u);  // server <- tor
+}
+
+TEST_F(AssemblerTest, ServerDirectlyUnderClientWithoutNetSpans) {
+  store_.insert(client_span(1, 500, 0, 10'000));
+  store_.insert(server_span(2, 500, 3'000, 9'000));
+  TraceAssembler assembler(&store_);
+  const AssembledTrace trace = assembler.assemble(1);
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_EQ(trace.spans[1].span.parent_span_id, 1u);
+  EXPECT_EQ(trace.spans[1].parent_rule, 4u);  // rule 4: direct client-server
+}
+
+TEST_F(AssemblerTest, SystraceNestsOutboundCallInHandler) {
+  // Server handles request (systrace 7) and makes a downstream call from
+  // the same host+pid within the handling window.
+  Span handler = server_span(1, 500, 0, 10'000, /*systrace=*/7);
+  Span call = client_span(2, 900, 2'000, 5'000, /*systrace=*/7);
+  call.host = handler.host;
+  call.pid = handler.pid;
+  store_.insert(handler);
+  store_.insert(call);
+  TraceAssembler assembler(&store_);
+  const AssembledTrace trace = assembler.assemble(2);
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_EQ(trace.spans[1].span.span_id, 2u);
+  EXPECT_EQ(trace.spans[1].span.parent_span_id, 1u);
+  EXPECT_EQ(trace.spans[1].parent_rule, 6u);  // rule 6: systrace nesting
+}
+
+TEST_F(AssemblerTest, XRequestIdBridgesProxyThreads) {
+  // Cross-thread proxy: inbound span and outbound span share only the
+  // X-Request-ID (different systrace ids, e.g. different worker threads).
+  Span inbound = server_span(1, 500, 0, 10'000, 7);
+  inbound.x_request_id = "xrid-1";
+  Span outbound = client_span(2, 900, 2'000, 5'000, 8);
+  outbound.host = inbound.host;
+  outbound.pid = inbound.pid;
+  outbound.x_request_id = "xrid-1";
+  store_.insert(inbound);
+  store_.insert(outbound);
+  TraceAssembler assembler(&store_);
+  const AssembledTrace trace = assembler.assemble(1);
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_EQ(trace.spans[1].span.parent_span_id, 1u);
+  EXPECT_EQ(trace.spans[1].parent_rule, 8u);
+}
+
+TEST_F(AssemblerTest, ThirdPartySpanNestsViaTraceId) {
+  Span sys = server_span(1, 500, 0, 10'000, 7);
+  sys.otel_trace_id = "abc123";
+  Span otel = base_span(2, 1'000, 9'000);
+  otel.kind = SpanKind::kThirdParty;
+  otel.otel_trace_id = "abc123";
+  otel.host = sys.host;
+  otel.pid = sys.pid;
+  store_.insert(sys);
+  store_.insert(otel);
+  TraceAssembler assembler(&store_);
+  const AssembledTrace trace = assembler.assemble(1);
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_EQ(trace.spans[1].span.parent_span_id, 1u);
+  EXPECT_EQ(trace.spans[1].parent_rule, 11u);
+}
+
+TEST_F(AssemblerTest, IterativeSearchFollowsTransitiveLinks) {
+  // start -> (systrace) -> call -> (tcp seq) -> downstream server: needs
+  // two search iterations to reach the third span.
+  Span handler = server_span(1, 500, 0, 20'000, 7);
+  Span call = client_span(2, 900, 2'000, 9'000, 7);
+  call.host = handler.host;
+  call.pid = handler.pid;
+  Span downstream = server_span(3, 900, 4'000, 8'000, 55);
+  downstream.host = "node-3";
+  store_.insert(handler);
+  store_.insert(call);
+  store_.insert(downstream);
+  TraceAssembler assembler(&store_);
+  const AssembledTrace trace = assembler.assemble(1);
+  EXPECT_EQ(trace.spans.size(), 3u);
+  EXPECT_GE(trace.iterations_used, 2u);
+}
+
+TEST_F(AssemblerTest, IterationCapBoundsSearch) {
+  // A long systrace/seq chain with a cap of 1 iteration stays partial.
+  Span handler = server_span(1, 500, 0, 20'000, 7);
+  Span call = client_span(2, 900, 2'000, 9'000, 7);
+  call.host = handler.host;
+  call.pid = handler.pid;
+  Span downstream = server_span(3, 900, 4'000, 8'000, 55);
+  store_.insert(handler);
+  store_.insert(call);
+  store_.insert(downstream);
+  TraceAssembler capped(&store_, AssemblerConfig{.max_iterations = 1});
+  EXPECT_LT(capped.assemble(1).spans.size(), 3u);
+  TraceAssembler full(&store_);
+  EXPECT_EQ(full.assemble(1).spans.size(), 3u);
+}
+
+TEST_F(AssemblerTest, UnrelatedSpansExcluded) {
+  store_.insert(client_span(1, 500, 0, 1'000, 7));
+  store_.insert(client_span(2, 999, 50'000, 60'000, 8));  // unrelated
+  TraceAssembler assembler(&store_);
+  EXPECT_EQ(assembler.assemble(1).spans.size(), 1u);
+}
+
+TEST_F(AssemblerTest, ParentGraphIsAcyclic) {
+  // Pathological: identical timestamps and shared keys everywhere.
+  for (u64 id = 1; id <= 5; ++id) {
+    Span span = client_span(id, 500, 1'000, 2'000, 7);
+    store_.insert(span);
+  }
+  TraceAssembler assembler(&store_);
+  const AssembledTrace trace = assembler.assemble(1);
+  ASSERT_EQ(trace.spans.size(), 5u);
+  // Walk each parent chain; it must terminate within N steps.
+  for (const auto& assembled : trace.spans) {
+    u64 current = assembled.span.span_id;
+    int hops = 0;
+    while (current != 0 && hops <= 5) {
+      u64 parent = 0;
+      for (const auto& other : trace.spans) {
+        if (other.span.span_id == current) {
+          parent = other.span.parent_span_id;
+          break;
+        }
+      }
+      current = parent;
+      ++hops;
+    }
+    EXPECT_LE(hops, 5);
+  }
+}
+
+TEST_F(AssemblerTest, RenderProducesIndentedTree) {
+  store_.insert(client_span(1, 500, 0, 10'000));
+  store_.insert(server_span(2, 500, 3'000, 9'000));
+  TraceAssembler assembler(&store_);
+  const std::string rendered = assembler.assemble(1).render();
+  EXPECT_NE(rendered.find("[sys]"), std::string::npos);
+  EXPECT_NE(rendered.find("(server)"), std::string::npos);
+  EXPECT_NE(rendered.find("  "), std::string::npos);  // indentation
+}
+
+}  // namespace
+}  // namespace deepflow::server

@@ -1,0 +1,179 @@
+#include "workloads/app.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/topologies.h"
+
+namespace deepflow::workloads {
+namespace {
+
+TEST(App, BuildPlacesReplicasAcrossNodes) {
+  netsim::Cluster cluster;
+  cluster.add_node("node-1");
+  cluster.add_node("node-2");
+  App app(&cluster);
+  ServiceSpec spec;
+  spec.name = "web";
+  spec.replicas = 4;
+  app.add_service(spec);
+  app.build();
+  EXPECT_EQ(cluster.registry().pod_count(), 4u);
+  // Round-robin placement: replicas alternate nodes.
+  EXPECT_NE(app.instance(0, 0)->pod().node, app.instance(0, 1)->pod().node);
+}
+
+TEST(App, LoadReachesOfferedRateWhenUnderProvisioned) {
+  Topology topo = make_nginx_single_vm();
+  const LoadResult result =
+      topo.app->run_constant_load(topo.entry, 100.0, 1 * kSecond);
+  EXPECT_EQ(result.sent, 100u);
+  EXPECT_EQ(result.completed, 100u);
+  EXPECT_NEAR(result.achieved_rps, 100.0, 1.0);
+  EXPECT_GT(result.latency.p50(), 0u);
+}
+
+TEST(App, ThroughputSaturatesAtCapacity) {
+  // nginx: 8 threads x ~1ms service => ~8k rps ceiling. Offer far more.
+  Topology topo = make_nginx_single_vm();
+  const LoadResult result =
+      topo.app->run_constant_load(topo.entry, 40'000.0, 500 * kMillisecond,
+                                  /*connections=*/64);
+  EXPECT_LT(result.achieved_rps, 20'000.0);
+  EXPECT_GT(result.achieved_rps, 2'000.0);
+  EXPECT_LT(result.completed, result.sent);
+}
+
+TEST(App, LatencyRisesUnderOverload) {
+  // Above the ~8k rps capacity (8 threads x ~1 ms) the backlog grows and
+  // completion latency climbs well past the unloaded service time.
+  Topology low = make_nginx_single_vm();
+  const LoadResult light =
+      low.app->run_constant_load(low.entry, 500.0, 1 * kSecond);
+  Topology high = make_nginx_single_vm();
+  const LoadResult heavy =
+      high.app->run_constant_load(high.entry, 9'500.0, 1 * kSecond);
+  EXPECT_GT(heavy.latency.p90(), 2 * light.latency.p90());
+  EXPECT_LT(heavy.achieved_rps, 9'000.0);
+}
+
+TEST(App, CallChainExecutesDownstream) {
+  Topology topo = make_spring_boot_demo();
+  topo.app->run_constant_load(topo.entry, 50.0, 1 * kSecond);
+  // Every service in the chain handled every request.
+  for (const auto& [name, index] : topo.services) {
+    u64 handled = 0;
+    for (ServiceInstance* instance : topo.app->instances_of(index)) {
+      handled += instance->handled();
+    }
+    EXPECT_EQ(handled, 50u) << name;
+  }
+}
+
+TEST(App, FaultyReplicaServesErrors) {
+  Topology topo = make_nginx_ingress_case(/*faulty_replica=*/0);
+  const LoadResult result =
+      topo.app->run_constant_load(topo.entry, 90.0, 1 * kSecond,
+                                  /*connections=*/3);
+  EXPECT_EQ(result.completed, 90u);
+  // The faulty replica answered (with 404s) but never called downstream:
+  // web handled fewer requests than ingress.
+  u64 ingress_handled = 0;
+  for (auto* i : topo.app->instances_of(topo.services.at("nginx-ingress"))) {
+    ingress_handled += i->handled();
+  }
+  u64 web_handled = 0;
+  for (auto* i : topo.app->instances_of(topo.services.at("web"))) {
+    web_handled += i->handled();
+  }
+  EXPECT_EQ(ingress_handled, 90u);
+  EXPECT_EQ(web_handled, 90u);  // faulty pod still forwards; 404 happens at ingress
+}
+
+TEST(App, InstrumentationExportsSpans) {
+  Topology topo = make_spring_boot_demo();
+  std::vector<agent::Span> exported;
+  topo.app->instrument(topo.services.at("front"),
+                       [&](agent::Span&& s) { exported.push_back(std::move(s)); });
+  topo.app->run_constant_load(topo.entry, 20.0, 1 * kSecond);
+  EXPECT_EQ(exported.size(), 20u);
+  for (const auto& span : exported) {
+    EXPECT_EQ(span.kind, agent::SpanKind::kThirdParty);
+    EXPECT_FALSE(span.otel_trace_id.empty());
+  }
+}
+
+TEST(App, InstrumentedChainSharesTraceIds) {
+  Topology topo = make_spring_boot_demo();
+  std::vector<agent::Span> exported;
+  const auto sink = [&](agent::Span&& s) { exported.push_back(std::move(s)); };
+  // Instrument the full HTTP chain: context propagates via traceparent.
+  for (const char* name : {"gateway", "front", "cart", "product"}) {
+    topo.app->instrument(topo.services.at(name), sink);
+  }
+  topo.app->run_constant_load(topo.entry, 5.0, 1 * kSecond);
+  ASSERT_EQ(exported.size(), 20u);  // 4 instrumented services x 5 requests
+  // Group by trace id: each trace must contain all 4 services' spans.
+  std::map<std::string, int> by_trace;
+  for (const auto& span : exported) ++by_trace[span.otel_trace_id];
+  EXPECT_EQ(by_trace.size(), 5u);
+  for (const auto& [trace_id, count] : by_trace) EXPECT_EQ(count, 4);
+}
+
+TEST(App, SdkCostSlowsInstrumentedService) {
+  Topology plain = make_nginx_single_vm();
+  const LoadResult base =
+      plain.app->run_constant_load(plain.entry, 7'000.0, 1 * kSecond, 64);
+
+  Topology traced = make_nginx_single_vm();
+  otelsim::TracerConfig expensive;
+  expensive.cost_per_span_ns = 300 * kMicrosecond;
+  traced.app->instrument(traced.services.at("nginx"), [](agent::Span&&) {},
+                         expensive);
+  const LoadResult with_sdk =
+      traced.app->run_constant_load(traced.entry, 7'000.0, 1 * kSecond, 64);
+  EXPECT_LT(with_sdk.achieved_rps, base.achieved_rps);
+}
+
+TEST(App, ResetFaultFailsRequests) {
+  Topology topo = make_mq_pipeline();
+  // Reset every message crossing the rabbitmq pod's veth.
+  topo.app->instance(topo.services.at("rabbitmq"), 0)
+      ->pod()
+      .veth->fault.reset_probability = 1.0;
+  const LoadResult result =
+      topo.app->run_constant_load(topo.entry, 20.0, 1 * kSecond);
+  // Orders still respond (degraded 502s count as completions at the load
+  // generator) or fail outright; either way the MQ leg failed.
+  u64 failed_calls = 0;
+  for (auto* i : topo.app->instances_of(topo.services.at("orders"))) {
+    failed_calls += i->failed_calls();
+  }
+  EXPECT_GT(failed_calls + result.failed, 0u);
+}
+
+TEST(App, CoroutineServicesHandleConcurrency) {
+  Topology topo = make_ecommerce();
+  const LoadResult result =
+      topo.app->run_constant_load(topo.entry, 200.0, 1 * kSecond);
+  EXPECT_EQ(result.completed, 200u);
+  u64 handled = 0;
+  for (auto* i : topo.app->instances_of(topo.services.at("inventory"))) {
+    handled += i->handled();
+  }
+  EXPECT_EQ(handled, 200u);
+}
+
+TEST(App, PolyglotTopologyServesAllProtocols) {
+  Topology topo = make_polyglot();
+  const LoadResult result =
+      topo.app->run_constant_load(topo.entry, 50.0, 1 * kSecond);
+  EXPECT_EQ(result.completed, 50u);
+  for (const auto& [name, index] : topo.services) {
+    u64 handled = 0;
+    for (auto* i : topo.app->instances_of(index)) handled += i->handled();
+    EXPECT_EQ(handled, 50u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace deepflow::workloads

@@ -1,0 +1,138 @@
+#include "workloads/microservice.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+namespace deepflow::workloads {
+namespace {
+
+TEST(Microservice, ProxyMintsUniqueXRequestIds) {
+  // Proxies generate X-Request-IDs for requests lacking one; every request
+  // gets a distinct id (the cross-thread association key must not alias).
+  Topology topo = make_nginx_ingress_case(/*faulty_replica=*/99);  // healthy
+  core::Deployment deepflow(topo.cluster.get());
+  ASSERT_TRUE(deepflow.deploy());
+  topo.app->run_constant_load(topo.entry, 30.0, 1 * kSecond);
+  deepflow.finish();
+
+  std::set<std::string> xrids;
+  size_t spans_with_xrid = 0;
+  for (const u64 id : deepflow.server().find_spans([](const agent::Span& s) {
+         return !s.x_request_id.empty() &&
+                s.kind == agent::SpanKind::kSystem;
+       })) {
+    xrids.insert(deepflow.server().store().row(id)->span.x_request_id);
+    ++spans_with_xrid;
+  }
+  EXPECT_EQ(xrids.size(), 30u);      // one id per request
+  EXPECT_GT(spans_with_xrid, 30u);   // shared by multiple spans per request
+}
+
+TEST(Microservice, BacklogPreservesRequestOrderPerConnection) {
+  // A single-threaded slow service must answer queued requests in arrival
+  // order (response seqs rise monotonically with request seqs).
+  netsim::Cluster cluster;
+  cluster.add_node("node-1");
+  App app(&cluster);
+  ServiceSpec slow;
+  slow.name = "slow";
+  slow.threads = 1;
+  slow.compute_ns = 5 * kMillisecond;
+  slow.compute_jitter = 0.0;
+  const size_t slow_id = app.add_service(slow);
+  app.build();
+
+  const LoadResult result =
+      app.run_constant_load(slow_id, 400.0, 500 * kMillisecond,
+                            /*connections=*/8);
+  // 200 arrivals against ~200/s capacity: the backlog grows through the
+  // window, so later completions wait longer (p90 >> p50) and not all
+  // arrivals complete in-window.
+  EXPECT_LT(result.completed, result.sent);
+  EXPECT_GT(result.completed, 50u);
+  EXPECT_GT(result.latency.p90(), result.latency.p50() + kMillisecond);
+}
+
+TEST(Microservice, FaultStatusDoesNotStopDownstreamCalls) {
+  // The faulty §4.1.1 pod still proxies; only its final status changes.
+  Topology topo = make_nginx_ingress_case(/*faulty_replica=*/0);
+  topo.app->run_constant_load(topo.entry, 30.0, 1 * kSecond, /*connections=*/3);
+  u64 web_handled = 0;
+  for (auto* i : topo.app->instances_of(topo.services.at("web"))) {
+    web_handled += i->handled();
+  }
+  EXPECT_EQ(web_handled, 30u);
+}
+
+TEST(Microservice, SlowdownInflatesOnlyThatReplica) {
+  Topology topo = make_nginx_ingress_case(/*faulty_replica=*/99);
+  topo.app->instance(topo.services.at("api"), 0)->set_slowdown(50.0);
+  core::Deployment deepflow(topo.cluster.get());
+  ASSERT_TRUE(deepflow.deploy());
+  topo.app->run_constant_load(topo.entry, 20.0, 2 * kSecond);
+  deepflow.finish();
+
+  // Compare server-side span durations of api-0 vs api-1 via pod tags.
+  DurationNs slow_total = 0, fast_total = 0;
+  size_t slow_n = 0, fast_n = 0;
+  for (const u64 id : deepflow.server().find_spans([](const agent::Span& s) {
+         return s.from_server_side && s.kind == agent::SpanKind::kSystem;
+       })) {
+    const agent::Span span = deepflow.server().store().materialize(id);
+    for (const auto& tag : span.tags) {
+      if (tag.key != "server.pod") continue;
+      if (tag.value == "api-0") {
+        slow_total += span.duration();
+        ++slow_n;
+      } else if (tag.value == "api-1") {
+        fast_total += span.duration();
+        ++fast_n;
+      }
+    }
+  }
+  ASSERT_GT(slow_n, 0u);
+  ASSERT_GT(fast_n, 0u);
+  EXPECT_GT(slow_total / slow_n, 10 * (fast_total / fast_n));
+}
+
+TEST(Microservice, DeadPathsFailFastAfterReset) {
+  // After a connection reset, subsequent calls over the dead link fail
+  // without hanging the caller's thread forever.
+  Topology topo = make_mq_pipeline();
+  topo.app->instance(topo.services.at("rabbitmq"), 0)
+      ->pod()
+      .veth->fault.reset_probability = 1.0;
+  const LoadResult result =
+      topo.app->run_constant_load(topo.entry, 30.0, 1 * kSecond);
+  // orders responds 502 once the MQ leg is known-dead; requests complete.
+  u64 orders_handled = 0;
+  for (auto* i : topo.app->instances_of(topo.services.at("orders"))) {
+    orders_handled += i->handled();
+  }
+  EXPECT_GT(orders_handled + result.failed, 25u);
+}
+
+TEST(Microservice, CoroutinePseudoThreadsAreUniquePerRequest) {
+  Topology topo = make_ecommerce();
+  core::Deployment deepflow(topo.cluster.get());
+  ASSERT_TRUE(deepflow.deploy());
+  topo.app->run_constant_load(topo.entry, 20.0, 1 * kSecond);
+  deepflow.finish();
+  // inventory is coroutine-based: each of the 20 requests gets one root
+  // coroutine. Coroutine ids are only unique per kernel (per host), which
+  // is exactly why the server indexes pseudo-threads by (host, pid, ptid);
+  // counting (host, id) pairs must therefore yield one per request.
+  std::set<std::pair<std::string, PseudoThreadId>> pseudo_ids;
+  for (const u64 id : deepflow.server().find_spans([](const agent::Span& s) {
+         return s.pseudo_thread_id != 0 && s.from_server_side;
+       })) {
+    const agent::Span& span = deepflow.server().store().row(id)->span;
+    pseudo_ids.emplace(span.host, span.pseudo_thread_id);
+  }
+  EXPECT_EQ(pseudo_ids.size(), 20u);
+}
+
+}  // namespace
+}  // namespace deepflow::workloads

@@ -1,0 +1,89 @@
+#include "otelsim/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepflow::otelsim {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  ExportSink sink() {
+    return [this](agent::Span&& s) { exported_.push_back(std::move(s)); };
+  }
+  std::vector<agent::Span> exported_;
+};
+
+TEST_F(TracerTest, FreshTraceGetsNewTraceId) {
+  Tracer tracer("svc", "node-1", 10, sink());
+  const ActiveSpan span = tracer.start_span("handle", "", 1'000);
+  EXPECT_EQ(span.trace_id.size(), 32u);
+  EXPECT_EQ(span.parent_span_id, 0u);
+}
+
+TEST_F(TracerTest, InjectedContextIsW3CShaped) {
+  Tracer tracer("svc", "node-1", 10, sink());
+  const ActiveSpan span = tracer.start_span("handle", "", 1'000);
+  const std::string header = tracer.inject(span);
+  EXPECT_EQ(header.size(), 55u);
+  EXPECT_TRUE(header.starts_with("00-"));
+  EXPECT_EQ(Tracer::trace_id_of(header), span.trace_id);
+}
+
+TEST_F(TracerTest, ContextPropagatesAcrossServices) {
+  // Explicit context propagation: the downstream span inherits the trace
+  // id and records the upstream span as parent.
+  Tracer upstream("gateway", "node-1", 10, sink());
+  Tracer downstream("backend", "node-2", 20, sink());
+  const ActiveSpan parent = upstream.start_span("gw", "", 0);
+  const std::string header = upstream.inject(parent);
+  const ActiveSpan child = downstream.start_span("be", header, 100);
+  EXPECT_EQ(child.trace_id, parent.trace_id);
+  EXPECT_EQ(child.parent_span_id, parent.span_id);
+}
+
+TEST_F(TracerTest, ExportedSpanIsThirdPartyKind) {
+  Tracer tracer("svc", "node-1", 10, sink());
+  const ActiveSpan span = tracer.start_span("op", "", 1'000);
+  tracer.end_span(span, 5'000, /*ok=*/false, /*status=*/500);
+  ASSERT_EQ(exported_.size(), 1u);
+  const agent::Span& out = exported_[0];
+  EXPECT_EQ(out.kind, agent::SpanKind::kThirdParty);
+  EXPECT_EQ(out.otel_trace_id, span.trace_id);
+  EXPECT_EQ(out.start_ts, 1'000u);
+  EXPECT_EQ(out.end_ts, 5'000u);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.status_code, 500u);
+  EXPECT_EQ(out.host, "node-1");
+  EXPECT_EQ(out.pid, 10u);
+}
+
+TEST_F(TracerTest, DistinctTracesDistinctIds) {
+  Tracer tracer("svc", "node-1", 10, sink());
+  const ActiveSpan a = tracer.start_span("op", "", 0);
+  const ActiveSpan b = tracer.start_span("op", "", 0);
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_NE(a.span_id, b.span_id);
+}
+
+TEST_F(TracerTest, MalformedInboundContextStartsFresh) {
+  Tracer tracer("svc", "node-1", 10, sink());
+  for (const char* bad : {"", "garbage", "01-abc-def-00", "00-short-x-01"}) {
+    const ActiveSpan span = tracer.start_span("op", bad, 0);
+    EXPECT_EQ(span.trace_id.size(), 32u) << bad;
+    EXPECT_EQ(span.parent_span_id, 0u) << bad;
+  }
+}
+
+TEST_F(TracerTest, ExportCountTracked) {
+  Tracer tracer("svc", "node-1", 10, sink());
+  for (int i = 0; i < 3; ++i) {
+    tracer.end_span(tracer.start_span("op", "", 0), 10);
+  }
+  EXPECT_EQ(tracer.spans_exported(), 3u);
+  EXPECT_EQ(exported_.size(), 3u);
+}
+
+}  // namespace
+}  // namespace deepflow::otelsim

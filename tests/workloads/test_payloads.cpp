@@ -1,0 +1,92 @@
+#include "workloads/payloads.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow::workloads {
+namespace {
+
+using protocols::L7Protocol;
+
+constexpr L7Protocol kAll[] = {
+    L7Protocol::kHttp1, L7Protocol::kHttp2, L7Protocol::kDns,
+    L7Protocol::kRedis, L7Protocol::kMysql, L7Protocol::kKafka,
+    L7Protocol::kMqtt,  L7Protocol::kDubbo, L7Protocol::kAmqp};
+
+class PayloadRoundTrip : public ::testing::TestWithParam<L7Protocol> {};
+
+TEST_P(PayloadRoundTrip, RequestParsesBack) {
+  const L7Protocol proto = GetParam();
+  RequestContext ctx;
+  const std::string payload = build_request_payload(proto, "orders", 5, ctx);
+  const InboundRequest inbound = parse_inbound(proto, payload);
+  // Endpoint survives for protocols that carry one.
+  if (proto != L7Protocol::kMysql) {
+    EXPECT_NE(inbound.endpoint.find("orders"), std::string::npos) << (int)proto;
+  }
+}
+
+TEST_P(PayloadRoundTrip, StreamIdSurvivesForParallelProtocols) {
+  const L7Protocol proto = GetParam();
+  RequestContext ctx;
+  const std::string req = build_request_payload(proto, "x", 5, ctx);
+  const std::string resp = build_response_payload(proto, 200, 5, ctx);
+  if (proto == L7Protocol::kHttp2 || proto == L7Protocol::kDns ||
+      proto == L7Protocol::kKafka || proto == L7Protocol::kDubbo) {
+    EXPECT_EQ(parse_inbound(proto, req).stream_id, 5u);
+    EXPECT_EQ(response_stream_id(proto, resp), 5u);
+  }
+}
+
+TEST_P(PayloadRoundTrip, ResponseOkMirrorsStatus) {
+  const L7Protocol proto = GetParam();
+  RequestContext ctx;
+  EXPECT_TRUE(response_ok(proto, build_response_payload(proto, 200, 1, ctx)));
+  if (proto != L7Protocol::kMqtt) {  // PUBACK has no error form in our codec
+    EXPECT_FALSE(
+        response_ok(proto, build_response_payload(proto, 500, 1, ctx)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, PayloadRoundTrip, ::testing::ValuesIn(kAll),
+    [](const auto& info) {
+      return std::string(protocols::l7_protocol_name(info.param));
+    });
+
+TEST(Payloads, HttpCarriesContextHeaders) {
+  RequestContext ctx;
+  ctx.x_request_id = "xrid-7";
+  ctx.traceparent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  for (const L7Protocol proto : {L7Protocol::kHttp1, L7Protocol::kHttp2}) {
+    const InboundRequest inbound =
+        parse_inbound(proto, build_request_payload(proto, "/", 1, ctx));
+    EXPECT_EQ(inbound.x_request_id, "xrid-7");
+    EXPECT_EQ(inbound.traceparent, ctx.traceparent);
+  }
+}
+
+TEST(Payloads, NonHttpProtocolsDropContextHeaders) {
+  // The real-world limitation implicit propagation works around: most
+  // protocols cannot carry framework headers.
+  RequestContext ctx;
+  ctx.x_request_id = "xrid-7";
+  ctx.traceparent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  for (const L7Protocol proto :
+       {L7Protocol::kRedis, L7Protocol::kMysql, L7Protocol::kDns,
+        L7Protocol::kKafka, L7Protocol::kMqtt, L7Protocol::kDubbo,
+        L7Protocol::kAmqp}) {
+    const InboundRequest inbound =
+        parse_inbound(proto, build_request_payload(proto, "k", 1, ctx));
+    EXPECT_TRUE(inbound.x_request_id.empty()) << (int)proto;
+    EXPECT_TRUE(inbound.traceparent.empty()) << (int)proto;
+  }
+}
+
+TEST(Payloads, UnknownProtocolYieldsPlaceholder) {
+  RequestContext ctx;
+  EXPECT_EQ(build_request_payload(L7Protocol::kUnknown, "/", 1, ctx), "?");
+  EXPECT_TRUE(parse_inbound(L7Protocol::kUnknown, "anything").endpoint.empty());
+}
+
+}  // namespace
+}  // namespace deepflow::workloads

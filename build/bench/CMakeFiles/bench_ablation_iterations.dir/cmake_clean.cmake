@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_iterations.dir/bench_ablation_iterations.cpp.o"
+  "CMakeFiles/bench_ablation_iterations.dir/bench_ablation_iterations.cpp.o.d"
+  "bench_ablation_iterations"
+  "bench_ablation_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

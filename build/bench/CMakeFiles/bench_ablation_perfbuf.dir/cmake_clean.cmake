@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_perfbuf.dir/bench_ablation_perfbuf.cpp.o"
+  "CMakeFiles/bench_ablation_perfbuf.dir/bench_ablation_perfbuf.cpp.o.d"
+  "bench_ablation_perfbuf"
+  "bench_ablation_perfbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_perfbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

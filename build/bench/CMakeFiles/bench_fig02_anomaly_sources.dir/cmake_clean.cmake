@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_anomaly_sources.dir/bench_fig02_anomaly_sources.cpp.o"
+  "CMakeFiles/bench_fig02_anomaly_sources.dir/bench_fig02_anomaly_sources.cpp.o.d"
+  "bench_fig02_anomaly_sources"
+  "bench_fig02_anomaly_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_anomaly_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

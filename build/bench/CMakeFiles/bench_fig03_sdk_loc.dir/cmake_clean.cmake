@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_sdk_loc.dir/bench_fig03_sdk_loc.cpp.o"
+  "CMakeFiles/bench_fig03_sdk_loc.dir/bench_fig03_sdk_loc.cpp.o.d"
+  "bench_fig03_sdk_loc"
+  "bench_fig03_sdk_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_sdk_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

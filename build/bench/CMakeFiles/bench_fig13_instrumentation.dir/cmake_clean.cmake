@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_instrumentation.dir/bench_fig13_instrumentation.cpp.o"
+  "CMakeFiles/bench_fig13_instrumentation.dir/bench_fig13_instrumentation.cpp.o.d"
+  "bench_fig13_instrumentation"
+  "bench_fig13_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

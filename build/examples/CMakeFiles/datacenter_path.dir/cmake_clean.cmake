@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_path.dir/datacenter_path.cpp.o"
+  "CMakeFiles/datacenter_path.dir/datacenter_path.cpp.o.d"
+  "datacenter_path"
+  "datacenter_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

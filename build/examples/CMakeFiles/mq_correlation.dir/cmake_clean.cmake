@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mq_correlation.dir/mq_correlation.cpp.o"
+  "CMakeFiles/mq_correlation.dir/mq_correlation.cpp.o.d"
+  "mq_correlation"
+  "mq_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mq_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nginx_404_debugging.dir/nginx_404_debugging.cpp.o"
+  "CMakeFiles/nginx_404_debugging.dir/nginx_404_debugging.cpp.o.d"
+  "nginx_404_debugging"
+  "nginx_404_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nginx_404_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/agent.cpp" "src/agent/CMakeFiles/df_agent.dir/agent.cpp.o" "gcc" "src/agent/CMakeFiles/df_agent.dir/agent.cpp.o.d"
+  "/root/repo/src/agent/collector.cpp" "src/agent/CMakeFiles/df_agent.dir/collector.cpp.o" "gcc" "src/agent/CMakeFiles/df_agent.dir/collector.cpp.o.d"
+  "/root/repo/src/agent/flow_inference.cpp" "src/agent/CMakeFiles/df_agent.dir/flow_inference.cpp.o" "gcc" "src/agent/CMakeFiles/df_agent.dir/flow_inference.cpp.o.d"
+  "/root/repo/src/agent/session_aggregator.cpp" "src/agent/CMakeFiles/df_agent.dir/session_aggregator.cpp.o" "gcc" "src/agent/CMakeFiles/df_agent.dir/session_aggregator.cpp.o.d"
+  "/root/repo/src/agent/span_builder.cpp" "src/agent/CMakeFiles/df_agent.dir/span_builder.cpp.o" "gcc" "src/agent/CMakeFiles/df_agent.dir/span_builder.cpp.o.d"
+  "/root/repo/src/agent/systrace.cpp" "src/agent/CMakeFiles/df_agent.dir/systrace.cpp.o" "gcc" "src/agent/CMakeFiles/df_agent.dir/systrace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/df_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/df_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/df_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/df_protocols.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

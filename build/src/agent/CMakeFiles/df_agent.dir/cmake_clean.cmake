@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_agent.dir/agent.cpp.o"
+  "CMakeFiles/df_agent.dir/agent.cpp.o.d"
+  "CMakeFiles/df_agent.dir/collector.cpp.o"
+  "CMakeFiles/df_agent.dir/collector.cpp.o.d"
+  "CMakeFiles/df_agent.dir/flow_inference.cpp.o"
+  "CMakeFiles/df_agent.dir/flow_inference.cpp.o.d"
+  "CMakeFiles/df_agent.dir/session_aggregator.cpp.o"
+  "CMakeFiles/df_agent.dir/session_aggregator.cpp.o.d"
+  "CMakeFiles/df_agent.dir/span_builder.cpp.o"
+  "CMakeFiles/df_agent.dir/span_builder.cpp.o.d"
+  "CMakeFiles/df_agent.dir/systrace.cpp.o"
+  "CMakeFiles/df_agent.dir/systrace.cpp.o.d"
+  "libdf_agent.a"
+  "libdf_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

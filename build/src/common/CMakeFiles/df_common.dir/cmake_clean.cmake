@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_common.dir/five_tuple.cpp.o"
+  "CMakeFiles/df_common.dir/five_tuple.cpp.o.d"
+  "CMakeFiles/df_common.dir/histogram.cpp.o"
+  "CMakeFiles/df_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/df_common.dir/logging.cpp.o"
+  "CMakeFiles/df_common.dir/logging.cpp.o.d"
+  "libdf_common.a"
+  "libdf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

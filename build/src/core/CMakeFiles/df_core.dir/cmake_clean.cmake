@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_core.dir/deployment.cpp.o"
+  "CMakeFiles/df_core.dir/deployment.cpp.o.d"
+  "libdf_core.a"
+  "libdf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_ebpf.dir/loader.cpp.o"
+  "CMakeFiles/df_ebpf.dir/loader.cpp.o.d"
+  "CMakeFiles/df_ebpf.dir/verifier.cpp.o"
+  "CMakeFiles/df_ebpf.dir/verifier.cpp.o.d"
+  "libdf_ebpf.a"
+  "libdf_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

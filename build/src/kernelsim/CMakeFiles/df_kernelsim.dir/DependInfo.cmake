@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernelsim/hook.cpp" "src/kernelsim/CMakeFiles/df_kernelsim.dir/hook.cpp.o" "gcc" "src/kernelsim/CMakeFiles/df_kernelsim.dir/hook.cpp.o.d"
+  "/root/repo/src/kernelsim/kernel.cpp" "src/kernelsim/CMakeFiles/df_kernelsim.dir/kernel.cpp.o" "gcc" "src/kernelsim/CMakeFiles/df_kernelsim.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernelsim/task.cpp" "src/kernelsim/CMakeFiles/df_kernelsim.dir/task.cpp.o" "gcc" "src/kernelsim/CMakeFiles/df_kernelsim.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

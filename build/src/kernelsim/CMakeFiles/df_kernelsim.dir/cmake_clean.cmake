@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_kernelsim.dir/hook.cpp.o"
+  "CMakeFiles/df_kernelsim.dir/hook.cpp.o.d"
+  "CMakeFiles/df_kernelsim.dir/kernel.cpp.o"
+  "CMakeFiles/df_kernelsim.dir/kernel.cpp.o.d"
+  "CMakeFiles/df_kernelsim.dir/task.cpp.o"
+  "CMakeFiles/df_kernelsim.dir/task.cpp.o.d"
+  "libdf_kernelsim.a"
+  "libdf_kernelsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_kernelsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

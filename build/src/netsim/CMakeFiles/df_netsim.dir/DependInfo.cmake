@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/cluster.cpp" "src/netsim/CMakeFiles/df_netsim.dir/cluster.cpp.o" "gcc" "src/netsim/CMakeFiles/df_netsim.dir/cluster.cpp.o.d"
+  "/root/repo/src/netsim/fabric.cpp" "src/netsim/CMakeFiles/df_netsim.dir/fabric.cpp.o" "gcc" "src/netsim/CMakeFiles/df_netsim.dir/fabric.cpp.o.d"
+  "/root/repo/src/netsim/resource.cpp" "src/netsim/CMakeFiles/df_netsim.dir/resource.cpp.o" "gcc" "src/netsim/CMakeFiles/df_netsim.dir/resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/df_kernelsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_netsim.dir/cluster.cpp.o"
+  "CMakeFiles/df_netsim.dir/cluster.cpp.o.d"
+  "CMakeFiles/df_netsim.dir/fabric.cpp.o"
+  "CMakeFiles/df_netsim.dir/fabric.cpp.o.d"
+  "CMakeFiles/df_netsim.dir/resource.cpp.o"
+  "CMakeFiles/df_netsim.dir/resource.cpp.o.d"
+  "libdf_netsim.a"
+  "libdf_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

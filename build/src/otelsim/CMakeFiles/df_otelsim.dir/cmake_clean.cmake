@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_otelsim.dir/tracer.cpp.o"
+  "CMakeFiles/df_otelsim.dir/tracer.cpp.o.d"
+  "libdf_otelsim.a"
+  "libdf_otelsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_otelsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/amqp.cpp" "src/protocols/CMakeFiles/df_protocols.dir/amqp.cpp.o" "gcc" "src/protocols/CMakeFiles/df_protocols.dir/amqp.cpp.o.d"
+  "/root/repo/src/protocols/dns.cpp" "src/protocols/CMakeFiles/df_protocols.dir/dns.cpp.o" "gcc" "src/protocols/CMakeFiles/df_protocols.dir/dns.cpp.o.d"
+  "/root/repo/src/protocols/dubbo.cpp" "src/protocols/CMakeFiles/df_protocols.dir/dubbo.cpp.o" "gcc" "src/protocols/CMakeFiles/df_protocols.dir/dubbo.cpp.o.d"
+  "/root/repo/src/protocols/http1.cpp" "src/protocols/CMakeFiles/df_protocols.dir/http1.cpp.o" "gcc" "src/protocols/CMakeFiles/df_protocols.dir/http1.cpp.o.d"
+  "/root/repo/src/protocols/http2.cpp" "src/protocols/CMakeFiles/df_protocols.dir/http2.cpp.o" "gcc" "src/protocols/CMakeFiles/df_protocols.dir/http2.cpp.o.d"
+  "/root/repo/src/protocols/kafka.cpp" "src/protocols/CMakeFiles/df_protocols.dir/kafka.cpp.o" "gcc" "src/protocols/CMakeFiles/df_protocols.dir/kafka.cpp.o.d"
+  "/root/repo/src/protocols/mqtt.cpp" "src/protocols/CMakeFiles/df_protocols.dir/mqtt.cpp.o" "gcc" "src/protocols/CMakeFiles/df_protocols.dir/mqtt.cpp.o.d"
+  "/root/repo/src/protocols/mysql.cpp" "src/protocols/CMakeFiles/df_protocols.dir/mysql.cpp.o" "gcc" "src/protocols/CMakeFiles/df_protocols.dir/mysql.cpp.o.d"
+  "/root/repo/src/protocols/redis.cpp" "src/protocols/CMakeFiles/df_protocols.dir/redis.cpp.o" "gcc" "src/protocols/CMakeFiles/df_protocols.dir/redis.cpp.o.d"
+  "/root/repo/src/protocols/registry.cpp" "src/protocols/CMakeFiles/df_protocols.dir/registry.cpp.o" "gcc" "src/protocols/CMakeFiles/df_protocols.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

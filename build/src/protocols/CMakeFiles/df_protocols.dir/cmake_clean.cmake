@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_protocols.dir/amqp.cpp.o"
+  "CMakeFiles/df_protocols.dir/amqp.cpp.o.d"
+  "CMakeFiles/df_protocols.dir/dns.cpp.o"
+  "CMakeFiles/df_protocols.dir/dns.cpp.o.d"
+  "CMakeFiles/df_protocols.dir/dubbo.cpp.o"
+  "CMakeFiles/df_protocols.dir/dubbo.cpp.o.d"
+  "CMakeFiles/df_protocols.dir/http1.cpp.o"
+  "CMakeFiles/df_protocols.dir/http1.cpp.o.d"
+  "CMakeFiles/df_protocols.dir/http2.cpp.o"
+  "CMakeFiles/df_protocols.dir/http2.cpp.o.d"
+  "CMakeFiles/df_protocols.dir/kafka.cpp.o"
+  "CMakeFiles/df_protocols.dir/kafka.cpp.o.d"
+  "CMakeFiles/df_protocols.dir/mqtt.cpp.o"
+  "CMakeFiles/df_protocols.dir/mqtt.cpp.o.d"
+  "CMakeFiles/df_protocols.dir/mysql.cpp.o"
+  "CMakeFiles/df_protocols.dir/mysql.cpp.o.d"
+  "CMakeFiles/df_protocols.dir/redis.cpp.o"
+  "CMakeFiles/df_protocols.dir/redis.cpp.o.d"
+  "CMakeFiles/df_protocols.dir/registry.cpp.o"
+  "CMakeFiles/df_protocols.dir/registry.cpp.o.d"
+  "libdf_protocols.a"
+  "libdf_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/server.cpp" "src/server/CMakeFiles/df_server.dir/server.cpp.o" "gcc" "src/server/CMakeFiles/df_server.dir/server.cpp.o.d"
+  "/root/repo/src/server/span_store.cpp" "src/server/CMakeFiles/df_server.dir/span_store.cpp.o" "gcc" "src/server/CMakeFiles/df_server.dir/span_store.cpp.o.d"
+  "/root/repo/src/server/tag_encoding.cpp" "src/server/CMakeFiles/df_server.dir/tag_encoding.cpp.o" "gcc" "src/server/CMakeFiles/df_server.dir/tag_encoding.cpp.o.d"
+  "/root/repo/src/server/trace_analysis.cpp" "src/server/CMakeFiles/df_server.dir/trace_analysis.cpp.o" "gcc" "src/server/CMakeFiles/df_server.dir/trace_analysis.cpp.o.d"
+  "/root/repo/src/server/trace_assembler.cpp" "src/server/CMakeFiles/df_server.dir/trace_assembler.cpp.o" "gcc" "src/server/CMakeFiles/df_server.dir/trace_assembler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/df_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/df_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/df_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/df_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/df_kernelsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_server.dir/server.cpp.o"
+  "CMakeFiles/df_server.dir/server.cpp.o.d"
+  "CMakeFiles/df_server.dir/span_store.cpp.o"
+  "CMakeFiles/df_server.dir/span_store.cpp.o.d"
+  "CMakeFiles/df_server.dir/tag_encoding.cpp.o"
+  "CMakeFiles/df_server.dir/tag_encoding.cpp.o.d"
+  "CMakeFiles/df_server.dir/trace_analysis.cpp.o"
+  "CMakeFiles/df_server.dir/trace_analysis.cpp.o.d"
+  "CMakeFiles/df_server.dir/trace_assembler.cpp.o"
+  "CMakeFiles/df_server.dir/trace_assembler.cpp.o.d"
+  "libdf_server.a"
+  "libdf_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

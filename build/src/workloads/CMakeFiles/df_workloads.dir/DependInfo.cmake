@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app.cpp" "src/workloads/CMakeFiles/df_workloads.dir/app.cpp.o" "gcc" "src/workloads/CMakeFiles/df_workloads.dir/app.cpp.o.d"
+  "/root/repo/src/workloads/microservice.cpp" "src/workloads/CMakeFiles/df_workloads.dir/microservice.cpp.o" "gcc" "src/workloads/CMakeFiles/df_workloads.dir/microservice.cpp.o.d"
+  "/root/repo/src/workloads/payloads.cpp" "src/workloads/CMakeFiles/df_workloads.dir/payloads.cpp.o" "gcc" "src/workloads/CMakeFiles/df_workloads.dir/payloads.cpp.o.d"
+  "/root/repo/src/workloads/topologies.cpp" "src/workloads/CMakeFiles/df_workloads.dir/topologies.cpp.o" "gcc" "src/workloads/CMakeFiles/df_workloads.dir/topologies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/df_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/df_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/df_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/otelsim/CMakeFiles/df_otelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/df_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/df_ebpf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

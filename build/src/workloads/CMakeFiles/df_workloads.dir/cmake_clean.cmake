@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_workloads.dir/app.cpp.o"
+  "CMakeFiles/df_workloads.dir/app.cpp.o.d"
+  "CMakeFiles/df_workloads.dir/microservice.cpp.o"
+  "CMakeFiles/df_workloads.dir/microservice.cpp.o.d"
+  "CMakeFiles/df_workloads.dir/payloads.cpp.o"
+  "CMakeFiles/df_workloads.dir/payloads.cpp.o.d"
+  "CMakeFiles/df_workloads.dir/topologies.cpp.o"
+  "CMakeFiles/df_workloads.dir/topologies.cpp.o.d"
+  "libdf_workloads.a"
+  "libdf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

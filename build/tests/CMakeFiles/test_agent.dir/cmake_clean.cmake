@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agent.dir/agent/test_collector.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/test_collector.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/test_flow_inference.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/test_flow_inference.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/test_session_aggregator.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/test_session_aggregator.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/test_span_builder.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/test_span_builder.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/test_systrace.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/test_systrace.cpp.o.d"
+  "test_agent"
+  "test_agent.pdb"
+  "test_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

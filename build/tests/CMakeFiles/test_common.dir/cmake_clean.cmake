@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_event_loop.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_event_loop.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_five_tuple.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_five_tuple.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_hash_rand.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_hash_rand.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_histogram.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_spsc_ring.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_spsc_ring.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_time_window.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_time_window.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

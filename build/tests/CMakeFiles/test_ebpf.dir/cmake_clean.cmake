@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf.dir/ebpf/test_loader.cpp.o"
+  "CMakeFiles/test_ebpf.dir/ebpf/test_loader.cpp.o.d"
+  "CMakeFiles/test_ebpf.dir/ebpf/test_maps.cpp.o"
+  "CMakeFiles/test_ebpf.dir/ebpf/test_maps.cpp.o.d"
+  "CMakeFiles/test_ebpf.dir/ebpf/test_perf_buffer.cpp.o"
+  "CMakeFiles/test_ebpf.dir/ebpf/test_perf_buffer.cpp.o.d"
+  "CMakeFiles/test_ebpf.dir/ebpf/test_verifier.cpp.o"
+  "CMakeFiles/test_ebpf.dir/ebpf/test_verifier.cpp.o.d"
+  "test_ebpf"
+  "test_ebpf.pdb"
+  "test_ebpf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernelsim.dir/kernelsim/test_hooks.cpp.o"
+  "CMakeFiles/test_kernelsim.dir/kernelsim/test_hooks.cpp.o.d"
+  "CMakeFiles/test_kernelsim.dir/kernelsim/test_kernel.cpp.o"
+  "CMakeFiles/test_kernelsim.dir/kernelsim/test_kernel.cpp.o.d"
+  "CMakeFiles/test_kernelsim.dir/kernelsim/test_task.cpp.o"
+  "CMakeFiles/test_kernelsim.dir/kernelsim/test_task.cpp.o.d"
+  "test_kernelsim"
+  "test_kernelsim.pdb"
+  "test_kernelsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernelsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocols.dir/protocols/test_binary_protocols.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_binary_protocols.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_fuzz.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_http.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_http.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_inference.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_inference.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_text_protocols.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_text_protocols.cpp.o.d"
+  "test_protocols"
+  "test_protocols.pdb"
+  "test_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

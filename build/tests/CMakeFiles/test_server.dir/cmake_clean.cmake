@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server.dir/server/test_span_store.cpp.o"
+  "CMakeFiles/test_server.dir/server/test_span_store.cpp.o.d"
+  "CMakeFiles/test_server.dir/server/test_tag_encoding.cpp.o"
+  "CMakeFiles/test_server.dir/server/test_tag_encoding.cpp.o.d"
+  "CMakeFiles/test_server.dir/server/test_trace_analysis.cpp.o"
+  "CMakeFiles/test_server.dir/server/test_trace_analysis.cpp.o.d"
+  "CMakeFiles/test_server.dir/server/test_trace_assembler.cpp.o"
+  "CMakeFiles/test_server.dir/server/test_trace_assembler.cpp.o.d"
+  "test_server"
+  "test_server.pdb"
+  "test_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

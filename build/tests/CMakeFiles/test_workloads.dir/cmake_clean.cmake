@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_app.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_app.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_microservice.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_microservice.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_otelsim.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_otelsim.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_payloads.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_payloads.cpp.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

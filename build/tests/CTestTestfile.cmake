@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_kernelsim[1]_include.cmake")
+include("/root/repo/build/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build/tests/test_ebpf[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_agent[1]_include.cmake")
+include("/root/repo/build/tests/test_server[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

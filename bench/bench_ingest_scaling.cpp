@@ -1,0 +1,184 @@
+// Ingest-pipeline scaling: throughput of the multi-threaded, sharded span
+// ingestion path at 1/2/4/8 threads.
+//
+// Two stages are measured separately, mirroring the production split:
+//
+//   server  N transport threads push pre-built span batches into the
+//           sharded SpanStore through DeepFlowServer::ingest_batch — the
+//           striped-lock, per-shard-encoder path. Spans are generated
+//           up front so the measurement isolates the store.
+//
+//   agent   one bookinfo-derived traffic run accumulates records in the
+//           per-CPU perf rings (8 simulated CPUs, enlarged rings, no
+//           drain while traffic flows); the drain+parse+aggregate pipeline
+//           then runs with 1/2/4/8 drain workers and is timed end to end.
+//
+// Speedups are relative to the 1-thread row. NOTE: wall-clock scaling
+// requires real hardware parallelism — on a single-core container every
+// configuration shares one CPU and the parallel rows mostly measure
+// coordination overhead; run on a multi-core host for the real curve. The
+// ingest self-telemetry (batch counts/sizes, staging pressure, per-shard
+// row balance) is printed for the largest configuration of each stage.
+#include <cinttypes>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "server/server.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+constexpr size_t kStoreRows = 400'000;
+constexpr size_t kBatchSpans = 256;
+constexpr u32 kThreadCounts[] = {1, 2, 4, 8};
+
+struct StageResult {
+  u32 threads = 0;
+  double seconds = 0;
+  u64 items = 0;
+  server::IngestTelemetry telemetry;
+};
+
+// ---- Stage 1: sharded-store ingest. --------------------------------------
+
+StageResult run_store_ingest(u32 threads,
+                             const bench::SyntheticCluster& cluster) {
+  // Batches are pre-built per thread so the timed section contains only
+  // ingest_batch calls (telemetry, shard hash, striped lock, encode).
+  std::vector<std::vector<std::vector<agent::Span>>> batches(threads);
+  const size_t per_thread = kStoreRows / threads;
+  for (u32 t = 0; t < threads; ++t) {
+    Rng rng(20230806 + t);
+    std::vector<agent::Span> batch;
+    batch.reserve(kBatchSpans);
+    for (size_t i = 0; i < per_thread; ++i) {
+      batch.push_back(bench::make_synthetic_span(
+          u64{t} * per_thread + i + 1, rng, cluster));
+      if (batch.size() == kBatchSpans) {
+        batches[t].push_back(std::move(batch));
+        batch = {};
+        batch.reserve(kBatchSpans);
+      }
+    }
+    if (!batch.empty()) batches[t].push_back(std::move(batch));
+  }
+
+  server::ServerConfig config;
+  config.store_shards = 16;
+  server::DeepFlowServer server(&cluster.registry, config);
+
+  StageResult result;
+  result.threads = threads;
+  const bench::WallTimer timer;
+  std::vector<std::thread> senders;
+  for (u32 t = 0; t < threads; ++t) {
+    senders.emplace_back([&server, &batches, t] {
+      for (auto& batch : batches[t]) {
+        server.ingest_batch(std::move(batch));
+      }
+    });
+  }
+  for (auto& sender : senders) sender.join();
+  result.seconds = timer.elapsed_seconds();
+  result.items = server.ingested_spans();
+  result.telemetry = server.ingest_telemetry();
+  return result;
+}
+
+// ---- Stage 2: agent drain pipeline. --------------------------------------
+
+StageResult run_agent_drain(u32 workers) {
+  core::DeploymentConfig config;
+  config.agent.drain_workers = workers;
+  config.agent.collector.cpu_count = 8;
+  // Large enough that a full 1-second bookinfo run fits in the rings with
+  // zero drops while nothing drains.
+  config.agent.collector.perf_ring_capacity = 1u << 16;
+  config.server.store_shards = workers > 1 ? 8 : 1;
+
+  workloads::Topology topo = workloads::make_bookinfo();
+  core::Deployment deepflow(topo.cluster.get(), config);
+  if (!deepflow.deploy()) {
+    std::fprintf(stderr, "deploy failed: %s\n", deepflow.error().c_str());
+    return {};
+  }
+  topo.app->run_constant_load(topo.entry, 400.0, 1 * kSecond);
+
+  StageResult result;
+  result.threads = workers;
+  const bench::WallTimer timer;
+  deepflow.finish();  // drain + parse + aggregate + build + ingest
+  result.seconds = timer.elapsed_seconds();
+  const agent::AgentStats stats = deepflow.aggregate_stats();
+  result.items = stats.syscall_records + stats.packet_records;
+  result.telemetry = deepflow.server().ingest_telemetry();
+  if (stats.perf_lost != 0) {
+    std::fprintf(stderr, "  WARNING: %" PRIu64
+                 " records lost to full perf rings — grow "
+                 "perf_ring_capacity\n", stats.perf_lost);
+  }
+  return result;
+}
+
+void print_scaling(const char* unit, const std::vector<StageResult>& rows) {
+  std::printf("\n  %8s %12s %14s %12s\n", "threads", "seconds",
+              unit, "speedup");
+  for (const StageResult& row : rows) {
+    std::printf("  %8u %12.3f %14.0f %11.2fx\n", row.threads, row.seconds,
+                static_cast<double>(row.items) / row.seconds,
+                rows[0].seconds / row.seconds);
+  }
+}
+
+void print_telemetry(const server::IngestTelemetry& t) {
+  std::printf("    spans=%" PRIu64 " batches=%" PRIu64
+              " batched-spans=%" PRIu64 " max-batch=%" PRIu64 "\n",
+              t.spans, t.batches, t.batched_spans, t.max_batch_spans);
+  std::printf("    agent drain: batches=%" PRIu64 " records=%" PRIu64
+              " staging-waits=%" PRIu64 " perf-lost=%" PRIu64 "\n",
+              t.agent_drain_batches, t.agent_drain_records,
+              t.agent_staging_waits, t.agent_perf_lost);
+  std::printf("    shard rows:");
+  for (const size_t rows : t.shard_rows) std::printf(" %zu", rows);
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace deepflow
+
+int main() {
+  using namespace deepflow;
+  const unsigned cores = std::thread::hardware_concurrency();
+  bench::print_header(
+      "Ingest scaling — sharded span store + parallel agent drain\n"
+      "(speedups need hardware parallelism; detected " +
+      std::to_string(cores) + " core(s))");
+
+  const bench::SyntheticCluster cluster =
+      bench::make_synthetic_cluster(16, 16, 8);
+
+  std::printf("\n  stage 1: sharded SpanStore ingest (%zu spans, 16 shards,\n"
+              "  batches of %zu via DeepFlowServer::ingest_batch)\n",
+              kStoreRows, kBatchSpans);
+  std::vector<StageResult> store_rows;
+  for (const u32 threads : kThreadCounts) {
+    store_rows.push_back(run_store_ingest(threads, cluster));
+  }
+  print_scaling("spans/sec", store_rows);
+  std::printf("\n  ingest telemetry (8-thread row):\n");
+  print_telemetry(store_rows.back().telemetry);
+
+  std::printf("\n  stage 2: agent drain pipeline (bookinfo @ 400 rps, 8 sim\n"
+              "  CPUs; drain + parse + aggregate + build, timed end to end)\n");
+  std::vector<StageResult> drain_rows;
+  for (const u32 workers : kThreadCounts) {
+    drain_rows.push_back(run_agent_drain(workers));
+  }
+  print_scaling("records/sec", drain_rows);
+  std::printf("\n  ingest telemetry (8-worker row):\n");
+  print_telemetry(drain_rows.back().telemetry);
+  std::printf("\n");
+  return 0;
+}

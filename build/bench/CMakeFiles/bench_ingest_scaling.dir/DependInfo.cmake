@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ingest_scaling.cpp" "bench/CMakeFiles/bench_ingest_scaling.dir/bench_ingest_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_ingest_scaling.dir/bench_ingest_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/df_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/df_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/df_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/otelsim/CMakeFiles/df_otelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/df_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/df_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/df_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/df_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/df_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

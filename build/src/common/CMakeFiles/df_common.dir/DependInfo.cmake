@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/five_tuple.cpp" "src/common/CMakeFiles/df_common.dir/five_tuple.cpp.o" "gcc" "src/common/CMakeFiles/df_common.dir/five_tuple.cpp.o.d"
   "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/df_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/df_common.dir/histogram.cpp.o.d"
   "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/df_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/df_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/df_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/df_common.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/df_common.dir/histogram.cpp.o.d"
   "CMakeFiles/df_common.dir/logging.cpp.o"
   "CMakeFiles/df_common.dir/logging.cpp.o.d"
+  "CMakeFiles/df_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/df_common.dir/thread_pool.cpp.o.d"
   "libdf_common.a"
   "libdf_common.pdb"
 )

@@ -208,7 +208,7 @@ src/core/CMakeFiles/df_core.dir/deployment.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
  /root/repo/src/agent/collector.h /root/repo/src/ebpf/event.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
@@ -223,19 +223,31 @@ src/core/CMakeFiles/df_core.dir/deployment.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/kernelsim/task.h \
- /root/repo/src/ebpf/map.h /usr/include/c++/12/optional \
- /root/repo/src/ebpf/perf_buffer.h /root/repo/src/common/spsc_ring.h \
- /usr/include/c++/12/atomic /root/repo/src/agent/flow_inference.h \
- /root/repo/src/protocols/parser.h /root/repo/src/protocols/message.h \
+ /root/repo/src/ebpf/map.h /root/repo/src/ebpf/perf_buffer.h \
+ /root/repo/src/common/spsc_ring.h /usr/include/c++/12/atomic \
+ /root/repo/src/agent/flow_inference.h /root/repo/src/protocols/parser.h \
+ /root/repo/src/protocols/message.h \
  /root/repo/src/agent/session_aggregator.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/agent/message_data.h /root/repo/src/common/time_window.h \
  /root/repo/src/agent/span_builder.h /root/repo/src/agent/span.h \
  /root/repo/src/netsim/resource.h /root/repo/src/agent/systrace.h \
- /root/repo/src/netsim/fabric.h /root/repo/src/common/rand.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/mpsc_ring.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/netsim/fabric.h \
+ /root/repo/src/common/rand.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -244,8 +256,7 @@ src/core/CMakeFiles/df_core.dir/deployment.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/canonical.cpp" "src/server/CMakeFiles/df_server.dir/canonical.cpp.o" "gcc" "src/server/CMakeFiles/df_server.dir/canonical.cpp.o.d"
   "/root/repo/src/server/server.cpp" "src/server/CMakeFiles/df_server.dir/server.cpp.o" "gcc" "src/server/CMakeFiles/df_server.dir/server.cpp.o.d"
   "/root/repo/src/server/span_store.cpp" "src/server/CMakeFiles/df_server.dir/span_store.cpp.o" "gcc" "src/server/CMakeFiles/df_server.dir/span_store.cpp.o.d"
   "/root/repo/src/server/tag_encoding.cpp" "src/server/CMakeFiles/df_server.dir/tag_encoding.cpp.o" "gcc" "src/server/CMakeFiles/df_server.dir/tag_encoding.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/df_server.dir/canonical.cpp.o"
+  "CMakeFiles/df_server.dir/canonical.cpp.o.d"
   "CMakeFiles/df_server.dir/server.cpp.o"
   "CMakeFiles/df_server.dir/server.cpp.o.d"
   "CMakeFiles/df_server.dir/span_store.cpp.o"

@@ -11,7 +11,6 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_agent.dir/agent/test_systrace.cpp.o.d"
   "test_agent"
   "test_agent.pdb"
-  "test_agent[1]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/test_hash_rand.cpp" "tests/CMakeFiles/test_common.dir/common/test_hash_rand.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_hash_rand.cpp.o.d"
   "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
   "/root/repo/tests/common/test_spsc_ring.cpp" "tests/CMakeFiles/test_common.dir/common/test_spsc_ring.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_spsc_ring.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o.d"
   "/root/repo/tests/common/test_time_window.cpp" "tests/CMakeFiles/test_common.dir/common/test_time_window.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_time_window.cpp.o.d"
   )
 

@@ -9,11 +9,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
   "CMakeFiles/test_common.dir/common/test_spsc_ring.cpp.o"
   "CMakeFiles/test_common.dir/common/test_spsc_ring.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o.d"
   "CMakeFiles/test_common.dir/common/test_time_window.cpp.o"
   "CMakeFiles/test_common.dir/common/test_time_window.cpp.o.d"
   "test_common"
   "test_common.pdb"
-  "test_common[1]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

@@ -9,7 +9,6 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_ebpf.dir/ebpf/test_verifier.cpp.o.d"
   "test_ebpf"
   "test_ebpf.pdb"
-  "test_ebpf[1]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

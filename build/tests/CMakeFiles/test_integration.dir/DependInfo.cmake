@@ -10,7 +10,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/integration/test_case_studies.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_case_studies.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_case_studies.cpp.o.d"
   "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_golden_traces.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_golden_traces.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_golden_traces.cpp.o.d"
   "/root/repo/tests/integration/test_invariants_sweep.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_invariants_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_invariants_sweep.cpp.o.d"
+  "/root/repo/tests/integration/test_parallel_equivalence.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_parallel_equivalence.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_parallel_equivalence.cpp.o.d"
   "/root/repo/tests/integration/test_reaggregation.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_reaggregation.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_reaggregation.cpp.o.d"
   )
 

@@ -3,13 +3,16 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_integration.dir/integration/test_case_studies.cpp.o.d"
   "CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o"
   "CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_golden_traces.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_golden_traces.cpp.o.d"
   "CMakeFiles/test_integration.dir/integration/test_invariants_sweep.cpp.o"
   "CMakeFiles/test_integration.dir/integration/test_invariants_sweep.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_parallel_equivalence.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_parallel_equivalence.cpp.o.d"
   "CMakeFiles/test_integration.dir/integration/test_reaggregation.cpp.o"
   "CMakeFiles/test_integration.dir/integration/test_reaggregation.cpp.o.d"
   "test_integration"
   "test_integration.pdb"
-  "test_integration[1]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

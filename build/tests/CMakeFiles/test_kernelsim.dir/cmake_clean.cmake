@@ -7,7 +7,6 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_kernelsim.dir/kernelsim/test_task.cpp.o.d"
   "test_kernelsim"
   "test_kernelsim.pdb"
-  "test_kernelsim[1]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

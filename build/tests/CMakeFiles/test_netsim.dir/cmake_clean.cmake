@@ -7,7 +7,6 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_netsim.dir/netsim/test_resource.cpp.o.d"
   "test_netsim"
   "test_netsim.pdb"
-  "test_netsim[1]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

@@ -11,7 +11,6 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_protocols.dir/protocols/test_text_protocols.cpp.o.d"
   "test_protocols"
   "test_protocols.pdb"
-  "test_protocols[1]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

@@ -9,7 +9,6 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_server.dir/server/test_trace_assembler.cpp.o.d"
   "test_server"
   "test_server.pdb"
-  "test_server[1]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

@@ -9,7 +9,6 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_workloads.dir/workloads/test_payloads.cpp.o.d"
   "test_workloads"
   "test_workloads.pdb"
-  "test_workloads[1]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

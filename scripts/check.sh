@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Full verification: build + test the release config, then build + test the
+# ThreadSanitizer config (the concurrency CI gate for the parallel ingest
+# pipeline). Run from anywhere; builds land in build/ and build-tsan/.
+#
+#   scripts/check.sh            # both configs
+#   scripts/check.sh release    # release only
+#   scripts/check.sh tsan       # tsan only (thread-pool, ring and
+#                               # parallel-equivalence suites)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+what="${1:-all}"
+
+run_release() {
+  echo "== release: configure + build =="
+  cmake --preset release -S "$root"
+  cmake --build --preset release -j "$jobs"
+  echo "== release: ctest =="
+  (cd "$root" && ctest --preset release -j "$jobs")
+}
+
+run_tsan() {
+  echo "== tsan: configure + build =="
+  cmake --preset tsan -S "$root"
+  cmake --build --preset tsan -j "$jobs"
+  echo "== tsan: ctest (concurrency suites) =="
+  # The whole suite passes under TSan but takes a long time single-threaded;
+  # gate on the suites that exercise the parallel ingest pipeline.
+  (cd "$root/build-tsan" && TSAN_OPTIONS="halt_on_error=1" ctest \
+    --output-on-failure -j "$jobs" \
+    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence')
+}
+
+case "$what" in
+  release) run_release ;;
+  tsan) run_tsan ;;
+  all)
+    run_release
+    run_tsan
+    ;;
+  *)
+    echo "usage: $0 [release|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "== all checks passed =="

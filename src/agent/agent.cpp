@@ -1,7 +1,10 @@
 #include "agent/agent.h"
-#include "common/logging.h"
+
+#include <atomic>
+#include <thread>
 
 #include "common/hash.h"
+#include "common/logging.h"
 
 namespace deepflow::agent {
 
@@ -17,7 +20,18 @@ Agent::Agent(kernelsim::Kernel* kernel,
       sys_sessions_(config.session),
       net_sessions_(config.session),
       builder_(kernel != nullptr ? kernel->hostname() : "unknown", registry),
-      sink_(std::move(sink)) {}
+      sink_(std::move(sink)) {
+  if (config_.drain_workers > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.drain_workers);
+    staging_ = std::make_unique<MpscRingArray<StagedBatch>>(
+        config_.drain_workers, config_.staging_ring_batches);
+    worker_states_.reserve(config_.drain_workers);
+    for (u32 w = 0; w < config_.drain_workers; ++w) {
+      worker_states_.push_back(
+          std::make_unique<WorkerState>(&registry_, config_.inference));
+    }
+  }
+}
 
 bool Agent::deploy(const std::vector<netsim::Device*>& node_devices) {
   if (!collector_.deploy_syscall_programs()) {
@@ -52,9 +66,10 @@ void Agent::emit_session(Session&& session) {
   if (sink_) sink_(std::move(span));
 }
 
-void Agent::handle_syscall_record(ebpf::SyscallEventRecord&& record) {
-  ++syscall_records_;
-  MessageData message;
+std::optional<Agent::StagedRecord> Agent::parse_syscall(
+    ebpf::SyscallEventRecord&& record, FlowProtocolCache& flows) {
+  StagedRecord staged;
+  MessageData& message = staged.message;
   message.record = record;
   message.origin = record.abi == kernelsim::SyscallAbi::kSslRead ||
                            record.abi == kernelsim::SyscallAbi::kSslWrite
@@ -64,16 +79,12 @@ void Agent::handle_syscall_record(ebpf::SyscallEventRecord&& record) {
   // Protocol inference is cached per socket; SSL and plain flows of the
   // same socket infer independently (ciphertext never matches a parser, so
   // TLS sockets only yield app spans — exactly the real behaviour).
-  const u64 flow_key = flow_key_of(message);
+  staged.flow_key = flow_key_of(message);
   const protocols::ProtocolParser* parser =
-      sys_flows_.parser_for(flow_key, record.payload_view());
-  if (parser == nullptr) {
-    ++unparseable_;
-    return;
-  }
+      flows.parser_for(staged.flow_key, record.payload_view());
+  if (parser == nullptr) return std::nullopt;
   auto parsed = parser->parse(record.payload_view());
   if (!parsed.has_value()) {
-    ++unparseable_;
     DF_LOG_DEBUG("unparseable sys msg proto=%d abi=%s payload[0..8]=%02x %02x %02x %02x %02x %02x %02x %02x len=%zu",
                  (int)parser->protocol(), std::string(kernelsim::abi_name(record.abi)).c_str(),
                  (unsigned)(unsigned char)record.payload[0], (unsigned)(unsigned char)record.payload[1],
@@ -81,25 +92,17 @@ void Agent::handle_syscall_record(ebpf::SyscallEventRecord&& record) {
                  (unsigned)(unsigned char)record.payload[4], (unsigned)(unsigned char)record.payload[5],
                  (unsigned)(unsigned char)record.payload[6], (unsigned)(unsigned char)record.payload[7],
                  (size_t)record.payload_len);
-    return;
+    return std::nullopt;
   }
   message.parsed = std::move(*parsed);
   message.mode = parser->match_mode();
-
-  // Pseudo-thread: coroutine lineage root, or the kernel thread itself.
-  message.pseudo_thread_id =
-      record.coroutine_id != 0
-          ? kernel_->tasks().pseudo_thread_root(record.coroutine_id)
-          : record.tid;
-
-  systrace_.assign(message);
-  sys_sessions_.offer(flow_key, std::move(message),
-                      [this](Session&& s) { emit_session(std::move(s)); });
+  return staged;
 }
 
-void Agent::handle_packet_record(ebpf::PacketEventRecord&& record) {
-  ++packet_records_;
-  MessageData message;
+std::optional<Agent::StagedRecord> Agent::parse_packet(
+    ebpf::PacketEventRecord&& record, FlowProtocolCache& flows) {
+  StagedRecord staged;
+  MessageData& message = staged.message;
   message.origin = CaptureOrigin::kPacketTap;
   message.device_id = record.device_id;
   message.device_name.assign(record.device_name);
@@ -111,38 +114,160 @@ void Agent::handle_packet_record(ebpf::PacketEventRecord&& record) {
   message.record.cpu = record.cpu;
   message.record.set_payload(record.payload_view());
 
-  const u64 flow_key = flow_key_of(message);
+  staged.flow_key = flow_key_of(message);
   const protocols::ProtocolParser* parser =
-      net_flows_.parser_for(flow_key, record.payload_view());
-  if (parser == nullptr) {
-    ++unparseable_;
-    return;
-  }
+      flows.parser_for(staged.flow_key, record.payload_view());
+  if (parser == nullptr) return std::nullopt;
   auto parsed = parser->parse(record.payload_view());
-  if (!parsed.has_value()) {
-    ++unparseable_;
-    return;
-  }
+  if (!parsed.has_value()) return std::nullopt;
   message.parsed = std::move(*parsed);
   message.mode = parser->match_mode();
+  return staged;
+}
 
-  net_sessions_.offer(flow_key, std::move(message),
+void Agent::finish_message(StagedRecord&& staged) {
+  MessageData& message = staged.message;
+  if (message.origin == CaptureOrigin::kPacketTap) {
+    net_sessions_.offer(staged.flow_key, std::move(message),
+                        [this](Session&& s) { emit_session(std::move(s)); });
+    return;
+  }
+  // Pseudo-thread: coroutine lineage root, or the kernel thread itself.
+  message.pseudo_thread_id =
+      message.record.coroutine_id != 0
+          ? kernel_->tasks().pseudo_thread_root(message.record.coroutine_id)
+          : message.record.tid;
+  systrace_.assign(message);
+  sys_sessions_.offer(staged.flow_key, std::move(message),
                       [this](Session&& s) { emit_session(std::move(s)); });
 }
 
 size_t Agent::poll(size_t budget) {
+  return config_.drain_workers > 1 ? poll_parallel(budget)
+                                   : poll_serial(budget);
+}
+
+size_t Agent::poll_serial(size_t budget) {
   size_t processed = 0;
   processed += collector_.syscall_events().drain(
       budget, [this](ebpf::SyscallEventRecord&& record) {
-        handle_syscall_record(std::move(record));
+        ++syscall_records_;
+        auto staged = parse_syscall(std::move(record), sys_flows_);
+        if (staged.has_value()) {
+          finish_message(std::move(*staged));
+        } else {
+          ++unparseable_;
+        }
       });
   if (processed < budget) {
     processed += collector_.packet_events().drain(
         budget - processed, [this](ebpf::PacketEventRecord&& record) {
-          handle_packet_record(std::move(record));
+          ++packet_records_;
+          auto staged = parse_packet(std::move(record), net_flows_);
+          if (staged.has_value()) {
+            finish_message(std::move(*staged));
+          } else {
+            ++unparseable_;
+          }
         });
   }
   return processed;
+}
+
+size_t Agent::drain_worker(u32 w, size_t budget) {
+  WorkerState& ws = *worker_states_[w];
+  const u32 workers = config_.drain_workers;
+  auto& sys_buf = collector_.syscall_events();
+  auto& pkt_buf = collector_.packet_events();
+
+  StagedBatch batch;
+  batch.reserve(config_.staging_batch_records);
+  const auto flush = [&] {
+    if (batch.empty()) return;
+    ++ws.batches;
+    ws.batch_records += batch.size();
+    // Bounded backpressure instead of loss: the lane has one producer, so
+    // once full(w) clears, the push below cannot fail.
+    while (staging_->full(w)) {
+      ++ws.ring_waits;
+      std::this_thread::yield();
+    }
+    staging_->push(w, std::move(batch));
+    batch = StagedBatch{};
+    batch.reserve(config_.staging_batch_records);
+  };
+  const auto stage = [&](std::optional<StagedRecord>&& staged) {
+    if (!staged.has_value()) {
+      ++ws.unparseable;
+      return;
+    }
+    batch.push_back(std::move(*staged));
+    if (batch.size() >= config_.staging_batch_records) flush();
+  };
+
+  // Same round-robin shape as the serial drain, restricted to the CPU rings
+  // this worker owns; per-CPU pop order is preserved.
+  size_t drained = 0;
+  bool any = true;
+  while (drained < budget && any) {
+    any = false;
+    for (u32 cpu = w; cpu < sys_buf.cpu_count(); cpu += workers) {
+      if (drained >= budget) break;
+      if (auto record = sys_buf.pop_cpu(cpu)) {
+        ++ws.syscall_records;
+        ++drained;
+        any = true;
+        stage(parse_syscall(std::move(*record), ws.sys_flows));
+      }
+    }
+    for (u32 cpu = w; cpu < pkt_buf.cpu_count(); cpu += workers) {
+      if (drained >= budget) break;
+      if (auto record = pkt_buf.pop_cpu(cpu)) {
+        ++ws.packet_records;
+        ++drained;
+        any = true;
+        stage(parse_packet(std::move(*record), ws.net_flows));
+      }
+    }
+  }
+  flush();
+  return drained;
+}
+
+size_t Agent::poll_parallel(size_t budget) {
+  const u32 workers = config_.drain_workers;
+  const size_t worker_budget = budget / workers + 1;
+  std::atomic<size_t> drained_total{0};
+  std::atomic<u32> active{workers};
+  for (u32 w = 0; w < workers; ++w) {
+    pool_->submit([this, w, worker_budget, &drained_total, &active] {
+      drained_total.fetch_add(drain_worker(w, worker_budget),
+                              std::memory_order_relaxed);
+      active.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // Stage 2 on this thread: consume staged batches while workers produce.
+  for (;;) {
+    size_t got = 0;
+    for (u32 w = 0; w < workers; ++w) {
+      while (auto batch = staging_->pop_from(w)) {
+        for (StagedRecord& staged : *batch) {
+          finish_message(std::move(staged));
+        }
+        ++got;
+      }
+    }
+    if (got == 0) {
+      if (active.load(std::memory_order_acquire) == 0 &&
+          staging_->pending() == 0) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+  pool_->wait_idle();
+  return drained_total.load(std::memory_order_relaxed);
 }
 
 void Agent::finish() {
@@ -158,6 +283,14 @@ AgentStats Agent::stats() const {
   stats.packet_records = packet_records_;
   stats.spans_emitted = spans_emitted_;
   stats.unparseable_messages = unparseable_;
+  for (const auto& ws : worker_states_) {
+    stats.syscall_records += ws->syscall_records;
+    stats.packet_records += ws->packet_records;
+    stats.unparseable_messages += ws->unparseable;
+    stats.drain_batches += ws->batches;
+    stats.drain_batch_records += ws->batch_records;
+    stats.staging_ring_waits += ws->ring_waits;
+  }
   stats.perf_lost =
       collector_.syscall_events().lost() + collector_.packet_events().lost();
   stats.matched_sessions =

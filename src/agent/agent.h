@@ -3,9 +3,28 @@
 // transport of finished spans (plus network metrics) to the server.
 // Deployment is zero-code: attaching requires no change to any monitored
 // process.
+//
+// Drain pipeline. With drain_workers == 1 (default) poll() runs the
+// historical serial path: round-robin perf-ring drain, parse, aggregate —
+// byte-for-byte deterministic. With drain_workers == N > 1 the pipeline
+// splits in two stages, mirroring the production agent's per-CPU drain
+// threads:
+//   stage 1 (parallel)  N workers own disjoint per-CPU perf rings
+//                       (cpu % N == worker) and run protocol
+//                       inference + parsing with worker-local flow caches;
+//                       parsed messages flush to per-worker staging rings
+//                       in batches.
+//   stage 2 (serial)    the poll() caller drains the staging rings and runs
+//                       the order-sensitive stages — pseudo-thread
+//                       resolution, systrace assignment, session
+//                       aggregation, span building — exactly as in serial
+//                       mode. Per-CPU record order is preserved end to end,
+//                       which is the order guarantee those stages need.
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +33,8 @@
 #include "agent/session_aggregator.h"
 #include "agent/span_builder.h"
 #include "agent/systrace.h"
+#include "common/mpsc_ring.h"
+#include "common/thread_pool.h"
 #include "netsim/fabric.h"
 
 namespace deepflow::agent {
@@ -26,6 +47,13 @@ struct AgentConfig {
   bool enable_ssl_uprobes = true;
   /// Attach cBPF/AF_PACKET capture to this node's devices (net spans).
   bool enable_nic_capture = true;
+  /// Parallel drain workers for the parse stage. 1 = serial (deterministic
+  /// default); N > 1 shards the per-CPU perf rings across N pool threads.
+  u32 drain_workers = 1;
+  /// Staging-ring capacity per worker, in batches.
+  size_t staging_ring_batches = 256;
+  /// Records per staging batch before a flush.
+  size_t staging_batch_records = 128;
 };
 
 /// Where finished spans go (the agent -> server transport).
@@ -39,6 +67,10 @@ struct AgentStats {
   u64 perf_lost = 0;
   u64 matched_sessions = 0;
   u64 expired_requests = 0;
+  // Parallel-drain telemetry (zero in serial mode).
+  u64 drain_batches = 0;        // staging batches flushed by drain workers
+  u64 drain_batch_records = 0;  // records carried by those batches
+  u64 staging_ring_waits = 0;   // producer stalls on a full staging ring
 };
 
 class Agent {
@@ -68,11 +100,50 @@ class Agent {
   const std::string& error() const { return error_; }
   AgentStats stats() const;
   const Collector& collector() const { return collector_; }
+  u32 drain_workers() const { return config_.drain_workers; }
 
  private:
-  void handle_syscall_record(ebpf::SyscallEventRecord&& record);
-  void handle_packet_record(ebpf::PacketEventRecord&& record);
+  /// A parsed message staged between the parallel parse stage and the
+  /// serial aggregation stage.
+  struct StagedRecord {
+    u64 flow_key = 0;
+    MessageData message;
+  };
+  using StagedBatch = std::vector<StagedRecord>;
+
+  /// Per-worker state: flow caches are worker-local so the parse stage
+  /// shares nothing mutable (inference is deterministic per payload, so
+  /// worker-local verdicts match the serial ones).
+  struct WorkerState {
+    WorkerState(const protocols::ProtocolRegistry* registry,
+                FlowInferenceConfig config)
+        : sys_flows(registry, config), net_flows(registry, config) {}
+    FlowProtocolCache sys_flows;
+    FlowProtocolCache net_flows;
+    // Cumulative counters, merged into AgentStats by stats().
+    u64 syscall_records = 0;
+    u64 packet_records = 0;
+    u64 unparseable = 0;
+    u64 batches = 0;
+    u64 batch_records = 0;
+    u64 ring_waits = 0;
+  };
+
+  // Parse stage (thread-safe: touches only the passed flow cache and
+  // immutable agent state).
+  std::optional<StagedRecord> parse_syscall(ebpf::SyscallEventRecord&& record,
+                                            FlowProtocolCache& flows);
+  std::optional<StagedRecord> parse_packet(ebpf::PacketEventRecord&& record,
+                                           FlowProtocolCache& flows);
+  // Aggregation stage (single-threaded: pseudo-thread resolution, systrace
+  // assignment, session pairing, span emission).
+  void finish_message(StagedRecord&& staged);
   void emit_session(Session&& session);
+
+  size_t poll_serial(size_t budget);
+  size_t poll_parallel(size_t budget);
+  /// Stage-1 body for worker `w`: drain owned CPU rings, parse, stage.
+  size_t drain_worker(u32 w, size_t budget);
 
   kernelsim::Kernel* kernel_;
   AgentConfig config_;
@@ -90,6 +161,11 @@ class Agent {
   u64 packet_records_ = 0;
   u64 spans_emitted_ = 0;
   u64 unparseable_ = 0;
+
+  // Parallel drain machinery (null in serial mode).
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<MpscRingArray<StagedBatch>> staging_;
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
 };
 
 }  // namespace deepflow::agent

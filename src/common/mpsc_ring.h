@@ -1,0 +1,81 @@
+// Multi-producer/single-consumer staging built as a per-producer array of
+// the existing SPSC rings: producer i owns lane i exclusively, so every
+// lane keeps the lock-free SPSC fast path, and the single consumer drains
+// lanes round-robin. This is how the agent's parallel drain workers hand
+// parsed-message batches to the serial aggregation stage without locks.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/spsc_ring.h"
+
+namespace deepflow {
+
+template <typename T>
+class MpscRingArray {
+ public:
+  MpscRingArray(size_t producers, size_t per_producer_capacity) {
+    lanes_.reserve(producers == 0 ? 1 : producers);
+    for (size_t i = 0; i < (producers == 0 ? 1 : producers); ++i) {
+      lanes_.push_back(std::make_unique<SpscRing<T>>(per_producer_capacity));
+    }
+  }
+
+  size_t producer_count() const { return lanes_.size(); }
+  size_t lane_capacity() const { return lanes_[0]->capacity(); }
+
+  /// Producer side: only producer `producer` may call this for its lane.
+  /// Returns false (and counts a drop on the lane) when the lane is full.
+  bool push(size_t producer, T item) {
+    return lanes_[producer]->push(std::move(item));
+  }
+
+  /// Producer-side fullness probe: because the lane has exactly one
+  /// producer, a false result guarantees the next push from that producer
+  /// succeeds (the consumer only ever makes room).
+  bool full(size_t producer) const {
+    return lanes_[producer]->size() >= lanes_[producer]->capacity();
+  }
+
+  /// Consumer side: pop one item from one lane.
+  std::optional<T> pop_from(size_t producer) { return lanes_[producer]->pop(); }
+
+  /// Consumer side: drain up to `budget` items round-robin across lanes.
+  template <typename Fn>
+  size_t drain(size_t budget, Fn&& consume) {
+    size_t drained = 0;
+    bool any = true;
+    while (drained < budget && any) {
+      any = false;
+      for (auto& lane : lanes_) {
+        if (drained >= budget) break;
+        if (auto item = lane->pop()) {
+          consume(std::move(*item));
+          ++drained;
+          any = true;
+        }
+      }
+    }
+    return drained;
+  }
+
+  size_t pending() const {
+    size_t n = 0;
+    for (const auto& lane : lanes_) n += lane->size();
+    return n;
+  }
+
+  /// Items rejected because a lane was full, across all lanes.
+  u64 dropped() const {
+    u64 n = 0;
+    for (const auto& lane : lanes_) n += lane->dropped();
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SpscRing<T>>> lanes_;
+};
+
+}  // namespace deepflow

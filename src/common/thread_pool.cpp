@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace deepflow {
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t count = threads == 0 ? 1 : threads;
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<size_t> next{0};
+  // One task per worker, each pulling indexes from a shared counter: cheap
+  // dynamic load balancing without n queue round-trips.
+  const size_t tasks = std::min(n, workers_.size());
+  for (size_t t = 0; t < tasks; ++t) {
+    submit([&next, n, &fn] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+u64 ThreadPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      ++completed_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace deepflow

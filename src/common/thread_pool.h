@@ -1,0 +1,60 @@
+// Fixed-size worker pool for the parallel ingest pipeline: the agent's
+// per-CPU drain workers and the benches' multi-threaded span ingestion run
+// on one of these. Deliberately minimal — bounded thread count chosen at
+// construction, a FIFO task queue, and a quiescence barrier (wait_idle) the
+// pipeline uses to separate the parallel parse stage from the serial
+// aggregation stage.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deepflow {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (minimum 1) that live until destruction.
+  explicit ThreadPool(size_t threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue one task. Safe to call from pool workers (tasks may fan out).
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Run fn(0), ..., fn(n-1) across the pool and block until all complete.
+  /// The pool must be idle (no unrelated tasks in flight) for the
+  /// completion count to be meaningful.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+
+  u64 tasks_completed() const;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers sleep here awaiting tasks
+  std::condition_variable idle_cv_;  // wait_idle sleeps here
+  size_t active_ = 0;                // tasks currently executing
+  u64 completed_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace deepflow

@@ -63,6 +63,9 @@ size_t Deployment::poll() {
 void Deployment::finish() {
   for (auto& a : agents_) a->finish();
   server_.finalize();
+  // Ingest self-telemetry: fold the agents' drain-pipeline counters into
+  // the server's view (records/sec, batch sizes, ring pressure).
+  server_.note_agent_drain(aggregate_stats());
   // Metric integration (§3.4): flow and device counters become queryable
   // alongside the traces they correlate with.
   for (const auto& [tuple, metrics] : cluster_->fabric().flows()) {
@@ -90,6 +93,9 @@ agent::AgentStats Deployment::aggregate_stats() const {
     total.perf_lost += s.perf_lost;
     total.matched_sessions += s.matched_sessions;
     total.expired_requests += s.expired_requests;
+    total.drain_batches += s.drain_batches;
+    total.drain_batch_records += s.drain_batch_records;
+    total.staging_ring_waits += s.staging_ring_waits;
   }
   return total;
 }

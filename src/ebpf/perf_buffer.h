@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/spsc_ring.h"
@@ -50,6 +51,13 @@ class PerfBuffer {
       }
     }
     return drained;
+  }
+
+  /// User side, parallel drain: pop one record from a single CPU's ring.
+  /// Workers that own disjoint CPU subsets can drain concurrently — each
+  /// ring still has exactly one consumer, preserving per-CPU order.
+  std::optional<Record> pop_cpu(u32 cpu) {
+    return rings_[cpu % rings_.size()]->pop();
   }
 
   size_t pending() const {

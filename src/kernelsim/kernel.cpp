@@ -6,8 +6,6 @@
 
 namespace deepflow::kernelsim {
 
-SocketId Kernel::next_socket_id_ = 1;
-
 Kernel::Kernel(EventLoop& loop, std::string hostname, NetworkBackend* backend,
                KernelConfig config)
     : loop_(loop),
@@ -17,7 +15,8 @@ Kernel::Kernel(EventLoop& loop, std::string hostname, NetworkBackend* backend,
 
 SocketId Kernel::open_socket(Pid pid, const FiveTuple& tuple, L4Proto proto,
                              bool tls) {
-  const SocketId id = next_socket_id_++;
+  const SocketId id = backend_ != nullptr ? backend_->allocate_socket_id()
+                                          : local_socket_id_++;
   Socket sock;
   sock.id = id;
   sock.owner_pid = pid;

@@ -28,6 +28,16 @@ class NetworkBackend {
   virtual ~NetworkBackend() = default;
   virtual void transmit(Kernel& source, const Socket& socket,
                         WireMessage message) = 0;
+  /// Socket ids must be unique across every kernel sharing this backend
+  /// (fabric routes are keyed by socket id alone), so the backend owns the
+  /// allocator. Backend-scoped — rather than process-global — allocation
+  /// keeps whole-cluster runs reproducible: ids (and the ISNs derived from
+  /// them) restart with each experiment instead of leaking state between
+  /// runs in the same process.
+  SocketId allocate_socket_id() { return next_socket_id_++; }
+
+ private:
+  SocketId next_socket_id_ = 1;
 };
 
 /// Tunable costs of the simulated syscall path. Defaults approximate the
@@ -128,7 +138,7 @@ class Kernel {
   DurationNs instr_cpu_total_ = 0;
   u64 syscall_count_ = 0;
 
-  static SocketId next_socket_id_;  // process-wide uniqueness
+  SocketId local_socket_id_ = 1;  // backend-less kernels (unit tests) only
 };
 
 }  // namespace deepflow::kernelsim

@@ -1,0 +1,96 @@
+#include "server/canonical.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace deepflow::server {
+
+std::string canonical_span(const agent::Span& span) {
+  std::string out;
+  out.reserve(256);
+  out += std::string(agent::span_kind_name(span.kind));
+  out += "|host=" + span.host;
+  out += span.from_server_side ? "|server" : "|client";
+  out += "|dev=" + span.device_name;
+  out += "|pid=" + std::to_string(span.pid);
+  out += "|tid=" + std::to_string(span.tid);
+  out += "|ptid=" + std::to_string(span.pseudo_thread_id);
+  out += "|xreq=" + span.x_request_id;
+  out += "|otel=" + span.otel_trace_id;
+  out += "|rseq=" + std::to_string(span.req_tcp_seq);
+  out += "|sseq=" + std::to_string(span.resp_tcp_seq);
+  out += "|t=" + std::to_string(span.start_ts) + ".." +
+         std::to_string(span.end_ts);
+  out += "|" + std::string(protocols::l7_protocol_name(span.protocol));
+  out += "|" + span.method;
+  out += "|" + span.endpoint;
+  out += "|st=" + std::to_string(span.status_code);
+  out += span.ok ? "|ok" : "|err";
+  if (span.incomplete) out += "|incomplete";
+  out += "|" + span.tuple.to_string();
+  out += "|vpc=" + std::to_string(span.int_tags.vpc_id);
+  out += "|cip=" + std::to_string(span.int_tags.client_ip);
+  out += "|sip=" + std::to_string(span.int_tags.server_ip);
+  std::vector<std::string> tags;
+  tags.reserve(span.tags.size());
+  for (const agent::Tag& tag : span.tags) {
+    tags.push_back(tag.key + "=" + tag.value);
+  }
+  std::sort(tags.begin(), tags.end());
+  for (const std::string& tag : tags) out += "|" + tag;
+  return out;
+}
+
+std::string canonical_store_dump(const SpanStore& store) {
+  std::vector<std::string> lines;
+  for (const u64 id : store.span_list(0, ~TimestampNs{0})) {
+    lines.push_back(canonical_span(store.materialize(id)));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string canonical_trace(const AssembledTrace& trace) {
+  // Children grouped under parents via the (volatile) ids, then rendered
+  // purely structurally.
+  std::unordered_map<u64, std::vector<const AssembledSpan*>> children;
+  std::vector<const AssembledSpan*> roots;
+  for (const AssembledSpan& s : trace.spans) {
+    if (s.span.parent_span_id == 0) {
+      roots.push_back(&s);
+    } else {
+      children[s.span.parent_span_id].push_back(&s);
+    }
+  }
+  // Serialize a subtree bottom-up so sibling order can be canonical.
+  const std::function<std::string(const AssembledSpan*, size_t)> serialize =
+      [&](const AssembledSpan* node, size_t depth) {
+        std::string out(depth * 2, ' ');
+        out += canonical_span(node->span);
+        out += "|rule=" + std::to_string(node->parent_rule);
+        out += '\n';
+        std::vector<std::string> kids;
+        for (const AssembledSpan* child : children[node->span.span_id]) {
+          kids.push_back(serialize(child, depth + 1));
+        }
+        std::sort(kids.begin(), kids.end());
+        for (const std::string& kid : kids) out += kid;
+        return out;
+      };
+  std::vector<std::string> trees;
+  trees.reserve(roots.size());
+  for (const AssembledSpan* root : roots) trees.push_back(serialize(root, 0));
+  std::sort(trees.begin(), trees.end());
+  std::string out;
+  for (const std::string& tree : trees) out += tree;
+  return out;
+}
+
+}  // namespace deepflow::server

@@ -1,0 +1,34 @@
+// Canonical, id-independent serialization of spans, stores and assembled
+// traces. Volatile identifiers (span id, parent span id, systrace id) are
+// assigned in drain order, which legitimately differs between the serial
+// and the parallel ingest pipelines; everything else — timing, semantics,
+// association attributes, parentage STRUCTURE, tags — must be identical.
+// These helpers strip the volatile ids and sort deterministically so two
+// runs can be compared byte-for-byte:
+//   * the determinism-equivalence test (serial vs N-worker pipelines),
+//   * the golden-trace regression tests (assembler refactors cannot
+//     silently change the §3.3.3 parentage rules).
+#pragma once
+
+#include <string>
+
+#include "server/span_store.h"
+#include "server/trace_assembler.h"
+
+namespace deepflow::server {
+
+/// One span as a canonical line: every content field, no volatile ids.
+std::string canonical_span(const agent::Span& span);
+
+/// The whole store: materialized spans as canonical lines, sorted, one per
+/// line. Two stores with the same content compare equal regardless of
+/// ingest order, shard count or id assignment.
+std::string canonical_store_dump(const SpanStore& store);
+
+/// An assembled trace as an indented tree. Children are ordered by their
+/// canonical subtree serialization, parent links are structural (nesting),
+/// and each node carries the parent rule id that placed it — so the 16-rule
+/// table of §3.3.3 is pinned down without reference to span id values.
+std::string canonical_trace(const AssembledTrace& trace);
+
+}  // namespace deepflow::server

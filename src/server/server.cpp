@@ -1,17 +1,48 @@
 #include "server/server.h"
 
+#include <chrono>
+
 namespace deepflow::server {
+
+namespace {
+u64 steady_now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+}  // namespace
 
 DeepFlowServer::DeepFlowServer(const netsim::ResourceRegistry* registry,
                                ServerConfig config)
     : registry_(registry),
-      store_(config.encoder, registry),
+      store_(config.encoder, registry, config.store_shards),
       assembler_(&store_, config.assembler),
       reaggregator_(config.reaggregation) {}
 
+void DeepFlowServer::note_ingest_clock() {
+  const u64 now = steady_now_ns();
+  u64 expected = 0;
+  first_ingest_ns_.compare_exchange_strong(expected, now,
+                                           std::memory_order_relaxed);
+  last_ingest_ns_.store(now, std::memory_order_relaxed);
+}
+
 void DeepFlowServer::ingest(agent::Span&& span) {
-  ++ingested_;
+  ingested_.fetch_add(1, std::memory_order_relaxed);
+  note_ingest_clock();
   store_.insert(std::move(span));
+}
+
+void DeepFlowServer::ingest_batch(std::vector<agent::Span>&& spans) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_spans_.fetch_add(spans.size(), std::memory_order_relaxed);
+  u64 seen = max_batch_spans_.load(std::memory_order_relaxed);
+  while (seen < spans.size() &&
+         !max_batch_spans_.compare_exchange_weak(seen, spans.size(),
+                                                 std::memory_order_relaxed)) {
+  }
+  for (agent::Span& span : spans) ingest(std::move(span));
+  spans.clear();
 }
 
 void DeepFlowServer::ingest_third_party(agent::Span&& span) {
@@ -49,6 +80,33 @@ void DeepFlowServer::ingest_flow_metrics(const FiveTuple& tuple,
 void DeepFlowServer::ingest_device_metrics(
     const std::string& device, const netsim::DeviceMetrics& metrics) {
   device_metrics_[device] = metrics;
+}
+
+void DeepFlowServer::note_agent_drain(const agent::AgentStats& stats) {
+  agent_drain_batches_ += stats.drain_batches;
+  agent_drain_records_ += stats.drain_batch_records;
+  agent_staging_waits_ += stats.staging_ring_waits;
+  agent_perf_lost_ += stats.perf_lost;
+}
+
+IngestTelemetry DeepFlowServer::ingest_telemetry() const {
+  IngestTelemetry t;
+  t.spans = ingested_.load(std::memory_order_relaxed);
+  t.batches = batches_.load(std::memory_order_relaxed);
+  t.batched_spans = batched_spans_.load(std::memory_order_relaxed);
+  t.max_batch_spans = max_batch_spans_.load(std::memory_order_relaxed);
+  const u64 first = first_ingest_ns_.load(std::memory_order_relaxed);
+  const u64 last = last_ingest_ns_.load(std::memory_order_relaxed);
+  if (t.spans > 0 && last > first) {
+    t.spans_per_sec =
+        static_cast<double>(t.spans) / (static_cast<double>(last - first) / 1e9);
+  }
+  t.agent_drain_batches = agent_drain_batches_;
+  t.agent_drain_records = agent_drain_records_;
+  t.agent_staging_waits = agent_staging_waits_;
+  t.agent_perf_lost = agent_perf_lost_;
+  t.shard_rows = store_.shard_row_counts();
+  return t;
 }
 
 std::vector<agent::Span> DeepFlowServer::query_span_list(

@@ -3,9 +3,11 @@
 // answers user queries — span lists by time range and assembled traces.
 #pragma once
 
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
+#include "agent/agent.h"
 #include "agent/session_aggregator.h"
 #include "agent/span_builder.h"
 #include "netsim/fabric.h"
@@ -17,6 +19,9 @@ namespace deepflow::server {
 struct ServerConfig {
   EncoderKind encoder = EncoderKind::kSmart;
   AssemblerConfig assembler;
+  /// Span-store shard count. 1 (default) is the serial, byte-for-byte
+  /// deterministic layout; N > 1 enables striped-lock parallel ingest.
+  size_t store_shards = 1;
   /// Second-chance aggregation of messages that fell out of the agents'
   /// windows (§3.3.1): same technique, much wider window.
   agent::SessionAggregatorConfig reaggregation{
@@ -32,19 +37,42 @@ struct FlowMetricsRecord {
   netsim::FlowMetrics metrics;
 };
 
+/// Ingest-path self-telemetry (span arrival rate, batching behaviour,
+/// agent-side drain pressure, shard balance). The production system exports
+/// these as its own metrics; here they feed the scaling bench and tests.
+struct IngestTelemetry {
+  u64 spans = 0;            // total spans stored (agent + third-party)
+  u64 batches = 0;          // ingest_batch() calls
+  u64 batched_spans = 0;    // spans that arrived via batches
+  u64 max_batch_spans = 0;  // largest single batch
+  double spans_per_sec = 0; // over the first..last ingest wall-clock window
+  // Accumulated from agents (note_agent_drain): parallel-drain behaviour.
+  u64 agent_drain_batches = 0;   // staging batches flushed by drain workers
+  u64 agent_drain_records = 0;   // records carried by those batches
+  u64 agent_staging_waits = 0;   // producer stalls on full staging rings
+  u64 agent_perf_lost = 0;       // perf-ring overflow drops at the agents
+  std::vector<size_t> shard_rows;  // per-shard row counts
+};
+
 class DeepFlowServer {
  public:
   DeepFlowServer(const netsim::ResourceRegistry* registry,
                  ServerConfig config = {});
 
-  /// Agent transport endpoint: store one span.
+  /// Agent transport endpoint: store one span. Thread-safe — concurrent
+  /// senders stripe across the store's shards.
   void ingest(agent::Span&& span);
+
+  /// Batched transport endpoint: store a flight of spans in one call
+  /// (records batch-size telemetry). Thread-safe.
+  void ingest_batch(std::vector<agent::Span>&& spans);
 
   /// Third-party (OpenTelemetry-style) span integration.
   void ingest_third_party(agent::Span&& span);
 
   /// Agent upload of an out-of-window message: re-aggregated server-side
-  /// with the same session technique over a much wider window.
+  /// with the same session technique over a much wider window. NOT
+  /// thread-safe (single transport thread, like the agents' uploads).
   void ingest_straggler(const std::string& host, agent::MessageData&& message);
 
   /// Flush the re-aggregation window; pairs that never completed become
@@ -61,6 +89,13 @@ class DeepFlowServer {
                            const netsim::FlowMetrics& metrics);
   void ingest_device_metrics(const std::string& device,
                              const netsim::DeviceMetrics& metrics);
+
+  /// Fold one agent's drain-pipeline counters into the ingest telemetry
+  /// (called by the deployment when agents finish).
+  void note_agent_drain(const agent::AgentStats& stats);
+
+  /// Snapshot of the ingest-path self-telemetry.
+  IngestTelemetry ingest_telemetry() const;
 
   // -- Queries. -------------------------------------------------------------
 
@@ -88,10 +123,13 @@ class DeepFlowServer {
   }
 
   const SpanStore& store() const { return store_; }
-  u64 ingested_spans() const { return ingested_; }
+  u64 ingested_spans() const {
+    return ingested_.load(std::memory_order_relaxed);
+  }
 
  private:
   void emit_reaggregated(const std::string& host, agent::Session&& session);
+  void note_ingest_clock();
 
   const netsim::ResourceRegistry* registry_;
   SpanStore store_;
@@ -102,7 +140,20 @@ class DeepFlowServer {
   std::unordered_map<FiveTuple, netsim::FlowMetrics, FiveTupleHash>
       flow_metrics_;
   std::unordered_map<std::string, netsim::DeviceMetrics> device_metrics_;
-  u64 ingested_ = 0;
+  std::atomic<u64> ingested_{0};
+
+  // Ingest telemetry (all updated thread-safely on the ingest path).
+  std::atomic<u64> batches_{0};
+  std::atomic<u64> batched_spans_{0};
+  std::atomic<u64> max_batch_spans_{0};
+  std::atomic<u64> first_ingest_ns_{0};  // steady-clock ns; 0 = none yet
+  std::atomic<u64> last_ingest_ns_{0};
+  // Agent-side drain counters (single-threaded accumulation via
+  // note_agent_drain at finish time).
+  u64 agent_drain_batches_ = 0;
+  u64 agent_drain_records_ = 0;
+  u64 agent_staging_waits_ = 0;
+  u64 agent_perf_lost_ = 0;
 };
 
 }  // namespace deepflow::server

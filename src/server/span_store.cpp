@@ -13,93 +13,195 @@ u64 pseudo_thread_key(const agent::Span& span) {
 }
 
 SpanStore::SpanStore(EncoderKind encoder_kind,
-                     const netsim::ResourceRegistry* registry)
-    : encoder_(make_encoder(encoder_kind)), registry_(registry) {}
+                     const netsim::ResourceRegistry* registry,
+                     size_t shard_count)
+    : registry_(registry) {
+  const size_t count = shard_count == 0 ? 1 : shard_count;
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->encoder = make_encoder(encoder_kind);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+size_t SpanStore::shard_index(const agent::Span& span) const {
+  if (shards_.size() == 1) return 0;
+  // Stable content hash over association attributes: the same span lands on
+  // the same shard no matter which thread ingests it, and the spans of one
+  // request flow (same systrace id) cluster for search locality.
+  u64 key;
+  if (span.systrace_id != kInvalidSystraceId) {
+    key = mix64(span.systrace_id);
+  } else if (!span.x_request_id.empty()) {
+    key = fnv1a(span.x_request_id);
+  } else if (span.req_tcp_seq != 0) {
+    key = mix64(span.req_tcp_seq);
+  } else if (!span.otel_trace_id.empty()) {
+    key = fnv1a(span.otel_trace_id);
+  } else {
+    key = mix64(hash_combine(fnv1a(span.host), span.start_ts));
+  }
+  return static_cast<size_t>(key % shards_.size());
+}
 
 u64 SpanStore::insert(agent::Span span) {
+  const size_t idx = shard_index(span);
+  Shard& shard = *shards_[idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
   // Defensive uniqueness: a colliding or zero id gets remapped into a
-  // store-private range rather than silently shadowing an existing row.
-  if (span.span_id == 0 || rows_.contains(span.span_id)) {
-    span.span_id = (u64{1} << 56) | ++remap_counter_;
+  // store-private range (tagged with the shard index so remaps stay unique
+  // across shards) rather than silently shadowing an existing row.
+  if (span.span_id == 0 || shard.rows.contains(span.span_id)) {
+    span.span_id =
+        (u64{1} << 56) | (static_cast<u64>(idx) << 40) | ++shard.remap_counter;
   }
   const u64 id = span.span_id;
   SpanRow row;
   if (registry_ != nullptr) {
-    row.tag_blob = encoder_->encode(span, *registry_);
+    row.tag_blob = shard.encoder->encode(span, *registry_);
   }
   span.tags.clear();  // tags live in the blob, not the row columns
-  blob_bytes_ += row.tag_blob.size();
-  index_span(span, id);
+  shard.blob_bytes += row.tag_blob.size();
+  index_span(shard, span, id);
   row.span = std::move(span);
-  rows_.emplace(id, std::move(row));
+  shard.rows.emplace(id, std::move(row));
   return id;
 }
 
-void SpanStore::index_span(const agent::Span& span, u64 id) {
+void SpanStore::index_span(Shard& shard, const agent::Span& span, u64 id) {
   if (span.systrace_id != kInvalidSystraceId) {
-    by_systrace_[span.systrace_id].push_back(id);
+    shard.by_systrace[span.systrace_id].push_back(id);
   }
   if (span.pseudo_thread_id != 0) {
-    by_pseudo_thread_[pseudo_thread_key(span)].push_back(id);
+    shard.by_pseudo_thread[pseudo_thread_key(span)].push_back(id);
   }
   if (!span.x_request_id.empty()) {
-    by_x_request_id_[span.x_request_id].push_back(id);
+    shard.by_x_request_id[span.x_request_id].push_back(id);
   }
-  if (span.req_tcp_seq != 0) by_tcp_seq_[span.req_tcp_seq].push_back(id);
-  if (span.resp_tcp_seq != 0) by_tcp_seq_[span.resp_tcp_seq].push_back(id);
+  if (span.req_tcp_seq != 0) shard.by_tcp_seq[span.req_tcp_seq].push_back(id);
+  if (span.resp_tcp_seq != 0) shard.by_tcp_seq[span.resp_tcp_seq].push_back(id);
   if (!span.otel_trace_id.empty()) {
-    by_otel_id_[span.otel_trace_id].push_back(id);
+    shard.by_otel_id[span.otel_trace_id].push_back(id);
   }
-  by_time_.emplace_back(span.start_ts, id);
-  time_sorted_ = false;
+  shard.by_time.emplace_back(span.start_ts, id);
+  shard.time_sorted = false;
 }
 
 const SpanRow* SpanStore::row(u64 span_id) const {
-  const auto it = rows_.find(span_id);
-  return it == rows_.end() ? nullptr : &it->second;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const auto it = shard->rows.find(span_id);
+    // Safe to hand out after unlocking: rows are node-based and immutable
+    // once inserted.
+    if (it != shard->rows.end()) return &it->second;
+  }
+  return nullptr;
 }
 
 agent::Span SpanStore::materialize(u64 span_id) const {
-  const SpanRow* stored = row(span_id);
-  if (stored == nullptr) return {};
-  agent::Span span = stored->span;
-  if (registry_ != nullptr) {
-    span.tags = encoder_->decode(stored->tag_blob, span, *registry_);
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    const auto it = shard->rows.find(span_id);
+    if (it == shard->rows.end()) continue;
+    agent::Span span = it->second.span;
+    if (registry_ != nullptr) {
+      span.tags = shard->encoder->decode(it->second.tag_blob, span, *registry_);
+    }
+    return span;
   }
-  return span;
+  return {};
 }
 
 std::vector<u64> SpanStore::search(const SearchFilter& filter) const {
   std::unordered_set<u64> result;
-  const auto collect = [&result](const auto& index, const auto& keys) {
-    for (const auto& key : keys) {
-      const auto it = index.find(key);
-      if (it == index.end()) continue;
-      result.insert(it->second.begin(), it->second.end());
-    }
-  };
-  collect(by_systrace_, filter.systrace_ids);
-  collect(by_pseudo_thread_, filter.pseudo_thread_keys);
-  collect(by_x_request_id_, filter.x_request_ids);
-  collect(by_tcp_seq_, filter.tcp_seqs);
-  collect(by_otel_id_, filter.otel_trace_ids);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const auto collect = [&result](const auto& index, const auto& keys) {
+      for (const auto& key : keys) {
+        const auto it = index.find(key);
+        if (it == index.end()) continue;
+        result.insert(it->second.begin(), it->second.end());
+      }
+    };
+    collect(shard->by_systrace, filter.systrace_ids);
+    collect(shard->by_pseudo_thread, filter.pseudo_thread_keys);
+    collect(shard->by_x_request_id, filter.x_request_ids);
+    collect(shard->by_tcp_seq, filter.tcp_seqs);
+    collect(shard->by_otel_id, filter.otel_trace_ids);
+  }
   return std::vector<u64>(result.begin(), result.end());
 }
 
 std::vector<u64> SpanStore::span_list(TimestampNs from, TimestampNs to,
                                       size_t limit) const {
-  if (!time_sorted_) {
-    std::sort(by_time_.begin(), by_time_.end());
-    time_sorted_ = true;
+  // Collect up to `limit` in-range entries per shard, then merge-sort; the
+  // global cut of the merged order equals the single-shard result.
+  std::vector<std::pair<TimestampNs, u64>> merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (!shard->time_sorted) {
+      std::sort(shard->by_time.begin(), shard->by_time.end());
+      shard->time_sorted = true;
+    }
+    auto lo = std::lower_bound(shard->by_time.begin(), shard->by_time.end(),
+                               std::make_pair(from, u64{0}));
+    size_t taken = 0;
+    for (auto it = lo; it != shard->by_time.end() && it->first <= to; ++it) {
+      if (taken >= limit) break;
+      merged.push_back(*it);
+      ++taken;
+    }
   }
+  if (shards_.size() > 1) std::sort(merged.begin(), merged.end());
   std::vector<u64> out;
-  auto lo = std::lower_bound(by_time_.begin(), by_time_.end(),
-                             std::make_pair(from, u64{0}));
-  for (auto it = lo; it != by_time_.end() && it->first <= to; ++it) {
+  out.reserve(std::min(limit, merged.size()));
+  for (const auto& [ts, id] : merged) {
     if (out.size() >= limit) break;
-    out.push_back(it->second);
+    out.push_back(id);
   }
   return out;
+}
+
+size_t SpanStore::row_count() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->rows.size();
+  }
+  return n;
+}
+
+std::vector<size_t> SpanStore::shard_row_counts() const {
+  std::vector<size_t> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.push_back(shard->rows.size());
+  }
+  return out;
+}
+
+u64 SpanStore::blob_bytes() const {
+  u64 n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->blob_bytes;
+  }
+  return n;
+}
+
+u64 SpanStore::encoder_aux_bytes() const {
+  u64 n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->encoder->auxiliary_bytes();
+  }
+  return n;
+}
+
+std::string_view SpanStore::encoder_name() const {
+  return shards_[0]->encoder->name();
 }
 
 }  // namespace deepflow::server

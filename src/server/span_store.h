@@ -1,9 +1,24 @@
 // Span storage: the server-side database (ClickHouse stand-in). Rows hold
 // the span's fixed columns plus the encoder-produced tag blob; secondary
 // indexes cover every association attribute Algorithm 1 filters on.
+//
+// The store is sharded for parallel ingest: rows are partitioned across N
+// shards by a stable hash of the span's association attributes, each shard
+// owns its rows, secondary indexes, tag encoder and a striped lock, and the
+// query paths (row / search / span_list) merge across shards so the
+// Algorithm 1 semantics are unchanged. With the default shard_count of 1
+// the layout, ids and encoded blobs are byte-for-byte identical to the
+// historical single-shard store, which keeps serial mode deterministic.
+//
+// Thread-safety: insert() may be called concurrently from any number of
+// threads (each insert locks exactly one shard). Query methods also take
+// the shard locks, so they are safe to interleave with inserts; pointers
+// returned by row() stay valid because rows are node-based and never
+// mutated after insertion.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -42,9 +57,11 @@ u64 pseudo_thread_key(const agent::Span& span);
 
 class SpanStore {
  public:
-  SpanStore(EncoderKind encoder_kind, const netsim::ResourceRegistry* registry);
+  /// `shard_count` 0/1 selects the serial single-shard layout.
+  SpanStore(EncoderKind encoder_kind, const netsim::ResourceRegistry* registry,
+            size_t shard_count = 1);
 
-  /// Encode tags and store the span. Returns the span id.
+  /// Encode tags and store the span. Returns the span id. Thread-safe.
   u64 insert(agent::Span span);
 
   const SpanRow* row(u64 span_id) const;
@@ -53,7 +70,8 @@ class SpanStore {
   agent::Span materialize(u64 span_id) const;
 
   /// All span ids matching any filter attribute (Algorithm 1's
-  /// search_database). Complexity: proportional to matches, via indexes.
+  /// search_database), merged across shards. Complexity: proportional to
+  /// matches, via per-shard indexes.
   std::vector<u64> search(const SearchFilter& filter) const;
 
   /// Span ids whose start timestamp falls in [from, to], time-ordered,
@@ -61,31 +79,40 @@ class SpanStore {
   std::vector<u64> span_list(TimestampNs from, TimestampNs to,
                              size_t limit = ~size_t{0}) const;
 
-  size_t row_count() const { return rows_.size(); }
+  size_t row_count() const;
+  size_t shard_count() const { return shards_.size(); }
+  /// Per-shard row counts (ingest telemetry / balance diagnostics).
+  std::vector<size_t> shard_row_counts() const;
   /// Bytes consumed by row blobs (the Fig 14 "disk" proxy).
-  u64 blob_bytes() const { return blob_bytes_; }
+  u64 blob_bytes() const;
   /// Bytes of encoder auxiliary state (dictionaries; Fig 14 "memory" part).
-  u64 encoder_aux_bytes() const { return encoder_->auxiliary_bytes(); }
-  std::string_view encoder_name() const { return encoder_->name(); }
+  u64 encoder_aux_bytes() const;
+  std::string_view encoder_name() const;
 
  private:
-  void index_span(const agent::Span& span, u64 id);
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<TagEncoder> encoder;
+    std::unordered_map<u64, SpanRow> rows;
+    u64 blob_bytes = 0;
+    u64 remap_counter = 0;
 
-  std::unique_ptr<TagEncoder> encoder_;
+    // Secondary indexes over association attributes.
+    std::unordered_map<SystraceId, std::vector<u64>> by_systrace;
+    std::unordered_map<u64, std::vector<u64>> by_pseudo_thread;
+    std::unordered_map<std::string, std::vector<u64>> by_x_request_id;
+    std::unordered_map<TcpSeq, std::vector<u64>> by_tcp_seq;
+    std::unordered_map<std::string, std::vector<u64>> by_otel_id;
+    // Time index: (start_ts, id), kept sorted lazily.
+    mutable std::vector<std::pair<TimestampNs, u64>> by_time;
+    mutable bool time_sorted = true;
+  };
+
+  size_t shard_index(const agent::Span& span) const;
+  static void index_span(Shard& shard, const agent::Span& span, u64 id);
+
   const netsim::ResourceRegistry* registry_;
-  std::unordered_map<u64, SpanRow> rows_;
-  u64 blob_bytes_ = 0;
-  u64 remap_counter_ = 0;
-
-  // Secondary indexes over association attributes.
-  std::unordered_map<SystraceId, std::vector<u64>> by_systrace_;
-  std::unordered_map<u64, std::vector<u64>> by_pseudo_thread_;
-  std::unordered_map<std::string, std::vector<u64>> by_x_request_id_;
-  std::unordered_map<TcpSeq, std::vector<u64>> by_tcp_seq_;
-  std::unordered_map<std::string, std::vector<u64>> by_otel_id_;
-  // Time index: (start_ts, id), kept sorted lazily.
-  mutable std::vector<std::pair<TimestampNs, u64>> by_time_;
-  mutable bool time_sorted_ = true;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace deepflow::server

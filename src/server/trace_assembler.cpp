@@ -52,14 +52,39 @@ bool encloses(const Span& parent, const Span& child) {
   return parent.start_ts <= child.start_ts && parent.end_ts >= child.end_ts;
 }
 
+/// Content-deterministic order for spans that start at the same instant.
+/// Span ids are assigned in drain order, which legitimately differs between
+/// the serial and the parallel ingest pipelines, so tie-breaking on raw ids
+/// would make parentage depend on the ingest schedule. Ranking by content
+/// keeps assembly identical across pipelines; ids only separate spans whose
+/// content is fully identical — and those are interchangeable structurally.
+bool content_less(const Span& a, const Span& b) {
+  if (a.end_ts != b.end_ts) return a.end_ts < b.end_ts;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.from_server_side != b.from_server_side) return b.from_server_side;
+  if (a.host != b.host) return a.host < b.host;
+  if (a.device_name != b.device_name) return a.device_name < b.device_name;
+  if (a.pid != b.pid) return a.pid < b.pid;
+  if (a.tid != b.tid) return a.tid < b.tid;
+  if (a.req_tcp_seq != b.req_tcp_seq) return a.req_tcp_seq < b.req_tcp_seq;
+  if (a.resp_tcp_seq != b.resp_tcp_seq) return a.resp_tcp_seq < b.resp_tcp_seq;
+  if (a.x_request_id != b.x_request_id) return a.x_request_id < b.x_request_id;
+  if (a.otel_trace_id != b.otel_trace_id) {
+    return a.otel_trace_id < b.otel_trace_id;
+  }
+  if (a.method != b.method) return a.method < b.method;
+  if (a.endpoint != b.endpoint) return a.endpoint < b.endpoint;
+  return a.span_id < b.span_id;
+}
+
 /// Strictly-before-or-equal start, excluding self; keeps the parent graph
-/// acyclic (ties broken by span id order).
+/// acyclic (same-instant ties broken by the content order above).
 bool starts_before(const Span& parent, const Span& child) {
   if (parent.span_id == child.span_id) return false;
   if (parent.start_ts != child.start_ts) {
     return parent.start_ts < child.start_ts;
   }
-  return parent.span_id < child.span_id;
+  return content_less(parent, child);
 }
 
 bool shares_req_seq(const Span& a, const Span& b) {
@@ -285,7 +310,7 @@ AssembledTrace TraceAssembler::assemble(u64 start_span_id) const {
         if (!starts_before(p, x)) continue;
         if (!rule.applies(x, p)) continue;
         if (best == nullptr || p.start_ts > best->start_ts ||
-            (p.start_ts == best->start_ts && p.span_id > best->span_id)) {
+            (p.start_ts == best->start_ts && content_less(*best, p))) {
           best = &p;
         }
       }
@@ -304,7 +329,7 @@ AssembledTrace TraceAssembler::assemble(u64 start_span_id) const {
     if (spans[a].start_ts != spans[b].start_ts) {
       return spans[a].start_ts < spans[b].start_ts;
     }
-    return spans[a].span_id < spans[b].span_id;
+    return content_less(spans[a], spans[b]);
   });
 
   trace.spans.reserve(spans.size());

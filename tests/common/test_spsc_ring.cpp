@@ -74,5 +74,33 @@ TEST(SpscRing, ConcurrentProducerConsumer) {
   // here — what matters is that no accepted item was lost or reordered.
 }
 
+// Heavier two-thread stress: >1M operations through a small ring, with the
+// producer using the probe-then-push idiom the agent's drain workers rely
+// on (a single producer that sees !full can never have its push rejected).
+// Asserts strict FIFO with no lost and no duplicated records, and that the
+// retry-free path indeed dropped nothing.
+TEST(SpscRing, MillionOpStressNoLossNoDuplication) {
+  SpscRing<u64> ring(512);
+  constexpr u64 kCount = 1'200'000;
+  std::thread producer([&ring] {
+    for (u64 i = 0; i < kCount; ++i) {
+      while (ring.size() >= ring.capacity()) {
+        std::this_thread::yield();
+      }
+      ASSERT_TRUE(ring.push(i));
+    }
+  });
+  u64 expected = 0;
+  while (expected < kCount) {
+    if (const auto v = ring.pop()) {
+      ASSERT_EQ(*v, expected);  // any loss or duplication breaks the sequence
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
 }  // namespace
 }  // namespace deepflow

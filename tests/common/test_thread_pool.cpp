@@ -1,0 +1,172 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_ring.h"
+
+namespace deepflow {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+  EXPECT_EQ(pool.tasks_completed(), 1000u);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilInFlightTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done.store(true, std::memory_order_release);
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(done.load(std::memory_order_acquire));
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  EXPECT_EQ(pool.tasks_completed(), 0u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 100'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&hits](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroItemsIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit(
+          [&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadPoolPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(MpscRingArray, OneLanePerProducer) {
+  MpscRingArray<int> rings(3, 8);
+  EXPECT_EQ(rings.producer_count(), 3u);
+  EXPECT_EQ(rings.lane_capacity(), 8u);
+  EXPECT_TRUE(rings.push(0, 10));
+  EXPECT_TRUE(rings.push(1, 20));
+  EXPECT_TRUE(rings.push(2, 30));
+  EXPECT_EQ(rings.pending(), 3u);
+  EXPECT_EQ(*rings.pop_from(1), 20);
+  EXPECT_EQ(*rings.pop_from(0), 10);
+  EXPECT_EQ(*rings.pop_from(2), 30);
+  EXPECT_FALSE(rings.pop_from(0).has_value());
+}
+
+TEST(MpscRingArray, FullProbeGuaranteesNextPushSucceeds) {
+  MpscRingArray<int> rings(1, 4);
+  while (!rings.full(0)) EXPECT_TRUE(rings.push(0, 7));
+  EXPECT_FALSE(rings.push(0, 8));  // genuinely full now
+  EXPECT_EQ(rings.dropped(), 1u);
+  ASSERT_TRUE(rings.pop_from(0).has_value());
+  EXPECT_FALSE(rings.full(0));
+  EXPECT_TRUE(rings.push(0, 9));
+}
+
+TEST(MpscRingArray, DrainVisitsAllLanesRoundRobin) {
+  MpscRingArray<int> rings(2, 8);
+  for (int i = 0; i < 4; ++i) {
+    rings.push(0, i);
+    rings.push(1, 100 + i);
+  }
+  std::vector<int> out;
+  const size_t n = rings.drain(100, [&out](int v) { out.push_back(v); });
+  EXPECT_EQ(n, 8u);
+  EXPECT_EQ(rings.pending(), 0u);
+  // Round-robin interleaves lanes but preserves per-lane FIFO order.
+  std::vector<int> lane0, lane1;
+  for (int v : out) (v < 100 ? lane0 : lane1).push_back(v);
+  EXPECT_EQ(lane0, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(lane1, (std::vector<int>{100, 101, 102, 103}));
+}
+
+TEST(MpscRingArray, DrainHonoursBudget) {
+  MpscRingArray<int> rings(2, 16);
+  for (int i = 0; i < 10; ++i) {
+    rings.push(0, i);
+    rings.push(1, i);
+  }
+  EXPECT_EQ(rings.drain(5, [](int) {}), 5u);
+  EXPECT_EQ(rings.pending(), 15u);
+}
+
+// The agent's staging pattern under real concurrency: N producer threads,
+// each owning one lane and spinning on full() instead of losing items; one
+// consumer thread draining everything. Every pushed value must arrive
+// exactly once and in per-lane FIFO order.
+TEST(MpscRingArray, MultiProducerStressNoLossNoDuplication) {
+  constexpr size_t kProducers = 4;
+  constexpr u64 kPerProducer = 300'000;  // 1.2M ops total
+  MpscRingArray<u64> rings(kProducers, 256);
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&rings, p] {
+      for (u64 i = 0; i < kPerProducer; ++i) {
+        const u64 value = (u64{p} << 32) | i;
+        while (rings.full(p)) std::this_thread::yield();
+        ASSERT_TRUE(rings.push(p, value));  // full() cleared -> must succeed
+      }
+    });
+  }
+
+  std::vector<u64> next_expected(kProducers, 0);
+  u64 consumed = 0;
+  while (consumed < kProducers * kPerProducer) {
+    consumed += rings.drain(1024, [&next_expected](u64 value) {
+      const size_t p = value >> 32;
+      const u64 seq = value & 0xffffffffu;
+      ASSERT_EQ(seq, next_expected[p]) << "lane " << p;  // FIFO, no loss/dup
+      ++next_expected[p];
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(rings.pending(), 0u);
+  for (size_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer);
+  }
+}
+
+}  // namespace
+}  // namespace deepflow

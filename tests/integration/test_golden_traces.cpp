@@ -1,0 +1,92 @@
+// Golden-trace regression tests: assembled traces for fixed seeds and
+// topologies are serialized (canonically — no volatile ids) and compared
+// against checked-in snapshots under tests/integration/golden/. Any change
+// to protocol parsing, session aggregation, systrace assignment or the
+// Algorithm 1 parent rules that alters trace structure shows up as a diff
+// against the golden file rather than a silent behaviour change.
+//
+// Regenerating (after an INTENDED behaviour change):
+//   DF_REGEN_GOLDEN=1 ./test_integration --gtest_filter='GoldenTraces.*'
+// then review the golden-file diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "server/canonical.h"
+#include "workloads/topologies.h"
+
+#ifndef DF_GOLDEN_DIR
+#error "DF_GOLDEN_DIR must point at tests/integration/golden"
+#endif
+
+namespace deepflow {
+namespace {
+
+using workloads::Topology;
+
+// All traces of a run, canonical, sorted, separated by a marker line.
+std::string trace_corpus(Topology topo, double rps, DurationNs duration) {
+  core::Deployment deepflow(topo.cluster.get(), {});
+  EXPECT_TRUE(deepflow.deploy()) << deepflow.error();
+  topo.app->run_constant_load(topo.entry, rps, duration);
+  deepflow.finish();
+
+  const server::SpanStore& store = deepflow.server().store();
+  std::set<u64> claimed;
+  std::vector<std::string> traces;
+  for (const u64 id : store.span_list(0, ~TimestampNs{0})) {
+    if (claimed.contains(id)) continue;
+    const server::AssembledTrace trace = deepflow.server().query_trace(id);
+    for (const auto& s : trace.spans) claimed.insert(s.span.span_id);
+    traces.push_back(server::canonical_trace(trace));
+  }
+  std::sort(traces.begin(), traces.end());
+  std::string out;
+  for (size_t i = 0; i < traces.size(); ++i) {
+    out += "=== trace " + std::to_string(i) + " ===\n";
+    out += traces[i];
+  }
+  return out;
+}
+
+void check_against_golden(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(DF_GOLDEN_DIR) + "/" + name + ".txt";
+  if (std::getenv("DF_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with DF_REGEN_GOLDEN=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+  EXPECT_EQ(expected, actual)
+      << "assembled traces diverged from " << path
+      << " — if the change is intended, regenerate with DF_REGEN_GOLDEN=1";
+}
+
+// Fixed seed 11, sync HTTP fan-out through nginx + Spring Boot + MySQL.
+TEST(GoldenTraces, SpringBootDemoSeed11) {
+  check_against_golden(
+      "spring_boot_demo_seed11",
+      trace_corpus(workloads::make_spring_boot_demo(11), 10.0, 1 * kSecond));
+}
+
+// Fixed seed 13, Istio bookinfo: polyglot mesh, MySQL + Redis backends.
+TEST(GoldenTraces, BookinfoSeed13) {
+  check_against_golden(
+      "bookinfo_seed13",
+      trace_corpus(workloads::make_bookinfo(13), 8.0, 1 * kSecond));
+}
+
+}  // namespace
+}  // namespace deepflow

@@ -122,13 +122,17 @@ StageResult run_agent_drain(u32 workers) {
   return result;
 }
 
-void print_scaling(const char* unit, const std::vector<StageResult>& rows) {
+void print_scaling(const char* unit, const std::vector<StageResult>& rows,
+                   const char* stage, bench::JsonReport& report) {
   std::printf("\n  %8s %12s %14s %12s\n", "threads", "seconds",
               unit, "speedup");
   for (const StageResult& row : rows) {
     std::printf("  %8u %12.3f %14.0f %11.2fx\n", row.threads, row.seconds,
                 static_cast<double>(row.items) / row.seconds,
                 rows[0].seconds / row.seconds);
+    report.add(std::string(stage) + "_" + std::to_string(row.threads) +
+                   "t_items_per_sec",
+               static_cast<double>(row.items) / row.seconds);
   }
 }
 
@@ -148,8 +152,10 @@ void print_telemetry(const server::IngestTelemetry& t) {
 }  // namespace
 }  // namespace deepflow
 
-int main() {
+int main(int argc, char** argv) {
   using namespace deepflow;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::JsonReport report(args.json_path);
   const unsigned cores = std::thread::hardware_concurrency();
   bench::print_header(
       "Ingest scaling — sharded span store + parallel agent drain\n"
@@ -166,7 +172,7 @@ int main() {
   for (const u32 threads : kThreadCounts) {
     store_rows.push_back(run_store_ingest(threads, cluster));
   }
-  print_scaling("spans/sec", store_rows);
+  print_scaling("spans/sec", store_rows, "store_ingest", report);
   std::printf("\n  ingest telemetry (8-thread row):\n");
   print_telemetry(store_rows.back().telemetry);
 
@@ -176,9 +182,9 @@ int main() {
   for (const u32 workers : kThreadCounts) {
     drain_rows.push_back(run_agent_drain(workers));
   }
-  print_scaling("records/sec", drain_rows);
+  print_scaling("records/sec", drain_rows, "agent_drain", report);
   std::printf("\n  ingest telemetry (8-worker row):\n");
   print_telemetry(drain_rows.back().telemetry);
   std::printf("\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

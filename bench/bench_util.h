@@ -4,7 +4,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "agent/span.h"
@@ -12,6 +14,65 @@
 #include "netsim/resource.h"
 
 namespace deepflow::bench {
+
+/// Standard bench flags: `--json <path>` dumps the bench's metrics as one
+/// flat JSON object (BENCH_*.json perf trajectories accumulate across PRs);
+/// `--quick` shrinks the workload to a smoke-test size (the TSan gate in
+/// scripts/check.sh runs benches this way).
+struct BenchArgs {
+  std::string json_path;
+  bool quick = false;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else {
+      std::fprintf(stderr, "unknown arg %s (expected --json <path>, --quick)\n",
+                   argv[i]);
+    }
+  }
+  return args;
+}
+
+/// Flat metric sink: add(key, value) during the run, write() once at the
+/// end. Writing is a no-op unless `--json` provided a path.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path = {}) : path_(std::move(path)) {}
+
+  void add(const std::string& key, double value) {
+    entries_.emplace_back(key, value);
+  }
+
+  /// Returns false (with a message on stderr) if the file cannot be
+  /// written; a path-less report always succeeds silently.
+  bool write() const {
+    if (path_.empty()) return true;
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(out, "  \"%s\": %.6f%s\n", entries_[i].first.c_str(),
+                   entries_[i].second, i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("  wrote %zu metrics to %s\n", entries_.size(), path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 /// Wall-clock timer for real CPU-path measurements (micro benches measure
 /// the implementation, not the simulated clock).

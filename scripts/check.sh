@@ -5,8 +5,9 @@
 #
 #   scripts/check.sh            # both configs
 #   scripts/check.sh release    # release only
-#   scripts/check.sh tsan       # tsan only (thread-pool, ring and
-#                               # parallel-equivalence suites)
+#   scripts/check.sh tsan       # tsan only (thread-pool, ring,
+#                               # parallel/query-equivalence suites and a
+#                               # bench_fig15_query_delay --quick smoke)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,7 +31,13 @@ run_tsan() {
   # gate on the suites that exercise the parallel ingest pipeline.
   (cd "$root/build-tsan" && TSAN_OPTIONS="halt_on_error=1" ctest \
     --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence')
+    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence')
+  echo "== tsan: bench_fig15_query_delay --quick smoke =="
+  # Shared-mutex readers + batch assembly under TSan on a tiny workload:
+  # catches query-path races the unit suites cannot reach.
+  cmake --build --preset tsan -j "$jobs" --target bench_fig15_query_delay
+  TSAN_OPTIONS="halt_on_error=1" \
+    "$root/build-tsan/bench/bench_fig15_query_delay" --quick
 }
 
 case "$what" in

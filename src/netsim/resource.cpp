@@ -5,6 +5,7 @@ namespace deepflow::netsim {
 VpcId ResourceRegistry::create_vpc(std::string name, std::string region) {
   const VpcId id = next_vpc_++;
   vpcs_.emplace(id, Vpc{std::move(name), std::move(region)});
+  ++version_;
   return id;
 }
 
@@ -12,6 +13,7 @@ NodeId ResourceRegistry::create_node(VpcId vpc, std::string name,
                                      std::string az) {
   const NodeId id = next_node_++;
   nodes_.emplace(id, Node{vpc, std::move(name), std::move(az)});
+  ++version_;
   return id;
 }
 
@@ -21,17 +23,20 @@ PodId ResourceRegistry::create_pod(NodeId node, std::string name, Ipv4 ip,
   const PodId id = next_pod_++;
   pods_.emplace(id, Pod{node, std::move(name), ip, service, std::move(labels)});
   ip_to_pod_.emplace(ip.addr, id);
+  ++version_;
   return id;
 }
 
 ServiceId ResourceRegistry::create_service(VpcId vpc, std::string name) {
   const ServiceId id = next_service_++;
   services_.emplace(id, Service{vpc, std::move(name)});
+  ++version_;
   return id;
 }
 
 void ResourceRegistry::register_node_ip(NodeId node, Ipv4 ip) {
   ip_to_node_.emplace(ip.addr, node);
+  ++version_;
 }
 
 ResourceInfo ResourceRegistry::resolve(Ipv4 ip) const {

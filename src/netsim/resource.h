@@ -74,6 +74,11 @@ class ResourceRegistry {
   size_t pod_count() const { return pods_.size(); }
   size_t node_count() const { return nodes_.size(); }
 
+  /// Monotonic mutation counter: bumped by every create_* /
+  /// register_node_ip call. Consumers that cache resolve() output (e.g. the
+  /// span store's decoded-tag cache) compare versions to detect staleness.
+  u64 version() const { return version_; }
+
   /// All pods of a service, for load-balancer style fan-out in workloads.
   std::vector<PodId> pods_of_service(ServiceId service) const;
   std::optional<Ipv4> pod_ip(PodId pod) const;
@@ -110,6 +115,7 @@ class ResourceRegistry {
   NodeId next_node_ = 1;
   PodId next_pod_ = 1;
   ServiceId next_service_ = 1;
+  u64 version_ = 0;
   std::string empty_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/thread_pool.h"
+
 namespace deepflow::server {
 
 namespace {
@@ -120,6 +122,40 @@ std::vector<agent::Span> DeepFlowServer::query_span_list(
 
 AssembledTrace DeepFlowServer::query_trace(u64 span_id) const {
   return assembler_.assemble(span_id);
+}
+
+std::vector<AssembledTrace> DeepFlowServer::assemble_traces(
+    const std::vector<u64>& span_ids, size_t workers) const {
+  std::vector<AssembledTrace> out(span_ids.size());
+  if (workers <= 1 || span_ids.size() <= 1) {
+    for (size_t i = 0; i < span_ids.size(); ++i) {
+      out[i] = assembler_.assemble(span_ids[i]);
+    }
+    return out;
+  }
+  // Each assembly is an independent read-only query; the pool fans them out
+  // and every worker writes only its own slot.
+  ThreadPool pool(workers);
+  pool.parallel_for(span_ids.size(), [&](size_t i) {
+    out[i] = assembler_.assemble(span_ids[i]);
+  });
+  return out;
+}
+
+QueryTelemetry DeepFlowServer::query_telemetry() const {
+  const StoreQueryCounters store = store_.query_counters();
+  const AssemblerCounters assembler = assembler_.counters();
+  QueryTelemetry t;
+  t.searches = store.searches;
+  t.search_keys = store.search_keys;
+  t.search_hits = store.search_hits;
+  t.rows_touched = store.rows_touched;
+  t.shard_locks = store.shard_locks;
+  t.tag_cache_hits = store.tag_cache_hits;
+  t.traces_assembled = assembler.traces;
+  t.assembly_iterations = assembler.search_iterations;
+  t.assembled_spans = assembler.spans;
+  return t;
 }
 
 const netsim::FlowMetrics* DeepFlowServer::metrics_for(

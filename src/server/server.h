@@ -54,6 +54,22 @@ struct IngestTelemetry {
   std::vector<size_t> shard_rows;  // per-shard row counts
 };
 
+/// Query-path self-telemetry, the read-side mirror of IngestTelemetry:
+/// store searches and the keys they probed, rows and shard locks touched
+/// (the lock-wait proxy — with shard routing each point lookup acquires
+/// exactly one shard), and per-assembly delta-search iteration counts.
+struct QueryTelemetry {
+  u64 searches = 0;            // SpanStore::search calls
+  u64 search_keys = 0;         // filter keys probed across those calls
+  u64 search_hits = 0;         // span ids returned by searches
+  u64 rows_touched = 0;        // row()/materialize() point lookups
+  u64 shard_locks = 0;         // query-side shard acquisitions (lock-wait proxy)
+  u64 tag_cache_hits = 0;      // batched materializations served from cache
+  u64 traces_assembled = 0;    // completed trace assemblies
+  u64 assembly_iterations = 0; // delta-search iterations across assemblies
+  u64 assembled_spans = 0;     // spans placed into assembled traces
+};
+
 class DeepFlowServer {
  public:
   DeepFlowServer(const netsim::ResourceRegistry* registry,
@@ -106,6 +122,18 @@ class DeepFlowServer {
 
   /// Assemble the full trace containing `span_id` (Algorithm 1).
   AssembledTrace query_trace(u64 span_id) const;
+
+  /// Batch assembly service: assemble one trace per id. With `workers` <= 1
+  /// the assemblies run serially on the caller's thread; otherwise
+  /// independent assemblies fan out across a ThreadPool of that size.
+  /// Results are positionally aligned with `span_ids` and byte-identical to
+  /// the serial path — assembly only reads the store (shared shard locks),
+  /// so parallel assemblies neither serialize nor perturb each other.
+  std::vector<AssembledTrace> assemble_traces(const std::vector<u64>& span_ids,
+                                              size_t workers = 1) const;
+
+  /// Snapshot of the query-path self-telemetry.
+  QueryTelemetry query_telemetry() const;
 
   /// Metrics correlated with a span via its flow tags.
   const netsim::FlowMetrics* metrics_for(const agent::Span& span) const;

@@ -1,6 +1,7 @@
 #include "server/span_store.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/hash.h"
 
@@ -12,6 +13,24 @@ u64 pseudo_thread_key(const agent::Span& span) {
   return hash_combine(h, span.pseudo_thread_id);
 }
 
+namespace {
+
+// Kind tags for the per-shard key Bloom filter: the same attribute value
+// under different indexes must set different bits.
+enum BloomKind : u8 {
+  kBloomSystrace,
+  kBloomPseudoThread,
+  kBloomXRequestId,
+  kBloomTcpSeq,
+  kBloomOtelId,
+};
+
+u64 bloom_key_hash(BloomKind kind, u64 value) {
+  return mix64(value ^ (0x9e3779b97f4a7c15ULL * (u64{kind} + 1)));
+}
+
+}  // namespace
+
 SpanStore::SpanStore(EncoderKind encoder_kind,
                      const netsim::ResourceRegistry* registry,
                      size_t shard_count)
@@ -21,7 +40,14 @@ SpanStore::SpanStore(EncoderKind encoder_kind,
   for (size_t i = 0; i < count; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->encoder = make_encoder(encoder_kind);
+    shard->bloom_enabled = count > 1;  // single shard: no fan-out to avoid
     shards_.push_back(std::move(shard));
+  }
+  if (count > 1) {
+    directory_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      directory_.push_back(std::make_unique<DirectoryStripe>());
+    }
   }
 }
 
@@ -45,92 +71,374 @@ size_t SpanStore::shard_index(const agent::Span& span) const {
   return static_cast<size_t>(key % shards_.size());
 }
 
+bool SpanStore::claim_id(u64 id, size_t shard_idx) {
+  DirectoryStripe& stripe = *directory_[mix64(id) % directory_.size()];
+  std::unique_lock lock(stripe.mu);
+  return stripe.shard_of.emplace(id, static_cast<u32>(shard_idx)).second;
+}
+
 u64 SpanStore::insert(agent::Span span) {
   const size_t idx = shard_index(span);
   Shard& shard = *shards_[idx];
-  std::lock_guard<std::mutex> lock(shard.mu);
   // Defensive uniqueness: a colliding or zero id gets remapped into a
   // store-private range (tagged with the shard index so remaps stay unique
   // across shards) rather than silently shadowing an existing row.
-  if (span.span_id == 0 || shard.rows.contains(span.span_id)) {
+  //
+  // Multi-shard stores enforce uniqueness through the directory: placement
+  // hashes span *content*, so two spans with the same id can land on
+  // different shards and a shard-local check would miss the collision. The
+  // id is claimed before the row is inserted; readers that win the race see
+  // the directory entry but no row yet — same as an incomplete insert.
+  if (!directory_.empty()) {
+    if (span.span_id == 0 || !claim_id(span.span_id, idx)) {
+      span.span_id =
+          (u64{1} << 56) | (static_cast<u64>(idx) << 40) |
+          (shard.remap_counter.fetch_add(1, std::memory_order_relaxed) + 1);
+      claim_id(span.span_id, idx);  // remap range: always succeeds
+    }
+  }
+  std::unique_lock lock(shard.mu);
+  if (directory_.empty() &&
+      (span.span_id == 0 || shard.rows.contains(span.span_id))) {
     span.span_id =
-        (u64{1} << 56) | (static_cast<u64>(idx) << 40) | ++shard.remap_counter;
+        (u64{1} << 56) | (static_cast<u64>(idx) << 40) |
+        (shard.remap_counter.fetch_add(1, std::memory_order_relaxed) + 1);
   }
   const u64 id = span.span_id;
   SpanRow row;
+  row.shard = static_cast<u32>(idx);
   if (registry_ != nullptr) {
     row.tag_blob = shard.encoder->encode(span, *registry_);
   }
   span.tags.clear();  // tags live in the blob, not the row columns
   shard.blob_bytes += row.tag_blob.size();
-  index_span(shard, span, id);
   row.span = std::move(span);
-  shard.rows.emplace(id, std::move(row));
+  // Insert before indexing: the secondary indexes point at the stored row
+  // (node-based map, so the address is stable for the store's lifetime).
+  const auto [it, inserted] = shard.rows.emplace(id, std::move(row));
+  index_span(shard, it->second, id);
   return id;
 }
 
-void SpanStore::index_span(Shard& shard, const agent::Span& span, u64 id) {
+void SpanStore::index_span(Shard& shard, const SpanRow& row, u64 id) {
+  const agent::Span& span = row.span;
+  const SpanRow* ptr = &row;
   if (span.systrace_id != kInvalidSystraceId) {
-    shard.by_systrace[span.systrace_id].push_back(id);
+    shard.by_systrace[span.systrace_id].push_back(ptr);
+    shard.bloom_add(bloom_key_hash(kBloomSystrace, span.systrace_id));
   }
   if (span.pseudo_thread_id != 0) {
-    shard.by_pseudo_thread[pseudo_thread_key(span)].push_back(id);
+    const u64 key = pseudo_thread_key(span);
+    shard.by_pseudo_thread[key].push_back(ptr);
+    shard.bloom_add(bloom_key_hash(kBloomPseudoThread, key));
   }
   if (!span.x_request_id.empty()) {
-    shard.by_x_request_id[span.x_request_id].push_back(id);
+    shard.by_x_request_id[span.x_request_id].push_back(ptr);
+    shard.bloom_add(bloom_key_hash(kBloomXRequestId, fnv1a(span.x_request_id)));
   }
-  if (span.req_tcp_seq != 0) shard.by_tcp_seq[span.req_tcp_seq].push_back(id);
-  if (span.resp_tcp_seq != 0) shard.by_tcp_seq[span.resp_tcp_seq].push_back(id);
+  if (span.req_tcp_seq != 0) {
+    shard.by_tcp_seq[span.req_tcp_seq].push_back(ptr);
+    shard.bloom_add(bloom_key_hash(kBloomTcpSeq, span.req_tcp_seq));
+  }
+  if (span.resp_tcp_seq != 0) {
+    shard.by_tcp_seq[span.resp_tcp_seq].push_back(ptr);
+    shard.bloom_add(bloom_key_hash(kBloomTcpSeq, span.resp_tcp_seq));
+  }
   if (!span.otel_trace_id.empty()) {
-    shard.by_otel_id[span.otel_trace_id].push_back(id);
+    shard.by_otel_id[span.otel_trace_id].push_back(ptr);
+    shard.bloom_add(bloom_key_hash(kBloomOtelId, fnv1a(span.otel_trace_id)));
   }
   shard.by_time.emplace_back(span.start_ts, id);
   shard.time_sorted = false;
 }
 
+const SpanStore::Shard* SpanStore::locate(u64 span_id) const {
+  if (shards_.size() == 1) return shards_[0].get();
+  const DirectoryStripe& stripe =
+      *directory_[mix64(span_id) % directory_.size()];
+  std::shared_lock lock(stripe.mu);
+  const auto it = stripe.shard_of.find(span_id);
+  if (it == stripe.shard_of.end()) return nullptr;
+  return shards_[it->second].get();
+}
+
 const SpanRow* SpanStore::row(u64 span_id) const {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    const auto it = shard->rows.find(span_id);
-    // Safe to hand out after unlocking: rows are node-based and immutable
-    // once inserted.
-    if (it != shard->rows.end()) return &it->second;
-  }
+  rows_touched_.fetch_add(1, std::memory_order_relaxed);
+  const Shard* shard = locate(span_id);
+  if (shard == nullptr) return nullptr;
+  shard_locks_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock lock(shard->mu);
+  const auto it = shard->rows.find(span_id);
+  // Safe to hand out after unlocking: rows are node-based and immutable
+  // once inserted.
+  if (it != shard->rows.end()) return &it->second;
   return nullptr;
 }
 
 agent::Span SpanStore::materialize(u64 span_id) const {
-  for (const auto& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard->mu);
-    const auto it = shard->rows.find(span_id);
-    if (it == shard->rows.end()) continue;
-    agent::Span span = it->second.span;
-    if (registry_ != nullptr) {
-      span.tags = shard->encoder->decode(it->second.tag_blob, span, *registry_);
-    }
-    return span;
+  rows_touched_.fetch_add(1, std::memory_order_relaxed);
+  const Shard* shard = locate(span_id);
+  if (shard == nullptr) return {};
+  shard_locks_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock lock(shard->mu);
+  const auto it = shard->rows.find(span_id);
+  if (it == shard->rows.end()) return {};
+  agent::Span span = it->second.span;
+  if (registry_ != nullptr) {
+    span.tags = shard->encoder->decode(it->second.tag_blob, span, *registry_);
   }
-  return {};
+  return span;
+}
+
+std::vector<agent::Span> SpanStore::materialize_many(
+    const std::vector<u64>& span_ids) const {
+  // Resolve ids to rows (one shard lock per shard, not per id), then decode
+  // through the row-pointer path. Pointers survive the unlock: rows are
+  // node-based and immutable once inserted.
+  std::vector<const SpanRow*> rows(span_ids.size(), nullptr);
+  std::vector<std::vector<u32>> by_shard(shards_.size());
+  for (size_t i = 0; i < span_ids.size(); ++i) {
+    if (shards_.size() == 1) {
+      by_shard[0].push_back(static_cast<u32>(i));
+      continue;
+    }
+    const DirectoryStripe& stripe =
+        *directory_[mix64(span_ids[i]) % directory_.size()];
+    std::shared_lock lock(stripe.mu);
+    const auto it = stripe.shard_of.find(span_ids[i]);
+    if (it != stripe.shard_of.end()) {
+      by_shard[it->second].push_back(static_cast<u32>(i));
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    const Shard& shard = *shards_[s];
+    shard_locks_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock lock(shard.mu);
+    for (const u32 i : by_shard[s]) {
+      const auto it = shard.rows.find(span_ids[i]);
+      if (it != shard.rows.end()) rows[i] = &it->second;
+    }
+  }
+  return materialize_rows(rows);
+}
+
+std::vector<agent::Span> SpanStore::materialize_rows(
+    const std::vector<const SpanRow*>& rows) const {
+  rows_touched_.fetch_add(rows.size(), std::memory_order_relaxed);
+  std::vector<agent::Span> out(rows.size());
+
+  // Group batch positions by owning shard so each shard is locked once.
+  std::vector<std::vector<u32>> by_shard(shards_.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] != nullptr) by_shard[rows[i]->shard].push_back(static_cast<u32>(i));
+  }
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    const Shard& shard = *shards_[s];
+    shard_locks_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock lock(shard.mu);
+
+    // Tag-cache epoch check: resolve() output may change whenever the
+    // registry mutates, so a version bump drops every cached tag set.
+    if (registry_ != nullptr) {
+      const u64 version = registry_->version();
+      std::shared_lock cache_read(shard.tag_cache_mu);
+      if (shard.tag_cache_version != version) {
+        cache_read.unlock();
+        std::unique_lock cache_write(shard.tag_cache_mu);
+        if (shard.tag_cache_version != version) {
+          shard.tag_cache.clear();
+          shard.tag_cache_version = version;
+        }
+      }
+    }
+
+    const std::vector<u32>& group = by_shard[s];
+    std::vector<u32> misses;
+    std::vector<std::string> miss_keys;
+    u64 hits = 0;
+    // Cache key: client ip + server ip + blob. Decode output is a pure
+    // function of that tuple given a registry version: smart decoding
+    // joins on the tuple ips, direct blobs spell the tags out, and
+    // low-cardinality blobs hold ids into the shard-local dictionary
+    // (the cache is per shard, so that stays unambiguous). The key is
+    // assembled in a reused buffer and probed as a string_view — one cache
+    // lock and zero allocations for a fully warm batch.
+    std::string key_buf;
+    std::shared_lock cache_read(shard.tag_cache_mu);
+    for (size_t j = 0; j < group.size(); ++j) {
+      // Rows of one batch are scattered across the heap; overlap the next
+      // row's (likely cold) lines with copying the current one.
+      if (j + 1 < group.size()) {
+        const SpanRow* next = rows[group[j + 1]];
+        __builtin_prefetch(next);
+        __builtin_prefetch(next->tag_blob.data());
+      }
+      const SpanRow& row = *rows[group[j]];
+      agent::Span& span = out[group[j]];
+      span = row.span;
+      if (registry_ == nullptr) continue;
+      key_buf.clear();
+      key_buf.append(reinterpret_cast<const char*>(&span.tuple.src_ip.addr),
+                     sizeof(u32));
+      key_buf.append(reinterpret_cast<const char*>(&span.tuple.dst_ip.addr),
+                     sizeof(u32));
+      key_buf.append(row.tag_blob);
+      const auto cached = shard.tag_cache.find(std::string_view{key_buf});
+      if (cached != shard.tag_cache.end()) {
+        span.tags = *cached->second;
+        ++hits;
+      } else {
+        misses.push_back(group[j]);
+        miss_keys.push_back(key_buf);
+      }
+    }
+    cache_read.unlock();
+    if (hits != 0) tag_cache_hits_.fetch_add(hits, std::memory_order_relaxed);
+    if (misses.empty()) continue;
+    // Decode outside the cache lock (still under the shard's shared lock),
+    // then publish all new entries in one exclusive acquisition. Duplicate
+    // keys within the batch decode twice and the second emplace is a no-op
+    // — same tags either way.
+    std::vector<std::shared_ptr<const std::vector<agent::Tag>>> entries;
+    entries.reserve(misses.size());
+    for (const u32 i : misses) {
+      agent::Span& span = out[i];
+      span.tags = shard.encoder->decode(rows[i]->tag_blob, span, *registry_);
+      entries.push_back(
+          std::make_shared<const std::vector<agent::Tag>>(span.tags));
+    }
+    std::unique_lock cache_write(shard.tag_cache_mu);
+    for (size_t k = 0; k < misses.size(); ++k) {
+      shard.tag_cache.emplace(std::move(miss_keys[k]), std::move(entries[k]));
+    }
+  }
+  return out;
 }
 
 std::vector<u64> SpanStore::search(const SearchFilter& filter) const {
-  std::unordered_set<u64> result;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    const auto collect = [&result](const auto& index, const auto& keys) {
-      for (const auto& key : keys) {
-        const auto it = index.find(key);
-        if (it == index.end()) continue;
-        result.insert(it->second.begin(), it->second.end());
-      }
-    };
-    collect(shard->by_systrace, filter.systrace_ids);
-    collect(shard->by_pseudo_thread, filter.pseudo_thread_keys);
-    collect(shard->by_x_request_id, filter.x_request_ids);
-    collect(shard->by_tcp_seq, filter.tcp_seqs);
-    collect(shard->by_otel_id, filter.otel_trace_ids);
+  const std::vector<const SpanRow*> rows = search_rows(filter);
+  std::vector<u64> out;
+  out.reserve(rows.size());
+  for (const SpanRow* row : rows) out.push_back(row->span.span_id);
+  return out;  // search_rows is ascending by id already
+}
+
+std::vector<const SpanRow*> SpanStore::search_rows(
+    const SearchFilter& filter) const {
+  searches_.fetch_add(1, std::memory_order_relaxed);
+  search_keys_.fetch_add(filter.key_count(), std::memory_order_relaxed);
+  std::vector<const SpanRow*> out;
+  // Hit rows are scattered heap nodes that every caller dereferences
+  // immediately (dedup sort reads span ids, assembly walks the spans);
+  // issuing the loads at collection time overlaps their DRAM latency with
+  // the rest of the probing.
+  const auto emit = [&out](const std::vector<const SpanRow*>& rows) {
+    for (const SpanRow* row : rows) {
+      __builtin_prefetch(row);
+      out.push_back(row);
+    }
+  };
+
+  // Two shard-exclusion mechanisms keep a fan-out search from probing (or
+  // even locking) shards that cannot match:
+  //  * systrace keys are exactly routable — placement puts every span
+  //    carrying systrace id S on shard mix64(S) % N (shard_index's first
+  //    branch), so only that shard's by_systrace can hold S;
+  //  * every other attribute may ride on a span placed by its systrace id,
+  //    so those keys consult the shard's key Bloom filter instead. Each
+  //    key's filter hash (string bytes included) is computed once here,
+  //    not once per shard.
+  const size_t nshards = shards_.size();
+  std::vector<std::pair<SystraceId, size_t>> systrace;  // (key, owner shard)
+  std::vector<std::pair<u64, u64>> pseudo;              // (key, bloom hash)
+  std::vector<std::pair<const std::string*, u64>> xrid;
+  std::vector<std::pair<TcpSeq, u64>> seqs;
+  std::vector<std::pair<const std::string*, u64>> otel;
+  systrace.reserve(filter.systrace_ids.size());
+  for (const SystraceId k : filter.systrace_ids) {
+    systrace.emplace_back(k, nshards > 1 ? mix64(k) % nshards : 0);
   }
-  return std::vector<u64>(result.begin(), result.end());
+  pseudo.reserve(filter.pseudo_thread_keys.size());
+  for (const u64 k : filter.pseudo_thread_keys) {
+    pseudo.emplace_back(k, bloom_key_hash(kBloomPseudoThread, k));
+  }
+  xrid.reserve(filter.x_request_ids.size());
+  for (const std::string& k : filter.x_request_ids) {
+    xrid.emplace_back(&k, bloom_key_hash(kBloomXRequestId, fnv1a(k)));
+  }
+  seqs.reserve(filter.tcp_seqs.size());
+  for (const TcpSeq k : filter.tcp_seqs) {
+    seqs.emplace_back(k, bloom_key_hash(kBloomTcpSeq, k));
+  }
+  otel.reserve(filter.otel_trace_ids.size());
+  for (const std::string& k : filter.otel_trace_ids) {
+    otel.emplace_back(&k, bloom_key_hash(kBloomOtelId, fnv1a(k)));
+  }
+
+  for (size_t s = 0; s < nshards; ++s) {
+    const Shard& shard = *shards_[s];
+    // Lock the shard only if some key can be present. The Bloom probes run
+    // without the shard lock (atomic words); at worst they miss a key
+    // inserted concurrently, which is the same snapshot a lock taken
+    // before that insert would have seen.
+    const auto shard_can_match = [&] {
+      for (const auto& [key, owner] : systrace) {
+        if (owner == s) return true;
+      }
+      for (const auto& [key, h] : pseudo) {
+        if (shard.bloom_may_contain(h)) return true;
+      }
+      for (const auto& [key, h] : xrid) {
+        if (shard.bloom_may_contain(h)) return true;
+      }
+      for (const auto& [key, h] : seqs) {
+        if (shard.bloom_may_contain(h)) return true;
+      }
+      for (const auto& [key, h] : otel) {
+        if (shard.bloom_may_contain(h)) return true;
+      }
+      return false;
+    };
+    if (!shard_can_match()) continue;
+    shard_locks_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock lock(shard.mu);
+    for (const auto& [key, owner] : systrace) {
+      if (owner != s) continue;
+      const auto it = shard.by_systrace.find(key);
+      if (it != shard.by_systrace.end()) emit(it->second);
+    }
+    for (const auto& [key, h] : pseudo) {
+      if (!shard.bloom_may_contain(h)) continue;
+      const auto it = shard.by_pseudo_thread.find(key);
+      if (it != shard.by_pseudo_thread.end()) emit(it->second);
+    }
+    for (const auto& [key, h] : xrid) {
+      if (!shard.bloom_may_contain(h)) continue;
+      const auto it = shard.by_x_request_id.find(*key);
+      if (it != shard.by_x_request_id.end()) emit(it->second);
+    }
+    for (const auto& [key, h] : seqs) {
+      if (!shard.bloom_may_contain(h)) continue;
+      const auto it = shard.by_tcp_seq.find(key);
+      if (it != shard.by_tcp_seq.end()) emit(it->second);
+    }
+    for (const auto& [key, h] : otel) {
+      if (!shard.bloom_may_contain(h)) continue;
+      const auto it = shard.by_otel_id.find(*key);
+      if (it != shard.by_otel_id.end()) emit(it->second);
+    }
+  }
+  // Deterministic order: ascending span id (ids are unique, so duplicate
+  // hits — a span matching several keys — collapse via unique()).
+  std::sort(out.begin(), out.end(), [](const SpanRow* a, const SpanRow* b) {
+    return a->span.span_id < b->span.span_id;
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  search_hits_.fetch_add(out.size(), std::memory_order_relaxed);
+  return out;
 }
 
 std::vector<u64> SpanStore::span_list(TimestampNs from, TimestampNs to,
@@ -139,18 +447,30 @@ std::vector<u64> SpanStore::span_list(TimestampNs from, TimestampNs to,
   // global cut of the merged order equals the single-shard result.
   std::vector<std::pair<TimestampNs, u64>> merged;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    if (!shard->time_sorted) {
-      std::sort(shard->by_time.begin(), shard->by_time.end());
-      shard->time_sorted = true;
-    }
-    auto lo = std::lower_bound(shard->by_time.begin(), shard->by_time.end(),
-                               std::make_pair(from, u64{0}));
-    size_t taken = 0;
-    for (auto it = lo; it != shard->by_time.end() && it->first <= to; ++it) {
-      if (taken >= limit) break;
-      merged.push_back(*it);
-      ++taken;
+    shard_locks_.fetch_add(1, std::memory_order_relaxed);
+    const auto scan = [&] {
+      auto lo = std::lower_bound(shard->by_time.begin(), shard->by_time.end(),
+                                 std::make_pair(from, u64{0}));
+      size_t taken = 0;
+      for (auto it = lo; it != shard->by_time.end() && it->first <= to; ++it) {
+        if (taken >= limit) break;
+        merged.push_back(*it);
+        ++taken;
+      }
+    };
+    std::shared_lock lock(shard->mu);
+    if (shard->time_sorted) {
+      scan();
+    } else {
+      // Lazy sort mutates the time index: upgrade to an exclusive lock
+      // (re-checking — another upgrader may have sorted meanwhile).
+      lock.unlock();
+      std::unique_lock writer(shard->mu);
+      if (!shard->time_sorted) {
+        std::sort(shard->by_time.begin(), shard->by_time.end());
+        shard->time_sorted = true;
+      }
+      scan();
     }
   }
   if (shards_.size() > 1) std::sort(merged.begin(), merged.end());
@@ -166,7 +486,7 @@ std::vector<u64> SpanStore::span_list(TimestampNs from, TimestampNs to,
 size_t SpanStore::row_count() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::shared_lock lock(shard->mu);
     n += shard->rows.size();
   }
   return n;
@@ -176,7 +496,7 @@ std::vector<size_t> SpanStore::shard_row_counts() const {
   std::vector<size_t> out;
   out.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::shared_lock lock(shard->mu);
     out.push_back(shard->rows.size());
   }
   return out;
@@ -185,7 +505,7 @@ std::vector<size_t> SpanStore::shard_row_counts() const {
 u64 SpanStore::blob_bytes() const {
   u64 n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::shared_lock lock(shard->mu);
     n += shard->blob_bytes;
   }
   return n;
@@ -194,7 +514,7 @@ u64 SpanStore::blob_bytes() const {
 u64 SpanStore::encoder_aux_bytes() const {
   u64 n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::shared_lock lock(shard->mu);
     n += shard->encoder->auxiliary_bytes();
   }
   return n;
@@ -202,6 +522,17 @@ u64 SpanStore::encoder_aux_bytes() const {
 
 std::string_view SpanStore::encoder_name() const {
   return shards_[0]->encoder->name();
+}
+
+StoreQueryCounters SpanStore::query_counters() const {
+  StoreQueryCounters c;
+  c.searches = searches_.load(std::memory_order_relaxed);
+  c.search_keys = search_keys_.load(std::memory_order_relaxed);
+  c.search_hits = search_hits_.load(std::memory_order_relaxed);
+  c.rows_touched = rows_touched_.load(std::memory_order_relaxed);
+  c.shard_locks = shard_locks_.load(std::memory_order_relaxed);
+  c.tag_cache_hits = tag_cache_hits_.load(std::memory_order_relaxed);
+  return c;
 }
 
 }  // namespace deepflow::server

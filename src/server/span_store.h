@@ -10,15 +10,26 @@
 // the layout, ids and encoded blobs are byte-for-byte identical to the
 // historical single-shard store, which keeps serial mode deterministic.
 //
+// Query fast path: a striped id->shard directory routes row()/materialize()
+// to exactly one shard instead of probing all of them, searches skip shards
+// via systrace-routed placement plus a per-shard key Bloom filter, and
+// shard locks are std::shared_mutex so concurrent trace assemblies read in
+// parallel; only insert() (and the lazy time-index sort) take exclusive
+// locks. Query-side
+// work is counted in StoreQueryCounters, the read-path mirror of the ingest
+// telemetry.
+//
 // Thread-safety: insert() may be called concurrently from any number of
-// threads (each insert locks exactly one shard). Query methods also take
-// the shard locks, so they are safe to interleave with inserts; pointers
+// threads (each insert locks exactly one shard). Query methods take shared
+// shard locks, so any number of readers interleave with inserts; pointers
 // returned by row() stay valid because rows are node-based and never
 // mutated after insertion.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -33,6 +44,7 @@ namespace deepflow::server {
 struct SpanRow {
   agent::Span span;       // tags vector left empty; blob holds encodings
   std::string tag_blob;
+  u32 shard = 0;          // owning shard (set at insert; row-routed decode)
 };
 
 /// Filter for the iterative span search (Algorithm 1, lines 5-11): a span
@@ -49,11 +61,26 @@ struct SearchFilter {
            x_request_ids.empty() && tcp_seqs.empty() &&
            otel_trace_ids.empty();
   }
+
+  size_t key_count() const {
+    return systrace_ids.size() + pseudo_thread_keys.size() +
+           x_request_ids.size() + tcp_seqs.size() + otel_trace_ids.size();
+  }
 };
 
 /// Key combining host, pid and pseudo-thread id — pseudo-thread ids are only
 /// unique per kernel, so cross-host aliasing must be excluded.
 u64 pseudo_thread_key(const agent::Span& span);
+
+/// Read-path counters (relaxed atomics snapshotted into QueryTelemetry).
+struct StoreQueryCounters {
+  u64 searches = 0;      // search() calls
+  u64 search_keys = 0;   // filter keys probed across those calls
+  u64 search_hits = 0;   // span ids returned
+  u64 rows_touched = 0;  // row() + materialize() lookups
+  u64 shard_locks = 0;   // query-side shard acquisitions (lock-wait proxy)
+  u64 tag_cache_hits = 0;  // batched materializations served from the cache
+};
 
 class SpanStore {
  public:
@@ -64,15 +91,40 @@ class SpanStore {
   /// Encode tags and store the span. Returns the span id. Thread-safe.
   u64 insert(agent::Span span);
 
+  /// Shard-routed point lookup: the id directory names the owning shard, so
+  /// exactly one shard lock is taken (nullptr on unknown ids without
+  /// touching any shard).
   const SpanRow* row(u64 span_id) const;
 
   /// Materialize a span with its full decoded tag set (query-time join).
   agent::Span materialize(u64 span_id) const;
 
+  /// Batch materialization for trace assembly: one shard lock per shard
+  /// involved (not per id), and decoded tag sets are cached across the
+  /// batch — tags are a pure function of (blob, client ip, server ip), and
+  /// the spans of one trace share few distinct endpoint pairs. Output order
+  /// matches `span_ids`; unknown ids yield empty spans (same as
+  /// materialize). Byte-identical to per-id materialize calls.
+  std::vector<agent::Span> materialize_many(
+      const std::vector<u64>& span_ids) const;
+
+  /// Row-pointer flavour of materialize_many for callers that already hold
+  /// rows from search_rows()/row(): skips the id directory entirely.
+  /// nullptr entries yield empty spans.
+  std::vector<agent::Span> materialize_rows(
+      const std::vector<const SpanRow*>& rows) const;
+
   /// All span ids matching any filter attribute (Algorithm 1's
-  /// search_database), merged across shards. Complexity: proportional to
-  /// matches, via per-shard indexes.
+  /// search_database), merged across shards and returned in ascending id
+  /// order (deterministic for callers regardless of shard/hash layout).
+  /// Complexity: proportional to matches, via per-shard indexes.
   std::vector<u64> search(const SearchFilter& filter) const;
+
+  /// search() returning the matching rows themselves (ascending span id).
+  /// Rows are node-based and immutable after insert, so the pointers stay
+  /// valid for the caller's lifetime; the query fast path uses this to
+  /// avoid one directory + row lookup per hit after every search.
+  std::vector<const SpanRow*> search_rows(const SearchFilter& filter) const;
 
   /// Span ids whose start timestamp falls in [from, to], time-ordered,
   /// capped at `limit` (front ends page through span lists).
@@ -89,30 +141,116 @@ class SpanStore {
   u64 encoder_aux_bytes() const;
   std::string_view encoder_name() const;
 
+  /// Snapshot of the query-path counters (monotonic since construction).
+  StoreQueryCounters query_counters() const;
+
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable std::shared_mutex mu;
     std::unique_ptr<TagEncoder> encoder;
     std::unordered_map<u64, SpanRow> rows;
     u64 blob_bytes = 0;
-    u64 remap_counter = 0;
+    // Atomic: multi-shard inserts allocate remap ids before taking the
+    // shard lock (the directory claim happens first).
+    std::atomic<u64> remap_counter{0};
 
-    // Secondary indexes over association attributes.
-    std::unordered_map<SystraceId, std::vector<u64>> by_systrace;
-    std::unordered_map<u64, std::vector<u64>> by_pseudo_thread;
-    std::unordered_map<std::string, std::vector<u64>> by_x_request_id;
-    std::unordered_map<TcpSeq, std::vector<u64>> by_tcp_seq;
-    std::unordered_map<std::string, std::vector<u64>> by_otel_id;
+    // Bloom filter over every indexed (attribute kind, key) pair, so a
+    // fan-out search can skip the hash probes — and the lock — on shards
+    // that cannot hold a key. 512K bits (64 KiB) per shard, two probe
+    // bits; false positives just fall through to the index lookup, and
+    // false negatives cannot happen (every indexed key is added). Atomic
+    // words: searches read the filter without the shard lock, which at
+    // worst misses a key inserted concurrently — same snapshot semantics
+    // as locking before the insert. Only populated for multi-shard stores
+    // (enabled flag): a single shard has no fan-out to avoid.
+    static constexpr size_t kBloomWords = 8192;  // 8192 * 64 = 512K bits
+    bool bloom_enabled = false;
+    std::array<std::atomic<u64>, kBloomWords> bloom{};
+
+    void bloom_add(u64 hash) {
+      if (!bloom_enabled) return;
+      bloom[(hash & (kBloomWords * 64 - 1)) >> 6].fetch_or(
+          u64{1} << (hash & 63), std::memory_order_relaxed);
+      const u64 h2 = hash >> 32;
+      bloom[(h2 & (kBloomWords * 64 - 1)) >> 6].fetch_or(
+          u64{1} << (h2 & 63), std::memory_order_relaxed);
+    }
+    bool bloom_may_contain(u64 hash) const {
+      if (!bloom_enabled) return true;
+      if ((bloom[(hash & (kBloomWords * 64 - 1)) >> 6].load(
+               std::memory_order_relaxed) &
+           (u64{1} << (hash & 63))) == 0) {
+        return false;
+      }
+      const u64 h2 = hash >> 32;
+      return (bloom[(h2 & (kBloomWords * 64 - 1)) >> 6].load(
+                  std::memory_order_relaxed) &
+              (u64{1} << (h2 & 63))) != 0;
+    }
+
+    // Secondary indexes over association attributes. Values are row
+    // pointers (stable: rows is node-based and rows are never erased), so a
+    // search hit needs no follow-up id lookup.
+    std::unordered_map<SystraceId, std::vector<const SpanRow*>> by_systrace;
+    std::unordered_map<u64, std::vector<const SpanRow*>> by_pseudo_thread;
+    std::unordered_map<std::string, std::vector<const SpanRow*>> by_x_request_id;
+    std::unordered_map<TcpSeq, std::vector<const SpanRow*>> by_tcp_seq;
+    std::unordered_map<std::string, std::vector<const SpanRow*>> by_otel_id;
     // Time index: (start_ts, id), kept sorted lazily.
     mutable std::vector<std::pair<TimestampNs, u64>> by_time;
     mutable bool time_sorted = true;
+
+    // Decoded-tag cache for batched materialization: (client ip, server ip,
+    // blob) -> immutable tag set. Tags are a query-time join against the
+    // resource registry, so entries are valid exactly while the registry
+    // version is unchanged; the whole cache is dropped on a version bump.
+    // Own lock (always acquired after `mu` when both are held).
+    // Transparent hash/eq: probes take a string_view over a reused buffer,
+    // so a cache hit allocates nothing.
+    struct TagKeyHash {
+      using is_transparent = void;
+      size_t operator()(std::string_view s) const {
+        return std::hash<std::string_view>{}(s);
+      }
+    };
+    mutable std::shared_mutex tag_cache_mu;
+    mutable std::unordered_map<std::string,
+                               std::shared_ptr<const std::vector<agent::Tag>>,
+                               TagKeyHash, std::equal_to<>>
+        tag_cache;
+    mutable u64 tag_cache_version = 0;
+  };
+
+  /// One stripe of the id->shard directory. Striped like the shards so
+  /// parallel ingest does not serialize on a single directory lock; only
+  /// maintained for multi-shard stores (single-shard routing is trivial).
+  struct DirectoryStripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<u64, u32> shard_of;
   };
 
   size_t shard_index(const agent::Span& span) const;
-  static void index_span(Shard& shard, const agent::Span& span, u64 id);
+  /// Owning shard of an id via the directory; nullptr when unknown.
+  const Shard* locate(u64 span_id) const;
+  /// Record `id -> shard` in the directory; false if another span already
+  /// claimed the id (the uniqueness arbiter for multi-shard stores, where
+  /// content-hash placement can put colliding ids on different shards).
+  bool claim_id(u64 id, size_t shard_idx);
+  /// Index an inserted row (must already live in shard.rows: the secondary
+  /// indexes hold a pointer to it).
+  static void index_span(Shard& shard, const SpanRow& row, u64 id);
 
   const netsim::ResourceRegistry* registry_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<DirectoryStripe>> directory_;  // empty if 1 shard
+
+  // Query-path counters (mutable: query methods are logically const).
+  mutable std::atomic<u64> searches_{0};
+  mutable std::atomic<u64> search_keys_{0};
+  mutable std::atomic<u64> search_hits_{0};
+  mutable std::atomic<u64> rows_touched_{0};
+  mutable std::atomic<u64> shard_locks_{0};
+  mutable std::atomic<u64> tag_cache_hits_{0};
 };
 
 }  // namespace deepflow::server

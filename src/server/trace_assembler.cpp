@@ -1,10 +1,16 @@
 #include "server/trace_assembler.h"
 
 #include <algorithm>
+#include <array>
 #include <functional>
+#include <iterator>
 #include <unordered_map>
 
 #include "common/hash.h"
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+namespace { double dbg_now() { return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch()).count(); } double dbg_p1=0, dbg_p2=0, dbg_p3=0; int dbg_n=0; }
 
 namespace deepflow::server {
 
@@ -38,6 +44,13 @@ namespace {
 // 14  | sys span (ciphertext)    | enclosing app span        | host+pid+tid
 // 15  | any                      | latest same-systrace span | systrace id
 // 16  | any                      | — (root)                  |
+//
+// The "keyed on" column is load-bearing for the fast path: every predicate
+// requires child and parent to share one association attribute, so parent
+// candidates are bucketed by that attribute and only the (few) spans in the
+// child's bucket are scanned. The predicate is still evaluated in full —
+// buckets are a superset filter (hash collisions and extra conditions like
+// same_host_pid are re-checked), never a semantic change.
 // --------------------------------------------------------------------------
 
 bool is_sys_or_app(const Span& s) {
@@ -77,57 +90,108 @@ bool content_less(const Span& a, const Span& b) {
   return a.span_id < b.span_id;
 }
 
-/// Strictly-before-or-equal start, excluding self; keeps the parent graph
-/// acyclic (same-instant ties broken by the content order above).
-bool starts_before(const Span& parent, const Span& child) {
-  if (parent.span_id == child.span_id) return false;
-  if (parent.start_ts != child.start_ts) {
-    return parent.start_ts < child.start_ts;
-  }
-  return content_less(parent, child);
+/// The display/assignment order: start time, content ties. A strict total
+/// order (content_less falls back to span ids), so position j < i in the
+/// sorted span vector is exactly the naive path's starts_before(j, i).
+bool assembly_less(const Span& a, const Span& b) {
+  if (a.start_ts != b.start_ts) return a.start_ts < b.start_ts;
+  return content_less(a, b);
 }
 
 bool shares_req_seq(const Span& a, const Span& b) {
   return a.req_tcp_seq != 0 && a.req_tcp_seq == b.req_tcp_seq;
 }
 
+/// The association attribute a rule is keyed on (the rule table's "keyed
+/// on" column). Candidate parents are bucketed per attribute value.
+enum class RuleKey : u8 {
+  kReqSeq,
+  kRespSeq,
+  kSystrace,
+  kPseudoThread,
+  kXRequestId,
+  kOtelId,
+  kHostPidTid,
+};
+constexpr size_t kRuleKeyKinds = 7;
+
+/// Bucket key of `s` under key-kind `key`; false when the span lacks the
+/// attribute (then no rule keyed on it can match the span as child, and the
+/// span joins no bucket as parent).
+bool span_rule_key(const Span& s, RuleKey key, u64* out) {
+  switch (key) {
+    case RuleKey::kReqSeq:
+      if (s.req_tcp_seq == 0) return false;
+      *out = s.req_tcp_seq;
+      return true;
+    case RuleKey::kRespSeq:
+      if (s.resp_tcp_seq == 0) return false;
+      *out = s.resp_tcp_seq;
+      return true;
+    case RuleKey::kSystrace:
+      if (s.systrace_id == kInvalidSystraceId) return false;
+      *out = s.systrace_id;
+      return true;
+    case RuleKey::kPseudoThread:
+      if (s.pseudo_thread_id == 0) return false;
+      *out = pseudo_thread_key(s);
+      return true;
+    case RuleKey::kXRequestId:
+      if (s.x_request_id.empty()) return false;
+      *out = fnv1a(s.x_request_id);
+      return true;
+    case RuleKey::kOtelId:
+      if (s.otel_trace_id.empty()) return false;
+      *out = fnv1a(s.otel_trace_id);
+      return true;
+    case RuleKey::kHostPidTid: {
+      u64 h = fnv1a(s.host);
+      h = hash_combine(h, s.pid);
+      *out = hash_combine(h, s.tid);
+      return true;
+    }
+  }
+  return false;
+}
+
 using RulePredicate = bool (*)(const Span& x, const Span& p);
 
 struct Rule {
   ParentRuleId id;
+  RuleKey key;
   RulePredicate applies;
 };
 
 constexpr Rule kRules[] = {
     // 2: net spans chain hop by hop along the path (checked before rule 1
     //    so a later hop prefers its predecessor hop over the client span).
-    {2,
+    {2, RuleKey::kReqSeq,
      [](const Span& x, const Span& p) {
        return x.kind == SpanKind::kNetwork && p.kind == SpanKind::kNetwork &&
               shares_req_seq(x, p);
      }},
     // 1: the first hop hangs off the client-side syscall that sent the
     //    request.
-    {1,
+    {1, RuleKey::kReqSeq,
      [](const Span& x, const Span& p) {
        return x.kind == SpanKind::kNetwork && is_sys_or_app(p) &&
               !p.from_server_side && shares_req_seq(x, p);
      }},
     // 3: the server-side span continues from the last network hop.
-    {3,
+    {3, RuleKey::kReqSeq,
      [](const Span& x, const Span& p) {
        return is_sys_or_app(x) && x.from_server_side &&
               p.kind == SpanKind::kNetwork && shares_req_seq(x, p);
      }},
     // 4: no net spans captured -> server hangs directly off the client.
-    {4,
+    {4, RuleKey::kReqSeq,
      [](const Span& x, const Span& p) {
        return is_sys_or_app(x) && x.from_server_side && is_sys_or_app(p) &&
               !p.from_server_side && shares_req_seq(x, p);
      }},
     // 5: L4 forwarders may split request/response observation; fall back to
     // the response sequence when request sequences were not captured.
-    {5,
+    {5, RuleKey::kRespSeq,
      [](const Span& x, const Span& p) {
        return is_sys_or_app(x) && x.from_server_side && is_sys_or_app(p) &&
               !p.from_server_side && x.resp_tcp_seq != 0 &&
@@ -135,7 +199,7 @@ constexpr Rule kRules[] = {
      }},
     // 6: outbound call nests in the inbound request being handled
     //    (same systrace id, same process, enclosing time).
-    {6,
+    {6, RuleKey::kSystrace,
      [](const Span& x, const Span& p) {
        return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
               p.from_server_side && same_host_pid(x, p) &&
@@ -143,7 +207,7 @@ constexpr Rule kRules[] = {
               x.systrace_id == p.systrace_id && encloses(p, x);
      }},
     // 7: coroutine runtimes — same pseudo-thread lineage, enclosing time.
-    {7,
+    {7, RuleKey::kPseudoThread,
      [](const Span& x, const Span& p) {
        return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
               p.from_server_side && same_host_pid(x, p) &&
@@ -152,7 +216,7 @@ constexpr Rule kRules[] = {
      }},
     // 8: cross-thread proxies (Nginx/Envoy/HAProxy) — the forwarded request
     //    carries the X-Request-ID generated by the inbound side.
-    {8,
+    {8, RuleKey::kXRequestId,
      [](const Span& x, const Span& p) {
        return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
               p.from_server_side && same_host_pid(x, p) &&
@@ -160,7 +224,7 @@ constexpr Rule kRules[] = {
      }},
     // 9: sibling nesting inside one component (client span inside an
     //    enclosing client span of the same flow; rare, e.g. retries).
-    {9,
+    {9, RuleKey::kSystrace,
      [](const Span& x, const Span& p) {
        return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
               !p.from_server_side && same_host_pid(x, p) &&
@@ -169,14 +233,14 @@ constexpr Rule kRules[] = {
               p.req_tcp_seq != x.req_tcp_seq;
      }},
     // 10: third-party spans nest among themselves by trace id + time.
-    {10,
+    {10, RuleKey::kOtelId,
      [](const Span& x, const Span& p) {
        return x.kind == SpanKind::kThirdParty &&
               p.kind == SpanKind::kThirdParty && !x.otel_trace_id.empty() &&
               x.otel_trace_id == p.otel_trace_id && encloses(p, x);
      }},
     // 11: a third-party span nests in the eBPF span that carried its context.
-    {11,
+    {11, RuleKey::kOtelId,
      [](const Span& x, const Span& p) {
        return x.kind == SpanKind::kThirdParty && is_sys_or_app(p) &&
               !x.otel_trace_id.empty() &&
@@ -184,7 +248,7 @@ constexpr Rule kRules[] = {
      }},
     // 12: and the reverse — an eBPF span that saw a traceparent header nests
     //     in the framework span that created it.
-    {12,
+    {12, RuleKey::kOtelId,
      [](const Span& x, const Span& p) {
        return is_sys_or_app(x) && p.kind == SpanKind::kThirdParty &&
               !x.otel_trace_id.empty() &&
@@ -192,21 +256,21 @@ constexpr Rule kRules[] = {
               same_host_pid(x, p);
      }},
     // 13: TLS plaintext (app) span inside the ciphertext syscall span.
-    {13,
+    {13, RuleKey::kHostPidTid,
      [](const Span& x, const Span& p) {
        return x.kind == SpanKind::kApplication &&
               p.kind == SpanKind::kSystem && same_host_pid(x, p) &&
               x.tid == p.tid && encloses(p, x);
      }},
     // 14: or the syscall span inside the app span when SSL_write wraps it.
-    {14,
+    {14, RuleKey::kHostPidTid,
      [](const Span& x, const Span& p) {
        return x.kind == SpanKind::kSystem &&
               p.kind == SpanKind::kApplication && same_host_pid(x, p) &&
               x.tid == p.tid && encloses(p, x);
      }},
     // 15: catch-all — latest earlier span of the same systrace flow.
-    {15,
+    {15, RuleKey::kSystrace,
      [](const Span& x, const Span& p) {
        return x.systrace_id != kInvalidSystraceId &&
               x.systrace_id == p.systrace_id && is_sys_or_app(p) &&
@@ -214,6 +278,39 @@ constexpr Rule kRules[] = {
      }},
     // 16 is the implicit "root" outcome (no rule matched).
 };
+
+/// Fold `span`'s association attributes into the cumulative `searched`
+/// filter; attributes not seen before also land in `delta` (the next
+/// iteration's store query).
+void add_new_keys(const Span& span, SearchFilter& searched,
+                  SearchFilter& delta) {
+  if (span.systrace_id != kInvalidSystraceId &&
+      searched.systrace_ids.insert(span.systrace_id).second) {
+    delta.systrace_ids.insert(span.systrace_id);
+  }
+  if (span.pseudo_thread_id != 0) {
+    const u64 key = pseudo_thread_key(span);
+    if (searched.pseudo_thread_keys.insert(key).second) {
+      delta.pseudo_thread_keys.insert(key);
+    }
+  }
+  if (!span.x_request_id.empty() &&
+      searched.x_request_ids.insert(span.x_request_id).second) {
+    delta.x_request_ids.insert(span.x_request_id);
+  }
+  if (span.req_tcp_seq != 0 &&
+      searched.tcp_seqs.insert(span.req_tcp_seq).second) {
+    delta.tcp_seqs.insert(span.req_tcp_seq);
+  }
+  if (span.resp_tcp_seq != 0 &&
+      searched.tcp_seqs.insert(span.resp_tcp_seq).second) {
+    delta.tcp_seqs.insert(span.resp_tcp_seq);
+  }
+  if (!span.otel_trace_id.empty() &&
+      searched.otel_trace_ids.insert(span.otel_trace_id).second) {
+    delta.otel_trace_ids.insert(span.otel_trace_id);
+  }
+}
 
 }  // namespace
 
@@ -262,86 +359,156 @@ std::string AssembledTrace::render() const {
 
 AssembledTrace TraceAssembler::assemble(u64 start_span_id) const {
   AssembledTrace trace;
-  if (store_->row(start_span_id) == nullptr) return trace;
+  const SpanRow* start_row = store_->row(start_span_id);
+  if (start_row == nullptr) return trace;
 
-  // ---- Phase one: iterative span search (Algorithm 1, lines 2-16).
-  std::unordered_map<u64, Span> span_set;
-  span_set.emplace(start_span_id, store_->row(start_span_id)->span);
+  // ---- Phase one: iterative span search (Algorithm 1, lines 2-16), delta
+  // formulation. `searched` accumulates every attribute ever probed; each
+  // iteration queries only the attributes the previous iteration's new
+  // spans introduced. Because the store is append-only during a query and
+  // search(A ∪ B) = search(A) ∪ search(B), the union of the delta searches
+  // equals the naive full re-search at every iteration count — including
+  // truncation at max_iterations (see tests/reference/naive_assembler.h).
+  //
+  // The set holds row pointers, not copies: rows are node-based and
+  // immutable once inserted, so the pointers stay valid for the whole
+  // query and the (string-heavy) spans are never copied before phase 3.
+  // search_rows hands those pointers back directly — no per-hit directory
+  // or row lookup after a search. Since hits arrive sorted by span id, the
+  // set is a sorted vector maintained by difference/merge scans instead of
+  // a hash map.
+  const double dbg_t0 = dbg_now();
+  const auto row_id_less = [](const SpanRow* a, const SpanRow* b) {
+    return a->span.span_id < b->span.span_id;
+  };
+  std::vector<const SpanRow*> known{start_row};  // sorted by span id
+  std::vector<const SpanRow*> merged;
+  std::vector<const SpanRow*> frontier{start_row};
+  SearchFilter searched;
 
   for (u32 iter = 0; iter < config_.max_iterations; ++iter) {
+    SearchFilter delta;
+    for (const SpanRow* row : frontier) {
+      add_new_keys(row->span, searched, delta);
+    }
+    frontier.clear();
+    if (delta.empty()) break;  // every attribute already probed -> converged
     trace.iterations_used = iter + 1;
-    SearchFilter filter;
-    for (const auto& [id, span] : span_set) {
-      if (span.systrace_id != kInvalidSystraceId) {
-        filter.systrace_ids.insert(span.systrace_id);
-      }
-      if (span.pseudo_thread_id != 0) {
-        filter.pseudo_thread_keys.insert(pseudo_thread_key(span));
-      }
-      if (!span.x_request_id.empty()) {
-        filter.x_request_ids.insert(span.x_request_id);
-      }
-      if (span.req_tcp_seq != 0) filter.tcp_seqs.insert(span.req_tcp_seq);
-      if (span.resp_tcp_seq != 0) filter.tcp_seqs.insert(span.resp_tcp_seq);
-      if (!span.otel_trace_id.empty()) {
-        filter.otel_trace_ids.insert(span.otel_trace_id);
-      }
-    }
-    const std::vector<u64> found = store_->search(filter);
-    const size_t before = span_set.size();
-    for (const u64 id : found) {
-      if (!span_set.contains(id)) span_set.emplace(id, store_->row(id)->span);
-    }
-    if (span_set.size() == before) break;  // not updated -> converged
+    const std::vector<const SpanRow*> hits = store_->search_rows(delta);
+    std::set_difference(hits.begin(), hits.end(), known.begin(), known.end(),
+                        std::back_inserter(frontier), row_id_less);
+    if (frontier.empty()) break;  // not updated -> converged
+    merged.clear();
+    merged.reserve(known.size() + frontier.size());
+    std::merge(known.begin(), known.end(), frontier.begin(), frontier.end(),
+               std::back_inserter(merged), row_id_less);
+    known.swap(merged);
   }
-
-  // ---- Phase two: parent assignment (Algorithm 1, lines 18-24).
-  std::vector<Span> spans;
-  spans.reserve(span_set.size());
-  for (auto& [id, span] : span_set) spans.push_back(std::move(span));
-
-  std::vector<ParentRuleId> rules(spans.size(), 0);
-  for (size_t i = 0; i < spans.size(); ++i) {
-    Span& x = spans[i];
-    x.parent_span_id = 0;
-    for (const Rule& rule : kRules) {
-      const Span* best = nullptr;
-      for (const Span& p : spans) {
-        if (!starts_before(p, x)) continue;
-        if (!rule.applies(x, p)) continue;
-        if (best == nullptr || p.start_ts > best->start_ts ||
-            (p.start_ts == best->start_ts && content_less(*best, p))) {
-          best = &p;
-        }
-      }
-      if (best != nullptr) {
-        x.parent_span_id = best->span_id;
-        rules[i] = rule.id;
-        break;
-      }
-    }
-  }
-
-  // ---- Phase three: sort for display (Algorithm 1, line 25).
-  std::vector<size_t> order(spans.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (spans[a].start_ts != spans[b].start_ts) {
-      return spans[a].start_ts < spans[b].start_ts;
-    }
-    return content_less(spans[a], spans[b]);
+  const double dbg_t1 = dbg_now();
+  // ---- Phase two: parent assignment (Algorithm 1, lines 18-24). Sort the
+  // set once into the display order (start time, content ties); position
+  // then encodes the naive path's starts_before() predicate. Candidates for
+  // each rule come from per-attribute buckets of positions (ascending, by
+  // construction), scanned latest-first with early exit: the first
+  // predicate match IS the latest-starting match the naive scan selects.
+  const u32 n = static_cast<u32>(known.size());
+  std::vector<const SpanRow*> rows = std::move(known);
+  std::sort(rows.begin(), rows.end(), [](const SpanRow* a, const SpanRow* b) {
+    return assembly_less(a->span, b->span);
   });
 
-  trace.spans.reserve(spans.size());
-  for (const size_t i : order) {
+  // Flat bucket index instead of per-kind hash maps: every (key kind,
+  // key value, position) triple, sorted — one allocation, and the rule keys
+  // (string hashes included) are computed once per span, not once per
+  // span x rule probe. Positions within one (kind, key) range are ascending
+  // by the sort, exactly like the per-map bucket vectors they replace.
+  struct BucketEntry {
+    u8 kind;
+    u64 key;
+    u32 pos;
+    bool operator<(const BucketEntry& o) const {
+      if (kind != o.kind) return kind < o.kind;
+      if (key != o.key) return key < o.key;
+      return pos < o.pos;
+    }
+  };
+  std::vector<BucketEntry> index;
+  index.reserve(static_cast<size_t>(n) * 4);
+  std::vector<std::array<u64, kRuleKeyKinds>> keys(n);
+  std::vector<std::array<bool, kRuleKeyKinds>> has_key(n);
+  for (u32 i = 0; i < n; ++i) {
+    for (size_t k = 0; k < kRuleKeyKinds; ++k) {
+      has_key[i][k] = span_rule_key(rows[i]->span, static_cast<RuleKey>(k),
+                                    &keys[i][k]);
+      if (has_key[i][k]) {
+        index.push_back({static_cast<u8>(k), keys[i][k], i});
+      }
+    }
+  }
+  std::sort(index.begin(), index.end());
+
+  std::vector<u64> parent_ids(n, 0);
+  std::vector<ParentRuleId> rules(n, 0);
+  for (u32 i = 0; i < n; ++i) {
+    const Span& x = rows[i]->span;
+    for (const Rule& rule : kRules) {
+      const size_t k = static_cast<size_t>(rule.key);
+      if (!has_key[i][k]) continue;
+      // Candidates: positions before i in this rule's (kind, key) bucket,
+      // scanned latest-first with early exit.
+      const auto bucket_end = std::lower_bound(
+          index.begin(), index.end(),
+          BucketEntry{static_cast<u8>(k), keys[i][k], i});
+      auto it = bucket_end;
+      bool matched = false;
+      while (it != index.begin()) {
+        --it;
+        if (it->kind != static_cast<u8>(k) || it->key != keys[i][k]) break;
+        const Span& p = rows[it->pos]->span;
+        if (rule.applies(x, p)) {
+          parent_ids[i] = p.span_id;
+          rules[i] = rule.id;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) break;
+    }
+  }
+
+  const double dbg_t2 = dbg_now();
+  // ---- Phase three: emit in display order (Algorithm 1, line 25). Batch
+  // materialization straight from the row pointers: one lock per shard
+  // involved, no id directory traffic, and the decoded tag sets are shared
+  // across spans with the same endpoint pair.
+  std::vector<Span> materialized = store_->materialize_rows(rows);
+  trace.spans.reserve(n);
+  for (u32 i = 0; i < n; ++i) {
     AssembledSpan out;
-    // Materialize decodes the tag blob for display.
-    out.span = store_->materialize(spans[i].span_id);
-    out.span.parent_span_id = spans[i].parent_span_id;
+    out.span = std::move(materialized[i]);
+    out.span.parent_span_id = parent_ids[i];
     out.parent_rule = rules[i];
     trace.spans.push_back(std::move(out));
   }
+
+  if (std::getenv("DF_PHASE_TIMING")) {
+    dbg_p1 += dbg_t1 - dbg_t0; dbg_p2 += dbg_t2 - dbg_t1; dbg_p3 += dbg_now() - dbg_t2;
+    if (++dbg_n % 400 == 0)
+      std::fprintf(stderr, "phase1=%.4fms phase2=%.4fms phase3=%.4fms (avg over %d)\n",
+                   dbg_p1*1e3/dbg_n, dbg_p2*1e3/dbg_n, dbg_p3*1e3/dbg_n, dbg_n);
+  }
+  traces_.fetch_add(1, std::memory_order_relaxed);
+  iterations_.fetch_add(trace.iterations_used, std::memory_order_relaxed);
+  spans_.fetch_add(trace.spans.size(), std::memory_order_relaxed);
   return trace;
+}
+
+AssemblerCounters TraceAssembler::counters() const {
+  AssemblerCounters c;
+  c.traces = traces_.load(std::memory_order_relaxed);
+  c.search_iterations = iterations_.load(std::memory_order_relaxed);
+  c.spans = spans_.load(std::memory_order_relaxed);
+  return c;
 }
 
 }  // namespace deepflow::server

@@ -4,8 +4,19 @@
 // trace id) until the set stops growing, then assign parents using a rule
 // table keyed on collection location, start/finish time, span kind and
 // message type, and finally sort for display.
+//
+// Query fast path (behaviour-identical to the naive formulation, which is
+// frozen under tests/reference/ for equivalence tests and ablations):
+//   * delta search — each iteration's filter carries only keys introduced
+//     by spans discovered in the previous iteration; converged attributes
+//     are never re-probed, so iteration i costs O(new keys), not O(all).
+//   * keyed parent assignment — the span set is sorted by start time once,
+//     and every rule looks up candidates in a per-attribute bucket (req/resp
+//     TCP seq, systrace, pseudo-thread, X-Request-ID, otel id, host+pid+tid)
+//     scanned latest-first with early exit, replacing the O(n²·rules) scan.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "server/span_store.h"
@@ -28,6 +39,8 @@ struct AssembledSpan {
 
 struct AssembledTrace {
   std::vector<AssembledSpan> spans;  // sorted by start time
+  /// Store searches issued. Delta search skips the final no-new-spans
+  /// confirmation probe, so this is <= the naive formulation's count.
   u32 iterations_used = 0;
 
   /// Convenience: ids of root spans (no parent).
@@ -36,17 +49,34 @@ struct AssembledTrace {
   std::string render() const;
 };
 
+/// Assembly-side counters (merged into server::QueryTelemetry). Snapshot is
+/// monotonic since construction; assemble() is const and thread-safe, so the
+/// counters are relaxed atomics.
+struct AssemblerCounters {
+  u64 traces = 0;             // assemble() calls that found the start span
+  u64 search_iterations = 0;  // store searches across all assemblies
+  u64 spans = 0;              // spans placed into assembled traces
+};
+
 class TraceAssembler {
  public:
   explicit TraceAssembler(const SpanStore* store, AssemblerConfig config = {})
       : store_(store), config_(config) {}
 
   /// Run Algorithm 1 from `start_span_id`. Unknown ids yield empty traces.
+  /// Thread-safe: any number of assemblies may run concurrently (the store
+  /// is only read, under shared shard locks).
   AssembledTrace assemble(u64 start_span_id) const;
+
+  AssemblerCounters counters() const;
 
  private:
   const SpanStore* store_;
   AssemblerConfig config_;
+
+  mutable std::atomic<u64> traces_{0};
+  mutable std::atomic<u64> iterations_{0};
+  mutable std::atomic<u64> spans_{0};
 };
 
 }  // namespace deepflow::server

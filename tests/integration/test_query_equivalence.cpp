@@ -1,0 +1,227 @@
+// Query-path equivalence: the optimized trace assembler (delta search,
+// shard-routed lookups, keyed parent buckets — src/server/trace_assembler)
+// must produce byte-identical traces to the frozen naive reference
+// (tests/reference/naive_assembler.h: full re-search + quadratic parent
+// scan), over the three equivalence topologies, the golden-trace seeds,
+// stores with remapped span ids, and capped iteration budgets. The batch
+// assembly service must additionally match the serial path result for
+// result, worker count by worker count.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "server/canonical.h"
+#include "tests/reference/naive_assembler.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+using server::AssembledTrace;
+using workloads::Topology;
+
+/// Exact (id-carrying) serialization: span ids, parent ids and rule ids in
+/// display order. Stronger than canonical_trace for same-store comparisons.
+std::string trace_signature(const AssembledTrace& trace) {
+  std::string out;
+  for (const auto& s : trace.spans) {
+    out += std::to_string(s.span.span_id) + "<-" +
+           std::to_string(s.span.parent_span_id) + "#" +
+           std::to_string(s.parent_rule) + ";";
+  }
+  return out;
+}
+
+void expect_equivalent_traces(const server::DeepFlowServer& server,
+                              const char* label) {
+  const server::SpanStore& store = server.store();
+  std::set<u64> claimed;
+  size_t traces_checked = 0;
+  for (const u64 id : store.span_list(0, ~TimestampNs{0})) {
+    if (claimed.contains(id)) continue;
+    const AssembledTrace optimized = server.query_trace(id);
+    const AssembledTrace naive = server::reference::assemble_naive(store, id);
+    for (const auto& s : optimized.spans) claimed.insert(s.span.span_id);
+    ASSERT_EQ(trace_signature(naive), trace_signature(optimized))
+        << label << " start=" << id;
+    // Materialized content (decoded tags included) must match too.
+    EXPECT_EQ(server::canonical_trace(naive),
+              server::canonical_trace(optimized))
+        << label << " start=" << id;
+    // Delta search converges at or before the naive fixpoint probe.
+    EXPECT_LE(optimized.iterations_used, naive.iterations_used)
+        << label << " start=" << id;
+    ++traces_checked;
+  }
+  EXPECT_GT(traces_checked, 0u) << label;
+}
+
+server::DeepFlowServer& run_topology(core::Deployment& deployment,
+                                     Topology& topo, double rps,
+                                     DurationNs duration) {
+  EXPECT_TRUE(deployment.deploy()) << deployment.error();
+  topo.app->run_constant_load(topo.entry, rps, duration);
+  deployment.finish();
+  return deployment.server();
+}
+
+struct EquivalenceCase {
+  const char* name;
+  Topology (*make)();
+  double rps;
+};
+
+// The three parallel-equivalence topologies: sync HTTP fan-out,
+// mixed-protocol mesh with MySQL/Redis, async MQ pipeline.
+const EquivalenceCase kCases[] = {
+    {"spring_boot_demo", [] { return workloads::make_spring_boot_demo(); },
+     25.0},
+    {"bookinfo", [] { return workloads::make_bookinfo(); }, 20.0},
+    {"mq_pipeline", [] { return workloads::make_mq_pipeline(); }, 15.0},
+};
+
+TEST(QueryEquivalence, OptimizedMatchesNaiveOnAllTopologies) {
+  for (const EquivalenceCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    Topology topo = c.make();
+    // Multi-shard store so the id directory and shard-routed lookups are on
+    // the tested path.
+    core::DeploymentConfig config;
+    config.server.store_shards = 4;
+    core::Deployment deepflow(topo.cluster.get(), config);
+    expect_equivalent_traces(
+        run_topology(deepflow, topo, c.rps, 1 * kSecond), c.name);
+  }
+}
+
+// The golden-trace seeds (spring demo seed 11, bookinfo seed 13) on the
+// default serial store: the exact corpora pinned by test_golden_traces.
+TEST(QueryEquivalence, OptimizedMatchesNaiveOnGoldenSeeds) {
+  {
+    Topology topo = workloads::make_spring_boot_demo(11);
+    core::Deployment deepflow(topo.cluster.get(), {});
+    expect_equivalent_traces(run_topology(deepflow, topo, 10.0, 1 * kSecond),
+                             "spring_boot_demo_seed11");
+  }
+  {
+    Topology topo = workloads::make_bookinfo(13);
+    core::Deployment deepflow(topo.cluster.get(), {});
+    expect_equivalent_traces(run_topology(deepflow, topo, 8.0, 1 * kSecond),
+                             "bookinfo_seed13");
+  }
+}
+
+// Spans whose ids collide get remapped into the store-private id range; the
+// assemblers must agree on traces that mix original and remapped ids.
+TEST(QueryEquivalence, RemappedIdsAssembleIdentically) {
+  netsim::ResourceRegistry registry;
+  for (const size_t shards : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE(shards);
+    server::SpanStore store(server::EncoderKind::kSmart, &registry, shards);
+    std::vector<u64> inserted;
+    // Three request flows, every span re-using the same handful of ids so
+    // most inserts collide and get remapped.
+    for (u64 flow = 0; flow < 3; ++flow) {
+      const TimestampNs base = flow * 100'000;
+      const TcpSeq seq = 500 + flow;
+      agent::Span client;
+      client.span_id = 1;  // collides across flows
+      client.kind = agent::SpanKind::kSystem;
+      client.start_ts = base;
+      client.end_ts = base + 10'000;
+      client.host = "node-1";
+      client.pid = 10;
+      client.req_tcp_seq = seq;
+      client.systrace_id = 7 + flow;
+      agent::Span net = client;
+      net.span_id = 2;  // collides across flows
+      net.kind = agent::SpanKind::kNetwork;
+      net.systrace_id = kInvalidSystraceId;
+      net.host = "";
+      net.pid = 0;
+      net.device_name = "veth";
+      net.start_ts = base + 1'000;
+      net.end_ts = base + 1'100;
+      agent::Span srv = client;
+      srv.span_id = 0;  // forces remap unconditionally
+      srv.from_server_side = true;
+      srv.host = "node-2";
+      srv.pid = 20;
+      srv.start_ts = base + 3'000;
+      srv.end_ts = base + 9'000;
+      inserted.push_back(store.insert(client));
+      inserted.push_back(store.insert(net));
+      inserted.push_back(store.insert(srv));
+    }
+    server::TraceAssembler assembler(&store);
+    for (const u64 id : inserted) {
+      ASSERT_NE(store.row(id), nullptr) << id;
+      const AssembledTrace optimized = assembler.assemble(id);
+      const AssembledTrace naive =
+          server::reference::assemble_naive(store, id);
+      EXPECT_EQ(trace_signature(naive), trace_signature(optimized)) << id;
+      EXPECT_EQ(optimized.spans.size(), 3u) << id;
+    }
+  }
+}
+
+// Iteration caps truncate the delta search and the naive re-search at the
+// same span set, probe count by probe count.
+TEST(QueryEquivalence, CappedIterationsTruncateIdentically) {
+  Topology topo = workloads::make_bookinfo(13);
+  core::Deployment deepflow(topo.cluster.get(), {});
+  const server::DeepFlowServer& server =
+      run_topology(deepflow, topo, 8.0, 1 * kSecond);
+  const server::SpanStore& store = server.store();
+  const std::vector<u64> ids = store.span_list(0, ~TimestampNs{0}, 40);
+  ASSERT_FALSE(ids.empty());
+  for (const u32 cap : {1u, 2u, 3u}) {
+    server::AssemblerConfig config{.max_iterations = cap};
+    server::TraceAssembler capped(&store, config);
+    for (const u64 id : ids) {
+      EXPECT_EQ(
+          trace_signature(server::reference::assemble_naive(store, id, config)),
+          trace_signature(capped.assemble(id)))
+          << "cap=" << cap << " start=" << id;
+    }
+  }
+}
+
+// The batch assembly service: parallel fan-out returns the same traces in
+// the same positions as the serial path, and both match query_trace.
+TEST(QueryEquivalence, BatchAssemblyMatchesSerialAcrossWorkerCounts) {
+  Topology topo = workloads::make_spring_boot_demo(11);
+  core::DeploymentConfig config;
+  config.server.store_shards = 4;
+  core::Deployment deepflow(topo.cluster.get(), config);
+  const server::DeepFlowServer& server =
+      run_topology(deepflow, topo, 25.0, 1 * kSecond);
+  const std::vector<u64> ids =
+      server.store().span_list(0, ~TimestampNs{0}, 64);
+  ASSERT_GT(ids.size(), 8u);
+
+  std::vector<std::string> serial;
+  for (const u64 id : ids) {
+    serial.push_back(trace_signature(server.query_trace(id)));
+  }
+  for (const size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+    const std::vector<AssembledTrace> batch =
+        server.assemble_traces(ids, workers);
+    ASSERT_EQ(batch.size(), ids.size()) << workers;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(serial[i], trace_signature(batch[i]))
+          << "workers=" << workers << " slot=" << i;
+    }
+  }
+
+  const server::QueryTelemetry telemetry = server.query_telemetry();
+  EXPECT_GT(telemetry.traces_assembled, 0u);
+  EXPECT_GT(telemetry.searches, 0u);
+  EXPECT_GE(telemetry.rows_touched, telemetry.assembled_spans);
+}
+
+}  // namespace
+}  // namespace deepflow

@@ -1,0 +1,272 @@
+// Frozen naive reference for Algorithm 1 (§3.3.2): the PR-1 trace-assembly
+// implementation, kept verbatim as the behavioural baseline for the
+// optimized query path in src/server/trace_assembler.cpp.
+//
+//   * Phase one re-builds the search filter from the ENTIRE span set and
+//     re-probes the store every iteration (no delta tracking).
+//   * Phase two scans ALL earlier spans for every (span, rule) pair — the
+//     O(n²·rules) inner loop the optimized assembler replaces with
+//     per-attribute candidate buckets.
+//
+// The optimized assembler must produce identical spans, parent assignments,
+// parent rules and display order (iterations_used may be lower: delta
+// search skips the final confirming probe). test_query_equivalence.cpp
+// enforces this over the equivalence topologies and golden seeds, and
+// bench_fig15_query_delay uses the same reference for its ablation.
+//
+// Deliberately NOT deduplicated against the production rule table: a shared
+// table would let a semantic change slip through both sides unnoticed.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "server/span_store.h"
+#include "server/trace_assembler.h"
+
+namespace deepflow::server::reference {
+
+namespace detail {
+
+using agent::Span;
+using agent::SpanKind;
+
+inline bool is_sys_or_app(const Span& s) {
+  return s.kind == SpanKind::kSystem || s.kind == SpanKind::kApplication;
+}
+
+inline bool same_host_pid(const Span& a, const Span& b) {
+  return a.pid == b.pid && a.host == b.host;
+}
+
+inline bool encloses(const Span& parent, const Span& child) {
+  return parent.start_ts <= child.start_ts && parent.end_ts >= child.end_ts;
+}
+
+inline bool content_less(const Span& a, const Span& b) {
+  if (a.end_ts != b.end_ts) return a.end_ts < b.end_ts;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.from_server_side != b.from_server_side) return b.from_server_side;
+  if (a.host != b.host) return a.host < b.host;
+  if (a.device_name != b.device_name) return a.device_name < b.device_name;
+  if (a.pid != b.pid) return a.pid < b.pid;
+  if (a.tid != b.tid) return a.tid < b.tid;
+  if (a.req_tcp_seq != b.req_tcp_seq) return a.req_tcp_seq < b.req_tcp_seq;
+  if (a.resp_tcp_seq != b.resp_tcp_seq) return a.resp_tcp_seq < b.resp_tcp_seq;
+  if (a.x_request_id != b.x_request_id) return a.x_request_id < b.x_request_id;
+  if (a.otel_trace_id != b.otel_trace_id) {
+    return a.otel_trace_id < b.otel_trace_id;
+  }
+  if (a.method != b.method) return a.method < b.method;
+  if (a.endpoint != b.endpoint) return a.endpoint < b.endpoint;
+  return a.span_id < b.span_id;
+}
+
+inline bool starts_before(const Span& parent, const Span& child) {
+  if (parent.span_id == child.span_id) return false;
+  if (parent.start_ts != child.start_ts) {
+    return parent.start_ts < child.start_ts;
+  }
+  return content_less(parent, child);
+}
+
+inline bool shares_req_seq(const Span& a, const Span& b) {
+  return a.req_tcp_seq != 0 && a.req_tcp_seq == b.req_tcp_seq;
+}
+
+using RulePredicate = bool (*)(const Span& x, const Span& p);
+
+struct Rule {
+  ParentRuleId id;
+  RulePredicate applies;
+};
+
+inline constexpr Rule kRules[] = {
+    {2,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kNetwork && p.kind == SpanKind::kNetwork &&
+              shares_req_seq(x, p);
+     }},
+    {1,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kNetwork && is_sys_or_app(p) &&
+              !p.from_server_side && shares_req_seq(x, p);
+     }},
+    {3,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && x.from_server_side &&
+              p.kind == SpanKind::kNetwork && shares_req_seq(x, p);
+     }},
+    {4,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && x.from_server_side && is_sys_or_app(p) &&
+              !p.from_server_side && shares_req_seq(x, p);
+     }},
+    {5,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && x.from_server_side && is_sys_or_app(p) &&
+              !p.from_server_side && x.resp_tcp_seq != 0 &&
+              x.resp_tcp_seq == p.resp_tcp_seq;
+     }},
+    {6,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
+              p.from_server_side && same_host_pid(x, p) &&
+              x.systrace_id != kInvalidSystraceId &&
+              x.systrace_id == p.systrace_id && encloses(p, x);
+     }},
+    {7,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
+              p.from_server_side && same_host_pid(x, p) &&
+              x.pseudo_thread_id != 0 &&
+              x.pseudo_thread_id == p.pseudo_thread_id && encloses(p, x);
+     }},
+    {8,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
+              p.from_server_side && same_host_pid(x, p) &&
+              !x.x_request_id.empty() && x.x_request_id == p.x_request_id;
+     }},
+    {9,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && !x.from_server_side && is_sys_or_app(p) &&
+              !p.from_server_side && same_host_pid(x, p) &&
+              x.systrace_id != kInvalidSystraceId &&
+              x.systrace_id == p.systrace_id && encloses(p, x) &&
+              p.req_tcp_seq != x.req_tcp_seq;
+     }},
+    {10,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kThirdParty &&
+              p.kind == SpanKind::kThirdParty && !x.otel_trace_id.empty() &&
+              x.otel_trace_id == p.otel_trace_id && encloses(p, x);
+     }},
+    {11,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kThirdParty && is_sys_or_app(p) &&
+              !x.otel_trace_id.empty() &&
+              x.otel_trace_id == p.otel_trace_id && encloses(p, x);
+     }},
+    {12,
+     [](const Span& x, const Span& p) {
+       return is_sys_or_app(x) && p.kind == SpanKind::kThirdParty &&
+              !x.otel_trace_id.empty() &&
+              x.otel_trace_id == p.otel_trace_id && encloses(p, x) &&
+              same_host_pid(x, p);
+     }},
+    {13,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kApplication &&
+              p.kind == SpanKind::kSystem && same_host_pid(x, p) &&
+              x.tid == p.tid && encloses(p, x);
+     }},
+    {14,
+     [](const Span& x, const Span& p) {
+       return x.kind == SpanKind::kSystem &&
+              p.kind == SpanKind::kApplication && same_host_pid(x, p) &&
+              x.tid == p.tid && encloses(p, x);
+     }},
+    {15,
+     [](const Span& x, const Span& p) {
+       return x.systrace_id != kInvalidSystraceId &&
+              x.systrace_id == p.systrace_id && is_sys_or_app(p) &&
+              p.from_server_side;
+     }},
+};
+
+}  // namespace detail
+
+/// The PR-1 TraceAssembler::assemble, frozen: full re-search per iteration,
+/// all-pairs parent scan, per-span materialization.
+inline AssembledTrace assemble_naive(const SpanStore& store, u64 start_span_id,
+                                     AssemblerConfig config = {}) {
+  using detail::Rule;
+  using detail::kRules;
+  using agent::Span;
+
+  AssembledTrace trace;
+  if (store.row(start_span_id) == nullptr) return trace;
+
+  // ---- Phase one: iterative span search (full filter re-built each pass).
+  std::unordered_map<u64, Span> span_set;
+  span_set.emplace(start_span_id, store.row(start_span_id)->span);
+
+  for (u32 iter = 0; iter < config.max_iterations; ++iter) {
+    trace.iterations_used = iter + 1;
+    SearchFilter filter;
+    for (const auto& [id, span] : span_set) {
+      if (span.systrace_id != kInvalidSystraceId) {
+        filter.systrace_ids.insert(span.systrace_id);
+      }
+      if (span.pseudo_thread_id != 0) {
+        filter.pseudo_thread_keys.insert(pseudo_thread_key(span));
+      }
+      if (!span.x_request_id.empty()) {
+        filter.x_request_ids.insert(span.x_request_id);
+      }
+      if (span.req_tcp_seq != 0) filter.tcp_seqs.insert(span.req_tcp_seq);
+      if (span.resp_tcp_seq != 0) filter.tcp_seqs.insert(span.resp_tcp_seq);
+      if (!span.otel_trace_id.empty()) {
+        filter.otel_trace_ids.insert(span.otel_trace_id);
+      }
+    }
+    const std::vector<u64> found = store.search(filter);
+    const size_t before = span_set.size();
+    for (const u64 id : found) {
+      if (!span_set.contains(id)) span_set.emplace(id, store.row(id)->span);
+    }
+    if (span_set.size() == before) break;  // not updated -> converged
+  }
+
+  // ---- Phase two: parent assignment (all-pairs scan per rule).
+  std::vector<Span> spans;
+  spans.reserve(span_set.size());
+  for (auto& [id, span] : span_set) spans.push_back(std::move(span));
+
+  std::vector<ParentRuleId> rules(spans.size(), 0);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    Span& x = spans[i];
+    x.parent_span_id = 0;
+    for (const Rule& rule : kRules) {
+      const Span* best = nullptr;
+      for (const Span& p : spans) {
+        if (!detail::starts_before(p, x)) continue;
+        if (!rule.applies(x, p)) continue;
+        if (best == nullptr || p.start_ts > best->start_ts ||
+            (p.start_ts == best->start_ts && detail::content_less(*best, p))) {
+          best = &p;
+        }
+      }
+      if (best != nullptr) {
+        x.parent_span_id = best->span_id;
+        rules[i] = rule.id;
+        break;
+      }
+    }
+  }
+
+  // ---- Phase three: sort for display.
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (spans[a].start_ts != spans[b].start_ts) {
+      return spans[a].start_ts < spans[b].start_ts;
+    }
+    return detail::content_less(spans[a], spans[b]);
+  });
+
+  trace.spans.reserve(spans.size());
+  for (const size_t i : order) {
+    AssembledSpan out;
+    out.span = store.materialize(spans[i].span_id);
+    out.span.parent_span_id = spans[i].parent_span_id;
+    out.parent_rule = rules[i];
+    trace.spans.push_back(std::move(out));
+  }
+  return trace;
+}
+
+}  // namespace deepflow::server::reference

@@ -129,6 +129,78 @@ TEST_F(SpanStoreTest, BlobBytesAccumulate) {
   EXPECT_EQ(store_.encoder_name(), "smart");
 }
 
+TEST_F(SpanStoreTest, SearchReturnsSortedIds) {
+  // Deterministic output order regardless of hash-set iteration order:
+  // insert in descending id order, expect ascending results.
+  for (const u64 id : {9u, 5u, 7u, 2u, 8u}) {
+    agent::Span span = make_span(id, id * 100);
+    span.systrace_id = 42;
+    store_.insert(span);
+  }
+  SearchFilter filter;
+  filter.systrace_ids.insert(42);
+  const auto found = store_.search(filter);
+  EXPECT_EQ(found, (std::vector<u64>{2, 5, 7, 8, 9}));
+}
+
+TEST_F(SpanStoreTest, ShardRoutedLookupTouchesOneShard) {
+  SpanStore sharded(EncoderKind::kSmart, &registry_, 8);
+  constexpr size_t kSpans = 64;
+  for (u64 id = 1; id <= kSpans; ++id) {
+    agent::Span span = make_span(id, id * 100);
+    span.systrace_id = id;  // spread across shards
+    sharded.insert(span);
+  }
+  const StoreQueryCounters before = sharded.query_counters();
+  for (u64 id = 1; id <= kSpans; ++id) {
+    ASSERT_NE(sharded.row(id), nullptr) << id;
+    EXPECT_EQ(sharded.row(id)->span.span_id, id);
+  }
+  const StoreQueryCounters after = sharded.query_counters();
+  // The id directory routes each lookup to exactly one shard: one shard
+  // lock per row() call, not one per shard probed.
+  EXPECT_EQ(after.rows_touched - before.rows_touched, 2 * kSpans);
+  EXPECT_EQ(after.shard_locks - before.shard_locks, 2 * kSpans);
+  // Unknown ids resolve through the directory without locking any shard.
+  EXPECT_EQ(sharded.row(999'999), nullptr);
+  EXPECT_EQ(sharded.query_counters().shard_locks, after.shard_locks);
+}
+
+TEST_F(SpanStoreTest, MaterializeFindsRowsOnEveryShardLayout) {
+  for (const size_t shards : {size_t{1}, size_t{4}, size_t{8}}) {
+    SpanStore store(EncoderKind::kSmart, &registry_, shards);
+    std::vector<u64> ids;
+    for (u64 i = 1; i <= 16; ++i) {
+      agent::Span span = make_span(i, i * 10);
+      span.systrace_id = i * 3;
+      ids.push_back(store.insert(span));
+    }
+    for (const u64 id : ids) {
+      EXPECT_EQ(store.materialize(id).span_id, id) << shards;
+    }
+    EXPECT_EQ(store.materialize(424242).span_id, 0u) << shards;
+  }
+}
+
+TEST_F(SpanStoreTest, QueryCountersAccumulate) {
+  agent::Span span = make_span(1, 100);
+  span.systrace_id = 42;
+  store_.insert(span);
+  const StoreQueryCounters before = store_.query_counters();
+  SearchFilter filter;
+  filter.systrace_ids.insert(42);
+  filter.tcp_seqs.insert(9'999);  // miss
+  const auto found = store_.search(filter);
+  ASSERT_EQ(found.size(), 1u);
+  store_.row(1);
+  const StoreQueryCounters after = store_.query_counters();
+  EXPECT_EQ(after.searches - before.searches, 1u);
+  EXPECT_EQ(after.search_keys - before.search_keys, 2u);
+  EXPECT_EQ(after.search_hits - before.search_hits, 1u);
+  EXPECT_EQ(after.rows_touched - before.rows_touched, 1u);
+  EXPECT_GE(after.shard_locks, before.shard_locks + 2);  // search + row
+}
+
 TEST_F(SpanStoreTest, MaterializeDecodesTags) {
   const auto vpc = registry_.create_vpc("v");
   const auto node = registry_.create_node(vpc, "n");

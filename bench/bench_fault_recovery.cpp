@@ -1,0 +1,128 @@
+// Fault-recovery bench: pipeline throughput and trace completeness across
+// transport loss rates {0, 0.1%, 1%, 10%} x retries {on, off}.
+//
+// Each cell runs the spring_boot_demo workload through the batched
+// SpanTransport with a seeded drop fault at the agent -> server channel and
+// measures:
+//   * throughput — spans stored per wall-clock second of the whole
+//     pipeline run (collection, parse, transport, ingest);
+//   * completeness — spans stored / spans stored by the loss-free run
+//     (the EXPERIMENTS.md degradation table);
+//   * recovery work — retries scheduled, duplicates filtered by the
+//     server's idempotent ingest, spans abandoned after max_attempts.
+//
+// With retries on, completeness stays at 1.0 until the loss rate is high
+// enough to exhaust max_attempts; with retries off, completeness decays
+// roughly as (1 - p) per batch send. Usage:
+//   bench_fault_recovery [--json out.json] [--quick]
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+constexpr double kLossRates[] = {0.0, 0.001, 0.01, 0.1};
+
+struct CellResult {
+  double loss = 0;
+  bool retries = false;
+  double seconds = 0;
+  u64 stored = 0;
+  u64 offered = 0;
+  agent::TransportStats transport;
+  u64 duplicate_spans = 0;
+};
+
+CellResult run_cell(double loss, bool retries, double rps) {
+  workloads::Topology topo = workloads::make_spring_boot_demo(11);
+  core::DeploymentConfig config;
+  config.transport.direct = false;
+  config.transport.batch_spans = 16;
+  config.transport.retries = retries;
+  config.transport.max_attempts = 40;
+  config.faults.transport_send.drop = loss;
+  core::Deployment deepflow(topo.cluster.get(), config);
+  if (!deepflow.deploy()) {
+    std::fprintf(stderr, "deploy failed: %s\n", deepflow.error().c_str());
+    return {};
+  }
+
+  CellResult cell;
+  cell.loss = loss;
+  cell.retries = retries;
+  const bench::WallTimer timer;
+  topo.app->run_constant_load(topo.entry, rps, 1 * kSecond);
+  deepflow.finish();
+  cell.seconds = timer.elapsed_seconds();
+
+  const server::IngestTelemetry telemetry =
+      deepflow.server().ingest_telemetry();
+  for (const size_t rows : telemetry.shard_rows) cell.stored += rows;
+  cell.duplicate_spans = telemetry.duplicate_spans;
+  cell.transport = deepflow.aggregate_transport_stats();
+  cell.offered = cell.transport.offered;
+  return cell;
+}
+
+std::string loss_key(double loss) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", loss * 100.0);
+  std::string key(buf);
+  for (char& c : key) {
+    if (c == '.') c = 'p';
+  }
+  return key;
+}
+
+}  // namespace
+}  // namespace deepflow
+
+int main(int argc, char** argv) {
+  using namespace deepflow;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const double rps = args.quick ? 8.0 : 40.0;
+
+  bench::print_header(
+      "Fault recovery: completeness & throughput vs transport loss");
+  std::printf("  %-8s %-8s %10s %12s %14s %9s %9s %9s\n", "loss", "retries",
+              "stored", "complete", "spans/sec", "resends", "deduped",
+              "gave-up");
+
+  bench::JsonReport report(args.json_path);
+  double baseline_stored = 0;
+  for (const bool retries : {true, false}) {
+    for (const double loss : kLossRates) {
+      const CellResult cell = run_cell(loss, retries, rps);
+      if (baseline_stored == 0 && loss == 0.0) {
+        baseline_stored = static_cast<double>(cell.stored);
+      }
+      const double completeness =
+          baseline_stored > 0
+              ? static_cast<double>(cell.stored) / baseline_stored
+              : 0.0;
+      const double throughput =
+          cell.seconds > 0 ? static_cast<double>(cell.stored) / cell.seconds
+                           : 0.0;
+      char loss_label[16];
+      std::snprintf(loss_label, sizeof(loss_label), "%.2f%%", loss * 100.0);
+      std::printf("  %-8s %-8s %10" PRIu64 " %12.4f %14.0f %9" PRIu64
+                  " %9" PRIu64 " %9" PRIu64 "\n",
+                  loss_label, retries ? "on" : "off", cell.stored,
+                  completeness, throughput, cell.transport.retries,
+                  cell.duplicate_spans, cell.transport.gave_up_spans);
+      const std::string key = "loss_" + loss_key(loss) + "_retries_" +
+                              (retries ? "on" : "off");
+      report.add(key + "_completeness", completeness);
+      report.add(key + "_spans_per_sec", throughput);
+      report.add(key + "_stored", static_cast<double>(cell.stored));
+      report.add(key + "_gave_up", static_cast<double>(cell.transport.gave_up_spans));
+    }
+  }
+  return report.write() ? 0 : 1;
+}

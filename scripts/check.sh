@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Full verification: build + test the release config, then build + test the
 # ThreadSanitizer config (the concurrency CI gate for the parallel ingest
-# pipeline). Run from anywhere; builds land in build/ and build-tsan/.
+# pipeline) and the AddressSanitizer config (the memory gate for the
+# fault/transport/chaos paths). Run from anywhere; builds land in build/,
+# build-tsan/ and build-asan/.
 #
-#   scripts/check.sh            # both configs
+#   scripts/check.sh            # all configs
 #   scripts/check.sh release    # release only
 #   scripts/check.sh tsan       # tsan only (thread-pool, ring,
-#                               # parallel/query-equivalence suites and a
-#                               # bench_fig15_query_delay --quick smoke)
+#                               # parallel/query-equivalence + chaos suites
+#                               # and a bench_fig15_query_delay --quick smoke)
+#   scripts/check.sh asan       # asan only (fault/transport/chaos suites
+#                               # and a bench_fault_recovery --quick smoke)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,7 +35,7 @@ run_tsan() {
   # gate on the suites that exercise the parallel ingest pipeline.
   (cd "$root/build-tsan" && TSAN_OPTIONS="halt_on_error=1" ctest \
     --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence')
+    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector')
   echo "== tsan: bench_fig15_query_delay --quick smoke =="
   # Shared-mutex readers + batch assembly under TSan on a tiny workload:
   # catches query-path races the unit suites cannot reach.
@@ -40,15 +44,33 @@ run_tsan() {
     "$root/build-tsan/bench/bench_fig15_query_delay" --quick
 }
 
+run_asan() {
+  echo "== asan: configure + build =="
+  cmake --preset asan -S "$root"
+  cmake --build --preset asan -j "$jobs"
+  echo "== asan: ctest (fault/transport/chaos suites) =="
+  # The fault paths move spans through queues, retries and dedup sets —
+  # exactly where lifetime bugs would hide; gate them under ASan.
+  (cd "$root/build-asan" && ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+    ctest --output-on-failure -j "$jobs" \
+    -R 'Chaos|SpanTransport|FaultInjector')
+  echo "== asan: bench_fault_recovery --quick smoke =="
+  cmake --build --preset asan -j "$jobs" --target bench_fault_recovery
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+    "$root/build-asan/bench/bench_fault_recovery" --quick
+}
+
 case "$what" in
   release) run_release ;;
   tsan) run_tsan ;;
+  asan) run_asan ;;
   all)
     run_release
     run_tsan
+    run_asan
     ;;
   *)
-    echo "usage: $0 [release|tsan|all]" >&2
+    echo "usage: $0 [release|tsan|asan|all]" >&2
     exit 2
     ;;
 esac

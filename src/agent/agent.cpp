@@ -1,5 +1,6 @@
 #include "agent/agent.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -293,6 +294,16 @@ AgentStats Agent::stats() const {
   }
   stats.perf_lost =
       collector_.syscall_events().lost() + collector_.packet_events().lost();
+  const std::vector<u64> sys_lost = collector_.syscall_events().lost_per_cpu();
+  const std::vector<u64> pkt_lost = collector_.packet_events().lost_per_cpu();
+  stats.perf_lost_per_cpu.resize(std::max(sys_lost.size(), pkt_lost.size()));
+  for (size_t cpu = 0; cpu < sys_lost.size(); ++cpu) {
+    stats.perf_lost_per_cpu[cpu] += sys_lost[cpu];
+  }
+  for (size_t cpu = 0; cpu < pkt_lost.size(); ++cpu) {
+    stats.perf_lost_per_cpu[cpu] += pkt_lost[cpu];
+  }
+  stats.enter_map_record_drops = collector_.enter_map_record_drops();
   stats.matched_sessions =
       sys_sessions_.matched_sessions() + net_sessions_.matched_sessions();
   stats.expired_requests =

@@ -71,6 +71,13 @@ struct AgentStats {
   u64 drain_batches = 0;        // staging batches flushed by drain workers
   u64 drain_batch_records = 0;  // records carried by those batches
   u64 staging_ring_waits = 0;   // producer stalls on a full staging ring
+  // Loss visibility (the failure-model counters):
+  /// Per-CPU perf loss (syscall + packet rings, natural + injected) —
+  /// shard-imbalanced loss is invisible in the perf_lost sum alone.
+  std::vector<u64> perf_lost_per_cpu;
+  /// Exit records dropped because the enter map had overflowed (the
+  /// collector's silent `if (!staged) return` made countable).
+  u64 enter_map_record_drops = 0;
 };
 
 class Agent {

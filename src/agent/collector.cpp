@@ -16,7 +16,14 @@ Collector::Collector(kernelsim::Kernel* kernel, CollectorConfig config)
       loader_(kernel),
       enter_map_(config.enter_map_entries),
       syscall_events_(config.cpu_count, config.perf_ring_capacity),
-      packet_events_(config.cpu_count, config.perf_ring_capacity) {}
+      packet_events_(config.cpu_count, config.perf_ring_capacity) {
+  if (config_.fault_injector != nullptr) {
+    syscall_events_.set_fault_injector(config_.fault_injector,
+                                       FaultSite::kPerfRingSubmit);
+    packet_events_.set_fault_injector(config_.fault_injector,
+                                      FaultSite::kPerfRingSubmit);
+  }
+}
 
 u32 Collector::cpu_of(Tid tid) const {
   // A thread runs on one CPU at a time; hashing tid models the scheduler's
@@ -40,7 +47,12 @@ void Collector::on_exit(const kernelsim::HookContext& ctx,
     return;
   }
   const auto staged = enter_map_.lookup_and_delete(task_key(ctx.pid, ctx.tid));
-  if (!staged) return;  // lost enter (map overflow): drop the record
+  if (!staged) {
+    // Lost enter (map overflow): the record is dropped, and — like perf
+    // loss — the drop must be surfaced, not silent.
+    ++enter_map_record_drops_;
+    return;
+  }
 
   ebpf::SyscallEventRecord record;
   record.pid = ctx.pid;

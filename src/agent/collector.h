@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "common/fault.h"
 #include "ebpf/event.h"
 #include "ebpf/loader.h"
 #include "ebpf/map.h"
@@ -20,6 +21,9 @@ struct CollectorConfig {
   size_t perf_ring_capacity = 16384;   // records per CPU ring
   size_t enter_map_entries = 65536;    // (pid,tid) staging map
   bool use_tracepoints = false;  // kprobes by default, tracepoints optional
+  /// Optional fault injector consulted at the perf-ring submit site
+  /// (non-owning; models overflow drops under burst).
+  FaultInjector* fault_injector = nullptr;
 };
 
 class Collector {
@@ -57,6 +61,11 @@ class Collector {
   u64 enter_map_overflows() const {
     return enter_map_.stats().full_failures;
   }
+  /// Exit-side records silently dropped because their enter parameters
+  /// were missing from the staging map (the map overflowed between enter
+  /// and exit). The record-level mirror of enter_map_overflows(): an
+  /// overflow loses an update, this counts the message it cost.
+  u64 enter_map_record_drops() const { return enter_map_record_drops_; }
 
  private:
   /// (pid,tid) -> staged enter-side parameters.
@@ -79,6 +88,7 @@ class Collector {
   std::vector<ebpf::Link> links_;
   std::string error_;
   u64 records_emitted_ = 0;
+  u64 enter_map_record_drops_ = 0;
 };
 
 }  // namespace deepflow::agent

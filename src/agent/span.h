@@ -76,6 +76,11 @@ struct Span {
   /// True when the request never got a response inside the aggregation
   /// window — the paper treats this as an unexpected execution termination.
   bool incomplete = false;
+  /// True only on synthetic spans the assembler fabricates to stand in for
+  /// a span that was lost in delivery: orphaned children hang off such a
+  /// placeholder instead of surfacing as spurious trace roots. Never set
+  /// on stored spans.
+  bool lost_placeholder = false;
   FiveTuple tuple;             // client-perspective five-tuple
 
   // -- Correlation tags.

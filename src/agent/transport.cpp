@@ -1,0 +1,237 @@
+#include "agent/transport.h"
+
+#include <algorithm>
+
+namespace deepflow::agent {
+
+SpanTransport::SpanTransport(TransportConfig config, BatchSink sink,
+                             FaultInjector* faults)
+    : config_(config),
+      sink_(std::move(sink)),
+      faults_(faults),
+      jitter_(config.jitter_seed) {
+  if (config_.batch_spans == 0) config_.batch_spans = 1;
+  if (config_.max_attempts == 0) config_.max_attempts = 1;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+}
+
+int SpanTransport::priority_of(const Span& span) {
+  switch (span.kind) {
+    case SpanKind::kNetwork:
+      return 0;  // cheapest to lose: the path is re-derivable from metrics
+    case SpanKind::kSystem:
+      return 1;
+    case SpanKind::kApplication:
+    case SpanKind::kThirdParty:
+      return 2;  // closest to business semantics: shed last
+  }
+  return 1;
+}
+
+void SpanTransport::shed_for(const Span& incoming) {
+  // Admission under overflow: evict the OLDEST span of the LOWEST priority
+  // class present, but only if that class is strictly lower-priority than
+  // the incoming span; otherwise the incoming span itself is shed. Equal
+  // priorities keep the older span — it is closer to delivery.
+  int lowest = 3;
+  size_t victim = queue_.size();
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const int p = priority_of(queue_[i]);
+    if (p < lowest) {
+      lowest = p;
+      victim = i;
+      if (lowest == 0) break;  // cannot do better
+    }
+  }
+  const Span* shed = &incoming;
+  if (victim < queue_.size() && lowest < priority_of(incoming)) {
+    shed = &queue_[victim];
+  }
+  switch (priority_of(*shed)) {
+    case 0:
+      ++stats_.shed_net;
+      break;
+    case 1:
+      ++stats_.shed_sys;
+      break;
+    default:
+      ++stats_.shed_app;
+      break;
+  }
+  if (shed != &incoming) {
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+}
+
+void SpanTransport::offer(Span&& span) {
+  ++stats_.offered;
+  if (config_.direct) {
+    std::vector<Span> one;
+    one.push_back(std::move(span));
+    deliver(std::move(one));
+    return;
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    const size_t before = queue_.size();
+    shed_for(span);
+    if (queue_.size() == before) return;  // incoming span was the victim
+  }
+  queue_.push_back(std::move(span));
+  stats_.queue_high_watermark =
+      std::max<u64>(stats_.queue_high_watermark, queue_.size());
+}
+
+u64 SpanTransport::backoff_ticks(u32 attempt) {
+  // attempt is the count of sends already made (>= 1 when retrying).
+  u64 backoff = config_.backoff_base_ticks;
+  for (u32 i = 1; i < attempt && backoff < config_.backoff_cap_ticks; ++i) {
+    backoff <<= 1;
+  }
+  backoff = std::min<u64>(backoff, config_.backoff_cap_ticks);
+  if (config_.jitter_ticks > 0) {
+    backoff += jitter_.between(0, config_.jitter_ticks);
+  }
+  return backoff;
+}
+
+void SpanTransport::deliver(std::vector<Span>&& spans) {
+  ++stats_.delivered_batches;
+  stats_.delivered_spans += spans.size();
+  if (sink_) sink_(std::move(spans));
+}
+
+size_t SpanTransport::send(PendingBatch&& batch) {
+  ++batch.attempts;
+  ++stats_.batches_sent;
+  stats_.spans_sent += batch.spans.size();
+
+  FaultDecision fate;
+  if (faults_ != nullptr && faults_->enabled(FaultSite::kTransportSend)) {
+    fate = faults_->decide(FaultSite::kTransportSend);
+  }
+
+  if (fate.drop) {
+    ++stats_.send_drops;
+    if (config_.retries && batch.attempts < config_.max_attempts) {
+      ++stats_.retries;
+      batch.due_tick = tick_ + backoff_ticks(batch.attempts);
+      retry_.push_back(std::move(batch));
+    } else {
+      ++stats_.gave_up_batches;
+      stats_.gave_up_spans += batch.spans.size();
+    }
+    return 0;
+  }
+
+  if (fate.ts_skew_ns != 0) {
+    // Clock fault: the whole flight carries one skew, like an agent whose
+    // clock drifted between syncs. Guard the subtraction at zero.
+    for (Span& span : batch.spans) {
+      const i64 skew = fate.ts_skew_ns;
+      span.start_ts = skew >= 0 || span.start_ts > static_cast<u64>(-skew)
+                          ? span.start_ts + static_cast<u64>(skew)
+                          : 0;
+      span.end_ts = skew >= 0 || span.end_ts > static_cast<u64>(-skew)
+                        ? span.end_ts + static_cast<u64>(skew)
+                        : 0;
+    }
+    stats_.ts_corrupted_spans += batch.spans.size();
+  }
+
+  if (fate.delay_ticks > 0) {
+    // Held in flight: later batches overtake it (reordering). Delivered
+    // as-is when due — the channel consulted fate for this flight already.
+    ++stats_.delayed_batches;
+    batch.due_tick = tick_ + fate.delay_ticks;
+    delayed_.push_back(std::move(batch));
+    return 0;
+  }
+
+  size_t delivered = batch.spans.size();
+  if (fate.duplicate) {
+    ++stats_.duplicated_batches;
+    std::vector<Span> copy = batch.spans;
+    deliver(std::move(copy));
+    delivered += batch.spans.size();
+  }
+  deliver(std::move(batch.spans));
+  return delivered;
+}
+
+size_t SpanTransport::pump() {
+  ++tick_;
+  size_t delivered = 0;
+
+  // Due delayed flights deliver first (they were sent before anything
+  // queued now).
+  for (size_t i = 0; i < delayed_.size();) {
+    if (delayed_[i].due_tick <= tick_) {
+      PendingBatch batch = std::move(delayed_[i]);
+      delayed_.erase(delayed_.begin() + static_cast<std::ptrdiff_t>(i));
+      delivered += batch.spans.size();
+      deliver(std::move(batch.spans));
+    } else {
+      ++i;
+    }
+  }
+
+  // Due retries re-enter the channel (and may drop again).
+  for (size_t i = 0; i < retry_.size();) {
+    if (retry_[i].due_tick <= tick_) {
+      PendingBatch batch = std::move(retry_[i]);
+      retry_.erase(retry_.begin() + static_cast<std::ptrdiff_t>(i));
+      delivered += send(std::move(batch));
+    } else {
+      ++i;
+    }
+  }
+
+  // Fresh sends: every full batch leaves this tick.
+  while (queue_.size() >= config_.batch_spans) {
+    PendingBatch batch;
+    batch.spans.reserve(config_.batch_spans);
+    for (size_t i = 0; i < config_.batch_spans; ++i) {
+      batch.spans.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    delivered += send(std::move(batch));
+  }
+  return delivered;
+}
+
+void SpanTransport::flush() {
+  if (config_.direct) return;
+  // Send the partial tail, then keep ticking until nothing is queued,
+  // delayed or awaiting retry. Terminates: attempts per batch are bounded
+  // and due ticks are finite.
+  if (!queue_.empty()) {
+    PendingBatch batch;
+    batch.spans.reserve(queue_.size());
+    while (!queue_.empty() && batch.spans.size() < config_.batch_spans) {
+      batch.spans.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    send(std::move(batch));
+  }
+  while (!queue_.empty() || !retry_.empty() || !delayed_.empty()) {
+    pump();
+    if (!queue_.empty() && queue_.size() < config_.batch_spans) {
+      PendingBatch batch;
+      batch.spans.reserve(queue_.size());
+      while (!queue_.empty()) {
+        batch.spans.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      send(std::move(batch));
+    }
+  }
+}
+
+size_t SpanTransport::backlog() const {
+  size_t n = queue_.size();
+  for (const PendingBatch& b : retry_) n += b.spans.size();
+  for (const PendingBatch& b : delayed_) n += b.spans.size();
+  return n;
+}
+
+}  // namespace deepflow::agent

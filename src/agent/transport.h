@@ -1,0 +1,140 @@
+// Agent -> server span transport (the Figure 4 upload path, made fallible).
+//
+// The historical hot path handed every finished span to the server through
+// a perfect in-process call. SpanTransport replaces that wire with the
+// delivery model a production agent actually faces:
+//
+//   * a BOUNDED send queue — when the server cannot keep up, the queue
+//     sheds load by span value: net spans are shed first, then sys spans,
+//     and app spans last (the paper's spans closest to business semantics
+//     are the most expensive to lose);
+//   * BATCHED sends — spans leave in flights of `batch_spans` through a
+//     lossy simulated channel (the FaultInjector's kTransportSend site),
+//     which may drop, duplicate, delay (reorder) or timestamp-skew a batch;
+//   * RETRY with capped exponential backoff + deterministic jitter —
+//     dropped batches are re-sent up to `max_attempts` times, giving
+//     AT-LEAST-ONCE delivery; the server's idempotent ingest (dedup by
+//     span id) upgrades that to exactly-once storage.
+//
+// Time is modeled in pump ticks, not wall clock: pump() is called once per
+// agent poll cycle, delivers due retries and delayed batches, then sends
+// everything queued. flush() pumps until the transport is empty, so
+// end-of-run semantics are "everything delivered or explicitly given up"
+// — never silently stuck in a queue.
+//
+// Threading: offer()/pump()/flush() are called from the agent's poll
+// thread only (stage 2 of the drain pipeline is serial by design). The
+// delivery sink may be called multiple times per pump; with no faults
+// configured and retries on, delivery order equals offer order.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "agent/span.h"
+#include "common/fault.h"
+#include "common/rand.h"
+
+namespace deepflow::agent {
+
+struct TransportConfig {
+  /// Pass-through mode: offer() delivers each span immediately as a
+  /// single-span batch — no queue, no batching, no channel faults, no
+  /// retries. Byte-identical to the historical direct sink.
+  bool direct = false;
+  /// Bounded send-queue capacity in spans; overflow sheds by priority.
+  size_t queue_capacity = 8192;
+  /// Spans per send batch. Partial batches wait for flush().
+  size_t batch_spans = 128;
+  /// Re-send dropped batches (at-least-once). Off = fire-and-forget.
+  bool retries = true;
+  /// Total attempts per batch including the first (>= 1).
+  u32 max_attempts = 6;
+  /// Backoff before attempt k is base * 2^(k-1) ticks, capped, plus
+  /// uniform jitter in [0, jitter_ticks].
+  u32 backoff_base_ticks = 1;
+  u32 backoff_cap_ticks = 32;
+  u32 jitter_ticks = 2;
+  /// Seed of the (deterministic) jitter stream.
+  u64 jitter_seed = 0x7a695eed;
+};
+
+struct TransportStats {
+  u64 offered = 0;            // spans handed to offer()
+  u64 shed_net = 0;           // net spans shed on queue overflow
+  u64 shed_sys = 0;           // sys spans shed on queue overflow
+  u64 shed_app = 0;           // app/third-party spans shed on overflow
+  u64 batches_sent = 0;       // send attempts, retries included
+  u64 spans_sent = 0;         // spans carried by those attempts
+  u64 send_drops = 0;         // attempts the channel dropped
+  u64 retries = 0;            // re-sends scheduled after a drop
+  u64 gave_up_batches = 0;    // batches abandoned after max_attempts
+  u64 gave_up_spans = 0;      // spans lost with them
+  u64 duplicated_batches = 0; // batches the channel delivered twice
+  u64 delayed_batches = 0;    // batches the channel held back (reordering)
+  u64 ts_corrupted_spans = 0; // spans delivered with skewed timestamps
+  u64 delivered_batches = 0;  // sink invocations
+  u64 delivered_spans = 0;    // spans that reached the sink (dups included)
+  u64 queue_high_watermark = 0;
+
+  u64 shed_total() const { return shed_net + shed_sys + shed_app; }
+};
+
+class SpanTransport {
+ public:
+  /// Spans are delivered to `sink` in batches (possibly of size 1 in
+  /// direct mode). `faults` may be nullptr: a perfect channel.
+  using BatchSink = std::function<void(std::vector<Span>&&)>;
+
+  SpanTransport(TransportConfig config, BatchSink sink,
+                FaultInjector* faults = nullptr);
+
+  /// Producer side: enqueue one finished span (or deliver it immediately
+  /// in direct mode). Sheds by priority when the queue is full.
+  void offer(Span&& span);
+
+  /// One transport tick: deliver due delayed batches and due retries, then
+  /// send every full batch in the queue. Returns spans delivered to the
+  /// sink this tick.
+  size_t pump();
+
+  /// End of run: send the partial tail batch and pump until the queue,
+  /// retry schedule and delay schedule are all empty. Every span is then
+  /// either delivered or counted in gave_up_spans.
+  void flush();
+
+  /// Spans currently queued, in flight (delayed) or awaiting retry.
+  size_t backlog() const;
+
+  const TransportStats& stats() const { return stats_; }
+  const TransportConfig& config() const { return config_; }
+
+ private:
+  struct PendingBatch {
+    std::vector<Span> spans;
+    u32 attempts = 0;   // send attempts so far
+    u64 due_tick = 0;   // earliest tick this batch may (re-)send
+  };
+
+  /// Shed priority class: lower = shed first.
+  static int priority_of(const Span& span);
+  void shed_for(const Span& incoming);
+  /// Run one batch through the channel. Returns spans delivered.
+  size_t send(PendingBatch&& batch);
+  void deliver(std::vector<Span>&& spans);
+  u64 backoff_ticks(u32 attempt);
+
+  TransportConfig config_;
+  BatchSink sink_;
+  FaultInjector* faults_;
+  Rng jitter_;
+  u64 tick_ = 0;
+
+  std::deque<Span> queue_;             // bounded by queue_capacity
+  std::deque<PendingBatch> retry_;     // dropped batches awaiting re-send
+  std::deque<PendingBatch> delayed_;   // channel-delayed batches in flight
+  TransportStats stats_;
+};
+
+}  // namespace deepflow::agent

@@ -1,0 +1,87 @@
+#include "common/fault.h"
+
+#include "common/hash.h"
+
+namespace deepflow {
+
+std::string_view fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kPerfRingSubmit:
+      return "perf-ring-submit";
+    case FaultSite::kTransportSend:
+      return "transport-send";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(u64 seed) {
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    // Independent stream per site: mixing the site index in keeps one
+    // site's consumption from shifting another site's sequence.
+    sites_[i].rng = Rng(mix64(seed ^ (0x8000000000000000ULL | (i + 1))));
+  }
+}
+
+void FaultInjector::configure(FaultSite site, const FaultProfile& profile) {
+  Site& s = sites_[static_cast<size_t>(site)];
+  std::lock_guard lock(s.mu);
+  s.profile = profile;
+  s.enabled.store(profile.any(), std::memory_order_release);
+}
+
+bool FaultInjector::enabled(FaultSite site) const {
+  return sites_[static_cast<size_t>(site)].enabled.load(
+      std::memory_order_acquire);
+}
+
+FaultDecision FaultInjector::decide(FaultSite site, u8 supported) {
+  Site& s = sites_[static_cast<size_t>(site)];
+  std::lock_guard lock(s.mu);
+  ++s.counters.consults;
+
+  // Fixed draw schedule — four Bernoulli draws plus the delay and skew
+  // magnitudes, consumed on every consult no matter the profile or the
+  // outcome. This is what makes fault sets nested across probability
+  // sweeps (see the header's determinism contract).
+  const bool hit_drop = s.rng.chance(s.profile.drop);
+  const bool hit_dup = s.rng.chance(s.profile.duplicate);
+  const bool hit_delay = s.rng.chance(s.profile.delay);
+  const bool hit_skew = s.rng.chance(s.profile.corrupt_ts);
+  const u32 delay_ticks = static_cast<u32>(
+      s.rng.between(1, s.profile.max_delay_ticks > 0
+                           ? s.profile.max_delay_ticks
+                           : 1));
+  const i64 max_skew =
+      s.profile.max_ts_skew_ns > 0 ? s.profile.max_ts_skew_ns : 1;
+  const i64 skew_ns = static_cast<i64>(s.rng.between(
+                          0, static_cast<u64>(2 * max_skew))) -
+                      max_skew;
+
+  FaultDecision decision;
+  if (hit_drop && (supported & kFaultDrop) != 0) {
+    decision.drop = true;
+    ++s.counters.drops;
+    return decision;  // a dropped unit has no other fate
+  }
+  if (hit_dup && (supported & kFaultDuplicate) != 0) {
+    decision.duplicate = true;
+    ++s.counters.duplicates;
+  }
+  if (hit_delay && (supported & kFaultDelay) != 0) {
+    decision.delay_ticks = delay_ticks;
+    ++s.counters.delays;
+  }
+  if (hit_skew && (supported & kFaultCorruptTs) != 0) {
+    decision.ts_skew_ns = skew_ns;
+    ++s.counters.ts_corruptions;
+  }
+  return decision;
+}
+
+FaultSiteCounters FaultInjector::counters(FaultSite site) const {
+  const Site& s = sites_[static_cast<size_t>(site)];
+  std::lock_guard lock(s.mu);
+  return s.counters;
+}
+
+}  // namespace deepflow

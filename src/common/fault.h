@@ -1,0 +1,128 @@
+// Deterministic fault injection for the agent -> server pipeline.
+//
+// The paper's pipeline is built around lossy, disordered delivery: perf
+// rings overflow under bursts (§3.2), stragglers fall out of the 60 s
+// window (§3.3.1), and Algorithm 1 must assemble useful traces from
+// whatever arrived. The FaultInjector gives every delivery hop a seeded,
+// reproducible failure model to exercise that graceful degradation: a site
+// consults the injector per unit of work and receives a decision — drop it,
+// duplicate it, delay it (reordering), or corrupt its timestamps (clock
+// skew).
+//
+// Determinism contract (the chaos suite depends on all three):
+//   * each site draws from an independent RNG stream seeded from
+//     (seed, site), so enabling faults at one site never perturbs the
+//     decisions made at another;
+//   * decide() consumes a FIXED number of draws per call regardless of the
+//     configured probabilities or the outcome, so two runs that differ only
+//     in probability values see nested outcomes — every unit dropped at
+//     p=0.01 is also dropped at p=0.1 (monotone-degradation tests);
+//   * with an all-zero profile decide() reports no faults, so a disabled
+//     injector is an exact pass-through.
+//
+// Thread-safety: decide() takes a per-site mutex; distinct sites never
+// contend. Counter snapshots are safe at any time.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <string_view>
+
+#include "common/rand.h"
+#include "common/types.h"
+
+namespace deepflow {
+
+/// A delivery hop that can consult the injector. One RNG stream, one
+/// profile and one counter block per site.
+enum class FaultSite : u8 {
+  kPerfRingSubmit = 0,  // kernel -> agent: per-CPU perf-ring submit
+  kTransportSend = 1,   // agent -> server: span-batch send
+};
+constexpr size_t kFaultSiteCount = 2;
+
+std::string_view fault_site_name(FaultSite site);
+
+/// Per-site fault probabilities. All zero (the default) = perfect hop.
+struct FaultProfile {
+  double drop = 0.0;        // unit is lost
+  double duplicate = 0.0;   // unit is delivered twice
+  double delay = 0.0;       // unit is held back (reordered past later units)
+  double corrupt_ts = 0.0;  // unit's timestamps are skewed (clock fault)
+  u32 max_delay_ticks = 4;        // delay drawn uniformly from [1, max]
+  i64 max_ts_skew_ns = 1000000;   // skew drawn uniformly from [-max, +max]
+
+  bool any() const {
+    return drop > 0 || duplicate > 0 || delay > 0 || corrupt_ts > 0;
+  }
+};
+
+/// Which fault kinds a site can physically apply (a perf ring cannot delay
+/// a record past later ones, a generic channel can). Unsupported kinds are
+/// never reported applied — but their RNG draws still happen, keeping the
+/// stream stable across sites with different capabilities.
+enum FaultKindMask : u8 {
+  kFaultDrop = 1 << 0,
+  kFaultDuplicate = 1 << 1,
+  kFaultDelay = 1 << 2,
+  kFaultCorruptTs = 1 << 3,
+  kFaultAll = kFaultDrop | kFaultDuplicate | kFaultDelay | kFaultCorruptTs,
+};
+
+/// One consultation's outcome. Drop excludes the others; duplicate, delay
+/// and timestamp skew can co-occur (a delayed batch may also be skewed).
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  u32 delay_ticks = 0;  // 0 = deliver now
+  i64 ts_skew_ns = 0;   // 0 = clocks honest
+
+  bool faulted() const {
+    return drop || duplicate || delay_ticks != 0 || ts_skew_ns != 0;
+  }
+};
+
+/// Injected-fault counters, per site (monotonic since construction).
+struct FaultSiteCounters {
+  u64 consults = 0;
+  u64 drops = 0;
+  u64 duplicates = 0;
+  u64 delays = 0;
+  u64 ts_corruptions = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(u64 seed = 1);
+
+  /// Install `profile` at `site` (replaces the previous profile).
+  void configure(FaultSite site, const FaultProfile& profile);
+
+  /// True when any probability at `site` is non-zero. Sites use this to
+  /// skip the consult (and the mutex) on the hot path when faults are off.
+  bool enabled(FaultSite site) const;
+
+  /// Draw one decision for a unit of work at `site`. `supported` masks the
+  /// kinds the caller can apply; unsupported kinds are reported clean and
+  /// not counted, but their draws are still consumed (stream stability).
+  FaultDecision decide(FaultSite site, u8 supported = kFaultAll);
+
+  FaultSiteCounters counters(FaultSite site) const;
+
+ private:
+  struct Site {
+    Site() : rng(0) {}
+    mutable std::mutex mu;
+    Rng rng;
+    FaultProfile profile;
+    FaultSiteCounters counters;
+    // Cached profile.any(); atomic so the hot-path enabled() check needs no
+    // lock even if configure() races a running pipeline.
+    std::atomic<bool> enabled{false};
+  };
+
+  std::array<Site, kFaultSiteCount> sites_;
+};
+
+}  // namespace deepflow

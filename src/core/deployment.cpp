@@ -1,5 +1,7 @@
 #include "core/deployment.h"
 
+#include <algorithm>
+
 #include "otelsim/tracer.h"
 
 namespace deepflow::core {
@@ -14,11 +16,34 @@ bool Deployment::deploy() {
   agent::AgentConfig agent_config = config_.agent;
   agent_config.enable_nic_capture = config_.capture_devices;
 
+  if (config_.faults.any()) {
+    injector_ = std::make_unique<FaultInjector>(config_.faults.seed);
+    injector_->configure(FaultSite::kPerfRingSubmit, config_.faults.perf_ring);
+    injector_->configure(FaultSite::kTransportSend,
+                         config_.faults.transport_send);
+    agent_config.collector.fault_injector = injector_.get();
+  }
+
   for (const netsim::NodeId node : cluster_->nodes()) {
     kernelsim::Kernel* kernel = cluster_->kernel_of(node);
-    auto a = std::make_unique<agent::Agent>(
-        kernel, &cluster_->registry(), agent_config,
-        [this](agent::Span&& span) { server_.ingest(std::move(span)); });
+    agent::SpanSink sink;
+    if (config_.transport.direct) {
+      // Historical perfect wire: one in-process call per span.
+      sink = [this](agent::Span&& span) { server_.ingest(std::move(span)); };
+    } else {
+      transports_.push_back(std::make_unique<agent::SpanTransport>(
+          config_.transport,
+          [this](std::vector<agent::Span>&& batch) {
+            server_.ingest_batch(std::move(batch));
+          },
+          injector_.get()));
+      agent::SpanTransport* transport = transports_.back().get();
+      sink = [transport](agent::Span&& span) {
+        transport->offer(std::move(span));
+      };
+    }
+    auto a = std::make_unique<agent::Agent>(kernel, &cluster_->registry(),
+                                            agent_config, std::move(sink));
     if (config_.forward_stragglers) {
       const std::string host = kernel->hostname();
       a->set_straggler_sink([this, host](agent::MessageData&& message) {
@@ -51,17 +76,24 @@ bool Deployment::deploy() {
 void Deployment::undeploy() {
   for (auto& a : agents_) a->undeploy();
   agents_.clear();
+  transports_.clear();
   deployed_ = false;
 }
 
 size_t Deployment::poll() {
   size_t n = 0;
   for (auto& a : agents_) n += a->poll();
+  // One transport tick per poll cycle: due retries/delays first, then the
+  // batches this cycle filled.
+  for (auto& t : transports_) t->pump();
   return n;
 }
 
 void Deployment::finish() {
   for (auto& a : agents_) a->finish();
+  // Drain the transports before the server closes its window: every span
+  // is then delivered or explicitly counted as given up / shed.
+  for (auto& t : transports_) t->flush();
   server_.finalize();
   // Ingest self-telemetry: fold the agents' drain-pipeline counters into
   // the server's view (records/sec, batch sizes, ring pressure).
@@ -96,6 +128,38 @@ agent::AgentStats Deployment::aggregate_stats() const {
     total.drain_batches += s.drain_batches;
     total.drain_batch_records += s.drain_batch_records;
     total.staging_ring_waits += s.staging_ring_waits;
+    if (total.perf_lost_per_cpu.size() < s.perf_lost_per_cpu.size()) {
+      total.perf_lost_per_cpu.resize(s.perf_lost_per_cpu.size());
+    }
+    for (size_t cpu = 0; cpu < s.perf_lost_per_cpu.size(); ++cpu) {
+      total.perf_lost_per_cpu[cpu] += s.perf_lost_per_cpu[cpu];
+    }
+    total.enter_map_record_drops += s.enter_map_record_drops;
+  }
+  return total;
+}
+
+agent::TransportStats Deployment::aggregate_transport_stats() const {
+  agent::TransportStats total;
+  for (const auto& t : transports_) {
+    const agent::TransportStats& s = t->stats();
+    total.offered += s.offered;
+    total.shed_net += s.shed_net;
+    total.shed_sys += s.shed_sys;
+    total.shed_app += s.shed_app;
+    total.batches_sent += s.batches_sent;
+    total.spans_sent += s.spans_sent;
+    total.send_drops += s.send_drops;
+    total.retries += s.retries;
+    total.gave_up_batches += s.gave_up_batches;
+    total.gave_up_spans += s.gave_up_spans;
+    total.duplicated_batches += s.duplicated_batches;
+    total.delayed_batches += s.delayed_batches;
+    total.ts_corrupted_spans += s.ts_corrupted_spans;
+    total.delivered_batches += s.delivered_batches;
+    total.delivered_spans += s.delivered_spans;
+    total.queue_high_watermark =
+        std::max(total.queue_high_watermark, s.queue_high_watermark);
   }
   return total;
 }

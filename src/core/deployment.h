@@ -18,15 +18,34 @@
 #include <vector>
 
 #include "agent/agent.h"
+#include "agent/transport.h"
+#include "common/fault.h"
 #include "netsim/cluster.h"
 #include "otelsim/tracer.h"
 #include "server/server.h"
 
 namespace deepflow::core {
 
+/// Deployment-wide fault plan: one seeded injector shared by every agent,
+/// with a profile per delivery hop. The default (all-zero profiles) means
+/// no injector is created at all — a byte-exact perfect pipeline.
+struct FaultPlan {
+  u64 seed = 1;
+  FaultProfile perf_ring;       // kernel -> agent (drop only)
+  FaultProfile transport_send;  // agent -> server batch channel
+  bool any() const { return perf_ring.any() || transport_send.any(); }
+};
+
 struct DeploymentConfig {
   agent::AgentConfig agent;
   server::ServerConfig server;
+  /// Agent -> server span transport. The default (direct = true) keeps the
+  /// historical perfect in-process call; direct = false routes spans
+  /// through a per-agent SpanTransport (bounded queue, batching, retries)
+  /// feeding DeepFlowServer::ingest_batch.
+  agent::TransportConfig transport{.direct = true};
+  /// Fault injection across the delivery hops (chaos testing).
+  FaultPlan faults;
   /// Attach cBPF/AF_PACKET capture to every infrastructure device (pod
   /// veths, vswitches, pNICs, the ToR) — the full network-coverage mode.
   bool capture_devices = true;
@@ -61,6 +80,10 @@ class Deployment {
   otelsim::ExportSink third_party_sink();
 
   agent::AgentStats aggregate_stats() const;
+  /// Summed transport counters across agents (all-zero in direct mode).
+  agent::TransportStats aggregate_transport_stats() const;
+  /// The shared injector; nullptr when the fault plan is empty.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
   const std::string& error() const { return error_; }
   size_t agent_count() const { return agents_.size(); }
 
@@ -68,7 +91,11 @@ class Deployment {
   netsim::Cluster* cluster_;
   DeploymentConfig config_;
   server::DeepFlowServer server_;
+  std::unique_ptr<FaultInjector> injector_;
   std::vector<std::unique_ptr<agent::Agent>> agents_;
+  // One transport per agent (index-aligned with agents_), created only in
+  // non-direct mode; pumped by poll() and flushed by finish().
+  std::vector<std::unique_ptr<agent::SpanTransport>> transports_;
   std::string error_;
   bool deployed_ = false;
 };

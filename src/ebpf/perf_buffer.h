@@ -5,12 +5,24 @@
 //      sees records out of global order (motivates the time-window array);
 //   2. bounded capacity — bursts overflow and events are lost, which the
 //      agent must surface rather than hide (bench_ablation_perfbuf).
+//
+// Loss is tracked PER CPU, not just in aggregate: shard-imbalanced loss
+// (one hot CPU overflowing while others idle) is a distinct production
+// failure mode and must be visible through AgentStats/IngestTelemetry.
+//
+// An optional FaultInjector hook at the submit site models overflow under
+// burst beyond what the natural ring capacity produces: an injected drop is
+// counted in the same per-CPU loss counters as a real overflow (user space
+// cannot tell them apart, which is the point). Only the drop kind applies
+// here — a perf ring cannot reorder or duplicate records.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/spsc_ring.h"
 #include "common/types.h"
 
@@ -19,7 +31,8 @@ namespace deepflow::ebpf {
 template <typename Record>
 class PerfBuffer {
  public:
-  PerfBuffer(u32 cpu_count, size_t per_cpu_capacity) {
+  PerfBuffer(u32 cpu_count, size_t per_cpu_capacity)
+      : injected_(cpu_count) {
     rings_.reserve(cpu_count);
     for (u32 i = 0; i < cpu_count; ++i) {
       rings_.push_back(std::make_unique<SpscRing<Record>>(per_cpu_capacity));
@@ -28,9 +41,22 @@ class PerfBuffer {
 
   u32 cpu_count() const { return static_cast<u32>(rings_.size()); }
 
-  /// Kernel side: submit a record from `cpu`. Returns false on overflow.
+  /// Install a fault injector consulted on every submit (drop only).
+  void set_fault_injector(FaultInjector* faults, FaultSite site) {
+    faults_ = faults;
+    fault_site_ = site;
+  }
+
+  /// Kernel side: submit a record from `cpu`. Returns false on overflow
+  /// (natural or injected).
   bool submit(u32 cpu, Record record) {
-    return rings_[cpu % rings_.size()]->push(std::move(record));
+    const u32 idx = cpu % static_cast<u32>(rings_.size());
+    if (faults_ != nullptr && faults_->enabled(fault_site_) &&
+        faults_->decide(fault_site_, kFaultDrop).drop) {
+      injected_[idx].fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return rings_[idx]->push(std::move(record));
   }
 
   /// User side: drain up to `budget` records, round-robin across CPUs (the
@@ -66,15 +92,32 @@ class PerfBuffer {
     return n;
   }
 
+  /// Records lost on one CPU's ring: natural overflow + injected drops.
+  u64 lost_on_cpu(u32 cpu) const {
+    const u32 idx = cpu % static_cast<u32>(rings_.size());
+    return rings_[idx]->dropped() +
+           injected_[idx].load(std::memory_order_relaxed);
+  }
+
+  /// Per-CPU loss counters (shard-imbalance diagnostics).
+  std::vector<u64> lost_per_cpu() const {
+    std::vector<u64> out(rings_.size());
+    for (u32 cpu = 0; cpu < rings_.size(); ++cpu) out[cpu] = lost_on_cpu(cpu);
+    return out;
+  }
+
   /// Records lost to overflow across all CPUs.
   u64 lost() const {
     u64 n = 0;
-    for (const auto& ring : rings_) n += ring->dropped();
+    for (u32 cpu = 0; cpu < rings_.size(); ++cpu) n += lost_on_cpu(cpu);
     return n;
   }
 
  private:
   std::vector<std::unique_ptr<SpscRing<Record>>> rings_;
+  std::vector<std::atomic<u64>> injected_;
+  FaultInjector* faults_ = nullptr;
+  FaultSite fault_site_ = FaultSite::kPerfRingSubmit;
 };
 
 }  // namespace deepflow::ebpf

@@ -29,6 +29,7 @@ std::string canonical_span(const agent::Span& span) {
   out += "|st=" + std::to_string(span.status_code);
   out += span.ok ? "|ok" : "|err";
   if (span.incomplete) out += "|incomplete";
+  if (span.lost_placeholder) out += "|lost-placeholder";
   out += "|" + span.tuple.to_string();
   out += "|vpc=" + std::to_string(span.int_tags.vpc_id);
   out += "|cip=" + std::to_string(span.int_tags.client_ip);

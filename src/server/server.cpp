@@ -19,7 +19,19 @@ DeepFlowServer::DeepFlowServer(const netsim::ResourceRegistry* registry,
     : registry_(registry),
       store_(config.encoder, registry, config.store_shards),
       assembler_(&store_, config.assembler),
-      reaggregator_(config.reaggregation) {}
+      reaggregator_(config.reaggregation) {
+  const size_t stripes = config.store_shards > 0 ? config.store_shards : 1;
+  dedup_stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    dedup_stripes_.push_back(std::make_unique<DedupStripe>());
+  }
+}
+
+bool DeepFlowServer::seen_before(u64 span_id) {
+  DedupStripe& stripe = *dedup_stripes_[span_id % dedup_stripes_.size()];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return !stripe.seen.insert(span_id).second;
+}
 
 void DeepFlowServer::note_ingest_clock() {
   const u64 now = steady_now_ns();
@@ -30,6 +42,10 @@ void DeepFlowServer::note_ingest_clock() {
 }
 
 void DeepFlowServer::ingest(agent::Span&& span) {
+  if (span.span_id != 0 && seen_before(span.span_id)) {
+    duplicate_spans_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   ingested_.fetch_add(1, std::memory_order_relaxed);
   note_ingest_clock();
   store_.insert(std::move(span));
@@ -89,6 +105,13 @@ void DeepFlowServer::note_agent_drain(const agent::AgentStats& stats) {
   agent_drain_records_ += stats.drain_batch_records;
   agent_staging_waits_ += stats.staging_ring_waits;
   agent_perf_lost_ += stats.perf_lost;
+  if (agent_perf_lost_per_cpu_.size() < stats.perf_lost_per_cpu.size()) {
+    agent_perf_lost_per_cpu_.resize(stats.perf_lost_per_cpu.size());
+  }
+  for (size_t cpu = 0; cpu < stats.perf_lost_per_cpu.size(); ++cpu) {
+    agent_perf_lost_per_cpu_[cpu] += stats.perf_lost_per_cpu[cpu];
+  }
+  agent_enter_map_drops_ += stats.enter_map_record_drops;
 }
 
 IngestTelemetry DeepFlowServer::ingest_telemetry() const {
@@ -103,10 +126,13 @@ IngestTelemetry DeepFlowServer::ingest_telemetry() const {
     t.spans_per_sec =
         static_cast<double>(t.spans) / (static_cast<double>(last - first) / 1e9);
   }
+  t.duplicate_spans = duplicate_spans_.load(std::memory_order_relaxed);
   t.agent_drain_batches = agent_drain_batches_;
   t.agent_drain_records = agent_drain_records_;
   t.agent_staging_waits = agent_staging_waits_;
   t.agent_perf_lost = agent_perf_lost_;
+  t.agent_perf_lost_per_cpu = agent_perf_lost_per_cpu_;
+  t.agent_enter_map_drops = agent_enter_map_drops_;
   t.shard_rows = store_.shard_row_counts();
   return t;
 }
@@ -155,6 +181,8 @@ QueryTelemetry DeepFlowServer::query_telemetry() const {
   t.traces_assembled = assembler.traces;
   t.assembly_iterations = assembler.search_iterations;
   t.assembled_spans = assembler.spans;
+  t.orphan_spans = assembler.orphan_spans;
+  t.lost_placeholders = assembler.lost_placeholders;
   return t;
 }
 

@@ -4,7 +4,10 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "agent/agent.h"
@@ -46,11 +49,20 @@ struct IngestTelemetry {
   u64 batched_spans = 0;    // spans that arrived via batches
   u64 max_batch_spans = 0;  // largest single batch
   double spans_per_sec = 0; // over the first..last ingest wall-clock window
+  /// Redelivered spans filtered by the idempotent-ingest seen-set. An
+  /// at-least-once transport (retries, duplicate faults) plus this counter
+  /// nets out to exactly-once storage.
+  u64 duplicate_spans = 0;
   // Accumulated from agents (note_agent_drain): parallel-drain behaviour.
   u64 agent_drain_batches = 0;   // staging batches flushed by drain workers
   u64 agent_drain_records = 0;   // records carried by those batches
   u64 agent_staging_waits = 0;   // producer stalls on full staging rings
   u64 agent_perf_lost = 0;       // perf-ring overflow drops at the agents
+  /// Per-CPU perf loss summed across agents (natural + fault-injected);
+  /// exposes shard-imbalanced loss the scalar sum hides.
+  std::vector<u64> agent_perf_lost_per_cpu;
+  /// Exit records the collectors dropped because the enter map overflowed.
+  u64 agent_enter_map_drops = 0;
   std::vector<size_t> shard_rows;  // per-shard row counts
 };
 
@@ -68,6 +80,9 @@ struct QueryTelemetry {
   u64 traces_assembled = 0;    // completed trace assemblies
   u64 assembly_iterations = 0; // delta-search iterations across assemblies
   u64 assembled_spans = 0;     // spans placed into assembled traces
+  // Degradation-aware assembly (zero unless AssemblerConfig::lost_placeholders):
+  u64 orphan_spans = 0;        // roots re-attached to lost-span placeholders
+  u64 lost_placeholders = 0;   // synthetic placeholder parents fabricated
 };
 
 class DeepFlowServer {
@@ -158,6 +173,9 @@ class DeepFlowServer {
  private:
   void emit_reaggregated(const std::string& host, agent::Session&& session);
   void note_ingest_clock();
+  /// Records `span_id` in the dedup seen-set; true when it was already
+  /// there (i.e. this delivery is a redelivery).
+  bool seen_before(u64 span_id);
 
   const netsim::ResourceRegistry* registry_;
   SpanStore store_;
@@ -169,6 +187,20 @@ class DeepFlowServer {
       flow_metrics_;
   std::unordered_map<std::string, netsim::DeviceMetrics> device_metrics_;
   std::atomic<u64> ingested_{0};
+
+  // Idempotent ingest: at-least-once transports redeliver spans (retries
+  // after a lost ack, duplicate faults); redeliveries are filtered here,
+  // BEFORE the store — SpanStore::insert remaps colliding ids, so a
+  // duplicate reaching it would be stored twice under a fresh id. Striped
+  // like the store so concurrent senders contend no worse than on the
+  // shards themselves. Spans with id 0 (store-remapped on insert) are
+  // exempt: their identity is unknowable at this point.
+  struct DedupStripe {
+    std::mutex mu;
+    std::unordered_set<u64> seen;
+  };
+  std::vector<std::unique_ptr<DedupStripe>> dedup_stripes_;
+  std::atomic<u64> duplicate_spans_{0};
 
   // Ingest telemetry (all updated thread-safely on the ingest path).
   std::atomic<u64> batches_{0};
@@ -182,6 +214,8 @@ class DeepFlowServer {
   u64 agent_drain_records_ = 0;
   u64 agent_staging_waits_ = 0;
   u64 agent_perf_lost_ = 0;
+  std::vector<u64> agent_perf_lost_per_cpu_;
+  u64 agent_enter_map_drops_ = 0;
 };
 
 }  // namespace deepflow::server

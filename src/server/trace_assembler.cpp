@@ -348,6 +348,7 @@ std::string AssembledTrace::render() const {
         out += " [" + std::to_string(s.start_ts / 1000) + "us +" +
                std::to_string(s.duration() / 1000) + "us]";
         if (s.incomplete) out += " INCOMPLETE";
+        if (s.lost_placeholder) out += " LOST";
         out += "\n";
         for (const AssembledSpan* child : children[s.span_id]) {
           walk(child, depth + 1);
@@ -491,6 +492,50 @@ AssembledTrace TraceAssembler::assemble(u64 start_span_id) const {
     trace.spans.push_back(std::move(out));
   }
 
+  // ---- Degradation-aware pass (opt-in): adopt orphans under a synthetic
+  // lost-span placeholder. An orphan is a root whose own evidence says an
+  // upstream span existed — a net span (always forwarded by some client-side
+  // syscall, rules 1/2) or a server-side sys/app span carrying a request TCP
+  // sequence (some client sent that request, rules 3/4) — so its rootless
+  // state can only mean the parent was lost in delivery. One placeholder per
+  // trace keeps the lost spans' descendants in a single tree instead of
+  // fragmenting the trace into spurious roots.
+  if (config_.lost_placeholders) {
+    std::vector<u32> orphan_pos;
+    for (u32 i = 0; i < n; ++i) {
+      if (parent_ids[i] != 0) continue;
+      const Span& s = trace.spans[i].span;
+      const bool expects_parent =
+          s.kind == SpanKind::kNetwork ||
+          (is_sys_or_app(s) && s.from_server_side && s.req_tcp_seq != 0);
+      if (expects_parent) orphan_pos.push_back(i);
+    }
+    if (!orphan_pos.empty()) {
+      Span placeholder;
+      placeholder.span_id = kLostPlaceholderSpanId;
+      placeholder.kind = SpanKind::kSystem;
+      placeholder.host = "(lost)";
+      placeholder.lost_placeholder = true;
+      placeholder.start_ts = trace.spans[orphan_pos.front()].span.start_ts;
+      placeholder.end_ts = placeholder.start_ts;
+      for (const u32 pos : orphan_pos) {
+        placeholder.end_ts =
+            std::max(placeholder.end_ts, trace.spans[pos].span.end_ts);
+        trace.spans[pos].span.parent_span_id = kLostPlaceholderSpanId;
+        trace.spans[pos].parent_rule = kLostParentRule;
+      }
+      AssembledSpan adopted;
+      adopted.span = std::move(placeholder);
+      adopted.parent_rule = 0;
+      // Same start as the earliest orphan; inserting just before it keeps
+      // the display order sorted by start time.
+      trace.spans.insert(trace.spans.begin() + orphan_pos.front(),
+                         std::move(adopted));
+      orphans_.fetch_add(orphan_pos.size(), std::memory_order_relaxed);
+      placeholders_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   if (std::getenv("DF_PHASE_TIMING")) {
     dbg_p1 += dbg_t1 - dbg_t0; dbg_p2 += dbg_t2 - dbg_t1; dbg_p3 += dbg_now() - dbg_t2;
     if (++dbg_n % 400 == 0)
@@ -508,6 +553,8 @@ AssemblerCounters TraceAssembler::counters() const {
   c.traces = traces_.load(std::memory_order_relaxed);
   c.search_iterations = iterations_.load(std::memory_order_relaxed);
   c.spans = spans_.load(std::memory_order_relaxed);
+  c.orphan_spans = orphans_.load(std::memory_order_relaxed);
+  c.lost_placeholders = placeholders_.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -26,11 +26,26 @@ namespace deepflow::server {
 struct AssemblerConfig {
   /// Iteration cap of the search loop (paper default: 30).
   u32 max_iterations = 30;
+  /// Degradation-aware assembly: when spans were lost in delivery, child
+  /// spans whose parent evidence says "an upstream span existed" would
+  /// surface as spurious trace roots. With this enabled, such orphaned
+  /// roots attach to one synthetic lost-span placeholder per trace
+  /// (Span::lost_placeholder, parent rule 17) instead. Off by default:
+  /// the fault-free pipeline stays byte-identical to the historical path.
+  bool lost_placeholders = false;
 };
 
 /// Which parent rule matched a span (0 = root / no parent). The rule table
 /// is documented in trace_assembler.cpp.
 using ParentRuleId = u8;
+
+/// Rule id reported for orphans adopted by a lost-span placeholder (one
+/// past the 16-rule table of §3.3.3).
+constexpr ParentRuleId kLostParentRule = 17;
+
+/// Span id carried by synthetic placeholder parents. Far outside both the
+/// builder-assigned range and the store's remap range.
+constexpr u64 kLostPlaceholderSpanId = ~u64{0};
 
 struct AssembledSpan {
   agent::Span span;        // materialized (tags decoded)
@@ -56,6 +71,8 @@ struct AssemblerCounters {
   u64 traces = 0;             // assemble() calls that found the start span
   u64 search_iterations = 0;  // store searches across all assemblies
   u64 spans = 0;              // spans placed into assembled traces
+  u64 orphan_spans = 0;       // roots re-attached to a lost-span placeholder
+  u64 lost_placeholders = 0;  // synthetic placeholder parents fabricated
 };
 
 class TraceAssembler {
@@ -77,6 +94,8 @@ class TraceAssembler {
   mutable std::atomic<u64> traces_{0};
   mutable std::atomic<u64> iterations_{0};
   mutable std::atomic<u64> spans_{0};
+  mutable std::atomic<u64> orphans_{0};
+  mutable std::atomic<u64> placeholders_{0};
 };
 
 }  // namespace deepflow::server

@@ -1,0 +1,273 @@
+// SpanTransport unit tests: direct-mode pass-through, batching, priority
+// shedding under overflow, retry/backoff through a lossy channel, and the
+// duplicate/delay/skew fault paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "agent/transport.h"
+
+namespace deepflow::agent {
+namespace {
+
+Span make_span(u64 id, SpanKind kind = SpanKind::kSystem) {
+  Span span;
+  span.span_id = id;
+  span.kind = kind;
+  span.start_ts = 1000 * id;
+  span.end_ts = 1000 * id + 500;
+  span.host = "node";
+  return span;
+}
+
+struct Capture {
+  std::vector<std::vector<u64>> batches;
+  SpanTransport::BatchSink sink() {
+    return [this](std::vector<Span>&& spans) {
+      std::vector<u64> ids;
+      ids.reserve(spans.size());
+      for (const Span& s : spans) ids.push_back(s.span_id);
+      batches.push_back(std::move(ids));
+    };
+  }
+  std::vector<u64> all_ids() const {
+    std::vector<u64> out;
+    for (const auto& b : batches) out.insert(out.end(), b.begin(), b.end());
+    return out;
+  }
+};
+
+TEST(SpanTransport, DirectModeDeliversImmediatelyInOrder) {
+  Capture cap;
+  TransportConfig config;
+  config.direct = true;
+  SpanTransport transport(config, cap.sink());
+  for (u64 id = 1; id <= 5; ++id) transport.offer(make_span(id));
+  ASSERT_EQ(cap.batches.size(), 5u);
+  for (u64 id = 1; id <= 5; ++id) {
+    EXPECT_EQ(cap.batches[id - 1], std::vector<u64>{id});
+  }
+  EXPECT_EQ(transport.backlog(), 0u);
+  EXPECT_EQ(transport.stats().offered, 5u);
+  EXPECT_EQ(transport.stats().delivered_spans, 5u);
+}
+
+TEST(SpanTransport, BatchesFullFlightsAndFlushesTheTail) {
+  Capture cap;
+  TransportConfig config;
+  config.batch_spans = 4;
+  SpanTransport transport(config, cap.sink());
+  for (u64 id = 1; id <= 10; ++id) transport.offer(make_span(id));
+  EXPECT_EQ(cap.batches.size(), 0u);  // nothing leaves before a pump
+  transport.pump();
+  ASSERT_EQ(cap.batches.size(), 2u);  // two full flights of 4
+  EXPECT_EQ(cap.batches[0], (std::vector<u64>{1, 2, 3, 4}));
+  EXPECT_EQ(cap.batches[1], (std::vector<u64>{5, 6, 7, 8}));
+  EXPECT_EQ(transport.backlog(), 2u);
+  transport.flush();
+  ASSERT_EQ(cap.batches.size(), 3u);
+  EXPECT_EQ(cap.batches[2], (std::vector<u64>{9, 10}));
+  EXPECT_EQ(transport.backlog(), 0u);
+}
+
+TEST(SpanTransport, OverflowShedsNetBeforeSysBeforeApp) {
+  Capture cap;
+  TransportConfig config;
+  config.queue_capacity = 3;
+  config.batch_spans = 64;  // keep everything queued
+  SpanTransport transport(config, cap.sink());
+  transport.offer(make_span(1, SpanKind::kNetwork));
+  transport.offer(make_span(2, SpanKind::kSystem));
+  transport.offer(make_span(3, SpanKind::kApplication));
+  // Queue full. An incoming app span evicts the net span (lowest class).
+  transport.offer(make_span(4, SpanKind::kApplication));
+  EXPECT_EQ(transport.stats().shed_net, 1u);
+  // Now {sys, app, app}: an incoming sys span sheds ITSELF (no strictly
+  // lower class present — equal priority keeps the older span).
+  transport.offer(make_span(5, SpanKind::kSystem));
+  EXPECT_EQ(transport.stats().shed_sys, 1u);
+  // An incoming app span evicts the remaining sys span.
+  transport.offer(make_span(6, SpanKind::kApplication));
+  EXPECT_EQ(transport.stats().shed_sys, 2u);
+  // All-app queue: an incoming net span is shed immediately.
+  transport.offer(make_span(7, SpanKind::kNetwork));
+  EXPECT_EQ(transport.stats().shed_net, 2u);
+  transport.flush();
+  const std::vector<u64> delivered = cap.all_ids();
+  EXPECT_EQ(delivered, (std::vector<u64>{3, 4, 6}));
+  EXPECT_EQ(transport.stats().shed_total(), 4u);
+}
+
+TEST(SpanTransport, RetriesRestoreEverythingThroughALossyChannel) {
+  FaultInjector inject(21);
+  FaultProfile lossy;
+  lossy.drop = 0.5;
+  inject.configure(FaultSite::kTransportSend, lossy);
+
+  Capture cap;
+  TransportConfig config;
+  config.batch_spans = 4;
+  config.max_attempts = 30;
+  SpanTransport transport(config, cap.sink(), &inject);
+  for (u64 id = 1; id <= 40; ++id) transport.offer(make_span(id));
+  transport.flush();
+
+  std::vector<u64> delivered = cap.all_ids();
+  std::sort(delivered.begin(), delivered.end());
+  std::vector<u64> expected(40);
+  for (u64 id = 1; id <= 40; ++id) expected[id - 1] = id;
+  EXPECT_EQ(delivered, expected);  // every span exactly once
+  EXPECT_GT(transport.stats().send_drops, 0u);
+  EXPECT_EQ(transport.stats().retries, transport.stats().send_drops);
+  EXPECT_EQ(transport.stats().gave_up_spans, 0u);
+}
+
+TEST(SpanTransport, FireAndForgetGivesUpOnFirstDrop) {
+  FaultInjector inject(22);
+  FaultProfile lossy;
+  lossy.drop = 1.0;
+  inject.configure(FaultSite::kTransportSend, lossy);
+
+  Capture cap;
+  TransportConfig config;
+  config.batch_spans = 4;
+  config.retries = false;
+  SpanTransport transport(config, cap.sink(), &inject);
+  for (u64 id = 1; id <= 8; ++id) transport.offer(make_span(id));
+  transport.flush();
+  EXPECT_TRUE(cap.batches.empty());
+  EXPECT_EQ(transport.stats().gave_up_batches, 2u);
+  EXPECT_EQ(transport.stats().gave_up_spans, 8u);
+  EXPECT_EQ(transport.stats().retries, 0u);
+  EXPECT_EQ(transport.backlog(), 0u);
+}
+
+TEST(SpanTransport, GivesUpAfterMaxAttemptsOnABlackholedChannel) {
+  FaultInjector inject(23);
+  FaultProfile blackhole;
+  blackhole.drop = 1.0;
+  inject.configure(FaultSite::kTransportSend, blackhole);
+
+  Capture cap;
+  TransportConfig config;
+  config.batch_spans = 4;
+  config.max_attempts = 5;
+  SpanTransport transport(config, cap.sink(), &inject);
+  for (u64 id = 1; id <= 4; ++id) transport.offer(make_span(id));
+  transport.flush();  // must terminate despite 100% loss
+  EXPECT_TRUE(cap.batches.empty());
+  EXPECT_EQ(transport.stats().batches_sent, 5u);  // initial + 4 retries
+  EXPECT_EQ(transport.stats().retries, 4u);
+  EXPECT_EQ(transport.stats().gave_up_batches, 1u);
+  EXPECT_EQ(transport.stats().gave_up_spans, 4u);
+}
+
+TEST(SpanTransport, BackoffDelaysRetriesExponentiallyWithCap) {
+  FaultInjector inject(24);
+  FaultProfile blackhole;
+  blackhole.drop = 1.0;
+  inject.configure(FaultSite::kTransportSend, blackhole);
+
+  Capture cap;
+  TransportConfig config;
+  config.batch_spans = 2;
+  config.max_attempts = 4;
+  config.backoff_base_ticks = 2;
+  config.backoff_cap_ticks = 4;
+  config.jitter_ticks = 0;  // deterministic schedule for the assertion
+  SpanTransport transport(config, cap.sink(), &inject);
+  transport.offer(make_span(1));
+  transport.offer(make_span(2));
+  // Attempt schedule: pump 1 sends (drop), backoff 2 -> due tick 3,
+  // attempt 2 at tick 3 (drop), backoff 4 -> due 7, attempt 3 at tick 7
+  // (drop), backoff capped at 4 -> due 11, attempt 4 at tick 11: give up.
+  std::vector<u64> attempt_ticks;
+  u64 sent_before = 0;
+  for (u64 tick = 1; tick <= 12; ++tick) {
+    transport.pump();
+    if (transport.stats().batches_sent > sent_before) {
+      attempt_ticks.push_back(tick);
+      sent_before = transport.stats().batches_sent;
+    }
+  }
+  EXPECT_EQ(attempt_ticks, (std::vector<u64>{1, 3, 7, 11}));
+  EXPECT_EQ(transport.stats().gave_up_batches, 1u);
+}
+
+TEST(SpanTransport, DuplicateFaultDeliversTheFlightTwice) {
+  FaultInjector inject(25);
+  FaultProfile dupey;
+  dupey.duplicate = 1.0;
+  inject.configure(FaultSite::kTransportSend, dupey);
+
+  Capture cap;
+  TransportConfig config;
+  config.batch_spans = 3;
+  SpanTransport transport(config, cap.sink(), &inject);
+  for (u64 id = 1; id <= 3; ++id) transport.offer(make_span(id));
+  transport.pump();
+  ASSERT_EQ(cap.batches.size(), 2u);
+  EXPECT_EQ(cap.batches[0], cap.batches[1]);
+  EXPECT_EQ(transport.stats().duplicated_batches, 1u);
+  EXPECT_EQ(transport.stats().delivered_spans, 6u);
+}
+
+TEST(SpanTransport, DelayFaultReordersAcrossFlights) {
+  FaultInjector inject(26);
+  FaultProfile delaying;
+  delaying.delay = 1.0;
+  delaying.max_delay_ticks = 3;
+  inject.configure(FaultSite::kTransportSend, delaying);
+
+  Capture cap;
+  TransportConfig config;
+  config.batch_spans = 2;
+  SpanTransport transport(config, cap.sink(), &inject);
+  for (u64 id = 1; id <= 6; ++id) transport.offer(make_span(id));
+  transport.flush();
+  EXPECT_EQ(transport.stats().delayed_batches, 3u);
+  // Nothing lost, nothing duplicated — only held back.
+  std::vector<u64> delivered = cap.all_ids();
+  std::sort(delivered.begin(), delivered.end());
+  EXPECT_EQ(delivered, (std::vector<u64>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SpanTransport, TimestampSkewCountsCorruptedSpans) {
+  FaultInjector inject(27);
+  FaultProfile skewing;
+  skewing.corrupt_ts = 1.0;
+  skewing.max_ts_skew_ns = 100;
+  inject.configure(FaultSite::kTransportSend, skewing);
+
+  std::vector<Span> got;
+  TransportConfig config;
+  config.batch_spans = 2;
+  SpanTransport transport(
+      config,
+      [&got](std::vector<Span>&& spans) {
+        for (Span& s : spans) got.push_back(std::move(s));
+      },
+      &inject);
+  transport.offer(make_span(1));
+  transport.offer(make_span(2));
+  transport.flush();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(transport.stats().ts_corrupted_spans, 2u);
+  // Duration survives: the whole flight carries one skew.
+  EXPECT_EQ(got[0].end_ts - got[0].start_ts, 500u);
+}
+
+TEST(SpanTransport, HighWatermarkTracksQueueDepth) {
+  Capture cap;
+  TransportConfig config;
+  config.batch_spans = 8;
+  SpanTransport transport(config, cap.sink());
+  for (u64 id = 1; id <= 5; ++id) transport.offer(make_span(id));
+  EXPECT_EQ(transport.stats().queue_high_watermark, 5u);
+  transport.flush();
+  EXPECT_EQ(transport.stats().queue_high_watermark, 5u);
+}
+
+}  // namespace
+}  // namespace deepflow::agent

@@ -1,0 +1,186 @@
+// FaultInjector determinism contract: per-site independent streams, fixed
+// draw schedule (nested fault sets across probability sweeps), pass-through
+// when disabled, and counters that match the reported decisions exactly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/fault.h"
+
+namespace deepflow {
+namespace {
+
+TEST(FaultInjector, DisabledByDefaultAndPassThrough) {
+  FaultInjector inject(42);
+  EXPECT_FALSE(inject.enabled(FaultSite::kPerfRingSubmit));
+  EXPECT_FALSE(inject.enabled(FaultSite::kTransportSend));
+  // An all-zero profile never reports a fault, no matter how often it is
+  // consulted.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(inject.decide(FaultSite::kTransportSend).faulted());
+  }
+  const FaultSiteCounters c = inject.counters(FaultSite::kTransportSend);
+  EXPECT_EQ(c.consults, 1000u);
+  EXPECT_EQ(c.drops + c.duplicates + c.delays + c.ts_corruptions, 0u);
+}
+
+TEST(FaultInjector, EnabledTracksProfile) {
+  FaultInjector inject(1);
+  FaultProfile profile;
+  profile.drop = 0.5;
+  inject.configure(FaultSite::kPerfRingSubmit, profile);
+  EXPECT_TRUE(inject.enabled(FaultSite::kPerfRingSubmit));
+  EXPECT_FALSE(inject.enabled(FaultSite::kTransportSend));
+  inject.configure(FaultSite::kPerfRingSubmit, FaultProfile{});
+  EXPECT_FALSE(inject.enabled(FaultSite::kPerfRingSubmit));
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultProfile profile;
+  profile.drop = 0.2;
+  profile.duplicate = 0.1;
+  profile.delay = 0.15;
+  profile.corrupt_ts = 0.05;
+  FaultInjector a(7), b(7);
+  a.configure(FaultSite::kTransportSend, profile);
+  b.configure(FaultSite::kTransportSend, profile);
+  for (int i = 0; i < 2000; ++i) {
+    const FaultDecision da = a.decide(FaultSite::kTransportSend);
+    const FaultDecision db = b.decide(FaultSite::kTransportSend);
+    ASSERT_EQ(da.drop, db.drop) << i;
+    ASSERT_EQ(da.duplicate, db.duplicate) << i;
+    ASSERT_EQ(da.delay_ticks, db.delay_ticks) << i;
+    ASSERT_EQ(da.ts_skew_ns, db.ts_skew_ns) << i;
+  }
+}
+
+TEST(FaultInjector, SitesDrawFromIndependentStreams) {
+  FaultProfile profile;
+  profile.drop = 0.3;
+  // Injector `a` consults BOTH sites interleaved; `b` consults only the
+  // transport site. The transport decisions must be identical: one site's
+  // consumption never shifts another's sequence.
+  FaultInjector a(99), b(99);
+  a.configure(FaultSite::kPerfRingSubmit, profile);
+  a.configure(FaultSite::kTransportSend, profile);
+  b.configure(FaultSite::kTransportSend, profile);
+  for (int i = 0; i < 500; ++i) {
+    a.decide(FaultSite::kPerfRingSubmit);
+    const FaultDecision da = a.decide(FaultSite::kTransportSend);
+    const FaultDecision db = b.decide(FaultSite::kTransportSend);
+    ASSERT_EQ(da.drop, db.drop) << i;
+    ASSERT_EQ(da.delay_ticks, db.delay_ticks) << i;
+  }
+}
+
+TEST(FaultInjector, DropSetsAreNestedAcrossProbabilities) {
+  // The fixed draw schedule means the i-th consult uses the same underlying
+  // uniform draw regardless of the probability, so every unit dropped at
+  // p=0.01 is also dropped at p=0.1 — the property the monotone-degradation
+  // chaos tests stand on.
+  FaultProfile low, high;
+  low.drop = 0.01;
+  high.drop = 0.1;
+  FaultInjector a(5), b(5);
+  a.configure(FaultSite::kTransportSend, low);
+  b.configure(FaultSite::kTransportSend, high);
+  int low_drops = 0, high_drops = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const bool dropped_low = a.decide(FaultSite::kTransportSend).drop;
+    const bool dropped_high = b.decide(FaultSite::kTransportSend).drop;
+    low_drops += dropped_low;
+    high_drops += dropped_high;
+    if (dropped_low) {
+      ASSERT_TRUE(dropped_high) << i;
+    }
+  }
+  EXPECT_GT(low_drops, 0);
+  EXPECT_GT(high_drops, low_drops);
+}
+
+TEST(FaultInjector, DropExcludesOtherFaults) {
+  FaultProfile profile;
+  profile.drop = 1.0;
+  profile.duplicate = 1.0;
+  profile.delay = 1.0;
+  profile.corrupt_ts = 1.0;
+  FaultInjector inject(3);
+  inject.configure(FaultSite::kTransportSend, profile);
+  for (int i = 0; i < 100; ++i) {
+    const FaultDecision d = inject.decide(FaultSite::kTransportSend);
+    EXPECT_TRUE(d.drop);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_EQ(d.delay_ticks, 0u);
+    EXPECT_EQ(d.ts_skew_ns, 0);
+  }
+  EXPECT_EQ(inject.counters(FaultSite::kTransportSend).drops, 100u);
+  EXPECT_EQ(inject.counters(FaultSite::kTransportSend).duplicates, 0u);
+}
+
+TEST(FaultInjector, UnsupportedKindsAreCleanButStreamStable) {
+  FaultProfile profile;
+  profile.drop = 0.3;
+  profile.duplicate = 0.4;
+  profile.delay = 0.4;
+  // `a` can only drop (a perf ring); `b` supports everything. The drop
+  // outcomes must match draw for draw, and `a` must never report the kinds
+  // it cannot apply.
+  FaultInjector a(11), b(11);
+  a.configure(FaultSite::kPerfRingSubmit, profile);
+  b.configure(FaultSite::kPerfRingSubmit, profile);
+  for (int i = 0; i < 1000; ++i) {
+    const FaultDecision da = a.decide(FaultSite::kPerfRingSubmit, kFaultDrop);
+    const FaultDecision db = b.decide(FaultSite::kPerfRingSubmit, kFaultAll);
+    ASSERT_EQ(da.drop, db.drop) << i;
+    ASSERT_FALSE(da.duplicate);
+    ASSERT_EQ(da.delay_ticks, 0u);
+    ASSERT_EQ(da.ts_skew_ns, 0);
+  }
+  EXPECT_EQ(a.counters(FaultSite::kPerfRingSubmit).duplicates, 0u);
+  EXPECT_EQ(a.counters(FaultSite::kPerfRingSubmit).delays, 0u);
+}
+
+TEST(FaultInjector, CountersMatchReportedDecisions) {
+  FaultProfile profile;
+  profile.drop = 0.1;
+  profile.duplicate = 0.2;
+  profile.delay = 0.2;
+  profile.corrupt_ts = 0.1;
+  FaultInjector inject(13);
+  inject.configure(FaultSite::kTransportSend, profile);
+  FaultSiteCounters expect;
+  for (int i = 0; i < 3000; ++i) {
+    const FaultDecision d = inject.decide(FaultSite::kTransportSend);
+    ++expect.consults;
+    expect.drops += d.drop;
+    expect.duplicates += d.duplicate;
+    expect.delays += d.delay_ticks != 0;
+    expect.ts_corruptions += d.ts_skew_ns != 0;
+  }
+  const FaultSiteCounters c = inject.counters(FaultSite::kTransportSend);
+  EXPECT_EQ(c.consults, expect.consults);
+  EXPECT_EQ(c.drops, expect.drops);
+  EXPECT_EQ(c.duplicates, expect.duplicates);
+  EXPECT_EQ(c.delays, expect.delays);
+  EXPECT_EQ(c.ts_corruptions, expect.ts_corruptions);
+}
+
+TEST(FaultInjector, DelayAndSkewMagnitudesRespectBounds) {
+  FaultProfile profile;
+  profile.delay = 1.0;
+  profile.corrupt_ts = 1.0;
+  profile.max_delay_ticks = 6;
+  profile.max_ts_skew_ns = 500;
+  FaultInjector inject(17);
+  inject.configure(FaultSite::kTransportSend, profile);
+  for (int i = 0; i < 500; ++i) {
+    const FaultDecision d = inject.decide(FaultSite::kTransportSend);
+    EXPECT_GE(d.delay_ticks, 1u);
+    EXPECT_LE(d.delay_ticks, 6u);
+    EXPECT_GE(d.ts_skew_ns, -500);
+    EXPECT_LE(d.ts_skew_ns, 500);
+  }
+}
+
+}  // namespace
+}  // namespace deepflow

@@ -1,0 +1,328 @@
+// Chaos suite: seeded fault matrices over the agent -> server pipeline.
+//
+// The invariants under test are the PR's delivery semantics, end to end:
+//   * the batched transport with no faults is byte-identical to the
+//     historical direct path (canonical store dump and trace corpus);
+//   * at-least-once delivery (retries) + idempotent ingest (dedup by span
+//     id) = exactly-once storage — duplicate injection changes nothing;
+//   * without retries, loss degrades MONOTONICALLY: the span set stored at
+//     a higher drop rate is a subset of the set stored at a lower one
+//     (guaranteed by the injector's nested-outcome determinism contract);
+//   * degradation-aware assembly hangs orphaned children off a synthetic
+//     lost-span placeholder instead of emitting spurious roots;
+//   * the parallel pipeline (drain workers, store shards) survives the
+//     same chaos with no duplicate storage and no crashes (run under
+//     TSan/ASan by scripts/check.sh).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "server/canonical.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+using workloads::Topology;
+
+struct RunSnapshot {
+  std::string store_dump;           // canonical (id-independent) contents
+  std::vector<std::string> traces;  // canonical trace corpus, sorted
+  u64 store_rows = 0;               // rows actually in the store
+  bool ids_unique = true;           // no span id stored twice
+  u64 spurious_roots = 0;     // roots that expect a parent, not placeholders
+  u64 placeholder_roots = 0;  // synthetic lost-span roots
+  agent::AgentStats stats;
+  agent::TransportStats transport;
+  server::IngestTelemetry ingest;
+  server::QueryTelemetry query;  // snapshotted AFTER assembling all traces
+  FaultSiteCounters perf_ring_faults;
+  FaultSiteCounters transport_faults;
+};
+
+bool expects_parent(const agent::Span& s) {
+  // A net span is always forwarded by some client-side syscall, and a
+  // server-side sys/app span with a request TCP sequence was sent by some
+  // client — rootless, such spans witness a lost parent.
+  if (s.kind == agent::SpanKind::kNetwork) return true;
+  const bool sys_or_app = s.kind == agent::SpanKind::kSystem ||
+                          s.kind == agent::SpanKind::kApplication;
+  return sys_or_app && s.from_server_side && s.req_tcp_seq != 0;
+}
+
+RunSnapshot run_chaos(const core::DeploymentConfig& config, u64 topo_seed = 11,
+                      double rps = 12.0) {
+  Topology topo = workloads::make_spring_boot_demo(topo_seed);
+  core::Deployment deepflow(topo.cluster.get(), config);
+  EXPECT_TRUE(deepflow.deploy()) << deepflow.error();
+  topo.app->run_constant_load(topo.entry, rps, 1 * kSecond);
+  deepflow.finish();
+
+  RunSnapshot snap;
+  const server::SpanStore& store = deepflow.server().store();
+  snap.store_dump = server::canonical_store_dump(store);
+  snap.stats = deepflow.aggregate_stats();
+  snap.transport = deepflow.aggregate_transport_stats();
+  snap.ingest = deepflow.server().ingest_telemetry();
+  for (const size_t rows : snap.ingest.shard_rows) snap.store_rows += rows;
+
+  std::set<u64> seen_ids;
+  std::set<u64> claimed;
+  for (const u64 id : store.span_list(0, ~TimestampNs{0})) {
+    if (!seen_ids.insert(id).second) snap.ids_unique = false;
+    if (claimed.contains(id)) continue;
+    const server::AssembledTrace trace = deepflow.server().query_trace(id);
+    for (const auto& s : trace.spans) {
+      claimed.insert(s.span.span_id);
+      if (s.span.parent_span_id != 0) continue;
+      if (s.span.lost_placeholder) {
+        ++snap.placeholder_roots;
+      } else if (expects_parent(s.span)) {
+        ++snap.spurious_roots;
+      }
+    }
+    snap.traces.push_back(server::canonical_trace(trace));
+  }
+  std::sort(snap.traces.begin(), snap.traces.end());
+  snap.query = deepflow.server().query_telemetry();
+  if (deepflow.fault_injector() != nullptr) {
+    snap.perf_ring_faults =
+        deepflow.fault_injector()->counters(FaultSite::kPerfRingSubmit);
+    snap.transport_faults =
+        deepflow.fault_injector()->counters(FaultSite::kTransportSend);
+  }
+  return snap;
+}
+
+core::DeploymentConfig batched_config() {
+  core::DeploymentConfig config;
+  config.transport.direct = false;
+  config.transport.batch_spans = 16;
+  return config;
+}
+
+std::vector<std::string> dump_lines(const std::string& dump) {
+  std::vector<std::string> lines;
+  std::stringstream stream(dump);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+// --------------------------------------------------------------------------
+
+TEST(Chaos, BatchedTransportMatchesDirectWithoutFaults) {
+  const RunSnapshot direct = run_chaos(core::DeploymentConfig{});
+  const RunSnapshot batched = run_chaos(batched_config());
+  EXPECT_GT(direct.store_rows, 0u);
+  EXPECT_EQ(direct.store_dump, batched.store_dump);
+  EXPECT_EQ(direct.traces, batched.traces);
+  EXPECT_EQ(direct.store_rows, batched.store_rows);
+  // The batched run actually exercised the transport...
+  EXPECT_GT(batched.ingest.batches, 0u);
+  EXPECT_EQ(batched.ingest.batched_spans, batched.transport.delivered_spans);
+  EXPECT_EQ(batched.transport.offered, batched.transport.delivered_spans);
+  // ...and a perfect channel redelivers nothing.
+  EXPECT_EQ(batched.ingest.duplicate_spans, 0u);
+  EXPECT_EQ(batched.transport.shed_total(), 0u);
+  // The direct path has no transport at all.
+  EXPECT_EQ(direct.transport.offered, 0u);
+  EXPECT_EQ(direct.ingest.batches, 0u);
+}
+
+TEST(Chaos, DuplicateInjectionWithDedupIsIdempotent) {
+  const RunSnapshot baseline = run_chaos(batched_config());
+  core::DeploymentConfig config = batched_config();
+  config.faults.transport_send.duplicate = 0.5;
+  const RunSnapshot duped = run_chaos(config);
+  // Redeliveries happened on the wire, none reached the store.
+  EXPECT_GT(duped.transport_faults.duplicates, 0u);
+  EXPECT_GT(duped.ingest.duplicate_spans, 0u);
+  EXPECT_EQ(duped.ingest.duplicate_spans,
+            duped.transport.delivered_spans - duped.transport.offered);
+  EXPECT_EQ(duped.store_rows, baseline.store_rows);
+  EXPECT_EQ(duped.store_dump, baseline.store_dump);
+  EXPECT_EQ(duped.traces, baseline.traces);
+  EXPECT_TRUE(duped.ids_unique);
+}
+
+TEST(Chaos, RetriesRestoreByteIdenticalStateUnderLoss) {
+  const RunSnapshot baseline = run_chaos(batched_config());
+  core::DeploymentConfig config = batched_config();
+  config.faults.transport_send.drop = 0.3;
+  config.faults.transport_send.duplicate = 0.2;
+  config.transport.max_attempts = 40;
+  const RunSnapshot recovered = run_chaos(config);
+  EXPECT_GT(recovered.transport.send_drops, 0u);
+  EXPECT_GT(recovered.transport.retries, 0u);
+  EXPECT_EQ(recovered.transport.gave_up_spans, 0u);
+  // At-least-once + dedup = exactly-once: the lossy, duplicating channel
+  // nets out to the exact no-fault store.
+  EXPECT_EQ(recovered.store_rows, baseline.store_rows);
+  EXPECT_EQ(recovered.store_dump, baseline.store_dump);
+  EXPECT_EQ(recovered.traces, baseline.traces);
+}
+
+TEST(Chaos, DegradationIsMonotoneWithoutRetries) {
+  std::vector<RunSnapshot> runs;
+  for (const double p : {0.0, 0.01, 0.1, 0.5}) {
+    core::DeploymentConfig config = batched_config();
+    config.transport.retries = false;
+    config.faults.transport_send.drop = p;
+    runs.push_back(run_chaos(config));
+  }
+  EXPECT_EQ(runs[0].store_rows, runs[0].transport.offered);
+  EXPECT_LT(runs.back().store_rows, runs.front().store_rows);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    // Monotone on span COUNTS (trace counts can grow as traces split).
+    EXPECT_LE(runs[i].store_rows, runs[i - 1].store_rows) << i;
+    // And nested on span CONTENT: the injector's fixed draw schedule makes
+    // every batch dropped at the lower rate also dropped at the higher
+    // one, so the higher-loss store is a sub-multiset of the lower-loss
+    // store.
+    const std::vector<std::string> lower = dump_lines(runs[i - 1].store_dump);
+    const std::vector<std::string> higher = dump_lines(runs[i].store_dump);
+    EXPECT_TRUE(std::includes(lower.begin(), lower.end(), higher.begin(),
+                              higher.end()))
+        << "store at drop rate " << i << " is not nested in the previous";
+  }
+}
+
+TEST(Chaos, PerfRingInjectionIsCountedPerCpu) {
+  const RunSnapshot baseline = run_chaos(core::DeploymentConfig{});
+  core::DeploymentConfig config;
+  config.faults.perf_ring.drop = 0.05;
+  const RunSnapshot lossy = run_chaos(config);
+  EXPECT_GT(lossy.perf_ring_faults.drops, 0u);
+  EXPECT_LT(lossy.store_rows, baseline.store_rows);
+  // Injected ring loss is visible in the aggregate counter, attributed
+  // per CPU, and mirrored into the server's ingest telemetry.
+  EXPECT_EQ(lossy.stats.perf_lost, lossy.perf_ring_faults.drops);
+  u64 per_cpu_sum = 0;
+  for (const u64 lost : lossy.stats.perf_lost_per_cpu) per_cpu_sum += lost;
+  EXPECT_EQ(per_cpu_sum, lossy.perf_ring_faults.drops);
+  EXPECT_EQ(lossy.ingest.agent_perf_lost, lossy.stats.perf_lost);
+  EXPECT_EQ(lossy.ingest.agent_perf_lost_per_cpu, lossy.stats.perf_lost_per_cpu);
+  EXPECT_EQ(lossy.ingest.agent_enter_map_drops, 0u);
+}
+
+TEST(Chaos, LostPlaceholdersAdoptOrphanedRoots) {
+  core::DeploymentConfig config = batched_config();
+  config.transport.batch_spans = 4;  // fine-grained loss -> orphans
+  config.transport.retries = false;
+  config.faults.transport_send.drop = 0.3;
+  const RunSnapshot degraded = run_chaos(config);
+  // Without the placeholder pass the same loss produces spurious roots...
+  EXPECT_GT(degraded.spurious_roots, 0u);
+  EXPECT_EQ(degraded.placeholder_roots, 0u);
+  EXPECT_EQ(degraded.query.orphan_spans, 0u);
+
+  config.server.assembler.lost_placeholders = true;
+  const RunSnapshot repaired = run_chaos(config);
+  // ...and with it every orphan hangs off a flagged synthetic parent.
+  EXPECT_EQ(repaired.spurious_roots, 0u);
+  EXPECT_GT(repaired.placeholder_roots, 0u);
+  EXPECT_GT(repaired.query.orphan_spans, 0u);
+  EXPECT_EQ(repaired.query.lost_placeholders, repaired.placeholder_roots);
+  EXPECT_GE(repaired.query.orphan_spans, repaired.query.lost_placeholders);
+  // The same spans were stored either way; only assembly differs.
+  EXPECT_EQ(repaired.store_dump, degraded.store_dump);
+  // Placeholders are flagged in the canonical output (and rule 17 marks
+  // the adopted orphans).
+  bool flagged = false;
+  for (const std::string& trace : repaired.traces) {
+    if (trace.find("lost-placeholder") != std::string::npos &&
+        trace.find("|rule=17") != std::string::npos) {
+      flagged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(Chaos, PlaceholderPassIsInertWithoutLoss) {
+  const RunSnapshot off = run_chaos(batched_config());
+  core::DeploymentConfig config = batched_config();
+  config.server.assembler.lost_placeholders = true;
+  const RunSnapshot on = run_chaos(config);
+  // No loss -> no orphans -> the flag changes nothing at all.
+  EXPECT_EQ(on.query.orphan_spans, 0u);
+  EXPECT_EQ(on.query.lost_placeholders, 0u);
+  EXPECT_EQ(on.placeholder_roots, 0u);
+  EXPECT_EQ(on.store_dump, off.store_dump);
+  EXPECT_EQ(on.traces, off.traces);
+}
+
+TEST(Chaos, TimestampSkewDegradesButDelivers) {
+  const RunSnapshot baseline = run_chaos(batched_config());
+  core::DeploymentConfig config = batched_config();
+  config.faults.transport_send.corrupt_ts = 1.0;
+  config.faults.transport_send.max_ts_skew_ns = 200 * kMicrosecond;
+  const RunSnapshot skewed = run_chaos(config);
+  // Nothing lost — every span arrives, timestamps dishonest.
+  EXPECT_EQ(skewed.store_rows, baseline.store_rows);
+  EXPECT_GT(skewed.transport.ts_corrupted_spans, 0u);
+  EXPECT_NE(skewed.store_dump, baseline.store_dump);
+}
+
+TEST(Chaos, SeededChaosIsReproducible) {
+  core::DeploymentConfig config = batched_config();
+  config.faults.seed = 77;
+  config.faults.transport_send.drop = 0.2;
+  config.faults.transport_send.duplicate = 0.2;
+  config.faults.transport_send.delay = 0.2;
+  const RunSnapshot a = run_chaos(config);
+  const RunSnapshot b = run_chaos(config);
+  EXPECT_EQ(a.store_dump, b.store_dump);
+  EXPECT_EQ(a.traces, b.traces);
+  EXPECT_EQ(a.transport_faults.drops, b.transport_faults.drops);
+  EXPECT_EQ(a.transport_faults.duplicates, b.transport_faults.duplicates);
+  EXPECT_EQ(a.transport_faults.delays, b.transport_faults.delays);
+  // A different seed draws a different fault schedule.
+  config.faults.seed = 78;
+  const RunSnapshot c = run_chaos(config);
+  EXPECT_NE(a.transport_faults.drops, c.transport_faults.drops);
+}
+
+TEST(Chaos, ParallelPipelineSurvivesChaos) {
+  core::DeploymentConfig no_faults = batched_config();
+  no_faults.agent.drain_workers = 2;
+  no_faults.agent.collector.cpu_count = 4;
+  no_faults.server.store_shards = 4;
+  const RunSnapshot baseline = run_chaos(no_faults);
+
+  core::DeploymentConfig config = no_faults;
+  config.faults.transport_send.drop = 0.3;
+  config.faults.transport_send.duplicate = 0.3;
+  config.faults.transport_send.delay = 0.3;
+  config.transport.max_attempts = 40;
+  const RunSnapshot chaotic = run_chaos(config);
+  EXPECT_TRUE(chaotic.ids_unique);
+  EXPECT_GT(chaotic.ingest.duplicate_spans, 0u);
+  EXPECT_GT(chaotic.transport.delayed_batches, 0u);
+  EXPECT_EQ(chaotic.transport.gave_up_spans, 0u);
+  // Retries + dedup net out to the exact no-fault parallel store.
+  EXPECT_EQ(chaotic.store_rows, baseline.store_rows);
+  EXPECT_EQ(chaotic.store_dump, baseline.store_dump);
+  EXPECT_EQ(chaotic.traces, baseline.traces);
+}
+
+TEST(Chaos, OverflowShedsEndToEnd) {
+  core::DeploymentConfig config = batched_config();
+  config.transport.queue_capacity = 32;
+  config.transport.batch_spans = 64;  // > capacity: nothing leaves early
+  const RunSnapshot shedding = run_chaos(config);
+  EXPECT_GT(shedding.transport.shed_total(), 0u);
+  EXPECT_GT(shedding.store_rows, 0u);
+  EXPECT_EQ(shedding.store_rows, shedding.transport.delivered_spans);
+  EXPECT_EQ(shedding.transport.queue_high_watermark, 32u);
+}
+
+}  // namespace
+}  // namespace deepflow

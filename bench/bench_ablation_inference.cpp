@@ -5,8 +5,10 @@
 #include "bench/bench_util.h"
 #include "workloads/payloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace deepflow;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::JsonReport report(args.json_path);
   bench::print_header(
       "Ablation — protocol inference caching\n"
       "(5e5 messages across 512 long-lived connections, mixed protocols)");
@@ -14,7 +16,7 @@ int main() {
   const protocols::ProtocolRegistry registry =
       protocols::ProtocolRegistry::with_builtin();
   constexpr size_t kFlows = 512;
-  constexpr size_t kMessages = 500'000;
+  const size_t kMessages = args.quick ? 50'000 : 500'000;
 
   // Pre-build one representative payload per flow.
   std::vector<std::string> payloads;
@@ -42,11 +44,16 @@ int main() {
     std::printf("  %-22s %12.3f %16llu %14.1f\n",
                 reinfer ? "re-infer every msg" : "one-shot (DeepFlow)",
                 seconds, (unsigned long long)cache.inference_runs(),
-                seconds * 1e9 / kMessages);
+                seconds * 1e9 / static_cast<double>(kMessages));
+    const std::string prefix =
+        reinfer ? "inference_reinfer_" : "inference_oneshot_";
+    report.add(prefix + "ns_per_msg",
+               seconds * 1e9 / static_cast<double>(kMessages));
+    report.add(prefix + "runs", static_cast<double>(cache.inference_runs()));
     if (classified == 0) return 1;
   }
   std::printf(
       "\n  shape: caching reduces signature scans from one per message to\n"
       "  one per connection; per-message cost drops accordingly.\n\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -8,8 +8,10 @@
 #include "core/deployment.h"
 #include "workloads/topologies.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace deepflow;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::JsonReport report(args.json_path);
   bench::print_header(
       "Ablation — trace-assembly iteration cap (paper default: 30)\n"
       "workload: polyglot app (HTTP -> DNS/HTTP2/Kafka -> Dubbo): no\n"
@@ -19,7 +21,8 @@ int main() {
   workloads::Topology topo = workloads::make_polyglot();
   core::Deployment deepflow(topo.cluster.get());
   if (!deepflow.deploy()) return 1;
-  topo.app->run_constant_load(topo.entry, 20.0, 2 * kSecond);
+  topo.app->run_constant_load(topo.entry, 20.0,
+                              args.quick ? 1 * kSecond : 2 * kSecond);
   deepflow.finish();
 
   const auto starts = deepflow.server().find_spans([](const agent::Span& s) {
@@ -42,16 +45,19 @@ int main() {
       total_spans += trace.spans.size();
       max_used = std::max(max_used, trace.iterations_used);
     }
-    std::printf("  %12u %14.1f %14u %12.3f\n", cap,
-                static_cast<double>(total_spans) /
-                    static_cast<double>(starts.size()),
-                max_used,
-                timer.elapsed_seconds() * 1e3 /
-                    static_cast<double>(starts.size()));
+    const double spans_per_trace = static_cast<double>(total_spans) /
+                                   static_cast<double>(starts.size());
+    const double mean_ms = timer.elapsed_seconds() * 1e3 /
+                           static_cast<double>(starts.size());
+    std::printf("  %12u %14.1f %14u %12.3f\n", cap, spans_per_trace, max_used,
+                mean_ms);
+    const std::string prefix = "iterations_cap_" + std::to_string(cap) + "_";
+    report.add(prefix + "spans_per_trace", spans_per_trace);
+    report.add(prefix + "mean_ms", mean_ms);
   }
   std::printf(
       "\n  shape: spans/trace grows with the cap until the search converges\n"
       "  (set stops updating); further iterations are free because the loop\n"
       "  exits early — which is why the paper can default to 30.\n\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -8,10 +8,12 @@
 #   scripts/check.sh            # all configs
 #   scripts/check.sh release    # release only
 #   scripts/check.sh tsan       # tsan only (thread-pool, ring,
-#                               # parallel/query-equivalence + chaos suites
-#                               # and a bench_fig15_query_delay --quick smoke)
-#   scripts/check.sh asan       # asan only (fault/transport/chaos suites
-#                               # and a bench_fault_recovery --quick smoke)
+#                               # parallel/query-equivalence + chaos/metrics
+#                               # suites and a bench_fig15_query_delay
+#                               # --quick smoke)
+#   scripts/check.sh asan       # asan only (fault/transport/chaos/metrics
+#                               # suites and a bench_fault_recovery
+#                               # --quick smoke)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,13 +37,20 @@ run_tsan() {
   # gate on the suites that exercise the parallel ingest pipeline.
   (cd "$root/build-tsan" && TSAN_OPTIONS="halt_on_error=1" ctest \
     --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector')
+    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector|Metrics')
   echo "== tsan: bench_fig15_query_delay --quick smoke =="
   # Shared-mutex readers + batch assembly under TSan on a tiny workload:
   # catches query-path races the unit suites cannot reach.
   cmake --build --preset tsan -j "$jobs" --target bench_fig15_query_delay
   TSAN_OPTIONS="halt_on_error=1" \
     "$root/build-tsan/bench/bench_fig15_query_delay" --quick
+  echo "== tsan: bench_metrics_overhead --quick smoke =="
+  # The aggregator's striped maps + name cache under genuinely concurrent
+  # multi-threaded ingest — the bench drives both drain workers and raw
+  # transport threads through record_span/record_flow.
+  cmake --build --preset tsan -j "$jobs" --target bench_metrics_overhead
+  TSAN_OPTIONS="halt_on_error=1" \
+    "$root/build-tsan/bench/bench_metrics_overhead" --quick
 }
 
 run_asan() {
@@ -50,10 +59,12 @@ run_asan() {
   cmake --build --preset asan -j "$jobs"
   echo "== asan: ctest (fault/transport/chaos suites) =="
   # The fault paths move spans through queues, retries and dedup sets —
-  # exactly where lifetime bugs would hide; gate them under ASan.
+  # exactly where lifetime bugs would hide; gate them under ASan. The
+  # metrics suites ride along: the aggregator owns per-key histograms and
+  # rings behind striped locks on the same ingest path.
   (cd "$root/build-asan" && ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
     ctest --output-on-failure -j "$jobs" \
-    -R 'Chaos|SpanTransport|FaultInjector')
+    -R 'Chaos|SpanTransport|FaultInjector|Metrics')
   echo "== asan: bench_fault_recovery --quick smoke =="
   cmake --build --preset asan -j "$jobs" --target bench_fault_recovery
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \

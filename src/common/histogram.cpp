@@ -71,8 +71,11 @@ u64 LatencyHistogram::value_at_quantile(double q) const {
   for (size_t i = 0; i < counts_.size(); ++i) {
     running += counts_[i];
     if (running > target || (q >= 1.0 && running >= total_count_)) {
-      // Midpoint of the bucket bounds the relative error.
-      return std::min((bucket_low(i) + bucket_high(i)) / 2, max_seen_);
+      // Midpoint of the bucket bounds the relative error; clamping to the
+      // observed range keeps low quantiles >= min (and makes one-sample
+      // histograms exact at every quantile).
+      return std::clamp((bucket_low(i) + bucket_high(i)) / 2, min_seen_,
+                        max_seen_);
     }
   }
   return max_seen_;
@@ -88,6 +91,9 @@ void LatencyHistogram::reset() {
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
+  // Merging an empty histogram is a strict no-op: without this guard its
+  // sentinel min_seen_ / zero max_seen_ must never leak into the target.
+  if (other.total_count_ == 0) return;
   const size_t n = std::min(counts_.size(), other.counts_.size());
   for (size_t i = 0; i < n; ++i) counts_[i] += other.counts_[i];
   // Overlength buckets of `other` clamp into our top bucket.

@@ -1,0 +1,516 @@
+#include "metrics/aggregator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace deepflow::metrics {
+
+namespace {
+
+void append_u64(std::string& out, const char* key, u64 value) {
+  out += '|';
+  out += key;
+  out += '=';
+  out += std::to_string(value);
+}
+
+void append_bucket(std::string& out, const MetricsBucket& bucket,
+                   DurationNs width) {
+  append_u64(out, "w", width);
+  append_u64(out, "t", bucket.bucket_start);
+  append_u64(out, "req", bucket.requests);
+  append_u64(out, "err", bucket.errors);
+  append_u64(out, "inc", bucket.incomplete);
+  append_u64(out, "dsum", bucket.duration_sum);
+  append_u64(out, "dmin", bucket.requests ? bucket.duration_min : 0);
+  append_u64(out, "dmax", bucket.duration_max);
+  append_u64(out, "net", bucket.net_frames);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- ServiceMap ----
+
+std::string ServiceMap::canonical() const {
+  std::string out;
+  out.reserve(nodes.size() * 96 + edges.size() * 128);
+  for (const ServiceMapNode& node : nodes) {
+    out += "svc|" + node.name;
+    append_u64(out, "req", node.red.requests);
+    append_u64(out, "err", node.red.errors);
+    append_u64(out, "inc", node.red.incomplete);
+    append_u64(out, "dsum", node.red.duration_sum);
+    append_u64(out, "p50", node.red.p50);
+    append_u64(out, "p90", node.red.p90);
+    append_u64(out, "p99", node.red.p99);
+    append_u64(out, "app", node.app_spans);
+    out += '\n';
+  }
+  for (const ServiceMapEdge& edge : edges) {
+    out += "edge|" + edge.client + "->" + edge.server;
+    append_u64(out, "req", edge.red.requests);
+    append_u64(out, "err", edge.red.errors);
+    append_u64(out, "inc", edge.red.incomplete);
+    append_u64(out, "dsum", edge.red.duration_sum);
+    append_u64(out, "p50", edge.red.p50);
+    append_u64(out, "p90", edge.red.p90);
+    append_u64(out, "p99", edge.red.p99);
+    append_u64(out, "net", edge.net_frames);
+    append_u64(out, "bytes", edge.bytes);
+    append_u64(out, "pkts", edge.packets);
+    append_u64(out, "rx", edge.retransmissions);
+    append_u64(out, "rst", edge.resets);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ServiceMap::render() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-20s %8s %6s %9s %9s %9s\n", "service",
+                "req", "err%", "mean", "p50", "p99");
+  out += buf;
+  for (const ServiceMapNode& node : nodes) {
+    std::snprintf(buf, sizeof buf,
+                  "%-20s %8llu %5.1f%% %7.2fms %7.2fms %7.2fms\n",
+                  node.name.c_str(),
+                  static_cast<unsigned long long>(node.red.requests),
+                  100.0 * node.red.error_rate(),
+                  static_cast<double>(node.red.mean()) / 1e6,
+                  static_cast<double>(node.red.p50) / 1e6,
+                  static_cast<double>(node.red.p99) / 1e6);
+    out += buf;
+  }
+  out += '\n';
+  std::snprintf(buf, sizeof buf, "%-34s %8s %6s %9s %7s %10s %6s\n",
+                "edge (client -> server)", "req", "err%", "p50", "frames",
+                "bytes", "retx");
+  out += buf;
+  for (const ServiceMapEdge& edge : edges) {
+    const std::string label = edge.client + " -> " + edge.server;
+    std::snprintf(buf, sizeof buf,
+                  "%-34s %8llu %5.1f%% %7.2fms %7llu %10llu %6llu\n",
+                  label.c_str(),
+                  static_cast<unsigned long long>(edge.red.requests),
+                  100.0 * edge.red.error_rate(),
+                  static_cast<double>(edge.red.p50) / 1e6,
+                  static_cast<unsigned long long>(edge.net_frames),
+                  static_cast<unsigned long long>(edge.bytes),
+                  static_cast<unsigned long long>(edge.retransmissions));
+    out += buf;
+  }
+  return out;
+}
+
+// ---------------------------------------------------- MetricsAggregator ----
+
+MetricsAggregator::MetricsAggregator(const netsim::ResourceRegistry* registry,
+                                     MetricsConfig config)
+    : registry_(registry), config_(config) {
+  const size_t stripes = std::max<size_t>(config_.stripes, 1);
+  config_.stripes = stripes;
+  for (size_t i = 0; i < stripes; ++i) {
+    service_stripes_.push_back(std::make_unique<ServiceStripe>());
+    edge_stripes_.push_back(std::make_unique<EdgeStripe>());
+    directory_stripes_.push_back(std::make_unique<DirectoryStripe>());
+    name_stripes_.push_back(std::make_unique<NameCacheStripe>());
+  }
+}
+
+std::string MetricsAggregator::resolve_name(u32 ip) const {
+  const Ipv4 addr{ip};
+  if (registry_ != nullptr) {
+    const netsim::ResourceInfo info = registry_->resolve(addr);
+    if (!info.service_name.empty()) return info.service_name;
+    if (!info.pod_name.empty()) return info.pod_name;
+    if (!info.node_name.empty()) return info.node_name;
+  }
+  return addr.to_string();
+}
+
+std::string MetricsAggregator::endpoint_name(u32 ip) const {
+  NameCacheStripe& stripe = *name_stripes_[ip % config_.stripes];
+  const u64 version = registry_ != nullptr ? registry_->version() : 0;
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.version != version) {
+    stripe.names.clear();
+    stripe.edges.clear();
+    stripe.version = version;
+  }
+  const auto it = stripe.names.find(ip);
+  if (it != stripe.names.end()) return it->second;
+  return stripe.names.emplace(ip, resolve_name(ip)).first->second;
+}
+
+MetricsAggregator::EdgeKey MetricsAggregator::edge_key(u32 client_ip,
+                                                       u32 server_ip) const {
+  const u64 pair = (u64{client_ip} << 32) | server_ip;
+  NameCacheStripe& stripe = *name_stripes_[pair % config_.stripes];
+  const u64 version = registry_ != nullptr ? registry_->version() : 0;
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.version != version) {
+    stripe.names.clear();
+    stripe.edges.clear();
+    stripe.version = version;
+  }
+  const auto it = stripe.edges.find(pair);
+  if (it != stripe.edges.end()) return it->second;
+  return stripe.edges
+      .emplace(pair, EdgeKey{resolve_name(client_ip), resolve_name(server_ip)})
+      .first->second;
+}
+
+MetricsAggregator::ServiceStripe& MetricsAggregator::service_stripe(
+    const std::string& name) const {
+  return *service_stripes_[std::hash<std::string>{}(name) % config_.stripes];
+}
+
+MetricsAggregator::EdgeStripe& MetricsAggregator::edge_stripe(
+    const EdgeKey& key) const {
+  return *edge_stripes_[EdgeKeyHash{}(key) % config_.stripes];
+}
+
+MetricsAggregator::DirectoryStripe& MetricsAggregator::directory_stripe(
+    const FiveTuple& tuple) const {
+  return *directory_stripes_[tuple.hash() % config_.stripes];
+}
+
+void MetricsAggregator::record_span(const agent::Span& span) {
+  if (!config_.enabled) return;
+
+  switch (span.kind) {
+    case agent::SpanKind::kThirdParty:
+      // The sys span of the same session carries the RED sample.
+      third_party_spans_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case agent::SpanKind::kApplication: {
+      // Uprobe (above-TLS) duplicate of a sys session: count per service,
+      // do not RED-fold.
+      const std::string service = endpoint_name(span.int_tags.server_ip);
+      ServiceStripe& stripe = service_stripe(service);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      ++stripe.app_spans;
+      auto [it, inserted] = stripe.services.try_emplace(service, config_);
+      ++it->second.app_spans;
+      return;
+    }
+    case agent::SpanKind::kNetwork: {
+      // Device-tap sighting: network evidence for the client->server edge.
+      const EdgeKey key =
+          edge_key(span.int_tags.client_ip, span.int_tags.server_ip);
+      EdgeStripe& stripe = edge_stripe(key);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      ++stripe.net_frames;
+      auto [it, inserted] = stripe.edges.try_emplace(key, config_);
+      ++it->second.net_frames;
+      it->second.series.record_net_frame(span.start_ts);
+      return;
+    }
+    case agent::SpanKind::kSystem:
+      break;
+  }
+
+  const DurationNs duration = span.duration();
+  if (span.from_server_side) {
+    // The serving process's view: one request INTO this service.
+    const std::string service = endpoint_name(span.int_tags.server_ip);
+    ServiceStripe& stripe = service_stripe(service);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    ++stripe.service_samples;
+    auto [it, inserted] = stripe.services.try_emplace(service, config_);
+    ServiceStats& stats = it->second;
+    ++stats.requests;
+    if (!span.ok) ++stats.errors;
+    if (span.incomplete) ++stats.incomplete;
+    stats.duration_sum += duration;
+    stats.latency.record(duration);
+    stats.series.record_request(span.start_ts, duration, span.ok,
+                                span.incomplete);
+  } else {
+    // The calling process's view: one request along the client->server edge.
+    const EdgeKey key =
+        edge_key(span.int_tags.client_ip, span.int_tags.server_ip);
+    {
+      EdgeStripe& stripe = edge_stripe(key);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      ++stripe.edge_samples;
+      auto [it, inserted] = stripe.edges.try_emplace(key, config_);
+      EdgeStats& stats = it->second;
+      ++stats.requests;
+      if (!span.ok) ++stats.errors;
+      if (span.incomplete) ++stats.incomplete;
+      stats.duration_sum += duration;
+      stats.latency.record(duration);
+      stats.series.record_request(span.start_ts, duration, span.ok,
+                                  span.incomplete);
+    }
+    // Register the connection for later flow-record attribution. Idempotent:
+    // every span of this connection derives the same directed pair.
+    const FiveTuple canonical = span.tuple.canonical();
+    DirectoryStripe& dir = directory_stripe(canonical);
+    std::lock_guard<std::mutex> lock(dir.mu);
+    dir.flows.try_emplace(canonical, key);
+  }
+}
+
+void MetricsAggregator::record_flow(const FiveTuple& tuple,
+                                    const netsim::FlowMetrics& flow) {
+  if (!config_.enabled) return;
+  const FiveTuple canonical = tuple.canonical();
+  EdgeKey key;
+  {
+    DirectoryStripe& dir = directory_stripe(canonical);
+    std::lock_guard<std::mutex> lock(dir.mu);
+    const auto it = dir.flows.find(canonical);
+    if (it == dir.flows.end()) {
+      ++dir.flows_unattributed;
+      return;
+    }
+    ++dir.flows_folded;
+    key = it->second;
+  }
+  EdgeStripe& stripe = edge_stripe(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto [it, inserted] = stripe.edges.try_emplace(key, config_);
+  EdgeStats& stats = it->second;
+  stats.flow_bytes += flow.bytes;
+  stats.flow_packets += flow.packets;
+  stats.flow_retransmissions += flow.retransmissions;
+  stats.flow_resets += flow.resets;
+  stats.flow_rtt_sum += flow.rtt_sum;
+  stats.flow_rtt_samples += flow.rtt_samples;
+}
+
+RedSummary MetricsAggregator::summarize(u64 requests, u64 errors,
+                                        u64 incomplete, DurationNs duration_sum,
+                                        const LatencyHistogram& latency) {
+  RedSummary red;
+  red.requests = requests;
+  red.errors = errors;
+  red.incomplete = incomplete;
+  red.duration_sum = duration_sum;
+  red.p50 = latency.p50();
+  red.p90 = latency.p90();
+  red.p99 = latency.p99();
+  return red;
+}
+
+MetricsSeries MetricsAggregator::query_metrics(const std::string& service,
+                                               TimestampNs from, TimestampNs to,
+                                               DurationNs resolution) const {
+  MetricsSeries out;
+  out.key = service;
+  ServiceStripe& stripe = service_stripe(service);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.services.find(service);
+  if (it == stripe.services.end()) return out;
+  out.found = true;
+  out.buckets = it->second.series.query(from, to, resolution, &out.resolution);
+  out.totals = summarize(it->second.requests, it->second.errors,
+                         it->second.incomplete, it->second.duration_sum,
+                         it->second.latency);
+  return out;
+}
+
+MetricsSeries MetricsAggregator::query_edge_metrics(
+    const std::string& client, const std::string& server, TimestampNs from,
+    TimestampNs to, DurationNs resolution) const {
+  MetricsSeries out;
+  out.key = client + "->" + server;
+  const EdgeKey key{client, server};
+  EdgeStripe& stripe = edge_stripe(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.edges.find(key);
+  if (it == stripe.edges.end()) return out;
+  out.found = true;
+  out.buckets = it->second.series.query(from, to, resolution, &out.resolution);
+  out.totals = summarize(it->second.requests, it->second.errors,
+                         it->second.incomplete, it->second.duration_sum,
+                         it->second.latency);
+  return out;
+}
+
+ServiceMap MetricsAggregator::service_map(TimestampNs from,
+                                          TimestampNs to) const {
+  const bool full_range = from == 0 && to == ~TimestampNs{0};
+  ServiceMap map;
+
+  for (const auto& stripe : service_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [name, stats] : stripe->services) {
+      ServiceMapNode node;
+      node.name = name;
+      node.app_spans = stats.app_spans;
+      node.red = summarize(stats.requests, stats.errors, stats.incomplete,
+                           stats.duration_sum, stats.latency);
+      if (!full_range) {
+        // Windowed counts from the finest retained series; percentiles stay
+        // all-time (scalar buckets cannot reconstruct a histogram).
+        node.red.requests = 0;
+        node.red.errors = 0;
+        node.red.incomplete = 0;
+        node.red.duration_sum = 0;
+        for (const MetricsBucket& bucket :
+             stats.series.query(from, to, kSecond)) {
+          node.red.requests += bucket.requests;
+          node.red.errors += bucket.errors;
+          node.red.incomplete += bucket.incomplete;
+          node.red.duration_sum += bucket.duration_sum;
+        }
+      }
+      map.nodes.push_back(std::move(node));
+    }
+  }
+
+  for (const auto& stripe : edge_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [key, stats] : stripe->edges) {
+      ServiceMapEdge edge;
+      edge.client = key.first;
+      edge.server = key.second;
+      edge.red = summarize(stats.requests, stats.errors, stats.incomplete,
+                           stats.duration_sum, stats.latency);
+      edge.net_frames = stats.net_frames;
+      edge.bytes = stats.flow_bytes;
+      edge.packets = stats.flow_packets;
+      edge.retransmissions = stats.flow_retransmissions;
+      edge.resets = stats.flow_resets;
+      edge.rtt_sum = stats.flow_rtt_sum;
+      edge.rtt_samples = stats.flow_rtt_samples;
+      if (!full_range) {
+        edge.red.requests = 0;
+        edge.red.errors = 0;
+        edge.red.incomplete = 0;
+        edge.red.duration_sum = 0;
+        edge.net_frames = 0;
+        for (const MetricsBucket& bucket :
+             stats.series.query(from, to, kSecond)) {
+          edge.red.requests += bucket.requests;
+          edge.red.errors += bucket.errors;
+          edge.red.incomplete += bucket.incomplete;
+          edge.red.duration_sum += bucket.duration_sum;
+          edge.net_frames += bucket.net_frames;
+        }
+      }
+      map.edges.push_back(std::move(edge));
+    }
+  }
+
+  std::sort(map.nodes.begin(), map.nodes.end(),
+            [](const ServiceMapNode& a, const ServiceMapNode& b) {
+              return a.name < b.name;
+            });
+  std::sort(map.edges.begin(), map.edges.end(),
+            [](const ServiceMapEdge& a, const ServiceMapEdge& b) {
+              if (a.client != b.client) return a.client < b.client;
+              return a.server < b.server;
+            });
+  return map;
+}
+
+std::string MetricsAggregator::canonical_metrics() const {
+  // One line per accumulator totals + one line per retained non-empty
+  // series bucket at every level, all sorted. Late-sample counters are
+  // deliberately excluded: they are the one arrival-order-sensitive value
+  // (see rollup.h) and belong in telemetry, not in the determinism surface.
+  std::vector<std::string> lines;
+
+  const auto series_lines = [&lines](const std::string& prefix,
+                                     const MultiResolutionSeries& series) {
+    for (size_t level = 0; level < series.level_count(); ++level) {
+      const DurationNs width = series.level_width(level);
+      for (const MetricsBucket& bucket :
+           series.query(0, ~TimestampNs{0}, width)) {
+        std::string line = prefix;
+        append_bucket(line, bucket, width);
+        lines.push_back(std::move(line));
+      }
+    }
+  };
+
+  for (const auto& stripe : service_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [name, stats] : stripe->services) {
+      std::string line = "svc|" + name;
+      append_u64(line, "req", stats.requests);
+      append_u64(line, "err", stats.errors);
+      append_u64(line, "inc", stats.incomplete);
+      append_u64(line, "dsum", stats.duration_sum);
+      append_u64(line, "p50", stats.latency.p50());
+      append_u64(line, "p90", stats.latency.p90());
+      append_u64(line, "p99", stats.latency.p99());
+      append_u64(line, "app", stats.app_spans);
+      lines.push_back(std::move(line));
+      series_lines("svc-ts|" + name, stats.series);
+    }
+  }
+  for (const auto& stripe : edge_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [key, stats] : stripe->edges) {
+      const std::string label = key.first + "->" + key.second;
+      std::string line = "edge|" + label;
+      append_u64(line, "req", stats.requests);
+      append_u64(line, "err", stats.errors);
+      append_u64(line, "inc", stats.incomplete);
+      append_u64(line, "dsum", stats.duration_sum);
+      append_u64(line, "p50", stats.latency.p50());
+      append_u64(line, "p90", stats.latency.p90());
+      append_u64(line, "p99", stats.latency.p99());
+      append_u64(line, "net", stats.net_frames);
+      append_u64(line, "bytes", stats.flow_bytes);
+      append_u64(line, "pkts", stats.flow_packets);
+      append_u64(line, "rx", stats.flow_retransmissions);
+      append_u64(line, "rst", stats.flow_resets);
+      lines.push_back(std::move(line));
+      series_lines("edge-ts|" + label, stats.series);
+    }
+  }
+
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  out.reserve(lines.size() * 96);
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsAggregator::canonical_service_map() const {
+  return service_map().canonical();
+}
+
+MetricsTelemetry MetricsAggregator::telemetry() const {
+  MetricsTelemetry t;
+  t.third_party_spans = third_party_spans_.load(std::memory_order_relaxed);
+  for (const auto& stripe : service_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    t.service_samples += stripe->service_samples;
+    t.app_spans += stripe->app_spans;
+    t.services += stripe->services.size();
+    for (const auto& [name, stats] : stripe->services) {
+      t.late_samples += stats.series.late_samples_total();
+    }
+  }
+  for (const auto& stripe : edge_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    t.edge_samples += stripe->edge_samples;
+    t.net_frames += stripe->net_frames;
+    t.edges += stripe->edges.size();
+    for (const auto& [key, stats] : stripe->edges) {
+      t.late_samples += stats.series.late_samples_total();
+    }
+  }
+  for (const auto& stripe : directory_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    t.flows_folded += stripe->flows_folded;
+    t.flows_unattributed += stripe->flows_unattributed;
+  }
+  // Every span lands in exactly one tally, so the call count is their sum.
+  t.spans_seen = t.service_samples + t.edge_samples + t.net_frames +
+                 t.app_spans + t.third_party_spans;
+  return t;
+}
+
+}  // namespace deepflow::metrics

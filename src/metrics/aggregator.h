@@ -1,0 +1,301 @@
+// Zero-code AutoMetrics: streaming RED metrics and the universal service
+// map, derived from the same hook data as the tracing plane (§2-§3 of the
+// paper: every spanned session doubles as a metric sample, so per-service
+// and per-edge request/error/duration series need no SDK either).
+//
+// The MetricsAggregator sits on the server ingest path, BEFORE the span
+// store: DeepFlowServer::ingest folds every deduplicated span into it.
+// Folding rules (one session produces one sys span per side, so RED counts
+// are session counts, not span counts):
+//
+//   sys span, server side   -> per-service accumulator keyed by the server
+//                              endpoint (requests, errors, incomplete,
+//                              latency histogram, time-series buckets)
+//   sys span, client side   -> per-(client,server) edge accumulator (same
+//                              RED shape) + the flow directory entry that
+//                              later attributes network flow counters
+//   net span                -> edge network-frame counter (device-tap
+//                              sightings of the session on the wire)
+//   app span                -> per-service app-span counter only (the sys
+//                              span of the same session carries the RED
+//                              sample; counting both would double-count)
+//   third-party span        -> global counter only (same reason)
+//
+// Network-side counters (bytes, packets, TCP-seq-derived retransmissions,
+// resets, transit times) come from the netsim flow records: record_flow
+// resolves each canonical five-tuple through the directory populated by
+// client-side spans and folds the counters into the owning edge.
+//
+// Concurrency: lock-sharded like the span store — accumulators live in
+// `stripes` independently-locked maps keyed by service/edge hash, so
+// concurrent ingest threads contend only when they touch the same stripe.
+// Every fold is commutative, which gives the determinism contract: serial
+// and parallel ingest of the same span stream produce byte-identical
+// canonical_metrics() / canonical_service_map() output (pinned by the
+// MetricsEquivalence suite).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "agent/span.h"
+#include "common/five_tuple.h"
+#include "common/histogram.h"
+#include "common/types.h"
+#include "metrics/rollup.h"
+#include "netsim/fabric.h"
+#include "netsim/resource.h"
+
+namespace deepflow::metrics {
+
+struct MetricsConfig {
+  /// Master switch: when false the aggregator ignores every record_* call
+  /// (the server still constructs it, so toggling is config-only).
+  bool enabled = true;
+  /// Lock stripes for the accumulator maps (>= 1).
+  size_t stripes = 8;
+  /// Ring sizing for the per-key multi-resolution series.
+  RollupConfig rollup;
+  /// Upper bound of the per-key latency histograms.
+  DurationNs histogram_max = 100 * kSecond;
+};
+
+/// All-time RED summary of one service or edge, percentiles included.
+struct RedSummary {
+  u64 requests = 0;
+  u64 errors = 0;
+  u64 incomplete = 0;
+  DurationNs duration_sum = 0;
+  DurationNs p50 = 0;
+  DurationNs p90 = 0;
+  DurationNs p99 = 0;
+
+  double error_rate() const {
+    return requests ? static_cast<double>(errors) / static_cast<double>(requests)
+                    : 0.0;
+  }
+  DurationNs mean() const { return requests ? duration_sum / requests : 0; }
+};
+
+/// Result of query_metrics: the matching time-series buckets plus totals.
+struct MetricsSeries {
+  bool found = false;          // false: the key has never been seen
+  std::string key;             // service name, or "client->server"
+  DurationNs resolution = 0;   // actual bucket width served
+  std::vector<MetricsBucket> buckets;
+  RedSummary totals;
+};
+
+/// One service node of the map, RED-annotated.
+struct ServiceMapNode {
+  std::string name;
+  RedSummary red;
+  u64 app_spans = 0;
+};
+
+/// One directed client->server edge, RED + network counters.
+struct ServiceMapEdge {
+  std::string client;
+  std::string server;
+  RedSummary red;
+  u64 net_frames = 0;
+  // Folded from the netsim per-flow records (record_flow).
+  u64 bytes = 0;
+  u64 packets = 0;
+  u64 retransmissions = 0;
+  u64 resets = 0;
+  DurationNs rtt_sum = 0;
+  u64 rtt_samples = 0;
+
+  DurationNs avg_transit() const {
+    return rtt_samples ? rtt_sum / rtt_samples : 0;
+  }
+};
+
+/// The universal service map: every service and every observed call edge,
+/// deterministically ordered (nodes by name, edges by client then server).
+struct ServiceMap {
+  std::vector<ServiceMapNode> nodes;
+  std::vector<ServiceMapEdge> edges;
+
+  /// Stable, integer-only serialization for byte-for-byte comparisons.
+  std::string canonical() const;
+  /// Human-readable table (the examples print this).
+  std::string render() const;
+};
+
+/// Aggregator self-telemetry, exported alongside the service metrics.
+struct MetricsTelemetry {
+  u64 spans_seen = 0;          // record_span calls (post-dedup)
+  u64 service_samples = 0;     // server-side sys spans folded into services
+  u64 edge_samples = 0;        // client-side sys spans folded into edges
+  u64 net_frames = 0;          // net spans folded into edges
+  u64 app_spans = 0;           // app spans (counted, not RED-folded)
+  u64 third_party_spans = 0;   // third-party spans (counted only)
+  u64 flows_folded = 0;        // flow records attributed to an edge
+  u64 flows_unattributed = 0;  // flow records with no directory entry
+  u64 late_samples = 0;        // ring-horizon misses across all keys/levels
+  u64 services = 0;
+  u64 edges = 0;
+};
+
+class MetricsAggregator {
+ public:
+  MetricsAggregator(const netsim::ResourceRegistry* registry,
+                    MetricsConfig config = {});
+
+  bool enabled() const { return config_.enabled; }
+
+  /// Fold one span (thread-safe; call after ingest dedup so at-least-once
+  /// transports still count each session exactly once).
+  void record_span(const agent::Span& span);
+
+  /// Fold one per-flow network metric record (thread-safe). Flows whose
+  /// canonical tuple was never seen on a client-side span count as
+  /// unattributed.
+  void record_flow(const FiveTuple& tuple, const netsim::FlowMetrics& flow);
+
+  // -- Query plane. ---------------------------------------------------------
+
+  /// Time-series of one service over [from, to] at (approximately) the
+  /// requested bucket width. `found == false` for unknown services.
+  MetricsSeries query_metrics(const std::string& service, TimestampNs from,
+                              TimestampNs to,
+                              DurationNs resolution = kSecond) const;
+
+  /// Same, for the directed edge client->server.
+  MetricsSeries query_edge_metrics(const std::string& client,
+                                   const std::string& server, TimestampNs from,
+                                   TimestampNs to,
+                                   DurationNs resolution = kSecond) const;
+
+  /// The service map over [from, to]. The full-range default reports
+  /// all-time totals; a narrower window sums the retained series buckets
+  /// (counts/durations windowed; percentiles always come from the all-time
+  /// histograms, as bucket scalars cannot reconstruct them).
+  ServiceMap service_map(TimestampNs from = 0,
+                         TimestampNs to = ~TimestampNs{0}) const;
+
+  /// Deterministic, integer-only dump of every accumulator and every
+  /// retained series bucket, sorted; the equivalence suites compare serial
+  /// vs parallel ingest byte for byte on this.
+  std::string canonical_metrics() const;
+  /// canonical() of the full-range service map.
+  std::string canonical_service_map() const;
+
+  MetricsTelemetry telemetry() const;
+
+ private:
+  struct ServiceStats {
+    u64 requests = 0;
+    u64 errors = 0;
+    u64 incomplete = 0;
+    DurationNs duration_sum = 0;
+    LatencyHistogram latency;
+    u64 app_spans = 0;
+    MultiResolutionSeries series;
+
+    ServiceStats(const MetricsConfig& config)
+        : latency(config.histogram_max), series(config.rollup) {}
+  };
+
+  struct EdgeStats {
+    u64 requests = 0;
+    u64 errors = 0;
+    u64 incomplete = 0;
+    DurationNs duration_sum = 0;
+    LatencyHistogram latency;
+    u64 net_frames = 0;
+    u64 flow_bytes = 0;
+    u64 flow_packets = 0;
+    u64 flow_retransmissions = 0;
+    u64 flow_resets = 0;
+    DurationNs flow_rtt_sum = 0;
+    u64 flow_rtt_samples = 0;
+    MultiResolutionSeries series;
+
+    EdgeStats(const MetricsConfig& config)
+        : latency(config.histogram_max), series(config.rollup) {}
+  };
+
+  using EdgeKey = std::pair<std::string, std::string>;  // client, server
+  struct EdgeKeyHash {
+    size_t operator()(const EdgeKey& key) const {
+      return std::hash<std::string>{}(key.first) * 1000003u ^
+             std::hash<std::string>{}(key.second);
+    }
+  };
+
+  // Per-stripe telemetry tallies live inside the stripes and are bumped
+  // under the locks the folds already hold: a global atomic per span would
+  // bounce one cache line between every ingest thread.
+  struct ServiceStripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, ServiceStats> services;
+    u64 service_samples = 0;
+    u64 app_spans = 0;
+  };
+  struct EdgeStripe {
+    mutable std::mutex mu;
+    std::unordered_map<EdgeKey, EdgeStats, EdgeKeyHash> edges;
+    u64 edge_samples = 0;
+    u64 net_frames = 0;
+  };
+  /// canonical five-tuple -> directed edge, written by client-side spans,
+  /// read when attributing flow records. Registration is idempotent: every
+  /// span of a connection derives the identical directed pair, so parallel
+  /// insert order cannot change the mapping.
+  struct DirectoryStripe {
+    mutable std::mutex mu;
+    std::unordered_map<FiveTuple, EdgeKey, FiveTupleHash> flows;
+    u64 flows_folded = 0;
+    u64 flows_unattributed = 0;
+  };
+
+  /// ip -> display-name cache (plus the (client,server) ip-pair -> EdgeKey
+  /// variant, so an edge fold costs one lock instead of two). Resolving
+  /// through the registry copies a full ResourceInfo (several strings) per
+  /// call, which dominated the ingest fold; names are stable for a registry
+  /// version, so they are cached and invalidated wholesale when the registry
+  /// version moves (the same scheme as the span store's decoded-tag cache).
+  struct NameCacheStripe {
+    mutable std::mutex mu;
+    mutable u64 version = ~u64{0};
+    mutable std::unordered_map<u32, std::string> names;
+    mutable std::unordered_map<u64, EdgeKey> edges;
+  };
+
+  /// Endpoint display name: service > pod > node > dotted-quad IP.
+  std::string endpoint_name(u32 ip) const;
+  /// Cached (client,server) display-name pair for an edge fold.
+  EdgeKey edge_key(u32 client_ip, u32 server_ip) const;
+  std::string resolve_name(u32 ip) const;
+
+  ServiceStripe& service_stripe(const std::string& name) const;
+  EdgeStripe& edge_stripe(const EdgeKey& key) const;
+  DirectoryStripe& directory_stripe(const FiveTuple& tuple) const;
+
+  static RedSummary summarize(u64 requests, u64 errors, u64 incomplete,
+                              DurationNs duration_sum,
+                              const LatencyHistogram& latency);
+
+  const netsim::ResourceRegistry* registry_;
+  MetricsConfig config_;
+  std::vector<std::unique_ptr<ServiceStripe>> service_stripes_;
+  std::vector<std::unique_ptr<EdgeStripe>> edge_stripes_;
+  std::vector<std::unique_ptr<DirectoryStripe>> directory_stripes_;
+  std::vector<std::unique_ptr<NameCacheStripe>> name_stripes_;
+
+  // Third-party spans take no stripe lock (global counter only), so this
+  // one stays atomic; every other telemetry tally lives in its stripe and
+  // telemetry() sums them. spans_seen is derived (every span lands in
+  // exactly one tally).
+  std::atomic<u64> third_party_spans_{0};
+};
+
+}  // namespace deepflow::metrics

@@ -1,0 +1,216 @@
+#include "metrics/exposition.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace deepflow::metrics {
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void PrometheusWriter::family(const std::string& name, const std::string& type,
+                              const std::string& help) {
+  out_ += "# HELP " + name + ' ' + help + '\n';
+  out_ += "# TYPE " + name + ' ' + type + '\n';
+}
+
+void PrometheusWriter::sample_prefix(const std::string& name,
+                                     const Labels& labels) {
+  out_ += name;
+  if (!labels.empty()) {
+    out_ += '{';
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+      if (!first) out_ += ',';
+      first = false;
+      out_ += key + "=\"" + escape_label_value(value) + '"';
+    }
+    out_ += '}';
+  }
+  out_ += ' ';
+}
+
+void PrometheusWriter::sample(const std::string& name, const Labels& labels,
+                              u64 value) {
+  sample_prefix(name, labels);
+  out_ += std::to_string(value);
+  out_ += '\n';
+}
+
+void PrometheusWriter::sample(const std::string& name, const Labels& labels,
+                              double value) {
+  sample_prefix(name, labels);
+  const double rounded = std::nearbyint(value);
+  if (rounded == value && std::fabs(value) < 1e15) {
+    out_ += std::to_string(static_cast<long long>(value));
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    out_ += buf;
+  }
+  out_ += '\n';
+}
+
+void write_aggregator(PrometheusWriter& writer, const MetricsAggregator& agg) {
+  // service_map() returns nodes/edges in sorted order, which fixes the
+  // sample order inside each family; the family order is fixed below.
+  const ServiceMap map = agg.service_map();
+
+  writer.family("deepflow_service_requests_total", "counter",
+                "Sessions served, per service (zero-code RED rate).");
+  for (const ServiceMapNode& node : map.nodes) {
+    writer.sample("deepflow_service_requests_total", {{"service", node.name}},
+                  node.red.requests);
+  }
+
+  writer.family("deepflow_service_errors_total", "counter",
+                "Sessions with an error status, per service.");
+  for (const ServiceMapNode& node : map.nodes) {
+    writer.sample("deepflow_service_errors_total", {{"service", node.name}},
+                  node.red.errors);
+  }
+
+  writer.family("deepflow_service_incomplete_total", "counter",
+                "Sessions that never saw a response, per service.");
+  for (const ServiceMapNode& node : map.nodes) {
+    writer.sample("deepflow_service_incomplete_total", {{"service", node.name}},
+                  node.red.incomplete);
+  }
+
+  writer.family("deepflow_service_duration_ns_sum", "counter",
+                "Summed session duration, per service (pair with requests "
+                "for the mean).");
+  for (const ServiceMapNode& node : map.nodes) {
+    writer.sample("deepflow_service_duration_ns_sum", {{"service", node.name}},
+                  node.red.duration_sum);
+  }
+
+  writer.family("deepflow_service_duration_ns", "gauge",
+                "Session duration quantiles, per service.");
+  for (const ServiceMapNode& node : map.nodes) {
+    writer.sample("deepflow_service_duration_ns",
+                  {{"service", node.name}, {"quantile", "0.5"}}, node.red.p50);
+    writer.sample("deepflow_service_duration_ns",
+                  {{"service", node.name}, {"quantile", "0.9"}}, node.red.p90);
+    writer.sample("deepflow_service_duration_ns",
+                  {{"service", node.name}, {"quantile", "0.99"}}, node.red.p99);
+  }
+
+  writer.family("deepflow_service_app_spans_total", "counter",
+                "Application (uprobe) spans observed, per service.");
+  for (const ServiceMapNode& node : map.nodes) {
+    writer.sample("deepflow_service_app_spans_total", {{"service", node.name}},
+                  node.app_spans);
+  }
+
+  const auto edge_labels = [](const ServiceMapEdge& edge) {
+    return PrometheusWriter::Labels{{"client", edge.client},
+                                    {"server", edge.server}};
+  };
+
+  writer.family("deepflow_edge_requests_total", "counter",
+                "Sessions observed on each client->server call edge.");
+  for (const ServiceMapEdge& edge : map.edges) {
+    writer.sample("deepflow_edge_requests_total", edge_labels(edge),
+                  edge.red.requests);
+  }
+
+  writer.family("deepflow_edge_errors_total", "counter",
+                "Error sessions on each call edge.");
+  for (const ServiceMapEdge& edge : map.edges) {
+    writer.sample("deepflow_edge_errors_total", edge_labels(edge),
+                  edge.red.errors);
+  }
+
+  writer.family("deepflow_edge_duration_ns", "gauge",
+                "Client-observed session duration quantiles, per edge.");
+  for (const ServiceMapEdge& edge : map.edges) {
+    auto labels = edge_labels(edge);
+    labels.emplace_back("quantile", "0.5");
+    writer.sample("deepflow_edge_duration_ns", labels, edge.red.p50);
+    labels.back().second = "0.99";
+    writer.sample("deepflow_edge_duration_ns", labels, edge.red.p99);
+  }
+
+  writer.family("deepflow_edge_net_frames_total", "counter",
+                "Device-tap sightings (net spans) of each edge's sessions.");
+  for (const ServiceMapEdge& edge : map.edges) {
+    writer.sample("deepflow_edge_net_frames_total", edge_labels(edge),
+                  edge.net_frames);
+  }
+
+  writer.family("deepflow_edge_bytes_total", "counter",
+                "Flow bytes attributed to each edge.");
+  for (const ServiceMapEdge& edge : map.edges) {
+    writer.sample("deepflow_edge_bytes_total", edge_labels(edge), edge.bytes);
+  }
+
+  writer.family("deepflow_edge_packets_total", "counter",
+                "Flow packets attributed to each edge.");
+  for (const ServiceMapEdge& edge : map.edges) {
+    writer.sample("deepflow_edge_packets_total", edge_labels(edge),
+                  edge.packets);
+  }
+
+  writer.family("deepflow_edge_retransmissions_total", "counter",
+                "TCP-seq-derived retransmissions attributed to each edge.");
+  for (const ServiceMapEdge& edge : map.edges) {
+    writer.sample("deepflow_edge_retransmissions_total", edge_labels(edge),
+                  edge.retransmissions);
+  }
+
+  writer.family("deepflow_edge_resets_total", "counter",
+                "TCP resets attributed to each edge.");
+  for (const ServiceMapEdge& edge : map.edges) {
+    writer.sample("deepflow_edge_resets_total", edge_labels(edge), edge.resets);
+  }
+
+  writer.family("deepflow_edge_rtt_ns_avg", "gauge",
+                "Mean network round-trip attributed to each edge.");
+  for (const ServiceMapEdge& edge : map.edges) {
+    writer.sample("deepflow_edge_rtt_ns_avg", edge_labels(edge),
+                  edge.avg_transit());
+  }
+
+  write_metrics_telemetry(writer, agg.telemetry());
+}
+
+void write_metrics_telemetry(PrometheusWriter& writer,
+                             const MetricsTelemetry& telemetry) {
+  const std::pair<const char*, u64> gauges[] = {
+      {"deepflow_metrics_spans_seen", telemetry.spans_seen},
+      {"deepflow_metrics_service_samples", telemetry.service_samples},
+      {"deepflow_metrics_edge_samples", telemetry.edge_samples},
+      {"deepflow_metrics_net_frames", telemetry.net_frames},
+      {"deepflow_metrics_app_spans", telemetry.app_spans},
+      {"deepflow_metrics_third_party_spans", telemetry.third_party_spans},
+      {"deepflow_metrics_flows_folded", telemetry.flows_folded},
+      {"deepflow_metrics_flows_unattributed", telemetry.flows_unattributed},
+      {"deepflow_metrics_late_samples", telemetry.late_samples},
+      {"deepflow_metrics_services", telemetry.services},
+      {"deepflow_metrics_edges", telemetry.edges},
+  };
+  for (const auto& [name, value] : gauges) {
+    writer.family(name, "gauge", "Metrics-plane self-telemetry.");
+    writer.sample(name, {}, value);
+  }
+}
+
+std::string prometheus_text(const MetricsAggregator& agg) {
+  PrometheusWriter writer;
+  write_aggregator(writer, agg);
+  return writer.str();
+}
+
+}  // namespace deepflow::metrics

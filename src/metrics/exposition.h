@@ -1,0 +1,60 @@
+// Prometheus-style text exposition for the metrics plane (§3.4: DeepFlow
+// exports both the auto-metrics and its own self-observability counters in
+// the same format a stock scrape pipeline already understands).
+//
+// PrometheusWriter is a tiny composable text builder — the server uses it
+// to append its IngestTelemetry/QueryTelemetry families after the
+// aggregator families, without this library depending on the server.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/aggregator.h"
+
+namespace deepflow::metrics {
+
+/// Incremental builder for the Prometheus text exposition format
+/// (`# HELP` / `# TYPE` headers + `family{label="value"} 123` samples).
+/// Values are rendered as integers when integral, else shortest-form
+/// doubles; label values are escaped per the format spec.
+class PrometheusWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Starts a family: emits the HELP/TYPE header lines.
+  void family(const std::string& name, const std::string& type,
+              const std::string& help);
+
+  /// One sample of the current (or any) family.
+  void sample(const std::string& name, const Labels& labels, u64 value);
+  void sample(const std::string& name, const Labels& labels, double value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void sample_prefix(const std::string& name, const Labels& labels);
+
+  std::string out_;
+};
+
+/// Escapes a label value per the exposition format (backslash, quote, LF).
+std::string escape_label_value(const std::string& value);
+
+/// Renders every aggregator family — per-service and per-edge RED,
+/// per-edge network counters, and the aggregator self-telemetry — in a
+/// fixed family order with samples sorted by label, so output is
+/// deterministic for a deterministic workload.
+void write_aggregator(PrometheusWriter& writer, const MetricsAggregator& agg);
+
+/// Aggregator self-telemetry only (spans seen, flows folded, late samples,
+/// key cardinality), as `deepflow_metrics_*` gauges.
+void write_metrics_telemetry(PrometheusWriter& writer,
+                             const MetricsTelemetry& telemetry);
+
+/// Convenience: full exposition of one aggregator (write_aggregator into a
+/// fresh writer).
+std::string prometheus_text(const MetricsAggregator& agg);
+
+}  // namespace deepflow::metrics

@@ -1,0 +1,198 @@
+// Multi-resolution time-series rollups for the streaming metrics plane.
+//
+// Each metric key (a service, or a client->server edge) owns one
+// MultiResolutionSeries: a small fixed set of ring buffers at increasing
+// bucket widths (1 s -> 10 s -> 60 s by default). Samples are folded
+// *write-through*: every sample lands in the covering bucket of every
+// resolution at record time, so "rolling up" a closing fine bucket into the
+// coarse level needs no recomputation — closing a window is pure eviction.
+// That choice is what makes window closing deterministic: the retained
+// bucket range of a ring depends only on the maximum simulated timestamp
+// seen (max is commutative), never on arrival order, so the serial and the
+// 8-worker parallel ingest pipelines produce byte-identical series for the
+// same span stream.
+//
+// Memory is bounded by construction: slots * levels buckets per key,
+// regardless of how long the stream runs. Samples older than a ring's
+// retained horizon are counted as late (they still fold into every coarser
+// ring that covers them, and into the all-time totals kept by the owning
+// accumulator). Late classification is the one arrival-order-sensitive
+// decision; it can only trigger when one key's samples spread wider than
+// the retention horizon, which the equivalence tests pin at zero.
+//
+// Timestamps are simulated-clock nanoseconds (the SimClock/EventLoop
+// domain): deterministic workload runs close deterministic windows.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deepflow::metrics {
+
+/// One aggregation window of one key: scalar RED counters plus the
+/// network-side counters folded from net spans. All folds are commutative
+/// (sums, min, max), so bucket content is independent of arrival order.
+struct MetricsBucket {
+  TimestampNs bucket_start = 0;  // inclusive; width comes from the ring level
+  u64 requests = 0;
+  u64 errors = 0;        // sessions with ok == false
+  u64 incomplete = 0;    // sessions that never saw a response
+  DurationNs duration_sum = 0;
+  DurationNs duration_min = ~DurationNs{0};  // meaningful only if requests > 0
+  DurationNs duration_max = 0;
+  u64 net_frames = 0;    // net-span observations (device-tap sightings)
+
+  bool empty() const { return requests == 0 && net_frames == 0; }
+
+  void add_request(DurationNs duration, bool ok, bool was_incomplete) {
+    ++requests;
+    if (!ok) ++errors;
+    if (was_incomplete) ++incomplete;
+    duration_sum += duration;
+    duration_min = std::min(duration_min, duration);
+    duration_max = std::max(duration_max, duration);
+  }
+
+  void add_net_frame() { ++net_frames; }
+
+  void merge(const MetricsBucket& other) {
+    requests += other.requests;
+    errors += other.errors;
+    incomplete += other.incomplete;
+    duration_sum += other.duration_sum;
+    duration_min = std::min(duration_min, other.duration_min);
+    duration_max = std::max(duration_max, other.duration_max);
+    net_frames += other.net_frames;
+  }
+};
+
+/// Ring sizing per resolution level. Defaults retain 2 minutes at 1 s,
+/// 16 minutes at 10 s and one hour at 60 s — per key, per level, a fixed
+/// `slots` buckets of a few dozen bytes each.
+struct RollupConfig {
+  struct Level {
+    DurationNs width = kSecond;
+    size_t slots = 120;
+  };
+  std::array<Level, 3> levels{{{1 * kSecond, 120},
+                               {10 * kSecond, 96},
+                               {60 * kSecond, 60}}};
+};
+
+/// Fixed-size bucket rings at every configured resolution, write-through.
+class MultiResolutionSeries {
+ public:
+  explicit MultiResolutionSeries(const RollupConfig& config = {}) {
+    for (const RollupConfig::Level& level : config.levels) {
+      rings_.push_back(Ring{level.width, {}, 0, false, 0});
+      rings_.back().slots.resize(std::max<size_t>(level.slots, 1));
+    }
+  }
+
+  void record_request(TimestampNs ts, DurationNs duration, bool ok,
+                      bool incomplete) {
+    for (Ring& ring : rings_) {
+      if (MetricsBucket* bucket = ring.bucket_for(ts)) {
+        bucket->add_request(duration, ok, incomplete);
+      }
+    }
+  }
+
+  void record_net_frame(TimestampNs ts) {
+    for (Ring& ring : rings_) {
+      if (MetricsBucket* bucket = ring.bucket_for(ts)) {
+        bucket->add_net_frame();
+      }
+    }
+  }
+
+  /// Non-empty retained buckets whose window intersects [from, to], in
+  /// ascending bucket_start order, at the level whose width best matches
+  /// `resolution` (exact match, else the finest width >= resolution, else
+  /// the coarsest level). Width of the chosen level is returned through
+  /// `width_out` when non-null.
+  std::vector<MetricsBucket> query(TimestampNs from, TimestampNs to,
+                                   DurationNs resolution,
+                                   DurationNs* width_out = nullptr) const {
+    const Ring& ring = rings_[level_for(resolution)];
+    if (width_out != nullptr) *width_out = ring.width;
+    std::vector<MetricsBucket> out;
+    if (!ring.any || from > to) return out;
+    const u64 hi = std::min(ring.max_bucket, to / ring.width);
+    const u64 retained_lo =
+        ring.max_bucket >= ring.slots.size() - 1
+            ? ring.max_bucket - (ring.slots.size() - 1)
+            : 0;
+    const u64 lo = std::max(retained_lo, from / ring.width);
+    for (u64 b = lo; b <= hi; ++b) {
+      const MetricsBucket& slot = ring.slots[b % ring.slots.size()];
+      // Slots are lazily claimed on write; a slot still holding an evicted
+      // (wrapped) bucket or never written at all fails the start check.
+      if (!slot.empty() && slot.bucket_start == b * ring.width) {
+        out.push_back(slot);
+      }
+    }
+    return out;
+  }
+
+  /// Samples that arrived behind every ring's retained horizon at the given
+  /// level (still folded into coarser levels and all-time totals).
+  u64 late_samples(size_t level) const {
+    return level < rings_.size() ? rings_[level].late : 0;
+  }
+  u64 late_samples_total() const {
+    u64 n = 0;
+    for (const Ring& ring : rings_) n += ring.late;
+    return n;
+  }
+
+  size_t level_count() const { return rings_.size(); }
+  DurationNs level_width(size_t level) const { return rings_[level].width; }
+
+ private:
+  struct Ring {
+    DurationNs width;
+    std::vector<MetricsBucket> slots;
+    u64 max_bucket;  // highest bucket index seen (valid when any)
+    bool any;
+    u64 late;
+
+    /// The slot covering `ts`, claimed/reset as needed; nullptr when ts is
+    /// behind the retained horizon (counted late).
+    MetricsBucket* bucket_for(TimestampNs ts) {
+      const u64 bucket = ts / width;
+      if (!any) {
+        any = true;
+        max_bucket = bucket;
+      } else if (bucket > max_bucket) {
+        max_bucket = bucket;
+      } else if (max_bucket >= slots.size() &&
+                 bucket < max_bucket - (slots.size() - 1)) {
+        ++late;
+        return nullptr;
+      }
+      MetricsBucket& slot = slots[bucket % slots.size()];
+      if (slot.bucket_start != bucket * width || slot.empty()) {
+        // First write into this window (or the slot still holds a long
+        // evicted wrapped window): claim it fresh.
+        if (slot.bucket_start != bucket * width) slot = MetricsBucket{};
+        slot.bucket_start = bucket * width;
+      }
+      return &slot;
+    }
+  };
+
+  size_t level_for(DurationNs resolution) const {
+    for (size_t i = 0; i < rings_.size(); ++i) {
+      if (rings_[i].width >= resolution) return i;
+    }
+    return rings_.size() - 1;
+  }
+
+  std::vector<Ring> rings_;
+};
+
+}  // namespace deepflow::metrics

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/thread_pool.h"
+#include "metrics/exposition.h"
 
 namespace deepflow::server {
 
@@ -19,6 +20,7 @@ DeepFlowServer::DeepFlowServer(const netsim::ResourceRegistry* registry,
     : registry_(registry),
       store_(config.encoder, registry, config.store_shards),
       assembler_(&store_, config.assembler),
+      metrics_(registry, config.metrics),
       reaggregator_(config.reaggregation) {
   const size_t stripes = config.store_shards > 0 ? config.store_shards : 1;
   dedup_stripes_.reserve(stripes);
@@ -48,6 +50,9 @@ void DeepFlowServer::ingest(agent::Span&& span) {
   }
   ingested_.fetch_add(1, std::memory_order_relaxed);
   note_ingest_clock();
+  // Metrics fold AFTER dedup (each session samples exactly once even under
+  // at-least-once transports) and BEFORE the store takes ownership.
+  metrics_.record_span(span);
   store_.insert(std::move(span));
 }
 
@@ -93,6 +98,7 @@ void DeepFlowServer::finalize() {
 void DeepFlowServer::ingest_flow_metrics(const FiveTuple& tuple,
                                          const netsim::FlowMetrics& metrics) {
   flow_metrics_[tuple.canonical()] = metrics;
+  metrics_.record_flow(tuple, metrics);
 }
 
 void DeepFlowServer::ingest_device_metrics(
@@ -184,6 +190,61 @@ QueryTelemetry DeepFlowServer::query_telemetry() const {
   t.orphan_spans = assembler.orphan_spans;
   t.lost_placeholders = assembler.lost_placeholders;
   return t;
+}
+
+std::string DeepFlowServer::prometheus_metrics() const {
+  metrics::PrometheusWriter writer;
+  metrics::write_aggregator(writer, metrics_);
+
+  // The server's own self-observability rides in the same scrape (§3.4:
+  // DeepFlow monitors itself with itself).
+  const IngestTelemetry ingest = ingest_telemetry();
+  const std::pair<const char*, u64> ingest_gauges[] = {
+      {"deepflow_ingest_spans", ingest.spans},
+      {"deepflow_ingest_batches", ingest.batches},
+      {"deepflow_ingest_batched_spans", ingest.batched_spans},
+      {"deepflow_ingest_max_batch_spans", ingest.max_batch_spans},
+      {"deepflow_ingest_duplicate_spans", ingest.duplicate_spans},
+      {"deepflow_ingest_agent_drain_batches", ingest.agent_drain_batches},
+      {"deepflow_ingest_agent_drain_records", ingest.agent_drain_records},
+      {"deepflow_ingest_agent_staging_waits", ingest.agent_staging_waits},
+      {"deepflow_ingest_agent_perf_lost", ingest.agent_perf_lost},
+      {"deepflow_ingest_agent_enter_map_drops", ingest.agent_enter_map_drops},
+  };
+  for (const auto& [name, value] : ingest_gauges) {
+    writer.family(name, "gauge", "Server ingest-path self-telemetry.");
+    writer.sample(name, {}, value);
+  }
+  writer.family("deepflow_ingest_spans_per_sec", "gauge",
+                "Server ingest-path self-telemetry.");
+  writer.sample("deepflow_ingest_spans_per_sec", {}, ingest.spans_per_sec);
+  writer.family("deepflow_ingest_shard_rows", "gauge",
+                "Rows stored per span-store shard.");
+  for (size_t shard = 0; shard < ingest.shard_rows.size(); ++shard) {
+    writer.sample("deepflow_ingest_shard_rows",
+                  {{"shard", std::to_string(shard)}},
+                  static_cast<u64>(ingest.shard_rows[shard]));
+  }
+
+  const QueryTelemetry query = query_telemetry();
+  const std::pair<const char*, u64> query_gauges[] = {
+      {"deepflow_query_searches", query.searches},
+      {"deepflow_query_search_keys", query.search_keys},
+      {"deepflow_query_search_hits", query.search_hits},
+      {"deepflow_query_rows_touched", query.rows_touched},
+      {"deepflow_query_shard_locks", query.shard_locks},
+      {"deepflow_query_tag_cache_hits", query.tag_cache_hits},
+      {"deepflow_query_traces_assembled", query.traces_assembled},
+      {"deepflow_query_assembly_iterations", query.assembly_iterations},
+      {"deepflow_query_assembled_spans", query.assembled_spans},
+      {"deepflow_query_orphan_spans", query.orphan_spans},
+      {"deepflow_query_lost_placeholders", query.lost_placeholders},
+  };
+  for (const auto& [name, value] : query_gauges) {
+    writer.family(name, "gauge", "Server query-path self-telemetry.");
+    writer.sample(name, {}, value);
+  }
+  return writer.str();
 }
 
 const netsim::FlowMetrics* DeepFlowServer::metrics_for(

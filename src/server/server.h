@@ -13,6 +13,7 @@
 #include "agent/agent.h"
 #include "agent/session_aggregator.h"
 #include "agent/span_builder.h"
+#include "metrics/aggregator.h"
 #include "netsim/fabric.h"
 #include "server/span_store.h"
 #include "server/trace_assembler.h"
@@ -30,6 +31,9 @@ struct ServerConfig {
   agent::SessionAggregatorConfig reaggregation{
       .slot_ns = 600 * kSecond, .slot_count = 3,
       .pairing_slack_ns = 10 * kSecond};
+  /// Streaming metrics plane (AutoMetrics): every deduplicated span also
+  /// folds into the RED/service-map aggregator on the ingest path.
+  metrics::MetricsConfig metrics;
 };
 
 /// Snapshot of network metrics correlated to a flow (tag-based correlation,
@@ -150,6 +154,32 @@ class DeepFlowServer {
   /// Snapshot of the query-path self-telemetry.
   QueryTelemetry query_telemetry() const;
 
+  // -- Metrics plane (zero-code AutoMetrics). -------------------------------
+
+  /// Per-service RED time-series over [from, to] at (approximately) the
+  /// requested bucket width.
+  metrics::MetricsSeries query_metrics(const std::string& service,
+                                       TimestampNs from, TimestampNs to,
+                                       DurationNs resolution = kSecond) const {
+    return metrics_.query_metrics(service, from, to, resolution);
+  }
+
+  /// The RED-annotated service map over [from, to] (all-time by default).
+  metrics::ServiceMap service_map(TimestampNs from = 0,
+                                  TimestampNs to = ~TimestampNs{0}) const {
+    return metrics_.service_map(from, to);
+  }
+
+  /// Direct access to the aggregator (edge queries, canonical dumps,
+  /// telemetry).
+  const metrics::MetricsAggregator& metrics_aggregator() const {
+    return metrics_;
+  }
+
+  /// Prometheus-style text exposition: every aggregator family plus the
+  /// server's own IngestTelemetry/QueryTelemetry self-metrics.
+  std::string prometheus_metrics() const;
+
   /// Metrics correlated with a span via its flow tags.
   const netsim::FlowMetrics* metrics_for(const agent::Span& span) const;
   const netsim::DeviceMetrics* device_metrics(const std::string& name) const;
@@ -180,6 +210,7 @@ class DeepFlowServer {
   const netsim::ResourceRegistry* registry_;
   SpanStore store_;
   TraceAssembler assembler_;
+  metrics::MetricsAggregator metrics_;
   agent::SessionAggregator reaggregator_;
   std::unordered_map<std::string, agent::SpanBuilder> builders_;
   std::unordered_map<u64, std::string> straggler_hosts_;  // flow key -> host

@@ -86,6 +86,70 @@ TEST(Histogram, MergeCombinesCounts) {
   EXPECT_EQ(a.max(), 1'000'000u);
 }
 
+TEST(Histogram, MergeEmptyIsStrictNoop) {
+  LatencyHistogram a, empty;
+  a.record_n(1'000, 10);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_EQ(a.min(), 1'000u);
+  EXPECT_EQ(a.max(), 1'000u);
+  EXPECT_EQ(a.overflow_count(), 0u);
+  const u64 p50_before = a.p50();
+  a.merge(empty);
+  EXPECT_EQ(a.p50(), p50_before);
+}
+
+TEST(Histogram, MergeIntoEmptyAdoptsOther) {
+  LatencyHistogram target, source;
+  source.record_n(2'000, 5);
+  target.merge(source);
+  EXPECT_EQ(target.count(), 5u);
+  // The empty target's min sentinel must not survive the merge.
+  EXPECT_EQ(target.min(), 2'000u);
+  EXPECT_EQ(target.max(), 2'000u);
+}
+
+TEST(Histogram, MergeTwoEmptiesStaysEmpty) {
+  LatencyHistogram a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_EQ(a.p50(), 0u);
+}
+
+TEST(Histogram, ZeroSampleQuantilesAreZero) {
+  LatencyHistogram h;
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.value_at_quantile(q), 0u) << "q=" << q;
+  }
+}
+
+TEST(Histogram, OneSampleQuantilesAreExact) {
+  // With a single sample the observed range collapses to one point, so the
+  // range clamp makes every quantile exactly that sample — no bucket
+  // midpoint error.
+  for (const u64 value : {1ull, 999ull, 1'000ull, 123'456'789ull}) {
+    LatencyHistogram h;
+    h.record(value);
+    for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+      EXPECT_EQ(h.value_at_quantile(q), value)
+          << "value=" << value << " q=" << q;
+    }
+  }
+}
+
+TEST(Histogram, QuantilesNeverLeaveObservedRange) {
+  LatencyHistogram h;
+  h.record_n(10'000, 3);
+  h.record_n(20'000, 3);
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const u64 v = h.value_at_quantile(q);
+    EXPECT_GE(v, h.min()) << "q=" << q;
+    EXPECT_LE(v, h.max()) << "q=" << q;
+  }
+}
+
 TEST(Histogram, ResetClears) {
   LatencyHistogram h;
   h.record_n(5'000, 7);

@@ -1,0 +1,143 @@
+// Determinism of the metrics plane across pipeline shapes.
+//
+// The tracing-plane equivalence suite (test_parallel_equivalence.cpp) pins
+// the span store and assembled traces; this suite pins the NEW observable
+// the metrics subsystem adds: serial (1 drain worker, 1 shard) and parallel
+// (8 workers, 8 shards) ingest of the same deterministic workload must
+// produce byte-identical canonical metrics and service-map serializations.
+// The aggregator's folds are all commutative and the rollup rings retain
+// buckets by commutative max, so ingest order — which the parallel drain
+// permutes — must not be visible in any queryable surface.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/deployment.h"
+#include "metrics/exposition.h"
+#include "server/canonical.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+using workloads::Topology;
+
+struct MetricsSnapshot {
+  std::string canonical_metrics;
+  std::string canonical_service_map;
+  std::string store_dump;
+  std::string prometheus;
+  std::string server_prometheus;
+  metrics::MetricsTelemetry telemetry;
+};
+
+MetricsSnapshot run_pipeline(Topology topo, u32 drain_workers,
+                             size_t store_shards, double rps,
+                             bool metrics_enabled = true) {
+  core::DeploymentConfig config;
+  config.agent.drain_workers = drain_workers;
+  config.agent.collector.cpu_count = 4;
+  config.server.store_shards = store_shards;
+  config.server.metrics.enabled = metrics_enabled;
+  core::Deployment deepflow(topo.cluster.get(), config);
+  EXPECT_TRUE(deepflow.deploy()) << deepflow.error();
+  topo.app->run_constant_load(topo.entry, rps, 1 * kSecond);
+  deepflow.finish();
+
+  const metrics::MetricsAggregator& agg =
+      deepflow.server().metrics_aggregator();
+  MetricsSnapshot snap;
+  snap.canonical_metrics = agg.canonical_metrics();
+  snap.canonical_service_map = agg.canonical_service_map();
+  snap.store_dump = server::canonical_store_dump(deepflow.server().store());
+  // The aggregator exposition is fully deterministic; the server's
+  // prometheus_metrics() additionally carries wall-clock-derived rates
+  // (spans_per_sec), so only its structure is checked below.
+  snap.prometheus = metrics::prometheus_text(agg);
+  snap.server_prometheus = deepflow.server().prometheus_metrics();
+  snap.telemetry = agg.telemetry();
+  return snap;
+}
+
+struct EquivalenceCase {
+  const char* name;
+  Topology (*make)();
+  double rps;
+};
+
+const EquivalenceCase kCases[] = {
+    {"spring_boot_demo", [] { return workloads::make_spring_boot_demo(); },
+     25.0},
+    {"bookinfo", [] { return workloads::make_bookinfo(); }, 20.0},
+    {"mq_pipeline", [] { return workloads::make_mq_pipeline(); }, 15.0},
+};
+
+TEST(MetricsEquivalence, ParallelIngestMatchesSerialByteForByte) {
+  for (const EquivalenceCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    const MetricsSnapshot serial = run_pipeline(c.make(), 1, 1, c.rps);
+    const MetricsSnapshot parallel = run_pipeline(c.make(), 8, 8, c.rps);
+
+    EXPECT_FALSE(serial.canonical_metrics.empty()) << c.name;
+    EXPECT_EQ(serial.canonical_metrics, parallel.canonical_metrics) << c.name;
+    EXPECT_EQ(serial.canonical_service_map, parallel.canonical_service_map)
+        << c.name;
+    // Telemetry totals that are arrival-order-independent must match too.
+    EXPECT_EQ(serial.telemetry.spans_seen, parallel.telemetry.spans_seen)
+        << c.name;
+    EXPECT_EQ(serial.telemetry.service_samples,
+              parallel.telemetry.service_samples)
+        << c.name;
+    EXPECT_EQ(serial.telemetry.edge_samples, parallel.telemetry.edge_samples)
+        << c.name;
+    EXPECT_EQ(serial.telemetry.services, parallel.telemetry.services)
+        << c.name;
+    EXPECT_EQ(serial.telemetry.edges, parallel.telemetry.edges) << c.name;
+    // A 1-second run sits far inside every ring horizon: no late samples.
+    EXPECT_EQ(serial.telemetry.late_samples, 0u) << c.name;
+    EXPECT_EQ(parallel.telemetry.late_samples, 0u) << c.name;
+  }
+}
+
+TEST(MetricsEquivalence, SerialRunsAreBitwiseReproducible) {
+  const MetricsSnapshot a =
+      run_pipeline(workloads::make_spring_boot_demo(), 1, 1, 25.0);
+  const MetricsSnapshot b =
+      run_pipeline(workloads::make_spring_boot_demo(), 1, 1, 25.0);
+  EXPECT_EQ(a.canonical_metrics, b.canonical_metrics);
+  EXPECT_EQ(a.canonical_service_map, b.canonical_service_map);
+  EXPECT_EQ(a.prometheus, b.prometheus);
+  // The server scrape composes all three telemetry planes onto the
+  // aggregator families.
+  EXPECT_NE(a.server_prometheus.find("deepflow_service_requests_total"),
+            std::string::npos);
+  EXPECT_NE(a.server_prometheus.find("deepflow_ingest_spans"),
+            std::string::npos);
+  EXPECT_NE(a.server_prometheus.find("deepflow_query_rows_touched"),
+            std::string::npos);
+}
+
+TEST(MetricsEquivalence, MetricsPlaneDoesNotPerturbTracingPlane) {
+  // The aggregator only observes spans on their way into the store;
+  // toggling it must leave the stored spans byte-identical.
+  const MetricsSnapshot on =
+      run_pipeline(workloads::make_spring_boot_demo(), 2, 4, 25.0, true);
+  const MetricsSnapshot off =
+      run_pipeline(workloads::make_spring_boot_demo(), 2, 4, 25.0, false);
+  EXPECT_EQ(on.store_dump, off.store_dump);
+  EXPECT_TRUE(off.canonical_metrics.empty());
+  EXPECT_FALSE(on.canonical_metrics.empty());
+}
+
+TEST(MetricsEquivalence, ServiceMapNamesComeFromTheRegistry) {
+  // The fan-out demo resolves every endpoint to a service name — the map
+  // must label nodes/edges with those names, not raw IPs.
+  const MetricsSnapshot snap =
+      run_pipeline(workloads::make_spring_boot_demo(), 1, 1, 25.0);
+  EXPECT_NE(snap.canonical_service_map.find("svc|front"), std::string::npos);
+  EXPECT_NE(snap.canonical_service_map.find("edge|"), std::string::npos);
+  EXPECT_EQ(snap.canonical_service_map.find("svc|10."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepflow

@@ -1,0 +1,215 @@
+// Unit tests for the MetricsAggregator folding rules, query plane, and
+// canonical determinism surface. A null resource registry keeps endpoint
+// names as dotted-quad IPs, so these tests need no cluster.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "metrics/aggregator.h"
+
+namespace deepflow::metrics {
+namespace {
+
+constexpr u32 kClientIp = 0x0A000001;  // 10.0.0.1
+constexpr u32 kServerIp = 0x0A000002;  // 10.0.0.2
+
+agent::Span make_sys_span(bool server_side, TimestampNs start,
+                          DurationNs duration, bool ok = true,
+                          bool incomplete = false) {
+  agent::Span span;
+  span.kind = agent::SpanKind::kSystem;
+  span.from_server_side = server_side;
+  span.start_ts = start;
+  span.end_ts = start + duration;
+  span.ok = ok;
+  span.incomplete = incomplete;
+  span.int_tags.client_ip = kClientIp;
+  span.int_tags.server_ip = kServerIp;
+  span.tuple = FiveTuple{Ipv4{kClientIp}, Ipv4{kServerIp}, 40000, 80};
+  return span;
+}
+
+TEST(MetricsAggregatorTest, ServerSideSysSpanFoldsIntoService) {
+  MetricsAggregator agg(nullptr);
+  agg.record_span(make_sys_span(true, kSecond, 3 * kMillisecond));
+  agg.record_span(make_sys_span(true, kSecond, 5 * kMillisecond, false));
+
+  const ServiceMap map = agg.service_map();
+  ASSERT_EQ(map.nodes.size(), 1u);
+  EXPECT_EQ(map.nodes[0].name, "10.0.0.2");
+  EXPECT_EQ(map.nodes[0].red.requests, 2u);
+  EXPECT_EQ(map.nodes[0].red.errors, 1u);
+  EXPECT_EQ(map.nodes[0].red.duration_sum, 8 * kMillisecond);
+  EXPECT_TRUE(map.edges.empty());
+
+  const MetricsSeries series =
+      agg.query_metrics("10.0.0.2", 0, ~TimestampNs{0});
+  ASSERT_TRUE(series.found);
+  EXPECT_EQ(series.totals.requests, 2u);
+  ASSERT_EQ(series.buckets.size(), 1u);
+  EXPECT_EQ(series.buckets[0].bucket_start, kSecond);
+  EXPECT_EQ(series.buckets[0].requests, 2u);
+
+  EXPECT_FALSE(agg.query_metrics("unknown", 0, ~TimestampNs{0}).found);
+}
+
+TEST(MetricsAggregatorTest, ClientSideSysSpanFoldsIntoEdge) {
+  MetricsAggregator agg(nullptr);
+  agg.record_span(make_sys_span(false, kSecond, 4 * kMillisecond));
+
+  const ServiceMap map = agg.service_map();
+  EXPECT_TRUE(map.nodes.empty());
+  ASSERT_EQ(map.edges.size(), 1u);
+  EXPECT_EQ(map.edges[0].client, "10.0.0.1");
+  EXPECT_EQ(map.edges[0].server, "10.0.0.2");
+  EXPECT_EQ(map.edges[0].red.requests, 1u);
+
+  const MetricsSeries series =
+      agg.query_edge_metrics("10.0.0.1", "10.0.0.2", 0, ~TimestampNs{0});
+  ASSERT_TRUE(series.found);
+  EXPECT_EQ(series.key, "10.0.0.1->10.0.0.2");
+  EXPECT_EQ(series.totals.requests, 1u);
+}
+
+TEST(MetricsAggregatorTest, AppAndThirdPartySpansAreNotRedFolded) {
+  MetricsAggregator agg(nullptr);
+  agent::Span app = make_sys_span(true, kSecond, kMillisecond);
+  app.kind = agent::SpanKind::kApplication;
+  agg.record_span(app);
+  agent::Span third = make_sys_span(true, kSecond, kMillisecond);
+  third.kind = agent::SpanKind::kThirdParty;
+  agg.record_span(third);
+
+  const ServiceMap map = agg.service_map();
+  ASSERT_EQ(map.nodes.size(), 1u);  // app span creates the node...
+  EXPECT_EQ(map.nodes[0].red.requests, 0u);  // ...but no RED sample
+  EXPECT_EQ(map.nodes[0].app_spans, 1u);
+
+  const MetricsTelemetry t = agg.telemetry();
+  EXPECT_EQ(t.app_spans, 1u);
+  EXPECT_EQ(t.third_party_spans, 1u);
+  EXPECT_EQ(t.service_samples, 0u);
+}
+
+TEST(MetricsAggregatorTest, NetSpanCountsEdgeFrames) {
+  MetricsAggregator agg(nullptr);
+  agent::Span net = make_sys_span(false, kSecond, 0);
+  net.kind = agent::SpanKind::kNetwork;
+  agg.record_span(net);
+  agg.record_span(net);
+
+  const ServiceMap map = agg.service_map();
+  ASSERT_EQ(map.edges.size(), 1u);
+  EXPECT_EQ(map.edges[0].red.requests, 0u);
+  EXPECT_EQ(map.edges[0].net_frames, 2u);
+}
+
+TEST(MetricsAggregatorTest, FlowRecordsAttributeThroughDirectory) {
+  MetricsAggregator agg(nullptr);
+  agg.record_span(make_sys_span(false, kSecond, kMillisecond));
+
+  netsim::FlowMetrics flow;
+  flow.bytes = 1000;
+  flow.packets = 10;
+  flow.retransmissions = 2;
+  flow.resets = 1;
+  // Deliver from the server's perspective: canonicalization must still hit
+  // the directory entry registered by the client-side span.
+  const FiveTuple reversed{Ipv4{kServerIp}, Ipv4{kClientIp}, 80, 40000};
+  agg.record_flow(reversed, flow);
+
+  const ServiceMap map = agg.service_map();
+  ASSERT_EQ(map.edges.size(), 1u);
+  EXPECT_EQ(map.edges[0].bytes, 1000u);
+  EXPECT_EQ(map.edges[0].packets, 10u);
+  EXPECT_EQ(map.edges[0].retransmissions, 2u);
+  EXPECT_EQ(map.edges[0].resets, 1u);
+
+  // A tuple no client-side span ever registered is unattributable.
+  const FiveTuple unknown{Ipv4{0x0B000001}, Ipv4{0x0B000002}, 1, 2};
+  agg.record_flow(unknown, flow);
+  const MetricsTelemetry t = agg.telemetry();
+  EXPECT_EQ(t.flows_folded, 1u);
+  EXPECT_EQ(t.flows_unattributed, 1u);
+}
+
+TEST(MetricsAggregatorTest, DisabledAggregatorIgnoresEverything) {
+  MetricsConfig config;
+  config.enabled = false;
+  MetricsAggregator agg(nullptr, config);
+  agg.record_span(make_sys_span(true, kSecond, kMillisecond));
+  agg.record_flow(FiveTuple{Ipv4{kClientIp}, Ipv4{kServerIp}, 1, 2}, {});
+
+  EXPECT_TRUE(agg.service_map().nodes.empty());
+  EXPECT_EQ(agg.telemetry().spans_seen, 0u);
+  EXPECT_TRUE(agg.canonical_metrics().empty());
+}
+
+TEST(MetricsAggregatorTest, WindowedServiceMapSumsRetainedBuckets) {
+  MetricsAggregator agg(nullptr);
+  agg.record_span(make_sys_span(true, 1 * kSecond, kMillisecond));
+  agg.record_span(make_sys_span(true, 50 * kSecond, kMillisecond, false));
+
+  const ServiceMap all = agg.service_map();
+  ASSERT_EQ(all.nodes.size(), 1u);
+  EXPECT_EQ(all.nodes[0].red.requests, 2u);
+
+  const ServiceMap early = agg.service_map(0, 10 * kSecond);
+  ASSERT_EQ(early.nodes.size(), 1u);
+  EXPECT_EQ(early.nodes[0].red.requests, 1u);
+  EXPECT_EQ(early.nodes[0].red.errors, 0u);
+
+  const ServiceMap late = agg.service_map(40 * kSecond, 60 * kSecond);
+  ASSERT_EQ(late.nodes.size(), 1u);
+  EXPECT_EQ(late.nodes[0].red.requests, 1u);
+  EXPECT_EQ(late.nodes[0].red.errors, 1u);
+}
+
+TEST(MetricsAggregatorTest, OneSampleSummaryIsExact) {
+  MetricsAggregator agg(nullptr);
+  agg.record_span(make_sys_span(true, kSecond, 7 * kMillisecond));
+  const RedSummary red = agg.service_map().nodes[0].red;
+  // Thanks to the histogram range clamp, every quantile of a one-sample
+  // histogram is the sample itself.
+  EXPECT_EQ(red.p50, 7 * kMillisecond);
+  EXPECT_EQ(red.p90, 7 * kMillisecond);
+  EXPECT_EQ(red.p99, 7 * kMillisecond);
+  EXPECT_EQ(red.mean(), 7 * kMillisecond);
+}
+
+TEST(MetricsAggregatorTest, CanonicalOutputIsOrderAndStripeInvariant) {
+  // A shuffled span stream folded into aggregators with different stripe
+  // counts must serialize identically — the in-process analogue of the
+  // serial-vs-parallel pipeline equivalence.
+  std::vector<agent::Span> spans;
+  std::mt19937 rng(42);
+  for (u32 i = 0; i < 200; ++i) {
+    agent::Span span = make_sys_span(i % 3 != 0, (1 + i % 7) * kSecond,
+                                     (i + 1) * kMicrosecond, i % 5 != 0,
+                                     i % 11 == 0);
+    span.int_tags.client_ip = kClientIp + i % 4;
+    span.int_tags.server_ip = kServerIp + i % 3;
+    if (i % 13 == 0) span.kind = agent::SpanKind::kNetwork;
+    spans.push_back(span);
+  }
+
+  MetricsConfig one;
+  one.stripes = 1;
+  MetricsAggregator serial(nullptr, one);
+  for (const agent::Span& span : spans) serial.record_span(span);
+
+  std::shuffle(spans.begin(), spans.end(), rng);
+  MetricsConfig eight;
+  eight.stripes = 8;
+  MetricsAggregator shuffled(nullptr, eight);
+  for (const agent::Span& span : spans) shuffled.record_span(span);
+
+  EXPECT_FALSE(serial.canonical_metrics().empty());
+  EXPECT_EQ(serial.canonical_metrics(), shuffled.canonical_metrics());
+  EXPECT_EQ(serial.canonical_service_map(), shuffled.canonical_service_map());
+}
+
+}  // namespace
+}  // namespace deepflow::metrics

@@ -1,0 +1,74 @@
+// Unit tests for the Prometheus-style text exposition.
+#include <gtest/gtest.h>
+
+#include "metrics/exposition.h"
+
+namespace deepflow::metrics {
+namespace {
+
+TEST(MetricsExposition, LabelValueEscaping) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+}
+
+TEST(MetricsExposition, WriterRendersFamiliesAndSamples) {
+  PrometheusWriter writer;
+  writer.family("df_test_total", "counter", "A test family.");
+  writer.sample("df_test_total", {{"service", "cart"}}, u64{42});
+  writer.sample("df_test_total",
+                {{"client", "a"}, {"server", "b"}}, u64{7});
+  writer.sample("df_bare", {}, u64{1});
+
+  const std::string expected =
+      "# HELP df_test_total A test family.\n"
+      "# TYPE df_test_total counter\n"
+      "df_test_total{service=\"cart\"} 42\n"
+      "df_test_total{client=\"a\",server=\"b\"} 7\n"
+      "df_bare 1\n";
+  EXPECT_EQ(writer.str(), expected);
+}
+
+TEST(MetricsExposition, IntegralDoublesRenderAsIntegers) {
+  PrometheusWriter writer;
+  writer.sample("df_x", {}, 3.0);
+  writer.sample("df_y", {}, 3.25);
+  EXPECT_EQ(writer.str(), "df_x 3\ndf_y 3.25\n");
+}
+
+TEST(MetricsExposition, AggregatorExpositionContainsEveryPlane) {
+  MetricsAggregator agg(nullptr);
+  agent::Span span;
+  span.kind = agent::SpanKind::kSystem;
+  span.from_server_side = true;
+  span.start_ts = kSecond;
+  span.end_ts = kSecond + 3 * kMillisecond;
+  span.int_tags.client_ip = 0x0A000001;
+  span.int_tags.server_ip = 0x0A000002;
+  span.tuple = FiveTuple{Ipv4{0x0A000001}, Ipv4{0x0A000002}, 40000, 80};
+  agg.record_span(span);
+  span.from_server_side = false;
+  agg.record_span(span);
+
+  const std::string text = prometheus_text(agg);
+  EXPECT_NE(text.find("# TYPE deepflow_service_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("deepflow_service_requests_total{service=\"10.0.0.2\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("deepflow_edge_requests_total{client=\"10.0.0.1\","
+                      "server=\"10.0.0.2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepflow_service_duration_ns{service=\"10.0.0.2\","
+                      "quantile=\"0.5\"} 3000000"),
+            std::string::npos);
+  // Self-telemetry rides along.
+  EXPECT_NE(text.find("deepflow_metrics_spans_seen 2"), std::string::npos);
+
+  // Deterministic: rendering twice yields identical text.
+  EXPECT_EQ(text, prometheus_text(agg));
+}
+
+}  // namespace
+}  // namespace deepflow::metrics

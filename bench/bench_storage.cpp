@@ -1,0 +1,143 @@
+// Storage-tier micro bench: flush overhead on the ingest path, segment
+// encoding density, cold recovery and warm-scan throughput, compaction cost.
+// Feeds the EXPERIMENTS.md flush-overhead/cold-query table.
+//
+//   bench_storage [--quick] [--json out.json]
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/span_store.h"
+#include "storage/segment_store.h"
+
+namespace deepflow {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+std::string fmt_rate(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fM spans/s", v / 1e6);
+  return buf;
+}
+
+int run(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const size_t span_count = args.quick ? 20'000 : 200'000;
+  const u32 segment_spans = 4'096;
+
+  bench::print_header("Storage tier: flush, recovery and warm-scan throughput");
+  const auto cluster = bench::make_synthetic_cluster(8, 8, 4);
+  Rng rng(2024);
+  std::vector<agent::Span> spans;
+  spans.reserve(span_count);
+  for (size_t i = 0; i < span_count; ++i) {
+    spans.push_back(bench::make_synthetic_span(i + 1, rng, cluster));
+  }
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("df-bench-storage-" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  bench::JsonReport report(args.json_path);
+  report.add("spans", static_cast<double>(span_count));
+
+  // Baseline: the same ingest with the storage tier off.
+  double baseline_rate = 0;
+  {
+    server::SpanStore store(server::EncoderKind::kSmart, &cluster.registry);
+    bench::WallTimer timer;
+    for (const agent::Span& s : spans) store.insert(s);
+    const double secs = timer.elapsed_seconds();
+    baseline_rate = static_cast<double>(span_count) / secs;
+    bench::print_row("ingest, storage off", fmt_rate(baseline_rate));
+    report.add("ingest_baseline_spans_per_sec", baseline_rate);
+  }
+
+  // Flush-enabled ingest: inline sealing at segment_spans, then a forced
+  // flush of the tail — the full durability cost on the write path.
+  storage::StorageConfig config;
+  config.enabled = true;
+  config.dir = dir.string();
+  config.segment_spans = segment_spans;
+  u64 disk_bytes = 0;
+  {
+    server::SpanStore store(server::EncoderKind::kSmart, &cluster.registry, 1,
+                            config);
+    bench::WallTimer timer;
+    for (const agent::Span& s : spans) store.insert(s);
+    store.flush_storage();
+    const double secs = timer.elapsed_seconds();
+    const double rate = static_cast<double>(span_count) / secs;
+    const storage::StorageTelemetry t = store.storage_telemetry();
+    disk_bytes = t.disk_bytes;
+    const double overhead_pct =
+        baseline_rate > 0 ? (baseline_rate / rate - 1.0) * 100.0 : 0;
+    bench::print_row("ingest + inline flush", fmt_rate(rate));
+    bench::print_row("flush overhead vs baseline",
+                     fmt_double(overhead_pct) + "%");
+    bench::print_row("segments written", std::to_string(t.segments_written));
+    bench::print_row(
+        "segment bytes/span",
+        fmt_double(static_cast<double>(t.disk_bytes) / span_count));
+    report.add("ingest_flush_spans_per_sec", rate);
+    report.add("flush_overhead_pct", overhead_pct);
+    report.add("segment_bytes_per_span",
+               static_cast<double>(t.disk_bytes) / span_count);
+    // Compaction pass over the hot-backed files.
+    bench::WallTimer compact_timer;
+    store.compact_storage();
+    const double compact_secs = compact_timer.elapsed_seconds();
+    bench::print_row("compaction pass", fmt_double(compact_secs * 1e3) + " ms");
+    report.add("compaction_ms", compact_secs * 1e3);
+  }
+
+  // Cold recovery: validate + open every segment, claim every id.
+  {
+    bench::WallTimer timer;
+    server::SpanStore store(server::EncoderKind::kSmart, &cluster.registry, 1,
+                            config);
+    const double secs = timer.elapsed_seconds();
+    const storage::StorageTelemetry t = store.storage_telemetry();
+    const double rate = static_cast<double>(t.recovered_spans) / secs;
+    bench::print_row("cold recovery", fmt_rate(rate));
+    report.add("recover_spans_per_sec", rate);
+
+    // Warm scan: promote + materialize every recovered span (the cold-query
+    // worst case — nothing is in RAM yet).
+    bench::WallTimer scan_timer;
+    const auto ids = store.span_list(0, ~TimestampNs{0});
+    const auto rows = store.materialize_many(ids);
+    const double scan_secs = scan_timer.elapsed_seconds();
+    const double scan_rate = static_cast<double>(rows.size()) / scan_secs;
+    bench::print_row("warm scan (cold query)", fmt_rate(scan_rate));
+    report.add("warm_scan_spans_per_sec", scan_rate);
+
+    // Hot re-read of the now-promoted rows for the hot/cold ratio.
+    bench::WallTimer hot_timer;
+    const auto hot_rows = store.materialize_many(ids);
+    const double hot_secs = hot_timer.elapsed_seconds();
+    bench::print_row("warm re-scan (promoted)",
+                     fmt_rate(static_cast<double>(hot_rows.size()) / hot_secs));
+    report.add("warm_rescan_spans_per_sec",
+               static_cast<double>(hot_rows.size()) / hot_secs);
+  }
+
+  bench::print_row("disk bytes", std::to_string(disk_bytes));
+  report.add("disk_bytes", static_cast<double>(disk_bytes));
+  fs::remove_all(dir);
+  return report.write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace deepflow
+
+int main(int argc, char** argv) { return deepflow::run(argc, argv); }

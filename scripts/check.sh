@@ -8,12 +8,14 @@
 #   scripts/check.sh            # all configs
 #   scripts/check.sh release    # release only
 #   scripts/check.sh tsan       # tsan only (thread-pool, ring,
-#                               # parallel/query-equivalence + chaos/metrics
-#                               # suites and a bench_fig15_query_delay
-#                               # --quick smoke)
+#                               # parallel/query/persistence-equivalence +
+#                               # chaos/metrics/storage-tier suites and
+#                               # bench_fig15_query_delay/bench_storage
+#                               # --quick smokes)
 #   scripts/check.sh asan       # asan only (fault/transport/chaos/metrics
-#                               # suites and a bench_fault_recovery
-#                               # --quick smoke)
+#                               # suites, the segment corruption/recovery
+#                               # sweeps, and bench_fault_recovery/
+#                               # bench_storage --quick smokes)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -37,7 +39,7 @@ run_tsan() {
   # gate on the suites that exercise the parallel ingest pipeline.
   (cd "$root/build-tsan" && TSAN_OPTIONS="halt_on_error=1" ctest \
     --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector|Metrics')
+    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector|Metrics|SegmentStoreTier|PersistenceEquivalence')
   echo "== tsan: bench_fig15_query_delay --quick smoke =="
   # Shared-mutex readers + batch assembly under TSan on a tiny workload:
   # catches query-path races the unit suites cannot reach.
@@ -51,6 +53,12 @@ run_tsan() {
   cmake --build --preset tsan -j "$jobs" --target bench_metrics_overhead
   TSAN_OPTIONS="halt_on_error=1" \
     "$root/build-tsan/bench/bench_metrics_overhead" --quick
+  echo "== tsan: bench_storage --quick smoke =="
+  # Inline sealing on the insert path plus the background flush thread and
+  # warm-tier promotion under shared locks.
+  cmake --build --preset tsan -j "$jobs" --target bench_storage
+  TSAN_OPTIONS="halt_on_error=1" \
+    "$root/build-tsan/bench/bench_storage" --quick
 }
 
 run_asan() {
@@ -64,11 +72,16 @@ run_asan() {
   # rings behind striped locks on the same ingest path.
   (cd "$root/build-asan" && ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
     ctest --output-on-failure -j "$jobs" \
-    -R 'Chaos|SpanTransport|FaultInjector|Metrics')
+    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence')
   echo "== asan: bench_fault_recovery --quick smoke =="
   cmake --build --preset asan -j "$jobs" --target bench_fault_recovery
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
     "$root/build-asan/bench/bench_fault_recovery" --quick
+  echo "== asan: bench_storage --quick smoke =="
+  # The mmap'd read path, segment decode and warm promotion under ASan.
+  cmake --build --preset asan -j "$jobs" --target bench_storage
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+    "$root/build-asan/bench/bench_storage" --quick
 }
 
 case "$what" in

@@ -10,6 +10,8 @@ std::string_view fault_site_name(FaultSite site) {
       return "perf-ring-submit";
     case FaultSite::kTransportSend:
       return "transport-send";
+    case FaultSite::kSegmentWrite:
+      return "segment-write";
   }
   return "unknown";
 }
@@ -76,6 +78,27 @@ FaultDecision FaultInjector::decide(FaultSite site, u8 supported) {
     ++s.counters.ts_corruptions;
   }
   return decision;
+}
+
+MediaFault FaultInjector::media_fault(FaultSite site, u64 len) {
+  Site& s = sites_[static_cast<size_t>(site)];
+  std::lock_guard lock(s.mu);
+  ++s.counters.consults;
+
+  // Fixed 3-draw schedule (hit, offset, mask) regardless of outcome, for
+  // the same nested-fault-set property decide() guarantees.
+  const bool hit = s.rng.chance(s.profile.media_corrupt);
+  const u64 offset = s.rng.below(len > 0 ? len : 1);
+  const u8 mask = static_cast<u8>(s.rng.between(1, 255));
+
+  MediaFault fault;
+  if (hit && len > 0) {
+    fault.corrupt = true;
+    fault.offset = offset;
+    fault.xor_mask = mask;
+    ++s.counters.media_corruptions;
+  }
+  return fault;
 }
 
 FaultSiteCounters FaultInjector::counters(FaultSite site) const {

@@ -39,8 +39,9 @@ namespace deepflow {
 enum class FaultSite : u8 {
   kPerfRingSubmit = 0,  // kernel -> agent: per-CPU perf-ring submit
   kTransportSend = 1,   // agent -> server: span-batch send
+  kSegmentWrite = 2,    // server -> disk: sealed-segment write (media rot)
 };
-constexpr size_t kFaultSiteCount = 2;
+constexpr size_t kFaultSiteCount = 3;
 
 std::string_view fault_site_name(FaultSite site);
 
@@ -52,9 +53,13 @@ struct FaultProfile {
   double corrupt_ts = 0.0;  // unit's timestamps are skewed (clock fault)
   u32 max_delay_ticks = 4;        // delay drawn uniformly from [1, max]
   i64 max_ts_skew_ns = 1000000;   // skew drawn uniformly from [-max, +max]
+  /// Media-byte corruption probability, consulted through media_fault()
+  /// (never decide()): a hit flips bits at one offset of the written image.
+  double media_corrupt = 0.0;
 
   bool any() const {
-    return drop > 0 || duplicate > 0 || delay > 0 || corrupt_ts > 0;
+    return drop > 0 || duplicate > 0 || delay > 0 || corrupt_ts > 0 ||
+           media_corrupt > 0;
   }
 };
 
@@ -90,6 +95,16 @@ struct FaultSiteCounters {
   u64 duplicates = 0;
   u64 delays = 0;
   u64 ts_corruptions = 0;
+  u64 media_corruptions = 0;
+};
+
+/// A media-rot event for one written image: XOR `xor_mask` into the byte at
+/// `offset`. `xor_mask` is never zero on a hit, so a reported fault always
+/// changes the bytes.
+struct MediaFault {
+  bool corrupt = false;
+  u64 offset = 0;
+  u8 xor_mask = 0;
 };
 
 class FaultInjector {
@@ -107,6 +122,13 @@ class FaultInjector {
   /// kinds the caller can apply; unsupported kinds are reported clean and
   /// not counted, but their draws are still consumed (stream stability).
   FaultDecision decide(FaultSite site, u8 supported = kFaultAll);
+
+  /// Draw one media-rot decision for an image of `len` bytes about to hit
+  /// stable storage. Separate from decide() — its own fixed 3-draw schedule
+  /// on the site's stream, so storage consults never shift the decision
+  /// sequence of the delivery sites (and vice versa: distinct sites,
+  /// distinct streams).
+  MediaFault media_fault(FaultSite site, u64 len);
 
   FaultSiteCounters counters(FaultSite site) const;
 

@@ -18,7 +18,7 @@ u64 steady_now_ns() {
 DeepFlowServer::DeepFlowServer(const netsim::ResourceRegistry* registry,
                                ServerConfig config)
     : registry_(registry),
-      store_(config.encoder, registry, config.store_shards),
+      store_(config.encoder, registry, config.store_shards, config.storage),
       assembler_(&store_, config.assembler),
       metrics_(registry, config.metrics),
       reaggregator_(config.reaggregation) {
@@ -26,6 +26,20 @@ DeepFlowServer::DeepFlowServer(const netsim::ResourceRegistry* registry,
   dedup_stripes_.reserve(stripes);
   for (size_t i = 0; i < stripes; ++i) {
     dedup_stripes_.push_back(std::make_unique<DedupStripe>());
+  }
+  if (store_.storage_enabled()) {
+    // Recovered spans were deduplicated in their first lifetime; prime the
+    // seen-set so an at-least-once transport replaying them after the
+    // restart does not store them twice.
+    for (const u64 id : store_.recovered_ids()) {
+      dedup_stripes_[id % dedup_stripes_.size()]->seen.insert(id);
+    }
+    // Re-fold them into the metrics plane: the aggregator is
+    // order-insensitive, so the rebuilt RED/service-map state is
+    // byte-identical to a lifetime that never restarted.
+    for (const agent::Span& span : store_.recovered_spans()) {
+      metrics_.record_span(span);
+    }
   }
 }
 
@@ -243,6 +257,30 @@ std::string DeepFlowServer::prometheus_metrics() const {
   for (const auto& [name, value] : query_gauges) {
     writer.family(name, "gauge", "Server query-path self-telemetry.");
     writer.sample(name, {}, value);
+  }
+
+  if (store_.storage_enabled()) {
+    const storage::StorageTelemetry st = store_.storage_telemetry();
+    const std::pair<const char*, u64> storage_gauges[] = {
+        {"deepflow_storage_segments_written", st.segments_written},
+        {"deepflow_storage_flushed_spans", st.flushed_spans},
+        {"deepflow_storage_flush_batches", st.flush_batches},
+        {"deepflow_storage_recovered_segments", st.recovered_segments},
+        {"deepflow_storage_recovered_spans", st.recovered_spans},
+        {"deepflow_storage_torn_segments", st.torn_segments},
+        {"deepflow_storage_quarantined_segments", st.quarantined_segments},
+        {"deepflow_storage_decode_failures", st.decode_failures},
+        {"deepflow_storage_compactions", st.compactions},
+        {"deepflow_storage_compacted_segments", st.compacted_segments},
+        {"deepflow_storage_warm_searches", st.warm_searches},
+        {"deepflow_storage_bloom_segment_skips", st.bloom_segment_skips},
+        {"deepflow_storage_warm_rows_loaded", st.warm_rows_loaded},
+        {"deepflow_storage_disk_bytes", st.disk_bytes},
+    };
+    for (const auto& [name, value] : storage_gauges) {
+      writer.family(name, "gauge", "Persistent segment-store telemetry.");
+      writer.sample(name, {}, value);
+    }
   }
   return writer.str();
 }

@@ -34,6 +34,10 @@ struct ServerConfig {
   /// Streaming metrics plane (AutoMetrics): every deduplicated span also
   /// folds into the RED/service-map aggregator on the ingest path.
   metrics::MetricsConfig metrics;
+  /// Persistent segment store (off by default): sealed span batches are
+  /// flushed to columnar segment files and recovered on restart — see
+  /// storage/segment_store.h for the knobs.
+  storage::StorageConfig storage;
 };
 
 /// Snapshot of network metrics correlated to a flow (tag-based correlation,

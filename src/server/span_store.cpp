@@ -33,8 +33,8 @@ u64 bloom_key_hash(BloomKind kind, u64 value) {
 
 SpanStore::SpanStore(EncoderKind encoder_kind,
                      const netsim::ResourceRegistry* registry,
-                     size_t shard_count)
-    : registry_(registry) {
+                     size_t shard_count, storage::StorageConfig storage)
+    : registry_(registry), encoder_kind_(encoder_kind) {
   const size_t count = shard_count == 0 ? 1 : shard_count;
   shards_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -48,6 +48,55 @@ SpanStore::SpanStore(EncoderKind encoder_kind,
     for (size_t i = 0; i < count; ++i) {
       directory_.push_back(std::make_unique<DirectoryStripe>());
     }
+  }
+
+  if (storage.enabled && !storage.dir.empty()) {
+    // Low-cardinality blobs reference shard-private dictionaries that die
+    // with the process, so segments re-encode their tags against a
+    // per-segment dictionary; direct/smart blobs are self-contained and
+    // stored verbatim.
+    tag_mode_ = encoder_kind == EncoderKind::kLowCardinality
+                    ? storage::TagColumnMode::kSegmentDict
+                    : storage::TagColumnMode::kEncoderBlob;
+    warm_decoder_ = make_encoder(encoder_kind);
+    warm_ = std::make_unique<WarmTier>();
+    storage_ = std::make_unique<storage::SegmentStore>(std::move(storage));
+    storage_->recover();
+    // Claim every recovered id so a new insert colliding with a warm span
+    // is remapped instead of shadowing it (the same arbitration insert()
+    // applies between hot rows).
+    for (const u64 id : storage_->serving_ids()) {
+      warm_ids_.insert(id);
+      if (!directory_.empty()) claim_id(id, kWarmShard);
+    }
+    if (storage_->config().background_flush) {
+      flush_thread_ = std::thread([this] {
+        const auto interval = std::chrono::milliseconds(
+            std::max<u32>(1, storage_->config().flush_interval_ms));
+        std::unique_lock lock(flush_mu_);
+        while (!stop_flush_) {
+          flush_cv_.wait_for(lock, interval);
+          if (stop_flush_) break;
+          lock.unlock();
+          flush_sealed();
+          lock.lock();
+        }
+      });
+    }
+  }
+}
+
+SpanStore::~SpanStore() {
+  if (flush_thread_.joinable()) {
+    {
+      std::lock_guard lock(flush_mu_);
+      stop_flush_ = true;
+    }
+    flush_cv_.notify_all();
+    flush_thread_.join();
+  }
+  if (storage_ != nullptr && storage_->config().flush_on_close) {
+    flush_storage();
   }
 }
 
@@ -90,6 +139,8 @@ u64 SpanStore::insert(agent::Span span) {
   // id is claimed before the row is inserted; readers that win the race see
   // the directory entry but no row yet — same as an incomplete insert.
   if (!directory_.empty()) {
+    // Recovered warm ids are pre-claimed (ctor), so collisions with the
+    // previous lifetime's spans remap exactly like hot collisions.
     if (span.span_id == 0 || !claim_id(span.span_id, idx)) {
       span.span_id =
           (u64{1} << 56) | (static_cast<u64>(idx) << 40) |
@@ -99,7 +150,8 @@ u64 SpanStore::insert(agent::Span span) {
   }
   std::unique_lock lock(shard.mu);
   if (directory_.empty() &&
-      (span.span_id == 0 || shard.rows.contains(span.span_id))) {
+      (span.span_id == 0 || shard.rows.contains(span.span_id) ||
+       warm_ids_.contains(span.span_id))) {
     span.span_id =
         (u64{1} << 56) | (static_cast<u64>(idx) << 40) |
         (shard.remap_counter.fetch_add(1, std::memory_order_relaxed) + 1);
@@ -117,6 +169,17 @@ u64 SpanStore::insert(agent::Span span) {
   // (node-based map, so the address is stable for the store's lifetime).
   const auto [it, inserted] = shard.rows.emplace(id, std::move(row));
   index_span(shard, it->second, id);
+  bool seal = false;
+  if (storage_ != nullptr) {
+    shard.unflushed.push_back(id);
+    seal = !storage_->config().background_flush &&
+           shard.unflushed.size() >= storage_->config().segment_spans;
+  }
+  lock.unlock();
+  // Inline seal (no background thread): the inserting thread pays the
+  // flush, like a memtable rotation. Racing inserters are fine — whoever
+  // gets there first steals the batch, the others see an empty window.
+  if (seal) flush_shard(idx, /*force=*/false);
   return id;
 }
 
@@ -158,35 +221,48 @@ const SpanStore::Shard* SpanStore::locate(u64 span_id) const {
       *directory_[mix64(span_id) % directory_.size()];
   std::shared_lock lock(stripe.mu);
   const auto it = stripe.shard_of.find(span_id);
-  if (it == stripe.shard_of.end()) return nullptr;
+  // Warm ids are claimed with the kWarmShard sentinel: no hot shard owns
+  // them, the caller falls through to the warm tier.
+  if (it == stripe.shard_of.end() || it->second >= shards_.size()) {
+    return nullptr;
+  }
   return shards_[it->second].get();
 }
 
 const SpanRow* SpanStore::row(u64 span_id) const {
   rows_touched_.fetch_add(1, std::memory_order_relaxed);
   const Shard* shard = locate(span_id);
-  if (shard == nullptr) return nullptr;
-  shard_locks_.fetch_add(1, std::memory_order_relaxed);
-  std::shared_lock lock(shard->mu);
-  const auto it = shard->rows.find(span_id);
-  // Safe to hand out after unlocking: rows are node-based and immutable
-  // once inserted.
-  if (it != shard->rows.end()) return &it->second;
-  return nullptr;
+  if (shard != nullptr) {
+    shard_locks_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock lock(shard->mu);
+    const auto it = shard->rows.find(span_id);
+    // Safe to hand out after unlocking: rows are node-based and immutable
+    // once inserted.
+    if (it != shard->rows.end()) return &it->second;
+  }
+  return warm_row(span_id);
 }
 
 agent::Span SpanStore::materialize(u64 span_id) const {
   rows_touched_.fetch_add(1, std::memory_order_relaxed);
   const Shard* shard = locate(span_id);
-  if (shard == nullptr) return {};
-  shard_locks_.fetch_add(1, std::memory_order_relaxed);
-  std::shared_lock lock(shard->mu);
-  const auto it = shard->rows.find(span_id);
-  if (it == shard->rows.end()) return {};
-  agent::Span span = it->second.span;
-  if (registry_ != nullptr) {
-    span.tags = shard->encoder->decode(it->second.tag_blob, span, *registry_);
+  if (shard != nullptr) {
+    shard_locks_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock lock(shard->mu);
+    const auto it = shard->rows.find(span_id);
+    if (it != shard->rows.end()) {
+      agent::Span span = it->second.span;
+      if (registry_ != nullptr) {
+        span.tags =
+            shard->encoder->decode(it->second.tag_blob, span, *registry_);
+      }
+      return span;
+    }
   }
+  const SpanRow* warm = warm_row(span_id);
+  if (warm == nullptr) return {};
+  agent::Span span = warm->span;
+  if (registry_ != nullptr) span.tags = warm_tags(*warm);
   return span;
 }
 
@@ -206,7 +282,7 @@ std::vector<agent::Span> SpanStore::materialize_many(
         *directory_[mix64(span_ids[i]) % directory_.size()];
     std::shared_lock lock(stripe.mu);
     const auto it = stripe.shard_of.find(span_ids[i]);
-    if (it != stripe.shard_of.end()) {
+    if (it != stripe.shard_of.end() && it->second < shards_.size()) {
       by_shard[it->second].push_back(static_cast<u32>(i));
     }
   }
@@ -220,6 +296,8 @@ std::vector<agent::Span> SpanStore::materialize_many(
       if (it != shard.rows.end()) rows[i] = &it->second;
     }
   }
+  // Ids the hot shards don't hold may live in the warm tier.
+  if (storage_ != nullptr) warm_fill(span_ids, rows);
   return materialize_rows(rows);
 }
 
@@ -229,9 +307,20 @@ std::vector<agent::Span> SpanStore::materialize_rows(
   std::vector<agent::Span> out(rows.size());
 
   // Group batch positions by owning shard so each shard is locked once.
+  // Warm-tier rows (shard == kWarmShard) decode through their own path.
   std::vector<std::vector<u32>> by_shard(shards_.size());
+  std::vector<u32> warm_group;
   for (size_t i = 0; i < rows.size(); ++i) {
-    if (rows[i] != nullptr) by_shard[rows[i]->shard].push_back(static_cast<u32>(i));
+    if (rows[i] == nullptr) continue;
+    if (rows[i]->shard == kWarmShard) {
+      warm_group.push_back(static_cast<u32>(i));
+    } else {
+      by_shard[rows[i]->shard].push_back(static_cast<u32>(i));
+    }
+  }
+  for (const u32 i : warm_group) {
+    out[i] = rows[i]->span;
+    if (registry_ != nullptr) out[i].tags = warm_tags(*rows[i]);
   }
 
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -431,6 +520,10 @@ std::vector<const SpanRow*> SpanStore::search_rows(
       if (it != shard.by_otel_id.end()) emit(it->second);
     }
   }
+  // Warm tier: the same keys probed against the serving segments (Bloom
+  // filters prune whole segments, matches are promoted into the arena so
+  // the returned pointers obey the same stability contract as hot rows).
+  if (storage_ != nullptr) warm_search(filter, out);
   // Deterministic order: ascending span id (ids are unique, so duplicate
   // hits — a span matching several keys — collapse via unique()).
   std::sort(out.begin(), out.end(), [](const SpanRow* a, const SpanRow* b) {
@@ -473,7 +566,18 @@ std::vector<u64> SpanStore::span_list(TimestampNs from, TimestampNs to,
       scan();
     }
   }
-  if (shards_.size() > 1) std::sort(merged.begin(), merged.end());
+  bool warm_added = false;
+  if (storage_ != nullptr) {
+    for (const auto& [ts, id] : storage_->time_entries()) {
+      if (ts >= from && ts <= to) {
+        merged.emplace_back(ts, id);
+        warm_added = true;
+      }
+    }
+  }
+  if (shards_.size() > 1 || warm_added) {
+    std::sort(merged.begin(), merged.end());
+  }
   std::vector<u64> out;
   out.reserve(std::min(limit, merged.size()));
   for (const auto& [ts, id] : merged) {
@@ -489,6 +593,9 @@ size_t SpanStore::row_count() const {
     std::shared_lock lock(shard->mu);
     n += shard->rows.size();
   }
+  // Warm spans count once: promotion copies a serving row, it does not
+  // create a new one.
+  if (storage_ != nullptr) n += storage_->serving_span_count();
   return n;
 }
 
@@ -522,6 +629,205 @@ u64 SpanStore::encoder_aux_bytes() const {
 
 std::string_view SpanStore::encoder_name() const {
   return shards_[0]->encoder->name();
+}
+
+// ---- Persistence. ---------------------------------------------------------
+
+const SpanRow* SpanStore::warm_row(u64 span_id) const {
+  if (storage_ == nullptr || !warm_ids_.contains(span_id)) return nullptr;
+  {
+    std::shared_lock lock(warm_->mu);
+    const auto it = warm_->by_id.find(span_id);
+    if (it != warm_->by_id.end()) return it->second;
+  }
+  auto seg_row = storage_->load_row(span_id);
+  if (!seg_row) return nullptr;  // poisoned segment: degrade, don't crash
+  return promote(std::move(*seg_row));
+}
+
+void SpanStore::warm_fill(const std::vector<u64>& span_ids,
+                          std::vector<const SpanRow*>& rows) const {
+  // Serve what the warm arena already holds, collect the rest.
+  std::vector<u32> pending;
+  {
+    std::shared_lock lock(warm_->mu);
+    for (size_t i = 0; i < span_ids.size(); ++i) {
+      if (rows[i] != nullptr || !warm_ids_.contains(span_ids[i])) continue;
+      const auto it = warm_->by_id.find(span_ids[i]);
+      if (it != warm_->by_id.end()) {
+        rows[i] = it->second;
+      } else {
+        pending.push_back(static_cast<u32>(i));
+      }
+    }
+  }
+  if (pending.empty()) return;
+  std::vector<u64> missing;
+  missing.reserve(pending.size());
+  for (const u32 i : pending) missing.push_back(span_ids[i]);
+  auto loaded = storage_->load_rows(missing);
+  for (size_t k = 0; k < pending.size(); ++k) {
+    if (loaded[k].has_value()) {
+      rows[pending[k]] = promote(std::move(*loaded[k]));
+    }
+  }
+}
+
+const SpanRow* SpanStore::promote(storage::SegmentRow&& seg_row) const {
+  const u64 id = seg_row.span.span_id;
+  WarmTier& warm = *warm_;
+  {
+    std::shared_lock lock(warm.mu);
+    const auto it = warm.by_id.find(id);
+    if (it != warm.by_id.end()) return it->second;
+  }
+  std::unique_lock lock(warm.mu);
+  const auto it = warm.by_id.find(id);
+  if (it != warm.by_id.end()) return it->second;  // lost the race: same row
+  warm.rows.emplace_back();
+  SpanRow& row = warm.rows.back();
+  row.shard = kWarmShard;
+  row.tag_blob = std::move(seg_row.tag_blob);
+  row.span = std::move(seg_row.span);
+  row.span.tags.clear();  // same convention as hot rows
+  if (seg_row.has_tags) {
+    warm.tags.emplace(id, std::make_shared<const std::vector<agent::Tag>>(
+                              std::move(seg_row.tags)));
+  }
+  warm.by_id.emplace(id, &row);
+  return &row;
+}
+
+std::vector<agent::Tag> SpanStore::warm_tags(const SpanRow& row) const {
+  {
+    std::shared_lock lock(warm_->mu);
+    const auto it = warm_->tags.find(row.span.span_id);
+    if (it != warm_->tags.end()) return *it->second;
+  }
+  // Encoder-blob modes (direct/smart): the blob is self-contained, decoded
+  // through a stateless encoder instance exactly like a hot row.
+  if (registry_ == nullptr) return {};
+  return warm_decoder_->decode(row.tag_blob, row.span, *registry_);
+}
+
+void SpanStore::warm_search(const SearchFilter& filter,
+                            std::vector<const SpanRow*>& out) const {
+  using storage::SegmentKeyKind;
+  const auto add = [this, &out](std::vector<storage::SegmentRow>&& rows) {
+    for (storage::SegmentRow& row : rows) out.push_back(promote(std::move(row)));
+  };
+  for (const SystraceId key : filter.systrace_ids) {
+    add(storage_->find(SegmentKeyKind::kSystrace, key));
+  }
+  for (const u64 key : filter.pseudo_thread_keys) {
+    add(storage_->find(SegmentKeyKind::kPseudoThread, key));
+  }
+  for (const std::string& key : filter.x_request_ids) {
+    add(storage_->find(SegmentKeyKind::kXRequestId, fnv1a(key), key));
+  }
+  for (const TcpSeq key : filter.tcp_seqs) {
+    add(storage_->find(SegmentKeyKind::kTcpSeq, key));
+  }
+  for (const std::string& key : filter.otel_trace_ids) {
+    add(storage_->find(SegmentKeyKind::kOtelId, fnv1a(key), key));
+  }
+}
+
+size_t SpanStore::flush_shard(size_t idx, bool force) {
+  Shard& shard = *shards_[idx];
+  const u32 seal = std::max<u32>(1, storage_->config().segment_spans);
+  const bool dict_mode = tag_mode_ == storage::TagColumnMode::kSegmentDict;
+  size_t flushed = 0;
+  for (;;) {
+    // Steal one batch of ids from the unflushed window.
+    std::vector<u64> batch;
+    {
+      std::unique_lock lock(shard.mu);
+      if (shard.unflushed.empty()) break;
+      if (!force && shard.unflushed.size() < seal) break;
+      const size_t take = std::min<size_t>(shard.unflushed.size(), seal);
+      batch.assign(shard.unflushed.begin(),
+                   shard.unflushed.begin() + static_cast<long>(take));
+      shard.unflushed.erase(shard.unflushed.begin(),
+                            shard.unflushed.begin() + static_cast<long>(take));
+    }
+    // Resolve rows and (for segment-dict mode) decode their tag sets. The
+    // shared lock covers the encoder read — concurrent inserts mutate the
+    // low-cardinality dictionaries under the exclusive lock. Row pointers
+    // survive the unlock (node-based, immutable).
+    std::vector<const SpanRow*> batch_rows;
+    std::vector<std::vector<agent::Tag>> tag_sets;
+    batch_rows.reserve(batch.size());
+    {
+      std::shared_lock lock(shard.mu);
+      for (const u64 id : batch) {
+        const auto it = shard.rows.find(id);
+        if (it != shard.rows.end()) batch_rows.push_back(&it->second);
+      }
+      if (dict_mode && registry_ != nullptr) {
+        tag_sets.reserve(batch_rows.size());
+        for (const SpanRow* row : batch_rows) {
+          tag_sets.push_back(
+              shard.encoder->decode(row->tag_blob, row->span, *registry_));
+        }
+      }
+    }
+    std::vector<storage::SegmentRowInput> inputs;
+    inputs.reserve(batch_rows.size());
+    for (size_t i = 0; i < batch_rows.size(); ++i) {
+      const SpanRow* row = batch_rows[i];
+      inputs.push_back(storage::SegmentRowInput{
+          &row->span, row->tag_blob,
+          dict_mode && registry_ != nullptr ? &tag_sets[i] : nullptr,
+          row->span.pseudo_thread_id != 0 ? pseudo_thread_key(row->span) : 0});
+    }
+    if (!storage_->append(inputs, static_cast<u8>(encoder_kind_), tag_mode_,
+                          /*hot_backed=*/true)) {
+      // Write failed: give the batch back so a later flush retries it.
+      std::unique_lock lock(shard.mu);
+      shard.unflushed.insert(shard.unflushed.end(), batch.begin(),
+                             batch.end());
+      break;
+    }
+    flushed += inputs.size();
+  }
+  return flushed;
+}
+
+size_t SpanStore::flush_storage() {
+  if (storage_ == nullptr) return 0;
+  size_t flushed = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) flushed += flush_shard(i, true);
+  return flushed;
+}
+
+size_t SpanStore::flush_sealed() {
+  if (storage_ == nullptr) return 0;
+  size_t flushed = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) flushed += flush_shard(i, false);
+  return flushed;
+}
+
+void SpanStore::compact_storage() {
+  if (storage_ != nullptr) storage_->compact();
+}
+
+storage::StorageTelemetry SpanStore::storage_telemetry() const {
+  if (storage_ == nullptr) return {};
+  return storage_->telemetry();
+}
+
+std::vector<agent::Span> SpanStore::recovered_spans() const {
+  std::vector<agent::Span> out;
+  if (storage_ == nullptr) return out;
+  std::vector<storage::SegmentRow> rows = storage_->serving_rows();
+  out.reserve(rows.size());
+  for (storage::SegmentRow& row : rows) {
+    const SpanRow* promoted = promote(std::move(row));
+    out.push_back(promoted->span);
+    if (registry_ != nullptr) out.back().tags = warm_tags(*promoted);
+  }
+  return out;
 }
 
 StoreQueryCounters SpanStore::query_counters() const {

@@ -24,19 +24,33 @@
 // shard locks, so any number of readers interleave with inserts; pointers
 // returned by row() stay valid because rows are node-based and never
 // mutated after insertion.
+// Persistence (write-behind warm tier): with StorageConfig.enabled the
+// store copies sealed span batches into columnar segment files (see
+// storage/segment_format.h). Rows are never evicted — flushing is pure
+// durability, so the row-pointer stability contract is untouched. On
+// construction the store recovers the previous lifetime's segments: their
+// spans form the warm tier, merged into every query path (search, point
+// lookups, span_list) and promoted into a pointer-stable warm arena on
+// first touch, so callers see one store regardless of which tier a span
+// lives in. Restart cost is therefore bounded loss of the unflushed window.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "agent/span.h"
 #include "server/tag_encoding.h"
+#include "storage/segment_store.h"
 
 namespace deepflow::server {
 
@@ -84,9 +98,15 @@ struct StoreQueryCounters {
 
 class SpanStore {
  public:
-  /// `shard_count` 0/1 selects the serial single-shard layout.
+  /// Sentinel SpanRow::shard value for rows promoted out of the warm tier.
+  static constexpr u32 kWarmShard = ~u32{0};
+
+  /// `shard_count` 0/1 selects the serial single-shard layout. With
+  /// `storage.enabled`, segments under `storage.dir` are recovered into the
+  /// warm tier before the first insert.
   SpanStore(EncoderKind encoder_kind, const netsim::ResourceRegistry* registry,
-            size_t shard_count = 1);
+            size_t shard_count = 1, storage::StorageConfig storage = {});
+  ~SpanStore();
 
   /// Encode tags and store the span. Returns the span id. Thread-safe.
   u64 insert(agent::Span span);
@@ -144,6 +164,25 @@ class SpanStore {
   /// Snapshot of the query-path counters (monotonic since construction).
   StoreQueryCounters query_counters() const;
 
+  // ---- Persistence (no-ops unless constructed with storage.enabled). ----
+
+  bool storage_enabled() const { return storage_ != nullptr; }
+  /// Flush every unflushed span to segments regardless of batch size.
+  /// Returns spans written. Thread-safe.
+  size_t flush_storage();
+  /// Flush only shards whose unflushed window reached segment_spans (the
+  /// background-flush tick). Returns spans written.
+  size_t flush_sealed();
+  /// Merge small segment files (both classes). Thread-safe.
+  void compact_storage();
+  /// Storage-tier counters (zeroed struct when storage is off).
+  storage::StorageTelemetry storage_telemetry() const;
+  /// Span ids recovered into the warm tier at construction (dedup priming).
+  const std::unordered_set<u64>& recovered_ids() const { return warm_ids_; }
+  /// Materialized copies of every recovered span (metrics re-fold on
+  /// restart). Empty when storage is off.
+  std::vector<agent::Span> recovered_spans() const;
+
  private:
   struct Shard {
     mutable std::shared_mutex mu;
@@ -200,6 +239,10 @@ class SpanStore {
     mutable std::vector<std::pair<TimestampNs, u64>> by_time;
     mutable bool time_sorted = true;
 
+    // Span ids inserted since the last flush (persistence only; guarded by
+    // `mu` like the rows themselves).
+    std::vector<u64> unflushed;
+
     // Decoded-tag cache for batched materialization: (client ip, server ip,
     // blob) -> immutable tag set. Tags are a query-time join against the
     // resource registry, so entries are valid exactly while the registry
@@ -240,9 +283,57 @@ class SpanStore {
   /// indexes hold a pointer to it).
   static void index_span(Shard& shard, const SpanRow& row, u64 id);
 
+  /// Pointer-stable arena for rows promoted out of serving segments. A
+  /// warm span is decoded once, parked here (shard = kWarmShard), and every
+  /// later query sees the same SpanRow* — the disk tier honours the same
+  /// pointer contract as the hot shards. Tag sets of segment-dict rows ride
+  /// alongside (SpanRow carries only a blob).
+  struct WarmTier {
+    mutable std::shared_mutex mu;
+    std::deque<SpanRow> rows;  // deque: stable addresses under push_back
+    std::unordered_map<u64, const SpanRow*> by_id;
+    std::unordered_map<u64, std::shared_ptr<const std::vector<agent::Tag>>>
+        tags;
+  };
+
+  /// The promoted row for a warm id, loading it from its segment on first
+  /// touch; nullptr when no serving segment holds the id.
+  const SpanRow* warm_row(u64 span_id) const;
+  /// Batch flavour: fill the nullptr entries of `rows` whose id lives in the
+  /// warm tier, decoding each touched segment once (not once per id).
+  void warm_fill(const std::vector<u64>& span_ids,
+                 std::vector<const SpanRow*>& rows) const;
+  const SpanRow* promote(storage::SegmentRow&& seg_row) const;
+  /// Decoded tag set for a warm row (promotion-time set, or a stateless
+  /// blob decode for encoder-blob modes).
+  std::vector<agent::Tag> warm_tags(const SpanRow& row) const;
+  /// Append warm matches for every filter key to `out` (promoting them).
+  void warm_search(const SearchFilter& filter,
+                   std::vector<const SpanRow*>& out) const;
+  /// Flush up to segment_spans-sized batches out of one shard; `force`
+  /// also writes a final short segment. Returns spans written.
+  size_t flush_shard(size_t idx, bool force);
+
   const netsim::ResourceRegistry* registry_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<DirectoryStripe>> directory_;  // empty if 1 shard
+
+  // ---- Persistence state (null/empty when storage is off). ----
+  EncoderKind encoder_kind_;
+  storage::TagColumnMode tag_mode_ = storage::TagColumnMode::kEncoderBlob;
+  std::unique_ptr<storage::SegmentStore> storage_;
+  std::unique_ptr<WarmTier> warm_;
+  /// Stateless decoder for warm encoder-blob rows (direct/smart blobs are
+  /// self-contained; low-cardinality rows use segment-dict tags instead).
+  std::unique_ptr<TagEncoder> warm_decoder_;
+  /// Ids recovered into the warm tier (insert-collision exclusion + dedup
+  /// priming). Immutable after construction.
+  std::unordered_set<u64> warm_ids_;
+  // Background flush thread (storage.background_flush).
+  std::thread flush_thread_;
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  bool stop_flush_ = false;
 
   // Query-path counters (mutable: query methods are logically const).
   mutable std::atomic<u64> searches_{0};

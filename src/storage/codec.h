@@ -1,0 +1,144 @@
+// Byte-level primitives for the persistent segment format: CRC-32 (IEEE
+// 802.3, the ClickHouse/zlib polynomial) for per-column checksums, and
+// LEB128-style varints with zigzag folding for delta-encoded integer
+// columns. Everything here is pure and allocation-free so the encoder and
+// the recovery path share one definition of "what the bytes mean".
+//
+// Readers are bounds-checked: a truncated or bit-flipped column must surface
+// as a decode failure, never as an out-of-range read — the corruption suite
+// runs these paths under ASan.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace deepflow::storage {
+
+namespace detail {
+constexpr std::array<u32, 256> make_crc32_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<u32, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 over a byte range (init/final xor 0xffffffff, reflected).
+constexpr u32 crc32(std::string_view bytes, u32 seed = 0) {
+  u32 c = seed ^ 0xffffffffu;
+  for (const char ch : bytes) {
+    c = detail::kCrc32Table[(c ^ static_cast<u8>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+/// Zigzag fold: signed deltas to unsigned varint-friendly magnitudes.
+constexpr u64 zigzag(i64 v) {
+  return (static_cast<u64>(v) << 1) ^ static_cast<u64>(v >> 63);
+}
+constexpr i64 unzigzag(u64 v) {
+  return static_cast<i64>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Append a LEB128 varint (1-10 bytes).
+inline void put_varint(std::string& out, u64 v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Sequential bounds-checked reader over one column payload. Every accessor
+/// reports failure instead of reading past the end; once failed, stays
+/// failed (callers check ok() once per column, not per value).
+class ColumnReader {
+ public:
+  explicit ColumnReader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return !failed_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+  std::optional<u64> varint() {
+    u64 v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= data_.size()) return fail();
+      const u8 byte = static_cast<u8>(data_[pos_++]);
+      v |= static_cast<u64>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    return fail();  // > 10 bytes: malformed
+  }
+
+  std::optional<u8> byte() {
+    if (pos_ >= data_.size()) return fail<u8>();
+    return static_cast<u8>(data_[pos_++]);
+  }
+
+  std::optional<u16> be16() {
+    const auto hi = byte();
+    const auto lo = byte();
+    if (!hi || !lo) return std::nullopt;
+    return static_cast<u16>((static_cast<u16>(*hi) << 8) | *lo);
+  }
+
+  std::optional<u32> be32() {
+    const auto hi = be16();
+    const auto lo = be16();
+    if (!hi || !lo) return std::nullopt;
+    return (static_cast<u32>(*hi) << 16) | *lo;
+  }
+
+  std::optional<u64> be64() {
+    const auto hi = be32();
+    const auto lo = be32();
+    if (!hi || !lo) return std::nullopt;
+    return (static_cast<u64>(*hi) << 32) | *lo;
+  }
+
+  std::optional<std::string_view> bytes(size_t n) {
+    if (remaining() < n) return fail<std::string_view>();
+    const std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  template <typename T = u64>
+  std::optional<T> fail() {
+    failed_ = true;
+    return std::nullopt;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Big-endian fixed-width appends (matches protocols::BinaryWriter byte
+/// order so hexdumps of segments read naturally).
+inline void put_be16(std::string& out, u16 v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v));
+}
+inline void put_be32(std::string& out, u32 v) {
+  put_be16(out, static_cast<u16>(v >> 16));
+  put_be16(out, static_cast<u16>(v));
+}
+inline void put_be64(std::string& out, u64 v) {
+  put_be32(out, static_cast<u32>(v >> 32));
+  put_be32(out, static_cast<u32>(v));
+}
+
+}  // namespace deepflow::storage

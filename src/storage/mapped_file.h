@@ -1,0 +1,99 @@
+// Read-only file mapping for segment files. mmap keeps warm queries from
+// double-buffering segment bytes through the heap; when a file cannot be
+// mapped (zero length, exotic filesystem) it falls back to a plain read so
+// the caller sees one interface either way.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <string>
+#include <string_view>
+
+namespace deepflow::storage {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      reset();
+      map_ = other.map_;
+      map_size_ = other.map_size_;
+      fallback_ = std::move(other.fallback_);
+      mapped_ = other.mapped_;
+      other.map_ = nullptr;
+      other.map_size_ = 0;
+      other.mapped_ = false;
+    }
+    return *this;
+  }
+  ~MappedFile() { reset(); }
+
+  /// Map (or read) the whole file. Returns false when the file cannot be
+  /// opened or read at all.
+  bool open(const std::string& path) {
+    reset();
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return false;
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return false;
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size > 0) {
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map != MAP_FAILED) {
+        map_ = map;
+        map_size_ = size;
+        mapped_ = true;
+        ::close(fd);
+        return true;
+      }
+      // Fallback: plain read (still one contiguous image).
+      fallback_.resize(size);
+      size_t done = 0;
+      while (done < size) {
+        const ssize_t got =
+            ::pread(fd, fallback_.data() + done, size - done, done);
+        if (got <= 0) {
+          ::close(fd);
+          fallback_.clear();
+          return false;
+        }
+        done += static_cast<size_t>(got);
+      }
+    }
+    ::close(fd);
+    return true;
+  }
+
+  std::string_view view() const {
+    if (mapped_) return {static_cast<const char*>(map_), map_size_};
+    return fallback_;
+  }
+
+  size_t size() const { return view().size(); }
+
+ private:
+  void reset() {
+    if (mapped_ && map_ != nullptr) ::munmap(map_, map_size_);
+    map_ = nullptr;
+    map_size_ = 0;
+    mapped_ = false;
+    fallback_.clear();
+  }
+
+  void* map_ = nullptr;
+  size_t map_size_ = 0;
+  std::string fallback_;
+  bool mapped_ = false;
+};
+
+}  // namespace deepflow::storage

@@ -1,0 +1,815 @@
+#include "storage/segment_format.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "storage/codec.h"
+
+namespace deepflow::storage {
+
+namespace {
+
+// Column ids are part of the on-disk format; append new ones, never renumber.
+enum ColumnId : u8 {
+  kColIds = 0,        // varint: first id, then deltas (ascending sort order)
+  kColKind = 1,       // u8 per row
+  kColSystrace = 2,   // varint per row (0 = invalid)
+  kColPseudoTid = 3,  // varint per row (raw pseudo-thread id field)
+  kColPseudoKey = 4,  // varint per row (server-derived search key, 0 = none)
+  kColXrid = 5,       // string dict column
+  kColOtel = 6,       // string dict column
+  kColReqSeq = 7,     // varint per row
+  kColRespSeq = 8,    // varint per row
+  kColHost = 9,       // string dict column
+  kColFlags = 10,     // u8 bitmap per row
+  kColDeviceId = 11,  // varint per row
+  kColDeviceName = 12,  // string dict column
+  kColPid = 13,       // varint per row
+  kColTid = 14,       // varint per row
+  kColStartTs = 15,   // varint first, then zigzag deltas
+  kColDuration = 16,  // zigzag(end_ts - start_ts) varint per row
+  kColProtocol = 17,  // u8 per row
+  kColMethod = 18,    // string dict column
+  kColEndpoint = 19,  // string dict column
+  kColStatus = 20,    // varint per row
+  kColTuple = 21,     // fixed 13 B per row: src u32, dst u32, ports u16 x2, proto u8
+  kColIntTags = 22,   // fixed 12 B per row: vpc u32, client ip u32, server ip u32
+  kColParent = 23,    // varint per row
+  kColTags = 24,      // encoder blobs (varint len + bytes) or dict tag lists
+};
+
+// Row flag bits (kColFlags).
+enum RowFlag : u8 {
+  kFlagFromServerSide = 1 << 0,
+  kFlagOk = 1 << 1,
+  kFlagIncomplete = 1 << 2,
+  kFlagLostPlaceholder = 1 << 3,
+};
+
+// ------------------------------------------------------------- encoding --
+
+/// Per-segment string dictionary: interns each distinct string once; the
+/// column stores the dictionary followed by one reference per row.
+class DictColumn {
+ public:
+  void add(const std::string& text) {
+    const auto [it, inserted] =
+        ids_.try_emplace(text, static_cast<u32>(strings_.size()));
+    if (inserted) strings_.push_back(text);
+    refs_.push_back(it->second);
+  }
+
+  std::string payload() const {
+    std::string out;
+    put_varint(out, strings_.size());
+    for (const std::string& s : strings_) {
+      put_varint(out, s.size());
+      out.append(s);
+    }
+    for (const u32 ref : refs_) put_varint(out, ref);
+    return out;
+  }
+
+  u32 intern(const std::string& text) {
+    const auto [it, inserted] =
+        ids_.try_emplace(text, static_cast<u32>(strings_.size()));
+    if (inserted) strings_.push_back(text);
+    return it->second;
+  }
+
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  std::unordered_map<std::string, u32> ids_;
+  std::vector<std::string> strings_;
+  std::vector<u32> refs_;
+};
+
+/// Write-side Bloom filter sized to the segment (power-of-two words).
+class BloomBuilder {
+ public:
+  explicit BloomBuilder(size_t span_count) {
+    // ~128 bits per span across up to ~6 keys each: comfortably under 1%
+    // false positives, and still only 16 B per span.
+    const u64 words = std::bit_ceil(std::max<u64>(64, span_count * 2));
+    words_.assign(static_cast<size_t>(words), 0);
+  }
+
+  void add(u64 hash) {
+    set_bit(hash);
+    set_bit(hash >> 32);
+  }
+
+  std::string payload() const {
+    std::string out;
+    out.reserve(words_.size() * 8);
+    for (const u64 word : words_) put_be64(out, word);
+    return out;
+  }
+
+ private:
+  void set_bit(u64 h) {
+    const u64 mask = words_.size() * 64 - 1;
+    words_[(h & mask) >> 6] |= u64{1} << (h & 63);
+  }
+
+  std::vector<u64> words_;
+};
+
+}  // namespace
+
+std::string_view segment_open_status_name(SegmentOpenStatus status) {
+  switch (status) {
+    case SegmentOpenStatus::kOk: return "ok";
+    case SegmentOpenStatus::kTorn: return "torn";
+    case SegmentOpenStatus::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+std::string encode_segment(std::vector<SegmentRowInput> rows, u8 encoder_kind,
+                           TagColumnMode mode) {
+  // Segment order: ascending span id (stable for the duplicate-id edge case
+  // so encode is deterministic in input order).
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const SegmentRowInput& a, const SegmentRowInput& b) {
+                     return a.span->span_id < b.span->span_id;
+                   });
+
+  TimestampNs min_ts = ~TimestampNs{0}, max_ts = 0;
+  for (const SegmentRowInput& row : rows) {
+    min_ts = std::min(min_ts, row.span->start_ts);
+    max_ts = std::max(max_ts, row.span->start_ts);
+  }
+  if (rows.empty()) min_ts = 0;
+
+  // Build every column payload, then lay the file out.
+  std::vector<std::pair<u8, std::string>> columns;
+  const auto add_column = [&columns](u8 id, std::string payload) {
+    columns.emplace_back(id, std::move(payload));
+  };
+
+  {  // ids: first + deltas (non-negative by sort order).
+    std::string c;
+    u64 prev = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const u64 id = rows[i].span->span_id;
+      put_varint(c, i == 0 ? id : id - prev);
+      prev = id;
+    }
+    add_column(kColIds, std::move(c));
+  }
+  const auto varint_column = [&rows](auto field) {
+    std::string c;
+    for (const SegmentRowInput& row : rows) put_varint(c, field(*row.span, row));
+    return c;
+  };
+  const auto u8_column = [&rows](auto field) {
+    std::string c;
+    for (const SegmentRowInput& row : rows) {
+      c.push_back(static_cast<char>(field(*row.span)));
+    }
+    return c;
+  };
+  const auto dict_column = [&rows](auto field) {
+    DictColumn c;
+    for (const SegmentRowInput& row : rows) c.add(field(*row.span));
+    return c.payload();
+  };
+
+  add_column(kColKind, u8_column([](const agent::Span& s) {
+               return static_cast<u8>(s.kind);
+             }));
+  add_column(kColSystrace, varint_column([](const agent::Span& s, const auto&) {
+               return s.systrace_id;
+             }));
+  add_column(kColPseudoTid, varint_column([](const agent::Span& s, const auto&) {
+               return s.pseudo_thread_id;
+             }));
+  add_column(kColPseudoKey, varint_column([](const agent::Span&, const auto& r) {
+               return r.pseudo_key;
+             }));
+  add_column(kColXrid, dict_column([](const agent::Span& s) -> const std::string& {
+               return s.x_request_id;
+             }));
+  add_column(kColOtel, dict_column([](const agent::Span& s) -> const std::string& {
+               return s.otel_trace_id;
+             }));
+  add_column(kColReqSeq, varint_column([](const agent::Span& s, const auto&) {
+               return s.req_tcp_seq;
+             }));
+  add_column(kColRespSeq, varint_column([](const agent::Span& s, const auto&) {
+               return s.resp_tcp_seq;
+             }));
+  add_column(kColHost, dict_column([](const agent::Span& s) -> const std::string& {
+               return s.host;
+             }));
+  add_column(kColFlags, u8_column([](const agent::Span& s) {
+               u8 flags = 0;
+               if (s.from_server_side) flags |= kFlagFromServerSide;
+               if (s.ok) flags |= kFlagOk;
+               if (s.incomplete) flags |= kFlagIncomplete;
+               if (s.lost_placeholder) flags |= kFlagLostPlaceholder;
+               return flags;
+             }));
+  add_column(kColDeviceId, varint_column([](const agent::Span& s, const auto&) {
+               return s.device_id;
+             }));
+  add_column(kColDeviceName,
+             dict_column([](const agent::Span& s) -> const std::string& {
+               return s.device_name;
+             }));
+  add_column(kColPid, varint_column([](const agent::Span& s, const auto&) {
+               return s.pid;
+             }));
+  add_column(kColTid, varint_column([](const agent::Span& s, const auto&) {
+               return s.tid;
+             }));
+  {  // start timestamps: first raw, then zigzag deltas (ids ascending does
+     // not imply time ascending, so deltas are signed; the subtraction is
+     // done in u64 so extreme timestamps wrap instead of overflowing).
+    std::string c;
+    TimestampNs prev = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const TimestampNs ts = rows[i].span->start_ts;
+      if (i == 0) {
+        put_varint(c, ts);
+      } else {
+        put_varint(c, zigzag(static_cast<i64>(ts - prev)));
+      }
+      prev = ts;
+    }
+    add_column(kColStartTs, std::move(c));
+  }
+  add_column(kColDuration, varint_column([](const agent::Span& s, const auto&) {
+               return zigzag(static_cast<i64>(s.end_ts - s.start_ts));
+             }));
+  add_column(kColProtocol, u8_column([](const agent::Span& s) {
+               return static_cast<u8>(s.protocol);
+             }));
+  add_column(kColMethod, dict_column([](const agent::Span& s) -> const std::string& {
+               return s.method;
+             }));
+  add_column(kColEndpoint,
+             dict_column([](const agent::Span& s) -> const std::string& {
+               return s.endpoint;
+             }));
+  add_column(kColStatus, varint_column([](const agent::Span& s, const auto&) {
+               return s.status_code;
+             }));
+  {  // five-tuple: fixed-width records.
+    std::string c;
+    c.reserve(rows.size() * 13);
+    for (const SegmentRowInput& row : rows) {
+      const FiveTuple& t = row.span->tuple;
+      put_be32(c, t.src_ip.addr);
+      put_be32(c, t.dst_ip.addr);
+      put_be16(c, t.src_port);
+      put_be16(c, t.dst_port);
+      c.push_back(static_cast<char>(t.proto));
+    }
+    add_column(kColTuple, std::move(c));
+  }
+  {  // agent integer tags: fixed-width records.
+    std::string c;
+    c.reserve(rows.size() * 12);
+    for (const SegmentRowInput& row : rows) {
+      put_be32(c, row.span->int_tags.vpc_id);
+      put_be32(c, row.span->int_tags.client_ip);
+      put_be32(c, row.span->int_tags.server_ip);
+    }
+    add_column(kColIntTags, std::move(c));
+  }
+  add_column(kColParent, varint_column([](const agent::Span& s, const auto&) {
+               return s.parent_span_id;
+             }));
+  if (mode == TagColumnMode::kEncoderBlob) {
+    std::string c;
+    for (const SegmentRowInput& row : rows) {
+      put_varint(c, row.tag_blob.size());
+      c.append(row.tag_blob);
+    }
+    add_column(kColTags, std::move(c));
+  } else {
+    // Re-encode decoded tag sets against a per-segment dictionary so the
+    // column is self-contained (shard dictionaries die with the process).
+    DictColumn dict;
+    std::string body;
+    for (const SegmentRowInput& row : rows) {
+      put_varint(body, row.tags != nullptr ? row.tags->size() : 0);
+      if (row.tags == nullptr) continue;
+      for (const agent::Tag& tag : *row.tags) {
+        put_varint(body, dict.intern(tag.key));
+        put_varint(body, dict.intern(tag.value));
+      }
+    }
+    std::string c;
+    put_varint(c, dict.strings().size());
+    for (const std::string& s : dict.strings()) {
+      put_varint(c, s.size());
+      c.append(s);
+    }
+    c.append(body);
+    add_column(kColTags, std::move(c));
+  }
+
+  // Bloom filter over every indexed association key (same conditions as the
+  // in-memory secondary indexes: zero/empty values are not keys).
+  BloomBuilder bloom(rows.size());
+  for (const SegmentRowInput& row : rows) {
+    const agent::Span& s = *row.span;
+    if (s.systrace_id != kInvalidSystraceId) {
+      bloom.add(segment_key_hash(SegmentKeyKind::kSystrace, s.systrace_id));
+    }
+    if (s.pseudo_thread_id != 0 && row.pseudo_key != 0) {
+      bloom.add(segment_key_hash(SegmentKeyKind::kPseudoThread, row.pseudo_key));
+    }
+    if (!s.x_request_id.empty()) {
+      bloom.add(
+          segment_key_hash(SegmentKeyKind::kXRequestId, fnv1a(s.x_request_id)));
+    }
+    if (s.req_tcp_seq != 0) {
+      bloom.add(segment_key_hash(SegmentKeyKind::kTcpSeq, s.req_tcp_seq));
+    }
+    if (s.resp_tcp_seq != 0) {
+      bloom.add(segment_key_hash(SegmentKeyKind::kTcpSeq, s.resp_tcp_seq));
+    }
+    if (!s.otel_trace_id.empty()) {
+      bloom.add(
+          segment_key_hash(SegmentKeyKind::kOtelId, fnv1a(s.otel_trace_id)));
+    }
+  }
+  const std::string bloom_payload = bloom.payload();
+
+  // Lay the file out: header, columns, bloom, footer, trailer.
+  std::string file;
+  put_be32(file, kSegmentMagic);
+  put_be32(file, kSegmentVersion);
+  put_be32(file, 0);  // reserved, equality-checked at open
+
+  struct Placed {
+    u8 id;
+    u64 offset;
+    u64 size;
+    u32 crc;
+  };
+  std::vector<Placed> placed;
+  placed.reserve(columns.size());
+  for (const auto& [id, payload] : columns) {
+    placed.push_back({id, file.size(), payload.size(), crc32(payload)});
+    file.append(payload);
+  }
+  const u64 bloom_offset = file.size();
+  file.append(bloom_payload);
+
+  std::string footer;
+  put_be32(footer, static_cast<u32>(rows.size()));
+  put_be64(footer, min_ts);
+  put_be64(footer, max_ts);
+  footer.push_back(static_cast<char>(encoder_kind));
+  footer.push_back(static_cast<char>(mode));
+  footer.push_back(static_cast<char>(placed.size()));
+  for (const Placed& col : placed) {
+    footer.push_back(static_cast<char>(col.id));
+    put_be64(footer, col.offset);
+    put_be64(footer, col.size);
+    put_be32(footer, col.crc);
+  }
+  put_be64(footer, bloom_offset);
+  put_be64(footer, bloom_payload.size());
+  put_be32(footer, crc32(bloom_payload));
+
+  const u32 footer_crc = crc32(footer);
+  file.append(footer);
+  put_be32(file, static_cast<u32>(footer.size()));
+  put_be32(file, footer_crc);
+  put_be32(file, kSegmentEndMagic);
+  return file;
+}
+
+// ------------------------------------------------------------- decoding --
+
+namespace {
+
+std::optional<std::vector<u64>> decode_varint_column(std::string_view payload,
+                                                     u32 count) {
+  ColumnReader r(payload);
+  std::vector<u64> out;
+  out.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    const auto v = r.varint();
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+  }
+  if (!r.at_end()) return std::nullopt;  // trailing garbage: reject
+  return out;
+}
+
+std::optional<std::vector<u8>> decode_u8_column(std::string_view payload,
+                                                u32 count) {
+  if (payload.size() != count) return std::nullopt;
+  std::vector<u8> out(count);
+  for (u32 i = 0; i < count; ++i) out[i] = static_cast<u8>(payload[i]);
+  return out;
+}
+
+struct DecodedDict {
+  std::vector<std::string> strings;
+  std::vector<u32> refs;
+};
+
+std::optional<DecodedDict> decode_dict_column(std::string_view payload,
+                                              u32 count) {
+  ColumnReader r(payload);
+  DecodedDict out;
+  const auto dict_size = r.varint();
+  if (!dict_size || *dict_size > payload.size()) return std::nullopt;
+  out.strings.reserve(static_cast<size_t>(*dict_size));
+  for (u64 i = 0; i < *dict_size; ++i) {
+    const auto len = r.varint();
+    if (!len) return std::nullopt;
+    const auto bytes = r.bytes(static_cast<size_t>(*len));
+    if (!bytes) return std::nullopt;
+    out.strings.emplace_back(*bytes);
+  }
+  out.refs.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    const auto ref = r.varint();
+    if (!ref || *ref >= out.strings.size()) {
+      // A zero-row segment may legitimately have an empty dictionary.
+      if (!ref) return std::nullopt;
+      return std::nullopt;
+    }
+    out.refs.push_back(static_cast<u32>(*ref));
+  }
+  if (!r.at_end()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+SegmentOpenStatus Segment::open(std::string_view image,
+                                std::unique_ptr<Segment>* out) {
+  // Structural minimum: header + trailer must both exist.
+  if (image.size() < kSegmentHeaderBytes + kSegmentTrailerBytes) {
+    return SegmentOpenStatus::kTorn;
+  }
+  {  // Header: pure equality (any flip here is corruption, not truncation).
+    ColumnReader r(image.substr(0, kSegmentHeaderBytes));
+    if (r.be32() != kSegmentMagic || r.be32() != kSegmentVersion ||
+        r.be32() != u32{0}) {
+      return SegmentOpenStatus::kCorrupt;
+    }
+  }
+  // Trailer: truncation cuts it off, so a bad end magic means torn.
+  ColumnReader trailer(image.substr(image.size() - kSegmentTrailerBytes));
+  const auto footer_size = trailer.be32();
+  const auto footer_crc = trailer.be32();
+  const auto end_magic = trailer.be32();
+  if (!end_magic || *end_magic != kSegmentEndMagic) {
+    return SegmentOpenStatus::kTorn;
+  }
+  if (!footer_size || *footer_size > image.size() - kSegmentHeaderBytes -
+                                         kSegmentTrailerBytes) {
+    return SegmentOpenStatus::kTorn;
+  }
+  const u64 footer_start =
+      image.size() - kSegmentTrailerBytes - *footer_size;
+  const std::string_view footer = image.substr(footer_start, *footer_size);
+  // End magic intact but the footer bytes reject: bit rot, not truncation.
+  if (crc32(footer) != *footer_crc) return SegmentOpenStatus::kCorrupt;
+
+  auto segment = std::unique_ptr<Segment>(new Segment());
+  segment->image_ = image;
+
+  ColumnReader r(footer);
+  const auto span_count = r.be32();
+  const auto min_ts = r.be64();
+  const auto max_ts = r.be64();
+  const auto encoder_kind = r.byte();
+  const auto mode = r.byte();
+  const auto column_count = r.byte();
+  if (!span_count || !min_ts || !max_ts || !encoder_kind || !mode ||
+      !column_count || *mode > static_cast<u8>(TagColumnMode::kSegmentDict)) {
+    return SegmentOpenStatus::kCorrupt;
+  }
+  segment->span_count_ = *span_count;
+  segment->min_ts_ = *min_ts;
+  segment->max_ts_ = *max_ts;
+  segment->encoder_kind_ = *encoder_kind;
+  segment->tag_mode_ = static_cast<TagColumnMode>(*mode);
+
+  // Column directory: every block must live inside [header, footer) and
+  // match its checksum.
+  for (u8 i = 0; i < *column_count; ++i) {
+    const auto id = r.byte();
+    const auto offset = r.be64();
+    const auto size = r.be64();
+    const auto crc = r.be32();
+    if (!id || !offset || !size || !crc) return SegmentOpenStatus::kCorrupt;
+    if (*offset < kSegmentHeaderBytes || *offset + *size > footer_start ||
+        *offset + *size < *offset) {
+      return SegmentOpenStatus::kCorrupt;
+    }
+    if (crc32(image.substr(static_cast<size_t>(*offset),
+                           static_cast<size_t>(*size))) != *crc) {
+      return SegmentOpenStatus::kCorrupt;
+    }
+    segment->columns_.push_back(
+        ColumnRef{*id, *offset, *size});
+  }
+  const auto bloom_offset = r.be64();
+  const auto bloom_size = r.be64();
+  const auto bloom_crc = r.be32();
+  if (!bloom_offset || !bloom_size || !bloom_crc || !r.at_end()) {
+    return SegmentOpenStatus::kCorrupt;
+  }
+  if (*bloom_offset < kSegmentHeaderBytes ||
+      *bloom_offset + *bloom_size > footer_start ||
+      (*bloom_size % 8) != 0 ||
+      !std::has_single_bit(std::max<u64>(1, *bloom_size / 8))) {
+    return SegmentOpenStatus::kCorrupt;
+  }
+  if (crc32(image.substr(static_cast<size_t>(*bloom_offset),
+                         static_cast<size_t>(*bloom_size))) != *bloom_crc) {
+    return SegmentOpenStatus::kCorrupt;
+  }
+  segment->bloom_offset_ = *bloom_offset;
+  segment->bloom_size_ = *bloom_size;
+
+  // Decode the search-side columns now: recovery validates them once, and
+  // every later find_rows() is a pure in-memory scan.
+  const u32 n = segment->span_count_;
+  {
+    const auto deltas = decode_varint_column(segment->column(kColIds), n);
+    if (!deltas) return SegmentOpenStatus::kCorrupt;
+    segment->ids_.reserve(n);
+    u64 id = 0;
+    for (u32 i = 0; i < n; ++i) {
+      id = i == 0 ? (*deltas)[0] : id + (*deltas)[i];
+      segment->ids_.push_back(id);
+    }
+  }
+  {
+    const auto deltas = decode_varint_column(segment->column(kColStartTs), n);
+    if (!deltas) return SegmentOpenStatus::kCorrupt;
+    segment->start_ts_.reserve(n);
+    u64 ts = 0;
+    for (u32 i = 0; i < n; ++i) {
+      ts = i == 0 ? (*deltas)[0]
+                  : ts + static_cast<u64>(unzigzag((*deltas)[i]));
+      segment->start_ts_.push_back(ts);
+    }
+  }
+  auto systrace = decode_varint_column(segment->column(kColSystrace), n);
+  auto pseudo = decode_varint_column(segment->column(kColPseudoKey), n);
+  auto req = decode_varint_column(segment->column(kColReqSeq), n);
+  auto resp = decode_varint_column(segment->column(kColRespSeq), n);
+  auto xrid = decode_dict_column(segment->column(kColXrid), n);
+  auto otel = decode_dict_column(segment->column(kColOtel), n);
+  if (!systrace || !pseudo || !req || !resp || !xrid || !otel) {
+    return SegmentOpenStatus::kCorrupt;
+  }
+  segment->systrace_ = std::move(*systrace);
+  segment->pseudo_keys_ = std::move(*pseudo);
+  segment->req_seq_.assign(req->begin(), req->end());
+  segment->resp_seq_.assign(resp->begin(), resp->end());
+  segment->xrid_dict_ = std::move(xrid->strings);
+  segment->xrid_refs_ = std::move(xrid->refs);
+  segment->otel_dict_ = std::move(otel->strings);
+  segment->otel_refs_ = std::move(otel->refs);
+
+  *out = std::move(segment);
+  return SegmentOpenStatus::kOk;
+}
+
+std::string_view Segment::column(u8 id) const {
+  for (const ColumnRef& col : columns_) {
+    if (col.id == id) {
+      return image_.substr(static_cast<size_t>(col.offset),
+                           static_cast<size_t>(col.size));
+    }
+  }
+  return {};
+}
+
+bool Segment::may_contain(u64 key_hash) const {
+  const u64 words = bloom_size_ / 8;
+  if (words == 0) return false;  // empty segment holds nothing
+  const u64 mask = words * 64 - 1;
+  const auto bit = [&](u64 h) {
+    const u64 word_idx = (h & mask) >> 6;
+    const std::string_view word_bytes =
+        image_.substr(static_cast<size_t>(bloom_offset_ + word_idx * 8), 8);
+    u64 word = 0;
+    for (const char c : word_bytes) {
+      word = (word << 8) | static_cast<u8>(c);
+    }
+    return (word & (u64{1} << (h & 63))) != 0;
+  };
+  return bit(key_hash) && bit(key_hash >> 32);
+}
+
+std::vector<u32> Segment::find_rows(SegmentKeyKind kind, u64 value,
+                                    std::string_view text) const {
+  std::vector<u32> out;
+  const auto scan_ints = [&](const auto& column) {
+    for (u32 i = 0; i < column.size(); ++i) {
+      if (column[i] == value) out.push_back(i);
+    }
+  };
+  const auto scan_dict = [&](const std::vector<std::string>& dict,
+                             const std::vector<u32>& refs) {
+    // Resolve the string once against the dictionary, then match refs.
+    u32 target = ~u32{0};
+    for (u32 i = 0; i < dict.size(); ++i) {
+      if (dict[i] == text) {
+        target = i;
+        break;
+      }
+    }
+    if (target == ~u32{0}) return;
+    for (u32 i = 0; i < refs.size(); ++i) {
+      if (refs[i] == target) out.push_back(i);
+    }
+  };
+  switch (kind) {
+    case SegmentKeyKind::kSystrace:
+      scan_ints(systrace_);
+      break;
+    case SegmentKeyKind::kPseudoThread:
+      scan_ints(pseudo_keys_);
+      break;
+    case SegmentKeyKind::kXRequestId:
+      if (!text.empty()) scan_dict(xrid_dict_, xrid_refs_);
+      break;
+    case SegmentKeyKind::kTcpSeq:
+      for (u32 i = 0; i < req_seq_.size(); ++i) {
+        if (req_seq_[i] == value ||
+            (resp_seq_[i] != 0 && resp_seq_[i] == value)) {
+          out.push_back(i);
+        }
+      }
+      break;
+    case SegmentKeyKind::kOtelId:
+      if (!text.empty()) scan_dict(otel_dict_, otel_refs_);
+      break;
+  }
+  return out;
+}
+
+std::optional<std::vector<SegmentRow>> Segment::rows(
+    const std::vector<u32>& indexes) const {
+  const u32 n = span_count_;
+  // Decode the non-key columns into primitive vectors once, then assemble
+  // only the requested rows (the expensive part is the string copies).
+  const auto kinds = decode_u8_column(column(kColKind), n);
+  const auto ptid = decode_varint_column(column(kColPseudoTid), n);
+  const auto host = decode_dict_column(column(kColHost), n);
+  const auto flags = decode_u8_column(column(kColFlags), n);
+  const auto device_id = decode_varint_column(column(kColDeviceId), n);
+  const auto device_name = decode_dict_column(column(kColDeviceName), n);
+  const auto pid = decode_varint_column(column(kColPid), n);
+  const auto tid = decode_varint_column(column(kColTid), n);
+  const auto duration = decode_varint_column(column(kColDuration), n);
+  const auto protocol = decode_u8_column(column(kColProtocol), n);
+  const auto method = decode_dict_column(column(kColMethod), n);
+  const auto endpoint = decode_dict_column(column(kColEndpoint), n);
+  const auto status = decode_varint_column(column(kColStatus), n);
+  const auto parent = decode_varint_column(column(kColParent), n);
+  if (!kinds || !ptid || !host || !flags || !device_id || !device_name ||
+      !pid || !tid || !duration || !protocol || !method || !endpoint ||
+      !status || !parent) {
+    return std::nullopt;
+  }
+  const std::string_view tuple_col = column(kColTuple);
+  const std::string_view int_tags_col = column(kColIntTags);
+  if (tuple_col.size() != static_cast<size_t>(n) * 13 ||
+      int_tags_col.size() != static_cast<size_t>(n) * 12) {
+    return std::nullopt;
+  }
+
+  // Tag column: per-row blob ranges (blob mode) or per-row tag-ref lists
+  // (dict mode), decoded structurally once.
+  std::vector<std::pair<u64, u64>> blob_ranges;  // offset,len into tag column
+  std::vector<std::pair<u32, u32>> tag_spans;    // offset,count into tag_pairs
+  std::vector<std::pair<u32, u32>> tag_pairs;    // (key ref, value ref)
+  std::vector<std::string> tag_dict;
+  const std::string_view tag_col = column(kColTags);
+  {
+    ColumnReader tr(tag_col);
+    if (tag_mode_ == TagColumnMode::kEncoderBlob) {
+      blob_ranges.reserve(n);
+      size_t consumed = 0;
+      for (u32 i = 0; i < n; ++i) {
+        const auto len = tr.varint();
+        if (!len) return std::nullopt;
+        consumed = tag_col.size() - tr.remaining();
+        if (!tr.bytes(static_cast<size_t>(*len))) return std::nullopt;
+        blob_ranges.emplace_back(consumed, *len);
+      }
+      if (!tr.at_end()) return std::nullopt;
+    } else {
+      const auto dict_size = tr.varint();
+      if (!dict_size || *dict_size > tag_col.size()) return std::nullopt;
+      tag_dict.reserve(static_cast<size_t>(*dict_size));
+      for (u64 i = 0; i < *dict_size; ++i) {
+        const auto len = tr.varint();
+        if (!len) return std::nullopt;
+        const auto bytes = tr.bytes(static_cast<size_t>(*len));
+        if (!bytes) return std::nullopt;
+        tag_dict.emplace_back(*bytes);
+      }
+      tag_spans.reserve(n);
+      for (u32 i = 0; i < n; ++i) {
+        const auto count = tr.varint();
+        if (!count || *count > tag_col.size()) return std::nullopt;
+        tag_spans.emplace_back(static_cast<u32>(tag_pairs.size()),
+                               static_cast<u32>(*count));
+        for (u64 t = 0; t < *count; ++t) {
+          const auto key = tr.varint();
+          const auto value = tr.varint();
+          if (!key || !value || *key >= tag_dict.size() ||
+              *value >= tag_dict.size()) {
+            return std::nullopt;
+          }
+          tag_pairs.emplace_back(static_cast<u32>(*key),
+                                 static_cast<u32>(*value));
+        }
+      }
+      if (!tr.at_end()) return std::nullopt;
+    }
+  }
+
+  std::vector<SegmentRow> out;
+  out.reserve(indexes.size());
+  for (const u32 i : indexes) {
+    if (i >= n) continue;
+    SegmentRow row;
+    agent::Span& s = row.span;
+    s.span_id = ids_[i];
+    s.kind = static_cast<agent::SpanKind>((*kinds)[i]);
+    s.systrace_id = systrace_[i];
+    s.pseudo_thread_id = (*ptid)[i];
+    s.x_request_id = xrid_dict_[xrid_refs_[i]];
+    s.otel_trace_id = otel_dict_[otel_refs_[i]];
+    s.req_tcp_seq = static_cast<TcpSeq>(req_seq_[i]);
+    s.resp_tcp_seq = static_cast<TcpSeq>(resp_seq_[i]);
+    s.host = host->strings[host->refs[i]];
+    const u8 f = (*flags)[i];
+    s.from_server_side = (f & kFlagFromServerSide) != 0;
+    s.ok = (f & kFlagOk) != 0;
+    s.incomplete = (f & kFlagIncomplete) != 0;
+    s.lost_placeholder = (f & kFlagLostPlaceholder) != 0;
+    s.device_id = static_cast<u32>((*device_id)[i]);
+    s.device_name = device_name->strings[device_name->refs[i]];
+    s.pid = static_cast<Pid>((*pid)[i]);
+    s.tid = static_cast<Tid>((*tid)[i]);
+    s.start_ts = start_ts_[i];
+    s.end_ts = s.start_ts + static_cast<u64>(unzigzag((*duration)[i]));
+    s.protocol = static_cast<protocols::L7Protocol>((*protocol)[i]);
+    s.method = method->strings[method->refs[i]];
+    s.endpoint = endpoint->strings[endpoint->refs[i]];
+    s.status_code = static_cast<u32>((*status)[i]);
+    {
+      ColumnReader tr(tuple_col.substr(static_cast<size_t>(i) * 13, 13));
+      s.tuple.src_ip.addr = *tr.be32();
+      s.tuple.dst_ip.addr = *tr.be32();
+      s.tuple.src_port = *tr.be16();
+      s.tuple.dst_port = *tr.be16();
+      s.tuple.proto = static_cast<L4Proto>(*tr.byte());
+    }
+    {
+      ColumnReader tr(int_tags_col.substr(static_cast<size_t>(i) * 12, 12));
+      s.int_tags.vpc_id = *tr.be32();
+      s.int_tags.client_ip = *tr.be32();
+      s.int_tags.server_ip = *tr.be32();
+    }
+    s.parent_span_id = (*parent)[i];
+    row.pseudo_key = pseudo_keys_[i];
+    if (tag_mode_ == TagColumnMode::kEncoderBlob) {
+      const auto [off, len] = blob_ranges[i];
+      row.tag_blob.assign(tag_col.substr(static_cast<size_t>(off),
+                                         static_cast<size_t>(len)));
+    } else {
+      const auto [off, count] = tag_spans[i];
+      row.has_tags = true;
+      row.tags.reserve(count);
+      for (u32 t = 0; t < count; ++t) {
+        const auto [key, value] = tag_pairs[off + t];
+        row.tags.push_back(agent::Tag{tag_dict[key], tag_dict[value]});
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::optional<std::vector<SegmentRow>> Segment::all_rows() const {
+  std::vector<u32> indexes(span_count_);
+  for (u32 i = 0; i < span_count_; ++i) indexes[i] = i;
+  return rows(indexes);
+}
+
+}  // namespace deepflow::storage

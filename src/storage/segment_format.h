@@ -1,0 +1,182 @@
+// Append-only columnar segment format — the on-disk tier of the span store
+// (the paper's §3.4 smart-encoded ClickHouse tables, reproduced as flat
+// column files).
+//
+// One segment holds one sealed batch of spans, sorted by span id, laid out
+// column by column so scans touch only the bytes they need:
+//
+//   [header]   magic "DFSG", version, reserved (all equality-checked)
+//   [columns]  one block per span field; integers are varint (timestamps
+//              delta-encoded, durations zigzag), strings are per-segment
+//              dictionary encoded, tags are either the encoder blob
+//              verbatim (smart/direct: self-contained bytes) or a
+//              per-segment dictionary re-encoding (low-cardinality, whose
+//              in-memory blobs reference shard-private dictionaries that do
+//              not survive a restart)
+//   [bloom]    key Bloom filter over every indexed association attribute,
+//              mirroring the in-memory shard filters so warm searches skip
+//              whole segments without decoding anything
+//   [footer]   span count, time bounds, per-column directory with offsets,
+//              sizes and CRC-32 checksums, bloom directory
+//   [trailer]  footer size, footer CRC, end magic
+//
+// Validation contract (what recovery and the corruption suite rely on):
+// every byte of the file is covered by either an equality check (header,
+// trailer magic) or a CRC (columns, bloom, footer), so a torn tail or a
+// flipped byte is always detected, and all decode paths are bounds-checked
+// so even undetected garbage cannot read out of range. Open classifies
+// failures as kTorn (structurally incomplete: truncation cut the
+// trailer/footer — the crash-mid-flush signature) vs kCorrupt (structure
+// intact but a checksum or decode rejects — the bit-rot signature); the
+// segment store drops the former and quarantines the latter.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "agent/span.h"
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace deepflow::storage {
+
+constexpr u32 kSegmentMagic = 0x44465347;     // "DFSG"
+constexpr u32 kSegmentEndMagic = 0x47534644;  // "GSFD"
+constexpr u32 kSegmentVersion = 1;
+constexpr size_t kSegmentHeaderBytes = 12;   // magic + version + reserved
+constexpr size_t kSegmentTrailerBytes = 12;  // footer size + footer crc + magic
+
+/// How the tag column is stored (see the header comment).
+enum class TagColumnMode : u8 { kEncoderBlob = 0, kSegmentDict = 1 };
+
+/// Key kinds for the per-segment Bloom filter. Mirrors the in-memory shard
+/// filter semantics: the same attribute value under different kinds sets
+/// different bits.
+enum class SegmentKeyKind : u8 {
+  kSystrace = 0,
+  kPseudoThread = 1,
+  kXRequestId = 2,
+  kTcpSeq = 3,
+  kOtelId = 4,
+};
+
+constexpr u64 segment_key_hash(SegmentKeyKind kind, u64 value) {
+  return mix64(value ^ (0x9e3779b97f4a7c15ULL *
+                        (static_cast<u64>(kind) + 0x51ULL)));
+}
+
+/// One span headed into a segment. `tags` must be the decoded tag set when
+/// the mode is kSegmentDict and may be null otherwise; `pseudo_key` is the
+/// server-derived hash(host, pid, pseudo-thread id) search key (0 = span
+/// has no pseudo-thread), stored as its own column because the hash is
+/// owned by the server layer and must survive a restart unchanged.
+struct SegmentRowInput {
+  const agent::Span* span = nullptr;
+  std::string_view tag_blob;
+  const std::vector<agent::Tag>* tags = nullptr;
+  u64 pseudo_key = 0;
+};
+
+/// One span decoded back out of a segment. `tags` is populated only in
+/// kSegmentDict mode (the caller decodes `tag_blob` through its encoder
+/// otherwise, exactly like a hot row).
+struct SegmentRow {
+  agent::Span span;
+  std::string tag_blob;
+  std::vector<agent::Tag> tags;
+  bool has_tags = false;
+  u64 pseudo_key = 0;
+};
+
+/// Serialize one sealed batch into a complete segment file image. Rows are
+/// sorted by span id internally, so callers may pass them in any order;
+/// `encoder_kind` is recorded in the footer for cross-checking at open.
+std::string encode_segment(std::vector<SegmentRowInput> rows, u8 encoder_kind,
+                           TagColumnMode mode);
+
+enum class SegmentOpenStatus : u8 { kOk, kTorn, kCorrupt };
+
+std::string_view segment_open_status_name(SegmentOpenStatus status);
+
+/// A validated, opened segment. Does NOT own the underlying bytes — the
+/// caller keeps the mapping alive for the segment's lifetime. The
+/// association-key columns are decoded at open (they are the search side
+/// and a fraction of the file); full rows decode on demand from the mapped
+/// image.
+class Segment {
+ public:
+  /// Parse + validate a whole file image. On kOk, `*out` is the opened
+  /// segment; otherwise `*out` is untouched and the status says whether the
+  /// file is torn or corrupt.
+  static SegmentOpenStatus open(std::string_view image,
+                                std::unique_ptr<Segment>* out);
+
+  u32 span_count() const { return span_count_; }
+  TimestampNs min_ts() const { return min_ts_; }
+  TimestampNs max_ts() const { return max_ts_; }
+  u8 encoder_kind() const { return encoder_kind_; }
+  TagColumnMode tag_mode() const { return tag_mode_; }
+
+  /// Span ids, ascending (the segment sort order).
+  const std::vector<u64>& ids() const { return ids_; }
+  /// Per-row start timestamps, aligned with ids().
+  const std::vector<TimestampNs>& start_ts() const { return start_ts_; }
+
+  /// Bloom membership for a segment_key_hash value. False positives fall
+  /// through to the column scan; false negatives cannot happen.
+  bool may_contain(u64 key_hash) const;
+
+  /// Row indexes whose column value matches `value` under `kind`. String
+  /// kinds take the fnv1a of the string as `value` plus the string itself
+  /// for the exact compare.
+  std::vector<u32> find_rows(SegmentKeyKind kind, u64 value,
+                             std::string_view text = {}) const;
+
+  /// Decode the rows at the given ascending indexes. Returns nullopt if a
+  /// column fails to decode (possible only on a CRC-colliding corruption;
+  /// the caller quarantines the segment). Indexes out of range are skipped.
+  std::optional<std::vector<SegmentRow>> rows(
+      const std::vector<u32>& indexes) const;
+
+  /// All rows, in segment order.
+  std::optional<std::vector<SegmentRow>> all_rows() const;
+
+ private:
+  struct ColumnRef {
+    u8 id = 0;
+    u64 offset = 0;
+    u64 size = 0;
+  };
+
+  Segment() = default;
+
+  std::string_view column(u8 id) const;
+
+  std::string_view image_;
+  std::vector<ColumnRef> columns_;
+  u64 bloom_offset_ = 0;
+  u64 bloom_size_ = 0;
+
+  u32 span_count_ = 0;
+  TimestampNs min_ts_ = 0;
+  TimestampNs max_ts_ = 0;
+  u8 encoder_kind_ = 0;
+  TagColumnMode tag_mode_ = TagColumnMode::kEncoderBlob;
+
+  // Search-side columns, decoded at open.
+  std::vector<u64> ids_;
+  std::vector<TimestampNs> start_ts_;
+  std::vector<u64> systrace_;
+  std::vector<u64> pseudo_keys_;
+  std::vector<TcpSeq> req_seq_;
+  std::vector<TcpSeq> resp_seq_;
+  std::vector<std::string> xrid_dict_;
+  std::vector<u32> xrid_refs_;
+  std::vector<std::string> otel_dict_;
+  std::vector<u32> otel_refs_;
+};
+
+}  // namespace deepflow::storage

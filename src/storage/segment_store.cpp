@@ -1,0 +1,533 @@
+#include "storage/segment_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+
+namespace deepflow::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kSegmentPrefix = "seg-";
+constexpr std::string_view kSegmentSuffix = ".seg";
+
+/// Parse "seg-%08u.seg" -> sequence number.
+std::optional<u64> parse_segment_name(std::string_view name) {
+  if (!name.starts_with(kSegmentPrefix) || !name.ends_with(kSegmentSuffix)) {
+    return std::nullopt;
+  }
+  const std::string_view digits = name.substr(
+      kSegmentPrefix.size(),
+      name.size() - kSegmentPrefix.size() - kSegmentSuffix.size());
+  if (digits.empty()) return std::nullopt;
+  u64 seq = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<u64>(c - '0');
+  }
+  return seq;
+}
+
+/// Write all bytes + fsync. Returns false on any syscall failure.
+bool write_file_sync(const std::string& path, std::string_view bytes) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t wrote = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (wrote <= 0) {
+      ::close(fd);
+      return false;
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  return synced;
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+SegmentStore::SegmentStore(StorageConfig config) : config_(std::move(config)) {
+  if (!config_.dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(config_.dir, ec);
+  }
+}
+
+void SegmentStore::recover() {
+  std::unique_lock lock(mu_);
+  std::error_code ec;
+  std::vector<std::pair<u64, std::string>> found;  // (seq, path)
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const auto seq = parse_segment_name(name);
+    if (!seq) continue;
+    found.emplace_back(*seq, entry.path().string());
+    next_seq_ = std::max(next_seq_, *seq + 1);
+  }
+  // Deterministic recovery order (directory iteration order is not).
+  std::sort(found.begin(), found.end());
+
+  for (auto& [seq, path] : found) {
+    auto serving = std::make_unique<Serving>();
+    serving->path = path;
+    SegmentOpenStatus status = SegmentOpenStatus::kTorn;
+    if (serving->file.open(path)) {
+      status = Segment::open(serving->file.view(), &serving->segment);
+    }
+    switch (status) {
+      case SegmentOpenStatus::kOk:
+        recovered_segments_.fetch_add(1, std::memory_order_relaxed);
+        recovered_spans_.fetch_add(serving->segment->span_count(),
+                                   std::memory_order_relaxed);
+        disk_bytes_.fetch_add(serving->file.size(), std::memory_order_relaxed);
+        serving_.push_back(std::move(serving));
+        break;
+      case SegmentOpenStatus::kTorn: {
+        // Truncated mid-flush: the batch was never acknowledged durable, so
+        // dropping it is bounded loss of the unflushed window, not data
+        // loss. Renamed (not deleted) for post-mortems.
+        torn_segments_.fetch_add(1, std::memory_order_relaxed);
+        std::error_code rename_ec;
+        fs::rename(path, path + ".torn", rename_ec);
+        break;
+      }
+      case SegmentOpenStatus::kCorrupt: {
+        quarantined_segments_.fetch_add(1, std::memory_order_relaxed);
+        std::error_code rename_ec;
+        fs::rename(path, path + ".quarantined", rename_ec);
+        break;
+      }
+    }
+  }
+}
+
+std::string SegmentStore::next_segment_path() {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%08llu.seg",
+                static_cast<unsigned long long>(next_seq_++));
+  return (fs::path(config_.dir) / name).string();
+}
+
+std::string SegmentStore::write_image(std::string image) {
+  // Injected media rot: flip bits in the image about to hit "stable"
+  // storage. The write itself still succeeds — the corruption surfaces at
+  // the next open, exactly like real bit rot.
+  if (config_.fault != nullptr &&
+      config_.fault->enabled(FaultSite::kSegmentWrite)) {
+    const MediaFault fault =
+        config_.fault->media_fault(FaultSite::kSegmentWrite, image.size());
+    if (fault.corrupt) {
+      image[static_cast<size_t>(fault.offset)] =
+          static_cast<char>(static_cast<u8>(image[fault.offset]) ^
+                            fault.xor_mask);
+    }
+  }
+  const std::string path = next_segment_path();
+  const std::string tmp = path + ".tmp";
+  if (!write_file_sync(tmp, image)) {
+    ::unlink(tmp.c_str());
+    return {};
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return {};
+  }
+  fsync_dir(config_.dir);
+  disk_bytes_.fetch_add(image.size(), std::memory_order_relaxed);
+  segments_written_.fetch_add(1, std::memory_order_relaxed);
+  return path;
+}
+
+bool SegmentStore::append(const std::vector<SegmentRowInput>& rows,
+                          u8 encoder_kind, TagColumnMode mode,
+                          bool hot_backed) {
+  std::string image = encode_segment(rows, encoder_kind, mode);
+  const u64 image_bytes = image.size();
+
+  std::unique_lock lock(mu_);
+  const std::string path = write_image(std::move(image));
+  if (path.empty()) return false;
+
+  if (hot_backed) {
+    // RAM still serves these spans; remember the file for compaction only.
+    hot_files_.push_back(HotFile{path, static_cast<u32>(rows.size()),
+                                 image_bytes, encoder_kind, mode});
+    flush_batches_.fetch_add(1, std::memory_order_relaxed);
+    flushed_spans_.fetch_add(rows.size(), std::memory_order_relaxed);
+    return true;
+  }
+  // Serving append (compaction rewrite of warm data): open it back up so
+  // queries can use it. The file was just validated by construction, so a
+  // failure here means injected/real media rot — quarantine immediately.
+  auto serving = std::make_unique<Serving>();
+  serving->path = path;
+  SegmentOpenStatus status = SegmentOpenStatus::kTorn;
+  if (serving->file.open(path)) {
+    status = Segment::open(serving->file.view(), &serving->segment);
+  }
+  if (status != SegmentOpenStatus::kOk) {
+    quarantined_segments_.fetch_add(1, std::memory_order_relaxed);
+    disk_bytes_.fetch_sub(image_bytes, std::memory_order_relaxed);
+    std::error_code rename_ec;
+    fs::rename(path, path + ".quarantined", rename_ec);
+    return false;
+  }
+  serving_.push_back(std::move(serving));
+  return true;
+}
+
+void SegmentStore::compact() {
+  std::unique_lock lock(mu_);
+
+  // ---- Hot-backed class: merge small RAM-backed files. ----
+  // Group by (encoder kind, tag mode); classes never mix because the tag
+  // column of a merged segment must decode uniformly.
+  for (u8 kind = 0; kind < 4; ++kind) {
+    for (const TagColumnMode mode :
+         {TagColumnMode::kEncoderBlob, TagColumnMode::kSegmentDict}) {
+      std::vector<size_t> small;
+      for (size_t i = 0; i < hot_files_.size(); ++i) {
+        const HotFile& f = hot_files_[i];
+        if (f.encoder_kind == kind && f.mode == mode &&
+            f.span_count < config_.compact_span_threshold) {
+          small.push_back(i);
+        }
+      }
+      if (small.size() < config_.compact_min_segments) continue;
+
+      // Decode every input (opening the files now — the only time a
+      // hot-backed file is read). A file that fails validation is
+      // quarantined and not merged; its spans are still in RAM.
+      std::vector<std::vector<SegmentRow>> decoded;
+      std::vector<size_t> mergeable;    // decoded fine, inputs to the merge
+      std::vector<size_t> quarantined;  // renamed away, drop from the list
+      for (const size_t i : small) {
+        MappedFile file;
+        std::unique_ptr<Segment> segment;
+        SegmentOpenStatus status = SegmentOpenStatus::kTorn;
+        if (file.open(hot_files_[i].path)) {
+          status = Segment::open(file.view(), &segment);
+        }
+        std::optional<std::vector<SegmentRow>> rows;
+        if (status == SegmentOpenStatus::kOk) rows = segment->all_rows();
+        if (!rows) {
+          quarantined_segments_.fetch_add(1, std::memory_order_relaxed);
+          if (status == SegmentOpenStatus::kOk) {
+            decode_failures_.fetch_add(1, std::memory_order_relaxed);
+          }
+          std::error_code ec;
+          fs::rename(hot_files_[i].path, hot_files_[i].path + ".quarantined",
+                     ec);
+          disk_bytes_.fetch_sub(hot_files_[i].file_bytes,
+                                std::memory_order_relaxed);
+          quarantined.push_back(i);
+          continue;
+        }
+        decoded.push_back(std::move(*rows));
+        mergeable.push_back(i);
+      }
+      std::vector<size_t> consumed = quarantined;
+      if (decoded.size() >= 2) {
+        std::vector<SegmentRowInput> inputs;
+        for (const auto& rows : decoded) {
+          for (const SegmentRow& row : rows) {
+            inputs.push_back(SegmentRowInput{
+                &row.span, row.tag_blob, row.has_tags ? &row.tags : nullptr,
+                row.pseudo_key});
+          }
+        }
+        const std::string path =
+            write_image(encode_segment(inputs, kind, mode));
+        if (!path.empty()) {
+          const u64 merged_bytes = static_cast<u64>(fs::file_size(path));
+          hot_files_.push_back(HotFile{path, static_cast<u32>(inputs.size()),
+                                       merged_bytes, kind, mode});
+          compactions_.fetch_add(1, std::memory_order_relaxed);
+          compacted_segments_.fetch_add(decoded.size(),
+                                        std::memory_order_relaxed);
+          for (const size_t i : mergeable) {
+            std::error_code ec;
+            if (fs::remove(hot_files_[i].path, ec)) {
+              disk_bytes_.fetch_sub(hot_files_[i].file_bytes,
+                                    std::memory_order_relaxed);
+            }
+            consumed.push_back(i);
+          }
+        }
+      }
+      // Drop consumed entries from the hot list (descending index order so
+      // earlier erases do not shift later indexes).
+      std::sort(consumed.rbegin(), consumed.rend());
+      for (const size_t i : consumed) {
+        hot_files_.erase(hot_files_.begin() + static_cast<long>(i));
+      }
+    }
+  }
+
+  // ---- Serving class: merge small warm segments. ----
+  for (u8 kind = 0; kind < 4; ++kind) {
+    for (const TagColumnMode mode :
+         {TagColumnMode::kEncoderBlob, TagColumnMode::kSegmentDict}) {
+      std::vector<size_t> small;
+      for (size_t i = 0; i < serving_.size(); ++i) {
+        const Serving& s = *serving_[i];
+        if (usable(s) && s.segment->encoder_kind() == kind &&
+            s.segment->tag_mode() == mode &&
+            s.segment->span_count() < config_.compact_span_threshold) {
+          small.push_back(i);
+        }
+      }
+      if (small.size() < config_.compact_min_segments) continue;
+
+      std::vector<std::vector<SegmentRow>> decoded;
+      std::vector<size_t> merged_idx;
+      for (const size_t i : small) {
+        auto rows = serving_[i]->segment->all_rows();
+        if (!rows) {
+          decode_failures_.fetch_add(1, std::memory_order_relaxed);
+          mark_poisoned(*serving_[i]);
+          continue;
+        }
+        decoded.push_back(std::move(*rows));
+        merged_idx.push_back(i);
+      }
+      if (decoded.size() < 2) continue;
+      std::vector<SegmentRowInput> inputs;
+      for (const auto& rows : decoded) {
+        for (const SegmentRow& row : rows) {
+          inputs.push_back(SegmentRowInput{
+              &row.span, row.tag_blob, row.has_tags ? &row.tags : nullptr,
+              row.pseudo_key});
+        }
+      }
+      const std::string path = write_image(encode_segment(inputs, kind, mode));
+      if (path.empty()) continue;
+      auto merged = std::make_unique<Serving>();
+      merged->path = path;
+      SegmentOpenStatus status = SegmentOpenStatus::kTorn;
+      if (merged->file.open(path)) {
+        status = Segment::open(merged->file.view(), &merged->segment);
+      }
+      if (status != SegmentOpenStatus::kOk) {
+        // Media rot hit the rewrite: quarantine it and keep the originals.
+        quarantined_segments_.fetch_add(1, std::memory_order_relaxed);
+        disk_bytes_.fetch_sub(fs::file_size(path), std::memory_order_relaxed);
+        std::error_code ec;
+        fs::rename(path, path + ".quarantined", ec);
+        continue;
+      }
+      compactions_.fetch_add(1, std::memory_order_relaxed);
+      compacted_segments_.fetch_add(merged_idx.size(),
+                                    std::memory_order_relaxed);
+      std::sort(merged_idx.rbegin(), merged_idx.rend());
+      for (const size_t i : merged_idx) {
+        std::error_code ec;
+        const u64 bytes = serving_[i]->file.size();
+        if (fs::remove(serving_[i]->path, ec)) {
+          disk_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+        }
+        serving_.erase(serving_.begin() + static_cast<long>(i));
+      }
+      serving_.push_back(std::move(merged));
+    }
+  }
+}
+
+void SegmentStore::mark_poisoned(const Serving& s) const {
+  s.poisoned.store(true, std::memory_order_relaxed);
+}
+
+std::vector<SegmentRow> SegmentStore::find(SegmentKeyKind kind, u64 value,
+                                           std::string_view text) const {
+  warm_searches_.fetch_add(1, std::memory_order_relaxed);
+  // For the string kinds, `value` is fnv1a(text) — the same hash the
+  // encoder fed the Bloom filter.
+  const u64 hash = segment_key_hash(kind, value);
+  std::vector<SegmentRow> out;
+  std::shared_lock lock(mu_);
+  for (const auto& serving : serving_) {
+    if (!usable(*serving)) continue;
+    const Segment& segment = *serving->segment;
+    if (!segment.may_contain(hash)) {
+      if (segment.span_count() > 0) {
+        bloom_segment_skips_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    const std::vector<u32> indexes = segment.find_rows(kind, value, text);
+    if (indexes.empty()) continue;
+    auto rows = segment.rows(indexes);
+    if (!rows) {
+      decode_failures_.fetch_add(1, std::memory_order_relaxed);
+      mark_poisoned(*serving);
+      continue;
+    }
+    warm_rows_loaded_.fetch_add(rows->size(), std::memory_order_relaxed);
+    for (auto& row : *rows) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::optional<SegmentRow> SegmentStore::load_row(u64 span_id) const {
+  std::shared_lock lock(mu_);
+  for (const auto& serving : serving_) {
+    if (!usable(*serving)) continue;
+    const Segment& segment = *serving->segment;
+    const std::vector<u64>& ids = segment.ids();
+    const auto it = std::lower_bound(ids.begin(), ids.end(), span_id);
+    if (it == ids.end() || *it != span_id) continue;
+    auto rows =
+        segment.rows({static_cast<u32>(std::distance(ids.begin(), it))});
+    if (!rows || rows->empty()) {
+      decode_failures_.fetch_add(1, std::memory_order_relaxed);
+      mark_poisoned(*serving);
+      continue;
+    }
+    warm_rows_loaded_.fetch_add(1, std::memory_order_relaxed);
+    return std::move(rows->front());
+  }
+  return std::nullopt;
+}
+
+std::vector<std::optional<SegmentRow>> SegmentStore::load_rows(
+    const std::vector<u64>& span_ids) const {
+  std::vector<std::optional<SegmentRow>> out(span_ids.size());
+  std::shared_lock lock(mu_);
+  std::vector<std::pair<u32, u32>> hits;  // (segment row index, out position)
+  for (const auto& serving : serving_) {
+    if (!usable(*serving)) continue;
+    const Segment& segment = *serving->segment;
+    const std::vector<u64>& ids = segment.ids();
+    if (ids.empty()) continue;
+    hits.clear();
+    for (size_t p = 0; p < span_ids.size(); ++p) {
+      if (out[p].has_value()) continue;
+      if (span_ids[p] < ids.front() || span_ids[p] > ids.back()) continue;
+      const auto it = std::lower_bound(ids.begin(), ids.end(), span_ids[p]);
+      if (it == ids.end() || *it != span_ids[p]) continue;
+      hits.emplace_back(static_cast<u32>(std::distance(ids.begin(), it)),
+                        static_cast<u32>(p));
+    }
+    if (hits.empty()) continue;
+    std::sort(hits.begin(), hits.end());  // rows() wants ascending indexes
+    std::vector<u32> indexes;
+    indexes.reserve(hits.size());
+    for (const auto& [idx, pos] : hits) indexes.push_back(idx);
+    auto rows = segment.rows(indexes);
+    if (!rows || rows->size() != hits.size()) {
+      decode_failures_.fetch_add(1, std::memory_order_relaxed);
+      mark_poisoned(*serving);
+      continue;
+    }
+    warm_rows_loaded_.fetch_add(rows->size(), std::memory_order_relaxed);
+    for (size_t k = 0; k < hits.size(); ++k) {
+      out[hits[k].second] = std::move((*rows)[k]);
+    }
+  }
+  return out;
+}
+
+std::vector<SegmentRow> SegmentStore::serving_rows() const {
+  std::vector<SegmentRow> out;
+  std::shared_lock lock(mu_);
+  for (const auto& serving : serving_) {
+    if (!usable(*serving)) continue;
+    auto rows = serving->segment->all_rows();
+    if (!rows) {
+      decode_failures_.fetch_add(1, std::memory_order_relaxed);
+      mark_poisoned(*serving);
+      continue;
+    }
+    warm_rows_loaded_.fetch_add(rows->size(), std::memory_order_relaxed);
+    for (auto& row : *rows) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<std::pair<TimestampNs, u64>> SegmentStore::time_entries() const {
+  std::vector<std::pair<TimestampNs, u64>> out;
+  std::shared_lock lock(mu_);
+  for (const auto& serving : serving_) {
+    if (!usable(*serving)) continue;
+    const Segment& segment = *serving->segment;
+    for (u32 i = 0; i < segment.span_count(); ++i) {
+      out.emplace_back(segment.start_ts()[i], segment.ids()[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<u64> SegmentStore::serving_ids() const {
+  std::vector<u64> out;
+  std::shared_lock lock(mu_);
+  for (const auto& serving : serving_) {
+    if (!usable(*serving)) continue;
+    const std::vector<u64>& ids = serving->segment->ids();
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  return out;
+}
+
+bool SegmentStore::contains(u64 span_id) const {
+  std::shared_lock lock(mu_);
+  for (const auto& serving : serving_) {
+    if (!usable(*serving)) continue;
+    const std::vector<u64>& ids = serving->segment->ids();
+    if (std::binary_search(ids.begin(), ids.end(), span_id)) return true;
+  }
+  return false;
+}
+
+size_t SegmentStore::serving_span_count() const {
+  size_t n = 0;
+  std::shared_lock lock(mu_);
+  for (const auto& serving : serving_) {
+    if (usable(*serving)) n += serving->segment->span_count();
+  }
+  return n;
+}
+
+size_t SegmentStore::segment_count() const {
+  std::shared_lock lock(mu_);
+  return serving_.size() + hot_files_.size();
+}
+
+StorageTelemetry SegmentStore::telemetry() const {
+  StorageTelemetry t;
+  t.segments_written = segments_written_.load(std::memory_order_relaxed);
+  t.flushed_spans = flushed_spans_.load(std::memory_order_relaxed);
+  t.flush_batches = flush_batches_.load(std::memory_order_relaxed);
+  t.recovered_segments = recovered_segments_.load(std::memory_order_relaxed);
+  t.recovered_spans = recovered_spans_.load(std::memory_order_relaxed);
+  t.torn_segments = torn_segments_.load(std::memory_order_relaxed);
+  t.quarantined_segments =
+      quarantined_segments_.load(std::memory_order_relaxed);
+  t.decode_failures = decode_failures_.load(std::memory_order_relaxed);
+  t.compactions = compactions_.load(std::memory_order_relaxed);
+  t.compacted_segments = compacted_segments_.load(std::memory_order_relaxed);
+  t.warm_searches = warm_searches_.load(std::memory_order_relaxed);
+  t.bloom_segment_skips = bloom_segment_skips_.load(std::memory_order_relaxed);
+  t.warm_rows_loaded = warm_rows_loaded_.load(std::memory_order_relaxed);
+  t.disk_bytes = disk_bytes_.load(std::memory_order_relaxed);
+  return t;
+}
+
+}  // namespace deepflow::storage

@@ -1,0 +1,179 @@
+// The on-disk tier: a directory of columnar segment files plus the machinery
+// that writes, recovers, queries and compacts them.
+//
+// Durability model (write-behind): sealed span batches are *copied* to disk;
+// the in-memory store keeps serving them, so flushing never invalidates a
+// row pointer. Segments written by this process are therefore "hot-backed"
+// (queries skip them — RAM already answers) while segments found on disk at
+// startup are "serving" (their spans exist nowhere else — the warm tier).
+// A restart turns the previous lifetime's hot-backed segments into serving
+// ones, bounding data loss to the unflushed window.
+//
+// Crash safety: segments are written to a `.tmp` name, fsync'd, renamed into
+// place, and the directory fsync'd — a crash leaves either no file or a
+// complete one, and a torn `.tmp`/partial rename is detected by validation.
+// Recovery classifies every `seg-*.seg` file via Segment::open: torn files
+// (truncation signature) are renamed `*.torn` and dropped; corrupt files
+// (checksum rejection) are renamed `*.quarantined`; both are counted and
+// never crash the process or serve wrong data.
+//
+// Thread-safety: queries take a shared lock; append/recover/compact take the
+// exclusive lock. Telemetry counters are atomics, snapshot at any time.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "storage/mapped_file.h"
+#include "storage/segment_format.h"
+
+namespace deepflow::storage {
+
+/// Storage tier knobs (wired through ServerConfig.storage).
+struct StorageConfig {
+  bool enabled = false;
+  /// Segment directory; created on demand. Required when enabled.
+  std::string dir;
+  /// Spans per shard that seal a batch into one segment.
+  u32 segment_spans = 4096;
+  /// Run a background thread that flushes sealed batches periodically
+  /// (otherwise sealing happens inline on the inserting thread).
+  bool background_flush = false;
+  u32 flush_interval_ms = 25;
+  /// Compaction trigger: at least this many small segments of one class.
+  u32 compact_min_segments = 4;
+  /// A segment is "small" when it holds fewer spans than this.
+  u32 compact_span_threshold = 2048;
+  /// Flush the remaining unflushed window when the store shuts down.
+  bool flush_on_close = true;
+  /// Optional media-rot injection at FaultSite::kSegmentWrite (tests).
+  FaultInjector* fault = nullptr;
+};
+
+/// Monotonic storage-tier counters (mirrors the ingest/query telemetry).
+struct StorageTelemetry {
+  u64 segments_written = 0;    // successful segment files (flush + compact)
+  u64 flushed_spans = 0;       // spans written by flush batches
+  u64 flush_batches = 0;       // sealed batches flushed
+  u64 recovered_segments = 0;  // valid segments found at startup
+  u64 recovered_spans = 0;     // spans inside them
+  u64 torn_segments = 0;       // truncated files dropped at recovery
+  u64 quarantined_segments = 0;  // corrupt files quarantined (any time)
+  u64 decode_failures = 0;     // row decodes rejected after open (CRC dodge)
+  u64 compactions = 0;         // compaction passes that merged something
+  u64 compacted_segments = 0;  // input segments consumed by compaction
+  u64 warm_searches = 0;       // key probes against the warm tier
+  u64 bloom_segment_skips = 0;  // segments excluded by their Bloom filter
+  u64 warm_rows_loaded = 0;    // rows decoded out of serving segments
+  u64 disk_bytes = 0;          // bytes currently in live segment files
+};
+
+class SegmentStore {
+ public:
+  explicit SegmentStore(StorageConfig config);
+
+  /// Scan the directory, validate every segment, drop torn tails and
+  /// quarantine corruption. Valid segments become the serving set. Called
+  /// once before any append/query.
+  void recover();
+
+  /// Encode and durably write one sealed batch. `hot_backed` marks the
+  /// segment as RAM-backed (skipped by queries this lifetime). Counted as a
+  /// flush batch only when `hot_backed` (compaction rewrites pass false for
+  /// `count_as_flush`). Returns false if the file could not be written.
+  bool append(const std::vector<SegmentRowInput>& rows, u8 encoder_kind,
+              TagColumnMode mode, bool hot_backed);
+
+  /// Merge small segments of the same class/(encoder, tag-mode) into larger
+  /// ones. Hot-backed and serving segments never merge with each other.
+  void compact();
+
+  // ---- Warm-tier queries (serving segments only). ----
+
+  /// Rows matching one association key (Bloom-pruned, then column scan).
+  std::vector<SegmentRow> find(SegmentKeyKind kind, u64 value,
+                               std::string_view text = {}) const;
+
+  /// The row with this span id, if any serving segment holds it.
+  std::optional<SegmentRow> load_row(u64 span_id) const;
+
+  /// Bulk flavour of load_row, positionally aligned with `span_ids`: ids are
+  /// grouped per segment so each segment's columns decode at most once per
+  /// call (a cold query touching the whole warm tier is O(segments), not
+  /// O(rows x segment size)).
+  std::vector<std::optional<SegmentRow>> load_rows(
+      const std::vector<u64>& span_ids) const;
+
+  /// Every serving row (recovery promotion / full dumps).
+  std::vector<SegmentRow> serving_rows() const;
+
+  /// (start_ts, span id) for every serving row — time-index merging.
+  std::vector<std::pair<TimestampNs, u64>> time_entries() const;
+
+  /// Every serving span id (id-uniqueness claims, dedup priming).
+  std::vector<u64> serving_ids() const;
+
+  bool contains(u64 span_id) const;
+  size_t serving_span_count() const;
+  size_t segment_count() const;  // serving + hot-backed live files
+
+  StorageTelemetry telemetry() const;
+  const StorageConfig& config() const { return config_; }
+
+ private:
+  /// One opened, validated, serving segment.
+  struct Serving {
+    std::string path;
+    MappedFile file;
+    std::unique_ptr<Segment> segment;
+    /// Set when a row decode failed after open (CRC-colliding corruption):
+    /// the segment stops serving rather than return wrong data.
+    mutable std::atomic<bool> poisoned{false};
+  };
+
+  /// One hot-backed segment file (never opened unless compacted).
+  struct HotFile {
+    std::string path;
+    u32 span_count = 0;
+    u64 file_bytes = 0;
+    u8 encoder_kind = 0;
+    TagColumnMode mode = TagColumnMode::kEncoderBlob;
+  };
+
+  std::string next_segment_path();
+  /// Write `image` to a fresh segment file (tmp + fsync + rename + dir
+  /// fsync), applying any injected media fault first. Empty path = failure.
+  std::string write_image(std::string image);
+  bool usable(const Serving& s) const {
+    return !s.poisoned.load(std::memory_order_relaxed);
+  }
+  void mark_poisoned(const Serving& s) const;
+
+  StorageConfig config_;
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<Serving>> serving_;
+  std::vector<HotFile> hot_files_;
+  u64 next_seq_ = 0;
+
+  mutable std::atomic<u64> segments_written_{0};
+  mutable std::atomic<u64> flushed_spans_{0};
+  mutable std::atomic<u64> flush_batches_{0};
+  mutable std::atomic<u64> recovered_segments_{0};
+  mutable std::atomic<u64> recovered_spans_{0};
+  mutable std::atomic<u64> torn_segments_{0};
+  mutable std::atomic<u64> quarantined_segments_{0};
+  mutable std::atomic<u64> decode_failures_{0};
+  mutable std::atomic<u64> compactions_{0};
+  mutable std::atomic<u64> compacted_segments_{0};
+  mutable std::atomic<u64> warm_searches_{0};
+  mutable std::atomic<u64> bloom_segment_skips_{0};
+  mutable std::atomic<u64> warm_rows_loaded_{0};
+  mutable std::atomic<u64> disk_bytes_{0};
+};
+
+}  // namespace deepflow::storage

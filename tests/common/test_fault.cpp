@@ -165,6 +165,52 @@ TEST(FaultInjector, CountersMatchReportedDecisions) {
   EXPECT_EQ(c.ts_corruptions, expect.ts_corruptions);
 }
 
+TEST(FaultInjector, MediaFaultUsesItsOwnDrawScheduleAtTheSite) {
+  // media_fault() consults the segment-write stream without disturbing the
+  // delivery sites: two injectors, one interleaving media consults, must
+  // still agree on every transport decision (distinct sites, distinct
+  // streams).
+  FaultProfile transport;
+  transport.drop = 0.2;
+  transport.duplicate = 0.1;
+  FaultProfile media;
+  media.media_corrupt = 0.5;
+  FaultInjector pure(23), mixed(23);
+  pure.configure(FaultSite::kTransportSend, transport);
+  mixed.configure(FaultSite::kTransportSend, transport);
+  mixed.configure(FaultSite::kSegmentWrite, media);
+  for (int i = 0; i < 500; ++i) {
+    mixed.media_fault(FaultSite::kSegmentWrite, 4096);
+    const FaultDecision a = pure.decide(FaultSite::kTransportSend);
+    const FaultDecision b = mixed.decide(FaultSite::kTransportSend);
+    ASSERT_EQ(a.drop, b.drop) << i;
+    ASSERT_EQ(a.duplicate, b.duplicate) << i;
+    ASSERT_EQ(a.delay_ticks, b.delay_ticks) << i;
+    ASSERT_EQ(a.ts_skew_ns, b.ts_skew_ns) << i;
+  }
+}
+
+TEST(FaultInjector, MediaFaultBoundsAndCounters) {
+  FaultProfile media;
+  media.media_corrupt = 1.0;
+  FaultInjector inject(31);
+  inject.configure(FaultSite::kSegmentWrite, media);
+  for (int i = 0; i < 200; ++i) {
+    const u64 len = 1 + static_cast<u64>(i) * 7;
+    const MediaFault f = inject.media_fault(FaultSite::kSegmentWrite, len);
+    ASSERT_TRUE(f.corrupt) << i;
+    ASSERT_LT(f.offset, len) << i;
+    ASSERT_NE(f.xor_mask, 0) << i;  // a reported hit always changes bytes
+  }
+  const FaultSiteCounters c = inject.counters(FaultSite::kSegmentWrite);
+  EXPECT_EQ(c.consults, 200u);
+  EXPECT_EQ(c.media_corruptions, 200u);
+  // Zero-probability media rot is an exact pass-through.
+  FaultInjector off(32);
+  const MediaFault clean = off.media_fault(FaultSite::kSegmentWrite, 4096);
+  EXPECT_FALSE(clean.corrupt);
+}
+
 TEST(FaultInjector, DelayAndSkewMagnitudesRespectBounds) {
   FaultProfile profile;
   profile.delay = 1.0;

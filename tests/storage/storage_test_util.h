@@ -1,0 +1,237 @@
+// Shared helpers for the storage suites: seeded random span generation
+// (unicode names, extreme timestamps, random tags), a full-fidelity textual
+// repr for byte-identity assertions, and scoped temp directories.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "agent/span.h"
+#include "common/rand.h"
+#include "storage/segment_format.h"
+
+namespace deepflow::storage::testutil {
+
+/// A span plus the sidecar state encode_segment consumes, with stable
+/// storage so SegmentRowInput pointers stay valid.
+struct OwnedRow {
+  agent::Span span;
+  std::string tag_blob;
+  std::vector<agent::Tag> tags;
+  u64 pseudo_key = 0;
+};
+
+inline std::string random_unicode_name(Rng& rng) {
+  // Mix of ASCII, combining latin, CJK, emoji and embedded NULs is exactly
+  // the hostile input a length-prefixed string column must survive.
+  static const char* kPieces[] = {
+      "svc", "frontend", "π", "naïve", "日本語", "кириллица", "🦀",
+      "χάος", "a/b\\c", "\ttab", "", "zero\0byte", "𝒞𝒶𝓁𝓁",
+  };
+  std::string out;
+  const size_t parts = rng.below(4);
+  for (size_t i = 0; i < parts; ++i) {
+    const size_t pick = rng.below(std::size(kPieces));
+    if (pick == 11) {
+      out.append("zero\0byte", 9);  // keep the embedded NUL
+    } else {
+      out += kPieces[pick];
+    }
+    if (i + 1 < parts) out += '-';
+  }
+  return out;
+}
+
+inline TimestampNs random_timestamp(Rng& rng) {
+  switch (rng.below(6)) {
+    case 0: return 0;
+    case 1: return ~TimestampNs{0};
+    case 2: return ~TimestampNs{0} - rng.below(1000);
+    case 3: return rng.next();  // full 64-bit range
+    default: return 1'700'000'000'000'000'000ULL + rng.below(100'000'000'000ULL);
+  }
+}
+
+/// One fully randomized span. Every field the segment format stores is
+/// exercised, including the hostile corners (unicode, NULs, extreme
+/// timestamps, zero/invalid association keys).
+inline OwnedRow random_row(u64 id, Rng& rng) {
+  OwnedRow row;
+  agent::Span& s = row.span;
+  s.span_id = id;
+  s.kind = static_cast<agent::SpanKind>(rng.below(4));
+  s.systrace_id = rng.chance(0.7) ? rng.next() : kInvalidSystraceId;
+  s.pseudo_thread_id = rng.chance(0.5) ? rng.next() : 0;
+  if (rng.chance(0.4)) s.x_request_id = random_unicode_name(rng);
+  if (rng.chance(0.3)) s.otel_trace_id = random_unicode_name(rng);
+  s.req_tcp_seq = rng.chance(0.8) ? static_cast<TcpSeq>(rng.next()) : 0;
+  s.resp_tcp_seq = rng.chance(0.6) ? static_cast<TcpSeq>(rng.next()) : 0;
+  s.host = "node-" + std::to_string(rng.below(32));
+  s.from_server_side = rng.chance(0.5);
+  s.device_id = static_cast<u32>(rng.below(16));
+  if (rng.chance(0.2)) s.device_name = "eth" + std::to_string(rng.below(4));
+  s.pid = static_cast<Pid>(rng.below(100'000));
+  s.tid = static_cast<Tid>(rng.below(200'000));
+  s.start_ts = random_timestamp(rng);
+  s.end_ts = rng.chance(0.8)
+                 ? s.start_ts + rng.below(10'000'000'000ULL)
+                 : random_timestamp(rng);  // end < start is legal input
+  s.protocol = static_cast<protocols::L7Protocol>(rng.below(10));
+  s.method = rng.chance(0.7) ? "GET" : random_unicode_name(rng);
+  s.endpoint = "/api/" + random_unicode_name(rng);
+  s.status_code = static_cast<u32>(rng.below(600));
+  s.ok = rng.chance(0.9);
+  s.incomplete = rng.chance(0.1);
+  s.lost_placeholder = false;  // never set on stored spans
+  s.tuple = FiveTuple{Ipv4{static_cast<u32>(rng.next())},
+                      Ipv4{static_cast<u32>(rng.next())},
+                      static_cast<u16>(rng.below(65536)),
+                      static_cast<u16>(rng.below(65536)),
+                      rng.chance(0.9) ? L4Proto::kTcp : L4Proto::kUdp};
+  s.int_tags.vpc_id = static_cast<u32>(rng.below(8));
+  s.int_tags.client_ip = static_cast<u32>(rng.next());
+  s.int_tags.server_ip = static_cast<u32>(rng.next());
+  s.parent_span_id = rng.chance(0.3) ? rng.next() : 0;
+  const size_t tag_count = rng.below(6);
+  for (size_t i = 0; i < tag_count; ++i) {
+    row.tags.push_back(
+        {random_unicode_name(rng) + std::to_string(rng.below(10)),
+         random_unicode_name(rng)});
+  }
+  // A random self-contained blob stands in for the encoder output in
+  // kEncoderBlob mode (the format stores it verbatim, so any bytes do).
+  const size_t blob_len = rng.below(48);
+  for (size_t i = 0; i < blob_len; ++i) {
+    row.tag_blob.push_back(static_cast<char>(rng.below(256)));
+  }
+  row.pseudo_key = s.pseudo_thread_id != 0 ? rng.next() : 0;
+  return row;
+}
+
+inline std::vector<SegmentRowInput> as_inputs(
+    const std::vector<OwnedRow>& rows, TagColumnMode mode) {
+  std::vector<SegmentRowInput> inputs;
+  inputs.reserve(rows.size());
+  for (const OwnedRow& r : rows) {
+    SegmentRowInput in;
+    in.span = &r.span;
+    in.tag_blob = r.tag_blob;
+    if (mode == TagColumnMode::kSegmentDict) in.tags = &r.tags;
+    in.pseudo_key = r.pseudo_key;
+    inputs.push_back(in);
+  }
+  return inputs;
+}
+
+/// Every stored field of a span, rendered losslessly (lengths prefix the
+/// strings so embedded NULs and separators cannot alias).
+inline std::string repr_span(const agent::Span& s) {
+  std::string out;
+  const auto str = [&out](const std::string& v) {
+    out += std::to_string(v.size());
+    out += ':';
+    out += v;
+    out += '|';
+  };
+  const auto num = [&out](u64 v) {
+    out += std::to_string(v);
+    out += '|';
+  };
+  num(s.span_id);
+  num(static_cast<u64>(s.kind));
+  num(s.systrace_id);
+  num(s.pseudo_thread_id);
+  str(s.x_request_id);
+  str(s.otel_trace_id);
+  num(s.req_tcp_seq);
+  num(s.resp_tcp_seq);
+  str(s.host);
+  num(s.from_server_side ? 1 : 0);
+  num(s.device_id);
+  str(s.device_name);
+  num(s.pid);
+  num(s.tid);
+  num(s.start_ts);
+  num(s.end_ts);
+  num(static_cast<u64>(s.protocol));
+  str(s.method);
+  str(s.endpoint);
+  num(s.status_code);
+  num(s.ok ? 1 : 0);
+  num(s.incomplete ? 1 : 0);
+  num(s.lost_placeholder ? 1 : 0);
+  num(s.tuple.src_ip.addr);
+  num(s.tuple.dst_ip.addr);
+  num(s.tuple.src_port);
+  num(s.tuple.dst_port);
+  num(static_cast<u64>(s.tuple.proto));
+  num(s.int_tags.vpc_id);
+  num(s.int_tags.client_ip);
+  num(s.int_tags.server_ip);
+  num(s.parent_span_id);
+  return out;
+}
+
+inline std::string repr_tags(const std::vector<agent::Tag>& tags) {
+  std::string out;
+  for (const agent::Tag& t : tags) {
+    out += std::to_string(t.key.size()) + ':' + t.key + '=';
+    out += std::to_string(t.value.size()) + ':' + t.value + ';';
+  }
+  return out;
+}
+
+/// Full-fidelity repr of what a segment must reproduce for one input row.
+inline std::string repr_input(const OwnedRow& row, TagColumnMode mode) {
+  std::string out = repr_span(row.span);
+  out += "pk=" + std::to_string(row.pseudo_key) + '|';
+  if (mode == TagColumnMode::kSegmentDict) {
+    out += "tags{" + repr_tags(row.tags) + '}';
+  } else {
+    out += "blob=" + std::to_string(row.tag_blob.size()) + ':' + row.tag_blob;
+  }
+  return out;
+}
+
+inline std::string repr_decoded(const SegmentRow& row, TagColumnMode mode) {
+  std::string out = repr_span(row.span);
+  out += "pk=" + std::to_string(row.pseudo_key) + '|';
+  if (mode == TagColumnMode::kSegmentDict) {
+    out += "tags{" + repr_tags(row.tags) + '}';
+  } else {
+    out += "blob=" + std::to_string(row.tag_blob.size()) + ':' + row.tag_blob;
+  }
+  return out;
+}
+
+/// A unique scratch directory removed when the object dies.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& stem) {
+    static std::atomic<u64> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            (stem + "-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace deepflow::storage::testutil

@@ -1,0 +1,308 @@
+// Property/fuzz coverage of the columnar segment codec: seeded randomized
+// round-trips (unicode names, embedded NULs, extreme timestamps), edge
+// segments (empty, single span), Bloom-filter soundness and the scan paths.
+#include "storage/segment_format.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "common/hash.h"
+#include "tests/storage/storage_test_util.h"
+
+namespace deepflow::storage {
+namespace {
+
+using testutil::OwnedRow;
+using testutil::ScopedTempDir;
+
+constexpr u8 kEncoderKind = 2;  // opaque to the format; round-tripped only
+
+std::unique_ptr<Segment> must_open(const std::string& image) {
+  std::unique_ptr<Segment> segment;
+  const SegmentOpenStatus status = Segment::open(image, &segment);
+  EXPECT_EQ(status, SegmentOpenStatus::kOk)
+      << segment_open_status_name(status);
+  return segment;
+}
+
+/// Encode `rows`, open the image, decode everything and compare the repr of
+/// every row against its input, id for id.
+void expect_round_trip(const std::vector<OwnedRow>& rows, TagColumnMode mode) {
+  const std::string image =
+      encode_segment(testutil::as_inputs(rows, mode), kEncoderKind, mode);
+  const auto segment = must_open(image);
+  ASSERT_NE(segment, nullptr);
+  ASSERT_EQ(segment->span_count(), rows.size());
+  EXPECT_EQ(segment->encoder_kind(), kEncoderKind);
+  EXPECT_EQ(segment->tag_mode(), mode);
+
+  const auto decoded = segment->all_rows();
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), rows.size());
+
+  // The segment sorts by span id; compare against the inputs in that order.
+  std::vector<const OwnedRow*> sorted;
+  for (const OwnedRow& r : rows) sorted.push_back(&r);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const OwnedRow* a, const OwnedRow* b) {
+                     return a->span.span_id < b->span.span_id;
+                   });
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    ASSERT_EQ(testutil::repr_decoded((*decoded)[i], mode),
+              testutil::repr_input(*sorted[i], mode))
+        << "row " << i << " (span id " << sorted[i]->span.span_id << ")";
+  }
+}
+
+std::vector<OwnedRow> random_rows(size_t count, u64 seed) {
+  Rng rng(seed);
+  std::vector<OwnedRow> rows;
+  rows.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // Unique but non-contiguous, non-sorted ids.
+    rows.push_back(testutil::random_row(mix64(seed + i * 2 + 1), rng));
+  }
+  return rows;
+}
+
+TEST(SegmentFormat, EmptySegmentRoundTrips) {
+  expect_round_trip({}, TagColumnMode::kEncoderBlob);
+  expect_round_trip({}, TagColumnMode::kSegmentDict);
+}
+
+TEST(SegmentFormat, SingleSpanRoundTrips) {
+  expect_round_trip(random_rows(1, 7), TagColumnMode::kEncoderBlob);
+  expect_round_trip(random_rows(1, 8), TagColumnMode::kSegmentDict);
+}
+
+TEST(SegmentFormat, FuzzRoundTripTenThousandSpans) {
+  // The headline property test: 10k fully randomized spans — random tags,
+  // unicode names, extreme timestamps — through encode -> open -> decode
+  // with canonical byte-identity on every field.
+  expect_round_trip(random_rows(10'000, 0xdf5e6), TagColumnMode::kEncoderBlob);
+}
+
+TEST(SegmentFormat, FuzzRoundTripSegmentDictTags) {
+  // Same property for the re-encoded tag-dictionary mode (low-cardinality
+  // encoder rows, whose in-memory blobs cannot survive a restart).
+  expect_round_trip(random_rows(4'000, 0xd1c7), TagColumnMode::kSegmentDict);
+}
+
+TEST(SegmentFormat, ExtremeTimestampsRoundTripExactly) {
+  Rng rng(3);
+  std::vector<OwnedRow> rows;
+  const TimestampNs kMax = ~TimestampNs{0};
+  const TimestampNs cases[][2] = {
+      {0, 0},        {0, kMax},          {kMax, 0},  // end < start: kept as-is
+      {kMax, kMax},  {1, kMax - 1},      {kMax / 2, kMax / 2 + 1},
+      {kMax - 1, kMax},
+  };
+  u64 id = 1;
+  for (const auto& c : cases) {
+    OwnedRow row = testutil::random_row(id++, rng);
+    row.span.start_ts = c[0];
+    row.span.end_ts = c[1];
+    rows.push_back(std::move(row));
+  }
+  expect_round_trip(rows, TagColumnMode::kEncoderBlob);
+}
+
+TEST(SegmentFormat, InputOrderDoesNotChangeTheImage) {
+  // Rows are sorted by span id internally, so any permutation of the same
+  // batch must serialize to byte-identical segment files.
+  const std::vector<OwnedRow> rows = random_rows(257, 0xabc);
+  const std::string baseline = encode_segment(
+      testutil::as_inputs(rows, TagColumnMode::kEncoderBlob), kEncoderKind,
+      TagColumnMode::kEncoderBlob);
+  std::vector<const OwnedRow*> order;
+  for (const OwnedRow& r : rows) order.push_back(&r);
+  std::mt19937_64 shuffler(99);
+  for (int round = 0; round < 3; ++round) {
+    std::shuffle(order.begin(), order.end(), shuffler);
+    std::vector<OwnedRow> permuted;
+    for (const OwnedRow* r : order) permuted.push_back(*r);
+    const std::string image = encode_segment(
+        testutil::as_inputs(permuted, TagColumnMode::kEncoderBlob),
+        kEncoderKind, TagColumnMode::kEncoderBlob);
+    EXPECT_EQ(image, baseline) << "round " << round;
+  }
+}
+
+TEST(SegmentFormat, FooterMetadataMatchesContent) {
+  const std::vector<OwnedRow> rows = random_rows(500, 21);
+  TimestampNs lo = ~TimestampNs{0}, hi = 0;
+  for (const OwnedRow& r : rows) {
+    lo = std::min(lo, r.span.start_ts);
+    hi = std::max(hi, r.span.start_ts);
+  }
+  const std::string image = encode_segment(
+      testutil::as_inputs(rows, TagColumnMode::kEncoderBlob), kEncoderKind,
+      TagColumnMode::kEncoderBlob);
+  const auto segment = must_open(image);
+  ASSERT_NE(segment, nullptr);
+  EXPECT_EQ(segment->span_count(), rows.size());
+  EXPECT_EQ(segment->min_ts(), lo);
+  EXPECT_EQ(segment->max_ts(), hi);
+  // ids() ascending and aligned with start_ts().
+  ASSERT_EQ(segment->ids().size(), rows.size());
+  EXPECT_TRUE(std::is_sorted(segment->ids().begin(), segment->ids().end()));
+  ASSERT_EQ(segment->start_ts().size(), rows.size());
+}
+
+TEST(SegmentFormat, BloomHasNoFalseNegatives) {
+  const std::vector<OwnedRow> rows = random_rows(2'000, 77);
+  const std::string image = encode_segment(
+      testutil::as_inputs(rows, TagColumnMode::kEncoderBlob), kEncoderKind,
+      TagColumnMode::kEncoderBlob);
+  const auto segment = must_open(image);
+  ASSERT_NE(segment, nullptr);
+  for (const OwnedRow& r : rows) {
+    const agent::Span& s = r.span;
+    if (s.systrace_id != kInvalidSystraceId) {
+      EXPECT_TRUE(segment->may_contain(
+          segment_key_hash(SegmentKeyKind::kSystrace, s.systrace_id)));
+    }
+    if (s.pseudo_thread_id != 0 && r.pseudo_key != 0) {
+      EXPECT_TRUE(segment->may_contain(
+          segment_key_hash(SegmentKeyKind::kPseudoThread, r.pseudo_key)));
+    }
+    if (!s.x_request_id.empty()) {
+      EXPECT_TRUE(segment->may_contain(segment_key_hash(
+          SegmentKeyKind::kXRequestId, fnv1a(s.x_request_id))));
+    }
+    if (s.req_tcp_seq != 0) {
+      EXPECT_TRUE(segment->may_contain(
+          segment_key_hash(SegmentKeyKind::kTcpSeq, s.req_tcp_seq)));
+    }
+    if (s.resp_tcp_seq != 0) {
+      EXPECT_TRUE(segment->may_contain(
+          segment_key_hash(SegmentKeyKind::kTcpSeq, s.resp_tcp_seq)));
+    }
+    if (!s.otel_trace_id.empty()) {
+      EXPECT_TRUE(segment->may_contain(segment_key_hash(
+          SegmentKeyKind::kOtelId, fnv1a(s.otel_trace_id))));
+    }
+  }
+}
+
+TEST(SegmentFormat, FindRowsMatchesLinearScan) {
+  const std::vector<OwnedRow> rows = random_rows(1'000, 55);
+  const std::string image = encode_segment(
+      testutil::as_inputs(rows, TagColumnMode::kEncoderBlob), kEncoderKind,
+      TagColumnMode::kEncoderBlob);
+  const auto segment = must_open(image);
+  ASSERT_NE(segment, nullptr);
+  const auto all = segment->all_rows();
+  ASSERT_TRUE(all.has_value());
+
+  const auto expect_matches = [&](SegmentKeyKind kind, u64 value,
+                                  std::string_view text, auto matcher) {
+    std::vector<u32> expected;
+    for (u32 i = 0; i < all->size(); ++i) {
+      if (matcher((*all)[i])) expected.push_back(i);
+    }
+    EXPECT_EQ(segment->find_rows(kind, value, text), expected);
+  };
+
+  // Probe with keys taken from real rows plus keys that match nothing.
+  Rng probe_rng(9);
+  for (int probe = 0; probe < 64; ++probe) {
+    const OwnedRow& r = rows[probe_rng.below(rows.size())];
+    if (r.span.systrace_id != kInvalidSystraceId) {
+      const u64 key = r.span.systrace_id;
+      expect_matches(SegmentKeyKind::kSystrace, key, {},
+                     [key](const SegmentRow& row) {
+                       return row.span.systrace_id == key;
+                     });
+    }
+    if (r.span.req_tcp_seq != 0) {
+      const TcpSeq key = r.span.req_tcp_seq;
+      expect_matches(SegmentKeyKind::kTcpSeq, key, {},
+                     [key](const SegmentRow& row) {
+                       return row.span.req_tcp_seq == key ||
+                              row.span.resp_tcp_seq == key;
+                     });
+    }
+    if (!r.span.x_request_id.empty()) {
+      const std::string key = r.span.x_request_id;
+      expect_matches(SegmentKeyKind::kXRequestId, fnv1a(key), key,
+                     [&key](const SegmentRow& row) {
+                       return row.span.x_request_id == key;
+                     });
+    }
+    if (!r.span.otel_trace_id.empty()) {
+      const std::string key = r.span.otel_trace_id;
+      expect_matches(SegmentKeyKind::kOtelId, fnv1a(key), key,
+                     [&key](const SegmentRow& row) {
+                       return row.span.otel_trace_id == key;
+                     });
+    }
+    if (r.pseudo_key != 0) {
+      const u64 key = r.pseudo_key;
+      expect_matches(SegmentKeyKind::kPseudoThread, key, {},
+                     [key](const SegmentRow& row) {
+                       return row.pseudo_key == key &&
+                              row.span.pseudo_thread_id != 0;
+                     });
+    }
+  }
+  // A key present nowhere must match nothing (and may_contain is allowed to
+  // answer either way — false positives fall through to the scan).
+  EXPECT_TRUE(
+      segment->find_rows(SegmentKeyKind::kSystrace, 0xdeadbeefcafef00dULL)
+          .empty());
+}
+
+TEST(SegmentFormat, RowsDecodesOnlyRequestedIndexes) {
+  const std::vector<OwnedRow> rows = random_rows(300, 13);
+  const std::string image = encode_segment(
+      testutil::as_inputs(rows, TagColumnMode::kEncoderBlob), kEncoderKind,
+      TagColumnMode::kEncoderBlob);
+  const auto segment = must_open(image);
+  ASSERT_NE(segment, nullptr);
+  const auto all = segment->all_rows();
+  ASSERT_TRUE(all.has_value());
+  const std::vector<u32> want = {0, 5, 17, 299};
+  const auto subset = segment->rows(want);
+  ASSERT_TRUE(subset.has_value());
+  ASSERT_EQ(subset->size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(
+        testutil::repr_decoded((*subset)[i], TagColumnMode::kEncoderBlob),
+        testutil::repr_decoded((*all)[want[i]], TagColumnMode::kEncoderBlob));
+  }
+  // Out-of-range indexes are skipped, not fatal.
+  const auto sparse = segment->rows({1, 1'000'000});
+  ASSERT_TRUE(sparse.has_value());
+  EXPECT_EQ(sparse->size(), 1u);
+}
+
+TEST(SegmentFormat, SegmentDictTagsPreserveDuplicatesAndOrder) {
+  Rng rng(31);
+  std::vector<OwnedRow> rows;
+  OwnedRow a = testutil::random_row(1, rng);
+  a.tags = {{"k", "v"}, {"k", "v"}, {"k2", "v2"}, {"k", "other"}};
+  OwnedRow b = testutil::random_row(2, rng);
+  b.tags = {{"k2", "v2"}, {"k", "v"}};  // shares dictionary entries with a
+  OwnedRow c = testutil::random_row(3, rng);
+  c.tags.clear();
+  rows.push_back(std::move(a));
+  rows.push_back(std::move(b));
+  rows.push_back(std::move(c));
+  expect_round_trip(rows, TagColumnMode::kSegmentDict);
+}
+
+TEST(SegmentFormat, EncodeIsDeterministic) {
+  const std::vector<OwnedRow> rows = random_rows(128, 5);
+  const auto inputs = testutil::as_inputs(rows, TagColumnMode::kEncoderBlob);
+  const std::string a =
+      encode_segment(inputs, kEncoderKind, TagColumnMode::kEncoderBlob);
+  const std::string b =
+      encode_segment(inputs, kEncoderKind, TagColumnMode::kEncoderBlob);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace deepflow::storage

@@ -1,0 +1,314 @@
+// The storage tier wired into the span store: inline and background flush,
+// warm-tier queries after restart, Bloom segment pruning, compaction of both
+// segment classes, and the concurrent ingest+flush+query interleaving the
+// TSan gate runs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "server/span_store.h"
+#include "storage/segment_store.h"
+#include "tests/storage/storage_test_util.h"
+
+namespace deepflow::server {
+namespace {
+
+using storage::testutil::ScopedTempDir;
+
+agent::Span tiered_span(u64 id) {
+  agent::Span s;
+  s.span_id = id;
+  s.systrace_id = id / 8 + 1;
+  s.x_request_id = "xrid-" + std::to_string(id);
+  s.req_tcp_seq = static_cast<TcpSeq>(50'000 + id);
+  s.otel_trace_id = id % 2 == 0 ? "otel-" + std::to_string(id / 2) : "";
+  s.host = "node-" + std::to_string(id % 4);
+  s.pid = static_cast<Pid>(100 + id % 8);
+  s.tid = static_cast<Tid>(id);
+  s.start_ts = 1'000'000 + id * 1'000;
+  s.end_ts = s.start_ts + 777;
+  s.protocol = protocols::L7Protocol::kHttp1;
+  s.method = "GET";
+  s.endpoint = "/api/" + std::to_string(id % 3);
+  s.status_code = 200;
+  return s;
+}
+
+storage::StorageConfig tier_config(const ScopedTempDir& dir, u32 spans) {
+  storage::StorageConfig config;
+  config.enabled = true;
+  config.dir = dir.str();
+  config.segment_spans = spans;
+  return config;
+}
+
+TEST(SegmentStoreTier, InlineSealAtThreshold) {
+  ScopedTempDir dir("df-tier-seal");
+  netsim::ResourceRegistry registry;
+  SpanStore store(EncoderKind::kSmart, &registry, 1, tier_config(dir, 8));
+  for (u64 id = 1; id <= 7; ++id) store.insert(tiered_span(id));
+  EXPECT_EQ(store.storage_telemetry().flush_batches, 0u);
+  store.insert(tiered_span(8));  // the 8th insert seals the batch inline
+  storage::StorageTelemetry t = store.storage_telemetry();
+  EXPECT_EQ(t.flush_batches, 1u);
+  EXPECT_EQ(t.flushed_spans, 8u);
+  EXPECT_EQ(t.segments_written, 1u);
+  EXPECT_GT(t.disk_bytes, 0u);
+  // Hot rows still answer every query — flushing is pure durability.
+  EXPECT_EQ(store.row_count(), 8u);
+  for (u64 id = 1; id <= 8; ++id) EXPECT_NE(store.row(id), nullptr);
+}
+
+TEST(SegmentStoreTier, FlushStorageForcesShortSegment) {
+  ScopedTempDir dir("df-tier-force");
+  netsim::ResourceRegistry registry;
+  SpanStore store(EncoderKind::kSmart, &registry, 1, tier_config(dir, 1024));
+  for (u64 id = 1; id <= 5; ++id) store.insert(tiered_span(id));
+  EXPECT_EQ(store.storage_telemetry().flushed_spans, 0u);
+  EXPECT_EQ(store.flush_storage(), 5u);
+  EXPECT_EQ(store.storage_telemetry().flushed_spans, 5u);
+  EXPECT_EQ(store.flush_storage(), 0u);  // nothing left
+}
+
+TEST(SegmentStoreTier, RestartServesWarmQueriesThroughEveryPath) {
+  ScopedTempDir dir("df-tier-restart");
+  netsim::ResourceRegistry registry;
+  const auto config = tier_config(dir, 16);
+  {
+    SpanStore store(EncoderKind::kSmart, &registry, 1, config);
+    for (u64 id = 1; id <= 40; ++id) store.insert(tiered_span(id));
+  }  // flush_on_close seals the tail
+  SpanStore revived(EncoderKind::kSmart, &registry, 1, config);
+  ASSERT_EQ(revived.row_count(), 40u);
+  ASSERT_EQ(revived.recovered_ids().size(), 40u);
+
+  // Point lookup + materialize.
+  const SpanRow* row = revived.row(17);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->shard, SpanStore::kWarmShard);
+  EXPECT_EQ(storage::testutil::repr_span(row->span),
+            storage::testutil::repr_span(tiered_span(17)));
+  EXPECT_EQ(revived.materialize(17).span_id, 17u);
+
+  // Search by every association attribute.
+  SearchFilter by_systrace;
+  by_systrace.systrace_ids.insert(tiered_span(17).systrace_id);
+  EXPECT_EQ(revived.search(by_systrace).size(), 8u);  // ids 16..23 share it
+  SearchFilter by_xrid;
+  by_xrid.x_request_ids.insert("xrid-9");
+  EXPECT_EQ(revived.search(by_xrid), std::vector<u64>{9});
+  SearchFilter by_seq;
+  by_seq.tcp_seqs.insert(50'021);
+  EXPECT_EQ(revived.search(by_seq), std::vector<u64>{21});
+  SearchFilter by_otel;
+  by_otel.otel_trace_ids.insert("otel-5");
+  EXPECT_EQ(revived.search(by_otel), std::vector<u64>{10});
+
+  // Time-range listing merges the warm tier.
+  const auto listed = revived.span_list(0, ~TimestampNs{0});
+  EXPECT_EQ(listed.size(), 40u);
+  EXPECT_EQ(listed.front(), 1u);
+  EXPECT_EQ(listed.back(), 40u);
+
+  // Batched materialization.
+  const auto many = revived.materialize_many({3, 999'999, 40});
+  ASSERT_EQ(many.size(), 3u);
+  EXPECT_EQ(many[0].span_id, 3u);
+  EXPECT_EQ(many[1].span_id, 0u);  // unknown id -> empty span
+  EXPECT_EQ(many[2].span_id, 40u);
+  EXPECT_GT(revived.storage_telemetry().warm_rows_loaded, 0u);
+}
+
+TEST(SegmentStoreTier, HotAndWarmTiersMergeInOneQuery) {
+  ScopedTempDir dir("df-tier-merge");
+  netsim::ResourceRegistry registry;
+  const auto config = tier_config(dir, 8);
+  {
+    SpanStore store(EncoderKind::kSmart, &registry, 1, config);
+    for (u64 id = 1; id <= 8; ++id) store.insert(tiered_span(id));
+  }
+  SpanStore revived(EncoderKind::kSmart, &registry, 1, config);
+  // New hot spans share systrace id 1 with warm ids 1..7.
+  agent::Span fresh = tiered_span(100);
+  fresh.systrace_id = 1;
+  revived.insert(fresh);
+  SearchFilter filter;
+  filter.systrace_ids.insert(1);
+  const auto hits = revived.search(filter);
+  EXPECT_EQ(hits.size(), 8u);  // warm 1..7 plus hot 100
+  EXPECT_TRUE(std::find(hits.begin(), hits.end(), 100u) != hits.end());
+  EXPECT_EQ(revived.span_list(0, ~TimestampNs{0}).size(), 9u);
+  EXPECT_EQ(revived.row_count(), 9u);
+}
+
+TEST(SegmentStoreTier, BloomPruningSkipsForeignSegments) {
+  ScopedTempDir dir("df-tier-bloom");
+  netsim::ResourceRegistry registry;
+  const auto config = tier_config(dir, 16);
+  {
+    SpanStore store(EncoderKind::kSmart, &registry, 1, config);
+    // Two sealed segments with disjoint key populations.
+    for (u64 id = 1; id <= 32; ++id) store.insert(tiered_span(id));
+  }
+  SpanStore revived(EncoderKind::kSmart, &registry, 1, config);
+  ASSERT_EQ(revived.storage_telemetry().recovered_segments, 2u);
+  SearchFilter filter;
+  filter.x_request_ids.insert("xrid-2");  // lives in the first segment only
+  EXPECT_EQ(revived.search(filter), std::vector<u64>{2});
+  const storage::StorageTelemetry t = revived.storage_telemetry();
+  EXPECT_GT(t.warm_searches, 0u);
+  EXPECT_GE(t.bloom_segment_skips, 1u);  // the other segment never decoded
+}
+
+TEST(SegmentStoreTier, WarmIdCollisionsRemapNewInserts) {
+  ScopedTempDir dir("df-tier-collide");
+  netsim::ResourceRegistry registry;
+  const auto config = tier_config(dir, 8);
+  {
+    SpanStore store(EncoderKind::kSmart, &registry, 1, config);
+    for (u64 id = 1; id <= 8; ++id) store.insert(tiered_span(id));
+  }
+  SpanStore revived(EncoderKind::kSmart, &registry, 1, config);
+  agent::Span clash = tiered_span(5);
+  clash.endpoint = "/fresh";
+  const u64 assigned = revived.insert(std::move(clash));
+  EXPECT_NE(assigned, 5u);  // id 5 belongs to the recovered span
+  ASSERT_NE(revived.row(assigned), nullptr);
+  EXPECT_EQ(revived.row(assigned)->span.endpoint, "/fresh");
+  ASSERT_NE(revived.row(5), nullptr);
+  EXPECT_EQ(revived.row(5)->span.endpoint, tiered_span(5).endpoint);
+  EXPECT_EQ(revived.row_count(), 9u);
+}
+
+TEST(SegmentStoreTier, CompactionMergesSmallServingSegments) {
+  ScopedTempDir dir("df-tier-compact");
+  netsim::ResourceRegistry registry;
+  const auto config = tier_config(dir, 8);  // 8-span segments are "small"
+  {
+    SpanStore store(EncoderKind::kSmart, &registry, 1, config);
+    for (u64 id = 1; id <= 48; ++id) store.insert(tiered_span(id));
+  }
+  SpanStore revived(EncoderKind::kSmart, &registry, 1, config);
+  ASSERT_EQ(revived.storage_telemetry().recovered_segments, 6u);
+  revived.compact_storage();
+  storage::StorageTelemetry t = revived.storage_telemetry();
+  EXPECT_GE(t.compactions, 1u);
+  EXPECT_GE(t.compacted_segments, 6u);
+
+  // Everything still answers, and a further restart serves the merged file.
+  EXPECT_EQ(revived.row_count(), 48u);
+  for (u64 id = 1; id <= 48; ++id) {
+    const SpanRow* row = revived.row(id);
+    ASSERT_NE(row, nullptr) << id;
+    EXPECT_EQ(storage::testutil::repr_span(row->span),
+              storage::testutil::repr_span(tiered_span(id)));
+  }
+  SpanStore again(EncoderKind::kSmart, &registry, 1, config);
+  EXPECT_EQ(again.row_count(), 48u);
+  EXPECT_EQ(again.storage_telemetry().recovered_segments, 1u);
+}
+
+TEST(SegmentStoreTier, CompactionMergesHotBackedSegments) {
+  ScopedTempDir dir("df-tier-compact-hot");
+  netsim::ResourceRegistry registry;
+  const auto config = tier_config(dir, 8);
+  SpanStore store(EncoderKind::kSmart, &registry, 1, config);
+  for (u64 id = 1; id <= 48; ++id) store.insert(tiered_span(id));
+  ASSERT_EQ(store.storage_telemetry().segments_written, 6u);
+  store.compact_storage();
+  EXPECT_GE(store.storage_telemetry().compactions, 1u);
+  // The merged hot-backed file must carry the full content into the next
+  // lifetime.
+  store.flush_storage();
+  SpanStore revived(EncoderKind::kSmart, &registry, 1, config);
+  EXPECT_EQ(revived.row_count(), 48u);
+  for (u64 id = 1; id <= 48; ++id) {
+    ASSERT_NE(revived.row(id), nullptr) << id;
+  }
+}
+
+TEST(SegmentStoreTier, BackgroundFlushThreadSealsWithoutInserts) {
+  ScopedTempDir dir("df-tier-bg");
+  netsim::ResourceRegistry registry;
+  auto config = tier_config(dir, 8);
+  config.background_flush = true;
+  config.flush_interval_ms = 2;
+  SpanStore store(EncoderKind::kSmart, &registry, 1, config);
+  for (u64 id = 1; id <= 24; ++id) store.insert(tiered_span(id));
+  // The background thread owns sealing; wait for it to catch up.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (store.storage_telemetry().flushed_spans < 24 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(store.storage_telemetry().flushed_spans, 24u);
+  EXPECT_EQ(store.row_count(), 24u);
+}
+
+TEST(SegmentStoreTier, ConcurrentIngestQueryFlushCompact) {
+  // The TSan target: writers seal segments inline while readers walk every
+  // query path and a third thread forces flushes and compactions.
+  ScopedTempDir dir("df-tier-race");
+  netsim::ResourceRegistry registry;
+  auto config = tier_config(dir, 64);
+  config.background_flush = true;
+  config.flush_interval_ms = 1;
+  constexpr size_t kWriters = 4;
+  constexpr u64 kPerWriter = 1'500;
+  {
+    SpanStore store(EncoderKind::kSmart, &registry, 4, config);
+    std::vector<std::thread> threads;
+    for (size_t w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&store, w] {
+        for (u64 i = 0; i < kPerWriter; ++i) {
+          store.insert(tiered_span((w + 1) * 1'000'000 + i + 1));
+        }
+      });
+    }
+    std::atomic<bool> stop{false};
+    threads.emplace_back([&store, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        SearchFilter filter;
+        filter.systrace_ids.insert(1'000'000 / 8 + 1);
+        store.search(filter);
+        store.span_list(0, ~TimestampNs{0}, 64);
+        store.row(1'000'001);
+        store.row_count();
+        store.storage_telemetry();
+      }
+    });
+    threads.emplace_back([&store, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        store.flush_sealed();
+        store.compact_storage();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    for (size_t w = 0; w < kWriters; ++w) threads[w].join();
+    stop.store(true, std::memory_order_relaxed);
+    threads[kWriters].join();
+    threads[kWriters + 1].join();
+    EXPECT_EQ(store.row_count(), kWriters * kPerWriter);
+  }  // destructor joins the background thread and flushes the tail
+  SpanStore revived(EncoderKind::kSmart, &registry, 4, config);
+  EXPECT_EQ(revived.row_count(), kWriters * kPerWriter);
+}
+
+TEST(SegmentStoreTier, StorageOffIsExactPassThrough) {
+  netsim::ResourceRegistry registry;
+  SpanStore store(EncoderKind::kSmart, &registry);
+  EXPECT_FALSE(store.storage_enabled());
+  EXPECT_EQ(store.flush_storage(), 0u);
+  EXPECT_EQ(store.flush_sealed(), 0u);
+  store.compact_storage();  // no-op, must not crash
+  const storage::StorageTelemetry t = store.storage_telemetry();
+  EXPECT_EQ(t.segments_written, 0u);
+  EXPECT_EQ(t.flushed_spans, 0u);
+  EXPECT_TRUE(store.recovered_ids().empty());
+  EXPECT_TRUE(store.recovered_spans().empty());
+}
+
+}  // namespace
+}  // namespace deepflow::server

@@ -1,0 +1,204 @@
+// Federation bench: completeness and query latency across cluster sizes
+// and a kill-a-server chaos schedule.
+//
+// Each cell runs the spring_boot_demo workload through a Deployment —
+// single-server, or federated behind the consistent-hash ring — with the
+// batched SpanTransport, and measures:
+//   * completeness — spans the query plane serves / spans the single-server
+//     baseline serves (1.0 = byte-identical content, the Federation
+//     equivalence contract);
+//   * pipeline seconds — wall clock for load + finalize (replication and
+//     anti-entropy ride the ingest path, so fan-out cost shows up here);
+//   * query ms — wall clock to serve the full span list and assemble every
+//     trace through the scatter-gather query plane;
+//   * recovery work — failovers, catch-up spans replayed on rejoin, and
+//     deliveries refused while the victim was down.
+//
+// The chaos rows kill the primary owner of the first partition between the
+// two load phases; the rejoin row restarts it before finalize, and its
+// completeness must return to 1.0 (catch-up + anti-entropy). The kill row
+// leaves it dead: with one replica content survives, with none it degrades.
+// Usage:
+//   bench_federation [--json out.json] [--quick]
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/federation.h"
+#include "core/deployment.h"
+#include "server/canonical.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+enum class Chaos { kSteady, kKill, kKillRejoin };
+
+struct CellResult {
+  std::string label;
+  double pipeline_seconds = 0;
+  double query_ms = 0;
+  u64 served = 0;    // spans the query plane returned
+  u64 traces = 0;    // traces assembled from them
+  cluster::FederationTelemetry fed;
+};
+
+const char* chaos_name(Chaos chaos) {
+  switch (chaos) {
+    case Chaos::kSteady: return "steady";
+    case Chaos::kKill: return "kill";
+    case Chaos::kKillRejoin: return "rejoin";
+  }
+  return "?";
+}
+
+CellResult run_cell(u32 nodes, u32 replicas, Chaos chaos, double rps) {
+  workloads::Topology topo = workloads::make_spring_boot_demo(11);
+  core::DeploymentConfig config;
+  config.transport.direct = false;
+  config.transport.batch_spans = 16;
+  config.federation.nodes = nodes;
+  config.federation.replicas = replicas;
+  core::Deployment deepflow(topo.cluster.get(), config);
+  if (!deepflow.deploy()) {
+    std::fprintf(stderr, "deploy failed: %s\n", deepflow.error().c_str());
+    return {};
+  }
+
+  CellResult cell;
+  if (nodes == 0) {
+    cell.label = "single";
+  } else {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "fed_n%u_r%u_%s", nodes, replicas,
+                  chaos_name(chaos));
+    cell.label = buf;
+  }
+
+  // Two half-length load phases with a drain poll between them, the same
+  // shape for every cell so the workload stream is identical run to run;
+  // the chaos cells kill the first partition's primary at the midpoint.
+  const bench::WallTimer pipeline_timer;
+  u32 victim = 0;
+  topo.app->run_constant_load(topo.entry, rps, 1 * kSecond / 2);
+  deepflow.poll();
+  if (chaos != Chaos::kSteady && deepflow.federated()) {
+    const std::string host =
+        topo.cluster->kernel_of(topo.cluster->nodes().front())->hostname();
+    victim = deepflow.federation()->owners_of(host).front();
+    deepflow.federation()->kill(victim);
+  }
+  topo.app->run_constant_load(topo.entry, rps, 1 * kSecond / 2);
+  deepflow.poll();
+  if (chaos == Chaos::kKillRejoin && deepflow.federated()) {
+    deepflow.federation()->restart(victim);
+  }
+  deepflow.finish();
+  cell.pipeline_seconds = pipeline_timer.elapsed_seconds();
+
+  // Query latency: serve the full span list, then assemble every trace
+  // through the scatter-gather path (claimed-set dedup, as a UI would).
+  const bench::WallTimer query_timer;
+  std::vector<u64> ids;
+  if (deepflow.federated()) {
+    cluster::Federation& fed = *deepflow.federation();
+    for (const agent::Span& span : fed.query_span_list(0, ~TimestampNs{0})) {
+      ids.push_back(span.span_id);
+    }
+    std::set<u64> claimed;
+    for (const u64 id : ids) {
+      if (claimed.contains(id)) continue;
+      const server::AssembledTrace trace = fed.query_trace(id);
+      for (const auto& s : trace.spans) claimed.insert(s.span.span_id);
+      ++cell.traces;
+    }
+    cell.fed = fed.telemetry();
+  } else {
+    const server::DeepFlowServer& server = deepflow.server();
+    ids = server.store().span_list(0, ~TimestampNs{0});
+    std::set<u64> claimed;
+    for (const u64 id : ids) {
+      if (claimed.contains(id)) continue;
+      const server::AssembledTrace trace = server.query_trace(id);
+      for (const auto& s : trace.spans) claimed.insert(s.span.span_id);
+      ++cell.traces;
+    }
+  }
+  cell.query_ms = query_timer.elapsed_seconds() * 1e3;
+  cell.served = ids.size();
+  return cell;
+}
+
+}  // namespace
+}  // namespace deepflow
+
+int main(int argc, char** argv) {
+  using namespace deepflow;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const double rps = args.quick ? 8.0 : 30.0;
+
+  bench::print_header(
+      "Federation: completeness & query latency vs cluster size and chaos");
+  std::printf("  %-16s %8s %10s %10s %9s %9s %9s %9s\n", "cell", "served",
+              "complete", "query-ms", "failover", "catchup", "refused",
+              "kills");
+
+  struct Cell {
+    u32 nodes;
+    u32 replicas;
+    Chaos chaos;
+  };
+  const std::vector<Cell> cells = {
+      {0, 0, Chaos::kSteady},                     // single-server baseline
+      {2, 1, Chaos::kSteady},  {3, 1, Chaos::kSteady},
+      {5, 1, Chaos::kSteady},  {3, 1, Chaos::kKill},
+      {3, 0, Chaos::kKill},    {3, 1, Chaos::kKillRejoin},
+  };
+
+  bench::JsonReport report(args.json_path);
+  double baseline_served = 0;
+  int failures = 0;
+  for (const Cell& spec : cells) {
+    const CellResult cell =
+        run_cell(spec.nodes, spec.replicas, spec.chaos, rps);
+    if (baseline_served == 0 && spec.nodes == 0) {
+      baseline_served = static_cast<double>(cell.served);
+    }
+    const double completeness =
+        baseline_served > 0 ? static_cast<double>(cell.served) / baseline_served
+                            : 0.0;
+    std::printf("  %-16s %8" PRIu64 " %10.4f %10.3f %9" PRIu64 " %9" PRIu64
+                " %9" PRIu64 " %9" PRIu64 "\n",
+                cell.label.c_str(), cell.served, completeness, cell.query_ms,
+                cell.fed.failovers, cell.fed.catch_up_spans,
+                cell.fed.rejected_down, cell.fed.kills);
+    report.add(cell.label + "_completeness", completeness);
+    report.add(cell.label + "_served", static_cast<double>(cell.served));
+    report.add(cell.label + "_query_ms", cell.query_ms);
+    report.add(cell.label + "_pipeline_seconds", cell.pipeline_seconds);
+
+    // Contract checks the sanitizer smokes gate on: every steady or rejoined
+    // replicated cell serves exactly the baseline content; the unreplicated
+    // kill cell must degrade, not vanish.
+    const bool replicated_whole =
+        spec.nodes == 0 ||
+        (spec.replicas >= 1 && cell.served == baseline_served &&
+         (spec.chaos == Chaos::kSteady || spec.chaos == Chaos::kKillRejoin));
+    const bool degraded_kill =
+        spec.nodes > 0 &&
+        ((spec.chaos == Chaos::kKill && spec.replicas >= 1 &&
+          cell.served == baseline_served) ||
+         (spec.chaos == Chaos::kKill && spec.replicas == 0 &&
+          cell.served > 0 && cell.served < baseline_served));
+    if (!replicated_whole && !degraded_kill) {
+      std::fprintf(stderr, "FAIL: %s served %" PRIu64 " vs baseline %.0f\n",
+                   cell.label.c_str(), cell.served, baseline_served);
+      ++failures;
+    }
+  }
+  if (failures > 0) return 1;
+  return report.write() ? 0 : 1;
+}

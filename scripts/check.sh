@@ -9,13 +9,15 @@
 #   scripts/check.sh release    # release only
 #   scripts/check.sh tsan       # tsan only (thread-pool, ring,
 #                               # parallel/query/persistence-equivalence +
-#                               # chaos/metrics/storage-tier suites and
-#                               # bench_fig15_query_delay/bench_storage
-#                               # --quick smokes)
-#   scripts/check.sh asan       # asan only (fault/transport/chaos/metrics
-#                               # suites, the segment corruption/recovery
-#                               # sweeps, and bench_fault_recovery/
-#                               # bench_storage --quick smokes)
+#                               # chaos/metrics/storage-tier/federation
+#                               # suites and bench_fig15_query_delay/
+#                               # bench_storage/bench_federation --quick
+#                               # smokes)
+#   scripts/check.sh asan       # asan only (fault/transport/chaos/metrics/
+#                               # federation suites, the segment corruption/
+#                               # recovery sweeps, and bench_fault_recovery/
+#                               # bench_storage/bench_federation --quick
+#                               # smokes)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -39,7 +41,7 @@ run_tsan() {
   # gate on the suites that exercise the parallel ingest pipeline.
   (cd "$root/build-tsan" && TSAN_OPTIONS="halt_on_error=1" ctest \
     --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector|Metrics|SegmentStoreTier|PersistenceEquivalence')
+    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector|Metrics|SegmentStoreTier|PersistenceEquivalence|Federation|HashRing')
   echo "== tsan: bench_fig15_query_delay --quick smoke =="
   # Shared-mutex readers + batch assembly under TSan on a tiny workload:
   # catches query-path races the unit suites cannot reach.
@@ -59,6 +61,12 @@ run_tsan() {
   cmake --build --preset tsan -j "$jobs" --target bench_storage
   TSAN_OPTIONS="halt_on_error=1" \
     "$root/build-tsan/bench/bench_storage" --quick
+  echo "== tsan: bench_federation --quick smoke =="
+  # The federated ingest fan-out — replication, heartbeats, kill/rejoin
+  # catch-up and scatter-gather queries — under TSan on a tiny workload.
+  cmake --build --preset tsan -j "$jobs" --target bench_federation
+  TSAN_OPTIONS="halt_on_error=1" \
+    "$root/build-tsan/bench/bench_federation" --quick
 }
 
 run_asan() {
@@ -72,7 +80,7 @@ run_asan() {
   # rings behind striped locks on the same ingest path.
   (cd "$root/build-asan" && ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
     ctest --output-on-failure -j "$jobs" \
-    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence')
+    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence|Federation|HashRing')
   echo "== asan: bench_fault_recovery --quick smoke =="
   cmake --build --preset asan -j "$jobs" --target bench_fault_recovery
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
@@ -82,6 +90,12 @@ run_asan() {
   cmake --build --preset asan -j "$jobs" --target bench_storage
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
     "$root/build-asan/bench/bench_storage" --quick
+  echo "== asan: bench_federation --quick smoke =="
+  # Node kill/restart moves servers, journals and aggregators through
+  # teardown and catch-up replay — the lifetime-bug hot path.
+  cmake --build --preset asan -j "$jobs" --target bench_federation
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+    "$root/build-asan/bench/bench_federation" --quick
 }
 
 case "$what" in

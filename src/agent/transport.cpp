@@ -2,14 +2,38 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace deepflow::agent {
 
+namespace {
+/// Per-lane jitter stream: the shared lane keeps the historical seed
+/// untouched; a real lane mixes it in so every link jitters independently.
+u64 jitter_seed_for(const TransportConfig& config) {
+  if (config.lane == kFaultSharedLane) return config.jitter_seed;
+  return mix64(config.jitter_seed ^ mix64(config.lane + 1));
+}
+}  // namespace
+
 SpanTransport::SpanTransport(TransportConfig config, BatchSink sink,
+                             FaultInjector* faults)
+    : SpanTransport(
+          config,
+          FailableBatchSink(
+              sink ? FailableBatchSink([s = std::move(sink)](
+                                           std::vector<Span>& spans) {
+                s(std::move(spans));
+                return true;
+              })
+                   : FailableBatchSink()),
+          faults) {}
+
+SpanTransport::SpanTransport(TransportConfig config, FailableBatchSink sink,
                              FaultInjector* faults)
     : config_(config),
       sink_(std::move(sink)),
       faults_(faults),
-      jitter_(config.jitter_seed) {
+      jitter_(jitter_seed_for(config)) {
   if (config_.batch_spans == 0) config_.batch_spans = 1;
   if (config_.max_attempts == 0) config_.max_attempts = 1;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
@@ -68,7 +92,13 @@ void SpanTransport::offer(Span&& span) {
   if (config_.direct) {
     std::vector<Span> one;
     one.push_back(std::move(span));
-    deliver(std::move(one));
+    if (!deliver(one)) {
+      // Direct mode has no queue to fall back to: a refused span is lost.
+      ++stats_.sink_rejected_batches;
+      ++stats_.sink_rejected_spans;
+      ++stats_.gave_up_batches;
+      ++stats_.gave_up_spans;
+    }
     return;
   }
   if (queue_.size() >= config_.queue_capacity) {
@@ -94,10 +124,30 @@ u64 SpanTransport::backoff_ticks(u32 attempt) {
   return backoff;
 }
 
-void SpanTransport::deliver(std::vector<Span>&& spans) {
+bool SpanTransport::deliver(std::vector<Span>& spans) {
+  const size_t n = spans.size();
+  if (sink_ && !sink_(spans)) return false;  // refused: spans left intact
   ++stats_.delivered_batches;
-  stats_.delivered_spans += spans.size();
-  if (sink_) sink_(std::move(spans));
+  stats_.delivered_spans += n;
+  return true;
+}
+
+size_t SpanTransport::finish_delivery(PendingBatch&& batch) {
+  const size_t n = batch.spans.size();
+  if (deliver(batch.spans)) return n;
+  // The receiver refused (dead node / partition on its side). Same retry
+  // semantics as a channel drop: at-least-once across short outages.
+  ++stats_.sink_rejected_batches;
+  stats_.sink_rejected_spans += n;
+  if (config_.retries && batch.attempts < config_.max_attempts) {
+    ++stats_.retries;
+    batch.due_tick = tick_ + backoff_ticks(batch.attempts);
+    retry_.push_back(std::move(batch));
+  } else {
+    ++stats_.gave_up_batches;
+    stats_.gave_up_spans += n;
+  }
+  return 0;
 }
 
 size_t SpanTransport::send(PendingBatch&& batch) {
@@ -107,7 +157,7 @@ size_t SpanTransport::send(PendingBatch&& batch) {
 
   FaultDecision fate;
   if (faults_ != nullptr && faults_->enabled(FaultSite::kTransportSend)) {
-    fate = faults_->decide(FaultSite::kTransportSend);
+    fate = faults_->decide(FaultSite::kTransportSend, kFaultAll, config_.lane);
   }
 
   if (fate.drop) {
@@ -147,15 +197,18 @@ size_t SpanTransport::send(PendingBatch&& batch) {
     return 0;
   }
 
-  size_t delivered = batch.spans.size();
+  size_t delivered = 0;
   if (fate.duplicate) {
-    ++stats_.duplicated_batches;
+    // The duplicate copy rides the same delivery: a receiver refusing the
+    // batch refuses its echo too (no retry for the copy — at-least-once
+    // needs only the primary).
     std::vector<Span> copy = batch.spans;
-    deliver(std::move(copy));
-    delivered += batch.spans.size();
+    if (deliver(copy)) {
+      ++stats_.duplicated_batches;
+      delivered += batch.spans.size();
+    }
   }
-  deliver(std::move(batch.spans));
-  return delivered;
+  return delivered + finish_delivery(std::move(batch));
 }
 
 size_t SpanTransport::pump() {
@@ -168,8 +221,7 @@ size_t SpanTransport::pump() {
     if (delayed_[i].due_tick <= tick_) {
       PendingBatch batch = std::move(delayed_[i]);
       delayed_.erase(delayed_.begin() + static_cast<std::ptrdiff_t>(i));
-      delivered += batch.spans.size();
-      deliver(std::move(batch.spans));
+      delivered += finish_delivery(std::move(batch));
     } else {
       ++i;
     }

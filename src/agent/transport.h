@@ -58,6 +58,14 @@ struct TransportConfig {
   u32 jitter_ticks = 2;
   /// Seed of the (deterministic) jitter stream.
   u64 jitter_seed = 0x7a695eed;
+  /// Fault/jitter lane. kFaultSharedLane (the default) keeps the historical
+  /// behaviour: every transport draws channel fates from the shared
+  /// kTransportSend stream and jitter from jitter_seed. A federated
+  /// deployment runs one transport per (agent, server) link and assigns
+  /// each its own lane, so creating a new link (replication fan-out,
+  /// failover re-routing) cannot perturb the draw schedule of any existing
+  /// link — the same isolation the per-site streams give across sites.
+  u64 lane = kFaultSharedLane;
 };
 
 struct TransportStats {
@@ -76,6 +84,8 @@ struct TransportStats {
   u64 ts_corrupted_spans = 0; // spans delivered with skewed timestamps
   u64 delivered_batches = 0;  // sink invocations
   u64 delivered_spans = 0;    // spans that reached the sink (dups included)
+  u64 sink_rejected_batches = 0;  // deliveries the receiver refused (node down)
+  u64 sink_rejected_spans = 0;    // spans carried by those attempts
   u64 queue_high_watermark = 0;
 
   u64 shed_total() const { return shed_net + shed_sys + shed_app; }
@@ -86,8 +96,15 @@ class SpanTransport {
   /// Spans are delivered to `sink` in batches (possibly of size 1 in
   /// direct mode). `faults` may be nullptr: a perfect channel.
   using BatchSink = std::function<void(std::vector<Span>&&)>;
+  /// Fallible receiver: returns false to refuse the batch (a dead or
+  /// partitioned server), in which case it MUST leave the vector intact —
+  /// the transport re-queues the same spans for retry (or gives up after
+  /// max_attempts, exactly like a channel drop).
+  using FailableBatchSink = std::function<bool(std::vector<Span>&)>;
 
   SpanTransport(TransportConfig config, BatchSink sink,
+                FaultInjector* faults = nullptr);
+  SpanTransport(TransportConfig config, FailableBatchSink sink,
                 FaultInjector* faults = nullptr);
 
   /// Producer side: enqueue one finished span (or deliver it immediately
@@ -122,11 +139,15 @@ class SpanTransport {
   void shed_for(const Span& incoming);
   /// Run one batch through the channel. Returns spans delivered.
   size_t send(PendingBatch&& batch);
-  void deliver(std::vector<Span>&& spans);
+  /// Hand a batch that cleared the channel to the sink; a refusal re-queues
+  /// it for retry (or gives up). Returns spans delivered.
+  size_t finish_delivery(PendingBatch&& batch);
+  /// True when the sink accepted (spans consumed); false leaves them intact.
+  bool deliver(std::vector<Span>& spans);
   u64 backoff_ticks(u32 attempt);
 
   TransportConfig config_;
-  BatchSink sink_;
+  FailableBatchSink sink_;
   FaultInjector* faults_;
   Rng jitter_;
   u64 tick_ = 0;

@@ -1,0 +1,106 @@
+#include "cluster/federated_source.h"
+
+#include <algorithm>
+
+namespace deepflow::cluster {
+
+void FederatedSpanSource::note_owner(const server::SpanRow* row,
+                                     size_t source) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(owner_mu_);
+    if (owner_.contains(row)) return;
+  }
+  std::lock_guard<std::shared_mutex> lock(owner_mu_);
+  owner_.try_emplace(row, source);
+}
+
+const server::SpanRow* FederatedSpanSource::row(u64 span_id) const {
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (!allowed(i, span_id)) continue;
+    const server::SpanRow* r = sources_[i].store->row(span_id);
+    if (r != nullptr) {
+      note_owner(r, i);
+      return r;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const server::SpanRow*> FederatedSpanSource::search_rows(
+    const server::SearchFilter& filter) const {
+  // Each store returns ascending span ids with no duplicates; an N-way
+  // sorted merge with id dedup preserves both contract clauses. Earliest
+  // source wins ties (replicated copies share ids and content).
+  std::vector<std::vector<const server::SpanRow*>> per_source;
+  per_source.reserve(sources_.size());
+  size_t total = 0;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    std::vector<const server::SpanRow*> rows =
+        sources_[i].store->search_rows(filter);
+    if (sources_[i].allowed != nullptr) {
+      std::erase_if(rows, [&](const server::SpanRow* r) {
+        return !sources_[i].allowed->contains(r->span.span_id);
+      });
+    }
+    for (const server::SpanRow* r : rows) note_owner(r, i);
+    total += rows.size();
+    per_source.push_back(std::move(rows));
+  }
+
+  std::vector<const server::SpanRow*> out;
+  out.reserve(total);
+  std::vector<size_t> cursor(per_source.size(), 0);
+  while (true) {
+    size_t best = per_source.size();
+    u64 best_id = 0;
+    for (size_t i = 0; i < per_source.size(); ++i) {
+      if (cursor[i] >= per_source[i].size()) continue;
+      const u64 id = per_source[i][cursor[i]]->span.span_id;
+      if (best == per_source.size() || id < best_id) {
+        best = i;
+        best_id = id;
+      }
+    }
+    if (best == per_source.size()) break;
+    out.push_back(per_source[best][cursor[best]]);
+    for (size_t i = 0; i < per_source.size(); ++i) {
+      while (cursor[i] < per_source[i].size() &&
+             per_source[i][cursor[i]]->span.span_id == best_id) {
+        ++cursor[i];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<agent::Span> FederatedSpanSource::materialize_rows(
+    const std::vector<const server::SpanRow*>& rows) const {
+  // Group by owning store (one materialize_rows call per store involved,
+  // preserving its batch tag-cache behaviour), then reassemble positionally.
+  std::vector<agent::Span> out(rows.size());
+  std::vector<std::vector<const server::SpanRow*>> batch(sources_.size());
+  std::vector<std::vector<size_t>> slots(sources_.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(owner_mu_);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i] == nullptr) continue;  // contract: nullptr -> empty span
+      const auto it = owner_.find(rows[i]);
+      // Rows can only come from this backend's own row()/search_rows(), so
+      // the owner is always recorded; an unknown pointer yields an empty
+      // span rather than probing a store that does not own it.
+      if (it == owner_.end()) continue;
+      batch[it->second].push_back(rows[i]);
+      slots[it->second].push_back(i);
+    }
+  }
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    if (batch[s].empty()) continue;
+    std::vector<agent::Span> spans = sources_[s].store->materialize_rows(batch[s]);
+    for (size_t k = 0; k < spans.size(); ++k) {
+      out[slots[s][k]] = std::move(spans[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace deepflow::cluster

@@ -1,0 +1,68 @@
+// FederatedSpanSource: the scatter-gather SpanReadBackend over the span
+// stores of multiple live cluster nodes.
+//
+// The trace assembler (Algorithm 1) needs exactly the three read operations
+// of server::SpanReadBackend; this implementation unions N stores under
+// them. Replicated ingest means the same span (same id, identical content)
+// lives in every owner's store, so the union deduplicates BY SPAN ID,
+// keeping the copy from the earliest source — which source wins is
+// invisible to callers because replicas are byte-identical.
+//
+// Each source may carry an optional `allowed` id set restricting which of
+// its spans participate (the federation passes each serving node exactly
+// the ids of the partitions it was selected to serve, making the union
+// exactly-once BY CONSTRUCTION even when a store holds stale or partial
+// copies of partitions another node serves).
+//
+// materialize_rows must route each row pointer back to the store that owns
+// it; row()/search_rows record the owner of every pointer they hand out in
+// a shared-mutex-guarded map, honouring the backend's thread-safety
+// contract (concurrent assemblies on a ThreadPool).
+#pragma once
+
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "server/span_store.h"
+#include "server/store_backend.h"
+
+namespace deepflow::cluster {
+
+class FederatedSpanSource : public server::SpanReadBackend {
+ public:
+  struct Source {
+    const server::SpanStore* store = nullptr;
+    /// nullptr = every span of the store participates.
+    const std::unordered_set<u64>* allowed = nullptr;
+  };
+
+  explicit FederatedSpanSource(std::vector<Source> sources)
+      : sources_(std::move(sources)) {}
+
+  /// First source (in vector order) holding an allowed row for `span_id`.
+  const server::SpanRow* row(u64 span_id) const override;
+
+  /// Union of the per-source matches, ascending span id, deduplicated by
+  /// id (earliest source wins).
+  std::vector<const server::SpanRow*> search_rows(
+      const server::SearchFilter& filter) const override;
+
+  /// Positional batch materialization, each row routed to its owning store.
+  std::vector<agent::Span> materialize_rows(
+      const std::vector<const server::SpanRow*>& rows) const override;
+
+ private:
+  bool allowed(size_t source, u64 span_id) const {
+    const auto* set = sources_[source].allowed;
+    return set == nullptr || set->contains(span_id);
+  }
+  void note_owner(const server::SpanRow* row, size_t source) const;
+
+  std::vector<Source> sources_;
+  mutable std::shared_mutex owner_mu_;
+  mutable std::unordered_map<const server::SpanRow*, size_t> owner_;
+};
+
+}  // namespace deepflow::cluster

@@ -1,0 +1,707 @@
+#include "cluster/federation.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "cluster/federated_source.h"
+#include "common/hash.h"
+#include "common/thread_pool.h"
+#include "metrics/exposition.h"
+#include "server/canonical.h"
+
+namespace deepflow::cluster {
+
+Federation::Federation(const netsim::ResourceRegistry* registry,
+                       ClusterConfig config,
+                       server::ServerConfig server_template,
+                       FaultInjector* fault)
+    : registry_(registry),
+      config_(config),
+      server_template_(std::move(server_template)),
+      fault_(fault),
+      ring_(config.nodes > 0 ? config.nodes : 1, config.virtual_nodes,
+            config.ring_seed) {
+  config_.nodes = ring_.nodes();
+  replication_ = std::min<u32>(1 + config_.replicas, config_.nodes);
+  metrics_config_ = server_template_.metrics;
+  metrics_config_.enabled = true;
+  nodes_.resize(config_.nodes);
+  for (u32 i = 0; i < config_.nodes; ++i) {
+    nodes_[i].server = make_node_server(i);
+  }
+}
+
+std::unique_ptr<server::DeepFlowServer> Federation::make_node_server(
+    u32 node) {
+  server::ServerConfig cfg = server_template_;
+  // The federation owns metrics (per-partition aggregators): a node-level
+  // aggregator would double-count every replicated session.
+  cfg.metrics.enabled = false;
+  if (cfg.storage.enabled) {
+    cfg.storage.dir += "/node-" + std::to_string(node);
+  }
+  auto srv = std::make_unique<server::DeepFlowServer>(registry_, cfg);
+  srv->set_ingest_observer(
+      [this, node](const agent::Span& span) { on_ingest(node, span); });
+  return srv;
+}
+
+std::vector<u32>& Federation::owners_locked(const std::string& host) {
+  const auto it = partitions_.find(host);
+  if (it != partitions_.end()) return it->second;
+  return partitions_
+      .emplace(host, ring_.owners(fnv1a(host), replication_))
+      .first->second;
+}
+
+std::vector<u32> Federation::register_agent(const std::string& host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return owners_locked(host);
+}
+
+std::vector<u32> Federation::owners_of(const std::string& host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return owners_locked(host);
+}
+
+bool Federation::node_up(u32 node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node < nodes_.size() && nodes_[node].up;
+}
+
+bool Federation::node_alive(u32 node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node < nodes_.size() && nodes_[node].up && !nodes_[node].suspected;
+}
+
+bool Federation::node_straggler_consistent(u32 node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node < nodes_.size() && nodes_[node].straggler_consistent;
+}
+
+u64 Federation::routing_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+server::DeepFlowServer* Federation::node_server(u32 node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node < nodes_.size() ? nodes_[node].server.get() : nullptr;
+}
+
+std::string Federation::partition_of(const agent::Span& span) const {
+  if (!span.host.empty()) return span.host;
+  if (!span.device_name.empty()) {
+    const auto it = device_partition_.find(span.device_name);
+    if (it != device_partition_.end()) return it->second;
+  }
+  return {};
+}
+
+metrics::MetricsAggregator& Federation::agg_for(NodeState& node,
+                                                const std::string& partition) {
+  auto it = node.aggs.find(partition);
+  if (it == node.aggs.end()) {
+    it = node.aggs
+             .emplace(partition, std::make_unique<metrics::MetricsAggregator>(
+                                     registry_, metrics_config_))
+             .first;
+  }
+  return *it->second;
+}
+
+void Federation::on_ingest(u32 node, const agent::Span& span) {
+  // Runs under mu_ (held by the delivering call) on the node server's
+  // post-dedup ingest path: every span counted here is stored exactly once
+  // at this node.
+  std::string partition =
+      !current_partition_.empty() ? current_partition_ : partition_of(span);
+  if (partition.empty()) {
+    ++spans_unattributed_;
+    return;  // stored but unserved: no partition can claim it
+  }
+  if (!span.device_name.empty()) {
+    device_partition_.try_emplace(span.device_name, partition);
+  }
+  if (span.kind == agent::SpanKind::kSystem && !span.from_server_side) {
+    // Mirror of the aggregator's flow directory, at partition granularity:
+    // routes later flow-metric folds to the owning partition.
+    flow_dir_.try_emplace(span.tuple.canonical(), partition);
+  }
+  NodeState& state = nodes_[node];
+  if (span.span_id != 0) state.ids[partition].push_back(span.span_id);
+  agg_for(state, partition).record_span(span);
+}
+
+bool Federation::deliver(u32 node, const std::string& partition,
+                         std::vector<agent::Span>& spans, u64 lane) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& state = nodes_[node];
+  if (!state.up) {
+    ++rejected_down_;
+    return false;
+  }
+  if (fault_ != nullptr && fault_->enabled(FaultSite::kLinkPartition)) {
+    if (fault_->decide(FaultSite::kLinkPartition, kFaultDrop, lane).drop) {
+      ++rejected_partitioned_;
+      return false;
+    }
+  }
+  ++batches_delivered_;
+  spans_delivered_ += spans.size();
+  if (owners_locked(partition).front() != node) {
+    replica_spans_ += spans.size();
+  }
+  current_partition_ = partition;
+  state.server->ingest_batch(std::move(spans));
+  current_partition_.clear();
+  spans.clear();
+  return true;
+}
+
+bool Federation::deliver_third_party(agent::Span&& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<u32>& owners = owners_locked(span.host);
+  u64 delivered = 0;
+  current_partition_ = span.host;
+  for (const u32 node : owners) {
+    if (!nodes_[node].up) continue;
+    agent::Span copy = span;
+    nodes_[node].server->ingest_third_party(std::move(copy));
+    ++delivered;
+  }
+  current_partition_.clear();
+  if (delivered == 0) ++rejected_down_;
+  return delivered > 0;
+}
+
+bool Federation::deliver_straggler(const std::string& host,
+                                   agent::MessageData&& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<u32>& owners = owners_locked(host);
+  // Exactly ONE owner re-aggregates a partition's straggler stream. Span
+  // ids come from a process-global counter, so two owners independently
+  // re-aggregating the same stream would store the same content under
+  // different ids — and anti-entropy would then cross-replay both copies,
+  // duplicating content. The single builder's spans reach the co-owners
+  // through catch-up replay instead, ids preserved. A restarted owner is
+  // ineligible (straggler_consistent): it lost its window state, so it
+  // would re-aggregate a partial stream.
+  for (const u32 node : owners) {
+    NodeState& state = nodes_[node];
+    if (!state.up || !state.straggler_consistent) continue;
+    state.server->ingest_straggler(host, std::move(message));
+    ++stragglers_routed_;
+    return true;
+  }
+  ++stragglers_dropped_;
+  return false;
+}
+
+void Federation::ingest_flow_metrics(const FiveTuple& tuple,
+                                     const netsim::FlowMetrics& metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Correlation map (metrics_for lookups) on every running node; the node
+  // aggregators are disabled, so this cannot double-count.
+  for (NodeState& state : nodes_) {
+    if (state.up) state.server->ingest_flow_metrics(tuple, metrics);
+  }
+  const auto dir = flow_dir_.find(tuple.canonical());
+  if (dir == flow_dir_.end()) {
+    ++flows_unattributed_;
+    return;
+  }
+  const std::string& partition = dir->second;
+  for (const u32 node : owners_locked(partition)) {
+    if (!nodes_[node].up) continue;
+    agg_for(nodes_[node], partition).record_flow(tuple, metrics);
+  }
+  ++flows_routed_;
+}
+
+void Federation::ingest_device_metrics(const std::string& device,
+                                       const netsim::DeviceMetrics& metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (NodeState& state : nodes_) {
+    if (state.up) state.server->ingest_device_metrics(device, metrics);
+  }
+}
+
+void Federation::note_agent_drain(const agent::AgentStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  agent_drain_batches_ += stats.drain_batches;
+  agent_drain_records_ += stats.drain_batch_records;
+  agent_staging_waits_ += stats.staging_ring_waits;
+  agent_perf_lost_ += stats.perf_lost;
+  if (agent_perf_lost_per_cpu_.size() < stats.perf_lost_per_cpu.size()) {
+    agent_perf_lost_per_cpu_.resize(stats.perf_lost_per_cpu.size());
+  }
+  for (size_t cpu = 0; cpu < stats.perf_lost_per_cpu.size(); ++cpu) {
+    agent_perf_lost_per_cpu_[cpu] += stats.perf_lost_per_cpu[cpu];
+  }
+  agent_enter_map_drops_ += stats.enter_map_record_drops;
+}
+
+void Federation::tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ticks_;
+  for (u32 i = 0; i < nodes_.size(); ++i) {
+    NodeState& state = nodes_[i];
+    if (!state.up) continue;
+    if (fault_ != nullptr && fault_->enabled(FaultSite::kNodeCrash)) {
+      if (fault_->decide(FaultSite::kNodeCrash, kFaultDrop, i).drop) {
+        ++crash_faults_;
+        kill_locked(i);
+        continue;
+      }
+    }
+    ++heartbeats_;
+    bool lost = false;
+    if (fault_ != nullptr && fault_->enabled(FaultSite::kLinkPartition)) {
+      lost = fault_
+                 ->decide(FaultSite::kLinkPartition, kFaultDrop,
+                          kHeartbeatLaneBase + i)
+                 .drop;
+    }
+    if (lost) {
+      ++heartbeats_lost_;
+    } else {
+      state.last_heartbeat = ticks_;
+    }
+    const bool suspect =
+        ticks_ - state.last_heartbeat > config_.heartbeat_timeout_ticks;
+    if (suspect != state.suspected) {
+      state.suspected = suspect;
+      ++epoch_;
+      if (suspect) ++failovers_;
+    }
+  }
+}
+
+void Federation::kill_locked(u32 node) {
+  NodeState& state = nodes_[node];
+  state.server.reset();  // crash: the unflushed window dies with the process
+  state.aggs.clear();
+  state.ids.clear();
+  state.up = false;
+  state.suspected = false;
+  state.straggler_consistent = false;
+  ++kills_;
+  ++epoch_;
+}
+
+bool Federation::kill(u32 node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node >= nodes_.size() || !nodes_[node].up) return false;
+  kill_locked(node);
+  return true;
+}
+
+bool Federation::restart(u32 node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node >= nodes_.size() || nodes_[node].up) return false;
+  NodeState& state = nodes_[node];
+  state.server = make_node_server(node);
+  // Rebuild the partition journals and aggregators from whatever the
+  // segment recovery brought back (attribution: span host, or the
+  // federation's device->partition memory for net spans).
+  for (const agent::Span& span : state.server->store().recovered_spans()) {
+    const std::string partition = partition_of(span);
+    if (partition.empty()) {
+      ++spans_unattributed_;
+      continue;
+    }
+    if (span.span_id != 0) state.ids[partition].push_back(span.span_id);
+    agg_for(state, partition).record_span(span);
+    ++recovered_spans_;
+  }
+  state.up = true;
+  state.suspected = false;
+  state.last_heartbeat = ticks_;
+  ++restarts_;
+  ++epoch_;
+  if (config_.catch_up_on_rejoin) {
+    catch_up_locked(node);
+    ++rejoins_;
+  }
+  return true;
+}
+
+u64 Federation::catch_up_locked(u32 node) {
+  NodeState& state = nodes_[node];
+  if (!state.up) return 0;
+  u64 replayed = 0;
+  for (const auto& [host, owners] : partitions_) {
+    if (std::find(owners.begin(), owners.end(), node) == owners.end()) {
+      continue;
+    }
+    for (const u32 donor : owners) {
+      if (donor == node || !nodes_[donor].up) continue;
+      const auto journal = nodes_[donor].ids.find(host);
+      if (journal == nodes_[donor].ids.end()) continue;
+      std::unordered_set<u64> have;
+      const auto mine = state.ids.find(host);
+      if (mine != state.ids.end()) {
+        have.insert(mine->second.begin(), mine->second.end());
+      }
+      const server::SpanStore& donor_store = nodes_[donor].server->store();
+      const size_t before =
+          mine != state.ids.end() ? mine->second.size() : size_t{0};
+      for (const u64 id : journal->second) {
+        if (have.contains(id)) continue;
+        const server::SpanRow* row = donor_store.row(id);
+        if (row == nullptr) continue;
+        // Row spans carry no decoded tags; the tag blob is a pure function
+        // of the span's fixed columns, so re-ingesting the copy re-encodes
+        // byte-identical content at this node.
+        agent::Span copy = row->span;
+        current_partition_ = host;
+        state.server->ingest(std::move(copy));
+        current_partition_.clear();
+      }
+      const auto after = state.ids.find(host);
+      const size_t now = after != state.ids.end() ? after->second.size() : 0;
+      replayed += now - before;
+    }
+  }
+  catch_up_spans_ += replayed;
+  return replayed;
+}
+
+void Federation::finalize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (NodeState& state : nodes_) {
+    if (state.up) state.server->finalize();
+  }
+  // Anti-entropy: replicas pull each other's missing spans (transport
+  // give-ups during partitions, straggler-derived spans a rejoined node
+  // never re-aggregated) until a full quiet pass.
+  for (size_t pass = 0; pass <= nodes_.size(); ++pass) {
+    u64 progress = 0;
+    for (u32 i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].up) progress += catch_up_locked(i);
+    }
+    if (progress == 0) break;
+  }
+}
+
+Federation::Plan Federation::build_plan_locked() const {
+  Plan plan;
+  std::map<u32, u32> source_of;  // node index -> source slot
+  for (const auto& [host, owners] : partitions_) {
+    const NodeState* serving = nullptr;
+    u32 serving_node = 0;
+    bool is_primary = false;
+    for (size_t k = 0; k < owners.size(); ++k) {
+      const NodeState& candidate = nodes_[owners[k]];
+      if (candidate.up && !candidate.suspected) {
+        serving = &candidate;
+        serving_node = owners[k];
+        is_primary = (k == 0);
+        break;
+      }
+    }
+    if (serving == nullptr) {
+      ++plan.unavailable;
+      continue;
+    }
+    if (is_primary) {
+      ++plan.primary;
+    } else {
+      ++plan.failover;
+    }
+    u32 slot;
+    const auto it = source_of.find(serving_node);
+    if (it == source_of.end()) {
+      slot = static_cast<u32>(plan.stores.size());
+      source_of.emplace(serving_node, slot);
+      plan.source_node.push_back(serving_node);
+      plan.stores.push_back(&serving->server->store());
+      plan.allowed.emplace_back();
+    } else {
+      slot = it->second;
+    }
+    const auto journal = serving->ids.find(host);
+    if (journal != serving->ids.end()) {
+      plan.allowed[slot].insert(journal->second.begin(),
+                                journal->second.end());
+    }
+    plan.partition_node.emplace(host, serving_node);
+  }
+  ++fed_query_.plans;
+  fed_query_.fanout_nodes += plan.stores.size();
+  fed_query_.partitions_total += partitions_.size();
+  fed_query_.partitions_primary += plan.primary;
+  fed_query_.partitions_failover += plan.failover;
+  fed_query_.partitions_unavailable += plan.unavailable;
+  return plan;
+}
+
+std::unique_ptr<metrics::MetricsAggregator> Federation::merged_aggregator_locked(
+    const Plan& plan) const {
+  auto merged =
+      std::make_unique<metrics::MetricsAggregator>(registry_, metrics_config_);
+  for (const auto& [partition, node] : plan.partition_node) {
+    const auto it = nodes_[node].aggs.find(partition);
+    if (it != nodes_[node].aggs.end()) merged->merge_from(*it->second);
+  }
+  return merged;
+}
+
+std::vector<agent::Span> Federation::query_span_list(TimestampNs from,
+                                                     TimestampNs to,
+                                                     size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Plan plan = build_plan_locked();
+  // Merge the per-source time indexes on (start, id) — the same order the
+  // single store's merged shard scan produces.
+  std::vector<std::tuple<TimestampNs, u64, u32>> entries;
+  for (u32 s = 0; s < plan.stores.size(); ++s) {
+    for (const u64 id : plan.stores[s]->span_list(from, to)) {
+      if (!plan.allowed[s].contains(id)) continue;
+      const server::SpanRow* row = plan.stores[s]->row(id);
+      if (row == nullptr) continue;
+      entries.emplace_back(row->span.start_ts, id, s);
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  if (entries.size() > limit) entries.resize(limit);
+  // Materialize per source (batched: tag-cache friendly), then reassemble
+  // in merged order.
+  std::vector<std::vector<u64>> batch(plan.stores.size());
+  std::vector<std::vector<size_t>> slots(plan.stores.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const auto& [ts, id, source] = entries[i];
+    batch[source].push_back(id);
+    slots[source].push_back(i);
+  }
+  std::vector<agent::Span> out(entries.size());
+  for (u32 s = 0; s < plan.stores.size(); ++s) {
+    if (batch[s].empty()) continue;
+    std::vector<agent::Span> spans = plan.stores[s]->materialize_many(batch[s]);
+    for (size_t k = 0; k < spans.size(); ++k) {
+      out[slots[s][k]] = std::move(spans[k]);
+    }
+  }
+  return out;
+}
+
+std::vector<server::AssembledTrace> Federation::assemble_locked(
+    const Plan& plan, const std::vector<u64>& span_ids, size_t workers) const {
+  std::vector<FederatedSpanSource::Source> sources;
+  sources.reserve(plan.stores.size());
+  for (u32 s = 0; s < plan.stores.size(); ++s) {
+    sources.push_back({plan.stores[s], &plan.allowed[s]});
+  }
+  const FederatedSpanSource source(std::move(sources));
+  const server::TraceAssembler assembler(&source, server_template_.assembler);
+  std::vector<server::AssembledTrace> out(span_ids.size());
+  if (workers <= 1 || span_ids.size() <= 1) {
+    for (size_t i = 0; i < span_ids.size(); ++i) {
+      out[i] = assembler.assemble(span_ids[i]);
+    }
+  } else {
+    ThreadPool pool(workers);
+    pool.parallel_for(span_ids.size(), [&](size_t i) {
+      out[i] = assembler.assemble(span_ids[i]);
+    });
+  }
+  const server::AssemblerCounters counters = assembler.counters();
+  fed_assembler_.traces += counters.traces;
+  fed_assembler_.search_iterations += counters.search_iterations;
+  fed_assembler_.spans += counters.spans;
+  fed_assembler_.orphan_spans += counters.orphan_spans;
+  fed_assembler_.lost_placeholders += counters.lost_placeholders;
+  return out;
+}
+
+server::AssembledTrace Federation::query_trace(u64 span_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Plan plan = build_plan_locked();
+  return std::move(assemble_locked(plan, {span_id}, 1).front());
+}
+
+std::vector<server::AssembledTrace> Federation::assemble_traces(
+    const std::vector<u64>& span_ids, size_t workers) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Plan plan = build_plan_locked();
+  return assemble_locked(plan, span_ids, workers);
+}
+
+metrics::MetricsSeries Federation::query_metrics(const std::string& service,
+                                                 TimestampNs from,
+                                                 TimestampNs to,
+                                                 DurationNs resolution) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merged_aggregator_locked(build_plan_locked())
+      ->query_metrics(service, from, to, resolution);
+}
+
+metrics::ServiceMap Federation::service_map(TimestampNs from,
+                                            TimestampNs to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merged_aggregator_locked(build_plan_locked())->service_map(from, to);
+}
+
+std::string Federation::canonical_store_dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Plan plan = build_plan_locked();
+  std::vector<std::string> lines;
+  for (u32 s = 0; s < plan.stores.size(); ++s) {
+    std::vector<u64> ids(plan.allowed[s].begin(), plan.allowed[s].end());
+    for (agent::Span& span : plan.stores[s]->materialize_many(ids)) {
+      lines.push_back(server::canonical_span(span));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Federation::canonical_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merged_aggregator_locked(build_plan_locked())->canonical_metrics();
+}
+
+std::string Federation::canonical_service_map() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merged_aggregator_locked(build_plan_locked())
+      ->canonical_service_map();
+}
+
+server::QueryTelemetry Federation::query_telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  server::QueryTelemetry t;
+  for (const NodeState& state : nodes_) {
+    if (!state.up) continue;
+    const server::QueryTelemetry q = state.server->query_telemetry();
+    t.searches += q.searches;
+    t.search_keys += q.search_keys;
+    t.search_hits += q.search_hits;
+    t.rows_touched += q.rows_touched;
+    t.shard_locks += q.shard_locks;
+    t.tag_cache_hits += q.tag_cache_hits;
+  }
+  t.traces_assembled = fed_assembler_.traces;
+  t.assembly_iterations = fed_assembler_.search_iterations;
+  t.assembled_spans = fed_assembler_.spans;
+  t.orphan_spans = fed_assembler_.orphan_spans;
+  t.lost_placeholders = fed_assembler_.lost_placeholders;
+  t.fanout_nodes = fed_query_.fanout_nodes;
+  t.partitions_total = fed_query_.partitions_total;
+  t.partitions_primary = fed_query_.partitions_primary;
+  t.partitions_failover = fed_query_.partitions_failover;
+  t.partitions_unavailable = fed_query_.partitions_unavailable;
+  return t;
+}
+
+server::IngestTelemetry Federation::ingest_telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  server::IngestTelemetry t;
+  for (const NodeState& state : nodes_) {
+    if (!state.up) continue;
+    const server::IngestTelemetry q = state.server->ingest_telemetry();
+    t.spans += q.spans;
+    t.batches += q.batches;
+    t.batched_spans += q.batched_spans;
+    t.max_batch_spans = std::max(t.max_batch_spans, q.max_batch_spans);
+    t.duplicate_spans += q.duplicate_spans;
+    t.spans_per_sec += q.spans_per_sec;
+    for (const size_t rows : q.shard_rows) t.shard_rows.push_back(rows);
+  }
+  t.agent_drain_batches = agent_drain_batches_;
+  t.agent_drain_records = agent_drain_records_;
+  t.agent_staging_waits = agent_staging_waits_;
+  t.agent_perf_lost = agent_perf_lost_;
+  t.agent_perf_lost_per_cpu = agent_perf_lost_per_cpu_;
+  t.agent_enter_map_drops = agent_enter_map_drops_;
+  return t;
+}
+
+FederationTelemetry Federation::telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FederationTelemetry t;
+  t.nodes = nodes_.size();
+  for (const NodeState& state : nodes_) {
+    t.nodes_up += state.up ? 1 : 0;
+    t.nodes_alive += (state.up && !state.suspected) ? 1 : 0;
+  }
+  t.partitions = partitions_.size();
+  t.batches_delivered = batches_delivered_;
+  t.spans_delivered = spans_delivered_;
+  t.replica_spans = replica_spans_;
+  t.rejected_down = rejected_down_;
+  t.rejected_partitioned = rejected_partitioned_;
+  t.heartbeats = heartbeats_;
+  t.heartbeats_lost = heartbeats_lost_;
+  t.crash_faults = crash_faults_;
+  t.kills = kills_;
+  t.restarts = restarts_;
+  t.failovers = failovers_;
+  t.rejoins = rejoins_;
+  t.catch_up_spans = catch_up_spans_;
+  t.recovered_spans = recovered_spans_;
+  t.stragglers_routed = stragglers_routed_;
+  t.stragglers_dropped = stragglers_dropped_;
+  t.flows_routed = flows_routed_;
+  t.flows_unattributed = flows_unattributed_;
+  t.spans_unattributed = spans_unattributed_;
+  t.routing_epoch = epoch_;
+  t.ticks = ticks_;
+  return t;
+}
+
+std::string Federation::prometheus_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics::PrometheusWriter writer;
+  const Plan plan = build_plan_locked();
+  metrics::write_aggregator(writer, *merged_aggregator_locked(plan));
+
+  FederationTelemetry t;  // inline snapshot (telemetry() would deadlock)
+  t.nodes = nodes_.size();
+  for (const NodeState& state : nodes_) {
+    t.nodes_up += state.up ? 1 : 0;
+    t.nodes_alive += (state.up && !state.suspected) ? 1 : 0;
+  }
+  const std::pair<const char*, u64> gauges[] = {
+      {"deepflow_federation_nodes", t.nodes},
+      {"deepflow_federation_nodes_up", t.nodes_up},
+      {"deepflow_federation_nodes_alive", t.nodes_alive},
+      {"deepflow_federation_partitions", partitions_.size()},
+      {"deepflow_federation_partitions_primary", plan.primary},
+      {"deepflow_federation_partitions_failover", plan.failover},
+      {"deepflow_federation_partitions_unavailable", plan.unavailable},
+      {"deepflow_federation_batches_delivered", batches_delivered_},
+      {"deepflow_federation_spans_delivered", spans_delivered_},
+      {"deepflow_federation_replica_spans", replica_spans_},
+      {"deepflow_federation_rejected_down", rejected_down_},
+      {"deepflow_federation_rejected_partitioned", rejected_partitioned_},
+      {"deepflow_federation_heartbeats", heartbeats_},
+      {"deepflow_federation_heartbeats_lost", heartbeats_lost_},
+      {"deepflow_federation_crash_faults", crash_faults_},
+      {"deepflow_federation_kills", kills_},
+      {"deepflow_federation_restarts", restarts_},
+      {"deepflow_federation_failovers", failovers_},
+      {"deepflow_federation_rejoins", rejoins_},
+      {"deepflow_federation_catch_up_spans", catch_up_spans_},
+      {"deepflow_federation_recovered_spans", recovered_spans_},
+      {"deepflow_federation_stragglers_routed", stragglers_routed_},
+      {"deepflow_federation_stragglers_dropped", stragglers_dropped_},
+      {"deepflow_federation_flows_routed", flows_routed_},
+      {"deepflow_federation_flows_unattributed", flows_unattributed_},
+      {"deepflow_federation_spans_unattributed", spans_unattributed_},
+      {"deepflow_federation_routing_epoch", epoch_},
+      {"deepflow_federation_ticks", ticks_},
+  };
+  for (const auto& [name, value] : gauges) {
+    writer.family(name, "gauge", "Federation cluster-plane telemetry.");
+    writer.sample(name, {}, value);
+  }
+  return writer.str();
+}
+
+}  // namespace deepflow::cluster

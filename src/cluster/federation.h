@@ -1,0 +1,360 @@
+// Multi-server federation: N in-process DeepFlow servers behind a
+// consistent-hash ring, with replicated ingest, heartbeat failure
+// detection, query-side failover and kill-a-server chaos recovery.
+//
+// Routing model (pinned owners, query-side failover):
+//   * The PARTITION of a span is the hostname of the agent that produced
+//     it — every association attribute Algorithm 1 searches on is local to
+//     one request flow, and flows are stitched across partitions at query
+//     time, so partitioning by agent keeps ingest embarrassingly parallel.
+//   * A partition's OWNERS are the first (1 + replicas) distinct nodes met
+//     walking the ring from fnv1a(host). The owner list is PINNED at the
+//     ring layout: node failures do not re-shuffle ownership. Deliveries to
+//     a down (or link-partitioned) owner are REFUSED — the at-least-once
+//     SpanTransport keeps the batch and retries with backoff — so a node
+//     that comes back inside the retry budget misses nothing, and one that
+//     does not is healed by rejoin catch-up instead of by handing its range
+//     to a node that never owned it (which would fragment replica history
+//     and break straggler-builder determinism).
+//   * FAILOVER is a query-time decision: each partition is served by its
+//     first owner that is up and unsuspected. Queries therefore degrade
+//     monotonically — a dead node hides exactly the partitions with no
+//     live replica, and QueryTelemetry reports the split (primary /
+//     failover / unavailable) instead of silently returning less.
+//
+// Exactly-once queries by construction: each serving node contributes only
+// the span ids journaled for the partitions it was selected to serve
+// (FederatedSpanSource's allowed sets), so replicated copies can never be
+// double-counted no matter how the scatter-gather interleaves.
+//
+// Metrics under replication: the server-level aggregator cannot be used
+// directly (every replica would fold the same session again), so each node
+// keeps one MetricsAggregator PER OWNED PARTITION, fed by the server's
+// post-dedup ingest observer. The query plane merges the aggregators of
+// the serving replica of every partition into a scratch instance —
+// commutative folds make the merge order irrelevant, so the result is
+// byte-identical to a single server that saw the union stream.
+//
+// Crash recovery: kill() destroys the node's server (losing its unflushed
+// window, like a real crash); restart() re-opens it over the same segment
+// directory, rebuilds the partition journals and aggregators from the
+// recovered warm tier, and replays the delta from surviving replicas
+// (catch-up). finalize() runs an anti-entropy pass so replicas converge
+// before the equivalence checks — full byte-identity after rejoin is the
+// FederationChaos suite's pinned property.
+//
+// Concurrency: one mutex guards all federation state. Node servers do
+// their own finer-grained locking; the ingest observer runs on the
+// delivering thread while the federation mutex is held.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "common/fault.h"
+#include "metrics/aggregator.h"
+#include "server/server.h"
+
+namespace deepflow::cluster {
+
+struct ClusterConfig {
+  /// Ring members (>= 1). 1 degenerates to a single server behind the
+  /// federation API.
+  u32 nodes = 3;
+  /// Replica copies beyond the primary (0 = no redundancy). Effective
+  /// replication factor is min(1 + replicas, nodes).
+  u32 replicas = 1;
+  /// Virtual ring points per node (key-distribution smoothing).
+  u32 virtual_nodes = 16;
+  /// Ring layout seed (same seed + same node count = same ownership).
+  u64 ring_seed = 0x5eedf00dULL;
+  /// Heartbeat silence (in tick() calls) before a node is suspected and
+  /// queries fail over away from it.
+  u64 heartbeat_timeout_ticks = 8;
+  /// Replay missing spans from surviving replicas when a node restarts.
+  bool catch_up_on_rejoin = true;
+};
+
+/// Federation-level counters (cluster plane only; per-node ingest/query
+/// telemetry is merged separately — see ingest_telemetry / query_telemetry).
+struct FederationTelemetry {
+  u64 nodes = 0;             // ring size
+  u64 nodes_up = 0;          // processes currently running
+  u64 nodes_alive = 0;       // up AND not suspected by the detector
+  u64 partitions = 0;        // registered agent partitions
+  u64 batches_delivered = 0; // accepted span batches (all owners)
+  u64 spans_delivered = 0;   // spans in those batches
+  u64 replica_spans = 0;     // spans delivered to non-primary owners
+  u64 rejected_down = 0;     // deliveries refused: target process down
+  u64 rejected_partitioned = 0;  // deliveries refused: link partition fault
+  u64 heartbeats = 0;        // heartbeat probes sent (up nodes x ticks)
+  u64 heartbeats_lost = 0;   // probes eaten by link-partition faults
+  u64 crash_faults = 0;      // kNodeCrash draws that killed a node
+  u64 kills = 0;             // crashes (fault-injected + explicit kill())
+  u64 restarts = 0;          // restart() calls that brought a node back
+  u64 failovers = 0;         // detector transitions into `suspected`
+  u64 rejoins = 0;           // nodes that completed rejoin (catch-up ran)
+  u64 catch_up_spans = 0;    // spans replayed from replicas on rejoin
+  u64 recovered_spans = 0;   // spans rebuilt from segment files on restart
+  u64 stragglers_routed = 0;     // straggler messages accepted by >= 1 owner
+  u64 stragglers_dropped = 0;    // stragglers with no consistent owner left
+  u64 flows_routed = 0;          // flow records attributed to a partition
+  u64 flows_unattributed = 0;    // flow records no client span ever named
+  u64 spans_unattributed = 0;    // ingested spans with no partition (rare)
+  u64 routing_epoch = 0;     // bumps on every alive-set change
+  u64 ticks = 0;             // tick() calls
+};
+
+class Federation {
+ public:
+  /// Heartbeat fault lanes live far above any data-link lane: the link of
+  /// node i's heartbeat stream is (kHeartbeatLaneBase + i).
+  static constexpr u64 kHeartbeatLaneBase = u64{1} << 62;
+
+  /// Deterministic per-(agent, node) data-link fault lane, shared between
+  /// the transport's kTransportSend stream and the federation's
+  /// kLinkPartition stream for that link.
+  static constexpr u64 link_lane(u32 agent_index, u32 node) {
+    return (u64{agent_index} << 20) | node;
+  }
+
+  /// `server_template` configures every node server (its metrics plane is
+  /// force-disabled — the federation owns per-partition aggregation — and
+  /// its storage directory, when enabled, gains a per-node suffix).
+  /// `fault` (optional) powers the kNodeCrash / kLinkPartition sites.
+  Federation(const netsim::ResourceRegistry* registry, ClusterConfig config,
+             server::ServerConfig server_template,
+             FaultInjector* fault = nullptr);
+
+  u32 node_count() const { return static_cast<u32>(nodes_.size()); }
+  u32 replication_factor() const { return replication_; }
+  const HashRing& ring() const { return ring_; }
+
+  /// Register an agent partition; returns its pinned owner list (the
+  /// deployment opens one transport link per owner).
+  std::vector<u32> register_agent(const std::string& host);
+  /// The pinned owner list of `host` (registers it when unknown).
+  std::vector<u32> owners_of(const std::string& host);
+
+  bool node_up(u32 node) const;
+  /// Up and not suspected by the heartbeat detector.
+  bool node_alive(u32 node) const;
+  /// False once a node has ever been killed: its reaggregation window lost
+  /// state, so stragglers are no longer routed to it (replica divergence).
+  bool node_straggler_consistent(u32 node) const;
+  u64 routing_epoch() const;
+
+  /// The node's server, or nullptr while it is down. Test/bench access;
+  /// normal traffic goes through deliver*().
+  server::DeepFlowServer* node_server(u32 node);
+
+  // -- Ingest plane. --------------------------------------------------------
+
+  /// Transport sink for one (agent, owner) link: ingest `spans` (from the
+  /// agent whose hostname is `partition`) at `node`. Returns false WITHOUT
+  /// consuming the batch when the node is down or the link's
+  /// kLinkPartition draw (on `lane`) eats the delivery — the transport
+  /// retries with backoff, giving at-least-once delivery per owner.
+  bool deliver(u32 node, const std::string& partition,
+               std::vector<agent::Span>& spans, u64 lane = kFaultSharedLane);
+
+  /// Third-party (OpenTelemetry-style) span: replicated to every up owner
+  /// of span.host. False when no owner is up (span dropped).
+  bool deliver_third_party(agent::Span&& span);
+
+  /// Out-of-window straggler from `host`'s agent: re-aggregated at the
+  /// FIRST owner that is up AND straggler-consistent (one builder per
+  /// partition keeps reaggregated span ids unique; co-owners receive the
+  /// resulting spans via anti-entropy replay). False = dropped.
+  bool deliver_straggler(const std::string& host, agent::MessageData&& message);
+
+  /// Flow metrics: correlation maps on every up node; the RED fold lands
+  /// in the owning partition's aggregator at every up owner (queries read
+  /// exactly one of them).
+  void ingest_flow_metrics(const FiveTuple& tuple,
+                           const netsim::FlowMetrics& metrics);
+  /// Device metrics: broadcast to every up node (correlation only).
+  void ingest_device_metrics(const std::string& device,
+                             const netsim::DeviceMetrics& metrics);
+
+  /// Agent drain counters, accumulated federation-side (a killed node must
+  /// not take the cluster-wide agent telemetry down with it).
+  void note_agent_drain(const agent::AgentStats& stats);
+
+  /// One failure-detector round: per up node, draw the kNodeCrash site
+  /// (lane = node index; a hit kills the node), then the node's heartbeat
+  /// through kLinkPartition (lane = kHeartbeatLaneBase + node); nodes
+  /// silent past heartbeat_timeout_ticks become suspected and queries fail
+  /// over away from them until heartbeats resume.
+  void tick();
+
+  /// Flush every node's reaggregation window, then run anti-entropy:
+  /// replicas replay each other's missing spans until convergence, so a
+  /// rejoined node serves byte-identical content. Call once, after all
+  /// agents finished and transports flushed.
+  void finalize();
+
+  // -- Chaos plane. ---------------------------------------------------------
+
+  /// Crash `node`: its server is destroyed (unflushed spans lost unless
+  /// storage flush_on_close), journals and partition aggregators cleared,
+  /// straggler consistency permanently revoked. False if already down.
+  bool kill(u32 node);
+
+  /// Restart a killed node over its storage directory: segment recovery
+  /// rebuilds its journals/aggregators, then (catch_up_on_rejoin) the
+  /// delta is replayed from surviving replicas. False if already up.
+  bool restart(u32 node);
+
+  // -- Query plane (scatter-gather over the serving replicas). --------------
+
+  std::vector<agent::Span> query_span_list(TimestampNs from, TimestampNs to,
+                                           size_t limit = ~size_t{0}) const;
+  server::AssembledTrace query_trace(u64 span_id) const;
+  std::vector<server::AssembledTrace> assemble_traces(
+      const std::vector<u64>& span_ids, size_t workers = 1) const;
+
+  metrics::MetricsSeries query_metrics(const std::string& service,
+                                       TimestampNs from, TimestampNs to,
+                                       DurationNs resolution = kSecond) const;
+  metrics::ServiceMap service_map(TimestampNs from = 0,
+                                  TimestampNs to = ~TimestampNs{0}) const;
+
+  /// Canonical dumps over the SERVED content (the equivalence suites
+  /// compare these byte-for-byte against a single-node run).
+  std::string canonical_store_dump() const;
+  std::string canonical_metrics() const;
+  std::string canonical_service_map() const;
+
+  /// Merged per-node query telemetry + federation completeness counters
+  /// (accumulated over every scatter-gather plan built so far).
+  server::QueryTelemetry query_telemetry() const;
+  /// Merged per-node ingest telemetry + federation-held agent counters.
+  server::IngestTelemetry ingest_telemetry() const;
+
+  FederationTelemetry telemetry() const;
+
+  /// Merged metrics exposition + deepflow_federation_* gauges.
+  std::string prometheus_metrics() const;
+
+ private:
+  struct NodeState {
+    std::unique_ptr<server::DeepFlowServer> server;
+    /// Per-owned-partition metrics (post-dedup observer feeds these).
+    std::map<std::string, std::unique_ptr<metrics::MetricsAggregator>> aggs;
+    /// Per-owned-partition span-id journals, in ingest order (the allowed
+    /// sets of the query plane; also the rejoin replay source).
+    std::map<std::string, std::vector<u64>> ids;
+    u64 last_heartbeat = 0;
+    bool up = true;
+    bool suspected = false;
+    bool straggler_consistent = true;
+  };
+
+  /// One scatter-gather routing decision: which node serves each
+  /// partition, and the per-source allowed id sets.
+  struct Plan {
+    std::vector<u32> source_node;                   // source -> node index
+    std::vector<const server::SpanStore*> stores;   // per source
+    std::vector<std::unordered_set<u64>> allowed;   // per source
+    std::map<std::string, u32> partition_node;      // partition -> node
+    u64 primary = 0;
+    u64 failover = 0;
+    u64 unavailable = 0;
+  };
+
+  std::unique_ptr<server::DeepFlowServer> make_node_server(u32 node);
+  /// Ingest observer body for node `node` (federation mutex already held
+  /// by the delivering call).
+  void on_ingest(u32 node, const agent::Span& span);
+  /// Partition of a span outside any delivery context (restart rebuild):
+  /// its host, or the recorded partition of its capturing device.
+  std::string partition_of(const agent::Span& span) const;
+  metrics::MetricsAggregator& agg_for(NodeState& node,
+                                      const std::string& partition);
+  std::vector<u32>& owners_locked(const std::string& host);
+  void kill_locked(u32 node);
+  /// Replay spans node `node` is missing from surviving co-owners; returns
+  /// the number of spans its journals gained.
+  u64 catch_up_locked(u32 node);
+  Plan build_plan_locked() const;
+  std::unique_ptr<metrics::MetricsAggregator> merged_aggregator_locked(
+      const Plan& plan) const;
+  std::vector<server::AssembledTrace> assemble_locked(
+      const Plan& plan, const std::vector<u64>& span_ids,
+      size_t workers) const;
+
+  const netsim::ResourceRegistry* registry_;
+  ClusterConfig config_;
+  server::ServerConfig server_template_;
+  FaultInjector* fault_;
+  HashRing ring_;
+  u32 replication_;
+  metrics::MetricsConfig metrics_config_;  // partition/scratch aggregators
+
+  mutable std::mutex mu_;
+  std::vector<NodeState> nodes_;
+  /// partition (agent host) -> pinned owner list, first = primary.
+  std::map<std::string, std::vector<u32>> partitions_;
+  /// device name -> partition, learned from net spans delivered in an
+  /// agent's context; attributes recovered net spans (host == "") after a
+  /// restart. Survives node crashes (federation-lifetime state).
+  std::unordered_map<std::string, std::string> device_partition_;
+  /// canonical five-tuple -> partition of the client-side agent, learned
+  /// from client sys spans; routes flow-metric folds.
+  std::unordered_map<FiveTuple, std::string, FiveTupleHash> flow_dir_;
+  /// Delivery context: the partition currently being ingested ("" outside
+  /// deliver(), where spans self-attribute via host/device).
+  std::string current_partition_;
+
+  u64 ticks_ = 0;
+  u64 epoch_ = 0;
+
+  // FederationTelemetry tallies (under mu_).
+  u64 batches_delivered_ = 0;
+  u64 spans_delivered_ = 0;
+  u64 replica_spans_ = 0;
+  u64 rejected_down_ = 0;
+  u64 rejected_partitioned_ = 0;
+  u64 heartbeats_ = 0;
+  u64 heartbeats_lost_ = 0;
+  u64 crash_faults_ = 0;
+  u64 kills_ = 0;
+  u64 restarts_ = 0;
+  u64 failovers_ = 0;
+  u64 rejoins_ = 0;
+  u64 catch_up_spans_ = 0;
+  u64 recovered_spans_ = 0;
+  u64 stragglers_routed_ = 0;
+  u64 stragglers_dropped_ = 0;
+  u64 flows_routed_ = 0;
+  u64 flows_unattributed_ = 0;
+  u64 spans_unattributed_ = 0;
+
+  /// Query-plane completeness accumulation (every plan built) and the
+  /// federated assembler's counters (per-query assemblers are ephemeral).
+  mutable struct {
+    u64 plans = 0;
+    u64 fanout_nodes = 0;
+    u64 partitions_total = 0;
+    u64 partitions_primary = 0;
+    u64 partitions_failover = 0;
+    u64 partitions_unavailable = 0;
+  } fed_query_;
+  mutable server::AssemblerCounters fed_assembler_;
+
+  // Agent drain counters (federation-held: see note_agent_drain).
+  u64 agent_drain_batches_ = 0;
+  u64 agent_drain_records_ = 0;
+  u64 agent_staging_waits_ = 0;
+  u64 agent_perf_lost_ = 0;
+  std::vector<u64> agent_perf_lost_per_cpu_;
+  u64 agent_enter_map_drops_ = 0;
+};
+
+}  // namespace deepflow::cluster

@@ -1,0 +1,63 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace deepflow::cluster {
+
+HashRing::HashRing(u32 nodes, u32 virtual_nodes, u64 seed)
+    : nodes_(nodes > 0 ? nodes : 1) {
+  const u32 vnodes = virtual_nodes > 0 ? virtual_nodes : 1;
+  points_.reserve(static_cast<size_t>(nodes_) * vnodes);
+  for (u32 node = 0; node < nodes_; ++node) {
+    for (u32 replica = 0; replica < vnodes; ++replica) {
+      // mix64 over combined (seed, node, replica): point positions are a
+      // pure function of the triple, so every ring with the same seed
+      // places node k's points identically regardless of cluster size.
+      const u64 position =
+          mix64(hash_combine(hash_combine(seed, u64{node} + 1), replica));
+      points_.emplace_back(position, node);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+u32 HashRing::primary(u64 key_hash) const {
+  const u64 position = mix64(key_hash);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), position,
+      [](const std::pair<u64, u32>& p, u64 h) { return p.first < h; });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+std::vector<u32> HashRing::owners(u64 key_hash, size_t count) const {
+  std::vector<u32> out = walk(key_hash);
+  if (out.size() > count) out.resize(count);
+  return out;
+}
+
+std::vector<u32> HashRing::walk(u64 key_hash) const {
+  std::vector<u32> out;
+  out.reserve(nodes_);
+  std::vector<bool> seen(nodes_, false);
+  // Finalize the caller's hash before placing it on the ring: weak hashes
+  // (FNV-1a of short strings barely stirs the high bits, and ring order IS
+  // the high bits) would otherwise cluster related keys into one arc.
+  const u64 position = mix64(key_hash);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), position,
+      [](const std::pair<u64, u32>& p, u64 h) { return p.first < h; });
+  for (size_t step = 0; step < points_.size() && out.size() < nodes_; ++step) {
+    if (it == points_.end()) it = points_.begin();
+    if (!seen[it->second]) {
+      seen[it->second] = true;
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace deepflow::cluster

@@ -1,0 +1,48 @@
+// Consistent-hash ring over server nodes (the federation's routing core).
+//
+// Every node contributes `virtual_nodes` points, each a mix of (seed, node,
+// replica), sorted on a u64 ring. A key hashes to a position; its OWNERS are
+// the first `count` DISTINCT nodes encountered walking clockwise from that
+// position. Virtual points smooth the key distribution, and because a
+// node's points depend only on (seed, node index), adding node N+1 moves
+// only the keys whose walk now meets one of N+1's points — the classic
+// consistent-hashing stability property (pinned by the HashRing tests).
+//
+// The ring is immutable after construction: node failures do NOT reshape it
+// (the federation routes around dead owners instead — see federation.h), so
+// a key's owner list is a stable, deterministic function of the cluster
+// config alone.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deepflow::cluster {
+
+class HashRing {
+ public:
+  /// `nodes` >= 1 ring members, `virtual_nodes` >= 1 points per member.
+  HashRing(u32 nodes, u32 virtual_nodes, u64 seed);
+
+  u32 nodes() const { return nodes_; }
+
+  /// The first distinct node clockwise from `key_hash`.
+  u32 primary(u64 key_hash) const;
+
+  /// The first min(count, nodes) distinct nodes clockwise from `key_hash`,
+  /// in walk order (owners(h, 1)[0] == primary(h)).
+  std::vector<u32> owners(u64 key_hash, size_t count) const;
+
+  /// Every node exactly once, in clockwise walk order from `key_hash` —
+  /// the failover preference order for keys at that position.
+  std::vector<u32> walk(u64 key_hash) const;
+
+ private:
+  u32 nodes_;
+  std::vector<std::pair<u64, u32>> points_;  // (ring position, node), sorted
+};
+
+}  // namespace deepflow::cluster

@@ -12,11 +12,15 @@ std::string_view fault_site_name(FaultSite site) {
       return "transport-send";
     case FaultSite::kSegmentWrite:
       return "segment-write";
+    case FaultSite::kNodeCrash:
+      return "node-crash";
+    case FaultSite::kLinkPartition:
+      return "link-partition";
   }
   return "unknown";
 }
 
-FaultInjector::FaultInjector(u64 seed) {
+FaultInjector::FaultInjector(u64 seed) : seed_(seed) {
   for (size_t i = 0; i < sites_.size(); ++i) {
     // Independent stream per site: mixing the site index in keeps one
     // site's consumption from shifting another site's sequence.
@@ -36,26 +40,40 @@ bool FaultInjector::enabled(FaultSite site) const {
       std::memory_order_acquire);
 }
 
-FaultDecision FaultInjector::decide(FaultSite site, u8 supported) {
+Rng& FaultInjector::lane_rng(Site& site, size_t site_index, u64 lane) {
+  if (lane == kFaultSharedLane) return site.rng;
+  const auto it = site.lanes.find(lane);
+  if (it != site.lanes.end()) return it->second;
+  // Independent stream per (seed, site, lane): the lane index is mixed
+  // separately from the site tag so lane streams collide with neither the
+  // shared site streams nor each other.
+  const u64 lane_seed =
+      mix64(seed_ ^ (0x4000000000000000ULL | (site_index + 1))) ^
+      mix64(lane + 0x9e3779b97f4a7c15ULL);
+  return site.lanes.emplace(lane, Rng(lane_seed)).first->second;
+}
+
+FaultDecision FaultInjector::decide(FaultSite site, u8 supported, u64 lane) {
   Site& s = sites_[static_cast<size_t>(site)];
   std::lock_guard lock(s.mu);
   ++s.counters.consults;
+  Rng& rng = lane_rng(s, static_cast<size_t>(site), lane);
 
   // Fixed draw schedule — four Bernoulli draws plus the delay and skew
   // magnitudes, consumed on every consult no matter the profile or the
   // outcome. This is what makes fault sets nested across probability
   // sweeps (see the header's determinism contract).
-  const bool hit_drop = s.rng.chance(s.profile.drop);
-  const bool hit_dup = s.rng.chance(s.profile.duplicate);
-  const bool hit_delay = s.rng.chance(s.profile.delay);
-  const bool hit_skew = s.rng.chance(s.profile.corrupt_ts);
+  const bool hit_drop = rng.chance(s.profile.drop);
+  const bool hit_dup = rng.chance(s.profile.duplicate);
+  const bool hit_delay = rng.chance(s.profile.delay);
+  const bool hit_skew = rng.chance(s.profile.corrupt_ts);
   const u32 delay_ticks = static_cast<u32>(
-      s.rng.between(1, s.profile.max_delay_ticks > 0
+      rng.between(1, s.profile.max_delay_ticks > 0
                            ? s.profile.max_delay_ticks
                            : 1));
   const i64 max_skew =
       s.profile.max_ts_skew_ns > 0 ? s.profile.max_ts_skew_ns : 1;
-  const i64 skew_ns = static_cast<i64>(s.rng.between(
+  const i64 skew_ns = static_cast<i64>(rng.between(
                           0, static_cast<u64>(2 * max_skew))) -
                       max_skew;
 

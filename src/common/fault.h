@@ -28,6 +28,7 @@
 #include <atomic>
 #include <mutex>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/rand.h"
 #include "common/types.h"
@@ -40,8 +41,17 @@ enum class FaultSite : u8 {
   kPerfRingSubmit = 0,  // kernel -> agent: per-CPU perf-ring submit
   kTransportSend = 1,   // agent -> server: span-batch send
   kSegmentWrite = 2,    // server -> disk: sealed-segment write (media rot)
+  kNodeCrash = 3,       // server process: per-tick crash draw (drop only)
+  kLinkPartition = 4,   // agent <-> server link: batch/heartbeat partition
 };
-constexpr size_t kFaultSiteCount = 3;
+constexpr size_t kFaultSiteCount = 5;
+
+/// Lane value selecting a site's shared (historical) stream. Callers that
+/// exist in multiples — one transport per (agent, server) link in a
+/// federated cluster — pass a real lane instead, giving every instance its
+/// own draw schedule: creating or destroying one lane can never shift the
+/// sequence another lane (or the shared stream) sees.
+constexpr u64 kFaultSharedLane = ~u64{0};
 
 std::string_view fault_site_name(FaultSite site);
 
@@ -121,7 +131,11 @@ class FaultInjector {
   /// Draw one decision for a unit of work at `site`. `supported` masks the
   /// kinds the caller can apply; unsupported kinds are reported clean and
   /// not counted, but their draws are still consumed (stream stability).
-  FaultDecision decide(FaultSite site, u8 supported = kFaultAll);
+  /// `lane` selects an independent per-(site, lane) stream; the default is
+  /// the site's shared stream (see kFaultSharedLane). All lanes of a site
+  /// share its profile and counters — only the RNG stream is per-lane.
+  FaultDecision decide(FaultSite site, u8 supported = kFaultAll,
+                       u64 lane = kFaultSharedLane);
 
   /// Draw one media-rot decision for an image of `len` bytes about to hit
   /// stable storage. Separate from decide() — its own fixed 3-draw schedule
@@ -137,6 +151,10 @@ class FaultInjector {
     Site() : rng(0) {}
     mutable std::mutex mu;
     Rng rng;
+    // Lazily created per-lane streams (decide with lane != shared). Seeded
+    // from (seed, site, lane), so which lanes exist — and in what order
+    // they first consult — cannot perturb any other stream.
+    std::unordered_map<u64, Rng> lanes;
     FaultProfile profile;
     FaultSiteCounters counters;
     // Cached profile.any(); atomic so the hot-path enabled() check needs no
@@ -144,6 +162,9 @@ class FaultInjector {
     std::atomic<bool> enabled{false};
   };
 
+  Rng& lane_rng(Site& site, size_t site_index, u64 lane);
+
+  u64 seed_;
   std::array<Site, kFaultSiteCount> sites_;
 };
 

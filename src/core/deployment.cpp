@@ -6,10 +6,22 @@
 
 namespace deepflow::core {
 
+namespace {
+/// Config of the member single server. In federated mode that object is an
+/// unused stub (the federation constructs the real node servers from the
+/// template), so its heavyweight planes are switched off.
+server::ServerConfig single_server_config(const DeploymentConfig& config) {
+  if (config.federation.nodes == 0) return config.server;
+  server::ServerConfig stub;
+  stub.metrics.enabled = false;
+  return stub;
+}
+}  // namespace
+
 Deployment::Deployment(netsim::Cluster* cluster, DeploymentConfig config)
     : cluster_(cluster),
       config_(config),
-      server_(&cluster->registry(), config.server) {}
+      server_(&cluster->registry(), single_server_config(config)) {}
 
 bool Deployment::deploy() {
   if (deployed_) return true;
@@ -21,13 +33,47 @@ bool Deployment::deploy() {
     injector_->configure(FaultSite::kPerfRingSubmit, config_.faults.perf_ring);
     injector_->configure(FaultSite::kTransportSend,
                          config_.faults.transport_send);
+    injector_->configure(FaultSite::kNodeCrash, config_.faults.node_crash);
+    injector_->configure(FaultSite::kLinkPartition,
+                         config_.faults.link_partition);
     agent_config.collector.fault_injector = injector_.get();
   }
+  if (federated()) {
+    federation_ = std::make_unique<cluster::Federation>(
+        &cluster_->registry(), config_.federation, config_.server,
+        injector_.get());
+  }
 
+  u32 agent_index = 0;
   for (const netsim::NodeId node : cluster_->nodes()) {
     kernelsim::Kernel* kernel = cluster_->kernel_of(node);
+    const std::string host = kernel->hostname();
     agent::SpanSink sink;
-    if (config_.transport.direct) {
+    if (federated()) {
+      // One transport link per pinned owner of this agent's partition,
+      // each on its own fault/jitter lane; the span sink fans every span
+      // out to all links (replicated ingest).
+      std::vector<agent::SpanTransport*> links;
+      for (const u32 owner : federation_->register_agent(host)) {
+        agent::TransportConfig link_config = config_.transport;
+        link_config.lane = cluster::Federation::link_lane(agent_index, owner);
+        const u64 lane = link_config.lane;
+        transports_.push_back(std::make_unique<agent::SpanTransport>(
+            link_config,
+            agent::SpanTransport::FailableBatchSink(
+                [this, owner, host, lane](std::vector<agent::Span>& spans) {
+                  return federation_->deliver(owner, host, spans, lane);
+                }),
+            injector_.get()));
+        links.push_back(transports_.back().get());
+      }
+      sink = [links](agent::Span&& span) {
+        for (size_t k = 0; k + 1 < links.size(); ++k) {
+          links[k]->offer(agent::Span(span));
+        }
+        links.back()->offer(std::move(span));
+      };
+    } else if (config_.transport.direct) {
       // Historical perfect wire: one in-process call per span.
       sink = [this](agent::Span&& span) { server_.ingest(std::move(span)); };
     } else {
@@ -45,10 +91,15 @@ bool Deployment::deploy() {
     auto a = std::make_unique<agent::Agent>(kernel, &cluster_->registry(),
                                             agent_config, std::move(sink));
     if (config_.forward_stragglers) {
-      const std::string host = kernel->hostname();
-      a->set_straggler_sink([this, host](agent::MessageData&& message) {
-        server_.ingest_straggler(host, std::move(message));
-      });
+      if (federated()) {
+        a->set_straggler_sink([this, host](agent::MessageData&& message) {
+          federation_->deliver_straggler(host, std::move(message));
+        });
+      } else {
+        a->set_straggler_sink([this, host](agent::MessageData&& message) {
+          server_.ingest_straggler(host, std::move(message));
+        });
+      }
     }
 
     // This node's devices; fabric-shared devices (node_id 0, e.g. the ToR
@@ -68,6 +119,7 @@ bool Deployment::deploy() {
       return false;
     }
     agents_.push_back(std::move(a));
+    ++agent_index;
   }
   deployed_ = true;
   return true;
@@ -86,6 +138,9 @@ size_t Deployment::poll() {
   // One transport tick per poll cycle: due retries/delays first, then the
   // batches this cycle filled.
   for (auto& t : transports_) t->pump();
+  // One failure-detector round per poll cycle: crash draws, heartbeats,
+  // suspicion transitions.
+  if (federation_ != nullptr) federation_->tick();
   return n;
 }
 
@@ -94,6 +149,17 @@ void Deployment::finish() {
   // Drain the transports before the server closes its window: every span
   // is then delivered or explicitly counted as given up / shed.
   for (auto& t : transports_) t->flush();
+  if (federation_ != nullptr) {
+    federation_->finalize();
+    federation_->note_agent_drain(aggregate_stats());
+    for (const auto& [tuple, metrics] : cluster_->fabric().flows()) {
+      federation_->ingest_flow_metrics(tuple, metrics);
+    }
+    for (const auto& device : cluster_->fabric().devices()) {
+      federation_->ingest_device_metrics(device->name, device->metrics);
+    }
+    return;
+  }
   server_.finalize();
   // Ingest self-telemetry: fold the agents' drain-pipeline counters into
   // the server's view (records/sec, batch sizes, ring pressure).
@@ -109,6 +175,11 @@ void Deployment::finish() {
 }
 
 otelsim::ExportSink Deployment::third_party_sink() {
+  if (federated()) {
+    return [this](agent::Span&& span) {
+      federation_->deliver_third_party(std::move(span));
+    };
+  }
   return [this](agent::Span&& span) {
     server_.ingest_third_party(std::move(span));
   };
@@ -158,6 +229,8 @@ agent::TransportStats Deployment::aggregate_transport_stats() const {
     total.ts_corrupted_spans += s.ts_corrupted_spans;
     total.delivered_batches += s.delivered_batches;
     total.delivered_spans += s.delivered_spans;
+    total.sink_rejected_batches += s.sink_rejected_batches;
+    total.sink_rejected_spans += s.sink_rejected_spans;
     total.queue_high_watermark =
         std::max(total.queue_high_watermark, s.queue_high_watermark);
   }

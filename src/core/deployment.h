@@ -19,6 +19,7 @@
 
 #include "agent/agent.h"
 #include "agent/transport.h"
+#include "cluster/federation.h"
 #include "common/fault.h"
 #include "netsim/cluster.h"
 #include "otelsim/tracer.h"
@@ -33,7 +34,12 @@ struct FaultPlan {
   u64 seed = 1;
   FaultProfile perf_ring;       // kernel -> agent (drop only)
   FaultProfile transport_send;  // agent -> server batch channel
-  bool any() const { return perf_ring.any() || transport_send.any(); }
+  FaultProfile node_crash;      // federated: per-(node, tick) crash draw
+  FaultProfile link_partition;  // federated: agent<->server link / heartbeat
+  bool any() const {
+    return perf_ring.any() || transport_send.any() || node_crash.any() ||
+           link_partition.any();
+  }
 };
 
 struct DeploymentConfig {
@@ -46,6 +52,13 @@ struct DeploymentConfig {
   agent::TransportConfig transport{.direct = true};
   /// Fault injection across the delivery hops (chaos testing).
   FaultPlan faults;
+  /// Multi-server federation. `nodes == 0` (the default) keeps the
+  /// historical single in-process server; `nodes >= 1` replaces it with a
+  /// consistent-hash cluster of that many servers — each agent opens one
+  /// transport link per pinned owner of its partition, and queries go
+  /// through Deployment::federation(). The `server` config above is the
+  /// per-node template in that mode.
+  cluster::ClusterConfig federation{.nodes = 0};
   /// Attach cBPF/AF_PACKET capture to every infrastructure device (pod
   /// veths, vswitches, pNICs, the ToR) — the full network-coverage mode.
   bool capture_devices = true;
@@ -72,8 +85,15 @@ class Deployment {
   /// network metrics (per-flow and per-device) to the server.
   void finish();
 
+  /// The single server (historical mode). In federated mode this object is
+  /// an inert stub — query through federation() instead.
   server::DeepFlowServer& server() { return server_; }
   const server::DeepFlowServer& server() const { return server_; }
+
+  bool federated() const { return config_.federation.nodes > 0; }
+  /// The cluster (nullptr before deploy(), or in single-server mode).
+  cluster::Federation* federation() { return federation_.get(); }
+  const cluster::Federation* federation() const { return federation_.get(); }
 
   /// Export sink for third-party (OpenTelemetry) tracers: spans flow into
   /// the same store and participate in trace assembly.
@@ -92,9 +112,11 @@ class Deployment {
   DeploymentConfig config_;
   server::DeepFlowServer server_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<cluster::Federation> federation_;
   std::vector<std::unique_ptr<agent::Agent>> agents_;
-  // One transport per agent (index-aligned with agents_), created only in
-  // non-direct mode; pumped by poll() and flushed by finish().
+  // Span transports, pumped by poll() and flushed by finish(). Single
+  // server: one per agent (non-direct mode only). Federated: one per
+  // (agent, owner) link, each on its own fault/jitter lane.
   std::vector<std::unique_ptr<agent::SpanTransport>> transports_;
   std::string error_;
   bool deployed_ = false;

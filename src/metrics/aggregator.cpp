@@ -282,6 +282,85 @@ void MetricsAggregator::record_flow(const FiveTuple& tuple,
   stats.flow_rtt_samples += flow.rtt_samples;
 }
 
+void MetricsAggregator::merge_from(const MetricsAggregator& other) {
+  if (&other == this) return;
+  third_party_spans_.fetch_add(
+      other.third_party_spans_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+
+  for (size_t i = 0; i < other.service_stripes_.size(); ++i) {
+    const ServiceStripe& src = *other.service_stripes_[i];
+    std::lock_guard<std::mutex> src_lock(src.mu);
+    {
+      // Stripe tallies sum across stripes at telemetry time, so their
+      // destination stripe is arbitrary — index-aligned keeps it stable.
+      ServiceStripe& tally = *service_stripes_[i % config_.stripes];
+      std::lock_guard<std::mutex> lock(tally.mu);
+      tally.service_samples += src.service_samples;
+      tally.app_spans += src.app_spans;
+    }
+    for (const auto& [name, stats] : src.services) {
+      ServiceStripe& dst = service_stripe(name);
+      std::lock_guard<std::mutex> lock(dst.mu);
+      auto [it, inserted] = dst.services.try_emplace(name, config_);
+      ServiceStats& d = it->second;
+      d.requests += stats.requests;
+      d.errors += stats.errors;
+      d.incomplete += stats.incomplete;
+      d.duration_sum += stats.duration_sum;
+      d.latency.merge(stats.latency);
+      d.app_spans += stats.app_spans;
+      d.series.merge(stats.series);
+    }
+  }
+
+  for (size_t i = 0; i < other.edge_stripes_.size(); ++i) {
+    const EdgeStripe& src = *other.edge_stripes_[i];
+    std::lock_guard<std::mutex> src_lock(src.mu);
+    {
+      EdgeStripe& tally = *edge_stripes_[i % config_.stripes];
+      std::lock_guard<std::mutex> lock(tally.mu);
+      tally.edge_samples += src.edge_samples;
+      tally.net_frames += src.net_frames;
+    }
+    for (const auto& [key, stats] : src.edges) {
+      EdgeStripe& dst = edge_stripe(key);
+      std::lock_guard<std::mutex> lock(dst.mu);
+      auto [it, inserted] = dst.edges.try_emplace(key, config_);
+      EdgeStats& d = it->second;
+      d.requests += stats.requests;
+      d.errors += stats.errors;
+      d.incomplete += stats.incomplete;
+      d.duration_sum += stats.duration_sum;
+      d.latency.merge(stats.latency);
+      d.net_frames += stats.net_frames;
+      d.flow_bytes += stats.flow_bytes;
+      d.flow_packets += stats.flow_packets;
+      d.flow_retransmissions += stats.flow_retransmissions;
+      d.flow_resets += stats.flow_resets;
+      d.flow_rtt_sum += stats.flow_rtt_sum;
+      d.flow_rtt_samples += stats.flow_rtt_samples;
+      d.series.merge(stats.series);
+    }
+  }
+
+  for (size_t i = 0; i < other.directory_stripes_.size(); ++i) {
+    const DirectoryStripe& src = *other.directory_stripes_[i];
+    std::lock_guard<std::mutex> src_lock(src.mu);
+    {
+      DirectoryStripe& tally = *directory_stripes_[i % config_.stripes];
+      std::lock_guard<std::mutex> lock(tally.mu);
+      tally.flows_folded += src.flows_folded;
+      tally.flows_unattributed += src.flows_unattributed;
+    }
+    for (const auto& [tuple, key] : src.flows) {
+      DirectoryStripe& dst = directory_stripe(tuple);
+      std::lock_guard<std::mutex> lock(dst.mu);
+      dst.flows.try_emplace(tuple, key);
+    }
+  }
+}
+
 RedSummary MetricsAggregator::summarize(u64 requests, u64 errors,
                                         u64 incomplete, DurationNs duration_sum,
                                         const LatencyHistogram& latency) {

@@ -160,6 +160,16 @@ class MetricsAggregator {
   /// unattributed.
   void record_flow(const FiveTuple& tuple, const netsim::FlowMetrics& flow);
 
+  /// Fold another aggregator's entire state into this one (the federation
+  /// query plane merges the selected per-partition aggregators into a
+  /// scratch instance with this). Both must share the same MetricsConfig
+  /// shape (histogram bound, rollup layout). Every fold is commutative, so
+  /// merging partitions in any order equals having folded the union stream
+  /// directly — byte-identical canonical output when no series overflowed
+  /// its retention horizon. Takes both aggregators' stripe locks; do not
+  /// call concurrently with a merge in the opposite direction.
+  void merge_from(const MetricsAggregator& other);
+
   // -- Query plane. ---------------------------------------------------------
 
   /// Time-series of one service over [from, to] at (approximately) the

@@ -138,6 +138,33 @@ class MultiResolutionSeries {
     return out;
   }
 
+  /// Fold another series (same level layout) into this one — the federation
+  /// query plane merges per-partition series with this. Retention-honoring
+  /// and commutative: each ring's merged horizon is the max of the two max
+  /// buckets, and source buckets behind it are dropped as late — exactly
+  /// the retained state a single ring fed both sample streams would hold
+  /// (byte-identical whenever neither input overflowed its horizon, the
+  /// same contract the serial-vs-parallel equivalence suites pin).
+  void merge(const MultiResolutionSeries& other) {
+    for (size_t i = 0; i < rings_.size() && i < other.rings_.size(); ++i) {
+      Ring& dst = rings_[i];
+      const Ring& src = other.rings_[i];
+      dst.late += src.late;
+      if (!src.any || src.width != dst.width) continue;
+      const u64 hi = src.max_bucket;
+      const u64 lo = hi >= src.slots.size() - 1
+                         ? hi - (src.slots.size() - 1)
+                         : 0;
+      for (u64 b = lo; b <= hi; ++b) {
+        const MetricsBucket& slot = src.slots[b % src.slots.size()];
+        if (slot.empty() || slot.bucket_start != b * src.width) continue;
+        if (MetricsBucket* bucket = dst.bucket_for(slot.bucket_start)) {
+          bucket->merge(slot);
+        }
+      }
+    }
+  }
+
   /// Samples that arrived behind every ring's retained horizon at the given
   /// level (still folded into coarser levels and all-time totals).
   u64 late_samples(size_t level) const {

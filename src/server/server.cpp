@@ -67,6 +67,7 @@ void DeepFlowServer::ingest(agent::Span&& span) {
   // Metrics fold AFTER dedup (each session samples exactly once even under
   // at-least-once transports) and BEFORE the store takes ownership.
   metrics_.record_span(span);
+  if (ingest_observer_) ingest_observer_(span);
   store_.insert(std::move(span));
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -91,6 +92,14 @@ struct QueryTelemetry {
   // Degradation-aware assembly (zero unless AssemblerConfig::lost_placeholders):
   u64 orphan_spans = 0;        // roots re-attached to lost-span placeholders
   u64 lost_placeholders = 0;   // synthetic placeholder parents fabricated
+  // Federation completeness (all zero on a single server; the cluster layer
+  // fills them when scatter-gather queries run against a ring with dead
+  // nodes — see cluster/federation.h). Partitions are agent routing keys.
+  u64 fanout_nodes = 0;          // live node stores consulted by scatters
+  u64 partitions_total = 0;      // partitions known to the ring
+  u64 partitions_primary = 0;    // partitions served by their home node
+  u64 partitions_failover = 0;   // partitions served by a replica (degraded)
+  u64 partitions_unavailable = 0;  // partitions with no live holder
 };
 
 class DeepFlowServer {
@@ -132,6 +141,15 @@ class DeepFlowServer {
   /// Fold one agent's drain-pipeline counters into the ingest telemetry
   /// (called by the deployment when agents finish).
   void note_agent_drain(const agent::AgentStats& stats);
+
+  /// Observer called for every span that clears ingest dedup, before the
+  /// store takes ownership (the federation layer folds spans into
+  /// per-partition aggregators here). Install once, before any traffic;
+  /// the observer must be thread-safe like the ingest path itself.
+  using IngestObserver = std::function<void(const agent::Span&)>;
+  void set_ingest_observer(IngestObserver observer) {
+    ingest_observer_ = std::move(observer);
+  }
 
   /// Snapshot of the ingest-path self-telemetry.
   IngestTelemetry ingest_telemetry() const;
@@ -215,6 +233,7 @@ class DeepFlowServer {
   SpanStore store_;
   TraceAssembler assembler_;
   metrics::MetricsAggregator metrics_;
+  IngestObserver ingest_observer_;
   agent::SessionAggregator reaggregator_;
   std::unordered_map<std::string, agent::SpanBuilder> builders_;
   std::unordered_map<u64, std::string> straggler_hosts_;  // flow key -> host

@@ -49,42 +49,11 @@
 #include <vector>
 
 #include "agent/span.h"
+#include "server/store_backend.h"
 #include "server/tag_encoding.h"
 #include "storage/segment_store.h"
 
 namespace deepflow::server {
-
-/// One stored row: span columns + encoded tags.
-struct SpanRow {
-  agent::Span span;       // tags vector left empty; blob holds encodings
-  std::string tag_blob;
-  u32 shard = 0;          // owning shard (set at insert; row-routed decode)
-};
-
-/// Filter for the iterative span search (Algorithm 1, lines 5-11): a span
-/// matches when ANY of its association attributes appears in the filter.
-struct SearchFilter {
-  std::unordered_set<SystraceId> systrace_ids;
-  std::unordered_set<u64> pseudo_thread_keys;  // hash(host, pid, ptid)
-  std::unordered_set<std::string> x_request_ids;
-  std::unordered_set<TcpSeq> tcp_seqs;
-  std::unordered_set<std::string> otel_trace_ids;
-
-  bool empty() const {
-    return systrace_ids.empty() && pseudo_thread_keys.empty() &&
-           x_request_ids.empty() && tcp_seqs.empty() &&
-           otel_trace_ids.empty();
-  }
-
-  size_t key_count() const {
-    return systrace_ids.size() + pseudo_thread_keys.size() +
-           x_request_ids.size() + tcp_seqs.size() + otel_trace_ids.size();
-  }
-};
-
-/// Key combining host, pid and pseudo-thread id — pseudo-thread ids are only
-/// unique per kernel, so cross-host aliasing must be excluded.
-u64 pseudo_thread_key(const agent::Span& span);
 
 /// Read-path counters (relaxed atomics snapshotted into QueryTelemetry).
 struct StoreQueryCounters {
@@ -96,7 +65,7 @@ struct StoreQueryCounters {
   u64 tag_cache_hits = 0;  // batched materializations served from the cache
 };
 
-class SpanStore {
+class SpanStore : public SpanReadBackend {
  public:
   /// Sentinel SpanRow::shard value for rows promoted out of the warm tier.
   static constexpr u32 kWarmShard = ~u32{0};
@@ -106,7 +75,7 @@ class SpanStore {
   /// warm tier before the first insert.
   SpanStore(EncoderKind encoder_kind, const netsim::ResourceRegistry* registry,
             size_t shard_count = 1, storage::StorageConfig storage = {});
-  ~SpanStore();
+  ~SpanStore() override;
 
   /// Encode tags and store the span. Returns the span id. Thread-safe.
   u64 insert(agent::Span span);
@@ -114,7 +83,7 @@ class SpanStore {
   /// Shard-routed point lookup: the id directory names the owning shard, so
   /// exactly one shard lock is taken (nullptr on unknown ids without
   /// touching any shard).
-  const SpanRow* row(u64 span_id) const;
+  const SpanRow* row(u64 span_id) const override;
 
   /// Materialize a span with its full decoded tag set (query-time join).
   agent::Span materialize(u64 span_id) const;
@@ -132,7 +101,7 @@ class SpanStore {
   /// rows from search_rows()/row(): skips the id directory entirely.
   /// nullptr entries yield empty spans.
   std::vector<agent::Span> materialize_rows(
-      const std::vector<const SpanRow*>& rows) const;
+      const std::vector<const SpanRow*>& rows) const override;
 
   /// All span ids matching any filter attribute (Algorithm 1's
   /// search_database), merged across shards and returned in ascending id
@@ -144,7 +113,8 @@ class SpanStore {
   /// Rows are node-based and immutable after insert, so the pointers stay
   /// valid for the caller's lifetime; the query fast path uses this to
   /// avoid one directory + row lookup per hit after every search.
-  std::vector<const SpanRow*> search_rows(const SearchFilter& filter) const;
+  std::vector<const SpanRow*> search_rows(
+      const SearchFilter& filter) const override;
 
   /// Span ids whose start timestamp falls in [from, to], time-ordered,
   /// capped at `limit` (front ends page through span lists).

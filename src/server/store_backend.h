@@ -1,0 +1,68 @@
+// The read seam between trace assembly and span storage (the Driver-style
+// backend abstraction): Algorithm 1 needs exactly three read operations —
+// a point lookup by span id, an any-attribute search returning stable row
+// pointers, and batch materialization of those rows. SpanReadBackend names
+// that contract, so the assembler runs unchanged over a single SpanStore
+// (the historical path, zero-indirection-cost aside from one virtual call)
+// or over a federated scatter-gather view that unions the stores of every
+// live cluster node (src/cluster/federated_source.h).
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "agent/span.h"
+
+namespace deepflow::server {
+
+/// One stored row: span columns + encoded tags.
+struct SpanRow {
+  agent::Span span;       // tags vector left empty; blob holds encodings
+  std::string tag_blob;
+  u32 shard = 0;          // owning shard (set at insert; row-routed decode)
+};
+
+/// Filter for the iterative span search (Algorithm 1, lines 5-11): a span
+/// matches when ANY of its association attributes appears in the filter.
+struct SearchFilter {
+  std::unordered_set<SystraceId> systrace_ids;
+  std::unordered_set<u64> pseudo_thread_keys;  // hash(host, pid, ptid)
+  std::unordered_set<std::string> x_request_ids;
+  std::unordered_set<TcpSeq> tcp_seqs;
+  std::unordered_set<std::string> otel_trace_ids;
+
+  bool empty() const {
+    return systrace_ids.empty() && pseudo_thread_keys.empty() &&
+           x_request_ids.empty() && tcp_seqs.empty() &&
+           otel_trace_ids.empty();
+  }
+
+  size_t key_count() const {
+    return systrace_ids.size() + pseudo_thread_keys.size() +
+           x_request_ids.size() + tcp_seqs.size() + otel_trace_ids.size();
+  }
+};
+
+/// Key combining host, pid and pseudo-thread id — pseudo-thread ids are only
+/// unique per kernel, so cross-host aliasing must be excluded.
+u64 pseudo_thread_key(const agent::Span& span);
+
+/// The assembler's view of storage. Implementations must honour the
+/// SpanStore contracts the assembler relies on: returned row pointers stay
+/// valid for the caller's lifetime, search_rows is sorted by ascending span
+/// id with no duplicate ids, and materialize_rows is positionally aligned
+/// with its input (nullptr entries yield empty spans). All three methods
+/// are const and safe to call from any number of threads concurrently.
+class SpanReadBackend {
+ public:
+  virtual ~SpanReadBackend() = default;
+
+  virtual const SpanRow* row(u64 span_id) const = 0;
+  virtual std::vector<const SpanRow*> search_rows(
+      const SearchFilter& filter) const = 0;
+  virtual std::vector<agent::Span> materialize_rows(
+      const std::vector<const SpanRow*>& rows) const = 0;
+};
+
+}  // namespace deepflow::server

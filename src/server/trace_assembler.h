@@ -19,7 +19,7 @@
 #include <atomic>
 #include <vector>
 
-#include "server/span_store.h"
+#include "server/store_backend.h"
 
 namespace deepflow::server {
 
@@ -77,7 +77,10 @@ struct AssemblerCounters {
 
 class TraceAssembler {
  public:
-  explicit TraceAssembler(const SpanStore* store, AssemblerConfig config = {})
+  /// `store` is any SpanReadBackend — the single-node SpanStore (the
+  /// historical path), or a federated view unioning several stores.
+  explicit TraceAssembler(const SpanReadBackend* store,
+                          AssemblerConfig config = {})
       : store_(store), config_(config) {}
 
   /// Run Algorithm 1 from `start_span_id`. Unknown ids yield empty traces.
@@ -88,7 +91,7 @@ class TraceAssembler {
   AssemblerCounters counters() const;
 
  private:
-  const SpanStore* store_;
+  const SpanReadBackend* store_;
   AssemblerConfig config_;
 
   mutable std::atomic<u64> traces_{0};

@@ -269,5 +269,88 @@ TEST(SpanTransport, HighWatermarkTracksQueueDepth) {
   EXPECT_EQ(transport.stats().queue_high_watermark, 5u);
 }
 
+TEST(SpanTransport, LanedTransportsKeepIsolatedFateAndJitterSchedules) {
+  // The federated deployment opens one transport per (agent, server) link,
+  // each on its own lane. Pinned property: adding ANOTHER laned transport
+  // to the same injector — and running it first — must not perturb an
+  // existing lane's delivery schedule (channel fates AND retry jitter), so
+  // replication fan-out never changes what an established link delivers.
+  FaultProfile lossy;
+  lossy.drop = 0.5;
+  TransportConfig config;
+  config.batch_spans = 4;
+  config.max_attempts = 30;
+  config.lane = 1;
+
+  // Solo run: lane 1 alone on the injector.
+  FaultInjector solo_inject(21);
+  solo_inject.configure(FaultSite::kTransportSend, lossy);
+  Capture solo_cap;
+  SpanTransport solo(config, solo_cap.sink(), &solo_inject);
+  for (u64 id = 1; id <= 40; ++id) solo.offer(make_span(id));
+  solo.flush();
+
+  // Paired run: a second transport on lane 2 drains its own traffic
+  // through the SAME injector before lane 1 moves at all.
+  FaultInjector pair_inject(21);
+  pair_inject.configure(FaultSite::kTransportSend, lossy);
+  Capture noisy_cap;
+  TransportConfig noisy_config = config;
+  noisy_config.lane = 2;
+  SpanTransport noisy(noisy_config, noisy_cap.sink(), &pair_inject);
+  for (u64 id = 100; id <= 160; ++id) noisy.offer(make_span(id));
+  noisy.flush();
+
+  Capture pair_cap;
+  SpanTransport paired(config, pair_cap.sink(), &pair_inject);
+  for (u64 id = 1; id <= 40; ++id) paired.offer(make_span(id));
+  paired.flush();
+
+  // Batch-for-batch identical delivery, and the same fate/retry counters.
+  EXPECT_EQ(solo_cap.batches, pair_cap.batches);
+  EXPECT_EQ(solo.stats().send_drops, paired.stats().send_drops);
+  EXPECT_EQ(solo.stats().retries, paired.stats().retries);
+  EXPECT_EQ(solo.stats().batches_sent, paired.stats().batches_sent);
+  EXPECT_EQ(solo.stats().delivered_spans, paired.stats().delivered_spans);
+  // The interfering lane really did consume channel draws.
+  EXPECT_GT(noisy.stats().send_drops, 0u);
+}
+
+TEST(SpanTransport, SharedLaneSchedulesAreUndisturbedByLanedPeers) {
+  // Historical single-server deployments keep every transport on the
+  // shared lane. A laned peer (a federation link) draining through the
+  // same injector must leave the shared stream exactly where it was.
+  FaultProfile lossy;
+  lossy.drop = 0.5;
+  TransportConfig config;
+  config.batch_spans = 4;
+  config.max_attempts = 30;
+
+  FaultInjector solo_inject(33);
+  solo_inject.configure(FaultSite::kTransportSend, lossy);
+  Capture solo_cap;
+  SpanTransport solo(config, solo_cap.sink(), &solo_inject);
+  for (u64 id = 1; id <= 40; ++id) solo.offer(make_span(id));
+  solo.flush();
+
+  FaultInjector pair_inject(33);
+  pair_inject.configure(FaultSite::kTransportSend, lossy);
+  Capture laned_cap;
+  TransportConfig laned_config = config;
+  laned_config.lane = 17;
+  SpanTransport laned(laned_config, laned_cap.sink(), &pair_inject);
+  for (u64 id = 100; id <= 140; ++id) laned.offer(make_span(id));
+  laned.flush();
+
+  Capture shared_cap;
+  SpanTransport shared(config, shared_cap.sink(), &pair_inject);
+  for (u64 id = 1; id <= 40; ++id) shared.offer(make_span(id));
+  shared.flush();
+
+  EXPECT_EQ(solo_cap.batches, shared_cap.batches);
+  EXPECT_EQ(solo.stats().send_drops, shared.stats().send_drops);
+  EXPECT_EQ(solo.stats().retries, shared.stats().retries);
+}
+
 }  // namespace
 }  // namespace deepflow::agent

@@ -1,0 +1,140 @@
+// Shared helpers for the FederationEquivalence / FederationChaos suites:
+// run the spring-boot workload through a Deployment (single-server or
+// federated) and snapshot every canonical surface the equivalence checks
+// compare byte-for-byte.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "server/canonical.h"
+#include "workloads/topologies.h"
+
+namespace deepflow::cluster::testutil {
+
+struct FedSnapshot {
+  std::string store_dump;           // canonical served content, sorted lines
+  std::vector<std::string> traces;  // canonical trace corpus, sorted
+  std::string metrics;              // canonical RED rollups
+  std::string service_map;          // canonical service topology
+  u64 span_count = 0;               // spans the query plane served
+  agent::TransportStats transport;
+  server::IngestTelemetry ingest;
+  server::QueryTelemetry query;  // snapshotted AFTER assembling all traces
+  FederationTelemetry fed;       // zero-initialized in single-server runs
+};
+
+/// Canonical trace corpus over a span-id list served by `query_trace`:
+/// every unclaimed id is assembled and each trace serialized id-free.
+template <typename QueryTraceFn>
+std::vector<std::string> trace_corpus(const std::vector<u64>& ids,
+                                      QueryTraceFn&& query_trace) {
+  std::vector<std::string> traces;
+  std::set<u64> claimed;
+  for (const u64 id : ids) {
+    if (claimed.contains(id)) continue;
+    const server::AssembledTrace trace = query_trace(id);
+    for (const auto& s : trace.spans) claimed.insert(s.span.span_id);
+    traces.push_back(server::canonical_trace(trace));
+  }
+  std::sort(traces.begin(), traces.end());
+  return traces;
+}
+
+/// Snapshot every canonical surface of a finished deployment (single-server
+/// or federated).
+inline FedSnapshot snapshot(core::Deployment& deepflow) {
+  FedSnapshot snap;
+  snap.transport = deepflow.aggregate_transport_stats();
+  if (deepflow.federated()) {
+    Federation& fed = *deepflow.federation();
+    snap.store_dump = fed.canonical_store_dump();
+    snap.metrics = fed.canonical_metrics();
+    snap.service_map = fed.canonical_service_map();
+    snap.ingest = fed.ingest_telemetry();
+    std::vector<u64> ids;
+    for (const agent::Span& span : fed.query_span_list(0, ~TimestampNs{0})) {
+      ids.push_back(span.span_id);
+    }
+    snap.span_count = ids.size();
+    snap.traces =
+        trace_corpus(ids, [&](u64 id) { return fed.query_trace(id); });
+    snap.query = fed.query_telemetry();
+    snap.fed = fed.telemetry();
+  } else {
+    const server::DeepFlowServer& server = deepflow.server();
+    snap.store_dump = server::canonical_store_dump(server.store());
+    snap.metrics = server.metrics_aggregator().canonical_metrics();
+    snap.service_map = server.metrics_aggregator().canonical_service_map();
+    snap.ingest = server.ingest_telemetry();
+    const std::vector<u64> ids = server.store().span_list(0, ~TimestampNs{0});
+    snap.span_count = ids.size();
+    snap.traces =
+        trace_corpus(ids, [&](u64 id) { return server.query_trace(id); });
+    snap.query = server.query_telemetry();
+  }
+  return snap;
+}
+
+/// Run the spring-boot demo under `config`. `mid_run` fires between the two
+/// load phases (after a drain poll) — the chaos suite kills/restarts nodes
+/// there; pass nullptr for an undisturbed run. Baselines MUST use the same
+/// two-phase shape so the workload stream is identical run to run. `hosts`
+/// receives the agent hostnames (= federation partitions) in node order.
+inline FedSnapshot run_federated(
+    const core::DeploymentConfig& config,
+    std::function<void(core::Deployment&, const std::vector<std::string>&)>
+        mid_run = nullptr,
+    std::function<void(core::Deployment&)> before_finish = nullptr,
+    u64 topo_seed = 11, double rps = 12.0) {
+  workloads::Topology topo = workloads::make_spring_boot_demo(topo_seed);
+  core::Deployment deepflow(topo.cluster.get(), config);
+  EXPECT_TRUE(deepflow.deploy()) << deepflow.error();
+  std::vector<std::string> hosts;
+  for (const netsim::NodeId node : topo.cluster->nodes()) {
+    hosts.push_back(topo.cluster->kernel_of(node)->hostname());
+  }
+  topo.app->run_constant_load(topo.entry, rps, 1 * kSecond / 2);
+  deepflow.poll();
+  if (mid_run) mid_run(deepflow, hosts);
+  topo.app->run_constant_load(topo.entry, rps, 1 * kSecond / 2);
+  deepflow.poll();
+  if (before_finish) before_finish(deepflow);
+  deepflow.finish();
+  return snapshot(deepflow);
+}
+
+/// Batched transport + `nodes`-server federation over the default template.
+inline core::DeploymentConfig federated_config(u32 nodes, u32 replicas) {
+  core::DeploymentConfig config;
+  config.transport.direct = false;
+  config.transport.batch_spans = 16;
+  config.federation.nodes = nodes;
+  config.federation.replicas = replicas;
+  return config;
+}
+
+inline std::vector<std::string> dump_lines(const std::string& dump) {
+  std::vector<std::string> lines;
+  std::stringstream stream(dump);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// True when `inner`'s (sorted) lines are a sub-multiset of `outer`'s.
+inline bool subset_of(const std::vector<std::string>& inner,
+                      const std::vector<std::string>& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+}  // namespace deepflow::cluster::testutil

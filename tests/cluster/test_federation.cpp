@@ -1,0 +1,266 @@
+// Federation unit suite: pinned-owner routing, replicated ingest, refusal
+// semantics (down nodes and link partitions), the heartbeat failure
+// detector, query-side failover, and kill/restart with catch-up replay —
+// exercised directly against the Federation API with synthetic spans.
+#include "cluster/federation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/hash.h"
+#include "netsim/resource.h"
+
+namespace deepflow::cluster {
+namespace {
+
+agent::Span make_span(u64 id, const std::string& host, TimestampNs start) {
+  agent::Span span;
+  span.span_id = id;
+  span.host = host;
+  span.pid = 10;
+  span.start_ts = start;
+  span.end_ts = start + 1'000;
+  span.endpoint = "/api";
+  return span;
+}
+
+std::vector<agent::Span> make_batch(u64 first_id, const std::string& host,
+                                    size_t count) {
+  std::vector<agent::Span> batch;
+  for (size_t i = 0; i < count; ++i) {
+    batch.push_back(make_span(first_id + i, host, 1'000 * (first_id + i)));
+  }
+  return batch;
+}
+
+class FederationTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Federation> make(ClusterConfig config,
+                                   FaultInjector* fault = nullptr) {
+    return std::make_unique<Federation>(&registry_, config,
+                                        server::ServerConfig{}, fault);
+  }
+  netsim::ResourceRegistry registry_;
+};
+
+TEST_F(FederationTest, RoutesAndReplicatesToPinnedOwners) {
+  auto fed = make({.nodes = 3, .replicas = 1});
+  EXPECT_EQ(fed->node_count(), 3u);
+  EXPECT_EQ(fed->replication_factor(), 2u);
+  const std::vector<u32> owners = fed->register_agent("alpha");
+  ASSERT_EQ(owners.size(), 2u);
+  EXPECT_NE(owners[0], owners[1]);
+  EXPECT_EQ(owners[0], fed->ring().primary(fnv1a("alpha")));
+
+  for (const u32 owner : owners) {
+    std::vector<agent::Span> batch = make_batch(1, "alpha", 4);
+    EXPECT_TRUE(fed->deliver(owner, "alpha", batch));
+    EXPECT_TRUE(batch.empty()) << "accepted batches are consumed";
+    EXPECT_EQ(fed->node_server(owner)->store().row_count(), 4u);
+  }
+  // A non-owner got nothing.
+  for (u32 node = 0; node < 3; ++node) {
+    if (node != owners[0] && node != owners[1]) {
+      EXPECT_EQ(fed->node_server(node)->store().row_count(), 0u);
+    }
+  }
+  const FederationTelemetry t = fed->telemetry();
+  EXPECT_EQ(t.partitions, 1u);
+  EXPECT_EQ(t.batches_delivered, 2u);
+  EXPECT_EQ(t.spans_delivered, 8u);
+  EXPECT_EQ(t.replica_spans, 4u) << "one of the two copies is the replica's";
+  // Replicated storage, exactly-once queries.
+  EXPECT_EQ(fed->query_span_list(0, ~TimestampNs{0}).size(), 4u);
+}
+
+TEST_F(FederationTest, DeliveryToDeadNodeIsRefusedWithBatchIntact) {
+  auto fed = make({.nodes = 3, .replicas = 0});
+  const u32 owner = fed->register_agent("alpha").front();
+  EXPECT_TRUE(fed->kill(owner));
+  EXPECT_FALSE(fed->node_up(owner));
+  EXPECT_EQ(fed->node_server(owner), nullptr);
+  EXPECT_FALSE(fed->kill(owner)) << "already down";
+
+  std::vector<agent::Span> batch = make_batch(1, "alpha", 3);
+  EXPECT_FALSE(fed->deliver(owner, "alpha", batch));
+  EXPECT_EQ(batch.size(), 3u) << "refused batches stay with the transport";
+  const FederationTelemetry t = fed->telemetry();
+  EXPECT_EQ(t.rejected_down, 1u);
+  EXPECT_EQ(t.batches_delivered, 0u);
+  EXPECT_EQ(t.kills, 1u);
+  EXPECT_EQ(t.nodes_up, 2u);
+}
+
+TEST_F(FederationTest, LinkPartitionFaultRefusesDeliveries) {
+  FaultInjector injector(7);
+  injector.configure(FaultSite::kLinkPartition, {.drop = 1.0});
+  auto fed = make({.nodes = 2, .replicas = 0}, &injector);
+  const u32 owner = fed->register_agent("alpha").front();
+
+  std::vector<agent::Span> batch = make_batch(1, "alpha", 2);
+  EXPECT_FALSE(fed->deliver(owner, "alpha", batch, /*lane=*/5));
+  EXPECT_EQ(batch.size(), 2u);
+  const FederationTelemetry t = fed->telemetry();
+  EXPECT_EQ(t.rejected_partitioned, 1u);
+  EXPECT_EQ(t.spans_delivered, 0u);
+  EXPECT_TRUE(fed->node_up(owner)) << "a partitioned node is not dead";
+}
+
+TEST_F(FederationTest, HeartbeatSilenceTriggersSuspicionAndRecovery) {
+  FaultInjector injector(7);
+  injector.configure(FaultSite::kLinkPartition, {.drop = 1.0});
+  auto fed = make({.nodes = 2, .replicas = 0,
+                   .heartbeat_timeout_ticks = 2}, &injector);
+  const u64 epoch0 = fed->routing_epoch();
+  for (int i = 0; i < 2; ++i) fed->tick();
+  EXPECT_TRUE(fed->node_alive(0)) << "within the timeout: still trusted";
+  fed->tick();  // silence now exceeds the timeout
+  EXPECT_TRUE(fed->node_up(0));
+  EXPECT_FALSE(fed->node_alive(0));
+  EXPECT_FALSE(fed->node_alive(1));
+
+  const FederationTelemetry t = fed->telemetry();
+  EXPECT_EQ(t.ticks, 3u);
+  EXPECT_EQ(t.heartbeats, 6u);
+  EXPECT_EQ(t.heartbeats_lost, 6u);
+  EXPECT_EQ(t.failovers, 2u) << "both nodes transitioned into suspected";
+  EXPECT_EQ(t.nodes_up, 2u);
+  EXPECT_EQ(t.nodes_alive, 0u);
+  EXPECT_GT(fed->routing_epoch(), epoch0);
+}
+
+TEST_F(FederationTest, HealthyHeartbeatsKeepNodesAlive) {
+  auto fed = make({.nodes = 2, .replicas = 0, .heartbeat_timeout_ticks = 2});
+  for (int i = 0; i < 16; ++i) fed->tick();
+  EXPECT_TRUE(fed->node_alive(0));
+  EXPECT_TRUE(fed->node_alive(1));
+  const FederationTelemetry t = fed->telemetry();
+  EXPECT_EQ(t.heartbeats, 32u);
+  EXPECT_EQ(t.heartbeats_lost, 0u);
+  EXPECT_EQ(t.failovers, 0u);
+}
+
+TEST_F(FederationTest, QueryFailoverServesFromTheReplica) {
+  auto fed = make({.nodes = 3, .replicas = 1});
+  const std::vector<u32> owners = fed->register_agent("alpha");
+  for (const u32 owner : owners) {
+    std::vector<agent::Span> batch = make_batch(1, "alpha", 5);
+    ASSERT_TRUE(fed->deliver(owner, "alpha", batch));
+  }
+  const std::string dump_before = fed->canonical_store_dump();
+  EXPECT_FALSE(dump_before.empty());
+
+  ASSERT_TRUE(fed->kill(owners[0]));
+  EXPECT_EQ(fed->canonical_store_dump(), dump_before)
+      << "the replica serves byte-identical content";
+  EXPECT_EQ(fed->query_span_list(0, ~TimestampNs{0}).size(), 5u);
+
+  const server::QueryTelemetry q = fed->query_telemetry();
+  EXPECT_GT(q.partitions_failover, 0u);
+  EXPECT_EQ(q.partitions_unavailable, 0u);
+}
+
+TEST_F(FederationTest, UnreplicatedPartitionGoesUnavailableOnKill) {
+  auto fed = make({.nodes = 3, .replicas = 0});
+  const u32 owner = fed->register_agent("alpha").front();
+  std::vector<agent::Span> batch = make_batch(1, "alpha", 5);
+  ASSERT_TRUE(fed->deliver(owner, "alpha", batch));
+  ASSERT_TRUE(fed->kill(owner));
+
+  EXPECT_TRUE(fed->query_span_list(0, ~TimestampNs{0}).empty());
+  EXPECT_TRUE(fed->canonical_store_dump().empty());
+  const server::QueryTelemetry q = fed->query_telemetry();
+  EXPECT_GT(q.partitions_unavailable, 0u);
+  EXPECT_EQ(q.partitions_failover, 0u);
+}
+
+TEST_F(FederationTest, RestartWithCatchUpRestoresContent) {
+  auto fed = make({.nodes = 3, .replicas = 1});
+  const std::vector<u32> owners = fed->register_agent("alpha");
+  for (const u32 owner : owners) {
+    std::vector<agent::Span> batch = make_batch(1, "alpha", 4);
+    ASSERT_TRUE(fed->deliver(owner, "alpha", batch));
+  }
+  ASSERT_TRUE(fed->kill(owners[0]));
+  // The outage window: only the surviving replica accepts (the transport
+  // to the dead owner would be retrying, then giving up).
+  std::vector<agent::Span> batch = make_batch(5, "alpha", 4);
+  ASSERT_TRUE(fed->deliver(owners[1], "alpha", batch));
+  const std::string dump_outage = fed->canonical_store_dump();
+
+  ASSERT_TRUE(fed->restart(owners[0]));
+  EXPECT_FALSE(fed->restart(owners[0])) << "already up";
+  const FederationTelemetry t = fed->telemetry();
+  EXPECT_EQ(t.kills, 1u);
+  EXPECT_EQ(t.restarts, 1u);
+  EXPECT_EQ(t.rejoins, 1u);
+  EXPECT_EQ(t.recovered_spans, 0u) << "no persistent storage configured";
+  EXPECT_EQ(t.catch_up_spans, 8u)
+      << "everything came back from the surviving replica";
+  EXPECT_EQ(fed->node_server(owners[0])->store().row_count(), 8u);
+
+  // The rejoined primary serves its shard again — byte-identically.
+  EXPECT_EQ(fed->canonical_store_dump(), dump_outage);
+  ASSERT_TRUE(fed->kill(owners[1]));
+  EXPECT_EQ(fed->canonical_store_dump(), dump_outage)
+      << "rejoined node alone still serves the full partition";
+}
+
+TEST_F(FederationTest, ThirdPartySpansReplicateToEveryUpOwner) {
+  auto fed = make({.nodes = 3, .replicas = 1});
+  const std::vector<u32> owners = fed->register_agent("alpha");
+  agent::Span span = make_span((u64{1} << 48) | 1, "alpha", 42'000);
+  ASSERT_TRUE(fed->deliver_third_party(std::move(span)));
+  for (const u32 owner : owners) {
+    EXPECT_EQ(fed->node_server(owner)->store().row_count(), 1u);
+  }
+  EXPECT_EQ(fed->query_span_list(0, ~TimestampNs{0}).size(), 1u);
+
+  // With every owner down the span has nowhere to go.
+  for (const u32 owner : owners) ASSERT_TRUE(fed->kill(owner));
+  agent::Span lost = make_span((u64{1} << 48) | 2, "alpha", 43'000);
+  EXPECT_FALSE(fed->deliver_third_party(std::move(lost)));
+}
+
+TEST_F(FederationTest, StragglersRouteToOneConsistentOwnerOnly) {
+  auto fed = make({.nodes = 3, .replicas = 1});
+  const std::vector<u32> owners = fed->register_agent("alpha");
+  EXPECT_TRUE(fed->deliver_straggler("alpha", agent::MessageData{}));
+  EXPECT_EQ(fed->telemetry().stragglers_routed, 1u);
+
+  // A restarted node is permanently straggler-inconsistent: its
+  // reaggregation window state died with it.
+  ASSERT_TRUE(fed->kill(owners[0]));
+  ASSERT_TRUE(fed->restart(owners[0]));
+  EXPECT_FALSE(fed->node_straggler_consistent(owners[0]));
+  EXPECT_TRUE(fed->deliver_straggler("alpha", agent::MessageData{}))
+      << "the untouched replica still re-aggregates";
+
+  ASSERT_TRUE(fed->kill(owners[1]));
+  ASSERT_TRUE(fed->restart(owners[1]));
+  EXPECT_FALSE(fed->deliver_straggler("alpha", agent::MessageData{}))
+      << "no owner with an intact window left";
+  const FederationTelemetry t = fed->telemetry();
+  EXPECT_EQ(t.stragglers_routed, 2u);
+  EXPECT_EQ(t.stragglers_dropped, 1u);
+}
+
+TEST_F(FederationTest, PrometheusExportsFederationGauges) {
+  auto fed = make({.nodes = 2, .replicas = 0});
+  const u32 owner = fed->register_agent("alpha").front();
+  std::vector<agent::Span> batch = make_batch(1, "alpha", 2);
+  ASSERT_TRUE(fed->deliver(owner, "alpha", batch));
+  const std::string text = fed->prometheus_metrics();
+  EXPECT_NE(text.find("deepflow_federation_nodes 2"), std::string::npos);
+  EXPECT_NE(text.find("deepflow_federation_nodes_up 2"), std::string::npos);
+  EXPECT_NE(text.find("deepflow_federation_spans_delivered 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepflow_federation_partitions 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepflow::cluster

@@ -1,0 +1,186 @@
+// FederationChaos suite: kill a server mid-run and hold the PR's two
+// pinned recovery properties — queries degrade MONOTONICALLY while the
+// node is down (served content is a subset of the no-kill run, with the
+// degradation visible in QueryTelemetry), and after restart + rejoin
+// (segment recovery + catch-up replay from surviving replicas) every
+// canonical surface is byte-identical to the undisturbed baseline.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/cluster/federation_test_util.h"
+#include "tests/storage/storage_test_util.h"
+
+namespace deepflow::cluster {
+namespace {
+
+using testutil::FedSnapshot;
+using testutil::dump_lines;
+using testutil::federated_config;
+using testutil::run_federated;
+using testutil::subset_of;
+
+void expect_identical(const FedSnapshot& expected, const FedSnapshot& actual) {
+  EXPECT_GT(expected.span_count, 0u);
+  EXPECT_EQ(expected.span_count, actual.span_count);
+  EXPECT_EQ(expected.store_dump, actual.store_dump);
+  EXPECT_EQ(expected.traces, actual.traces);
+  EXPECT_EQ(expected.metrics, actual.metrics);
+  EXPECT_EQ(expected.service_map, actual.service_map);
+}
+
+TEST(FederationChaos, KillMidRunThenRejoinRestoresByteIdentity) {
+  const FedSnapshot baseline = run_federated(federated_config(3, 1));
+
+  storage::testutil::ScopedTempDir dir("df-fed-chaos-rejoin");
+  core::DeploymentConfig config = federated_config(3, 1);
+  config.server.storage.enabled = true;
+  config.server.storage.dir = dir.str();
+  config.server.storage.segment_spans = 64;
+  // A kill is a CRASH: whatever the victim had not flushed dies with it
+  // and must come back from the surviving replica, not from disk.
+  config.server.storage.flush_on_close = false;
+
+  u32 victim = 0;
+  std::string outage_dump;
+  const FedSnapshot chaos = run_federated(
+      config,
+      [&](core::Deployment& d, const std::vector<std::string>& hosts) {
+        // Kill the pinned primary of the first agent's partition, so at
+        // least one partition demonstrably fails over.
+        victim = d.federation()->owners_of(hosts.front()).front();
+        ASSERT_TRUE(d.federation()->kill(victim));
+      },
+      [&](core::Deployment& d) {
+        // Still down: the replica serves, nothing is unavailable.
+        outage_dump = d.federation()->canonical_store_dump();
+        const server::QueryTelemetry q = d.federation()->query_telemetry();
+        EXPECT_GT(q.partitions_failover, 0u);
+        EXPECT_EQ(q.partitions_unavailable, 0u);
+        ASSERT_TRUE(d.federation()->restart(victim));
+      });
+
+  // During the outage the federation served a (strict, monotone) subset.
+  const std::vector<std::string> outage = dump_lines(outage_dump);
+  const std::vector<std::string> full = dump_lines(baseline.store_dump);
+  EXPECT_FALSE(outage.empty());
+  EXPECT_LT(outage.size(), full.size());
+  EXPECT_TRUE(subset_of(outage, full));
+
+  // After rejoin: byte-identical to the run where nothing ever died.
+  expect_identical(baseline, chaos);
+  EXPECT_EQ(chaos.fed.kills, 1u);
+  EXPECT_EQ(chaos.fed.restarts, 1u);
+  EXPECT_EQ(chaos.fed.rejoins, 1u);
+  EXPECT_GT(chaos.fed.rejected_down, 0u)
+      << "the victim's transport links were refused during the outage";
+  EXPECT_GT(chaos.fed.catch_up_spans, 0u)
+      << "the rejoined node replayed its missing delta from the replica";
+  EXPECT_GT(chaos.query.partitions_failover, 0u);
+}
+
+TEST(FederationChaos, RejoinRecoversTheShardFromSegmentFiles) {
+  const FedSnapshot baseline = run_federated(federated_config(3, 1));
+
+  storage::testutil::ScopedTempDir dir("df-fed-chaos-segments");
+  core::DeploymentConfig config = federated_config(3, 1);
+  config.server.storage.enabled = true;
+  config.server.storage.dir = dir.str();
+  config.server.storage.segment_spans = 64;
+  // Graceful-stop flavor: the close flushes, so the restarted node
+  // rebuilds its journals from its own segment files (PR 5's warm tier)
+  // rather than leaning on replica replay.
+  config.server.storage.flush_on_close = true;
+
+  u32 victim = 0;
+  const FedSnapshot chaos = run_federated(
+      config,
+      [&](core::Deployment& d, const std::vector<std::string>& hosts) {
+        victim = d.federation()->owners_of(hosts.front()).front();
+      },
+      [&](core::Deployment& d) {
+        ASSERT_TRUE(d.federation()->kill(victim));
+        ASSERT_TRUE(d.federation()->restart(victim));
+      });
+
+  expect_identical(baseline, chaos);
+  EXPECT_GT(chaos.fed.recovered_spans, 0u)
+      << "the rejoined node re-served its shard from segment files";
+  EXPECT_EQ(chaos.fed.kills, 1u);
+  EXPECT_EQ(chaos.fed.restarts, 1u);
+}
+
+TEST(FederationChaos, UnreplicatedKillDegradesMonotonically) {
+  const FedSnapshot baseline = run_federated(federated_config(3, 0));
+
+  u32 victim = 0;
+  const FedSnapshot chaos = run_federated(
+      federated_config(3, 0),
+      [&](core::Deployment& d, const std::vector<std::string>& hosts) {
+        victim = d.federation()->owners_of(hosts.front()).front();
+        ASSERT_TRUE(d.federation()->kill(victim));
+      });
+
+  // No replica, no restart: the victim's partitions are explicitly gone —
+  // but what IS served is a subset of the baseline, never wrong data.
+  EXPECT_GT(chaos.span_count, 0u);
+  EXPECT_LT(chaos.span_count, baseline.span_count);
+  EXPECT_TRUE(subset_of(dump_lines(chaos.store_dump),
+                        dump_lines(baseline.store_dump)));
+  EXPECT_GT(chaos.query.partitions_unavailable, 0u);
+  EXPECT_EQ(chaos.query.partitions_failover, 0u) << "nowhere to fail over to";
+  EXPECT_GT(chaos.fed.rejected_down, 0u);
+  EXPECT_GT(chaos.transport.gave_up_spans, 0u)
+      << "the dead node's links exhausted their retry budget";
+}
+
+TEST(FederationChaos, InjectedCrashesAreDeterministic) {
+  core::DeploymentConfig config = federated_config(3, 1);
+  config.faults.seed = 77;
+  config.faults.node_crash = {.drop = 0.05};
+
+  const auto extra_ticks = [](core::Deployment& d) {
+    for (int i = 0; i < 30; ++i) d.poll();
+  };
+  const FedSnapshot a = run_federated(config, nullptr, extra_ticks);
+  const FedSnapshot b = run_federated(config, nullptr, extra_ticks);
+
+  EXPECT_GT(a.fed.crash_faults, 0u) << "the crash site actually fired";
+  EXPECT_EQ(a.fed.crash_faults, a.fed.kills);
+  // Same seed, same schedule: the chaos run replays exactly.
+  EXPECT_EQ(a.fed.crash_faults, b.fed.crash_faults);
+  EXPECT_EQ(a.fed.spans_delivered, b.fed.spans_delivered);
+  EXPECT_EQ(a.fed.rejected_down, b.fed.rejected_down);
+  EXPECT_EQ(a.span_count, b.span_count);
+  EXPECT_EQ(a.store_dump, b.store_dump);
+  EXPECT_EQ(a.traces, b.traces);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.service_map, b.service_map);
+}
+
+TEST(FederationChaos, HeartbeatSuspicionStopsQueriesToSilentNodes) {
+  // Partition every link: heartbeats go silent, the detector suspects
+  // every node, and the query plane serves nothing rather than guessing —
+  // unavailability is explicit, never silent partial results.
+  core::DeploymentConfig config = federated_config(2, 0);
+  config.faults.seed = 5;
+  config.faults.link_partition = {.drop = 1.0};
+  config.federation.heartbeat_timeout_ticks = 2;
+
+  const FedSnapshot snap = run_federated(
+      config, nullptr, [](core::Deployment& d) {
+        for (int i = 0; i < 8; ++i) d.poll();
+        EXPECT_FALSE(d.federation()->node_alive(0));
+        EXPECT_FALSE(d.federation()->node_alive(1));
+        EXPECT_TRUE(d.federation()->query_span_list(0, ~TimestampNs{0})
+                        .empty());
+      });
+  EXPECT_GT(snap.fed.heartbeats_lost, 0u);
+  EXPECT_GT(snap.fed.failovers, 0u);
+  EXPECT_EQ(snap.fed.nodes_alive, 0u);
+  EXPECT_EQ(snap.span_count, 0u) << "suspected nodes serve nothing";
+}
+
+}  // namespace
+}  // namespace deepflow::cluster

@@ -1,0 +1,92 @@
+// FederationEquivalence suite: an N-server consistent-hash federation is
+// an implementation detail — every canonical query surface (store dump,
+// trace corpus, RED rollups, service map) must be byte-identical to the
+// historical single-server deployment over the same workload, for any node
+// count, replication factor, and transport shape.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/cluster/federation_test_util.h"
+
+namespace deepflow::cluster {
+namespace {
+
+using testutil::FedSnapshot;
+using testutil::federated_config;
+using testutil::run_federated;
+
+void expect_identical(const FedSnapshot& expected, const FedSnapshot& actual) {
+  EXPECT_GT(expected.span_count, 0u);
+  EXPECT_EQ(expected.span_count, actual.span_count);
+  EXPECT_EQ(expected.store_dump, actual.store_dump);
+  EXPECT_EQ(expected.traces, actual.traces);
+  EXPECT_EQ(expected.metrics, actual.metrics);
+  EXPECT_EQ(expected.service_map, actual.service_map);
+}
+
+TEST(FederationEquivalence, TwoNodeFederationMatchesSingleServer) {
+  const FedSnapshot single = run_federated(core::DeploymentConfig{});
+  const FedSnapshot fed = run_federated(federated_config(2, 1));
+  expect_identical(single, fed);
+  // The federation actually federated: both nodes took traffic, every
+  // partition was served by its pinned primary, nothing was refused.
+  EXPECT_EQ(fed.fed.nodes, 2u);
+  EXPECT_GT(fed.fed.partitions, 1u);
+  EXPECT_GT(fed.fed.spans_delivered, 0u);
+  EXPECT_GT(fed.fed.replica_spans, 0u);
+  EXPECT_EQ(fed.fed.rejected_down, 0u);
+  EXPECT_EQ(fed.fed.rejected_partitioned, 0u);
+  EXPECT_EQ(fed.fed.kills, 0u);
+  EXPECT_EQ(fed.query.partitions_failover, 0u);
+  EXPECT_EQ(fed.query.partitions_unavailable, 0u);
+  EXPECT_GT(fed.query.partitions_primary, 0u);
+}
+
+TEST(FederationEquivalence, FourNodeFederationMatchesSingleServer) {
+  const FedSnapshot single = run_federated(core::DeploymentConfig{});
+  const FedSnapshot fed = run_federated(federated_config(4, 1));
+  expect_identical(single, fed);
+  EXPECT_EQ(fed.fed.nodes, 4u);
+}
+
+TEST(FederationEquivalence, ReplicationFactorIsContentInvariant) {
+  const FedSnapshot none = run_federated(federated_config(3, 0));
+  const FedSnapshot one = run_federated(federated_config(3, 1));
+  const FedSnapshot two = run_federated(federated_config(3, 2));
+  expect_identical(none, one);
+  expect_identical(none, two);
+  // Higher replication means more copies on the wire, never more content.
+  EXPECT_EQ(none.fed.replica_spans, 0u);
+  EXPECT_GT(one.fed.replica_spans, 0u);
+  EXPECT_GT(two.fed.replica_spans, one.fed.replica_spans);
+}
+
+TEST(FederationEquivalence, DirectAndBatchedLinksAgree) {
+  core::DeploymentConfig direct = federated_config(3, 1);
+  direct.transport.direct = true;
+  const FedSnapshot batched = run_federated(federated_config(3, 1));
+  const FedSnapshot immediate = run_federated(direct);
+  expect_identical(batched, immediate);
+}
+
+TEST(FederationEquivalence, SingleNodeRingDegeneratesCleanly) {
+  const FedSnapshot single = run_federated(core::DeploymentConfig{});
+  const FedSnapshot ring_of_one = run_federated(federated_config(1, 1));
+  expect_identical(single, ring_of_one);
+  EXPECT_EQ(ring_of_one.fed.replica_spans, 0u)
+      << "replication clamps to the ring size";
+}
+
+TEST(FederationEquivalence, FederatedRunsAreReproducible) {
+  const FedSnapshot a = run_federated(federated_config(3, 1));
+  const FedSnapshot b = run_federated(federated_config(3, 1));
+  expect_identical(a, b);
+  EXPECT_EQ(a.fed.spans_delivered, b.fed.spans_delivered);
+  EXPECT_EQ(a.fed.batches_delivered, b.fed.batches_delivered);
+  EXPECT_EQ(a.fed.partitions, b.fed.partitions);
+}
+
+}  // namespace
+}  // namespace deepflow::cluster

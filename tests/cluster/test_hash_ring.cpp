@@ -1,0 +1,115 @@
+// HashRing unit suite: the pinned routing properties the federation builds
+// on — determinism, walk/owner coherence, rough balance, and the classic
+// consistent-hashing stability guarantee (adding a node only moves keys TO
+// the new node, never between old ones).
+#include "cluster/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace deepflow::cluster {
+namespace {
+
+constexpr u64 kSeed = 0x5eedf00dULL;
+
+u64 key(u64 i) { return mix64(i + 1); }
+
+TEST(HashRing, SingleNodeOwnsEverything) {
+  const HashRing ring(1, 16, kSeed);
+  EXPECT_EQ(ring.nodes(), 1u);
+  for (u64 i = 0; i < 64; ++i) {
+    EXPECT_EQ(ring.primary(key(i)), 0u);
+    EXPECT_EQ(ring.owners(key(i), 3), std::vector<u32>{0});
+    EXPECT_EQ(ring.walk(key(i)), std::vector<u32>{0});
+  }
+}
+
+TEST(HashRing, OwnersAreDistinctPrefixOfWalk) {
+  const HashRing ring(5, 16, kSeed);
+  for (u64 i = 0; i < 256; ++i) {
+    const std::vector<u32> walk = ring.walk(key(i));
+    ASSERT_EQ(walk.size(), 5u);
+    EXPECT_EQ(std::set<u32>(walk.begin(), walk.end()).size(), 5u)
+        << "walk must visit every node exactly once";
+    EXPECT_EQ(ring.primary(key(i)), walk.front());
+    for (size_t count = 1; count <= 5; ++count) {
+      const std::vector<u32> owners = ring.owners(key(i), count);
+      ASSERT_EQ(owners.size(), count);
+      for (size_t k = 0; k < count; ++k) EXPECT_EQ(owners[k], walk[k]);
+    }
+    // Requesting more owners than nodes clamps to the full walk.
+    EXPECT_EQ(ring.owners(key(i), 9), walk);
+  }
+}
+
+TEST(HashRing, LookupsAreDeterministic) {
+  const HashRing a(4, 16, kSeed);
+  const HashRing b(4, 16, kSeed);
+  for (u64 i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.primary(key(i)), b.primary(key(i)));
+    EXPECT_EQ(a.owners(key(i), 2), b.owners(key(i), 2));
+    EXPECT_EQ(a.walk(key(i)), b.walk(key(i)));
+  }
+}
+
+TEST(HashRing, SeedReshapesTheLayout) {
+  const HashRing a(4, 16, kSeed);
+  const HashRing b(4, 16, kSeed + 1);
+  u64 moved = 0;
+  for (u64 i = 0; i < 256; ++i) {
+    if (a.primary(key(i)) != b.primary(key(i))) ++moved;
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(HashRing, VirtualNodesRoughlyBalancePrimaries) {
+  const HashRing ring(4, 64, kSeed);
+  std::map<u32, u64> primaries;
+  const u64 kKeys = 8192;
+  for (u64 i = 0; i < kKeys; ++i) ++primaries[ring.primary(key(i))];
+  ASSERT_EQ(primaries.size(), 4u) << "every node must own some keys";
+  for (const auto& [node, count] : primaries) {
+    // Perfect balance would be 25%; virtual points keep every node within
+    // a loose band of it.
+    EXPECT_GT(count, kKeys / 10) << "node " << node << " owns too little";
+    EXPECT_LT(count, kKeys / 2) << "node " << node << " owns too much";
+  }
+}
+
+TEST(HashRing, AddingANodeOnlyStealsKeysToTheNewNode) {
+  const HashRing before(4, 32, kSeed);
+  const HashRing after(5, 32, kSeed);
+  u64 moved = 0;
+  for (u64 i = 0; i < 4096; ++i) {
+    const u32 old_primary = before.primary(key(i));
+    const u32 new_primary = after.primary(key(i));
+    if (new_primary != old_primary) {
+      EXPECT_EQ(new_primary, 4u)
+          << "a key may only move to the node that just joined";
+      ++moved;
+    }
+  }
+  // The new node takes roughly 1/5 of the keyspace — and not nothing.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, 4096u / 2);
+}
+
+TEST(HashRing, HostnameKeysSpreadAcrossNodes) {
+  // The federation keys partitions by fnv1a(hostname); realistic hostname
+  // sets must not all collapse onto one node.
+  const HashRing ring(3, 16, kSeed);
+  std::set<u32> used;
+  for (int i = 0; i < 12; ++i) {
+    used.insert(ring.primary(fnv1a("node-" + std::to_string(i))));
+  }
+  EXPECT_GT(used.size(), 1u);
+}
+
+}  // namespace
+}  // namespace deepflow::cluster

@@ -228,5 +228,50 @@ TEST(FaultInjector, DelayAndSkewMagnitudesRespectBounds) {
   }
 }
 
+TEST(FaultInjector, LanesDrawFromIndependentStreams) {
+  FaultProfile profile;
+  profile.drop = 0.3;
+  profile.delay = 0.2;
+  // Injector `a` interleaves draws on three lanes of ONE site; `b` consults
+  // only lane 7. Lane 7's decision sequence must be identical: a federated
+  // deployment adds one lane per (agent, server) link, and opening a new
+  // link must never perturb the fate schedule of an existing one.
+  FaultInjector a(99), b(99);
+  a.configure(FaultSite::kTransportSend, profile);
+  b.configure(FaultSite::kTransportSend, profile);
+  for (int i = 0; i < 500; ++i) {
+    a.decide(FaultSite::kTransportSend);  // shared lane
+    a.decide(FaultSite::kTransportSend, kFaultAll, /*lane=*/9);
+    const FaultDecision da =
+        a.decide(FaultSite::kTransportSend, kFaultAll, /*lane=*/7);
+    const FaultDecision db =
+        b.decide(FaultSite::kTransportSend, kFaultAll, /*lane=*/7);
+    ASSERT_EQ(da.drop, db.drop) << i;
+    ASSERT_EQ(da.duplicate, db.duplicate) << i;
+    ASSERT_EQ(da.delay_ticks, db.delay_ticks) << i;
+    ASSERT_EQ(da.ts_skew_ns, db.ts_skew_ns) << i;
+  }
+}
+
+TEST(FaultInjector, LaneCreationOrderIsIrrelevant) {
+  FaultProfile profile;
+  profile.drop = 0.4;
+  // `a` hammers lane 2 before lane 1 ever exists; `b` never touches lane 2
+  // at all. Per-lane streams are seeded from (site, lane id) alone, so a
+  // lane's sequence depends only on its OWN consumption — the two lane-1
+  // sequences must agree draw for draw.
+  FaultInjector a(5), b(5);
+  a.configure(FaultSite::kLinkPartition, profile);
+  b.configure(FaultSite::kLinkPartition, profile);
+  for (int i = 0; i < 100; ++i) {
+    a.decide(FaultSite::kLinkPartition, kFaultDrop, /*lane=*/2);
+  }
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_EQ(a.decide(FaultSite::kLinkPartition, kFaultDrop, /*lane=*/1).drop,
+              b.decide(FaultSite::kLinkPartition, kFaultDrop, /*lane=*/1).drop)
+        << i;
+  }
+}
+
 }  // namespace
 }  // namespace deepflow

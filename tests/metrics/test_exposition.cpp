@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include "metrics/exposition.h"
+#include "server/server.h"
+#include "tests/storage/storage_test_util.h"
 
 namespace deepflow::metrics {
 namespace {
@@ -68,6 +70,58 @@ TEST(MetricsExposition, AggregatorExpositionContainsEveryPlane) {
 
   // Deterministic: rendering twice yields identical text.
   EXPECT_EQ(text, prometheus_text(agg));
+}
+
+TEST(MetricsExposition, StorageGaugeFamilyNamesArePinned) {
+  // The deepflow_storage_* family names are part of the scrape contract:
+  // dashboards and alerts key on them, so a rename is a breaking change
+  // this test makes explicit.
+  storage::testutil::ScopedTempDir dir("df-exposition-storage");
+  server::ServerConfig config;
+  config.storage.enabled = true;
+  config.storage.dir = dir.str();
+  config.storage.segment_spans = 4;
+  server::DeepFlowServer server(nullptr, config);
+  for (u64 id = 1; id <= 8; ++id) {
+    agent::Span span;
+    span.span_id = id;
+    span.host = "node-0";
+    span.start_ts = id * kMillisecond;
+    span.end_ts = span.start_ts + kMillisecond;
+    server.ingest(std::move(span));
+  }
+
+  const std::string text = server.prometheus_metrics();
+  const char* families[] = {
+      "deepflow_storage_segments_written",
+      "deepflow_storage_flushed_spans",
+      "deepflow_storage_flush_batches",
+      "deepflow_storage_recovered_segments",
+      "deepflow_storage_recovered_spans",
+      "deepflow_storage_torn_segments",
+      "deepflow_storage_quarantined_segments",
+      "deepflow_storage_decode_failures",
+      "deepflow_storage_compactions",
+      "deepflow_storage_compacted_segments",
+      "deepflow_storage_warm_searches",
+      "deepflow_storage_bloom_segment_skips",
+      "deepflow_storage_warm_rows_loaded",
+      "deepflow_storage_disk_bytes",
+  };
+  for (const char* family : families) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + family + " gauge"),
+              std::string::npos)
+        << family << " family missing from the exposition";
+  }
+  // The run flushed two 4-span segments, and the samples say so.
+  EXPECT_NE(text.find("deepflow_storage_segments_written 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepflow_storage_flushed_spans 8"), std::string::npos);
+
+  // Without the storage tier the families must be absent, not zero.
+  server::DeepFlowServer memory_only(nullptr);
+  EXPECT_EQ(memory_only.prometheus_metrics().find("deepflow_storage_"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "server/span_store.h"
+
 namespace deepflow::server {
 namespace {
 

@@ -30,9 +30,27 @@
 namespace deepflow {
 namespace {
 
-constexpr size_t kStoreRows = 400'000;
 constexpr size_t kBatchSpans = 256;
-constexpr u32 kThreadCounts[] = {1, 2, 4, 8};
+
+/// Workload knobs; --quick shrinks everything to a sanitizer-smoke size
+/// (the TSan gate in scripts/check.sh runs the full pipeline this way).
+struct BenchScale {
+  size_t store_rows = 400'000;
+  double load_rps = 400.0;
+  DurationNs load_duration = 1 * kSecond;
+  std::vector<u32> thread_counts = {1, 2, 4, 8};
+};
+
+BenchScale scale_for(const bench::BenchArgs& args) {
+  BenchScale scale;
+  if (args.quick) {
+    scale.store_rows = 20'000;
+    scale.load_rps = 100.0;
+    scale.load_duration = 300 * kMillisecond;
+    scale.thread_counts = {1, 8};
+  }
+  return scale;
+}
 
 struct StageResult {
   u32 threads = 0;
@@ -43,12 +61,12 @@ struct StageResult {
 
 // ---- Stage 1: sharded-store ingest. --------------------------------------
 
-StageResult run_store_ingest(u32 threads,
+StageResult run_store_ingest(u32 threads, size_t store_rows,
                              const bench::SyntheticCluster& cluster) {
   // Batches are pre-built per thread so the timed section contains only
   // ingest_batch calls (telemetry, shard hash, striped lock, encode).
   std::vector<std::vector<std::vector<agent::Span>>> batches(threads);
-  const size_t per_thread = kStoreRows / threads;
+  const size_t per_thread = store_rows / threads;
   for (u32 t = 0; t < threads; ++t) {
     Rng rng(20230806 + t);
     std::vector<agent::Span> batch;
@@ -89,7 +107,7 @@ StageResult run_store_ingest(u32 threads,
 
 // ---- Stage 2: agent drain pipeline. --------------------------------------
 
-StageResult run_agent_drain(u32 workers) {
+StageResult run_agent_drain(u32 workers, const BenchScale& scale) {
   core::DeploymentConfig config;
   config.agent.drain_workers = workers;
   config.agent.collector.cpu_count = 8;
@@ -104,7 +122,7 @@ StageResult run_agent_drain(u32 workers) {
     std::fprintf(stderr, "deploy failed: %s\n", deepflow.error().c_str());
     return {};
   }
-  topo.app->run_constant_load(topo.entry, 400.0, 1 * kSecond);
+  topo.app->run_constant_load(topo.entry, scale.load_rps, scale.load_duration);
 
   StageResult result;
   result.threads = workers;
@@ -164,26 +182,28 @@ int main(int argc, char** argv) {
 
   const bench::SyntheticCluster cluster =
       bench::make_synthetic_cluster(16, 16, 8);
+  const BenchScale scale = scale_for(args);
 
   std::printf("\n  stage 1: sharded SpanStore ingest (%zu spans, 16 shards,\n"
               "  batches of %zu via DeepFlowServer::ingest_batch)\n",
-              kStoreRows, kBatchSpans);
+              scale.store_rows, kBatchSpans);
   std::vector<StageResult> store_rows;
-  for (const u32 threads : kThreadCounts) {
-    store_rows.push_back(run_store_ingest(threads, cluster));
+  for (const u32 threads : scale.thread_counts) {
+    store_rows.push_back(run_store_ingest(threads, scale.store_rows, cluster));
   }
   print_scaling("spans/sec", store_rows, "store_ingest", report);
-  std::printf("\n  ingest telemetry (8-thread row):\n");
+  std::printf("\n  ingest telemetry (largest row):\n");
   print_telemetry(store_rows.back().telemetry);
 
-  std::printf("\n  stage 2: agent drain pipeline (bookinfo @ 400 rps, 8 sim\n"
-              "  CPUs; drain + parse + aggregate + build, timed end to end)\n");
+  std::printf("\n  stage 2: agent drain pipeline (bookinfo @ %.0f rps, 8 sim\n"
+              "  CPUs; drain + parse + aggregate + build, timed end to end)\n",
+              scale.load_rps);
   std::vector<StageResult> drain_rows;
-  for (const u32 workers : kThreadCounts) {
-    drain_rows.push_back(run_agent_drain(workers));
+  for (const u32 workers : scale.thread_counts) {
+    drain_rows.push_back(run_agent_drain(workers, scale));
   }
   print_scaling("records/sec", drain_rows, "agent_drain", report);
-  std::printf("\n  ingest telemetry (8-worker row):\n");
+  std::printf("\n  ingest telemetry (largest worker row):\n");
   print_telemetry(drain_rows.back().telemetry);
   std::printf("\n");
   return report.write() ? 0 : 1;

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run every benchmark in quick mode and write one BENCH_<name>.json per
+# bench at the repo root — the perf trajectory snapshot that accumulates
+# across PRs. Uses the release build (configures it if missing).
+#
+#   scripts/bench_all.sh          # all benches, --quick, BENCH_*.json
+#   scripts/bench_all.sh --full   # full workloads (slow; same JSON files)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+mode="--quick"
+if [[ "${1:-}" == "--full" ]]; then
+  mode=""
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: $0 [--full]" >&2
+  exit 2
+fi
+
+echo "== bench_all: configure + build release =="
+cmake --preset release -S "$root" >/dev/null
+cmake --build --preset release -j "$jobs" >/dev/null
+
+failed=()
+for bench in "$root"/bench/bench_*.cpp; do
+  name="$(basename "$bench" .cpp)"
+  binary="$root/build/bench/$name"
+  if [[ ! -x "$binary" ]]; then
+    echo "-- $name: binary missing, skipping" >&2
+    failed+=("$name")
+    continue
+  fi
+  json="$root/BENCH_${name#bench_}.json"
+  echo "== $name ${mode:-(full)} -> $(basename "$json") =="
+  # shellcheck disable=SC2086
+  if ! "$binary" --json "$json" $mode; then
+    echo "-- $name FAILED" >&2
+    failed+=("$name")
+  fi
+done
+
+if ((${#failed[@]} > 0)); then
+  echo "== bench_all: FAILURES: ${failed[*]} =="
+  exit 1
+fi
+echo "== bench_all: all benches wrote BENCH_*.json =="

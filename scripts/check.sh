@@ -8,11 +8,12 @@
 #   scripts/check.sh            # all configs
 #   scripts/check.sh release    # release only
 #   scripts/check.sh tsan       # tsan only (thread-pool, ring,
-#                               # parallel/query/persistence-equivalence +
-#                               # chaos/metrics/storage-tier/federation
-#                               # suites and bench_fig15_query_delay/
-#                               # bench_storage/bench_federation --quick
-#                               # smokes)
+#                               # parallel/query/persistence/batch-equivalence
+#                               # + chaos/metrics/storage-tier/federation/
+#                               # interner/span-batch suites and
+#                               # bench_fig15_query_delay/bench_storage/
+#                               # bench_federation/bench_ingest_scaling
+#                               # --quick smokes)
 #   scripts/check.sh asan       # asan only (fault/transport/chaos/metrics/
 #                               # federation suites, the segment corruption/
 #                               # recovery sweeps, and bench_fault_recovery/
@@ -41,7 +42,7 @@ run_tsan() {
   # gate on the suites that exercise the parallel ingest pipeline.
   (cd "$root/build-tsan" && TSAN_OPTIONS="halt_on_error=1" ctest \
     --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector|Metrics|SegmentStoreTier|PersistenceEquivalence|Federation|HashRing')
+    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector|Metrics|SegmentStoreTier|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence')
   echo "== tsan: bench_fig15_query_delay --quick smoke =="
   # Shared-mutex readers + batch assembly under TSan on a tiny workload:
   # catches query-path races the unit suites cannot reach.
@@ -67,6 +68,13 @@ run_tsan() {
   cmake --build --preset tsan -j "$jobs" --target bench_federation
   TSAN_OPTIONS="halt_on_error=1" \
     "$root/build-tsan/bench/bench_federation" --quick
+  echo "== tsan: bench_ingest_scaling --quick smoke =="
+  # The columnar hot path end to end under TSan: multi-threaded store
+  # ingest plus the multi-worker agent drain shipping SpanBatches through
+  # the shared interner into batch dedup/metrics/store.
+  cmake --build --preset tsan -j "$jobs" --target bench_ingest_scaling
+  TSAN_OPTIONS="halt_on_error=1" \
+    "$root/build-tsan/bench/bench_ingest_scaling" --quick
 }
 
 run_asan() {
@@ -80,7 +88,7 @@ run_asan() {
   # rings behind striped locks on the same ingest path.
   (cd "$root/build-asan" && ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
     ctest --output-on-failure -j "$jobs" \
-    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence|Federation|HashRing')
+    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence')
   echo "== asan: bench_fault_recovery --quick smoke =="
   cmake --build --preset asan -j "$jobs" --target bench_fault_recovery
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \

@@ -61,10 +61,31 @@ void Agent::set_straggler_sink(SessionAggregator::StragglerSink sink) {
   net_sessions_.set_straggler_sink(std::move(sink));
 }
 
+void Agent::set_batch_sink(BatchSink sink,
+                           std::shared_ptr<StringInterner> interner) {
+  batch_sink_ = std::move(sink);
+  if (interner == nullptr) interner = std::make_shared<StringInterner>();
+  batch_ = std::make_unique<SpanBatch>(std::move(interner),
+                                       config_.emit_batch_spans);
+}
+
 void Agent::emit_session(Session&& session) {
-  Span span = builder_.build(session);
   ++spans_emitted_;
+  if (batch_sink_) {
+    // Columnar path: session strings go straight into the batch's
+    // arena/interner; no Span object, no per-span sink dispatch.
+    builder_.build_into(session, *batch_);
+    if (batch_->size() >= config_.emit_batch_spans) ship_batch();
+    return;
+  }
+  Span span = builder_.build(session);
   if (sink_) sink_(std::move(span));
+}
+
+void Agent::ship_batch() {
+  if (batch_ == nullptr || batch_->empty()) return;
+  batch_sink_(*batch_);
+  batch_->clear();  // keeps arena blocks and column capacity warm
 }
 
 std::optional<Agent::StagedRecord> Agent::parse_syscall(
@@ -144,8 +165,12 @@ void Agent::finish_message(StagedRecord&& staged) {
 }
 
 size_t Agent::poll(size_t budget) {
-  return config_.drain_workers > 1 ? poll_parallel(budget)
-                                   : poll_serial(budget);
+  const size_t processed = config_.drain_workers > 1 ? poll_parallel(budget)
+                                                     : poll_serial(budget);
+  // A partial batch never straddles a poll call: callers that query the
+  // server between polls observe the same spans as on the per-span path.
+  ship_batch();
+  return processed;
 }
 
 size_t Agent::poll_serial(size_t budget) {
@@ -276,6 +301,7 @@ void Agent::finish() {
   }
   sys_sessions_.flush([this](Session&& s) { emit_session(std::move(s)); });
   net_sessions_.flush([this](Session&& s) { emit_session(std::move(s)); });
+  ship_batch();
 }
 
 AgentStats Agent::stats() const {

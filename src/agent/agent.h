@@ -54,10 +54,19 @@ struct AgentConfig {
   size_t staging_ring_batches = 256;
   /// Records per staging batch before a flush.
   size_t staging_batch_records = 128;
+  /// Spans per columnar SpanBatch flight when a batch sink is installed
+  /// (set_batch_sink): the batch ships when it reaches this size and at
+  /// every poll()/finish() boundary. Ignored on the per-span sink path.
+  size_t emit_batch_spans = 256;
 };
 
 /// Where finished spans go (the agent -> server transport).
 using SpanSink = std::function<void(Span&&)>;
+/// Columnar flavour: the agent hands over a filled SpanBatch by reference.
+/// The sink must consume it synchronously (ingest or materialize) and must
+/// not retain views into it — the agent clears and refills the same batch
+/// every flight, which is what keeps the hot path allocation-free.
+using BatchSink = std::function<void(SpanBatch&)>;
 
 struct AgentStats {
   u64 syscall_records = 0;
@@ -96,6 +105,15 @@ class Agent {
   /// Forward out-of-window messages to the server for re-aggregation
   /// instead of surfacing them locally as incomplete sessions (§3.3.1).
   void set_straggler_sink(SessionAggregator::StragglerSink sink);
+
+  /// Switch span emission to the zero-copy columnar path: sessions append
+  /// straight into an arena-backed SpanBatch (SpanBuilder::build_into) and
+  /// ship in flights of config.emit_batch_spans. Replaces the per-span
+  /// SpanSink for ordinary emission. `interner` is the string registry the
+  /// batch encodes against (shared across agents and with the server's tag
+  /// dictionaries); nullptr creates a private one.
+  void set_batch_sink(BatchSink sink,
+                      std::shared_ptr<StringInterner> interner = nullptr);
 
   /// Drain up to `budget` records from the perf buffers through the
   /// pipeline; emits spans to the sink. Returns records processed.
@@ -146,6 +164,8 @@ class Agent {
   // assignment, session pairing, span emission).
   void finish_message(StagedRecord&& staged);
   void emit_session(Session&& session);
+  /// Hand the pending batch (if any) to the batch sink and recycle it.
+  void ship_batch();
 
   size_t poll_serial(size_t budget);
   size_t poll_parallel(size_t budget);
@@ -163,6 +183,8 @@ class Agent {
   SessionAggregator net_sessions_;
   SpanBuilder builder_;
   SpanSink sink_;
+  BatchSink batch_sink_;
+  std::unique_ptr<SpanBatch> batch_;  // reused flight, only on the batch path
   std::string error_;
   u64 syscall_records_ = 0;
   u64 packet_records_ = 0;

@@ -90,8 +90,10 @@ void SessionAggregator::stage(u64 flow_key, MessageData&& message,
   const bool is_request = message.is_request();
   const bool parallel = message.mode == protocols::SessionMatchMode::kParallel;
   const u64 stream = message.parsed.stream_id;
-  cpu_last_ts_[message.record.cpu] =
-      std::max(cpu_last_ts_[message.record.cpu], ts);
+  const u32 cpu = message.record.cpu;
+  if (cpu >= cpu_last_ts_.size()) cpu_last_ts_.resize(cpu + 1, kCpuUnseen);
+  TimestampNs& last = cpu_last_ts_[cpu];
+  if (last == kCpuUnseen || ts > last) last = ts;
 
   const u64 token = next_token_++;
   staged_.emplace(token, Entry{flow_key, std::move(message)});
@@ -156,33 +158,47 @@ void SessionAggregator::expire_token(u64 token, const SessionSink& sink) {
   }
 }
 
-void SessionAggregator::mark_ready(u64 flow_key, const FlowState& flow) {
+void SessionAggregator::mark_ready(u64 flow_key, FlowState& flow) {
   if (flow.requests_by_ts.empty() || flow.responses_by_ts.empty()) return;
   const TimestampNs ready_ts = std::max(flow.requests_by_ts.begin()->first,
                                         flow.responses_by_ts.begin()->first);
+  // One live ready_ entry per flow: a drain at the armed timestamp covers
+  // every later readiness too (draining pairs all it can), so arming again
+  // at >= armed_ts would only repeat the same no-op work. Only an EARLIER
+  // readiness (an older head arrived) re-arms; the later entry goes stale
+  // and drain_ready skips it.
+  if (flow.armed_ts != 0 && flow.armed_ts <= ready_ts) return;
   ready_.emplace(ready_ts, flow_key);
+  flow.armed_ts = ready_ts;
 }
 
 void SessionAggregator::drain_ready(const SessionSink& sink) {
+  if (ready_.empty()) return;
   const TimestampNs mark = watermark();
   while (!ready_.empty()) {
     const auto head = ready_.begin();
     if (head->first + config_.pairing_slack_ns > mark) break;
+    const TimestampNs armed = head->first;
     const u64 flow_key = head->second;
     ready_.erase(head);
     const auto flow_it = flows_.find(flow_key);
     if (flow_it == flows_.end()) continue;
-    drain_pipeline_pairs(flow_key, flow_it->second, sink, /*force=*/false);
+    FlowState& flow = flow_it->second;
+    // Stale entry: the flow re-armed at an earlier timestamp (which already
+    // popped and drained, covering this readiness) or was fully drained.
+    if (flow.armed_ts != armed) continue;
+    flow.armed_ts = 0;
+    drain_pipeline_pairs(flow_key, flow, sink, /*force=*/false);
     // Heads may remain (a blocking older response waits for expiry, or the
     // new heads are still inside the slack); re-arm only when the readiness
     // timestamp moved forward, so a blocked flow cannot spin.
-    FlowState& flow = flow_it->second;
     if (!flow.requests_by_ts.empty() && !flow.responses_by_ts.empty()) {
       const TimestampNs ready_ts =
           std::max(flow.requests_by_ts.begin()->first,
                    flow.responses_by_ts.begin()->first);
       if (ready_ts + config_.pairing_slack_ns > mark) {
         ready_.emplace(ready_ts, flow_key);
+        flow.armed_ts = ready_ts;
       }
     }
   }
@@ -191,9 +207,11 @@ void SessionAggregator::drain_ready(const SessionSink& sink) {
 TimestampNs SessionAggregator::watermark() const {
   // Conservative drain progress: the slowest CPU bounds what may still
   // arrive. CPUs never seen contribute nothing (their rings were empty).
-  TimestampNs low = ~TimestampNs{0};
-  for (const auto& [cpu, ts] : cpu_last_ts_) low = std::min(low, ts);
-  return cpu_last_ts_.empty() ? 0 : low;
+  TimestampNs low = kCpuUnseen;
+  for (const TimestampNs ts : cpu_last_ts_) {
+    if (ts != kCpuUnseen) low = std::min(low, ts);
+  }
+  return low == kCpuUnseen ? 0 : low;
 }
 
 void SessionAggregator::offer(u64 flow_key, MessageData message,

@@ -18,6 +18,7 @@
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "agent/message_data.h"
 #include "common/time_window.h"
@@ -89,6 +90,12 @@ class SessionAggregator {
     // Parallel: staged messages keyed by stream id.
     std::unordered_map<u64, u64> requests_by_stream;
     std::unordered_map<u64, u64> responses_by_stream;
+    // Readiness dedup: the timestamp of this flow's live ready_ entry
+    // (0 = none). One armed entry per flow suffices — draining a flow is
+    // idempotent, so the historical one-entry-per-message scheme did the
+    // same pairing work per flow up to 20x over. Entries whose key no
+    // longer matches armed_ts are stale and skipped on pop.
+    TimestampNs armed_ts = 0;
   };
 
   void stage(u64 flow_key, MessageData&& message, const SessionSink& sink);
@@ -103,7 +110,7 @@ class SessionAggregator {
   void remove_from_flow(const Entry& entry, u64 token);
   /// Note a pipeline flow as pairing-ready (both heads staged) and drain
   /// every ready flow the watermark has passed.
-  void mark_ready(u64 flow_key, const FlowState& flow);
+  void mark_ready(u64 flow_key, FlowState& flow);
   void drain_ready(const SessionSink& sink);
 
   SessionAggregatorConfig config_;
@@ -112,7 +119,11 @@ class SessionAggregator {
   TimestampNs watermark() const;
 
   TimeWindowArray<u64> expiry_;                // tokens by capture timestamp
-  std::unordered_map<u32, TimestampNs> cpu_last_ts_;
+  /// Newest capture timestamp drained per CPU, indexed by cpu id (the id
+  /// space is dense and tiny — one slot per simulated CPU). watermark() is
+  /// computed per staged message, so this is a flat scan, not a hash walk.
+  static constexpr TimestampNs kCpuUnseen = ~TimestampNs{0};
+  std::vector<TimestampNs> cpu_last_ts_;
   /// Pipeline flows whose heads are staged and waiting for the watermark:
   /// (ready timestamp, flow key). Popped as the watermark advances.
   std::multimap<TimestampNs, u64> ready_;

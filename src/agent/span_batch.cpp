@@ -1,0 +1,167 @@
+#include "agent/span_batch.h"
+
+namespace deepflow::agent {
+
+SpanBatch::SpanBatch(std::shared_ptr<StringInterner> interner,
+                     size_t reserve_spans)
+    : interner_(std::move(interner)) {
+  if (reserve_spans > 0) reserve(reserve_spans);
+}
+
+void SpanBatch::reserve(size_t spans) {
+  span_ids_.reserve(spans);
+  kinds_.reserve(spans);
+  systrace_ids_.reserve(spans);
+  pseudo_thread_ids_.reserve(spans);
+  x_request_ids_.reserve(spans);
+  otel_trace_ids_.reserve(spans);
+  req_tcp_seqs_.reserve(spans);
+  resp_tcp_seqs_.reserve(spans);
+  hosts_.reserve(spans);
+  device_ids_.reserve(spans);
+  device_names_.reserve(spans);
+  pids_.reserve(spans);
+  tids_.reserve(spans);
+  start_ts_.reserve(spans);
+  end_ts_.reserve(spans);
+  protocols_.reserve(spans);
+  methods_.reserve(spans);
+  endpoints_.reserve(spans);
+  status_codes_.reserve(spans);
+  flags_.reserve(spans);
+  tuples_.reserve(spans);
+  int_tags_.reserve(spans);
+  parent_span_ids_.reserve(spans);
+}
+
+void SpanBatch::push(const Draft& d) {
+  span_ids_.push_back(d.span_id);
+  kinds_.push_back(d.kind);
+  systrace_ids_.push_back(d.systrace_id);
+  pseudo_thread_ids_.push_back(d.pseudo_thread_id);
+  x_request_ids_.push_back(arena_.store(d.x_request_id));
+  otel_trace_ids_.push_back(arena_.store(d.otel_trace_id));
+  req_tcp_seqs_.push_back(d.req_tcp_seq);
+  resp_tcp_seqs_.push_back(d.resp_tcp_seq);
+  hosts_.push_back(interner_->intern(d.host));
+  device_ids_.push_back(d.device_id);
+  device_names_.push_back(interner_->intern(d.device_name));
+  pids_.push_back(d.pid);
+  tids_.push_back(d.tid);
+  start_ts_.push_back(d.start_ts);
+  end_ts_.push_back(d.end_ts);
+  protocols_.push_back(d.protocol);
+  methods_.push_back(interner_->intern(d.method));
+  endpoints_.push_back(interner_->intern(d.endpoint));
+  status_codes_.push_back(d.status_code);
+  u8 flags = 0;
+  if (d.from_server_side) flags |= kFromServerSide;
+  if (d.ok) flags |= kOk;
+  if (d.incomplete) flags |= kIncomplete;
+  if (d.lost_placeholder) flags |= kLostPlaceholder;
+  flags_.push_back(flags);
+  tuples_.push_back(d.tuple);
+  int_tags_.push_back(d.int_tags);
+  parent_span_ids_.push_back(d.parent_span_id);
+}
+
+void SpanBatch::push_span(const Span& span) {
+  Draft d;
+  d.span_id = span.span_id;
+  d.kind = span.kind;
+  d.systrace_id = span.systrace_id;
+  d.pseudo_thread_id = span.pseudo_thread_id;
+  d.x_request_id = span.x_request_id;
+  d.otel_trace_id = span.otel_trace_id;
+  d.req_tcp_seq = span.req_tcp_seq;
+  d.resp_tcp_seq = span.resp_tcp_seq;
+  d.host = span.host;
+  d.from_server_side = span.from_server_side;
+  d.device_id = span.device_id;
+  d.device_name = span.device_name;
+  d.pid = span.pid;
+  d.tid = span.tid;
+  d.start_ts = span.start_ts;
+  d.end_ts = span.end_ts;
+  d.protocol = span.protocol;
+  d.method = span.method;
+  d.endpoint = span.endpoint;
+  d.status_code = span.status_code;
+  d.ok = span.ok;
+  d.incomplete = span.incomplete;
+  d.lost_placeholder = span.lost_placeholder;
+  d.tuple = span.tuple;
+  d.int_tags = span.int_tags;
+  d.parent_span_id = span.parent_span_id;
+  if (!span.tags.empty()) {
+    extra_tags_.emplace_back(static_cast<u32>(size()), span.tags);
+  }
+  push(d);
+}
+
+void SpanBatch::clear() {
+  span_ids_.clear();
+  kinds_.clear();
+  systrace_ids_.clear();
+  pseudo_thread_ids_.clear();
+  x_request_ids_.clear();
+  otel_trace_ids_.clear();
+  req_tcp_seqs_.clear();
+  resp_tcp_seqs_.clear();
+  hosts_.clear();
+  device_ids_.clear();
+  device_names_.clear();
+  pids_.clear();
+  tids_.clear();
+  start_ts_.clear();
+  end_ts_.clear();
+  protocols_.clear();
+  methods_.clear();
+  endpoints_.clear();
+  status_codes_.clear();
+  flags_.clear();
+  tuples_.clear();
+  int_tags_.clear();
+  parent_span_ids_.clear();
+  extra_tags_.clear();
+  arena_.reset();
+}
+
+Span SpanBatch::materialize(size_t i) const {
+  Span span;
+  span.span_id = span_ids_[i];
+  span.kind = kinds_[i];
+  span.systrace_id = systrace_ids_[i];
+  span.pseudo_thread_id = pseudo_thread_ids_[i];
+  span.x_request_id.assign(x_request_ids_[i]);
+  span.otel_trace_id.assign(otel_trace_ids_[i]);
+  span.req_tcp_seq = req_tcp_seqs_[i];
+  span.resp_tcp_seq = resp_tcp_seqs_[i];
+  span.host.assign(interner_->lookup(hosts_[i]));
+  span.from_server_side = from_server_side(i);
+  span.device_id = device_ids_[i];
+  span.device_name.assign(interner_->lookup(device_names_[i]));
+  span.pid = pids_[i];
+  span.tid = tids_[i];
+  span.start_ts = start_ts_[i];
+  span.end_ts = end_ts_[i];
+  span.protocol = protocols_[i];
+  span.method.assign(interner_->lookup(methods_[i]));
+  span.endpoint.assign(interner_->lookup(endpoints_[i]));
+  span.status_code = status_codes_[i];
+  span.ok = ok(i);
+  span.incomplete = incomplete(i);
+  span.lost_placeholder = (flags_[i] & kLostPlaceholder) != 0;
+  span.tuple = tuples_[i];
+  span.int_tags = int_tags_[i];
+  span.parent_span_id = parent_span_ids_[i];
+  for (const auto& [idx, tags] : extra_tags_) {
+    if (idx == i) {
+      span.tags = tags;
+      break;
+    }
+  }
+  return span;
+}
+
+}  // namespace deepflow::agent

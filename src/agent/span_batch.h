@@ -1,0 +1,199 @@
+// Struct-of-arrays span batches: the zero-copy ingest hot path (§3.4 spirit:
+// per-record cost is what makes zero-code tracing viable at scale).
+//
+// The historical pipeline moved every span as an individually heap-allocated
+// `Span` full of std::strings through parse → transport → dedup → metrics →
+// store. A SpanBatch replaces that with one columnar container per drain
+// cycle:
+//
+//   * numeric fields (ids, timestamps, kinds, sequences, tuples) live in
+//     contiguous per-field vectors — the metrics fold and dedup walk flat
+//     arrays instead of chasing per-span heap nodes;
+//   * low-cardinality strings (host, device name, method, endpoint) are
+//     replaced at append time by dense u32 handles from a shared
+//     StringInterner (the same registry class the server's low-cardinality
+//     tag encoder builds its dictionaries on) — a handful of distinct
+//     values per cluster, interned once, compared as integers forever;
+//   * high-cardinality strings (X-Request-ID, third-party trace id) are
+//     copied once into the batch's bump Arena and travel as string_views —
+//     interning them would grow the registry without bound, and they are
+//     only ever read, never compared against a dictionary.
+//
+// Lifecycle: a batch is owned by one agent, filled serially by the span
+// builder, handed BY REFERENCE to the batch sink (the server consumes the
+// columns synchronously and must not retain views past the call), then
+// clear()ed — which keeps every vector's capacity and every arena block, so
+// a warm batch refills with zero heap allocations (pinned by the
+// allocation-regression suite). The only per-span allocation left in the
+// whole pipeline is the store-boundary materialize() that builds the
+// permanent SpanRow.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "agent/span.h"
+#include "common/arena.h"
+#include "common/interner.h"
+
+namespace deepflow::agent {
+
+class SpanBatch {
+ public:
+  // flags_ bit layout.
+  static constexpr u8 kFromServerSide = 1u << 0;
+  static constexpr u8 kOk = 1u << 1;
+  static constexpr u8 kIncomplete = 1u << 2;
+  static constexpr u8 kLostPlaceholder = 1u << 3;
+
+  /// Everything needed to append one span without owning any string: the
+  /// views may point at parser/session storage (or anywhere); push() copies
+  /// the high-cardinality ones into the arena and interns the rest.
+  struct Draft {
+    u64 span_id = 0;
+    SpanKind kind = SpanKind::kSystem;
+    SystraceId systrace_id = kInvalidSystraceId;
+    PseudoThreadId pseudo_thread_id = 0;
+    std::string_view x_request_id;
+    std::string_view otel_trace_id;
+    TcpSeq req_tcp_seq = 0;
+    TcpSeq resp_tcp_seq = 0;
+    std::string_view host;
+    bool from_server_side = false;
+    u32 device_id = 0;
+    std::string_view device_name;
+    Pid pid = 0;
+    Tid tid = 0;
+    TimestampNs start_ts = 0;
+    TimestampNs end_ts = 0;
+    protocols::L7Protocol protocol = protocols::L7Protocol::kUnknown;
+    std::string_view method;
+    std::string_view endpoint;
+    u32 status_code = 0;
+    bool ok = true;
+    bool incomplete = false;
+    bool lost_placeholder = false;
+    FiveTuple tuple;
+    AgentIntTags int_tags;
+    u64 parent_span_id = 0;
+  };
+
+  /// `interner` must outlive the batch; batches of one deployment share one
+  /// interner so handles agree across agents and the server.
+  explicit SpanBatch(std::shared_ptr<StringInterner> interner,
+                     size_t reserve_spans = 0);
+
+  SpanBatch(SpanBatch&&) = default;
+  SpanBatch& operator=(SpanBatch&&) = default;
+
+  /// Append one span. Steady-state cost: column stores + two arena copies +
+  /// four interner probes — no heap allocation once capacity is warm.
+  void push(const Draft& draft);
+
+  /// Convenience append from a materialized Span (benches, tests, shims).
+  /// Pre-expanded tags — rare; spans built by the agent carry none — go to a
+  /// sparse side channel so the columns stay fixed-width.
+  void push_span(const Span& span);
+
+  size_t size() const { return span_ids_.size(); }
+  bool empty() const { return span_ids_.empty(); }
+
+  /// Forget contents, KEEP capacity (vectors and arena blocks) — the
+  /// reset-reuse half of the zero-allocation contract.
+  void clear();
+
+  void reserve(size_t spans);
+
+  /// Rebuild the full Span for row `i` — the store-boundary conversion shim.
+  /// Allocates (string copies + the Span itself); everything upstream of the
+  /// store must read columns instead.
+  Span materialize(size_t i) const;
+
+  const StringInterner& interner() const { return *interner_; }
+  const std::shared_ptr<StringInterner>& interner_ptr() const {
+    return interner_;
+  }
+
+  // -- Column access (the batch consumers: dedup, metrics fold, store). ----
+  const std::vector<u64>& span_ids() const { return span_ids_; }
+  const std::vector<SpanKind>& kinds() const { return kinds_; }
+  const std::vector<SystraceId>& systrace_ids() const { return systrace_ids_; }
+  const std::vector<PseudoThreadId>& pseudo_thread_ids() const {
+    return pseudo_thread_ids_;
+  }
+  const std::vector<TcpSeq>& req_tcp_seqs() const { return req_tcp_seqs_; }
+  const std::vector<TcpSeq>& resp_tcp_seqs() const { return resp_tcp_seqs_; }
+  const std::vector<TimestampNs>& start_ts() const { return start_ts_; }
+  const std::vector<TimestampNs>& end_ts() const { return end_ts_; }
+  const std::vector<u8>& flags() const { return flags_; }
+  const std::vector<FiveTuple>& tuples() const { return tuples_; }
+  const std::vector<AgentIntTags>& int_tags() const { return int_tags_; }
+  const std::vector<u32>& status_codes() const { return status_codes_; }
+  const std::vector<protocols::L7Protocol>& protocols() const {
+    return protocols_;
+  }
+
+  bool from_server_side(size_t i) const {
+    return (flags_[i] & kFromServerSide) != 0;
+  }
+  bool ok(size_t i) const { return (flags_[i] & kOk) != 0; }
+  bool incomplete(size_t i) const { return (flags_[i] & kIncomplete) != 0; }
+  DurationNs duration(size_t i) const {
+    return end_ts_[i] >= start_ts_[i] ? end_ts_[i] - start_ts_[i] : 0;
+  }
+
+  // Arena-backed views (valid until clear()).
+  std::string_view x_request_id(size_t i) const { return x_request_ids_[i]; }
+  std::string_view otel_trace_id(size_t i) const { return otel_trace_ids_[i]; }
+  // Interned handles and their resolved views.
+  u32 host_handle(size_t i) const { return hosts_[i]; }
+  std::string_view host(size_t i) const { return interner_->lookup(hosts_[i]); }
+  std::string_view device_name(size_t i) const {
+    return interner_->lookup(device_names_[i]);
+  }
+  std::string_view method(size_t i) const {
+    return interner_->lookup(methods_[i]);
+  }
+  std::string_view endpoint(size_t i) const {
+    return interner_->lookup(endpoints_[i]);
+  }
+
+  /// Arena occupancy (bench/telemetry).
+  size_t arena_used_bytes() const { return arena_.used_bytes(); }
+  size_t arena_capacity_bytes() const { return arena_.capacity_bytes(); }
+
+ private:
+  std::shared_ptr<StringInterner> interner_;
+  Arena arena_;
+
+  std::vector<u64> span_ids_;
+  std::vector<SpanKind> kinds_;
+  std::vector<SystraceId> systrace_ids_;
+  std::vector<PseudoThreadId> pseudo_thread_ids_;
+  std::vector<std::string_view> x_request_ids_;  // arena-backed
+  std::vector<std::string_view> otel_trace_ids_; // arena-backed
+  std::vector<TcpSeq> req_tcp_seqs_;
+  std::vector<TcpSeq> resp_tcp_seqs_;
+  std::vector<u32> hosts_;         // interner handles
+  std::vector<u32> device_ids_;
+  std::vector<u32> device_names_;  // interner handles
+  std::vector<Pid> pids_;
+  std::vector<Tid> tids_;
+  std::vector<TimestampNs> start_ts_;
+  std::vector<TimestampNs> end_ts_;
+  std::vector<protocols::L7Protocol> protocols_;
+  std::vector<u32> methods_;       // interner handles
+  std::vector<u32> endpoints_;     // interner handles
+  std::vector<u32> status_codes_;
+  std::vector<u8> flags_;
+  std::vector<FiveTuple> tuples_;
+  std::vector<AgentIntTags> int_tags_;
+  std::vector<u64> parent_span_ids_;
+  /// Pre-expanded tag sets, sparse by row index (agent-built spans never
+  /// carry any; only push_span of query-side spans does).
+  std::vector<std::pair<u32, std::vector<Tag>>> extra_tags_;
+};
+
+}  // namespace deepflow::agent

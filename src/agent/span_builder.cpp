@@ -76,19 +76,88 @@ Span SpanBuilder::build(const Session& session) const {
   span.tuple = request.record.tuple;
 
   // Phase-one integer tags (smart-encoding): VPC + both endpoint IPs.
+  // resolve_ids, not resolve: only the VPC id is needed, and the full
+  // resolve copies ~8 strings per call — twice per span, it dominated the
+  // build cost.
   if (registry_ != nullptr) {
-    const netsim::ResourceInfo client_info =
-        registry_->resolve(span.tuple.src_ip);
-    const netsim::ResourceInfo server_info =
-        registry_->resolve(span.tuple.dst_ip);
-    span.int_tags.vpc_id =
-        client_info.vpc != 0 ? client_info.vpc : server_info.vpc;
+    const u32 client_vpc = registry_->resolve_ids(span.tuple.src_ip).vpc;
+    span.int_tags.vpc_id = client_vpc != 0
+                               ? client_vpc
+                               : registry_->resolve_ids(span.tuple.dst_ip).vpc;
     span.int_tags.client_ip = span.tuple.src_ip.addr;
     span.int_tags.server_ip = span.tuple.dst_ip.addr;
   }
 
   ++spans_built_;
   return span;
+}
+
+void SpanBuilder::build_into(const Session& session, SpanBatch& batch) const {
+  const MessageData& request = session.request;
+  SpanBatch::Draft d;
+  d.span_id = global_span_id_.fetch_add(1, std::memory_order_relaxed);
+
+  switch (request.origin) {
+    case CaptureOrigin::kSyscall: d.kind = SpanKind::kSystem; break;
+    case CaptureOrigin::kSslUprobe: d.kind = SpanKind::kApplication; break;
+    case CaptureOrigin::kPacketTap: d.kind = SpanKind::kNetwork; break;
+  }
+
+  // Field-for-field the same decisions as build(); the strings stay views
+  // into the session until batch.push copies them into arena/interner.
+  d.systrace_id = request.systrace_id;
+  d.pseudo_thread_id =
+      request.record.coroutine_id != 0 ? request.pseudo_thread_id : 0;
+  d.x_request_id = !request.parsed.x_request_id.empty()
+                       ? std::string_view(request.parsed.x_request_id)
+                       : (session.response.has_value()
+                              ? std::string_view(
+                                    session.response->parsed.x_request_id)
+                              : std::string_view{});
+  d.otel_trace_id =
+      protocols::extract_trace_id_view(request.parsed.trace_context);
+  d.req_tcp_seq = request.record.tcp_seq;
+  d.resp_tcp_seq =
+      session.response.has_value() ? session.response->record.tcp_seq : 0;
+
+  d.host = host_;
+  d.from_server_side =
+      request.origin != CaptureOrigin::kPacketTap &&
+      request.record.direction == kernelsim::Direction::kIngress;
+  d.device_id = request.device_id;
+  d.device_name = request.device_name;
+  d.pid = request.record.pid;
+  d.tid = request.record.tid;
+
+  d.start_ts = request.record.enter_ts;
+  if (session.response.has_value()) {
+    d.end_ts = session.response->record.exit_ts;
+  } else {
+    d.end_ts = request.record.exit_ts;
+    d.incomplete = true;
+    d.ok = false;
+  }
+
+  d.protocol = request.parsed.protocol;
+  d.method = request.parsed.method;
+  d.endpoint = request.parsed.endpoint;
+  if (session.response.has_value()) {
+    d.status_code = session.response->parsed.status_code;
+    d.ok = session.response->parsed.ok;
+  }
+  d.tuple = request.record.tuple;
+
+  if (registry_ != nullptr) {
+    const u32 client_vpc = registry_->resolve_ids(d.tuple.src_ip).vpc;
+    d.int_tags.vpc_id = client_vpc != 0
+                            ? client_vpc
+                            : registry_->resolve_ids(d.tuple.dst_ip).vpc;
+    d.int_tags.client_ip = d.tuple.src_ip.addr;
+    d.int_tags.server_ip = d.tuple.dst_ip.addr;
+  }
+
+  ++spans_built_;
+  batch.push(d);
 }
 
 }  // namespace deepflow::agent

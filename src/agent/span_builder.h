@@ -10,6 +10,7 @@
 
 #include "agent/session_aggregator.h"
 #include "agent/span.h"
+#include "agent/span_batch.h"
 #include "netsim/resource.h"
 
 namespace deepflow::agent {
@@ -21,6 +22,13 @@ class SpanBuilder {
 
   /// Build the span for one aggregated session (any capture origin).
   Span build(const Session& session) const;
+
+  /// Zero-allocation flavour: append the session's span directly to a
+  /// columnar batch (string fields go in as views over session/parser
+  /// storage; the batch arena/interner take the only copies). Field-for-field
+  /// identical to build() — batch.materialize(i) == build(session) — pinned
+  /// by the span-builder suite.
+  void build_into(const Session& session, SpanBatch& batch) const;
 
   u64 spans_built() const { return spans_built_; }
 

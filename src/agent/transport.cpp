@@ -111,6 +111,11 @@ void SpanTransport::offer(Span&& span) {
       std::max<u64>(stats_.queue_high_watermark, queue_.size());
 }
 
+void SpanTransport::offer_batch(const SpanBatch& batch) {
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) offer(batch.materialize(i));
+}
+
 u64 SpanTransport::backoff_ticks(u32 attempt) {
   // attempt is the count of sends already made (>= 1 when retrying).
   u64 backoff = config_.backoff_base_ticks;

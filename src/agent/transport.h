@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "agent/span.h"
+#include "agent/span_batch.h"
 #include "common/fault.h"
 #include "common/rand.h"
 
@@ -110,6 +111,12 @@ class SpanTransport {
   /// Producer side: enqueue one finished span (or deliver it immediately
   /// in direct mode). Sheds by priority when the queue is full.
   void offer(Span&& span);
+
+  /// Columnar producer side: decompose a SpanBatch flight into per-span
+  /// offers (the queue holds Span rows, so shed/priority/retry semantics
+  /// are byte-identical to per-span offers of the same stream). The caller
+  /// keeps ownership of the batch.
+  void offer_batch(const SpanBatch& batch);
 
   /// One transport tick: deliver due delayed batches and due retries, then
   /// send every full batch in the queue. Returns spans delivered to the

@@ -1,0 +1,138 @@
+// Bump-pointer arena for the zero-copy ingest hot path.
+//
+// A SpanBatch owns one of these for its high-cardinality string bytes
+// (X-Request-IDs, third-party trace ids): every string is copied once into
+// the arena when the span is appended, and from there travels by reference
+// (StrRef = pointer + length into arena storage) through transport, dedup
+// and the metrics fold until the store boundary materializes a row.
+//
+// Allocation model: blocks are carved off with a bump pointer; when the
+// current block is exhausted a new one of twice the size is chained on
+// (geometric growth bounds the block count at log2 of the peak). reset()
+// rewinds the bump pointer but KEEPS every block, so a batch that is
+// cleared and refilled each drain cycle reaches a steady state where
+// filling it performs zero heap allocations — the property the
+// allocation-regression suite pins.
+//
+// Pointer stability: blocks are never moved or freed before destruction /
+// release(), so pointers handed out by alloc()/store() stay valid across
+// later allocations (unlike a std::string/std::vector backing store). Not
+// thread-safe; an arena belongs to exactly one batch at a time, and batches
+// are single-writer by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deepflow {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultFirstBlockBytes = 16 * 1024;
+
+  explicit Arena(size_t first_block_bytes = kDefaultFirstBlockBytes)
+      : first_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw bump allocation, aligned to `align` (power of two). The returned
+  /// storage lives until release() or destruction; reset() recycles it for
+  /// reuse but existing references become logically stale.
+  void* alloc(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    if (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      const size_t aligned = (b.used + (align - 1)) & ~(align - 1);
+      if (aligned + bytes <= b.size) {
+        b.used = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+    }
+    return alloc_slow(bytes, align);
+  }
+
+  /// Copy `text` into the arena and return a view of the stable copy.
+  /// Empty strings return a static empty view without touching storage.
+  std::string_view store(std::string_view text) {
+    if (text.empty()) return {};
+    char* dst = static_cast<char*>(alloc(text.size(), 1));
+    std::memcpy(dst, text.data(), text.size());
+    return std::string_view(dst, text.size());
+  }
+
+  /// Rewind every block for reuse. Capacity (and therefore steady-state
+  /// zero-allocation refills) is retained; outstanding references into the
+  /// arena must no longer be read.
+  void reset() {
+    for (Block& b : blocks_) b.used = 0;
+    block_ = 0;
+  }
+
+  /// Drop all blocks (frees memory, unlike reset()).
+  void release() {
+    blocks_.clear();
+    block_ = 0;
+  }
+
+  /// Total bytes reserved across blocks.
+  size_t capacity_bytes() const {
+    size_t n = 0;
+    for (const Block& b : blocks_) n += b.size;
+    return n;
+  }
+
+  /// Bytes handed out since construction/reset (alignment padding included).
+  size_t used_bytes() const {
+    size_t n = 0;
+    for (const Block& b : blocks_) n += b.used;
+    return n;
+  }
+
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  void* alloc_slow(size_t bytes, size_t align) {
+    // Advance through retained blocks (after reset()) until one fits; chain
+    // a new block — big enough even for an oversized request — otherwise.
+    while (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      const size_t aligned = (b.used + (align - 1)) & ~(align - 1);
+      if (aligned + bytes <= b.size) {
+        b.used = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+      ++block_;
+    }
+    size_t next_size =
+        blocks_.empty() ? first_block_bytes_ : blocks_.back().size * 2;
+    if (next_size < bytes + align) next_size = bytes + align;
+    Block b;
+    b.data = std::make_unique<char[]>(next_size);
+    b.size = next_size;
+    blocks_.push_back(std::move(b));
+    block_ = blocks_.size() - 1;
+    Block& nb = blocks_.back();
+    const size_t aligned = (nb.used + (align - 1)) & ~(align - 1);
+    nb.used = aligned + bytes;
+    return nb.data.get() + aligned;
+  }
+
+  std::vector<Block> blocks_;
+  size_t block_ = 0;  // index of the block the bump pointer is in
+  size_t first_block_bytes_;
+};
+
+}  // namespace deepflow

@@ -1,0 +1,47 @@
+#include "common/interner.h"
+
+namespace deepflow {
+
+u32 StringInterner::intern(std::string_view text) {
+  {
+    std::shared_lock lk(mu_);
+    auto it = ids_.find(text);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lk(mu_);
+  // Double-check: another writer may have interned it between the locks.
+  auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  const u32 handle = static_cast<u32>(strings_.size());
+  strings_.emplace_back(text);
+  ids_.emplace(std::string_view(strings_.back()), handle);
+  payload_bytes_ += text.size();
+  return handle;
+}
+
+u32 StringInterner::find(std::string_view text) const {
+  std::shared_lock lk(mu_);
+  auto it = ids_.find(text);
+  return it == ids_.end() ? kInvalidHandle : it->second;
+}
+
+std::string_view StringInterner::lookup(u32 handle) const {
+  std::shared_lock lk(mu_);
+  if (handle >= strings_.size()) return {};
+  return std::string_view(strings_[handle]);
+}
+
+size_t StringInterner::size() const {
+  std::shared_lock lk(mu_);
+  return strings_.size();
+}
+
+size_t StringInterner::approx_bytes() const {
+  std::shared_lock lk(mu_);
+  // Payload plus the historical per-entry overhead estimate (hash node +
+  // deque slot + id), kept identical to the pre-refactor encoder accounting
+  // so dictionary-size telemetry doesn't jump across the change.
+  return payload_bytes_ + strings_.size() * (sizeof(u32) + 32);
+}
+
+}  // namespace deepflow

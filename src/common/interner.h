@@ -1,0 +1,82 @@
+// Shared string-interning registry for the zero-copy ingest hot path.
+//
+// Low-cardinality span strings (hostnames, device names, protocol methods,
+// endpoint templates) are replaced by dense 0-based u32 handles the moment a
+// span is appended to a SpanBatch; every later pipeline stage — transport,
+// dedup, metrics fold, store encode — compares and hashes 4-byte handles
+// instead of copying strings. The server-side LowCardinalityEncoder folds its
+// private dictionary onto the same class so agent-side interning and tag
+// encoding agree on one ownership model (tested round-trip in
+// tests/server/test_tag_encoding.cpp).
+//
+// Concurrency: intern() takes the writer lock only on first sight of a
+// string; the common case (string already known) and lookup() take a shared
+// lock. Handle values are dense and permanent — entries are never removed, so
+// a handle obtained on one thread can be resolved on any other without
+// revalidation. Backing storage is a deque of strings: growth never moves
+// existing elements, so string_views handed out by lookup() stay valid for
+// the interner's lifetime even while other threads intern new strings.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace deepflow {
+
+class StringInterner {
+ public:
+  static constexpr u32 kInvalidHandle = 0xffffffffu;
+
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Return the dense handle for `text`, assigning the next free one on
+  /// first sight. Handles start at 0 and never change.
+  u32 intern(std::string_view text);
+
+  /// Handle for `text` if already interned, kInvalidHandle otherwise.
+  /// Never mutates — safe to call concurrently with intern().
+  u32 find(std::string_view text) const;
+
+  /// Resolve a handle to its string. The view stays valid for the
+  /// interner's lifetime (deque storage never relocates). Out-of-range
+  /// handles return an empty view.
+  std::string_view lookup(u32 handle) const;
+
+  /// Number of distinct strings interned so far (== next handle).
+  size_t size() const;
+
+  /// Approximate resident bytes: string payloads + per-entry index cost.
+  /// Mirrors the accounting LowCardinalityEncoder::dictionary_bytes() used
+  /// before it was folded onto this class.
+  size_t approx_bytes() const;
+
+ private:
+  struct StringViewHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct StringViewEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  mutable std::shared_mutex mu_;
+  // Keys are views into strings_ elements; deque growth keeps them stable.
+  std::unordered_map<std::string_view, u32, StringViewHash, StringViewEq> ids_;
+  std::deque<std::string> strings_;
+  size_t payload_bytes_ = 0;
+};
+
+}  // namespace deepflow

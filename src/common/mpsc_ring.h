@@ -75,6 +75,12 @@ class MpscRingArray {
   }
 
  private:
+  // Lanes are individually heap-allocated, so each lane's padded cursors
+  // (PaddedCursor in spsc_ring.h) land on distinct cache lines and no two
+  // producers ever write the same line. The assert pins the lane type to the
+  // padded layout so a future SpscRing edit can't silently undo it.
+  static_assert(sizeof(PaddedCursor) == 64,
+                "MPSC lanes rely on cache-line-padded SPSC cursors");
   std::vector<std::unique_ptr<SpscRing<T>>> lanes_;
 };
 

@@ -15,6 +15,24 @@
 
 namespace deepflow {
 
+/// One atomic cursor padded out to a full cache line. The SPSC fast path has
+/// the producer spinning on head_ and the consumer on tail_; when both share
+/// a line, every push invalidates the consumer's cached tail (and vice
+/// versa) — classic false sharing. Padding each cursor into its own line
+/// keeps the two sides' cache traffic independent.
+struct alignas(64) PaddedCursor {
+  std::atomic<size_t> value{0};
+};
+struct alignas(64) PaddedCounter {
+  std::atomic<u64> value{0};
+};
+// The padding only works if the wrapper really occupies (a multiple of) a
+// line; a packed or under-aligned build would silently reintroduce sharing.
+static_assert(sizeof(PaddedCursor) == 64 && alignof(PaddedCursor) == 64,
+              "ring cursors must each occupy a full cache line");
+static_assert(sizeof(PaddedCounter) == 64 && alignof(PaddedCounter) == 64,
+              "ring drop counter must occupy a full cache line");
+
 template <typename T>
 class SpscRing {
  public:
@@ -30,43 +48,45 @@ class SpscRing {
 
   /// Producer side. Returns false (and increments dropped()) when full.
   bool push(T item) {
-    const size_t head = head_.load(std::memory_order_relaxed);
-    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.value.load(std::memory_order_relaxed);
+    const size_t tail = tail_.value.load(std::memory_order_acquire);
     if (head - tail >= buffer_.size()) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      dropped_.value.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     buffer_[head & mask_] = std::move(item);
-    head_.store(head + 1, std::memory_order_release);
+    head_.value.store(head + 1, std::memory_order_release);
     return true;
   }
 
   /// Consumer side. Empty optional when the ring is drained.
   std::optional<T> pop() {
-    const size_t tail = tail_.load(std::memory_order_relaxed);
-    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.value.load(std::memory_order_relaxed);
+    const size_t head = head_.value.load(std::memory_order_acquire);
     if (tail == head) return std::nullopt;
     T item = std::move(buffer_[tail & mask_]);
-    tail_.store(tail + 1, std::memory_order_release);
+    tail_.value.store(tail + 1, std::memory_order_release);
     return item;
   }
 
   size_t size() const {
-    return head_.load(std::memory_order_acquire) -
-           tail_.load(std::memory_order_acquire);
+    return head_.value.load(std::memory_order_acquire) -
+           tail_.value.load(std::memory_order_acquire);
   }
 
   bool empty() const { return size() == 0; }
 
   /// Events rejected because the ring was full.
-  u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  u64 dropped() const { return dropped_.value.load(std::memory_order_relaxed); }
 
  private:
   std::vector<T> buffer_;
   size_t mask_ = 0;
-  std::atomic<size_t> head_{0};
-  std::atomic<size_t> tail_{0};
-  std::atomic<u64> dropped_{0};
+  // Each cursor on its own cache line: head_ is producer-written, tail_ is
+  // consumer-written, dropped_ is producer-written on the overflow path.
+  PaddedCursor head_;
+  PaddedCursor tail_;
+  PaddedCounter dropped_;
 };
 
 }  // namespace deepflow

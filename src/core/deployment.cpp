@@ -90,6 +90,26 @@ bool Deployment::deploy() {
     }
     auto a = std::make_unique<agent::Agent>(kernel, &cluster_->registry(),
                                             agent_config, std::move(sink));
+    if (config_.columnar_batching && !federated()) {
+      // Zero-copy hot path: sessions append into a columnar batch that
+      // ships whole into the server (direct) or decomposes at the transport
+      // queue boundary. The per-span sink above stays installed but idle.
+      if (interner_ == nullptr) interner_ = std::make_shared<StringInterner>();
+      if (config_.transport.direct) {
+        a->set_batch_sink(
+            [this](agent::SpanBatch& batch) {
+              server_.ingest_span_batch(batch);
+            },
+            interner_);
+      } else {
+        agent::SpanTransport* transport = transports_.back().get();
+        a->set_batch_sink(
+            [transport](agent::SpanBatch& batch) {
+              transport->offer_batch(batch);
+            },
+            interner_);
+      }
+    }
     if (config_.forward_stragglers) {
       if (federated()) {
         a->set_straggler_sink([this, host](agent::MessageData&& message) {

@@ -59,6 +59,13 @@ struct DeploymentConfig {
   /// through Deployment::federation(). The `server` config above is the
   /// per-node template in that mode.
   cluster::ClusterConfig federation{.nodes = 0};
+  /// Columnar span emission (the zero-copy hot path): agents append spans
+  /// into arena-backed SpanBatch flights (agent.emit_batch_spans each) that
+  /// ship whole to the server (direct mode) or decompose into the transport
+  /// queue. false restores the historical per-span sink — the equivalence
+  /// suites compare the two byte for byte. Federated deployments always use
+  /// the per-span fan-out path regardless of this flag.
+  bool columnar_batching = true;
   /// Attach cBPF/AF_PACKET capture to every infrastructure device (pod
   /// veths, vswitches, pNICs, the ToR) — the full network-coverage mode.
   bool capture_devices = true;
@@ -118,6 +125,9 @@ class Deployment {
   // server: one per agent (non-direct mode only). Federated: one per
   // (agent, owner) link, each on its own fault/jitter lane.
   std::vector<std::unique_ptr<agent::SpanTransport>> transports_;
+  /// String registry shared by every agent's SpanBatch (one dictionary of
+  /// hosts/devices/methods/endpoints across the deployment).
+  std::shared_ptr<StringInterner> interner_;
   std::string error_;
   bool deployed_ = false;
 };

@@ -177,6 +177,44 @@ MetricsAggregator::DirectoryStripe& MetricsAggregator::directory_stripe(
 }
 
 void MetricsAggregator::record_span(const agent::Span& span) {
+  SpanSample sample;
+  sample.kind = span.kind;
+  sample.from_server_side = span.from_server_side;
+  sample.ok = span.ok;
+  sample.incomplete = span.incomplete;
+  sample.client_ip = span.int_tags.client_ip;
+  sample.server_ip = span.int_tags.server_ip;
+  sample.start_ts = span.start_ts;
+  sample.duration = span.duration();
+  sample.tuple = span.tuple;
+  record_sample(sample);
+}
+
+void MetricsAggregator::record_batch(const agent::SpanBatch& batch,
+                                     const std::vector<u8>& skip) {
+  if (!config_.enabled) return;
+  const size_t n = batch.size();
+  const auto& kinds = batch.kinds();
+  const auto& starts = batch.start_ts();
+  const auto& int_tags = batch.int_tags();
+  const auto& tuples = batch.tuples();
+  for (size_t i = 0; i < n; ++i) {
+    if (i < skip.size() && skip[i] != 0) continue;
+    SpanSample sample;
+    sample.kind = kinds[i];
+    sample.from_server_side = batch.from_server_side(i);
+    sample.ok = batch.ok(i);
+    sample.incomplete = batch.incomplete(i);
+    sample.client_ip = int_tags[i].client_ip;
+    sample.server_ip = int_tags[i].server_ip;
+    sample.start_ts = starts[i];
+    sample.duration = batch.duration(i);
+    sample.tuple = tuples[i];
+    record_sample(sample);
+  }
+}
+
+void MetricsAggregator::record_sample(const SpanSample& span) {
   if (!config_.enabled) return;
 
   switch (span.kind) {
@@ -187,7 +225,7 @@ void MetricsAggregator::record_span(const agent::Span& span) {
     case agent::SpanKind::kApplication: {
       // Uprobe (above-TLS) duplicate of a sys session: count per service,
       // do not RED-fold.
-      const std::string service = endpoint_name(span.int_tags.server_ip);
+      const std::string service = endpoint_name(span.server_ip);
       ServiceStripe& stripe = service_stripe(service);
       std::lock_guard<std::mutex> lock(stripe.mu);
       ++stripe.app_spans;
@@ -198,7 +236,7 @@ void MetricsAggregator::record_span(const agent::Span& span) {
     case agent::SpanKind::kNetwork: {
       // Device-tap sighting: network evidence for the client->server edge.
       const EdgeKey key =
-          edge_key(span.int_tags.client_ip, span.int_tags.server_ip);
+          edge_key(span.client_ip, span.server_ip);
       EdgeStripe& stripe = edge_stripe(key);
       std::lock_guard<std::mutex> lock(stripe.mu);
       ++stripe.net_frames;
@@ -211,10 +249,10 @@ void MetricsAggregator::record_span(const agent::Span& span) {
       break;
   }
 
-  const DurationNs duration = span.duration();
+  const DurationNs duration = span.duration;
   if (span.from_server_side) {
     // The serving process's view: one request INTO this service.
-    const std::string service = endpoint_name(span.int_tags.server_ip);
+    const std::string service = endpoint_name(span.server_ip);
     ServiceStripe& stripe = service_stripe(service);
     std::lock_guard<std::mutex> lock(stripe.mu);
     ++stripe.service_samples;
@@ -230,7 +268,7 @@ void MetricsAggregator::record_span(const agent::Span& span) {
   } else {
     // The calling process's view: one request along the client->server edge.
     const EdgeKey key =
-        edge_key(span.int_tags.client_ip, span.int_tags.server_ip);
+        edge_key(span.client_ip, span.server_ip);
     {
       EdgeStripe& stripe = edge_stripe(key);
       std::lock_guard<std::mutex> lock(stripe.mu);

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "agent/span.h"
+#include "agent/span_batch.h"
 #include "common/five_tuple.h"
 #include "common/histogram.h"
 #include "common/types.h"
@@ -144,6 +145,21 @@ struct MetricsTelemetry {
   u64 edges = 0;
 };
 
+/// The slice of a span the RED fold actually reads — plain integers, so the
+/// columnar ingest path can fold straight out of SpanBatch columns without
+/// materializing Span objects (no string construction per sample).
+struct SpanSample {
+  agent::SpanKind kind = agent::SpanKind::kSystem;
+  bool from_server_side = false;
+  bool ok = true;
+  bool incomplete = false;
+  u32 client_ip = 0;
+  u32 server_ip = 0;
+  TimestampNs start_ts = 0;
+  DurationNs duration = 0;
+  FiveTuple tuple;
+};
+
 class MetricsAggregator {
  public:
   MetricsAggregator(const netsim::ResourceRegistry* registry,
@@ -154,6 +170,15 @@ class MetricsAggregator {
   /// Fold one span (thread-safe; call after ingest dedup so at-least-once
   /// transports still count each session exactly once).
   void record_span(const agent::Span& span);
+
+  /// Same fold from the integer slice alone (record_span delegates here, so
+  /// the two are identical by construction).
+  void record_sample(const SpanSample& sample);
+
+  /// Fold every span of a columnar batch, skipping rows whose `skip` byte is
+  /// nonzero (the server passes its dedup verdicts). Reads columns directly.
+  void record_batch(const agent::SpanBatch& batch,
+                    const std::vector<u8>& skip);
 
   /// Fold one per-flow network metric record (thread-safe). Flows whose
   /// canonical tuple was never seen on a client-side span count as

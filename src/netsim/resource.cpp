@@ -74,6 +74,28 @@ ResourceInfo ResourceRegistry::resolve(Ipv4 ip) const {
   return info;
 }
 
+ResourceIds ResourceRegistry::resolve_ids(Ipv4 ip) const {
+  ResourceIds ids;
+  NodeId node_id = 0;
+  if (const auto pod_it = ip_to_pod_.find(ip.addr); pod_it != ip_to_pod_.end()) {
+    const Pod& pod = pods_.at(pod_it->second);
+    ids.pod = pod_it->second;
+    ids.service = pod.service;
+    node_id = pod.node;
+  } else if (const auto node_it = ip_to_node_.find(ip.addr);
+             node_it != ip_to_node_.end()) {
+    node_id = node_it->second;
+  }
+  if (node_id != 0) {
+    const auto node_it = nodes_.find(node_id);
+    if (node_it != nodes_.end()) {
+      ids.node = node_id;
+      if (vpcs_.contains(node_it->second.vpc)) ids.vpc = node_it->second.vpc;
+    }
+  }
+  return ids;
+}
+
 const std::string& ResourceRegistry::vpc_name(VpcId id) const {
   const auto it = vpcs_.find(id);
   return it == vpcs_.end() ? empty_ : it->second.name;

@@ -32,6 +32,10 @@ std::string_view l7_protocol_name(L7Protocol protocol);
 /// ("00-<trace-id>-<span-id>-<flags>"); empty on malformed input. Used so
 /// spans that saw different hops of the same trace share one association key.
 std::string extract_trace_id(std::string_view traceparent);
+/// Zero-copy flavour: a view into `traceparent` itself (valid while the
+/// header bytes are). The batch builder stores the view straight into its
+/// arena instead of round-tripping through a std::string.
+std::string_view extract_trace_id_view(std::string_view traceparent);
 
 /// Request/response classification of one message.
 enum class MessageType : u8 { kUnknown, kRequest, kResponse };

@@ -29,12 +29,16 @@ std::string_view l7_protocol_name(L7Protocol protocol) {
 }
 
 std::string extract_trace_id(std::string_view traceparent) {
+  return std::string(extract_trace_id_view(traceparent));
+}
+
+std::string_view extract_trace_id_view(std::string_view traceparent) {
   // "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex = 55 chars.
   if (traceparent.size() < 55 || !traceparent.starts_with("00-") ||
       traceparent[35] != '-') {
     return {};
   }
-  return std::string(traceparent.substr(3, 32));
+  return traceparent.substr(3, 32);
 }
 
 ProtocolRegistry ProtocolRegistry::with_builtin() {

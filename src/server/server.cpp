@@ -83,6 +83,53 @@ void DeepFlowServer::ingest_batch(std::vector<agent::Span>&& spans) {
   spans.clear();
 }
 
+void DeepFlowServer::ingest_span_batch(agent::SpanBatch& batch) {
+  const size_t n = batch.size();
+  if (n == 0) return;
+  span_batches_.fetch_add(1, std::memory_order_relaxed);
+  span_batch_spans_.fetch_add(n, std::memory_order_relaxed);
+  u64 seen = max_span_batch_spans_.load(std::memory_order_relaxed);
+  while (seen < n && !max_span_batch_spans_.compare_exchange_weak(
+                         seen, n, std::memory_order_relaxed)) {
+  }
+
+  // Dedup over the id column, one stripe lock per stripe per batch instead
+  // of one per span. The verdict vector is thread-local scratch: warm after
+  // the first flight, so the steady-state path allocates nothing here.
+  static thread_local std::vector<u8> duplicate;
+  duplicate.assign(n, 0);
+  const auto& ids = batch.span_ids();
+  const size_t stripes = dedup_stripes_.size();
+  u64 dups = 0;
+  for (size_t s = 0; s < stripes; ++s) {
+    DedupStripe& stripe = *dedup_stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (size_t i = 0; i < n; ++i) {
+      const u64 id = ids[i];
+      if (id == 0 || id % stripes != s) continue;  // id 0: dedup-exempt
+      if (!stripe.seen.insert(id).second) {
+        duplicate[i] = 1;
+        ++dups;
+      }
+    }
+  }
+  if (dups > 0) duplicate_spans_.fetch_add(dups, std::memory_order_relaxed);
+  const u64 stored = n - dups;
+  if (stored == 0) return;
+  ingested_.fetch_add(stored, std::memory_order_relaxed);
+  note_ingest_clock();
+
+  // Same per-span order as ingest(): metrics fold, then observer, then the
+  // store — only the store boundary materializes Span objects.
+  metrics_.record_batch(batch, duplicate);
+  if (ingest_observer_) {
+    for (size_t i = 0; i < n; ++i) {
+      if (duplicate[i] == 0) ingest_observer_(batch.materialize(i));
+    }
+  }
+  store_.insert_batch(batch, duplicate);
+}
+
 void DeepFlowServer::ingest_third_party(agent::Span&& span) {
   span.kind = agent::SpanKind::kThirdParty;
   ingest(std::move(span));
@@ -141,6 +188,10 @@ IngestTelemetry DeepFlowServer::ingest_telemetry() const {
   t.batches = batches_.load(std::memory_order_relaxed);
   t.batched_spans = batched_spans_.load(std::memory_order_relaxed);
   t.max_batch_spans = max_batch_spans_.load(std::memory_order_relaxed);
+  t.span_batches = span_batches_.load(std::memory_order_relaxed);
+  t.span_batch_spans = span_batch_spans_.load(std::memory_order_relaxed);
+  t.max_span_batch_spans =
+      max_span_batch_spans_.load(std::memory_order_relaxed);
   const u64 first = first_ingest_ns_.load(std::memory_order_relaxed);
   const u64 last = last_ingest_ns_.load(std::memory_order_relaxed);
   if (t.spans > 0 && last > first) {
@@ -219,6 +270,9 @@ std::string DeepFlowServer::prometheus_metrics() const {
       {"deepflow_ingest_batches", ingest.batches},
       {"deepflow_ingest_batched_spans", ingest.batched_spans},
       {"deepflow_ingest_max_batch_spans", ingest.max_batch_spans},
+      {"deepflow_ingest_span_batches", ingest.span_batches},
+      {"deepflow_ingest_span_batch_spans", ingest.span_batch_spans},
+      {"deepflow_ingest_max_span_batch_spans", ingest.max_span_batch_spans},
       {"deepflow_ingest_duplicate_spans", ingest.duplicate_spans},
       {"deepflow_ingest_agent_drain_batches", ingest.agent_drain_batches},
       {"deepflow_ingest_agent_drain_records", ingest.agent_drain_records},

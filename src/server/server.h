@@ -57,6 +57,11 @@ struct IngestTelemetry {
   u64 batches = 0;          // ingest_batch() calls
   u64 batched_spans = 0;    // spans that arrived via batches
   u64 max_batch_spans = 0;  // largest single batch
+  // Columnar (SpanBatch) ingest path — counted separately from the
+  // row-batch path so existing batching assertions stay meaningful.
+  u64 span_batches = 0;        // ingest_span_batch() calls
+  u64 span_batch_spans = 0;    // spans that arrived in columnar batches
+  u64 max_span_batch_spans = 0;  // largest single columnar batch
   double spans_per_sec = 0; // over the first..last ingest wall-clock window
   /// Redelivered spans filtered by the idempotent-ingest seen-set. An
   /// at-least-once transport (retries, duplicate faults) plus this counter
@@ -114,6 +119,13 @@ class DeepFlowServer {
   /// Batched transport endpoint: store a flight of spans in one call
   /// (records batch-size telemetry). Thread-safe.
   void ingest_batch(std::vector<agent::Span>&& spans);
+
+  /// Columnar transport endpoint: consume one SpanBatch flight in place.
+  /// Dedup reads the id column, the metrics fold reads the integer columns,
+  /// and only rows that clear dedup are materialized — at the store
+  /// boundary, where a row is built anyway. The caller keeps ownership of
+  /// the (cleared) batch and reuses it. Thread-safe like ingest().
+  void ingest_span_batch(agent::SpanBatch& batch);
 
   /// Third-party (OpenTelemetry-style) span integration.
   void ingest_third_party(agent::Span&& span);
@@ -260,6 +272,9 @@ class DeepFlowServer {
   std::atomic<u64> batches_{0};
   std::atomic<u64> batched_spans_{0};
   std::atomic<u64> max_batch_spans_{0};
+  std::atomic<u64> span_batches_{0};
+  std::atomic<u64> span_batch_spans_{0};
+  std::atomic<u64> max_span_batch_spans_{0};
   std::atomic<u64> first_ingest_ns_{0};  // steady-clock ns; 0 = none yet
   std::atomic<u64> last_ingest_ns_{0};
   // Agent-side drain counters (single-threaded accumulation via

@@ -126,9 +126,7 @@ bool SpanStore::claim_id(u64 id, size_t shard_idx) {
   return stripe.shard_of.emplace(id, static_cast<u32>(shard_idx)).second;
 }
 
-u64 SpanStore::insert(agent::Span span) {
-  const size_t idx = shard_index(span);
-  Shard& shard = *shards_[idx];
+void SpanStore::prepare_span_id(agent::Span& span, size_t idx) {
   // Defensive uniqueness: a colliding or zero id gets remapped into a
   // store-private range (tagged with the shard index so remaps stay unique
   // across shards) rather than silently shadowing an existing row.
@@ -138,17 +136,20 @@ u64 SpanStore::insert(agent::Span span) {
   // different shards and a shard-local check would miss the collision. The
   // id is claimed before the row is inserted; readers that win the race see
   // the directory entry but no row yet — same as an incomplete insert.
-  if (!directory_.empty()) {
-    // Recovered warm ids are pre-claimed (ctor), so collisions with the
-    // previous lifetime's spans remap exactly like hot collisions.
-    if (span.span_id == 0 || !claim_id(span.span_id, idx)) {
-      span.span_id =
-          (u64{1} << 56) | (static_cast<u64>(idx) << 40) |
-          (shard.remap_counter.fetch_add(1, std::memory_order_relaxed) + 1);
-      claim_id(span.span_id, idx);  // remap range: always succeeds
-    }
+  if (directory_.empty()) return;
+  // Recovered warm ids are pre-claimed (ctor), so collisions with the
+  // previous lifetime's spans remap exactly like hot collisions.
+  if (span.span_id == 0 || !claim_id(span.span_id, idx)) {
+    Shard& shard = *shards_[idx];
+    span.span_id =
+        (u64{1} << 56) | (static_cast<u64>(idx) << 40) |
+        (shard.remap_counter.fetch_add(1, std::memory_order_relaxed) + 1);
+    claim_id(span.span_id, idx);  // remap range: always succeeds
   }
-  std::unique_lock lock(shard.mu);
+}
+
+std::pair<u64, bool> SpanStore::insert_locked(size_t idx, agent::Span&& span) {
+  Shard& shard = *shards_[idx];
   if (directory_.empty() &&
       (span.span_id == 0 || shard.rows.contains(span.span_id) ||
        warm_ids_.contains(span.span_id))) {
@@ -175,12 +176,53 @@ u64 SpanStore::insert(agent::Span span) {
     seal = !storage_->config().background_flush &&
            shard.unflushed.size() >= storage_->config().segment_spans;
   }
+  return {id, seal};
+}
+
+u64 SpanStore::insert(agent::Span span) {
+  const size_t idx = shard_index(span);
+  prepare_span_id(span, idx);
+  std::unique_lock lock(shards_[idx]->mu);
+  const auto [id, seal] = insert_locked(idx, std::move(span));
   lock.unlock();
   // Inline seal (no background thread): the inserting thread pays the
   // flush, like a memtable rotation. Racing inserters are fine — whoever
   // gets there first steals the batch, the others see an empty window.
   if (seal) flush_shard(idx, /*force=*/false);
   return id;
+}
+
+size_t SpanStore::insert_batch(const agent::SpanBatch& batch,
+                               const std::vector<u8>& skip) {
+  const size_t n = batch.size();
+  size_t stored = 0;
+  size_t cur = ~size_t{0};
+  bool seal_cur = false;
+  std::unique_lock<std::shared_mutex> lock;
+  const auto close_shard = [&] {
+    if (lock.owns_lock()) lock.unlock();
+    if (seal_cur) {
+      flush_shard(cur, /*force=*/false);
+      seal_cur = false;
+    }
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (i < skip.size() && skip[i] != 0) continue;
+    agent::Span span = batch.materialize(i);
+    const size_t idx = shard_index(span);
+    // The directory claim takes only a directory-stripe mutex (never a
+    // shard lock), so claiming while a shard lock is held cannot deadlock.
+    prepare_span_id(span, idx);
+    if (idx != cur) {
+      close_shard();
+      lock = std::unique_lock(shards_[idx]->mu);
+      cur = idx;
+    }
+    seal_cur |= insert_locked(idx, std::move(span)).second;
+    ++stored;
+  }
+  close_shard();
+  return stored;
 }
 
 void SpanStore::index_span(Shard& shard, const SpanRow& row, u64 id) {

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "agent/span.h"
+#include "agent/span_batch.h"
 #include "server/store_backend.h"
 #include "server/tag_encoding.h"
 #include "storage/segment_store.h"
@@ -79,6 +80,15 @@ class SpanStore : public SpanReadBackend {
 
   /// Encode tags and store the span. Returns the span id. Thread-safe.
   u64 insert(agent::Span span);
+
+  /// Columnar-batch append: materialize and store every row of `batch`
+  /// whose `skip` byte is zero (the server passes dedup verdicts). Each
+  /// span goes through exactly the insert() logic, but the shard lock is
+  /// held across runs of consecutive same-shard spans instead of being
+  /// retaken per span (a single-shard store locks once per batch). Returns
+  /// the number of spans stored. Thread-safe.
+  size_t insert_batch(const agent::SpanBatch& batch,
+                      const std::vector<u8>& skip);
 
   /// Shard-routed point lookup: the id directory names the owning shard, so
   /// exactly one shard lock is taken (nullptr on unknown ids without
@@ -249,6 +259,13 @@ class SpanStore : public SpanReadBackend {
   /// claimed the id (the uniqueness arbiter for multi-shard stores, where
   /// content-hash placement can put colliding ids on different shards).
   bool claim_id(u64 id, size_t shard_idx);
+  /// Multi-shard id claim/remap (the pre-lock half of insert()); no-op for
+  /// single-shard stores, whose remap check needs the shard lock.
+  void prepare_span_id(agent::Span& span, size_t idx);
+  /// The under-lock half of insert(): encode, emplace, index, and stage for
+  /// flush. Caller holds shards_[idx]->mu exclusively. Returns the stored
+  /// id and whether the caller must seal (flush_shard) after unlocking.
+  std::pair<u64, bool> insert_locked(size_t idx, agent::Span&& span);
   /// Index an inserted row (must already live in shard.rows: the secondary
   /// indexes hold a pointer to it).
   static void index_span(Shard& shard, const SpanRow& row, u64 id);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "agent/span.h"
+#include "common/interner.h"
 #include "netsim/resource.h"
 
 namespace deepflow::server {
@@ -50,6 +51,13 @@ class TagEncoder {
 /// Fig 14's three strategies.
 enum class EncoderKind : u8 { kDirect, kLowCardinality, kSmart };
 
-std::unique_ptr<TagEncoder> make_encoder(EncoderKind kind);
+/// `interner` backs the low-cardinality dictionary (handles are dense and
+/// assigned in first-intern order, so a private interner reproduces the
+/// historical dictionary ids exactly). Passing a shared one — e.g. the
+/// SpanBatch string registry — lets the tag dictionary and the ingest
+/// batches share string storage. Ignored by the other encoders. nullptr
+/// creates a private interner.
+std::unique_ptr<TagEncoder> make_encoder(
+    EncoderKind kind, std::shared_ptr<StringInterner> interner = nullptr);
 
 }  // namespace deepflow::server

@@ -1,0 +1,178 @@
+// Allocation-regression harness for the zero-copy ingest hot path.
+//
+// This suite lives in its OWN test binary: it replaces the global operator
+// new/delete with counting versions, which must not leak into the other
+// suites. The counters pin the PR's core claim — a WARM SpanBatch (capacity
+// and arena blocks retained by clear()) refills with (almost) zero heap
+// allocations per span. 10'000 spans per round, a handful of allocations
+// allowed in total.
+//
+// Skipped under ASan/TSan: the sanitizer runtimes interpose allocation
+// themselves and the replacement operators would fight them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "agent/span_batch.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DF_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DF_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef DF_UNDER_SANITIZER
+#define DF_UNDER_SANITIZER 0
+#endif
+
+namespace {
+std::atomic<std::size_t> g_heap_allocs{0};
+}  // namespace
+
+#if !DF_UNDER_SANITIZER
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#endif  // !DF_UNDER_SANITIZER
+
+namespace deepflow::agent {
+namespace {
+
+constexpr size_t kSpansPerRound = 10'000;
+/// Allowed heap allocations per warm 10k-span round. The steady state is
+/// zero; the slack absorbs harmless noise (a lazy runtime init, a gtest
+/// bookkeeping node) without letting a per-span allocation (>= 10'000) slip
+/// through unnoticed.
+constexpr size_t kAllowedAllocsPerRound = 32;
+
+SpanBatch::Draft make_draft(u64 id) {
+  // Views point at static storage — exactly like the production path, where
+  // they point at parser/session storage the batch must copy or intern.
+  SpanBatch::Draft draft;
+  draft.span_id = id;
+  draft.kind = SpanKind::kSystem;
+  draft.systrace_id = id;
+  draft.x_request_id = "req-id-0123456789abcdef";
+  draft.otel_trace_id = "0af7651916cd43dd8448eb211c80319c";
+  draft.req_tcp_seq = static_cast<TcpSeq>(1000 + id);
+  draft.resp_tcp_seq = static_cast<TcpSeq>(2000 + id);
+  draft.host = (id % 2) ? "node-a" : "node-b";
+  draft.from_server_side = (id % 2) == 0;
+  draft.pid = 5;
+  draft.tid = 50;
+  draft.start_ts = 1'000 * id;
+  draft.end_ts = 1'000 * id + 500;
+  draft.protocol = protocols::L7Protocol::kHttp1;
+  draft.method = (id % 3) ? "GET" : "POST";
+  draft.endpoint = (id % 5) ? "/cart" : "/checkout";
+  draft.status_code = 200;
+  draft.tuple = FiveTuple{Ipv4{0x0a000001}, Ipv4{0x0a000002}, 40000, 80,
+                          L4Proto::kTcp};
+  draft.int_tags.vpc_id = 3;
+  draft.int_tags.client_ip = draft.tuple.src_ip.addr;
+  draft.int_tags.server_ip = draft.tuple.dst_ip.addr;
+  return draft;
+}
+
+void fill(SpanBatch& batch) {
+  for (u64 id = 1; id <= kSpansPerRound; ++id) batch.push(make_draft(id));
+}
+
+TEST(AllocRegression, WarmBatchRefillsWithoutHeapAllocations) {
+#if DF_UNDER_SANITIZER
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#else
+  auto interner = std::make_shared<StringInterner>();
+  SpanBatch batch(interner);
+  // Round 0 (cold): vectors grow, arena chains blocks, interner learns the
+  // dictionary. All of that capacity is retained by clear().
+  fill(batch);
+  batch.clear();
+
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    fill(batch);
+    const std::size_t during =
+        g_heap_allocs.load(std::memory_order_relaxed) - before;
+    std::printf("  warm round %d: %zu heap allocations / %zu spans\n", round,
+                during, kSpansPerRound);
+    EXPECT_LE(during, kAllowedAllocsPerRound)
+        << "round " << round << ": " << during << " heap allocations for "
+        << kSpansPerRound << " spans — the zero-copy contract regressed";
+    batch.clear();
+    EXPECT_EQ(batch.size(), 0u);
+  }
+#endif
+}
+
+TEST(AllocRegression, ColdFillAllocatesBoundedlyNotPerSpan) {
+#if DF_UNDER_SANITIZER
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#else
+  auto interner = std::make_shared<StringInterner>();
+  const std::size_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  SpanBatch batch(interner);
+  fill(batch);
+  const std::size_t during =
+      g_heap_allocs.load(std::memory_order_relaxed) - before;
+  // Cold growth is geometric: ~24 columns x log2(10k) doublings plus arena
+  // blocks and the small dictionary — hundreds, not one-per-span.
+  EXPECT_LT(during, kSpansPerRound / 10)
+      << during << " allocations filling a cold batch";
+#endif
+}
+
+TEST(AllocRegression, ColumnReadsAreAllocationFree) {
+#if DF_UNDER_SANITIZER
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#else
+  auto interner = std::make_shared<StringInterner>();
+  SpanBatch batch(interner);
+  fill(batch);
+  const std::size_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  u64 checksum = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    checksum += batch.span_ids()[i] + batch.duration(i) +
+                batch.host(i).size() + batch.x_request_id(i).size() +
+                static_cast<u64>(batch.ok(i));
+  }
+  EXPECT_NE(checksum, 0u);
+  EXPECT_EQ(g_heap_allocs.load(std::memory_order_relaxed), before)
+      << "reading columns (the dedup/metrics-fold access pattern) allocated";
+#endif
+}
+
+}  // namespace
+}  // namespace deepflow::agent

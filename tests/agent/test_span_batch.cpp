@@ -1,0 +1,216 @@
+#include "agent/span_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "agent/span_builder.h"
+
+namespace deepflow::agent {
+namespace {
+
+Span make_span(u64 id) {
+  Span span;
+  span.span_id = id;
+  span.kind = SpanKind::kNetwork;
+  span.systrace_id = 40 + id;
+  span.pseudo_thread_id = 7;
+  span.x_request_id = "xrid-" + std::to_string(id);
+  span.otel_trace_id = "0af7651916cd43dd8448eb211c80319c";
+  span.req_tcp_seq = 1000 + id;
+  span.resp_tcp_seq = 2000 + id;
+  span.host = "node-" + std::to_string(id % 3);
+  span.from_server_side = (id % 2) == 0;
+  span.device_id = 9;
+  span.device_name = "tor-1";
+  span.pid = 5;
+  span.tid = 50;
+  span.start_ts = 1'000 * id;
+  span.end_ts = 1'000 * id + 500;
+  span.protocol = protocols::L7Protocol::kHttp1;
+  span.method = "GET";
+  span.endpoint = "/cart";
+  span.status_code = 200;
+  span.ok = (id % 5) != 0;
+  span.incomplete = (id % 7) == 0;
+  span.tuple = FiveTuple{Ipv4::parse("10.0.0.1"), Ipv4::parse("10.0.0.2"),
+                         40000, 80, L4Proto::kTcp};
+  span.int_tags.vpc_id = 3;
+  span.int_tags.client_ip = span.tuple.src_ip.addr;
+  span.int_tags.server_ip = span.tuple.dst_ip.addr;
+  span.parent_span_id = id / 2;
+  return span;
+}
+
+void expect_span_eq(const Span& a, const Span& b) {
+  EXPECT_EQ(a.span_id, b.span_id);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.systrace_id, b.systrace_id);
+  EXPECT_EQ(a.pseudo_thread_id, b.pseudo_thread_id);
+  EXPECT_EQ(a.x_request_id, b.x_request_id);
+  EXPECT_EQ(a.otel_trace_id, b.otel_trace_id);
+  EXPECT_EQ(a.req_tcp_seq, b.req_tcp_seq);
+  EXPECT_EQ(a.resp_tcp_seq, b.resp_tcp_seq);
+  EXPECT_EQ(a.host, b.host);
+  EXPECT_EQ(a.from_server_side, b.from_server_side);
+  EXPECT_EQ(a.device_id, b.device_id);
+  EXPECT_EQ(a.device_name, b.device_name);
+  EXPECT_EQ(a.pid, b.pid);
+  EXPECT_EQ(a.tid, b.tid);
+  EXPECT_EQ(a.start_ts, b.start_ts);
+  EXPECT_EQ(a.end_ts, b.end_ts);
+  EXPECT_EQ(a.protocol, b.protocol);
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.endpoint, b.endpoint);
+  EXPECT_EQ(a.status_code, b.status_code);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.incomplete, b.incomplete);
+  EXPECT_EQ(a.lost_placeholder, b.lost_placeholder);
+  EXPECT_EQ(a.tuple, b.tuple);
+  EXPECT_EQ(a.int_tags.vpc_id, b.int_tags.vpc_id);
+  EXPECT_EQ(a.int_tags.client_ip, b.int_tags.client_ip);
+  EXPECT_EQ(a.int_tags.server_ip, b.int_tags.server_ip);
+  EXPECT_EQ(a.tags, b.tags);
+  EXPECT_EQ(a.parent_span_id, b.parent_span_id);
+}
+
+TEST(SpanBatch, PushSpanMaterializeRoundTrip) {
+  auto interner = std::make_shared<StringInterner>();
+  SpanBatch batch(interner);
+  std::vector<Span> originals;
+  for (u64 id = 1; id <= 64; ++id) originals.push_back(make_span(id));
+  for (const Span& span : originals) batch.push_span(span);
+  ASSERT_EQ(batch.size(), originals.size());
+  for (size_t i = 0; i < originals.size(); ++i) {
+    expect_span_eq(batch.materialize(i), originals[i]);
+  }
+}
+
+TEST(SpanBatch, ColumnsMatchRows) {
+  auto interner = std::make_shared<StringInterner>();
+  SpanBatch batch(interner);
+  for (u64 id = 1; id <= 16; ++id) batch.push_span(make_span(id));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Span row = batch.materialize(i);
+    EXPECT_EQ(batch.span_ids()[i], row.span_id);
+    EXPECT_EQ(batch.kinds()[i], row.kind);
+    EXPECT_EQ(batch.start_ts()[i], row.start_ts);
+    EXPECT_EQ(batch.end_ts()[i], row.end_ts);
+    EXPECT_EQ(batch.duration(i), row.duration());
+    EXPECT_EQ(batch.from_server_side(i), row.from_server_side);
+    EXPECT_EQ(batch.ok(i), row.ok);
+    EXPECT_EQ(batch.incomplete(i), row.incomplete);
+    EXPECT_EQ(batch.host(i), row.host);
+    EXPECT_EQ(batch.device_name(i), row.device_name);
+    EXPECT_EQ(batch.method(i), row.method);
+    EXPECT_EQ(batch.endpoint(i), row.endpoint);
+    EXPECT_EQ(batch.x_request_id(i), row.x_request_id);
+    EXPECT_EQ(batch.otel_trace_id(i), row.otel_trace_id);
+    EXPECT_EQ(batch.tuples()[i], row.tuple);
+  }
+}
+
+TEST(SpanBatch, LowCardinalityStringsShareHandles) {
+  auto interner = std::make_shared<StringInterner>();
+  SpanBatch batch(interner);
+  for (u64 id = 0; id < 100; ++id) {
+    Span span = make_span(id);
+    span.host = "same-host";
+    span.method = "GET";
+    batch.push_span(span);
+  }
+  for (size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_EQ(batch.host_handle(i), batch.host_handle(0));
+  }
+  // 100 spans, but the dictionary holds each distinct string once.
+  EXPECT_LT(interner->size(), 10u);
+}
+
+TEST(SpanBatch, ExtraTagsSurviveRoundTrip) {
+  auto interner = std::make_shared<StringInterner>();
+  SpanBatch batch(interner);
+  Span with_tags = make_span(1);
+  with_tags.tags = {{"team", "pay"}, {"version", "v2"}};
+  batch.push_span(make_span(2));  // row 0: no tags
+  batch.push_span(with_tags);     // row 1: sparse side channel
+  batch.push_span(make_span(3));  // row 2: no tags
+  EXPECT_TRUE(batch.materialize(0).tags.empty());
+  EXPECT_EQ(batch.materialize(1).tags, with_tags.tags);
+  EXPECT_TRUE(batch.materialize(2).tags.empty());
+}
+
+TEST(SpanBatch, ClearKeepsCapacityWarm) {
+  auto interner = std::make_shared<StringInterner>();
+  SpanBatch batch(interner, 16);
+  for (u64 id = 1; id <= 256; ++id) batch.push_span(make_span(id));
+  const size_t arena_capacity = batch.arena_capacity_bytes();
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.arena_capacity_bytes(), arena_capacity);  // blocks kept
+  // Refill to the same occupancy: no arena growth in steady state.
+  for (u64 id = 1; id <= 256; ++id) batch.push_span(make_span(id));
+  EXPECT_EQ(batch.size(), 256u);
+  EXPECT_EQ(batch.arena_capacity_bytes(), arena_capacity);
+  expect_span_eq(batch.materialize(0), make_span(1));
+}
+
+class SpanBatchBuilderTest : public ::testing::Test {
+ protected:
+  SpanBatchBuilderTest() {
+    const auto vpc = registry_.create_vpc("prod");
+    const auto node = registry_.create_node(vpc, "node-1");
+    registry_.create_pod(node, "client-0", Ipv4::parse("10.0.0.1"));
+    registry_.create_pod(node, "server-0", Ipv4::parse("10.0.0.2"));
+  }
+
+  Session make_session(u64 k) {
+    Session session;
+    session.flow_key = k;
+    session.request.record.enter_ts = 1'000 * k;
+    session.request.record.exit_ts = 1'000 * k + 500;
+    session.request.record.tcp_seq = 111 + k;
+    session.request.record.pid = 5;
+    session.request.record.tid = 50;
+    session.request.record.direction = kernelsim::Direction::kIngress;
+    session.request.record.tuple =
+        FiveTuple{Ipv4::parse("10.0.0.1"), Ipv4::parse("10.0.0.2"), 40000, 80,
+                  L4Proto::kTcp};
+    session.request.parsed.type = protocols::MessageType::kRequest;
+    session.request.parsed.protocol = protocols::L7Protocol::kHttp1;
+    session.request.parsed.method = "GET";
+    session.request.parsed.endpoint = "/cart";
+    session.request.parsed.x_request_id = "xrid-" + std::to_string(k);
+    session.request.systrace_id = 77 + k;
+
+    MessageData response;
+    response.record.enter_ts = 1'000 * k + 3'000;
+    response.record.exit_ts = 1'000 * k + 3'500;
+    response.record.tcp_seq = 222 + k;
+    response.parsed.type = protocols::MessageType::kResponse;
+    response.parsed.status_code = 200;
+    response.parsed.ok = true;
+    session.response = std::move(response);
+    return session;
+  }
+
+  netsim::ResourceRegistry registry_;
+};
+
+TEST_F(SpanBatchBuilderTest, BuildIntoMatchesBuildFieldForField) {
+  SpanBuilder builder("node-1", &registry_);
+  auto interner = std::make_shared<StringInterner>();
+  SpanBatch batch(interner);
+  for (u64 k = 1; k <= 8; ++k) {
+    const Session session = make_session(k);
+    Span reference = builder.build(session);
+    builder.build_into(session, batch);
+    // Each build draws a fresh global span id; align before comparing.
+    Span from_batch = batch.materialize(batch.size() - 1);
+    reference.span_id = from_batch.span_id;
+    expect_span_eq(from_batch, reference);
+  }
+}
+
+}  // namespace
+}  // namespace deepflow::agent

@@ -1,0 +1,108 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deepflow {
+namespace {
+
+TEST(Arena, StoreCopiesAndReturnsStableView) {
+  Arena arena;
+  std::string source = "hello-arena";
+  const std::string_view view = arena.store(source);
+  EXPECT_EQ(view, "hello-arena");
+  EXPECT_NE(view.data(), source.data());  // a copy, not an alias
+  source.assign("clobbered!!");
+  EXPECT_EQ(view, "hello-arena");
+}
+
+TEST(Arena, EmptyStringCostsNothing) {
+  Arena arena;
+  const std::string_view view = arena.store("");
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.block_count(), 0u);
+}
+
+TEST(Arena, PointerStabilityAcrossGrowth) {
+  // Unlike a string/vector backing store, chaining new blocks must never
+  // move bytes already handed out.
+  Arena arena(64);
+  std::vector<std::string_view> views;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 200; ++i) {
+    expected.push_back("value-" + std::to_string(i));
+    views.push_back(arena.store(expected.back()));
+  }
+  EXPECT_GT(arena.block_count(), 1u);  // growth definitely happened
+  for (size_t i = 0; i < views.size(); ++i) EXPECT_EQ(views[i], expected[i]);
+}
+
+TEST(Arena, GeometricGrowthBoundsBlockCount) {
+  Arena arena(64);
+  for (int i = 0; i < 10'000; ++i) arena.store("0123456789abcdef");
+  // 160 KB of payload from a 64-byte first block: doubling needs ~12 blocks;
+  // linear chaining would need thousands.
+  EXPECT_LE(arena.block_count(), 16u);
+  EXPECT_GE(arena.capacity_bytes(), arena.used_bytes());
+}
+
+TEST(Arena, ResetKeepsCapacityAndReusesBlocks) {
+  Arena arena(64);
+  for (int i = 0; i < 500; ++i) arena.store("some-request-id-payload");
+  const size_t capacity = arena.capacity_bytes();
+  const size_t blocks = arena.block_count();
+
+  arena.reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+
+  // Refill to the same occupancy: steady state must not grow.
+  for (int i = 0; i < 500; ++i) arena.store("some-request-id-payload");
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+  EXPECT_EQ(arena.block_count(), blocks);
+}
+
+TEST(Arena, ReleaseFreesEverything) {
+  Arena arena(64);
+  arena.store("payload");
+  arena.release();
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+  EXPECT_EQ(arena.block_count(), 0u);
+  // Still usable afterwards.
+  EXPECT_EQ(arena.store("again"), "again");
+}
+
+TEST(Arena, AlignedAllocation) {
+  Arena arena(64);
+  arena.store("x");  // misalign the bump pointer
+  void* p8 = arena.alloc(16, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p8) % 8, 0u);
+  arena.store("yy");
+  void* p64 = arena.alloc(64, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p64) % 64, 0u);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(64);
+  const std::string big(100'000, 'z');
+  const std::string_view view = arena.store(big);
+  EXPECT_EQ(view.size(), big.size());
+  EXPECT_EQ(view, big);
+  // Small allocations still work afterwards.
+  EXPECT_EQ(arena.store("tail"), "tail");
+}
+
+TEST(Arena, MoveTransfersStorage) {
+  Arena a(64);
+  const std::string_view view = a.store("moved-payload");
+  Arena b = std::move(a);
+  EXPECT_EQ(view, "moved-payload");  // bytes owned by b now, still stable
+  EXPECT_GE(b.used_bytes(), view.size());
+}
+
+}  // namespace
+}  // namespace deepflow

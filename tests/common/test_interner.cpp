@@ -1,0 +1,118 @@
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rand.h"
+
+namespace deepflow {
+namespace {
+
+TEST(StringInterner, HandlesAreDenseInFirstInternOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.intern("alpha"), 0u);
+  EXPECT_EQ(interner.intern("beta"), 1u);
+  EXPECT_EQ(interner.intern("gamma"), 2u);
+  // Re-interning returns the original handle, never a new one.
+  EXPECT_EQ(interner.intern("beta"), 1u);
+  EXPECT_EQ(interner.intern("alpha"), 0u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(StringInterner, LookupRoundTrips) {
+  StringInterner interner;
+  const u32 h = interner.intern("service-a.default.svc");
+  EXPECT_EQ(interner.lookup(h), "service-a.default.svc");
+  EXPECT_EQ(interner.lookup(12345), "");  // out of range: empty view
+  EXPECT_EQ(interner.lookup(StringInterner::kInvalidHandle), "");
+}
+
+TEST(StringInterner, FindNeverAssigns) {
+  StringInterner interner;
+  EXPECT_EQ(interner.find("ghost"), StringInterner::kInvalidHandle);
+  EXPECT_EQ(interner.size(), 0u);
+  const u32 h = interner.intern("real");
+  EXPECT_EQ(interner.find("real"), h);
+}
+
+TEST(StringInterner, ViewsStayValidAcrossGrowth) {
+  StringInterner interner;
+  const std::string_view early = interner.lookup(interner.intern("early"));
+  for (int i = 0; i < 10'000; ++i) {
+    interner.intern("filler-" + std::to_string(i));
+  }
+  EXPECT_EQ(early, "early");  // deque backing never relocates
+}
+
+TEST(StringInterner, CollisionFuzzNoDuplicateHandles) {
+  // Adversarial mix: many distinct strings, many repeats, including pairs
+  // that are prefixes/suffixes of each other. Every distinct string must get
+  // exactly one handle and every handle must resolve to its string.
+  StringInterner interner;
+  Rng rng(0xfeed5eed);
+  std::unordered_map<std::string, u32> expected;
+  for (int round = 0; round < 50'000; ++round) {
+    const u64 draw = rng.next() % 2'000;
+    std::string text = "k" + std::to_string(draw);
+    if (draw % 3 == 0) text += text;          // prefix-sharing variant
+    if (draw % 7 == 0) text = "";             // empty string is a value too
+    const u32 handle = interner.intern(text);
+    const auto [it, fresh] = expected.emplace(text, handle);
+    if (!fresh) EXPECT_EQ(it->second, handle) << "duplicate handle for " << text;
+    EXPECT_EQ(interner.lookup(handle), text);
+  }
+  EXPECT_EQ(interner.size(), expected.size());
+  // Handles are a dense 0..n-1 permutation: no gaps, no duplicates.
+  std::unordered_set<u32> handles;
+  for (const auto& [text, handle] : expected) {
+    EXPECT_LT(handle, expected.size());
+    EXPECT_TRUE(handles.insert(handle).second);
+  }
+}
+
+TEST(StringInterner, ConcurrentInternAndLookup) {
+  // The TSan gate runs this: writers intern overlapping key sets while
+  // readers resolve handles they have already seen. Handles must agree
+  // across threads and resolved views must match.
+  StringInterner interner;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 20'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&interner, t] {
+      Rng rng(1000 + t);
+      std::unordered_map<std::string, u32> seen;
+      for (int i = 0; i < kRounds; ++i) {
+        const std::string key = "shared-" + std::to_string(rng.next() % 257);
+        const u32 handle = interner.intern(key);
+        const auto [it, fresh] = seen.emplace(key, handle);
+        if (!fresh && it->second != handle) std::abort();
+        if (interner.lookup(handle) != key) std::abort();
+        if (i % 16 == 0) {
+          const u32 found = interner.find(key);
+          if (found != handle) std::abort();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(interner.size(), 257u);
+  for (u32 h = 0; h < interner.size(); ++h) {
+    EXPECT_EQ(interner.find(interner.lookup(h)), h);
+  }
+}
+
+TEST(StringInterner, ApproxBytesGrowsWithContent) {
+  StringInterner interner;
+  const size_t empty = interner.approx_bytes();
+  interner.intern(std::string(1000, 'x'));
+  EXPECT_GE(interner.approx_bytes(), empty + 1000);
+}
+
+}  // namespace
+}  // namespace deepflow

@@ -114,6 +114,51 @@ TEST_F(TagEncodingTest, UnknownEndpointsEncodeGracefully) {
   }
 }
 
+TEST_F(TagEncodingTest, SharedInternerReproducesPrivateDictionaryBlobs) {
+  // The low-cardinality encoder folded its private dictionary onto the
+  // shared StringInterner; handles are assigned densely in first-intern
+  // order, so a fresh shared interner must reproduce the historical blobs
+  // byte for byte.
+  auto shared = std::make_shared<StringInterner>();
+  auto historical = make_encoder(EncoderKind::kLowCardinality);
+  auto folded = make_encoder(EncoderKind::kLowCardinality, shared);
+  agent::Span external = make_span();
+  external.tuple.dst_ip = Ipv4::parse("8.8.8.8");
+  external.int_tags.server_ip = external.tuple.dst_ip.addr;
+  for (const agent::Span& span : {make_span(), external, make_span()}) {
+    EXPECT_EQ(historical->encode(span, registry_),
+              folded->encode(span, registry_));
+  }
+  EXPECT_EQ(historical->auxiliary_bytes(), folded->auxiliary_bytes());
+}
+
+TEST_F(TagEncodingTest, PrePopulatedInternerStillRoundTrips) {
+  // An interner already holding agent-side strings (hosts, methods) hands
+  // the encoder different ids than a fresh dictionary would — the decoded
+  // tag set must be identical regardless.
+  auto shared = std::make_shared<StringInterner>();
+  shared->intern("node-7");
+  shared->intern("GET");
+  shared->intern("checkout");  // collides with a tag value the span carries
+  auto encoder = make_encoder(EncoderKind::kLowCardinality, shared);
+  const agent::Span span = make_span();
+  const std::string blob = encoder->encode(span, registry_);
+  EXPECT_EQ(encoder->decode(blob, span, registry_),
+            materialize_tags(span, registry_));
+}
+
+TEST_F(TagEncodingTest, EncodersSharingOneInternerStayConsistent) {
+  // Several shard encoders share one deployment-wide interner; ids minted
+  // through one must resolve through another.
+  auto shared = std::make_shared<StringInterner>();
+  auto a = make_encoder(EncoderKind::kLowCardinality, shared);
+  auto b = make_encoder(EncoderKind::kLowCardinality, shared);
+  const agent::Span span = make_span();
+  const std::string blob = a->encode(span, registry_);
+  EXPECT_EQ(b->decode(blob, span, registry_),
+            materialize_tags(span, registry_));
+}
+
 TEST_F(TagEncodingTest, DirectDecoderIgnoresCorruptTail) {
   auto encoder = make_encoder(EncoderKind::kDirect);
   std::string blob = encoder->encode(make_span(), registry_);

@@ -1,0 +1,179 @@
+// Overload-control characterization (ISSUE 9): a fixed byte budget sized to
+// the 1x offered load, then the same server pushed at 1x/2x/5x/10x that
+// load. Per load the bench reports ingest throughput, bytes actually
+// retained against the budget, anomaly recall (errors + incomplete sessions
+// that survived the squeeze), and the stored fraction of offered spans —
+// the degradation-ladder tradeoff curve in one table.
+//
+// Spans arrive through DeepFlowServer::try_ingest_batch, the refusal-aware
+// entry point the SpanTransport uses, with a bounded per-batch retry loop
+// standing in for the transport's retry-after handling.
+#include <cinttypes>
+#include <unordered_set>
+
+#include "bench/bench_util.h"
+#include "server/server.h"
+
+namespace deepflow {
+namespace {
+
+constexpr size_t kBatchSpans = 256;
+constexpr int kRetryAttempts = 3;
+
+struct BenchScale {
+  size_t base_spans = 40'000;  // the 1x offered load
+  std::vector<u32> multipliers = {1, 2, 5, 10};
+};
+
+BenchScale scale_for(const bench::BenchArgs& args) {
+  BenchScale scale;
+  if (args.quick) {
+    scale.base_spans = 5'000;
+    scale.multipliers = {1, 5};
+  }
+  return scale;
+}
+
+/// Same anomaly mix as tests/integration/test_overload.cpp: ok derives from
+/// the synthetic status code (2% errors) plus a thin incomplete slice.
+std::vector<agent::Span> offered_spans(size_t count,
+                                       const bench::SyntheticCluster& cluster,
+                                       u64 seed) {
+  Rng rng(seed);
+  std::vector<agent::Span> spans;
+  spans.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    agent::Span span = bench::make_synthetic_span(i + 1, rng, cluster);
+    span.ok = span.status_code < 500;
+    span.incomplete = (i % 97) == 0;
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+server::ServerConfig governed_config(size_t budget_bytes) {
+  server::ServerConfig config;
+  config.governor.enabled = true;
+  config.governor.budget_bytes = budget_bytes;
+  config.governor.seal_interval_spans = 512;
+  // The soak ladder: refusal reserves the top 20% of the budget for
+  // anomalies (see tests/integration/test_overload.cpp).
+  config.governor.seal_enter = 0.40;
+  config.governor.downsample_enter = 0.50;
+  config.governor.shed_enter = 0.65;
+  config.governor.refuse_enter = 0.80;
+  return config;
+}
+
+struct LoadResult {
+  u32 multiplier = 0;
+  u64 offered = 0;
+  double seconds = 0;
+  size_t retained_bytes = 0;
+  u64 stored = 0;
+  double anomaly_recall = 1.0;
+  OverloadLevel final_level = OverloadLevel::kNormal;
+};
+
+LoadResult run_load(u32 multiplier, size_t base_spans, size_t budget_bytes,
+                    const bench::SyntheticCluster& cluster) {
+  const auto spans =
+      offered_spans(base_spans * multiplier, cluster, 77 + multiplier);
+  server::DeepFlowServer server(&cluster.registry,
+                                governed_config(budget_bytes));
+
+  LoadResult result;
+  result.multiplier = multiplier;
+  result.offered = spans.size();
+  const bench::WallTimer timer;
+  for (size_t base = 0; base < spans.size(); base += kBatchSpans) {
+    const auto end =
+        spans.begin() +
+        static_cast<ptrdiff_t>(std::min(base + kBatchSpans, spans.size()));
+    std::vector<agent::Span> batch(
+        spans.begin() + static_cast<ptrdiff_t>(base), end);
+    for (int attempt = 0; attempt < kRetryAttempts; ++attempt) {
+      if (server.try_ingest_batch(batch).status !=
+          agent::SinkStatus::kOverloaded) {
+        break;
+      }
+      batch.assign(spans.begin() + static_cast<ptrdiff_t>(base), end);
+    }
+  }
+  result.seconds = timer.elapsed_seconds();
+  result.retained_bytes = server.governor().total_bytes();
+  result.stored = server.ingest_telemetry().spans;
+  result.final_level = server.governor().level();
+
+  std::unordered_set<u64> stored_ids;
+  for (const agent::Span& s : server.query_span_list(0, ~TimestampNs{0})) {
+    stored_ids.insert(s.span_id);
+  }
+  u64 anomalous = 0;
+  u64 kept = 0;
+  for (const agent::Span& s : spans) {
+    if (s.ok && !s.incomplete) continue;
+    ++anomalous;
+    if (stored_ids.count(s.span_id) != 0) ++kept;
+  }
+  result.anomaly_recall =
+      anomalous == 0 ? 1.0
+                     : static_cast<double>(kept) / static_cast<double>(anomalous);
+  return result;
+}
+
+}  // namespace
+}  // namespace deepflow
+
+int main(int argc, char** argv) {
+  using namespace deepflow;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::JsonReport report(args.json_path);
+  const BenchScale scale = scale_for(args);
+  bench::print_header(
+      "Overload control — fixed byte budget vs 1x/2x/5x/10x offered load");
+
+  const bench::SyntheticCluster cluster =
+      bench::make_synthetic_cluster(8, 8, 4);
+
+  // Measure what the 1x load costs at full fidelity (telemetry-only pass),
+  // then size the budget so 1x tops out just below the first rung
+  // (seal_enter = 0.40): 1x stays whole, 2x brushes refusal, 5x/10x are
+  // deep overload.
+  size_t budget_bytes = 0;
+  {
+    const auto spans = offered_spans(scale.base_spans, cluster, 77 + 1);
+    server::ServerConfig measure_config;
+    measure_config.governor.enabled = true;  // accounts, never degrades
+    server::DeepFlowServer measure(&cluster.registry, measure_config);
+    for (const agent::Span& s : spans) measure.ingest(agent::Span(s));
+    budget_bytes = measure.governor().total_bytes() * 5 / 2;
+  }
+  std::printf("\n  budget: %zu bytes (2.5x the full-fidelity cost of the 1x "
+              "load, %zu spans)\n\n",
+              budget_bytes, scale.base_spans);
+  report.add("budget_bytes", static_cast<double>(budget_bytes));
+
+  std::printf("  %-6s %12s %14s %16s %10s %8s\n", "load", "offered",
+              "spans/sec", "bytes retained", "stored", "recall");
+  for (const u32 multiplier : scale.multipliers) {
+    const LoadResult row =
+        run_load(multiplier, scale.base_spans, budget_bytes, cluster);
+    const double spans_per_sec =
+        static_cast<double>(row.offered) / row.seconds;
+    const double stored_fraction =
+        static_cast<double>(row.stored) / static_cast<double>(row.offered);
+    std::printf("  %3ux %13" PRIu64 " %14.0f %16zu %9.1f%% %8.3f  [%s]\n",
+                row.multiplier, row.offered, spans_per_sec,
+                row.retained_bytes, 100.0 * stored_fraction,
+                row.anomaly_recall, overload_level_name(row.final_level));
+    const std::string prefix = "load_" + std::to_string(multiplier) + "x_";
+    report.add(prefix + "spans_per_sec", spans_per_sec);
+    report.add(prefix + "bytes_retained",
+               static_cast<double>(row.retained_bytes));
+    report.add(prefix + "stored_fraction", stored_fraction);
+    report.add(prefix + "anomaly_recall", row.anomaly_recall);
+  }
+  std::printf("\n");
+  return report.write() ? 0 : 1;
+}

@@ -21,6 +21,24 @@ echo "== bench_all: configure + build release =="
 cmake --preset release -S "$root" >/dev/null
 cmake --build --preset release -j "$jobs" >/dev/null
 
+# Provenance stamp for every BENCH_*.json: which commit produced the numbers
+# and when — without it the accumulated perf trajectory is unattributable.
+git_sha="$(git -C "$root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [[ -n "$(git -C "$root" status --porcelain 2>/dev/null)" ]]; then
+  git_sha="${git_sha}-dirty"
+fi
+stamp_json() {
+  local json="$1"
+  local ts
+  # A few benches are console-table only and ignore --json; nothing to stamp.
+  [[ -f "$json" ]] || return 0
+  ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  # Insert the string fields right after the opening brace (the benches
+  # themselves only emit numeric metrics).
+  sed -i "0,/^{/s//{\n  \"git_sha\": \"${git_sha}\",\n  \"generated_at\": \"${ts}\",/" \
+    "$json"
+}
+
 failed=()
 for bench in "$root"/bench/bench_*.cpp; do
   name="$(basename "$bench" .cpp)"
@@ -33,7 +51,9 @@ for bench in "$root"/bench/bench_*.cpp; do
   json="$root/BENCH_${name#bench_}.json"
   echo "== $name ${mode:-(full)} -> $(basename "$json") =="
   # shellcheck disable=SC2086
-  if ! "$binary" --json "$json" $mode; then
+  if "$binary" --json "$json" $mode; then
+    stamp_json "$json"
+  else
     echo "-- $name FAILED" >&2
     failed+=("$name")
   fi

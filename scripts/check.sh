@@ -14,6 +14,9 @@
 #                               # bench_fig15_query_delay/bench_storage/
 #                               # bench_federation/bench_ingest_scaling
 #                               # --quick smokes)
+#   scripts/check.sh ubsan      # ubsan only (undefined-behaviour gate over
+#                               # the same suite matrix as asan, plus the
+#                               # bench_overload --quick smoke)
 #   scripts/check.sh asan       # asan only (fault/transport/chaos/metrics/
 #                               # federation suites, the segment corruption/
 #                               # recovery sweeps, and bench_fault_recovery/
@@ -42,7 +45,7 @@ run_tsan() {
   # gate on the suites that exercise the parallel ingest pipeline.
   (cd "$root/build-tsan" && TSAN_OPTIONS="halt_on_error=1" ctest \
     --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector|Metrics|SegmentStoreTier|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence')
+    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector|Metrics|SegmentStoreTier|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence|Governor|Overload')
   echo "== tsan: bench_fig15_query_delay --quick smoke =="
   # Shared-mutex readers + batch assembly under TSan on a tiny workload:
   # catches query-path races the unit suites cannot reach.
@@ -75,6 +78,11 @@ run_tsan() {
   cmake --build --preset tsan -j "$jobs" --target bench_ingest_scaling
   TSAN_OPTIONS="halt_on_error=1" \
     "$root/build-tsan/bench/bench_ingest_scaling" --quick
+  echo "== tsan: bench_overload --quick smoke =="
+  # The governor's atomics and ladder mutex under the refusal/retry loop.
+  cmake --build --preset tsan -j "$jobs" --target bench_overload
+  TSAN_OPTIONS="halt_on_error=1" \
+    "$root/build-tsan/bench/bench_overload" --quick
 }
 
 run_asan() {
@@ -88,7 +96,7 @@ run_asan() {
   # rings behind striped locks on the same ingest path.
   (cd "$root/build-asan" && ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
     ctest --output-on-failure -j "$jobs" \
-    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence')
+    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence|Governor|Overload')
   echo "== asan: bench_fault_recovery --quick smoke =="
   cmake --build --preset asan -j "$jobs" --target bench_fault_recovery
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
@@ -104,19 +112,43 @@ run_asan() {
   cmake --build --preset asan -j "$jobs" --target bench_federation
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
     "$root/build-asan/bench/bench_federation" --quick
+  echo "== asan: bench_overload --quick smoke =="
+  # Refused batches live on in the transport queue and get re-offered —
+  # span lifetimes across the refusal/retry boundary under ASan.
+  cmake --build --preset asan -j "$jobs" --target bench_overload
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+    "$root/build-asan/bench/bench_overload" --quick
+}
+
+run_ubsan() {
+  echo "== ubsan: configure + build =="
+  cmake --preset ubsan -S "$root"
+  cmake --build --preset ubsan -j "$jobs"
+  echo "== ubsan: ctest (UB gate) =="
+  # Same matrix as the ASan gate: the queue/retry/dedup/governor paths do
+  # the pointer and integer arithmetic where UB would hide.
+  (cd "$root/build-ubsan" && UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ctest --output-on-failure -j "$jobs" \
+    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence|Governor|Overload')
+  echo "== ubsan: bench_overload --quick smoke =="
+  cmake --build --preset ubsan -j "$jobs" --target bench_overload
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    "$root/build-ubsan/bench/bench_overload" --quick
 }
 
 case "$what" in
   release) run_release ;;
   tsan) run_tsan ;;
   asan) run_asan ;;
+  ubsan) run_ubsan ;;
   all)
     run_release
     run_tsan
     run_asan
+    run_ubsan
     ;;
   *)
-    echo "usage: $0 [release|tsan|asan|all]" >&2
+    echo "usage: $0 [release|tsan|asan|ubsan|all]" >&2
     exit 2
     ;;
 esac

@@ -69,13 +69,29 @@ void Agent::set_batch_sink(BatchSink sink,
                                        config_.emit_batch_spans);
 }
 
+void Agent::set_governor(ResourceGovernor* governor) {
+  if (governor_ != nullptr && arena_accounted_ > 0) {
+    governor_->sub_bytes(GovernorAccount::kArena, arena_accounted_);
+    arena_accounted_ = 0;
+  }
+  governor_ = governor;
+  if (governor_ != nullptr && batch_ != nullptr) {
+    arena_accounted_ = batch_->arena_capacity_bytes();
+    governor_->add_bytes(GovernorAccount::kArena, arena_accounted_);
+  }
+}
+
 void Agent::emit_session(Session&& session) {
   ++spans_emitted_;
   if (batch_sink_) {
     // Columnar path: session strings go straight into the batch's
     // arena/interner; no Span object, no per-span sink dispatch.
     builder_.build_into(session, *batch_);
-    if (batch_->size() >= config_.emit_batch_spans) ship_batch();
+    if (batch_->size() >= config_.emit_batch_spans ||
+        (config_.batch_arena_budget_bytes != 0 &&
+         batch_->arena_used_bytes() > config_.batch_arena_budget_bytes)) {
+      ship_batch();
+    }
     return;
   }
   Span span = builder_.build(session);
@@ -86,6 +102,16 @@ void Agent::ship_batch() {
   if (batch_ == nullptr || batch_->empty()) return;
   batch_sink_(*batch_);
   batch_->clear();  // keeps arena blocks and column capacity warm
+  if (governor_ != nullptr) {
+    // Arena blocks persist across flights, so capacity is monotone; push
+    // only the growth since the last flight.
+    const size_t capacity = batch_->arena_capacity_bytes();
+    if (capacity > arena_accounted_) {
+      governor_->add_bytes(GovernorAccount::kArena,
+                           capacity - arena_accounted_);
+      arena_accounted_ = capacity;
+    }
+  }
 }
 
 std::optional<Agent::StagedRecord> Agent::parse_syscall(

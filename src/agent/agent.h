@@ -30,6 +30,7 @@
 
 #include "agent/collector.h"
 #include "agent/flow_inference.h"
+#include "common/governor.h"
 #include "agent/session_aggregator.h"
 #include "agent/span_builder.h"
 #include "agent/systrace.h"
@@ -58,6 +59,11 @@ struct AgentConfig {
   /// (set_batch_sink): the batch ships when it reaches this size and at
   /// every poll()/finish() boundary. Ignored on the per-span sink path.
   size_t emit_batch_spans = 256;
+  /// Batch-arena backpressure: ship the pending SpanBatch early whenever
+  /// its arena grows past this many bytes (0 = size-triggered shipping
+  /// only). Bounds the agent-side arena footprint under tag/cardinality
+  /// explosions without dropping anything.
+  size_t batch_arena_budget_bytes = 0;
 };
 
 /// Where finished spans go (the agent -> server transport).
@@ -114,6 +120,12 @@ class Agent {
   /// dictionaries); nullptr creates a private one.
   void set_batch_sink(BatchSink sink,
                       std::shared_ptr<StringInterner> interner = nullptr);
+
+  /// Report this agent's batch-arena capacity to `governor`'s kArena
+  /// account (growth deltas pushed after every shipped flight; the arena
+  /// keeps its blocks across flights, so capacity only grows). nullptr
+  /// detaches, releasing the accounted bytes.
+  void set_governor(ResourceGovernor* governor);
 
   /// Drain up to `budget` records from the perf buffers through the
   /// pipeline; emits spans to the sink. Returns records processed.
@@ -185,6 +197,8 @@ class Agent {
   SpanSink sink_;
   BatchSink batch_sink_;
   std::unique_ptr<SpanBatch> batch_;  // reused flight, only on the batch path
+  ResourceGovernor* governor_ = nullptr;
+  size_t arena_accounted_ = 0;  // kArena bytes currently reported
   std::string error_;
   u64 syscall_records_ = 0;
   u64 packet_records_ = 0;

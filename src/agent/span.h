@@ -94,4 +94,19 @@ struct Span {
   u64 parent_span_id = 0;      // assigned by the trace assembler (0 = root)
 };
 
+/// Approximate resident bytes of one span: the struct plus its owned string
+/// payloads and tag vector. Deterministic in the span's VALUES (uses size(),
+/// never capacity()), so the overload governor's add/sub pairs always cancel
+/// even when a span is copied or moved between accounting points.
+inline size_t approx_span_bytes(const Span& span) {
+  size_t bytes = sizeof(Span);
+  bytes += span.x_request_id.size() + span.otel_trace_id.size();
+  bytes += span.host.size() + span.device_name.size();
+  bytes += span.method.size() + span.endpoint.size();
+  for (const Tag& tag : span.tags) {
+    bytes += sizeof(Tag) + tag.key.size() + tag.value.size();
+  }
+  return bytes;
+}
+
 }  // namespace deepflow::agent

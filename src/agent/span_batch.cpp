@@ -34,6 +34,16 @@ void SpanBatch::reserve(size_t spans) {
   parent_span_ids_.reserve(spans);
 }
 
+u32 SpanBatch::intern_or_inline(std::string_view text) {
+  const u32 handle = interner_->intern(text);
+  if (handle != StringInterner::kInvalidHandle) return handle;
+  // Cardinality cap hit: keep the string at batch scope, like the
+  // high-cardinality columns.
+  const u32 local = static_cast<u32>(overflow_strings_.size());
+  overflow_strings_.push_back(arena_.store(text));
+  return kOverflowBit | local;
+}
+
 void SpanBatch::push(const Draft& d) {
   span_ids_.push_back(d.span_id);
   kinds_.push_back(d.kind);
@@ -43,16 +53,16 @@ void SpanBatch::push(const Draft& d) {
   otel_trace_ids_.push_back(arena_.store(d.otel_trace_id));
   req_tcp_seqs_.push_back(d.req_tcp_seq);
   resp_tcp_seqs_.push_back(d.resp_tcp_seq);
-  hosts_.push_back(interner_->intern(d.host));
+  hosts_.push_back(intern_or_inline(d.host));
   device_ids_.push_back(d.device_id);
-  device_names_.push_back(interner_->intern(d.device_name));
+  device_names_.push_back(intern_or_inline(d.device_name));
   pids_.push_back(d.pid);
   tids_.push_back(d.tid);
   start_ts_.push_back(d.start_ts);
   end_ts_.push_back(d.end_ts);
   protocols_.push_back(d.protocol);
-  methods_.push_back(interner_->intern(d.method));
-  endpoints_.push_back(interner_->intern(d.endpoint));
+  methods_.push_back(intern_or_inline(d.method));
+  endpoints_.push_back(intern_or_inline(d.endpoint));
   status_codes_.push_back(d.status_code);
   u8 flags = 0;
   if (d.from_server_side) flags |= kFromServerSide;
@@ -124,6 +134,7 @@ void SpanBatch::clear() {
   int_tags_.clear();
   parent_span_ids_.clear();
   extra_tags_.clear();
+  overflow_strings_.clear();
   arena_.reset();
 }
 
@@ -137,17 +148,17 @@ Span SpanBatch::materialize(size_t i) const {
   span.otel_trace_id.assign(otel_trace_ids_[i]);
   span.req_tcp_seq = req_tcp_seqs_[i];
   span.resp_tcp_seq = resp_tcp_seqs_[i];
-  span.host.assign(interner_->lookup(hosts_[i]));
+  span.host.assign(resolve(hosts_[i]));
   span.from_server_side = from_server_side(i);
   span.device_id = device_ids_[i];
-  span.device_name.assign(interner_->lookup(device_names_[i]));
+  span.device_name.assign(resolve(device_names_[i]));
   span.pid = pids_[i];
   span.tid = tids_[i];
   span.start_ts = start_ts_[i];
   span.end_ts = end_ts_[i];
   span.protocol = protocols_[i];
-  span.method.assign(interner_->lookup(methods_[i]));
-  span.endpoint.assign(interner_->lookup(endpoints_[i]));
+  span.method.assign(resolve(methods_[i]));
+  span.endpoint.assign(resolve(endpoints_[i]));
   span.status_code = status_codes_[i];
   span.ok = ok(i);
   span.incomplete = incomplete(i);

@@ -42,6 +42,14 @@ namespace deepflow::agent {
 
 class SpanBatch {
  public:
+  /// Handle-space split for the low-cardinality columns: handles with this
+  /// bit set index the batch-local overflow table instead of the shared
+  /// interner. Set when the interner's cardinality cap bounced the string
+  /// (StringInterner::set_max_entries); the string then lives in this batch's
+  /// arena like the high-cardinality fields — a cardinality explosion costs
+  /// per-batch copies, never unbounded shared growth.
+  static constexpr u32 kOverflowBit = 0x80000000u;
+
   // flags_ bit layout.
   static constexpr u8 kFromServerSide = 1u << 0;
   static constexpr u8 kOk = 1u << 1;
@@ -147,26 +155,40 @@ class SpanBatch {
   // Arena-backed views (valid until clear()).
   std::string_view x_request_id(size_t i) const { return x_request_ids_[i]; }
   std::string_view otel_trace_id(size_t i) const { return otel_trace_ids_[i]; }
-  // Interned handles and their resolved views.
+  // Interned handles and their resolved views. Handles with kOverflowBit
+  // resolve against the batch-local overflow table (cardinality-cap
+  // fallback); plain handles resolve against the shared interner.
   u32 host_handle(size_t i) const { return hosts_[i]; }
-  std::string_view host(size_t i) const { return interner_->lookup(hosts_[i]); }
+  std::string_view resolve(u32 handle) const {
+    if ((handle & kOverflowBit) != 0 &&
+        handle != StringInterner::kInvalidHandle) {
+      return overflow_strings_[handle & ~kOverflowBit];
+    }
+    return interner_->lookup(handle);
+  }
+  std::string_view host(size_t i) const { return resolve(hosts_[i]); }
   std::string_view device_name(size_t i) const {
-    return interner_->lookup(device_names_[i]);
+    return resolve(device_names_[i]);
   }
-  std::string_view method(size_t i) const {
-    return interner_->lookup(methods_[i]);
-  }
-  std::string_view endpoint(size_t i) const {
-    return interner_->lookup(endpoints_[i]);
-  }
+  std::string_view method(size_t i) const { return resolve(methods_[i]); }
+  std::string_view endpoint(size_t i) const { return resolve(endpoints_[i]); }
+  /// Strings bounced into this batch by the interner cap (telemetry/tests).
+  size_t overflow_strings_size() const { return overflow_strings_.size(); }
 
   /// Arena occupancy (bench/telemetry).
   size_t arena_used_bytes() const { return arena_.used_bytes(); }
   size_t arena_capacity_bytes() const { return arena_.capacity_bytes(); }
 
  private:
+  /// intern() with the cardinality-cap fallback: on kInvalidHandle the
+  /// string is copied into the arena and an overflow handle is returned.
+  u32 intern_or_inline(std::string_view text);
+
   std::shared_ptr<StringInterner> interner_;
   Arena arena_;
+  /// Arena-backed views for cap-bounced strings; indexed by the low bits of
+  /// overflow handles. Cleared (capacity kept) with the rest of the batch.
+  std::vector<std::string_view> overflow_strings_;
 
   std::vector<u64> span_ids_;
   std::vector<SpanKind> kinds_;

@@ -19,16 +19,29 @@ SpanTransport::SpanTransport(TransportConfig config, BatchSink sink,
                              FaultInjector* faults)
     : SpanTransport(
           config,
-          FailableBatchSink(
-              sink ? FailableBatchSink([s = std::move(sink)](
-                                           std::vector<Span>& spans) {
+          VerdictBatchSink(
+              sink ? VerdictBatchSink([s = std::move(sink)](
+                                          std::vector<Span>& spans) {
                 s(std::move(spans));
-                return true;
+                return SinkVerdict::accepted();
               })
-                   : FailableBatchSink()),
+                   : VerdictBatchSink()),
           faults) {}
 
 SpanTransport::SpanTransport(TransportConfig config, FailableBatchSink sink,
+                             FaultInjector* faults)
+    : SpanTransport(
+          config,
+          VerdictBatchSink(
+              sink ? VerdictBatchSink([s = std::move(sink)](
+                                          std::vector<Span>& spans) {
+                return s(spans) ? SinkVerdict::accepted()
+                                : SinkVerdict::refused();
+              })
+                   : VerdictBatchSink()),
+          faults) {}
+
+SpanTransport::SpanTransport(TransportConfig config, VerdictBatchSink sink,
                              FaultInjector* faults)
     : config_(config),
       sink_(std::move(sink)),
@@ -37,6 +50,19 @@ SpanTransport::SpanTransport(TransportConfig config, FailableBatchSink sink,
   if (config_.batch_spans == 0) config_.batch_spans = 1;
   if (config_.max_attempts == 0) config_.max_attempts = 1;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.overload_max_attempts == 0) config_.overload_max_attempts = 1;
+}
+
+void SpanTransport::account_add(size_t bytes) {
+  if (config_.governor != nullptr) {
+    config_.governor->add_bytes(GovernorAccount::kTransportQueue, bytes);
+  }
+}
+
+void SpanTransport::account_sub(size_t bytes) {
+  if (config_.governor != nullptr) {
+    config_.governor->sub_bytes(GovernorAccount::kTransportQueue, bytes);
+  }
 }
 
 int SpanTransport::priority_of(const Span& span) {
@@ -52,7 +78,7 @@ int SpanTransport::priority_of(const Span& span) {
   return 1;
 }
 
-void SpanTransport::shed_for(const Span& incoming) {
+bool SpanTransport::shed_for(const Span& incoming) {
   // Admission under overflow: evict the OLDEST span of the LOWEST priority
   // class present, but only if that class is strictly lower-priority than
   // the incoming span; otherwise the incoming span itself is shed. Equal
@@ -83,8 +109,13 @@ void SpanTransport::shed_for(const Span& incoming) {
       break;
   }
   if (shed != &incoming) {
+    const size_t bytes = approx_span_bytes(queue_[victim]);
+    queue_bytes_ -= bytes;
+    account_sub(bytes);
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+    return true;
   }
+  return false;
 }
 
 void SpanTransport::offer(Span&& span) {
@@ -92,7 +123,7 @@ void SpanTransport::offer(Span&& span) {
   if (config_.direct) {
     std::vector<Span> one;
     one.push_back(std::move(span));
-    if (!deliver(one)) {
+    if (deliver(one).status != SinkStatus::kAccepted) {
       // Direct mode has no queue to fall back to: a refused span is lost.
       ++stats_.sink_rejected_batches;
       ++stats_.sink_rejected_spans;
@@ -101,11 +132,29 @@ void SpanTransport::offer(Span&& span) {
     }
     return;
   }
-  if (queue_.size() >= config_.queue_capacity) {
-    const size_t before = queue_.size();
-    shed_for(span);
-    if (queue_.size() == before) return;  // incoming span was the victim
+  if (config_.governor != nullptr &&
+      config_.governor->level() >= OverloadLevel::kShed &&
+      priority_of(span) == 0) {
+    // Ladder rung 3: under system-wide shed pressure, net spans (the class
+    // the queue would evict first anyway) are refused admission outright —
+    // queue slots go to sys/app spans that cannot be re-derived.
+    ++stats_.shed_net;
+    ++stats_.governor_shed_net;
+    config_.governor->note_shed_net();
+    return;
   }
+  const size_t incoming_bytes = approx_span_bytes(span);
+  // Admission: evict under the priority ladder until the incoming span fits
+  // the count bound (one eviction, legacy semantics) and the optional byte
+  // bound (possibly several small victims for one large span), or the
+  // incoming span itself loses the priority contest and is shed.
+  while (queue_.size() >= config_.queue_capacity ||
+         (config_.queue_budget_bytes != 0 &&
+          queue_bytes_ + incoming_bytes > config_.queue_budget_bytes)) {
+    if (!shed_for(span)) return;  // incoming span was the victim
+  }
+  queue_bytes_ += incoming_bytes;
+  account_add(incoming_bytes);
   queue_.push_back(std::move(span));
   stats_.queue_high_watermark =
       std::max<u64>(stats_.queue_high_watermark, queue_.size());
@@ -129,17 +178,49 @@ u64 SpanTransport::backoff_ticks(u32 attempt) {
   return backoff;
 }
 
-bool SpanTransport::deliver(std::vector<Span>& spans) {
+SinkVerdict SpanTransport::deliver(std::vector<Span>& spans) {
   const size_t n = spans.size();
-  if (sink_ && !sink_(spans)) return false;  // refused: spans left intact
+  if (sink_) {
+    const SinkVerdict verdict = sink_(spans);
+    if (verdict.status != SinkStatus::kAccepted) return verdict;
+  }
   ++stats_.delivered_batches;
   stats_.delivered_spans += n;
-  return true;
+  return SinkVerdict::accepted();
 }
 
 size_t SpanTransport::finish_delivery(PendingBatch&& batch) {
   const size_t n = batch.spans.size();
-  if (deliver(batch.spans)) return n;
+  const SinkVerdict verdict = deliver(batch.spans);
+  if (verdict.status == SinkStatus::kAccepted) {
+    account_sub(batch.bytes);
+    return n;
+  }
+  if (verdict.status == SinkStatus::kOverloaded) {
+    // The receiver is alive but at its refusal rung: honor the retry-after
+    // hint, pause fresh sends (backpressure into the bounded queue), and
+    // retry on the overload budget — a long overload must not be misread
+    // as a dead node, nor burn the channel attempt budget.
+    ++stats_.overload_refused_batches;
+    stats_.overload_refused_spans += n;
+    const u64 wait =
+        std::max<u64>(verdict.retry_after_ticks, backoff_ticks(batch.attempts));
+    pause_until_tick_ = std::max(pause_until_tick_, tick_ + wait);
+    ++batch.overload_attempts;
+    if (config_.retries &&
+        batch.overload_attempts < config_.overload_max_attempts) {
+      ++stats_.overload_retries;
+      batch.due_tick = tick_ + wait;
+      retry_.push_back(std::move(batch));
+    } else {
+      ++stats_.overload_gave_up_batches;
+      stats_.overload_gave_up_spans += n;
+      ++stats_.gave_up_batches;
+      stats_.gave_up_spans += n;
+      account_sub(batch.bytes);
+    }
+    return 0;
+  }
   // The receiver refused (dead node / partition on its side). Same retry
   // semantics as a channel drop: at-least-once across short outages.
   ++stats_.sink_rejected_batches;
@@ -151,6 +232,7 @@ size_t SpanTransport::finish_delivery(PendingBatch&& batch) {
   } else {
     ++stats_.gave_up_batches;
     stats_.gave_up_spans += n;
+    account_sub(batch.bytes);
   }
   return 0;
 }
@@ -174,6 +256,7 @@ size_t SpanTransport::send(PendingBatch&& batch) {
     } else {
       ++stats_.gave_up_batches;
       stats_.gave_up_spans += batch.spans.size();
+      account_sub(batch.bytes);
     }
     return 0;
   }
@@ -208,7 +291,7 @@ size_t SpanTransport::send(PendingBatch&& batch) {
     // batch refuses its echo too (no retry for the copy — at-least-once
     // needs only the primary).
     std::vector<Span> copy = batch.spans;
-    if (deliver(copy)) {
+    if (deliver(copy).status == SinkStatus::kAccepted) {
       ++stats_.duplicated_batches;
       delivered += batch.spans.size();
     }
@@ -243,14 +326,19 @@ size_t SpanTransport::pump() {
     }
   }
 
-  // Fresh sends: every full batch leaves this tick.
-  while (queue_.size() >= config_.batch_spans) {
+  // Fresh sends: every full batch leaves this tick — unless an overloaded
+  // receiver asked us to wait (retry-after); then full batches stay queued
+  // and admission pressure climbs toward the priority shedder.
+  while (tick_ >= pause_until_tick_ &&
+         queue_.size() >= config_.batch_spans) {
     PendingBatch batch;
     batch.spans.reserve(config_.batch_spans);
     for (size_t i = 0; i < config_.batch_spans; ++i) {
+      batch.bytes += approx_span_bytes(queue_.front());
       batch.spans.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    queue_bytes_ -= batch.bytes;
     delivered += send(std::move(batch));
   }
   return delivered;
@@ -265,9 +353,11 @@ void SpanTransport::flush() {
     PendingBatch batch;
     batch.spans.reserve(queue_.size());
     while (!queue_.empty() && batch.spans.size() < config_.batch_spans) {
+      batch.bytes += approx_span_bytes(queue_.front());
       batch.spans.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    queue_bytes_ -= batch.bytes;
     send(std::move(batch));
   }
   while (!queue_.empty() || !retry_.empty() || !delayed_.empty()) {
@@ -276,9 +366,11 @@ void SpanTransport::flush() {
       PendingBatch batch;
       batch.spans.reserve(queue_.size());
       while (!queue_.empty()) {
+        batch.bytes += approx_span_bytes(queue_.front());
         batch.spans.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      queue_bytes_ -= batch.bytes;
       send(std::move(batch));
     }
   }

@@ -35,9 +35,35 @@
 #include "agent/span.h"
 #include "agent/span_batch.h"
 #include "common/fault.h"
+#include "common/governor.h"
 #include "common/rand.h"
 
 namespace deepflow::agent {
+
+/// How a receiver disposed of a delivered batch. kRefused models a dead or
+/// partitioned node (PR 3/6 fault semantics: retried against the channel
+/// attempt budget). kOverloaded is DISTINCT: the receiver is alive but its
+/// governor is at the refusal rung — the transport honors the retry-after
+/// hint, pauses fresh sends (so backpressure propagates into the bounded
+/// queue and from there into priority shedding), and retries on a separate
+/// attempt budget so a long overload is not misread as a dead node.
+enum class SinkStatus : u8 {
+  kAccepted = 0,
+  kRefused = 1,
+  kOverloaded = 2,
+};
+
+struct SinkVerdict {
+  SinkStatus status = SinkStatus::kAccepted;
+  /// For kOverloaded: receiver's suggested wait before the next attempt.
+  u32 retry_after_ticks = 0;
+
+  static SinkVerdict accepted() { return {SinkStatus::kAccepted, 0}; }
+  static SinkVerdict refused() { return {SinkStatus::kRefused, 0}; }
+  static SinkVerdict overloaded(u32 retry_after) {
+    return {SinkStatus::kOverloaded, retry_after};
+  }
+};
 
 struct TransportConfig {
   /// Pass-through mode: offer() delivers each span immediately as a
@@ -59,6 +85,17 @@ struct TransportConfig {
   u32 jitter_ticks = 2;
   /// Seed of the (deterministic) jitter stream.
   u64 jitter_seed = 0x7a695eed;
+  /// Retry budget for kOverloaded refusals, separate from max_attempts: an
+  /// overloaded-but-alive receiver deserves more patience than a dead one.
+  u32 overload_max_attempts = 16;
+  /// Optional queue byte ceiling (0 = spans-count bound only). When the
+  /// queued bytes would exceed it, admission sheds by the same net>sys>app
+  /// ladder until the incoming span fits or is itself shed.
+  size_t queue_budget_bytes = 0;
+  /// Optional overload governor. When set, queued/in-flight bytes are
+  /// pushed to its kTransportQueue account, and at the kShed rung or above
+  /// incoming net spans are shed at admission (ladder rung 3).
+  ResourceGovernor* governor = nullptr;
   /// Fault/jitter lane. kFaultSharedLane (the default) keeps the historical
   /// behaviour: every transport draws channel fates from the shared
   /// kTransportSend stream and jitter from jitter_seed. A federated
@@ -87,6 +124,12 @@ struct TransportStats {
   u64 delivered_spans = 0;    // spans that reached the sink (dups included)
   u64 sink_rejected_batches = 0;  // deliveries the receiver refused (node down)
   u64 sink_rejected_spans = 0;    // spans carried by those attempts
+  u64 overload_refused_batches = 0;  // kOverloaded verdicts (receiver alive)
+  u64 overload_refused_spans = 0;    // spans carried by those attempts
+  u64 overload_retries = 0;          // re-sends scheduled after kOverloaded
+  u64 overload_gave_up_batches = 0;  // batches abandoned after the overload
+  u64 overload_gave_up_spans = 0;    //   attempt budget ran out
+  u64 governor_shed_net = 0;  // net spans shed at admission by rung 3
   u64 queue_high_watermark = 0;
 
   u64 shed_total() const { return shed_net + shed_sys + shed_app; }
@@ -102,10 +145,16 @@ class SpanTransport {
   /// the transport re-queues the same spans for retry (or gives up after
   /// max_attempts, exactly like a channel drop).
   using FailableBatchSink = std::function<bool(std::vector<Span>&)>;
+  /// Full-verdict receiver: may also answer kOverloaded with a retry-after
+  /// hint (DeepFlowServer::try_ingest_batch). Refused/overloaded deliveries
+  /// MUST leave the vector intact for retry.
+  using VerdictBatchSink = std::function<SinkVerdict(std::vector<Span>&)>;
 
   SpanTransport(TransportConfig config, BatchSink sink,
                 FaultInjector* faults = nullptr);
   SpanTransport(TransportConfig config, FailableBatchSink sink,
+                FaultInjector* faults = nullptr);
+  SpanTransport(TransportConfig config, VerdictBatchSink sink,
                 FaultInjector* faults = nullptr);
 
   /// Producer side: enqueue one finished span (or deliver it immediately
@@ -134,32 +183,44 @@ class SpanTransport {
   const TransportStats& stats() const { return stats_; }
   const TransportConfig& config() const { return config_; }
 
+  /// Spans currently sitting in the send queue (excludes in-flight/retry).
+  size_t queued_bytes() const { return queue_bytes_; }
+
  private:
   struct PendingBatch {
     std::vector<Span> spans;
-    u32 attempts = 0;   // send attempts so far
-    u64 due_tick = 0;   // earliest tick this batch may (re-)send
+    size_t bytes = 0;          // approx_span_bytes sum (governor account)
+    u32 attempts = 0;          // channel send attempts so far
+    u32 overload_attempts = 0; // kOverloaded bounces so far
+    u64 due_tick = 0;          // earliest tick this batch may (re-)send
   };
 
   /// Shed priority class: lower = shed first.
   static int priority_of(const Span& span);
-  void shed_for(const Span& incoming);
+  /// Evict one span to admit `incoming`. Returns false when the incoming
+  /// span itself was the victim (caller must not enqueue it).
+  bool shed_for(const Span& incoming);
   /// Run one batch through the channel. Returns spans delivered.
   size_t send(PendingBatch&& batch);
   /// Hand a batch that cleared the channel to the sink; a refusal re-queues
   /// it for retry (or gives up). Returns spans delivered.
   size_t finish_delivery(PendingBatch&& batch);
-  /// True when the sink accepted (spans consumed); false leaves them intact.
-  bool deliver(std::vector<Span>& spans);
+  SinkVerdict deliver(std::vector<Span>& spans);
   u64 backoff_ticks(u32 attempt);
+  void account_add(size_t bytes);
+  void account_sub(size_t bytes);
 
   TransportConfig config_;
-  FailableBatchSink sink_;
+  VerdictBatchSink sink_;
   FaultInjector* faults_;
   Rng jitter_;
   u64 tick_ = 0;
+  /// Fresh sends wait until this tick after a kOverloaded verdict — the
+  /// backpressure half of the retry-after contract.
+  u64 pause_until_tick_ = 0;
 
   std::deque<Span> queue_;             // bounded by queue_capacity
+  size_t queue_bytes_ = 0;             // approx bytes held by queue_
   std::deque<PendingBatch> retry_;     // dropped batches awaiting re-send
   std::deque<PendingBatch> delayed_;   // channel-delayed batches in flight
   TransportStats stats_;

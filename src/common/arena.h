@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <string_view>
@@ -49,7 +50,7 @@ class Arena {
   void* alloc(size_t bytes, size_t align = alignof(std::max_align_t)) {
     if (block_ < blocks_.size()) {
       Block& b = blocks_[block_];
-      const size_t aligned = (b.used + (align - 1)) & ~(align - 1);
+      const size_t aligned = aligned_offset(b, align);
       if (aligned + bytes <= b.size) {
         b.used = aligned + bytes;
         return b.data.get() + aligned;
@@ -104,12 +105,23 @@ class Arena {
     size_t used = 0;
   };
 
+  // Bump offset that makes the returned *address* `align`-aligned. Aligning
+  // the offset alone is wrong: operator new[] only guarantees
+  // ~alignof(max_align_t), so a block base can itself be misaligned for
+  // larger requests (e.g. cache-line allocations).
+  static size_t aligned_offset(const Block& b, size_t align) {
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t addr =
+        (base + b.used + (align - 1)) & ~(std::uintptr_t{align} - 1);
+    return static_cast<size_t>(addr - base);
+  }
+
   void* alloc_slow(size_t bytes, size_t align) {
     // Advance through retained blocks (after reset()) until one fits; chain
     // a new block — big enough even for an oversized request — otherwise.
     while (block_ < blocks_.size()) {
       Block& b = blocks_[block_];
-      const size_t aligned = (b.used + (align - 1)) & ~(align - 1);
+      const size_t aligned = aligned_offset(b, align);
       if (aligned + bytes <= b.size) {
         b.used = aligned + bytes;
         return b.data.get() + aligned;
@@ -125,7 +137,7 @@ class Arena {
     blocks_.push_back(std::move(b));
     block_ = blocks_.size() - 1;
     Block& nb = blocks_.back();
-    const size_t aligned = (nb.used + (align - 1)) & ~(align - 1);
+    const size_t aligned = aligned_offset(nb, align);
     nb.used = aligned + bytes;
     return nb.data.get() + aligned;
   }

@@ -1,0 +1,307 @@
+#include "common/governor.h"
+
+#include <algorithm>
+
+namespace deepflow {
+
+const char* overload_level_name(OverloadLevel level) {
+  switch (level) {
+    case OverloadLevel::kNormal: return "normal";
+    case OverloadLevel::kSeal: return "seal";
+    case OverloadLevel::kDownsample: return "downsample";
+    case OverloadLevel::kShed: return "shed";
+    case OverloadLevel::kRefuse: return "refuse";
+  }
+  return "?";
+}
+
+ResourceGovernor::ResourceGovernor(GovernorConfig config)
+    : config_(config) {
+  keep_pct_.store(100, std::memory_order_relaxed);
+}
+
+void ResourceGovernor::add_bytes(GovernorAccount account, size_t bytes) {
+  if (!config_.enabled || bytes == 0) return;
+  bytes_[static_cast<size_t>(account)].fetch_add(bytes,
+                                                 std::memory_order_relaxed);
+}
+
+void ResourceGovernor::sub_bytes(GovernorAccount account, size_t bytes) {
+  if (!config_.enabled || bytes == 0) return;
+  // Saturating subtract: accounting is approximate by design (owners round
+  // container overheads); never let a rounding mismatch wrap to huge totals.
+  std::atomic<size_t>& cell = bytes_[static_cast<size_t>(account)];
+  size_t cur = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(cur, cur >= bytes ? cur - bytes : 0,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+size_t ResourceGovernor::account_bytes(GovernorAccount account) const {
+  return bytes_[static_cast<size_t>(account)].load(std::memory_order_relaxed);
+}
+
+size_t ResourceGovernor::total_bytes() const {
+  size_t total = 0;
+  for (size_t i = 0; i < kGovernorAccounts; ++i) {
+    if (i == static_cast<size_t>(GovernorAccount::kUnflushedStore)) continue;
+    total += bytes_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double ResourceGovernor::pressure() const {
+  if (!active()) return 0.0;
+  double p = static_cast<double>(total_bytes()) /
+             static_cast<double>(config_.budget_bytes);
+  for (size_t i = 0; i < kGovernorAccounts; ++i) {
+    const size_t ceiling = config_.account_budget_bytes[i];
+    if (ceiling == 0) continue;
+    p = std::max(p, static_cast<double>(
+                        bytes_[i].load(std::memory_order_relaxed)) /
+                        static_cast<double>(ceiling));
+  }
+  return p;
+}
+
+double ResourceGovernor::enter_threshold(OverloadLevel level) const {
+  switch (level) {
+    case OverloadLevel::kNormal: return 0.0;
+    case OverloadLevel::kSeal: return config_.seal_enter;
+    case OverloadLevel::kDownsample: return config_.downsample_enter;
+    case OverloadLevel::kShed: return config_.shed_enter;
+    case OverloadLevel::kRefuse: return config_.refuse_enter;
+  }
+  return 1.0;
+}
+
+void ResourceGovernor::refresh_keep_pct_locked(double pressure) {
+  // Linear ramp from healthy_keep_pct at downsample_enter down to
+  // healthy_keep_min_pct at shed_enter; clamped outside that band.
+  const double lo = config_.downsample_enter;
+  const double hi = config_.shed_enter;
+  u32 pct = 100;
+  if (pressure >= hi) {
+    pct = config_.healthy_keep_min_pct;
+  } else if (pressure >= lo) {
+    const double t = hi > lo ? (pressure - lo) / (hi - lo) : 1.0;
+    pct = static_cast<u32>(config_.healthy_keep_pct -
+                           t * (config_.healthy_keep_pct -
+                                config_.healthy_keep_min_pct));
+  } else {
+    pct = config_.healthy_keep_pct;
+  }
+  keep_pct_.store(pct, std::memory_order_relaxed);
+}
+
+OverloadLevel ResourceGovernor::refresh() {
+  if (!active()) return OverloadLevel::kNormal;
+  const double p = pressure();
+
+  // Raw rung the pressure alone would demand.
+  OverloadLevel raw = OverloadLevel::kNormal;
+  if (p >= config_.refuse_enter) {
+    raw = OverloadLevel::kRefuse;
+  } else if (p >= config_.shed_enter) {
+    raw = OverloadLevel::kShed;
+  } else if (p >= config_.downsample_enter) {
+    raw = OverloadLevel::kDownsample;
+  } else if (p >= config_.seal_enter) {
+    raw = OverloadLevel::kSeal;
+  }
+
+  const OverloadLevel cur = level();
+  if (raw == cur) {
+    if (cur >= OverloadLevel::kDownsample) {
+      std::lock_guard<std::mutex> lock(ladder_mu_);
+      refresh_keep_pct_locked(p);
+    }
+    return cur;
+  }
+
+  std::lock_guard<std::mutex> lock(ladder_mu_);
+  OverloadLevel now = level();
+  if (raw > now) {
+    // Escalation is immediate: overload must not wait out a cool-down.
+    now = raw;
+  } else {
+    // De-escalation: one rung at a time, and only once pressure has fallen
+    // clearly below the rung's entry threshold (hysteresis).
+    const double exit = enter_threshold(now) - config_.exit_hysteresis;
+    if (now != OverloadLevel::kNormal && p < exit) {
+      now = static_cast<OverloadLevel>(static_cast<u8>(now) - 1);
+    }
+  }
+  if (now != level()) {
+    level_.store(static_cast<u8>(now), std::memory_order_relaxed);
+    level_transitions_.fetch_add(1, std::memory_order_relaxed);
+    level_entries_[static_cast<size_t>(now)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  refresh_keep_pct_locked(p);
+  return now;
+}
+
+bool ResourceGovernor::admit_healthy(u64 trace_key) {
+  if (!active() || level() < OverloadLevel::kDownsample) return true;
+  const u32 pct = keep_pct_.load(std::memory_order_relaxed);
+  if (pct >= 100) return true;
+  const u64 h = mix64(trace_key ^ config_.sample_seed);
+  return h % 100 < pct;
+}
+
+bool ResourceGovernor::exhausted() const {
+  return active() && total_bytes() >= config_.budget_bytes;
+}
+
+bool ResourceGovernor::should_force_seal() {
+  if (!active() || level() < OverloadLevel::kSeal) return false;
+  const u64 n =
+      spans_since_seal_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n < config_.seal_interval_spans) return false;
+  // One winner per interval; racers see the reset counter and keep counting.
+  u64 expected = n;
+  return spans_since_seal_.compare_exchange_strong(
+      expected, 0, std::memory_order_relaxed);
+}
+
+void ResourceGovernor::mark_anomalous(u64 trace_key, TimestampNs ts) {
+  if (!active() || config_.anomaly_window_ns == 0) return;
+  const u64 target = ts / config_.anomaly_window_ns;
+  std::lock_guard<std::mutex> lock(anomaly_mu_);
+  if (target > anomaly_generation_) {
+    if (target == anomaly_generation_ + 1) {
+      std::swap(anomalous_prev_, anomalous_cur_);
+      anomalous_cur_.clear();
+    } else {
+      anomalous_prev_.clear();
+      anomalous_cur_.clear();
+    }
+    anomaly_generation_ = target;
+  }
+  anomalous_cur_.insert(trace_key);
+}
+
+bool ResourceGovernor::is_anomalous(u64 trace_key) const {
+  if (!active()) return false;
+  std::lock_guard<std::mutex> lock(anomaly_mu_);
+  return anomalous_cur_.count(trace_key) > 0 ||
+         anomalous_prev_.count(trace_key) > 0;
+}
+
+CompletenessWindow& ResourceGovernor::window_locked(TimestampNs ts) {
+  const DurationNs width =
+      config_.completeness_window_ns == 0 ? kSecond
+                                          : config_.completeness_window_ns;
+  const TimestampNs start = ts - ts % width;
+  CompletenessWindow& w = ledger_[start];
+  w.window_start = start;
+  if (ledger_.size() > config_.completeness_max_windows) {
+    // Evict the oldest window -- the ledger is bounded like everything else
+    // the governor watches.
+    auto oldest = ledger_.begin();
+    if (oldest->first != start) ledger_.erase(oldest);
+  }
+  return w;
+}
+
+void ResourceGovernor::note_stored(TimestampNs ts, u64 spans) {
+  if (!active()) return;
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  CompletenessWindow& w = window_locked(ts);
+  w.offered += spans;
+  w.stored += spans;
+}
+
+void ResourceGovernor::note_anomalous_kept(TimestampNs ts, u64 spans) {
+  if (!active()) return;
+  anomalous_kept_spans_.fetch_add(spans, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  CompletenessWindow& w = window_locked(ts);
+  w.offered += spans;
+  w.stored += spans;
+  w.anomalous_kept += spans;
+}
+
+void ResourceGovernor::note_sampled_kept(TimestampNs ts, u64 spans) {
+  if (!active()) return;
+  sampled_kept_spans_.fetch_add(spans, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  CompletenessWindow& w = window_locked(ts);
+  w.offered += spans;
+  w.stored += spans;
+}
+
+void ResourceGovernor::note_downsampled(TimestampNs ts, u64 spans) {
+  if (!active()) return;
+  downsampled_spans_.fetch_add(spans, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  CompletenessWindow& w = window_locked(ts);
+  w.offered += spans;
+  w.downsampled += spans;
+}
+
+void ResourceGovernor::note_refused(TimestampNs ts, u64 spans) {
+  if (!active()) return;
+  refused_spans_.fetch_add(spans, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  CompletenessWindow& w = window_locked(ts);
+  w.offered += spans;
+  w.refused += spans;
+}
+
+void ResourceGovernor::note_refused_batch() {
+  if (!active()) return;
+  refused_batches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResourceGovernor::note_forced_seal() {
+  if (!active()) return;
+  forced_seals_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResourceGovernor::note_shed_net(u64 spans) {
+  if (!active()) return;
+  shed_net_spans_.fetch_add(spans, std::memory_order_relaxed);
+}
+
+std::vector<CompletenessWindow> ResourceGovernor::completeness(
+    TimestampNs from, TimestampNs to) const {
+  std::vector<CompletenessWindow> out;
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  const DurationNs width =
+      config_.completeness_window_ns == 0 ? kSecond
+                                          : config_.completeness_window_ns;
+  for (auto it = ledger_.lower_bound(from >= width ? from - width + 1 : 0);
+       it != ledger_.end() && it->first < to; ++it) {
+    if (it->first + width <= from) continue;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+GovernorTelemetry ResourceGovernor::telemetry() const {
+  GovernorTelemetry t;
+  t.active = active();
+  t.level = level();
+  t.budget_bytes = config_.budget_bytes;
+  t.total_bytes = total_bytes();
+  for (size_t i = 0; i < kGovernorAccounts; ++i) {
+    t.account_bytes[i] = bytes_[i].load(std::memory_order_relaxed);
+  }
+  t.level_transitions = level_transitions_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kOverloadLevels; ++i) {
+    t.level_entries[i] = level_entries_[i].load(std::memory_order_relaxed);
+  }
+  t.forced_seals = forced_seals_.load(std::memory_order_relaxed);
+  t.downsampled_spans = downsampled_spans_.load(std::memory_order_relaxed);
+  t.sampled_kept_spans = sampled_kept_spans_.load(std::memory_order_relaxed);
+  t.anomalous_kept_spans =
+      anomalous_kept_spans_.load(std::memory_order_relaxed);
+  t.refused_batches = refused_batches_.load(std::memory_order_relaxed);
+  t.refused_spans = refused_spans_.load(std::memory_order_relaxed);
+  t.shed_net_spans = shed_net_spans_.load(std::memory_order_relaxed);
+  return t;
+}
+
+}  // namespace deepflow

@@ -1,0 +1,255 @@
+// ResourceGovernor: the overload control plane (ISSUE 9). Byte-accounts the
+// major in-memory consumers (hot span store, metrics rollups, transport
+// queues, interner, dedup seen-set, batch arenas) against a configurable
+// budget and drives an adaptive degradation ladder when the budget is
+// approached:
+//
+//   kNormal      -> everything at full fidelity
+//   kSeal        -> force-seal hot segments into the warm (disk) tier
+//   kDownsample  -> span-level tail sampling: anomalous traces (errors,
+//                   incomplete sessions, RED-latency outliers) keep full
+//                   fidelity, healthy traces are hash-downsampled; every
+//                   decision lands in a per-window completeness ledger
+//   kShed        -> transport-side priority shedding extends to net spans
+//                   (the net>sys>app ladder's last protected class)
+//   kRefuse      -> admission refusal: healthy batches bounce with a
+//                   kOverloaded verdict (retry-after hint) so backpressure
+//                   propagates agent-ward; anomalous spans are still admitted
+//                   until the budget is fully exhausted
+//
+// Recovery walks the ladder back down one rung at a time with hysteresis
+// (exit threshold = enter threshold - exit_hysteresis) so the ladder does
+// not flap around a boundary.
+//
+// Accounting is strictly push-based: owners report byte deltas at mutation
+// time (under their own locks), never probed, so the governor adds no racy
+// cross-thread reads. All counters are atomics; `refresh()` is the only
+// method that takes the (tiny) ladder mutex, and only on a level change.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace deepflow {
+
+/// The accounts a governor tracks. Each maps to one owning subsystem; the
+/// owner pushes deltas as it allocates/releases.
+enum class GovernorAccount : u8 {
+  kHotStore = 0,        ///< SpanStore hot-tier rows + encoded tag blobs.
+  kUnflushedStore = 1,  ///< Hot rows not yet sealed to disk (overlay; subset
+                        ///< of kHotStore, excluded from the total -- sealing
+                        ///< reduces durability exposure, not RSS).
+  kMetrics = 2,         ///< MetricsAggregator per-key histograms + rings.
+  kTransportQueue = 3,  ///< SpanTransport queued/retrying/delayed spans.
+  kInterner = 4,        ///< StringInterner backing payload + table.
+  kDedup = 5,           ///< Idempotent-ingest seen-set entries.
+  kArena = 6,           ///< Agent-side batch arena capacity.
+  kCount = 7,
+};
+constexpr size_t kGovernorAccounts =
+    static_cast<size_t>(GovernorAccount::kCount);
+
+/// Degradation ladder states, ordered by severity.
+enum class OverloadLevel : u8 {
+  kNormal = 0,
+  kSeal = 1,
+  kDownsample = 2,
+  kShed = 3,
+  kRefuse = 4,
+};
+constexpr size_t kOverloadLevels = 5;
+
+const char* overload_level_name(OverloadLevel level);
+
+struct GovernorConfig {
+  /// Master switch. A disabled governor accounts nothing and every admission
+  /// question answers "yes" -- the byte-identity contract of prior PRs.
+  bool enabled = false;
+  /// Total byte budget across all accounts (0 with enabled=true means
+  /// "account but never degrade": telemetry-only mode).
+  size_t budget_bytes = 0;
+  /// Optional per-account ceilings (0 = governed only by the total). An
+  /// account over its own ceiling drives the same ladder: pressure is the
+  /// max of total-vs-budget and each account-vs-ceiling fraction.
+  std::array<size_t, kGovernorAccounts> account_budget_bytes{};
+
+  /// Ladder entry thresholds as fractions of budget. Must be increasing.
+  double seal_enter = 0.70;
+  double downsample_enter = 0.80;
+  double shed_enter = 0.90;
+  double refuse_enter = 0.97;
+  /// A rung is exited only when pressure drops below enter - hysteresis,
+  /// and only one rung per refresh -- no flapping, no cliff recovery.
+  double exit_hysteresis = 0.05;
+
+  /// Healthy-trace keep percentage at the moment kDownsample engages;
+  /// degrades linearly to healthy_keep_min_pct as pressure approaches
+  /// shed_enter. Anomalous traces always keep 100%.
+  u32 healthy_keep_pct = 25;
+  u32 healthy_keep_min_pct = 5;
+  /// Seed folded into the admission hash so runs are deterministic but
+  /// decorrelated from span-id assignment.
+  u64 sample_seed = 0x9e3779b97f4a7c15ULL;
+
+  /// Hint returned with kOverloaded refusals: how many transport ticks the
+  /// sender should wait before retrying.
+  u32 retry_after_ticks = 8;
+  /// Force-seal at most once per this many admitted spans while at or above
+  /// kSeal (sealing is O(shard) work; do not do it per span).
+  u64 seal_interval_spans = 4096;
+
+  /// Completeness-ledger window width and retention cap.
+  DurationNs completeness_window_ns = kSecond;
+  size_t completeness_max_windows = 4096;
+  /// Anomalous-trace memory: two generations keyed to this window so the
+  /// "rest of an anomalous trace stays sampled-in" memory is bounded.
+  DurationNs anomaly_window_ns = 60 * kSecond;
+};
+
+/// One completeness-ledger window: what was offered to admission in
+/// [window_start, window_start + window_ns) and what happened to it.
+struct CompletenessWindow {
+  TimestampNs window_start = 0;
+  u64 offered = 0;      ///< spans that reached admission
+  u64 stored = 0;       ///< admitted at full fidelity
+  u64 downsampled = 0;  ///< healthy spans dropped by tail sampling
+  u64 refused = 0;      ///< bounced with kOverloaded (will be retried)
+  u64 anomalous_kept = 0;  ///< subset of stored kept by the anomaly rule
+  /// stored / offered, 1.0 for an empty window.
+  double completeness() const {
+    return offered == 0 ? 1.0
+                        : static_cast<double>(stored) /
+                              static_cast<double>(offered);
+  }
+};
+
+struct GovernorTelemetry {
+  bool active = false;
+  OverloadLevel level = OverloadLevel::kNormal;
+  size_t budget_bytes = 0;
+  size_t total_bytes = 0;  ///< sum of accounts minus the kUnflushed overlay
+  std::array<size_t, kGovernorAccounts> account_bytes{};
+  u64 level_transitions = 0;
+  std::array<u64, kOverloadLevels> level_entries{};
+  u64 forced_seals = 0;
+  u64 downsampled_spans = 0;
+  u64 sampled_kept_spans = 0;
+  u64 anomalous_kept_spans = 0;
+  u64 refused_batches = 0;
+  u64 refused_spans = 0;
+  u64 shed_net_spans = 0;
+};
+
+class ResourceGovernor {
+ public:
+  ResourceGovernor() = default;
+  explicit ResourceGovernor(GovernorConfig config);
+
+  ResourceGovernor(const ResourceGovernor&) = delete;
+  ResourceGovernor& operator=(const ResourceGovernor&) = delete;
+
+  const GovernorConfig& config() const { return config_; }
+  /// True when the governor both accounts and degrades. A constructed-but-
+  /// inactive governor is free: every hook below early-returns.
+  bool active() const { return config_.enabled && config_.budget_bytes > 0; }
+  /// True when byte deltas are recorded (telemetry-only mode included).
+  bool accounting() const { return config_.enabled; }
+
+  // -- byte accounting (push-based; called by the owning subsystems) --------
+  void add_bytes(GovernorAccount account, size_t bytes);
+  void sub_bytes(GovernorAccount account, size_t bytes);
+  size_t account_bytes(GovernorAccount account) const;
+  /// Total governed bytes: all accounts except the kUnflushedStore overlay.
+  size_t total_bytes() const;
+
+  // -- ladder ---------------------------------------------------------------
+  /// Current rung; lock-free, safe from any thread.
+  OverloadLevel level() const {
+    return static_cast<OverloadLevel>(level_.load(std::memory_order_relaxed));
+  }
+  /// Recompute pressure and walk the ladder (up instantly, down one rung
+  /// with hysteresis). Returns the post-refresh level. Cheap when nothing
+  /// changes: a couple of relaxed loads and one comparison.
+  OverloadLevel refresh();
+  /// Pressure as a fraction of budget (max over total and per-account
+  /// ceilings); 0 when inactive.
+  double pressure() const;
+
+  // -- admission ------------------------------------------------------------
+  /// Deterministic hash-based verdict for a *healthy* span keyed by its
+  /// trace identity. Always true below kDownsample. The keep ratio adapts
+  /// to pressure between healthy_keep_pct and healthy_keep_min_pct.
+  bool admit_healthy(u64 trace_key);
+  /// True once the budget is fully exhausted: even anomalous spans must be
+  /// refused to honor the hard byte cap.
+  bool exhausted() const;
+  u32 retry_after_ticks() const { return config_.retry_after_ticks; }
+  /// Rate-limiter for forced seals: true at most once per
+  /// seal_interval_spans admitted spans while at or above kSeal.
+  bool should_force_seal();
+
+  // -- anomalous-trace memory ----------------------------------------------
+  /// Remember that trace_key contained an anomalous span near ts, so later
+  /// healthy spans of the same trace stay sampled-in (span-level tail
+  /// sampling keeps whole anomalous traces coherent). Two generations keyed
+  /// to anomaly_window_ns bound the memory.
+  void mark_anomalous(u64 trace_key, TimestampNs ts);
+  bool is_anomalous(u64 trace_key) const;
+
+  // -- completeness ledger --------------------------------------------------
+  void note_stored(TimestampNs ts, u64 spans = 1);
+  void note_anomalous_kept(TimestampNs ts, u64 spans = 1);
+  void note_sampled_kept(TimestampNs ts, u64 spans = 1);
+  void note_downsampled(TimestampNs ts, u64 spans = 1);
+  void note_refused(TimestampNs ts, u64 spans = 1);
+  void note_refused_batch();
+  void note_forced_seal();
+  void note_shed_net(u64 spans = 1);
+  /// Ledger windows overlapping [from, to), oldest first.
+  std::vector<CompletenessWindow> completeness(TimestampNs from,
+                                               TimestampNs to) const;
+
+  GovernorTelemetry telemetry() const;
+
+ private:
+  double enter_threshold(OverloadLevel level) const;
+  void refresh_keep_pct_locked(double pressure);
+  CompletenessWindow& window_locked(TimestampNs ts);
+
+  GovernorConfig config_;
+
+  std::array<std::atomic<size_t>, kGovernorAccounts> bytes_{};
+  std::atomic<u8> level_{0};
+  std::atomic<u32> keep_pct_{100};
+  std::atomic<u64> spans_since_seal_{0};
+
+  mutable std::mutex ladder_mu_;  ///< serializes level transitions only
+
+  mutable std::mutex anomaly_mu_;
+  u64 anomaly_generation_ = 0;
+  std::unordered_set<u64> anomalous_cur_;
+  std::unordered_set<u64> anomalous_prev_;
+
+  mutable std::mutex ledger_mu_;
+  std::map<TimestampNs, CompletenessWindow> ledger_;
+
+  std::atomic<u64> level_transitions_{0};
+  std::array<std::atomic<u64>, kOverloadLevels> level_entries_{};
+  std::atomic<u64> forced_seals_{0};
+  std::atomic<u64> downsampled_spans_{0};
+  std::atomic<u64> sampled_kept_spans_{0};
+  std::atomic<u64> anomalous_kept_spans_{0};
+  std::atomic<u64> refused_batches_{0};
+  std::atomic<u64> refused_spans_{0};
+  std::atomic<u64> shed_net_spans_{0};
+};
+
+}  // namespace deepflow

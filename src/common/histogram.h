@@ -44,6 +44,11 @@ class LatencyHistogram {
   /// One-line human-readable summary ("n=... p50=...us p90=...us ...").
   std::string summary() const;
 
+  /// Approximate resident bytes (overload-governor accounting).
+  size_t approx_bytes() const {
+    return sizeof(LatencyHistogram) + counts_.size() * sizeof(u64);
+  }
+
  private:
   static constexpr u32 kSubBucketBits = 6;  // 64 linear sub-buckets per octave
   static constexpr u32 kSubBucketCount = 1u << kSubBucketBits;

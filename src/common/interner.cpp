@@ -2,6 +2,33 @@
 
 namespace deepflow {
 
+void StringInterner::set_max_entries(size_t max_entries) {
+  std::unique_lock lk(mu_);
+  max_entries_ = max_entries;
+}
+
+size_t StringInterner::max_entries() const {
+  std::shared_lock lk(mu_);
+  return max_entries_;
+}
+
+u64 StringInterner::overflow_count() const {
+  return overflow_count_.load(std::memory_order_relaxed);
+}
+
+void StringInterner::set_governor(ResourceGovernor* governor) {
+  std::unique_lock lk(mu_);
+  if (governor_ != nullptr) {
+    governor_->sub_bytes(GovernorAccount::kInterner,
+                         payload_bytes_ + strings_.size() * (sizeof(u32) + 32));
+  }
+  governor_ = governor;
+  if (governor_ != nullptr) {
+    governor_->add_bytes(GovernorAccount::kInterner,
+                         payload_bytes_ + strings_.size() * (sizeof(u32) + 32));
+  }
+}
+
 u32 StringInterner::intern(std::string_view text) {
   {
     std::shared_lock lk(mu_);
@@ -12,10 +39,20 @@ u32 StringInterner::intern(std::string_view text) {
   // Double-check: another writer may have interned it between the locks.
   auto it = ids_.find(text);
   if (it != ids_.end()) return it->second;
+  if (max_entries_ != 0 && strings_.size() >= max_entries_) {
+    // Cardinality cap: refuse the new entry; the caller falls back to its
+    // per-batch arena copy (SpanBatch::intern_or_inline).
+    overflow_count_.fetch_add(1, std::memory_order_relaxed);
+    return kInvalidHandle;
+  }
   const u32 handle = static_cast<u32>(strings_.size());
   strings_.emplace_back(text);
   ids_.emplace(std::string_view(strings_.back()), handle);
   payload_bytes_ += text.size();
+  if (governor_ != nullptr) {
+    governor_->add_bytes(GovernorAccount::kInterner,
+                         text.size() + sizeof(u32) + 32);
+  }
   return handle;
 }
 

@@ -18,6 +18,7 @@
 // the interner's lifetime even while other threads intern new strings.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <mutex>
 #include <shared_mutex>
@@ -25,6 +26,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/governor.h"
 #include "common/types.h"
 
 namespace deepflow {
@@ -36,6 +38,24 @@ class StringInterner {
   StringInterner() = default;
   StringInterner(const StringInterner&) = delete;
   StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Cap the number of distinct strings this interner will accept. Once the
+  /// cap is reached, intern() of a *new* string returns kInvalidHandle and
+  /// bumps overflow_count(); callers (SpanBatch) fall back to their per-batch
+  /// arena path so a cardinality explosion degrades to per-batch copies
+  /// instead of unbounded shared growth. 0 (default) = unlimited. Strings
+  /// already interned keep resolving regardless of the cap.
+  /// NOTE: never cap an interner used by a tag encoder — encoded blobs embed
+  /// handles and have no overflow fallback.
+  void set_max_entries(size_t max_entries);
+  size_t max_entries() const;
+
+  /// Distinct new strings bounced by the cap (`deepflow_interner_overflow`).
+  u64 overflow_count() const;
+
+  /// Report byte deltas to a governor's kInterner account (push-based, under
+  /// the writer lock). Pass nullptr to detach.
+  void set_governor(ResourceGovernor* governor);
 
   /// Return the dense handle for `text`, assigning the next free one on
   /// first sight. Handles start at 0 and never change.
@@ -77,6 +97,9 @@ class StringInterner {
   std::unordered_map<std::string_view, u32, StringViewHash, StringViewEq> ids_;
   std::deque<std::string> strings_;
   size_t payload_bytes_ = 0;
+  size_t max_entries_ = 0;  ///< 0 = unlimited
+  ResourceGovernor* governor_ = nullptr;
+  std::atomic<u64> overflow_count_{0};
 };
 
 }  // namespace deepflow

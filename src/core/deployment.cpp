@@ -44,6 +44,13 @@ bool Deployment::deploy() {
         injector_.get());
   }
 
+  if (!federated()) {
+    // Single-server mode: the server's governor watches the transport
+    // queues (byte accounting + rung-3 net shedding + kOverloaded
+    // backpressure). Federated links keep their own refusal semantics.
+    config_.transport.governor = &server_.governor();
+  }
+
   u32 agent_index = 0;
   for (const netsim::NodeId node : cluster_->nodes()) {
     kernelsim::Kernel* kernel = cluster_->kernel_of(node);
@@ -77,11 +84,15 @@ bool Deployment::deploy() {
       // Historical perfect wire: one in-process call per span.
       sink = [this](agent::Span&& span) { server_.ingest(std::move(span)); };
     } else {
+      // Verdict-aware sink: under a quiescent governor try_ingest_batch is
+      // exactly ingest_batch + kAccepted; at kRefuse it bounces the batch
+      // with kOverloaded and the transport backs off (retry-after hint).
       transports_.push_back(std::make_unique<agent::SpanTransport>(
           config_.transport,
-          [this](std::vector<agent::Span>&& batch) {
-            server_.ingest_batch(std::move(batch));
-          },
+          agent::SpanTransport::VerdictBatchSink(
+              [this](std::vector<agent::Span>& batch) {
+                return server_.try_ingest_batch(batch);
+              }),
           injector_.get()));
       agent::SpanTransport* transport = transports_.back().get();
       sink = [transport](agent::Span&& span) {
@@ -94,7 +105,15 @@ bool Deployment::deploy() {
       // Zero-copy hot path: sessions append into a columnar batch that
       // ships whole into the server (direct) or decomposes at the transport
       // queue boundary. The per-span sink above stays installed but idle.
-      if (interner_ == nullptr) interner_ = std::make_shared<StringInterner>();
+      if (interner_ == nullptr) {
+        interner_ = std::make_shared<StringInterner>();
+        // This interner feeds SpanBatch handle columns (which have an
+        // arena-overflow fallback), never an encoder blob — capping is
+        // safe here and only here.
+        interner_->set_max_entries(config_.interner_max_entries);
+        interner_->set_governor(&server_.governor());
+        server_.set_shared_interner(interner_);
+      }
       if (config_.transport.direct) {
         a->set_batch_sink(
             [this](agent::SpanBatch& batch) {
@@ -110,6 +129,7 @@ bool Deployment::deploy() {
             interner_);
       }
     }
+    if (!federated()) a->set_governor(&server_.governor());
     if (config_.forward_stragglers) {
       if (federated()) {
         a->set_straggler_sink([this, host](agent::MessageData&& message) {

@@ -72,6 +72,13 @@ struct DeploymentConfig {
   /// Upload out-of-window messages to the server for re-aggregation
   /// (§3.3.1) instead of emitting them as incomplete sessions at the agent.
   bool forward_stragglers = true;
+  /// Cardinality cap for the deployment-wide shared string interner (the
+  /// SpanBatch dictionary). Past the cap new strings overflow to the
+  /// per-batch arena path (full fidelity, just not interned) and the
+  /// deepflow_interner_overflow counter ticks. 0 = unlimited. Encoder-side
+  /// interners are never capped — their handles are written into encoded
+  /// tag blobs with no overflow representation.
+  size_t interner_max_entries = 0;
 };
 
 class Deployment {
@@ -105,6 +112,10 @@ class Deployment {
   /// Export sink for third-party (OpenTelemetry) tracers: spans flow into
   /// the same store and participate in trace assembly.
   otelsim::ExportSink third_party_sink();
+
+  /// The deployment-wide shared SpanBatch interner (nullptr before deploy()
+  /// or when columnar batching is off/federated).
+  const StringInterner* shared_interner() const { return interner_.get(); }
 
   agent::AgentStats aggregate_stats() const;
   /// Summed transport counters across agents (all-zero in direct mode).

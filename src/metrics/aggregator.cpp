@@ -106,8 +106,9 @@ std::string ServiceMap::render() const {
 // ---------------------------------------------------- MetricsAggregator ----
 
 MetricsAggregator::MetricsAggregator(const netsim::ResourceRegistry* registry,
-                                     MetricsConfig config)
-    : registry_(registry), config_(config) {
+                                     MetricsConfig config,
+                                     ResourceGovernor* governor)
+    : registry_(registry), governor_(governor), config_(config) {
   const size_t stripes = std::max<size_t>(config_.stripes, 1);
   config_.stripes = stripes;
   for (size_t i = 0; i < stripes; ++i) {
@@ -116,6 +117,33 @@ MetricsAggregator::MetricsAggregator(const netsim::ResourceRegistry* registry,
     directory_stripes_.push_back(std::make_unique<DirectoryStripe>());
     name_stripes_.push_back(std::make_unique<NameCacheStripe>());
   }
+}
+
+void MetricsAggregator::account_new_service(const std::string& name,
+                                            const ServiceStats& stats) const {
+  if (governor_ == nullptr) return;
+  governor_->add_bytes(GovernorAccount::kMetrics,
+                       name.size() + sizeof(ServiceStats) + 64 +
+                           stats.latency.approx_bytes() +
+                           stats.series.approx_bytes());
+}
+
+void MetricsAggregator::account_new_edge(const EdgeKey& key,
+                                         const EdgeStats& stats) const {
+  if (governor_ == nullptr) return;
+  governor_->add_bytes(GovernorAccount::kMetrics,
+                       key.first.size() + key.second.size() +
+                           sizeof(EdgeStats) + 64 +
+                           stats.latency.approx_bytes() +
+                           stats.series.approx_bytes());
+}
+
+void MetricsAggregator::account_new_flow(const FiveTuple& tuple,
+                                         const EdgeKey& key) const {
+  if (governor_ == nullptr) return;
+  governor_->add_bytes(GovernorAccount::kMetrics,
+                       sizeof(tuple) + key.first.size() + key.second.size() +
+                           64);
 }
 
 std::string MetricsAggregator::resolve_name(u32 ip) const {
@@ -230,6 +258,7 @@ void MetricsAggregator::record_sample(const SpanSample& span) {
       std::lock_guard<std::mutex> lock(stripe.mu);
       ++stripe.app_spans;
       auto [it, inserted] = stripe.services.try_emplace(service, config_);
+      if (inserted) account_new_service(service, it->second);
       ++it->second.app_spans;
       return;
     }
@@ -241,6 +270,7 @@ void MetricsAggregator::record_sample(const SpanSample& span) {
       std::lock_guard<std::mutex> lock(stripe.mu);
       ++stripe.net_frames;
       auto [it, inserted] = stripe.edges.try_emplace(key, config_);
+      if (inserted) account_new_edge(key, it->second);
       ++it->second.net_frames;
       it->second.series.record_net_frame(span.start_ts);
       return;
@@ -257,6 +287,7 @@ void MetricsAggregator::record_sample(const SpanSample& span) {
     std::lock_guard<std::mutex> lock(stripe.mu);
     ++stripe.service_samples;
     auto [it, inserted] = stripe.services.try_emplace(service, config_);
+    if (inserted) account_new_service(service, it->second);
     ServiceStats& stats = it->second;
     ++stats.requests;
     if (!span.ok) ++stats.errors;
@@ -274,6 +305,7 @@ void MetricsAggregator::record_sample(const SpanSample& span) {
       std::lock_guard<std::mutex> lock(stripe.mu);
       ++stripe.edge_samples;
       auto [it, inserted] = stripe.edges.try_emplace(key, config_);
+      if (inserted) account_new_edge(key, it->second);
       EdgeStats& stats = it->second;
       ++stats.requests;
       if (!span.ok) ++stats.errors;
@@ -288,8 +320,26 @@ void MetricsAggregator::record_sample(const SpanSample& span) {
     const FiveTuple canonical = span.tuple.canonical();
     DirectoryStripe& dir = directory_stripe(canonical);
     std::lock_guard<std::mutex> lock(dir.mu);
-    dir.flows.try_emplace(canonical, key);
+    if (dir.flows.try_emplace(canonical, key).second) {
+      account_new_flow(canonical, key);
+    }
   }
+}
+
+bool MetricsAggregator::is_latency_outlier(const SpanSample& sample) const {
+  if (!config_.enabled) return false;
+  if (sample.kind != agent::SpanKind::kSystem || !sample.from_server_side) {
+    return false;
+  }
+  const std::string service = endpoint_name(sample.server_ip);
+  ServiceStripe& stripe = service_stripe(service);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.services.find(service);
+  if (it == stripe.services.end()) return false;
+  const ServiceStats& stats = it->second;
+  if (stats.requests < kOutlierMinSamples) return false;
+  const DurationNs p99 = stats.latency.p99();
+  return p99 > 0 && sample.duration >= p99;
 }
 
 void MetricsAggregator::record_flow(const FiveTuple& tuple,
@@ -311,6 +361,7 @@ void MetricsAggregator::record_flow(const FiveTuple& tuple,
   EdgeStripe& stripe = edge_stripe(key);
   std::lock_guard<std::mutex> lock(stripe.mu);
   auto [it, inserted] = stripe.edges.try_emplace(key, config_);
+  if (inserted) account_new_edge(key, it->second);
   EdgeStats& stats = it->second;
   stats.flow_bytes += flow.bytes;
   stats.flow_packets += flow.packets;
@@ -341,6 +392,7 @@ void MetricsAggregator::merge_from(const MetricsAggregator& other) {
       ServiceStripe& dst = service_stripe(name);
       std::lock_guard<std::mutex> lock(dst.mu);
       auto [it, inserted] = dst.services.try_emplace(name, config_);
+      if (inserted) account_new_service(name, it->second);
       ServiceStats& d = it->second;
       d.requests += stats.requests;
       d.errors += stats.errors;
@@ -365,6 +417,7 @@ void MetricsAggregator::merge_from(const MetricsAggregator& other) {
       EdgeStripe& dst = edge_stripe(key);
       std::lock_guard<std::mutex> lock(dst.mu);
       auto [it, inserted] = dst.edges.try_emplace(key, config_);
+      if (inserted) account_new_edge(key, it->second);
       EdgeStats& d = it->second;
       d.requests += stats.requests;
       d.errors += stats.errors;
@@ -394,7 +447,9 @@ void MetricsAggregator::merge_from(const MetricsAggregator& other) {
     for (const auto& [tuple, key] : src.flows) {
       DirectoryStripe& dst = directory_stripe(tuple);
       std::lock_guard<std::mutex> lock(dst.mu);
-      dst.flows.try_emplace(tuple, key);
+      if (dst.flows.try_emplace(tuple, key).second) {
+        account_new_flow(tuple, key);
+      }
     }
   }
 }

@@ -46,6 +46,7 @@
 #include "agent/span.h"
 #include "agent/span_batch.h"
 #include "common/five_tuple.h"
+#include "common/governor.h"
 #include "common/histogram.h"
 #include "common/types.h"
 #include "metrics/rollup.h"
@@ -162,8 +163,16 @@ struct SpanSample {
 
 class MetricsAggregator {
  public:
+  /// Minimum per-service request count before p99-based outlier detection
+  /// engages (below this the histogram tail is noise).
+  static constexpr u64 kOutlierMinSamples = 64;
+
+  /// A non-null `governor` receives push-based accounting of per-key
+  /// accumulator bytes on its kMetrics account (each new service/edge costs
+  /// a histogram plus the multi-resolution rings).
   MetricsAggregator(const netsim::ResourceRegistry* registry,
-                    MetricsConfig config = {});
+                    MetricsConfig config = {},
+                    ResourceGovernor* governor = nullptr);
 
   bool enabled() const { return config_.enabled; }
 
@@ -179,6 +188,13 @@ class MetricsAggregator {
   /// nonzero (the server passes its dedup verdicts). Reads columns directly.
   void record_batch(const agent::SpanBatch& batch,
                     const std::vector<u8>& skip);
+
+  /// RED-outlier test for the governor's tail sampler: true when the sample
+  /// is a server-side sys span whose duration reaches its service's all-time
+  /// p99 (with at least kOutlierMinSamples requests folded). Takes the
+  /// service's stripe lock; intended to be called only while the ladder is
+  /// at kDownsample or above.
+  bool is_latency_outlier(const SpanSample& sample) const;
 
   /// Fold one per-flow network metric record (thread-safe). Flows whose
   /// canonical tuple was never seen on a client-side span count as
@@ -319,7 +335,14 @@ class MetricsAggregator {
                               DurationNs duration_sum,
                               const LatencyHistogram& latency);
 
+  /// Push per-key creation costs to the governor (no-ops when detached).
+  void account_new_service(const std::string& name,
+                           const ServiceStats& stats) const;
+  void account_new_edge(const EdgeKey& key, const EdgeStats& stats) const;
+  void account_new_flow(const FiveTuple& tuple, const EdgeKey& key) const;
+
   const netsim::ResourceRegistry* registry_;
+  ResourceGovernor* governor_ = nullptr;
   MetricsConfig config_;
   std::vector<std::unique_ptr<ServiceStripe>> service_stripes_;
   std::vector<std::unique_ptr<EdgeStripe>> edge_stripes_;

@@ -179,6 +179,15 @@ class MultiResolutionSeries {
   size_t level_count() const { return rings_.size(); }
   DurationNs level_width(size_t level) const { return rings_[level].width; }
 
+  /// Approximate resident bytes (overload-governor accounting).
+  size_t approx_bytes() const {
+    size_t bytes = sizeof(MultiResolutionSeries);
+    for (const Ring& ring : rings_) {
+      bytes += sizeof(Ring) + ring.slots.size() * sizeof(MetricsBucket);
+    }
+    return bytes;
+  }
+
  private:
   struct Ring {
     DurationNs width;

@@ -1,7 +1,9 @@
 #include "server/server.h"
 
+#include <algorithm>
 #include <chrono>
 
+#include "common/hash.h"
 #include "common/thread_pool.h"
 #include "metrics/exposition.h"
 
@@ -18,10 +20,13 @@ u64 steady_now_ns() {
 DeepFlowServer::DeepFlowServer(const netsim::ResourceRegistry* registry,
                                ServerConfig config)
     : registry_(registry),
-      store_(config.encoder, registry, config.store_shards, config.storage),
+      governor_(config.governor),
+      store_(config.encoder, registry, config.store_shards, config.storage,
+             &governor_),
       assembler_(&store_, config.assembler),
-      metrics_(registry, config.metrics),
-      reaggregator_(config.reaggregation) {
+      metrics_(registry, config.metrics, &governor_),
+      reaggregator_(config.reaggregation),
+      dedup_window_ns_(config.dedup_window_ns) {
   const size_t stripes = config.store_shards > 0 ? config.store_shards : 1;
   dedup_stripes_.reserve(stripes);
   for (size_t i = 0; i < stripes; ++i) {
@@ -30,23 +35,145 @@ DeepFlowServer::DeepFlowServer(const netsim::ResourceRegistry* registry,
   if (store_.storage_enabled()) {
     // Recovered spans were deduplicated in their first lifetime; prime the
     // seen-set so an at-least-once transport replaying them after the
-    // restart does not store them twice.
+    // restart does not store them twice. The watermark is primed from the
+    // recovered spans' timestamps so the first post-restart rotation does
+    // not immediately forget them.
+    u64 recovered = 0;
     for (const u64 id : store_.recovered_ids()) {
-      dedup_stripes_[id % dedup_stripes_.size()]->seen.insert(id);
+      dedup_stripes_[id % dedup_stripes_.size()]->cur.insert(id);
+      ++recovered;
     }
+    governor_.add_bytes(GovernorAccount::kDedup,
+                        recovered * kDedupEntryBytes);
     // Re-fold them into the metrics plane: the aggregator is
     // order-insensitive, so the rebuilt RED/service-map state is
     // byte-identical to a lifetime that never restarted.
+    u64 watermark = 0;
     for (const agent::Span& span : store_.recovered_spans()) {
+      watermark = std::max(watermark, span.start_ts);
       metrics_.record_span(span);
+    }
+    dedup_watermark_.store(watermark, std::memory_order_relaxed);
+    if (dedup_window_ns_ != 0) {
+      const u64 generation = watermark / dedup_window_ns_;
+      for (const auto& stripe : dedup_stripes_) {
+        stripe->generation = generation;
+      }
     }
   }
 }
 
-bool DeepFlowServer::seen_before(u64 span_id) {
+size_t DeepFlowServer::rotate_dedup_locked(DedupStripe& stripe,
+                                           u64 generation) {
+  if (generation <= stripe.generation) return 0;
+  size_t dropped = 0;
+  if (generation == stripe.generation + 1) {
+    dropped = stripe.prev.size();
+    std::swap(stripe.prev, stripe.cur);
+    stripe.cur.clear();
+  } else {
+    dropped = stripe.prev.size() + stripe.cur.size();
+    stripe.prev.clear();
+    stripe.cur.clear();
+  }
+  stripe.generation = generation;
+  return dropped;
+}
+
+bool DeepFlowServer::seen_before(u64 span_id, TimestampNs start_ts) {
+  // Advance the disorder watermark (commutative max — arrival order never
+  // changes the final generation sequence).
+  u64 seen_ts = dedup_watermark_.load(std::memory_order_relaxed);
+  while (start_ts > seen_ts &&
+         !dedup_watermark_.compare_exchange_weak(seen_ts, start_ts,
+                                                 std::memory_order_relaxed)) {
+  }
+  const u64 generation =
+      dedup_window_ns_ == 0
+          ? 0
+          : std::max(seen_ts, start_ts) / dedup_window_ns_;
+
   DedupStripe& stripe = *dedup_stripes_[span_id % dedup_stripes_.size()];
   std::lock_guard<std::mutex> lock(stripe.mu);
-  return !stripe.seen.insert(span_id).second;
+  size_t dropped = 0;
+  if (dedup_window_ns_ != 0) {
+    dropped = rotate_dedup_locked(stripe, generation);
+  }
+  bool duplicate = false;
+  bool inserted = false;
+  if (stripe.prev.count(span_id) > 0) {
+    duplicate = true;
+    // Refresh into the live generation so the id's memory follows the
+    // watermark for as long as redeliveries keep arriving.
+    inserted = stripe.cur.insert(span_id).second;
+  } else {
+    inserted = stripe.cur.insert(span_id).second;
+    duplicate = !inserted;
+  }
+  if (inserted && dropped > 0) {
+    --dropped;
+  } else if (inserted) {
+    governor_.add_bytes(GovernorAccount::kDedup, kDedupEntryBytes);
+  }
+  if (dropped > 0) {
+    governor_.sub_bytes(GovernorAccount::kDedup, dropped * kDedupEntryBytes);
+  }
+  return duplicate;
+}
+
+u64 DeepFlowServer::trace_key_of(const agent::Span& span) {
+  if (!span.x_request_id.empty()) return fnv1a(span.x_request_id);
+  if (span.systrace_id != kInvalidSystraceId) return span.systrace_id;
+  return span.span_id;
+}
+
+bool DeepFlowServer::admit_sample(const metrics::SpanSample& sample,
+                                  u64 trace_key) {
+  governor_.refresh();
+  if (governor_.should_force_seal()) {
+    // Rung 1: push hot rows to the warm tier — trims the unflushed overlay
+    // (durability exposure) without touching fidelity.
+    store_.flush_storage();
+    governor_.note_forced_seal();
+  }
+  const TimestampNs ts = sample.start_ts;
+  if (governor_.level() < OverloadLevel::kDownsample) {
+    governor_.note_stored(ts);
+    return true;
+  }
+  // Rung 2: span-level tail sampling. Anomalies (errors, incomplete
+  // sessions, RED-latency outliers) and every later span of an anomalous
+  // trace keep full fidelity; healthy traces are hash-downsampled.
+  const bool anomalous = !sample.ok || sample.incomplete ||
+                         metrics_.is_latency_outlier(sample);
+  if (anomalous) {
+    governor_.mark_anomalous(trace_key, ts);
+    governor_.note_anomalous_kept(ts);
+    return true;
+  }
+  if (governor_.is_anomalous(trace_key)) {
+    governor_.note_anomalous_kept(ts);
+    return true;
+  }
+  if (governor_.admit_healthy(trace_key)) {
+    governor_.note_sampled_kept(ts);
+    return true;
+  }
+  governor_.note_downsampled(ts);
+  return false;
+}
+
+bool DeepFlowServer::admit_span(const agent::Span& span) {
+  if (!governor_.active()) return true;
+  metrics::SpanSample sample;
+  sample.kind = span.kind;
+  sample.from_server_side = span.from_server_side;
+  sample.ok = span.ok;
+  sample.incomplete = span.incomplete;
+  sample.server_ip = span.int_tags.server_ip;
+  sample.start_ts = span.start_ts;
+  sample.duration = span.duration();
+  return admit_sample(sample, trace_key_of(span));
 }
 
 void DeepFlowServer::note_ingest_clock() {
@@ -58,15 +185,18 @@ void DeepFlowServer::note_ingest_clock() {
 }
 
 void DeepFlowServer::ingest(agent::Span&& span) {
-  if (span.span_id != 0 && seen_before(span.span_id)) {
+  if (span.span_id != 0 && seen_before(span.span_id, span.start_ts)) {
     duplicate_spans_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  // Metrics fold AFTER dedup (each session samples exactly once even under
+  // at-least-once transports) and BEFORE governor admission: the RED plane
+  // stays complete under tail sampling — only trace storage degrades — and
+  // the outlier detector sees every offered span.
+  metrics_.record_span(span);
+  if (!admit_span(span)) return;  // downsampled by the tail sampler
   ingested_.fetch_add(1, std::memory_order_relaxed);
   note_ingest_clock();
-  // Metrics fold AFTER dedup (each session samples exactly once even under
-  // at-least-once transports) and BEFORE the store takes ownership.
-  metrics_.record_span(span);
   if (ingest_observer_) ingest_observer_(span);
   store_.insert(std::move(span));
 }
@@ -93,6 +223,23 @@ void DeepFlowServer::ingest_span_batch(agent::SpanBatch& batch) {
                          seen, n, std::memory_order_relaxed)) {
   }
 
+  // Advance the dedup watermark once for the whole flight (commutative max
+  // over the start column).
+  const auto& starts = batch.start_ts();
+  u64 batch_max_ts = 0;
+  for (size_t i = 0; i < n; ++i) {
+    batch_max_ts = std::max(batch_max_ts, starts[i]);
+  }
+  u64 seen_ts = dedup_watermark_.load(std::memory_order_relaxed);
+  while (batch_max_ts > seen_ts &&
+         !dedup_watermark_.compare_exchange_weak(seen_ts, batch_max_ts,
+                                                 std::memory_order_relaxed)) {
+  }
+  const u64 generation =
+      dedup_window_ns_ == 0
+          ? 0
+          : std::max(seen_ts, batch_max_ts) / dedup_window_ns_;
+
   // Dedup over the id column, one stripe lock per stripe per batch instead
   // of one per span. The verdict vector is thread-local scratch: warm after
   // the first flight, so the steady-state path allocates nothing here.
@@ -101,33 +248,103 @@ void DeepFlowServer::ingest_span_batch(agent::SpanBatch& batch) {
   const auto& ids = batch.span_ids();
   const size_t stripes = dedup_stripes_.size();
   u64 dups = 0;
+  size_t entry_delta_add = 0;
+  size_t entry_delta_drop = 0;
   for (size_t s = 0; s < stripes; ++s) {
     DedupStripe& stripe = *dedup_stripes_[s];
     std::lock_guard<std::mutex> lock(stripe.mu);
+    if (dedup_window_ns_ != 0) {
+      entry_delta_drop += rotate_dedup_locked(stripe, generation);
+    }
     for (size_t i = 0; i < n; ++i) {
       const u64 id = ids[i];
       if (id == 0 || id % stripes != s) continue;  // id 0: dedup-exempt
-      if (!stripe.seen.insert(id).second) {
+      if (stripe.prev.count(id) > 0) {
+        duplicate[i] = 1;
+        ++dups;
+        if (stripe.cur.insert(id).second) ++entry_delta_add;
+      } else if (stripe.cur.insert(id).second) {
+        ++entry_delta_add;
+      } else {
         duplicate[i] = 1;
         ++dups;
       }
     }
   }
+  if (entry_delta_add > entry_delta_drop) {
+    governor_.add_bytes(GovernorAccount::kDedup,
+                        (entry_delta_add - entry_delta_drop) *
+                            kDedupEntryBytes);
+  } else if (entry_delta_drop > entry_delta_add) {
+    governor_.sub_bytes(GovernorAccount::kDedup,
+                        (entry_delta_drop - entry_delta_add) *
+                            kDedupEntryBytes);
+  }
   if (dups > 0) duplicate_spans_.fetch_add(dups, std::memory_order_relaxed);
-  const u64 stored = n - dups;
+  if (n == dups) return;
+
+  // Same per-span order as ingest(): metrics fold (every deduplicated span
+  // — the RED plane stays complete under tail sampling), then governor
+  // admission, then observer and store for the admitted rows.
+  metrics_.record_batch(batch, duplicate);
+  u64 dropped = 0;
+  if (governor_.active()) {
+    const auto& kinds = batch.kinds();
+    const auto& int_tags = batch.int_tags();
+    const auto& systraces = batch.systrace_ids();
+    for (size_t i = 0; i < n; ++i) {
+      if (duplicate[i] != 0) continue;
+      metrics::SpanSample sample;
+      sample.kind = kinds[i];
+      sample.from_server_side = batch.from_server_side(i);
+      sample.ok = batch.ok(i);
+      sample.incomplete = batch.incomplete(i);
+      sample.server_ip = int_tags[i].server_ip;
+      sample.start_ts = starts[i];
+      sample.duration = batch.duration(i);
+      const std::string_view xrid = batch.x_request_id(i);
+      const u64 key = !xrid.empty() ? fnv1a(xrid)
+                      : systraces[i] != kInvalidSystraceId ? systraces[i]
+                                                           : ids[i];
+      if (!admit_sample(sample, key)) {
+        duplicate[i] = 1;  // skip at the store boundary too
+        ++dropped;
+      }
+    }
+  }
+  const u64 stored = n - dups - dropped;
   if (stored == 0) return;
   ingested_.fetch_add(stored, std::memory_order_relaxed);
   note_ingest_clock();
-
-  // Same per-span order as ingest(): metrics fold, then observer, then the
-  // store — only the store boundary materializes Span objects.
-  metrics_.record_batch(batch, duplicate);
   if (ingest_observer_) {
     for (size_t i = 0; i < n; ++i) {
       if (duplicate[i] == 0) ingest_observer_(batch.materialize(i));
     }
   }
   store_.insert_batch(batch, duplicate);
+}
+
+agent::SinkVerdict DeepFlowServer::try_ingest_batch(
+    std::vector<agent::Span>& spans) {
+  if (governor_.active() &&
+      governor_.refresh() >= OverloadLevel::kRefuse) {
+    // Rung 4: bounce the batch agent-ward with a retry-after hint. Anomalous
+    // spans are pulled out and admitted NOW (a refused anomaly may never
+    // come back if the sender's retry budget runs out); the later full-batch
+    // retry redelivers them, and idempotent dedup filters the copies.
+    const bool exhausted = governor_.exhausted();
+    for (const agent::Span& span : spans) {
+      if (!exhausted && (!span.ok || span.incomplete)) {
+        ingest(agent::Span(span));
+      } else {
+        governor_.note_refused(span.start_ts);
+      }
+    }
+    governor_.note_refused_batch();
+    return agent::SinkVerdict::overloaded(governor_.retry_after_ticks());
+  }
+  ingest_batch(std::move(spans));
+  return agent::SinkVerdict::accepted();
 }
 
 void DeepFlowServer::ingest_third_party(agent::Span&& span) {
@@ -199,6 +416,10 @@ IngestTelemetry DeepFlowServer::ingest_telemetry() const {
         static_cast<double>(t.spans) / (static_cast<double>(last - first) / 1e9);
   }
   t.duplicate_spans = duplicate_spans_.load(std::memory_order_relaxed);
+  for (const auto& stripe : dedup_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    t.dedup_entries += stripe->cur.size() + stripe->prev.size();
+  }
   t.agent_drain_batches = agent_drain_batches_;
   t.agent_drain_records = agent_drain_records_;
   t.agent_staging_waits = agent_staging_waits_;
@@ -274,6 +495,7 @@ std::string DeepFlowServer::prometheus_metrics() const {
       {"deepflow_ingest_span_batch_spans", ingest.span_batch_spans},
       {"deepflow_ingest_max_span_batch_spans", ingest.max_span_batch_spans},
       {"deepflow_ingest_duplicate_spans", ingest.duplicate_spans},
+      {"deepflow_ingest_dedup_entries", ingest.dedup_entries},
       {"deepflow_ingest_agent_drain_batches", ingest.agent_drain_batches},
       {"deepflow_ingest_agent_drain_records", ingest.agent_drain_records},
       {"deepflow_ingest_agent_staging_waits", ingest.agent_staging_waits},
@@ -312,6 +534,56 @@ std::string DeepFlowServer::prometheus_metrics() const {
   for (const auto& [name, value] : query_gauges) {
     writer.family(name, "gauge", "Server query-path self-telemetry.");
     writer.sample(name, {}, value);
+  }
+
+  if (governor_.accounting()) {
+    const GovernorTelemetry gov = governor_.telemetry();
+    writer.family("deepflow_governor_level", "gauge",
+                  "Overload ladder rung (0=normal..4=refuse).");
+    writer.sample("deepflow_governor_level",
+                  {{"name", overload_level_name(gov.level)}},
+                  static_cast<u64>(gov.level));
+    static const char* kAccountNames[kGovernorAccounts] = {
+        "hot_store", "unflushed_store", "metrics", "transport_queue",
+        "interner", "dedup",           "arena"};
+    writer.family("deepflow_governor_account_bytes", "gauge",
+                  "Governed bytes per account.");
+    for (size_t i = 0; i < kGovernorAccounts; ++i) {
+      writer.sample("deepflow_governor_account_bytes",
+                    {{"account", kAccountNames[i]}},
+                    static_cast<u64>(gov.account_bytes[i]));
+    }
+    const std::pair<const char*, u64> governor_gauges[] = {
+        {"deepflow_governor_budget_bytes", gov.budget_bytes},
+        {"deepflow_governor_total_bytes", gov.total_bytes},
+        {"deepflow_governor_level_transitions", gov.level_transitions},
+        {"deepflow_governor_forced_seals", gov.forced_seals},
+        {"deepflow_governor_downsampled_spans", gov.downsampled_spans},
+        {"deepflow_governor_sampled_kept_spans", gov.sampled_kept_spans},
+        {"deepflow_governor_anomalous_kept_spans", gov.anomalous_kept_spans},
+        {"deepflow_governor_refused_batches", gov.refused_batches},
+        {"deepflow_governor_refused_spans", gov.refused_spans},
+        {"deepflow_governor_shed_net_spans", gov.shed_net_spans},
+    };
+    for (const auto& [name, value] : governor_gauges) {
+      writer.family(name, "gauge", "Overload control-plane telemetry.");
+      writer.sample(name, {}, value);
+    }
+  }
+
+  if (shared_interner_ != nullptr) {
+    const std::pair<const char*, u64> interner_gauges[] = {
+        {"deepflow_interner_size",
+         static_cast<u64>(shared_interner_->size())},
+        {"deepflow_interner_bytes",
+         static_cast<u64>(shared_interner_->approx_bytes())},
+        {"deepflow_interner_overflow", shared_interner_->overflow_count()},
+    };
+    for (const auto& [name, value] : interner_gauges) {
+      writer.family(name, "gauge",
+                    "Shared string-interner cardinality telemetry.");
+      writer.sample(name, {}, value);
+    }
   }
 
   if (store_.storage_enabled()) {

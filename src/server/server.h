@@ -14,6 +14,9 @@
 #include "agent/agent.h"
 #include "agent/session_aggregator.h"
 #include "agent/span_builder.h"
+#include "agent/transport.h"
+#include "common/governor.h"
+#include "common/interner.h"
 #include "metrics/aggregator.h"
 #include "netsim/fabric.h"
 #include "server/span_store.h"
@@ -39,6 +42,16 @@ struct ServerConfig {
   /// flushed to columnar segment files and recovered on restart — see
   /// storage/segment_store.h for the knobs.
   storage::StorageConfig storage;
+  /// Overload control plane: byte budgets plus the adaptive degradation
+  /// ladder (seal -> downsample -> shed -> refuse). Disabled by default;
+  /// ingest is then byte-identical to pre-governor builds.
+  GovernorConfig governor;
+  /// Dedup seen-set rotation window. Two generations are kept, keyed to the
+  /// ingest watermark (max span start_ts seen), so the set stays bounded
+  /// under arbitrarily long replays while redeliveries within ~2 windows of
+  /// the watermark — the 60 s disorder bound every transport honours — are
+  /// still filtered. 0 restores the legacy unbounded set.
+  DurationNs dedup_window_ns = 60 * kSecond;
 };
 
 /// Snapshot of network metrics correlated to a flow (tag-based correlation,
@@ -67,6 +80,9 @@ struct IngestTelemetry {
   /// at-least-once transport (retries, duplicate faults) plus this counter
   /// nets out to exactly-once storage.
   u64 duplicate_spans = 0;
+  /// Live dedup seen-set entries across both generations of every stripe
+  /// (bounded by the rotation window, not by stream length).
+  u64 dedup_entries = 0;
   // Accumulated from agents (note_agent_drain): parallel-drain behaviour.
   u64 agent_drain_batches = 0;   // staging batches flushed by drain workers
   u64 agent_drain_records = 0;   // records carried by those batches
@@ -126,6 +142,15 @@ class DeepFlowServer {
   /// boundary, where a row is built anyway. The caller keeps ownership of
   /// the (cleared) batch and reuses it. Thread-safe like ingest().
   void ingest_span_batch(agent::SpanBatch& batch);
+
+  /// Governed batch admission for VerdictBatchSink transports. Below
+  /// kRefuse the whole batch is consumed (like ingest_batch) and the
+  /// verdict is kAccepted. At kRefuse, anomalous spans are still admitted
+  /// individually — idempotent dedup makes the sender's full-batch retry
+  /// safe — and the batch bounces with kOverloaded plus a retry-after hint
+  /// so backpressure propagates agent-ward; once the budget is fully
+  /// exhausted even anomalies bounce. The vector is left intact on refusal.
+  agent::SinkVerdict try_ingest_batch(std::vector<agent::Span>& spans);
 
   /// Third-party (OpenTelemetry-style) span integration.
   void ingest_third_party(agent::Span&& span);
@@ -234,14 +259,44 @@ class DeepFlowServer {
     return ingested_.load(std::memory_order_relaxed);
   }
 
+  // -- Overload control plane. ----------------------------------------------
+
+  /// The server's resource governor: transports share it for queue
+  /// accounting and net-span shedding; tests and benches read its telemetry.
+  ResourceGovernor& governor() { return governor_; }
+  const ResourceGovernor& governor() const { return governor_; }
+
+  /// Completeness ledger over [from, to): per-window offered/stored/
+  /// downsampled/refused counts, so queries can report how complete the
+  /// stored data is for any range that overlapped an overload episode.
+  std::vector<CompletenessWindow> query_completeness(TimestampNs from,
+                                                     TimestampNs to) const {
+    return governor_.completeness(from, to);
+  }
+
+  /// Register the deployment's shared interner so the prometheus scrape
+  /// carries its cardinality/overflow gauges.
+  void set_shared_interner(std::shared_ptr<const StringInterner> interner) {
+    shared_interner_ = std::move(interner);
+  }
+
  private:
   void emit_reaggregated(const std::string& host, agent::Session&& session);
   void note_ingest_clock();
   /// Records `span_id` in the dedup seen-set; true when it was already
-  /// there (i.e. this delivery is a redelivery).
-  bool seen_before(u64 span_id);
+  /// there (i.e. this delivery is a redelivery). `start_ts` advances the
+  /// rotation watermark.
+  bool seen_before(u64 span_id, TimestampNs start_ts);
+  /// Governor admission for one deduplicated span (trace-keyed tail
+  /// sampling; see admit_sample). True = store at full fidelity.
+  bool admit_span(const agent::Span& span);
+  bool admit_sample(const metrics::SpanSample& sample, u64 trace_key);
+  /// Stable trace identity for sampling decisions: the x-request-id when
+  /// present (cross-host), else the systrace id, else the span id.
+  static u64 trace_key_of(const agent::Span& span);
 
   const netsim::ResourceRegistry* registry_;
+  ResourceGovernor governor_;
   SpanStore store_;
   TraceAssembler assembler_;
   metrics::MetricsAggregator metrics_;
@@ -261,12 +316,29 @@ class DeepFlowServer {
   // like the store so concurrent senders contend no worse than on the
   // shards themselves. Spans with id 0 (store-remapped on insert) are
   // exempt: their identity is unknowable at this point.
+  //
+  // Two generations bound the set: when the ingest watermark (max start_ts
+  // seen) crosses a dedup_window_ns boundary, `cur` rotates into `prev` and
+  // entries two generations old are forgotten — memory stays proportional
+  // to two windows of traffic, while any redelivery within the transports'
+  // disorder bound still hits one of the live generations.
   struct DedupStripe {
     std::mutex mu;
-    std::unordered_set<u64> seen;
+    u64 generation = 0;
+    std::unordered_set<u64> cur;
+    std::unordered_set<u64> prev;
   };
+  /// Approximate resident bytes per seen-set entry (node + bucket slot),
+  /// pushed to the governor's kDedup account.
+  static constexpr size_t kDedupEntryBytes = 32;
+  /// Rotate `stripe` (already locked) forward to `generation`; returns the
+  /// number of entries dropped.
+  static size_t rotate_dedup_locked(DedupStripe& stripe, u64 generation);
   std::vector<std::unique_ptr<DedupStripe>> dedup_stripes_;
+  DurationNs dedup_window_ns_ = 0;
+  std::atomic<u64> dedup_watermark_{0};
   std::atomic<u64> duplicate_spans_{0};
+  std::shared_ptr<const StringInterner> shared_interner_;
 
   // Ingest telemetry (all updated thread-safely on the ingest path).
   std::atomic<u64> batches_{0};

@@ -29,12 +29,23 @@ u64 bloom_key_hash(BloomKind kind, u64 value) {
   return mix64(value ^ (0x9e3779b97f4a7c15ULL * (u64{kind} + 1)));
 }
 
+/// Governor accounting for one hot row: the row struct, its owned span
+/// strings (approx_span_bytes counts sizeof(Span) once; SpanRow embeds it),
+/// the encoded tag blob, and a flat estimate for the secondary-index,
+/// directory and time-index entries the row fans out into.
+size_t governed_row_bytes(const SpanRow& row) {
+  return sizeof(SpanRow) +
+         (agent::approx_span_bytes(row.span) - sizeof(agent::Span)) +
+         row.tag_blob.size() + 96;
+}
+
 }  // namespace
 
 SpanStore::SpanStore(EncoderKind encoder_kind,
                      const netsim::ResourceRegistry* registry,
-                     size_t shard_count, storage::StorageConfig storage)
-    : registry_(registry), encoder_kind_(encoder_kind) {
+                     size_t shard_count, storage::StorageConfig storage,
+                     ResourceGovernor* governor)
+    : registry_(registry), governor_(governor), encoder_kind_(encoder_kind) {
   const size_t count = shard_count == 0 ? 1 : shard_count;
   shards_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -170,6 +181,13 @@ std::pair<u64, bool> SpanStore::insert_locked(size_t idx, agent::Span&& span) {
   // (node-based map, so the address is stable for the store's lifetime).
   const auto [it, inserted] = shard.rows.emplace(id, std::move(row));
   index_span(shard, it->second, id);
+  if (governor_ != nullptr && inserted) {
+    const size_t bytes = governed_row_bytes(it->second);
+    governor_->add_bytes(GovernorAccount::kHotStore, bytes);
+    if (storage_ != nullptr) {
+      governor_->add_bytes(GovernorAccount::kUnflushedStore, bytes);
+    }
+  }
   bool seal = false;
   if (storage_ != nullptr) {
     shard.unflushed.push_back(id);
@@ -800,11 +818,17 @@ size_t SpanStore::flush_shard(size_t idx, bool force) {
     std::vector<const SpanRow*> batch_rows;
     std::vector<std::vector<agent::Tag>> tag_sets;
     batch_rows.reserve(batch.size());
+    size_t batch_bytes = 0;
     {
       std::shared_lock lock(shard.mu);
       for (const u64 id : batch) {
         const auto it = shard.rows.find(id);
-        if (it != shard.rows.end()) batch_rows.push_back(&it->second);
+        if (it != shard.rows.end()) {
+          batch_rows.push_back(&it->second);
+          if (governor_ != nullptr) {
+            batch_bytes += governed_row_bytes(it->second);
+          }
+        }
       }
       if (dict_mode && registry_ != nullptr) {
         tag_sets.reserve(batch_rows.size());
@@ -830,6 +854,11 @@ size_t SpanStore::flush_shard(size_t idx, bool force) {
       shard.unflushed.insert(shard.unflushed.end(), batch.begin(),
                              batch.end());
       break;
+    }
+    if (governor_ != nullptr) {
+      // Durability exposure shrinks with every sealed segment — this is
+      // what the ladder's force-seal rung buys.
+      governor_->sub_bytes(GovernorAccount::kUnflushedStore, batch_bytes);
     }
     flushed += inputs.size();
   }

@@ -50,6 +50,7 @@
 
 #include "agent/span.h"
 #include "agent/span_batch.h"
+#include "common/governor.h"
 #include "server/store_backend.h"
 #include "server/tag_encoding.h"
 #include "storage/segment_store.h"
@@ -73,9 +74,13 @@ class SpanStore : public SpanReadBackend {
 
   /// `shard_count` 0/1 selects the serial single-shard layout. With
   /// `storage.enabled`, segments under `storage.dir` are recovered into the
-  /// warm tier before the first insert.
+  /// warm tier before the first insert. A non-null `governor` receives
+  /// push-based byte accounting: every stored row lands in kHotStore, and
+  /// (with storage on) in the kUnflushedStore durability overlay until its
+  /// segment is written.
   SpanStore(EncoderKind encoder_kind, const netsim::ResourceRegistry* registry,
-            size_t shard_count = 1, storage::StorageConfig storage = {});
+            size_t shard_count = 1, storage::StorageConfig storage = {},
+            ResourceGovernor* governor = nullptr);
   ~SpanStore() override;
 
   /// Encode tags and store the span. Returns the span id. Thread-safe.
@@ -302,6 +307,7 @@ class SpanStore : public SpanReadBackend {
   size_t flush_shard(size_t idx, bool force);
 
   const netsim::ResourceRegistry* registry_;
+  ResourceGovernor* governor_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<DirectoryStripe>> directory_;  // empty if 1 shard
 

@@ -127,6 +127,38 @@ TEST(SpanBatch, LowCardinalityStringsShareHandles) {
   EXPECT_LT(interner->size(), 10u);
 }
 
+TEST(SpanBatch, CardinalityCapOverflowsToArenaWithFullFidelity) {
+  // ISSUE 9 satellite: when the shared interner's cap bounces a string, the
+  // batch falls back to its arena overflow table (kOverflowBit handles) and
+  // every span still materializes byte-identically — degradation costs
+  // per-batch copies, never data loss.
+  auto interner = std::make_shared<StringInterner>();
+  interner->set_max_entries(4);
+  SpanBatch batch(interner);
+  std::vector<Span> originals;
+  for (u64 id = 1; id <= 64; ++id) {
+    Span span = make_span(id);
+    // Distinct per-span values in every low-cardinality column: blows
+    // through the 4-entry cap almost immediately.
+    span.host = "host-" + std::to_string(id);
+    span.device_name = "dev-" + std::to_string(id);
+    span.method = "M" + std::to_string(id);
+    span.endpoint = "/ep/" + std::to_string(id);
+    originals.push_back(span);
+    batch.push_span(span);
+  }
+  EXPECT_EQ(interner->size(), 4u);
+  EXPECT_GT(interner->overflow_count(), 0u);
+  // Later rows carry overflow handles, and they resolve through the batch.
+  EXPECT_NE(batch.host_handle(63) & SpanBatch::kOverflowBit, 0u);
+  for (size_t i = 0; i < originals.size(); ++i) {
+    expect_span_eq(batch.materialize(i), originals[i]);
+  }
+  // Column accessors agree with materialization for overflow rows too.
+  EXPECT_EQ(batch.host(63), originals[63].host);
+  EXPECT_EQ(batch.method(63), originals[63].method);
+}
+
 TEST(SpanBatch, ExtraTagsSurviveRoundTrip) {
   auto interner = std::make_shared<StringInterner>();
   SpanBatch batch(interner);

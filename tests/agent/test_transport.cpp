@@ -352,5 +352,239 @@ TEST(SpanTransport, SharedLaneSchedulesAreUndisturbedByLanedPeers) {
   EXPECT_EQ(solo.stats().retries, shared.stats().retries);
 }
 
+// ---- Exact-capacity admission boundary (ISSUE 9 satellite). --------------
+
+TEST(SpanTransportBoundary, ExactCapacitySamePriorityShedsIncomingDeterministically) {
+  // At queue == queue_capacity exactly, an incoming span of the SAME
+  // priority as everything queued must itself be shed (the older span is
+  // closer to delivery) — refusal, never eviction. Repeated runs are
+  // byte-identical: no hidden randomness in the admission path.
+  std::vector<std::vector<u64>> runs;
+  for (int run = 0; run < 3; ++run) {
+    Capture cap;
+    TransportConfig config;
+    config.queue_capacity = 4;
+    config.batch_spans = 64;
+    SpanTransport transport(config, cap.sink());
+    for (u64 id = 1; id <= 4; ++id) transport.offer(make_span(id));
+    EXPECT_EQ(transport.stats().shed_total(), 0u);  // exactly at capacity
+    transport.offer(make_span(5));                  // one past: tie -> incoming
+    EXPECT_EQ(transport.stats().shed_sys, 1u);
+    transport.offer(make_span(6));
+    EXPECT_EQ(transport.stats().shed_sys, 2u);
+    transport.flush();
+    runs.push_back(cap.all_ids());
+  }
+  EXPECT_EQ(runs[0], (std::vector<u64>{1, 2, 3, 4}));
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(SpanTransportBoundary, FullQueueRefusesLowerClassInsteadOfEvicting) {
+  // A full queue of app spans refuses incoming sys and net spans outright:
+  // eviction only ever goes DOWN the value ladder, so nothing queued moves.
+  Capture cap;
+  TransportConfig config;
+  config.queue_capacity = 3;
+  config.batch_spans = 64;
+  SpanTransport transport(config, cap.sink());
+  for (u64 id = 1; id <= 3; ++id) {
+    transport.offer(make_span(id, SpanKind::kApplication));
+  }
+  transport.offer(make_span(4, SpanKind::kSystem));
+  transport.offer(make_span(5, SpanKind::kNetwork));
+  EXPECT_EQ(transport.stats().shed_sys, 1u);
+  EXPECT_EQ(transport.stats().shed_net, 1u);
+  transport.flush();
+  EXPECT_EQ(cap.all_ids(), (std::vector<u64>{1, 2, 3}));
+}
+
+TEST(SpanTransportBoundary, EvictionTakesTheOldestOfTheLowestClass) {
+  // Victim selection at the boundary: the OLDEST span of the lowest class
+  // present goes first (deterministic queue-order tie-break within class).
+  Capture cap;
+  TransportConfig config;
+  config.queue_capacity = 3;
+  config.batch_spans = 64;
+  SpanTransport transport(config, cap.sink());
+  transport.offer(make_span(1, SpanKind::kNetwork));
+  transport.offer(make_span(2, SpanKind::kNetwork));
+  transport.offer(make_span(3, SpanKind::kSystem));
+  transport.offer(make_span(4, SpanKind::kApplication));  // evicts net #1
+  EXPECT_EQ(transport.stats().shed_net, 1u);
+  transport.offer(make_span(5, SpanKind::kApplication));  // evicts net #2
+  EXPECT_EQ(transport.stats().shed_net, 2u);
+  transport.flush();
+  EXPECT_EQ(cap.all_ids(), (std::vector<u64>{3, 4, 5}));
+}
+
+TEST(SpanTransportBoundary, QueueByteBudgetShedsAtAdmission) {
+  const size_t span_bytes = approx_span_bytes(make_span(1));
+  Capture cap;
+  TransportConfig config;
+  config.queue_capacity = 1024;  // count bound out of the way
+  config.batch_spans = 64;
+  config.queue_budget_bytes = 2 * span_bytes + span_bytes / 2;  // fits 2
+  SpanTransport transport(config, cap.sink());
+  transport.offer(make_span(1));
+  transport.offer(make_span(2));
+  EXPECT_EQ(transport.queued_bytes(), 2 * span_bytes);
+  transport.offer(make_span(3));  // same class: incoming shed
+  EXPECT_EQ(transport.stats().shed_sys, 1u);
+  transport.offer(make_span(4, SpanKind::kApplication));  // evicts sys #1
+  EXPECT_EQ(transport.stats().shed_sys, 2u);
+  transport.flush();
+  EXPECT_EQ(cap.all_ids(), (std::vector<u64>{2, 4}));
+  EXPECT_EQ(transport.queued_bytes(), 0u);
+}
+
+// ---- Overload verdicts (kOverloaded vs kRefused). ------------------------
+
+TEST(SpanTransportOverload, HonorsRetryAfterHintAndPausesFreshSends) {
+  // An overloaded receiver bounces twice with retry-after 5, then recovers.
+  // The retry schedule must respect the hint (not the shorter backoff).
+  int bounces = 2;
+  std::vector<u64> delivered;
+  TransportConfig config;
+  config.batch_spans = 2;
+  config.jitter_ticks = 0;
+  SpanTransport transport(
+      config, SpanTransport::VerdictBatchSink(
+                  [&](std::vector<Span>& spans) -> SinkVerdict {
+                    if (bounces > 0) {
+                      --bounces;
+                      return SinkVerdict::overloaded(5);
+                    }
+                    for (const Span& s : spans) delivered.push_back(s.span_id);
+                    return SinkVerdict::accepted();
+                  }));
+  transport.offer(make_span(1));
+  transport.offer(make_span(2));
+  std::vector<u64> attempt_ticks;
+  u64 sent_before = 0;
+  for (u64 tick = 1; tick <= 12; ++tick) {
+    transport.pump();
+    if (transport.stats().batches_sent > sent_before) {
+      attempt_ticks.push_back(tick);
+      sent_before = transport.stats().batches_sent;
+    }
+  }
+  // Attempt 1 at tick 1, then retry-after 5: ticks 6 and 11.
+  EXPECT_EQ(attempt_ticks, (std::vector<u64>{1, 6, 11}));
+  EXPECT_EQ(delivered, (std::vector<u64>{1, 2}));
+  EXPECT_EQ(transport.stats().overload_refused_batches, 2u);
+  EXPECT_EQ(transport.stats().overload_refused_spans, 4u);
+  EXPECT_EQ(transport.stats().overload_retries, 2u);
+  EXPECT_EQ(transport.stats().overload_gave_up_batches, 0u);
+  // The channel-fault retry counter stays clean: overload is not a drop.
+  EXPECT_EQ(transport.stats().retries, 0u);
+  EXPECT_EQ(transport.stats().send_drops, 0u);
+}
+
+TEST(SpanTransportOverload, PauseHoldsFreshBatchesWhileOverloaded) {
+  // While paused by a retry-after hint, full batches stay queued (the
+  // backpressure half: queue depth climbs toward the priority shedder).
+  int bounces = 1;
+  TransportConfig config;
+  config.batch_spans = 2;
+  config.jitter_ticks = 0;
+  SpanTransport transport(
+      config, SpanTransport::VerdictBatchSink(
+                  [&](std::vector<Span>& spans) -> SinkVerdict {
+                    if (bounces > 0) {
+                      --bounces;
+                      return SinkVerdict::overloaded(8);
+                    }
+                    (void)spans;
+                    return SinkVerdict::accepted();
+                  }));
+  transport.offer(make_span(1));
+  transport.offer(make_span(2));
+  transport.pump();  // tick 1: bounced, paused until tick 9
+  transport.offer(make_span(3));
+  transport.offer(make_span(4));
+  const u64 sent_at_pause = transport.stats().batches_sent;
+  transport.pump();  // tick 2: a full batch waits out the pause
+  EXPECT_EQ(transport.stats().batches_sent, sent_at_pause);
+  EXPECT_EQ(transport.backlog(), 4u);
+  transport.flush();
+  EXPECT_EQ(transport.backlog(), 0u);
+  EXPECT_EQ(transport.stats().gave_up_spans, 0u);
+}
+
+TEST(SpanTransportOverload, GivesUpOnTheSeparateOverloadBudget) {
+  TransportConfig config;
+  config.batch_spans = 2;
+  config.jitter_ticks = 0;
+  config.overload_max_attempts = 3;
+  SpanTransport transport(
+      config, SpanTransport::VerdictBatchSink(
+                  [](std::vector<Span>&) -> SinkVerdict {
+                    return SinkVerdict::overloaded(1);
+                  }));
+  transport.offer(make_span(1));
+  transport.offer(make_span(2));
+  transport.flush();  // must terminate despite a permanently refusing sink
+  EXPECT_EQ(transport.stats().overload_refused_batches, 3u);
+  EXPECT_EQ(transport.stats().overload_retries, 2u);
+  EXPECT_EQ(transport.stats().overload_gave_up_batches, 1u);
+  EXPECT_EQ(transport.stats().overload_gave_up_spans, 2u);
+  EXPECT_EQ(transport.stats().gave_up_spans, 2u);
+  EXPECT_EQ(transport.backlog(), 0u);
+}
+
+TEST(SpanTransportOverload, GovernorRungThreeShedsNetAtAdmission) {
+  GovernorConfig gov_config;
+  gov_config.enabled = true;
+  gov_config.budget_bytes = 1000;
+  ResourceGovernor governor(gov_config);
+  governor.add_bytes(GovernorAccount::kHotStore, 950);  // 0.95 -> kShed
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kShed);
+
+  Capture cap;
+  TransportConfig config;
+  config.batch_spans = 64;
+  config.governor = &governor;
+  SpanTransport transport(config, cap.sink());
+  transport.offer(make_span(1, SpanKind::kNetwork));
+  transport.offer(make_span(2, SpanKind::kSystem));
+  transport.offer(make_span(3, SpanKind::kApplication));
+  EXPECT_EQ(transport.stats().governor_shed_net, 1u);
+  EXPECT_EQ(transport.stats().shed_net, 1u);
+  EXPECT_EQ(governor.telemetry().shed_net_spans, 1u);
+  transport.flush();
+  EXPECT_EQ(cap.all_ids(), (std::vector<u64>{2, 3}));
+
+  // Recovery: below the shed rung net spans pass again.
+  governor.sub_bytes(GovernorAccount::kHotStore, 900);
+  while (governor.refresh() != OverloadLevel::kNormal) {
+  }
+  transport.offer(make_span(4, SpanKind::kNetwork));
+  transport.flush();
+  EXPECT_EQ(transport.stats().governor_shed_net, 1u);
+  EXPECT_EQ(cap.all_ids(), (std::vector<u64>{2, 3, 4}));
+}
+
+TEST(SpanTransportOverload, QueueBytesAccountedToGovernorAndDrained) {
+  GovernorConfig gov_config;
+  gov_config.enabled = true;  // telemetry-only: accounts, never degrades
+  ResourceGovernor governor(gov_config);
+
+  Capture cap;
+  TransportConfig config;
+  config.batch_spans = 2;
+  config.governor = &governor;
+  SpanTransport transport(config, cap.sink());
+  transport.offer(make_span(1));
+  transport.offer(make_span(2));
+  transport.offer(make_span(3));
+  EXPECT_EQ(governor.account_bytes(GovernorAccount::kTransportQueue),
+            transport.queued_bytes());
+  EXPECT_GT(transport.queued_bytes(), 0u);
+  transport.flush();
+  EXPECT_EQ(transport.queued_bytes(), 0u);
+  EXPECT_EQ(governor.account_bytes(GovernorAccount::kTransportQueue), 0u);
+}
+
 }  // namespace
 }  // namespace deepflow::agent

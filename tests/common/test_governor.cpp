@@ -1,0 +1,234 @@
+// ResourceGovernor unit suite: byte accounting, the degradation ladder's
+// monotone entry and hysteresis-guarded exit, deterministic tail-sampling
+// verdicts, the anomalous-trace memory, and the completeness ledger.
+#include "common/governor.h"
+
+#include <gtest/gtest.h>
+
+namespace deepflow {
+namespace {
+
+GovernorConfig active_config(size_t budget = 1000) {
+  GovernorConfig config;
+  config.enabled = true;
+  config.budget_bytes = budget;
+  return config;
+}
+
+TEST(GovernorTest, InactiveByDefault) {
+  ResourceGovernor governor;
+  EXPECT_FALSE(governor.active());
+  EXPECT_FALSE(governor.accounting());
+  governor.add_bytes(GovernorAccount::kHotStore, 1 << 20);
+  EXPECT_EQ(governor.total_bytes(), 0u);
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kNormal);
+  EXPECT_TRUE(governor.admit_healthy(42));
+  EXPECT_FALSE(governor.exhausted());
+  EXPECT_FALSE(governor.should_force_seal());
+  governor.mark_anomalous(7, 0);
+  EXPECT_FALSE(governor.is_anomalous(7));
+}
+
+TEST(GovernorTest, TelemetryOnlyModeAccountsButNeverDegrades) {
+  GovernorConfig config;
+  config.enabled = true;  // budget_bytes stays 0
+  ResourceGovernor governor(config);
+  EXPECT_TRUE(governor.accounting());
+  EXPECT_FALSE(governor.active());
+  governor.add_bytes(GovernorAccount::kMetrics, 12345);
+  EXPECT_EQ(governor.total_bytes(), 12345u);
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kNormal);
+  EXPECT_TRUE(governor.admit_healthy(1));
+}
+
+TEST(GovernorTest, TotalExcludesUnflushedOverlay) {
+  ResourceGovernor governor(active_config());
+  governor.add_bytes(GovernorAccount::kHotStore, 300);
+  governor.add_bytes(GovernorAccount::kUnflushedStore, 300);
+  governor.add_bytes(GovernorAccount::kDedup, 100);
+  EXPECT_EQ(governor.total_bytes(), 400u);
+  EXPECT_EQ(governor.account_bytes(GovernorAccount::kUnflushedStore), 300u);
+}
+
+TEST(GovernorTest, SubBytesSaturatesAtZero) {
+  ResourceGovernor governor(active_config());
+  governor.add_bytes(GovernorAccount::kArena, 10);
+  governor.sub_bytes(GovernorAccount::kArena, 25);
+  EXPECT_EQ(governor.account_bytes(GovernorAccount::kArena), 0u);
+}
+
+TEST(GovernorTest, LadderEntersEveryRungMonotonically) {
+  ResourceGovernor governor(active_config(1000));
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kNormal);
+  governor.add_bytes(GovernorAccount::kHotStore, 700);  // 0.70
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kSeal);
+  governor.add_bytes(GovernorAccount::kHotStore, 100);  // 0.80
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kDownsample);
+  governor.add_bytes(GovernorAccount::kHotStore, 100);  // 0.90
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kShed);
+  governor.add_bytes(GovernorAccount::kHotStore, 70);   // 0.97
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kRefuse);
+  EXPECT_TRUE(governor.exhausted() == false);
+  governor.add_bytes(GovernorAccount::kHotStore, 30);   // 1.00
+  EXPECT_TRUE(governor.exhausted());
+}
+
+TEST(GovernorTest, EscalationSkipsRungsInstantly) {
+  ResourceGovernor governor(active_config(1000));
+  governor.add_bytes(GovernorAccount::kHotStore, 990);
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kRefuse);
+  EXPECT_EQ(governor.telemetry().level_transitions, 1u);
+}
+
+TEST(GovernorTest, DeescalationOneRungWithHysteresis) {
+  ResourceGovernor governor(active_config(1000));
+  governor.add_bytes(GovernorAccount::kHotStore, 990);
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kRefuse);
+
+  // Just below refuse_enter but above refuse_enter - hysteresis: hold.
+  governor.sub_bytes(GovernorAccount::kHotStore, 40);  // 0.95
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kRefuse);
+
+  // Clearly below: one rung per refresh, never a cliff.
+  governor.sub_bytes(GovernorAccount::kHotStore, 900);  // 0.05
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kShed);
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kDownsample);
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kSeal);
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kNormal);
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kNormal);
+}
+
+TEST(GovernorTest, NoFlappingAroundBoundary) {
+  ResourceGovernor governor(active_config(1000));
+  governor.add_bytes(GovernorAccount::kHotStore, 700);
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kSeal);
+  // Oscillate within the hysteresis band around seal_enter: level holds.
+  for (int i = 0; i < 10; ++i) {
+    governor.sub_bytes(GovernorAccount::kHotStore, 30);  // 0.67
+    EXPECT_EQ(governor.refresh(), OverloadLevel::kSeal);
+    governor.add_bytes(GovernorAccount::kHotStore, 30);  // 0.70
+    EXPECT_EQ(governor.refresh(), OverloadLevel::kSeal);
+  }
+  EXPECT_EQ(governor.telemetry().level_transitions, 1u);
+}
+
+TEST(GovernorTest, PerAccountCeilingDrivesLadder) {
+  GovernorConfig config = active_config(1'000'000);
+  config.account_budget_bytes[static_cast<size_t>(
+      GovernorAccount::kInterner)] = 100;
+  ResourceGovernor governor(config);
+  governor.add_bytes(GovernorAccount::kInterner, 95);
+  // Total pressure is negligible; the interner ceiling alone escalates.
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kShed);
+}
+
+TEST(GovernorTest, AdmitHealthyDeterministicAndAdaptive) {
+  GovernorConfig config = active_config(1000);
+  ResourceGovernor governor(config);
+  EXPECT_TRUE(governor.admit_healthy(123));  // below kDownsample: always yes
+
+  governor.add_bytes(GovernorAccount::kHotStore, 800);  // exactly 0.80
+  EXPECT_EQ(governor.refresh(), OverloadLevel::kDownsample);
+  u64 kept_at_enter = 0;
+  for (u64 key = 0; key < 10'000; ++key) {
+    if (governor.admit_healthy(key)) ++kept_at_enter;
+  }
+  // keep_pct at the downsample threshold is healthy_keep_pct (25%).
+  EXPECT_NEAR(static_cast<double>(kept_at_enter) / 10'000.0, 0.25, 0.03);
+  // Determinism: the same keys give the same verdicts.
+  u64 kept_again = 0;
+  for (u64 key = 0; key < 10'000; ++key) {
+    if (governor.admit_healthy(key)) ++kept_again;
+  }
+  EXPECT_EQ(kept_at_enter, kept_again);
+
+  governor.add_bytes(GovernorAccount::kHotStore, 99);  // just below shed
+  governor.refresh();
+  u64 kept_at_shed = 0;
+  for (u64 key = 0; key < 10'000; ++key) {
+    if (governor.admit_healthy(key)) ++kept_at_shed;
+  }
+  // Near shed_enter the ramp approaches healthy_keep_min_pct (5%).
+  EXPECT_LT(kept_at_shed, kept_at_enter);
+  EXPECT_NEAR(static_cast<double>(kept_at_shed) / 10'000.0, 0.05, 0.03);
+}
+
+TEST(GovernorTest, AnomalousMemoryRotatesTwoGenerations) {
+  GovernorConfig config = active_config();
+  config.anomaly_window_ns = 100;
+  ResourceGovernor governor(config);
+  governor.mark_anomalous(1, 50);     // generation 0
+  EXPECT_TRUE(governor.is_anomalous(1));
+  governor.mark_anomalous(2, 150);    // generation 1: 1 survives in prev
+  EXPECT_TRUE(governor.is_anomalous(1));
+  EXPECT_TRUE(governor.is_anomalous(2));
+  governor.mark_anomalous(3, 250);    // generation 2: 1 is forgotten
+  EXPECT_FALSE(governor.is_anomalous(1));
+  EXPECT_TRUE(governor.is_anomalous(2));
+  EXPECT_TRUE(governor.is_anomalous(3));
+  governor.mark_anomalous(4, 1000);   // generation jump: only 4 remains
+  EXPECT_FALSE(governor.is_anomalous(2));
+  EXPECT_FALSE(governor.is_anomalous(3));
+  EXPECT_TRUE(governor.is_anomalous(4));
+}
+
+TEST(GovernorTest, CompletenessLedgerTracksEveryDecision) {
+  GovernorConfig config = active_config();
+  config.completeness_window_ns = 100;
+  ResourceGovernor governor(config);
+  governor.note_stored(10, 5);
+  governor.note_anomalous_kept(20, 2);
+  governor.note_downsampled(30, 3);
+  governor.note_refused(150, 4);
+
+  const auto windows = governor.completeness(0, 200);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].window_start, 0u);
+  EXPECT_EQ(windows[0].offered, 10u);
+  EXPECT_EQ(windows[0].stored, 7u);
+  EXPECT_EQ(windows[0].anomalous_kept, 2u);
+  EXPECT_EQ(windows[0].downsampled, 3u);
+  EXPECT_DOUBLE_EQ(windows[0].completeness(), 0.7);
+  EXPECT_EQ(windows[1].window_start, 100u);
+  EXPECT_EQ(windows[1].offered, 4u);
+  EXPECT_EQ(windows[1].refused, 4u);
+  EXPECT_DOUBLE_EQ(windows[1].completeness(), 0.0);
+
+  // Range filtering: a query ending before the second window excludes it.
+  EXPECT_EQ(governor.completeness(0, 100).size(), 1u);
+  EXPECT_EQ(governor.completeness(100, 200).size(), 1u);
+}
+
+TEST(GovernorTest, CompletenessLedgerBounded) {
+  GovernorConfig config = active_config();
+  config.completeness_window_ns = 10;
+  config.completeness_max_windows = 16;
+  ResourceGovernor governor(config);
+  for (u64 i = 0; i < 1000; ++i) governor.note_stored(i * 10);
+  const auto windows =
+      governor.completeness(0, ~TimestampNs{0});
+  EXPECT_LE(windows.size(), 17u);  // cap + the in-flight window
+}
+
+TEST(GovernorTest, ForceSealRateLimited) {
+  GovernorConfig config = active_config(1000);
+  config.seal_interval_spans = 10;
+  ResourceGovernor governor(config);
+  EXPECT_FALSE(governor.should_force_seal());  // kNormal: never
+
+  governor.add_bytes(GovernorAccount::kHotStore, 750);
+  governor.refresh();
+  u64 seals = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (governor.should_force_seal()) ++seals;
+  }
+  EXPECT_EQ(seals, 10u);  // once per seal_interval_spans admissions
+}
+
+TEST(GovernorTest, LevelNames) {
+  EXPECT_STREQ(overload_level_name(OverloadLevel::kNormal), "normal");
+  EXPECT_STREQ(overload_level_name(OverloadLevel::kRefuse), "refuse");
+}
+
+}  // namespace
+}  // namespace deepflow

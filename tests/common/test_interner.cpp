@@ -107,6 +107,58 @@ TEST(StringInterner, ConcurrentInternAndLookup) {
   }
 }
 
+TEST(StringInterner, CardinalityCapBouncesNewStringsOnly) {
+  // Satellite of ISSUE 9: a cardinality explosion must not grow the shared
+  // dictionary without bound. Past the cap, *new* strings bounce with
+  // kInvalidHandle (callers fall back to their per-batch arena) while every
+  // string already interned keeps resolving and re-interning normally.
+  StringInterner interner;
+  interner.set_max_entries(4);
+  EXPECT_EQ(interner.max_entries(), 4u);
+  const u32 a = interner.intern("a");
+  const u32 b = interner.intern("b");
+  const u32 c = interner.intern("c");
+  const u32 d = interner.intern("d");
+  EXPECT_EQ(interner.size(), 4u);
+  EXPECT_EQ(interner.overflow_count(), 0u);
+
+  const size_t bytes_at_cap = interner.approx_bytes();
+  // The explosion: 10k distinct request-ids all bounce, none are stored.
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_EQ(interner.intern("req-" + std::to_string(i)),
+              StringInterner::kInvalidHandle);
+  }
+  EXPECT_EQ(interner.size(), 4u);
+  EXPECT_EQ(interner.overflow_count(), 10'000u);
+  EXPECT_EQ(interner.approx_bytes(), bytes_at_cap);  // no hidden growth
+
+  // Pre-cap strings are unaffected in every direction.
+  EXPECT_EQ(interner.intern("a"), a);
+  EXPECT_EQ(interner.intern("d"), d);
+  EXPECT_EQ(interner.find("b"), b);
+  EXPECT_EQ(interner.lookup(c), "c");
+  // find() of a bounced string stays a miss (it was never admitted).
+  EXPECT_EQ(interner.find("req-7"), StringInterner::kInvalidHandle);
+}
+
+TEST(StringInterner, CapReportsBytesToGovernor) {
+  GovernorConfig config;
+  config.enabled = true;  // telemetry-only accounting
+  ResourceGovernor governor(config);
+  StringInterner interner;
+  interner.set_governor(&governor);
+  interner.set_max_entries(2);
+  interner.intern("first");
+  interner.intern("second");
+  EXPECT_EQ(governor.account_bytes(GovernorAccount::kInterner),
+            interner.approx_bytes());
+  // Bounced strings add no bytes to the account.
+  interner.intern("third");
+  EXPECT_EQ(interner.overflow_count(), 1u);
+  EXPECT_EQ(governor.account_bytes(GovernorAccount::kInterner),
+            interner.approx_bytes());
+}
+
 TEST(StringInterner, ApproxBytesGrowsWithContent) {
   StringInterner interner;
   const size_t empty = interner.approx_bytes();

@@ -1,0 +1,307 @@
+// Overload control plane end-to-end (ISSUE 9): the governor's byte budget
+// and degradation ladder exercised through the real ingest pipeline — dedup
+// seen-set rotation, quiescent-governor byte identity, a 5x overload soak
+// against a fixed budget (anomaly recall, per-window completeness, monotone
+// degradation), transport backpressure with recovery, and forced sealing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "agent/transport.h"
+#include "bench/bench_util.h"
+#include "server/canonical.h"
+#include "server/server.h"
+#include "tests/storage/storage_test_util.h"
+
+namespace deepflow::server {
+namespace {
+
+using storage::testutil::ScopedTempDir;
+
+/// Synthetic spans with the anomaly bits the governor keys on: ok derives
+/// from the status code, and a thin slice arrives incomplete.
+std::vector<agent::Span> overload_spans(size_t count,
+                                        const bench::SyntheticCluster& cluster,
+                                        u64 seed) {
+  Rng rng(seed);
+  std::vector<agent::Span> spans;
+  spans.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    agent::Span span = bench::make_synthetic_span(i + 1, rng, cluster);
+    span.ok = span.status_code < 500;
+    span.incomplete = (i % 97) == 0;
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+bool is_anomalous(const agent::Span& span) {
+  return !span.ok || span.incomplete;
+}
+
+// ---- Satellite: bounded dedup seen-set under long replay. ----------------
+
+TEST(OverloadControl, DedupSeenSetBoundedUnderLongReplay) {
+  const auto cluster = bench::make_synthetic_cluster(2, 2, 1);
+  ServerConfig config;
+  config.dedup_window_ns = 1 * kMillisecond;  // spans are 1us apart
+  DeepFlowServer server(&cluster.registry, config);
+
+  // 50k spans spread over 50 rotation windows. The unbounded seen-set of
+  // earlier PRs would hold all 50k ids; the rotating two-generation set
+  // holds at most the last two windows (~2000 entries).
+  Rng rng(21);
+  constexpr size_t kSpans = 50'000;
+  for (size_t i = 0; i < kSpans; ++i) {
+    server.ingest(bench::make_synthetic_span(i + 1, rng, cluster));
+  }
+  const auto telemetry = server.ingest_telemetry();
+  EXPECT_EQ(telemetry.spans, kSpans);
+  EXPECT_EQ(telemetry.duplicate_spans, 0u);
+  EXPECT_LE(telemetry.dedup_entries, 2'500u);  // two windows + stripe slack
+  EXPECT_GT(telemetry.dedup_entries, 0u);
+
+  // Redelivery within the window is still filtered exactly as before: the
+  // last 500 spans (well inside the current generation) all dedup.
+  Rng replay(21);
+  std::vector<agent::Span> tail;
+  for (size_t i = 0; i < kSpans; ++i) {
+    agent::Span span = bench::make_synthetic_span(i + 1, replay, cluster);
+    if (i >= kSpans - 500) tail.push_back(std::move(span));
+  }
+  for (agent::Span& span : tail) server.ingest(std::move(span));
+  const auto after = server.ingest_telemetry();
+  EXPECT_EQ(after.duplicate_spans, 500u);
+  EXPECT_EQ(after.spans, kSpans);  // nothing stored twice
+  EXPECT_LE(after.dedup_entries, 2'500u);
+}
+
+// ---- Byte identity with a quiescent governor. ----------------------------
+
+TEST(OverloadControl, QuiescentGovernorIsByteIdentical) {
+  // A governor that is enabled but far under budget must not change a byte
+  // of any query answer relative to the no-governor baseline.
+  const auto cluster = bench::make_synthetic_cluster(4, 4, 3);
+  const auto spans = overload_spans(2'000, cluster, 31);
+
+  ServerConfig base_config;
+  DeepFlowServer baseline(&cluster.registry, base_config);
+  for (const agent::Span& s : spans) baseline.ingest(agent::Span(s));
+
+  ServerConfig governed_config;
+  governed_config.governor.enabled = true;
+  governed_config.governor.budget_bytes = size_t{1} << 40;  // never pressured
+  DeepFlowServer governed(&cluster.registry, governed_config);
+  for (const agent::Span& s : spans) governed.ingest(agent::Span(s));
+
+  EXPECT_EQ(canonical_store_dump(governed.store()),
+            canonical_store_dump(baseline.store()));
+  EXPECT_EQ(governed.ingest_telemetry().spans,
+            baseline.ingest_telemetry().spans);
+  const GovernorTelemetry telemetry = governed.governor().telemetry();
+  EXPECT_EQ(telemetry.level, OverloadLevel::kNormal);
+  EXPECT_EQ(telemetry.downsampled_spans, 0u);
+  EXPECT_EQ(telemetry.refused_spans, 0u);
+  EXPECT_GT(telemetry.total_bytes, 0u);  // but it *was* accounting
+}
+
+// ---- The tentpole soak: 5x offered load vs a fixed byte budget. ----------
+
+TEST(OverloadControl, FiveTimesOverloadSoakHonorsBudgetAndKeepsAnomalies) {
+  const auto cluster = bench::make_synthetic_cluster(4, 4, 3);
+  const auto spans = overload_spans(20'000, cluster, 41);
+
+  // Measure pass: what the full stream costs with no budget, so the soak
+  // budget is exactly 1/5 of the offered load in bytes.
+  size_t full_bytes = 0;
+  {
+    ServerConfig measure_config;
+    measure_config.governor.enabled = true;  // telemetry-only
+    DeepFlowServer measure(&cluster.registry, measure_config);
+    for (const agent::Span& s : spans) measure.ingest(agent::Span(s));
+    full_bytes = measure.governor().total_bytes();
+  }
+  ASSERT_GT(full_bytes, 0u);
+
+  ServerConfig config;
+  config.governor.enabled = true;
+  config.governor.budget_bytes = full_bytes / 5;
+  config.governor.seal_interval_spans = 512;
+  // Aggressive ladder for a sustained 5x squeeze: refusal engages at 80% so
+  // the final 20% of the budget stays reserved for anomalies — the whole
+  // anomalous slice of the stream (~3% of offered bytes = 15% of budget)
+  // must fit after healthy admission stops.
+  config.governor.seal_enter = 0.40;
+  config.governor.downsample_enter = 0.50;
+  config.governor.shed_enter = 0.65;
+  config.governor.refuse_enter = 0.80;
+  DeepFlowServer server(&cluster.registry, config);
+
+  // Offer in transport-sized batches through the refusal-aware entry point,
+  // retrying each bounced batch a few times like a real sender would.
+  std::vector<OverloadLevel> levels;
+  for (size_t base = 0; base < spans.size(); base += 256) {
+    std::vector<agent::Span> batch(
+        spans.begin() + base,
+        spans.begin() + std::min(base + 256, spans.size()));
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (server.try_ingest_batch(batch).status !=
+          agent::SinkStatus::kOverloaded) {
+        break;
+      }
+      // Bounced: the batch vector is intact; retry it (dedup filters the
+      // anomalous spans that were admitted out of the refused batch).
+      batch.clear();
+      batch.assign(spans.begin() + base,
+                   spans.begin() + std::min(base + 256, spans.size()));
+    }
+    levels.push_back(server.governor().level());
+  }
+
+  // Monotone degradation: under monotonically growing retained bytes the
+  // ladder never walks back down mid-soak.
+  for (size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_GE(levels[i], levels[i - 1]) << "ladder regressed at batch " << i;
+  }
+  EXPECT_EQ(levels.back(), OverloadLevel::kRefuse);
+
+  // The budget held: accounted bytes stay within the cap (small slack for
+  // the spans in flight when the refuse rung engaged).
+  const GovernorTelemetry telemetry = server.governor().telemetry();
+  EXPECT_LE(telemetry.total_bytes,
+            config.governor.budget_bytes + config.governor.budget_bytes / 20);
+  EXPECT_GT(telemetry.downsampled_spans, 0u);
+  EXPECT_GT(telemetry.refused_spans, 0u);
+  EXPECT_GT(telemetry.forced_seals, 0u);
+
+  // Anomaly recall >= 0.95: errors and incomplete sessions survive the
+  // squeeze at full fidelity.
+  std::unordered_set<u64> stored_ids;
+  for (const agent::Span& s : server.query_span_list(0, ~TimestampNs{0})) {
+    stored_ids.insert(s.span_id);
+  }
+  u64 anomalous_offered = 0;
+  u64 anomalous_stored = 0;
+  for (const agent::Span& s : spans) {
+    if (!is_anomalous(s)) continue;
+    ++anomalous_offered;
+    if (stored_ids.count(s.span_id) != 0) ++anomalous_stored;
+  }
+  ASSERT_GT(anomalous_offered, 100u);
+  const double recall = static_cast<double>(anomalous_stored) /
+                        static_cast<double>(anomalous_offered);
+  EXPECT_GE(recall, 0.95) << anomalous_stored << "/" << anomalous_offered;
+
+  // Healthy spans were genuinely downsampled — retention is selective, not
+  // just late truncation.
+  EXPECT_LT(stored_ids.size(), spans.size());
+
+  // Per-window completeness ledger: every offered span is accounted for in
+  // exactly one bucket — offered == stored + downsampled + refused, with
+  // anomalous keeps a subset of stored.
+  const auto windows = server.query_completeness(0, ~TimestampNs{0});
+  ASSERT_FALSE(windows.empty());
+  u64 ledger_offered = 0;
+  for (const CompletenessWindow& w : windows) {
+    EXPECT_EQ(w.offered, w.stored + w.downsampled + w.refused)
+        << "window " << w.window_start;
+    EXPECT_LE(w.anomalous_kept, w.stored);
+    ledger_offered += w.offered;
+  }
+  EXPECT_GE(ledger_offered, spans.size());  // retries re-offer refused spans
+}
+
+// ---- End-to-end backpressure: refusal propagates to the transport. -------
+
+TEST(OverloadControl, TransportBackpressureRefusesThenRecovers) {
+  const auto cluster = bench::make_synthetic_cluster(2, 2, 1);
+  ServerConfig config;
+  config.governor.enabled = true;
+  config.governor.budget_bytes = 1 << 20;
+  config.governor.retry_after_ticks = 4;
+  DeepFlowServer server(&cluster.registry, config);
+
+  // External pressure pins the governor at kRefuse before any span arrives
+  // (a neighbouring subsystem ate the budget).
+  server.governor().add_bytes(GovernorAccount::kMetrics, 1 << 20);
+  ASSERT_EQ(server.governor().refresh(), OverloadLevel::kRefuse);
+
+  agent::TransportConfig transport_config;
+  transport_config.batch_spans = 8;
+  transport_config.jitter_ticks = 0;
+  agent::SpanTransport transport(
+      transport_config,
+      agent::SpanTransport::VerdictBatchSink(
+          [&server](std::vector<agent::Span>& batch) {
+            return server.try_ingest_batch(batch);
+          }));
+
+  Rng rng(51);
+  for (u64 id = 1; id <= 8; ++id) {
+    agent::Span span = bench::make_synthetic_span(id, rng, cluster);
+    span.ok = true;
+    span.incomplete = false;
+    transport.offer(std::move(span));
+  }
+  for (int tick = 0; tick < 6; ++tick) transport.pump();
+  // The healthy batch bounced and is waiting out the retry-after hint;
+  // nothing was stored and nothing was dropped.
+  EXPECT_GT(transport.stats().overload_refused_batches, 0u);
+  EXPECT_EQ(transport.stats().gave_up_spans, 0u);
+  EXPECT_EQ(server.ingest_telemetry().spans, 0u);
+  EXPECT_GT(server.governor().telemetry().refused_spans, 0u);
+
+  // Pressure clears; recovery walks the ladder down one rung per refresh
+  // (hysteresis, no cliff), then the paused batch delivers on its due retry.
+  server.governor().sub_bytes(GovernorAccount::kMetrics, 1 << 20);
+  while (server.governor().refresh() != OverloadLevel::kNormal) {
+  }
+  for (int tick = 0; tick < 32 && server.ingest_telemetry().spans < 8;
+       ++tick) {
+    transport.pump();
+  }
+  EXPECT_EQ(server.ingest_telemetry().spans, 8u);
+  EXPECT_GT(transport.stats().overload_retries, 0u);
+  EXPECT_EQ(transport.stats().gave_up_spans, 0u);
+}
+
+// ---- Rung 1: forced sealing pushes hot rows to the warm tier. ------------
+
+TEST(OverloadControl, ForcedSealTrimsUnflushedOverlay) {
+  const auto cluster = bench::make_synthetic_cluster(2, 2, 1);
+  ScopedTempDir dir("df-overload-seal");
+  ServerConfig config;
+  config.storage.enabled = true;
+  config.storage.dir = dir.str();
+  config.storage.segment_spans = 4096;  // never seals on its own here
+  config.governor.enabled = true;
+  config.governor.budget_bytes = size_t{1} << 25;
+  config.governor.seal_interval_spans = 64;
+  DeepFlowServer server(&cluster.registry, config);
+
+  // Park pressure on the seal rung (0.70 <= p < 0.80) without involving
+  // admission: the store stays at full fidelity, it just seals eagerly. The
+  // budget is wide enough that the 1k ingested spans cannot push pressure
+  // over the downsample rung.
+  server.governor().add_bytes(GovernorAccount::kMetrics, size_t{3} << 23);
+  ASSERT_EQ(server.governor().refresh(), OverloadLevel::kSeal);
+
+  Rng rng(61);
+  for (u64 id = 1; id <= 1'000; ++id) {
+    server.ingest(bench::make_synthetic_span(id, rng, cluster));
+  }
+  const GovernorTelemetry telemetry = server.governor().telemetry();
+  EXPECT_GT(telemetry.forced_seals, 0u);
+  EXPECT_EQ(telemetry.downsampled_spans, 0u);  // fidelity untouched at rung 1
+  EXPECT_EQ(server.ingest_telemetry().spans, 1'000u);
+  // Sealing actually drained the durability overlay to the warm tier.
+  EXPECT_GT(server.store().storage_telemetry().flushed_spans, 0u);
+  EXPECT_LT(server.governor().account_bytes(GovernorAccount::kUnflushedStore),
+            server.governor().account_bytes(GovernorAccount::kHotStore));
+}
+
+}  // namespace
+}  // namespace deepflow::server

@@ -1,0 +1,213 @@
+// Streaming-assembly characterization (ISSUE 10): (A) baseline per-span
+// ingest throughput with no streaming hook, (B) the two streaming pipeline
+// stages measured separately — the grouper's ingest-critical-path overhead
+// (the acceptance budget: within 15% of the non-streaming ingest path) and
+// window-finalization throughput, the capacity number that sizes the
+// finalize_workers pool (finalization overlaps ingest on its own threads,
+// so it bounds sustainable load, not per-span latency) — and (C) the
+// anomaly-aware tail sampler swept across healthy keep rates under a fixed
+// governor budget: anomaly recall vs healthy-trace retention vs the byte
+// fraction kept, the retention tradeoff table in EXPERIMENTS.md.
+#include <cinttypes>
+#include <vector>
+
+#include "assembly/streaming_assembler.h"
+#include "bench/bench_util.h"
+#include "server/server.h"
+
+namespace deepflow {
+namespace {
+
+constexpr u64 kSpansPerTrace = 8;
+constexpr u64 kAnomalousTraceStride = 50;  // every 50th trace gets an error
+
+/// Synthetic load with exact 8-span traces (the generator's id/8 grouping is
+/// overridden so trace membership is closed-form) and a controlled anomaly
+/// population: every 50th trace opens with an error span. Everything else is
+/// healthy — tail sampling should be free to downsample it.
+std::vector<agent::Span> offered_spans(u64 count,
+                                       const bench::SyntheticCluster& cluster) {
+  Rng rng(4242);
+  std::vector<agent::Span> spans;
+  spans.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    agent::Span span = bench::make_synthetic_span(i + 1, rng, cluster);
+    span.systrace_id = i / kSpansPerTrace + 1;
+    span.ok = true;
+    span.status_code = 200;
+    if (span.systrace_id % kAnomalousTraceStride == 1 &&
+        i % kSpansPerTrace == 0) {
+      span.ok = false;
+      span.status_code = 500;
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+/// Sweep config (phase C): spans arrive at 1 us spacing, so a 2 ms disorder
+/// window keeps every 8-span trace (8 us wide) intact while forcing window
+/// closes to happen during ingest rather than piling up for the final flush
+/// — the sweep exercises the full streaming path, not just the flush.
+server::StreamingAssemblyConfig streaming_config() {
+  server::StreamingAssemblyConfig config;
+  config.enabled = true;
+  config.disorder_window_ns = 2 * kMillisecond;
+  return config;
+}
+
+/// Ingest every span through the per-span path and return the wall seconds
+/// of the ingest loop alone — the critical-path number both phases share.
+double timed_ingest(server::DeepFlowServer& server,
+                    const std::vector<agent::Span>& spans) {
+  const bench::WallTimer timer;
+  for (const agent::Span& s : spans) server.ingest(agent::Span(s));
+  return timer.elapsed_seconds();
+}
+
+struct SweepResult {
+  u32 keep_pct = 0;
+  double anomaly_recall = 0;
+  double healthy_retention = 0;
+  double retained_ratio = 0;
+  u64 kept_anomalous = 0;
+  u64 kept_sampled = 0;
+  u64 dropped = 0;
+};
+
+SweepResult run_sweep(u32 keep_pct, const std::vector<agent::Span>& spans,
+                      const bench::SyntheticCluster& cluster) {
+  server::ServerConfig config;
+  config.streaming = streaming_config();
+  config.streaming.tail_sampling.enabled = true;
+  config.streaming.tail_sampling.healthy_keep_pct = keep_pct;
+  // Fixed byte budget across the sweep: the governor accounts every open
+  // window and index entry, and the ladder would engage if retention blew
+  // through it.
+  config.governor.enabled = true;
+  config.governor.budget_bytes = size_t{256} << 20;
+  server::DeepFlowServer server(&cluster.registry, config);
+  assembly::StreamingAssembler sa(config.streaming, &server.mutable_store(),
+                                  &server.trace_assembler(),
+                                  &server.governor());
+  server.attach_streaming(&sa);
+  for (const agent::Span& s : spans) server.ingest(agent::Span(s));
+  sa.flush();
+
+  const server::AssemblyTelemetry t = sa.telemetry();
+  SweepResult result;
+  result.keep_pct = keep_pct;
+  result.kept_anomalous = t.kept_anomalous_traces;
+  result.kept_sampled = t.kept_sampled_traces;
+  result.dropped = t.dropped_traces;
+
+  // Recall over the spans of the injected anomalous traces: every member
+  // must still be servable from the materialized index at full fidelity.
+  u64 anomalous_spans = 0;
+  u64 served = 0;
+  for (const agent::Span& s : spans) {
+    if (s.systrace_id % kAnomalousTraceStride != 1) continue;
+    ++anomalous_spans;
+    if (sa.completed(s.span_id) != nullptr) ++served;
+  }
+  result.anomaly_recall =
+      anomalous_spans == 0
+          ? 1.0
+          : static_cast<double>(served) / static_cast<double>(anomalous_spans);
+
+  // Healthy population = finalized minus everything the anomaly detector
+  // kept (injected errors plus natural latency outliers).
+  const u64 healthy = t.finalized_traces - t.kept_anomalous_traces;
+  result.healthy_retention =
+      healthy == 0 ? 0.0
+                   : static_cast<double>(t.kept_sampled_traces) /
+                         static_cast<double>(healthy);
+  const u64 total_bytes = t.retained_bytes + t.dropped_bytes;
+  result.retained_ratio =
+      total_bytes == 0 ? 1.0
+                       : static_cast<double>(t.retained_bytes) /
+                             static_cast<double>(total_bytes);
+  return result;
+}
+
+}  // namespace
+}  // namespace deepflow
+
+int main(int argc, char** argv) {
+  using namespace deepflow;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::JsonReport report(args.json_path);
+  const u64 span_count = args.quick ? 16'000 : 160'000;
+  bench::print_header(
+      "Streaming assembly — grouping overhead, finalize capacity, sampling");
+
+  const bench::SyntheticCluster cluster = bench::make_synthetic_cluster(8, 8, 4);
+  const auto spans = offered_spans(span_count, cluster);
+  std::printf("\n  offered: %" PRIu64 " spans in %" PRIu64
+              " traces (every %" PRIu64 "th anomalous)\n\n",
+              span_count, span_count / kSpansPerTrace, kAnomalousTraceStride);
+
+  // Phase A: the ingest pipeline with no streaming hook attached.
+  double baseline_sps = 0;
+  {
+    server::DeepFlowServer baseline(&cluster.registry);
+    const double seconds = timed_ingest(baseline, spans);
+    baseline_sps = static_cast<double>(span_count) / seconds;
+  }
+
+  // Phase B: streaming on, sampling off. The two pipeline stages measured
+  // apart: the ingest loop pays only for grouping (the default 60 s disorder
+  // window means no window is closable during this short run), then the
+  // flush drain finalizes every window — the capacity of the finalizer
+  // stage, which production deployments overlap with ingest on the
+  // finalize_workers pool rather than paying per span.
+  double streaming_sps = 0;
+  double finalize_sps = 0;
+  u64 finalized = 0;
+  {
+    server::ServerConfig config;
+    config.streaming.enabled = true;
+    server::DeepFlowServer server(&cluster.registry, config);
+    assembly::StreamingAssembler sa(config.streaming, &server.mutable_store(),
+                                    &server.trace_assembler(),
+                                    &server.governor());
+    server.attach_streaming(&sa);
+    const double ingest_seconds = timed_ingest(server, spans);
+    streaming_sps = static_cast<double>(span_count) / ingest_seconds;
+    const bench::WallTimer drain;
+    sa.flush();
+    const double drain_seconds = drain.elapsed_seconds();
+    finalize_sps = static_cast<double>(span_count) / drain_seconds;
+    finalized = sa.telemetry().finalized_traces;
+  }
+  const double overhead_pct =
+      100.0 * (baseline_sps - streaming_sps) / baseline_sps;
+  std::printf("  %-28s %14.0f spans/sec\n", "baseline ingest", baseline_sps);
+  std::printf("  %-28s %14.0f spans/sec  (%+.1f%% vs baseline)\n",
+              "streaming ingest", streaming_sps, -overhead_pct);
+  std::printf("  %-28s %14.0f spans/sec  (%" PRIu64
+              " traces; runs on the worker pool)\n\n",
+              "window finalization", finalize_sps, finalized);
+  report.add("spans_per_sec_baseline", baseline_sps);
+  report.add("spans_per_sec_streaming", streaming_sps);
+  report.add("streaming_overhead_pct", overhead_pct);
+  report.add("finalize_spans_per_sec", finalize_sps);
+
+  // Phase C: tail-sampling sweep under a fixed 256 MB governor budget.
+  std::printf("  %-8s %8s %12s %12s %10s %10s %10s\n", "keep%", "recall",
+              "healthy ret", "bytes kept", "anom", "sampled", "dropped");
+  for (const u32 keep_pct : {5u, 25u, 50u}) {
+    const SweepResult row = run_sweep(keep_pct, spans, cluster);
+    std::printf("  %6u%% %8.3f %11.1f%% %11.1f%% %10" PRIu64 " %10" PRIu64
+                " %10" PRIu64 "\n",
+                row.keep_pct, row.anomaly_recall,
+                100.0 * row.healthy_retention, 100.0 * row.retained_ratio,
+                row.kept_anomalous, row.kept_sampled, row.dropped);
+    const std::string prefix = "keep" + std::to_string(keep_pct) + "_";
+    report.add(prefix + "anomaly_recall", row.anomaly_recall);
+    report.add(prefix + "healthy_retention", row.healthy_retention);
+    report.add(prefix + "retained_bytes_ratio", row.retained_ratio);
+  }
+  std::printf("\n");
+  return report.write() ? 0 : 1;
+}

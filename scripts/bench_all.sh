@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Run every benchmark in quick mode and write one BENCH_<name>.json per
 # bench at the repo root — the perf trajectory snapshot that accumulates
-# across PRs. Uses the release build (configures it if missing).
+# across PRs. Each run also appends one line per bench to BENCH_HISTORY.jsonl
+# (same metrics, flattened, stamped with git SHA + timestamp), so regressions
+# are visible as a time series instead of only as the latest snapshot.
+# Uses the release build (configures it if missing).
 #
 #   scripts/bench_all.sh          # all benches, --quick, BENCH_*.json
 #   scripts/bench_all.sh --full   # full workloads (slow; same JSON files)
@@ -39,6 +42,20 @@ stamp_json() {
     "$json"
 }
 
+# One compact line per bench per run, appended to the shared history file.
+history_append() {
+  local name="$1" json="$2"
+  [[ -f "$json" ]] || return 0
+  python3 - "$name" "$json" "$root/BENCH_HISTORY.jsonl" <<'PY'
+import json, sys
+name, src, hist = sys.argv[1:4]
+with open(src) as f:
+    row = json.load(f)
+with open(hist, "a") as f:
+    f.write(json.dumps({"bench": name, **row}, sort_keys=True) + "\n")
+PY
+}
+
 failed=()
 for bench in "$root"/bench/bench_*.cpp; do
   name="$(basename "$bench" .cpp)"
@@ -53,6 +70,7 @@ for bench in "$root"/bench/bench_*.cpp; do
   # shellcheck disable=SC2086
   if "$binary" --json "$json" $mode; then
     stamp_json "$json"
+    history_append "$name" "$json"
   else
     echo "-- $name FAILED" >&2
     failed+=("$name")

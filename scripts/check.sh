@@ -12,8 +12,8 @@
 #                               # + chaos/metrics/storage-tier/federation/
 #                               # interner/span-batch suites and
 #                               # bench_fig15_query_delay/bench_storage/
-#                               # bench_federation/bench_ingest_scaling
-#                               # --quick smokes)
+#                               # bench_federation/bench_ingest_scaling/
+#                               # bench_streaming --quick smokes)
 #   scripts/check.sh ubsan      # ubsan only (undefined-behaviour gate over
 #                               # the same suite matrix as asan, plus the
 #                               # bench_overload --quick smoke)
@@ -45,7 +45,7 @@ run_tsan() {
   # gate on the suites that exercise the parallel ingest pipeline.
   (cd "$root/build-tsan" && TSAN_OPTIONS="halt_on_error=1" ctest \
     --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector|Metrics|SegmentStoreTier|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence|Governor|Overload')
+    -R 'ThreadPool|MpscRingArray|SpscRing|ParallelEquivalence|QueryEquivalence|Chaos|SpanTransport|FaultInjector|Metrics|SegmentStoreTier|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence|Governor|Overload|Streaming')
   echo "== tsan: bench_fig15_query_delay --quick smoke =="
   # Shared-mutex readers + batch assembly under TSan on a tiny workload:
   # catches query-path races the unit suites cannot reach.
@@ -78,6 +78,12 @@ run_tsan() {
   cmake --build --preset tsan -j "$jobs" --target bench_ingest_scaling
   TSAN_OPTIONS="halt_on_error=1" \
     "$root/build-tsan/bench/bench_ingest_scaling" --quick
+  echo "== tsan: bench_streaming --quick smoke =="
+  # The streaming assembler's grouper lock, finalizer worker pool and the
+  # shared completed-trace index under concurrent close/query traffic.
+  cmake --build --preset tsan -j "$jobs" --target bench_streaming
+  TSAN_OPTIONS="halt_on_error=1" \
+    "$root/build-tsan/bench/bench_streaming" --quick
   echo "== tsan: bench_overload --quick smoke =="
   # The governor's atomics and ladder mutex under the refusal/retry loop.
   cmake --build --preset tsan -j "$jobs" --target bench_overload
@@ -96,7 +102,7 @@ run_asan() {
   # rings behind striped locks on the same ingest path.
   (cd "$root/build-asan" && ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
     ctest --output-on-failure -j "$jobs" \
-    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence|Governor|Overload')
+    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence|Governor|Overload|Streaming')
   echo "== asan: bench_fault_recovery --quick smoke =="
   cmake --build --preset asan -j "$jobs" --target bench_fault_recovery
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
@@ -129,7 +135,7 @@ run_ubsan() {
   # the pointer and integer arithmetic where UB would hide.
   (cd "$root/build-ubsan" && UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
     ctest --output-on-failure -j "$jobs" \
-    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence|Governor|Overload')
+    -R 'Chaos|SpanTransport|FaultInjector|Metrics|Segment|PersistenceEquivalence|Federation|HashRing|StringInterner|Arena|SpanBatch|BatchEquivalence|Governor|Overload|Streaming')
   echo "== ubsan: bench_overload --quick smoke =="
   cmake --build --preset ubsan -j "$jobs" --target bench_overload
   UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \

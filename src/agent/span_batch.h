@@ -133,6 +133,8 @@ class SpanBatch {
   }
   const std::vector<TcpSeq>& req_tcp_seqs() const { return req_tcp_seqs_; }
   const std::vector<TcpSeq>& resp_tcp_seqs() const { return resp_tcp_seqs_; }
+  const std::vector<Pid>& pids() const { return pids_; }
+  const std::vector<Tid>& tids() const { return tids_; }
   const std::vector<TimestampNs>& start_ts() const { return start_ts_; }
   const std::vector<TimestampNs>& end_ts() const { return end_ts_; }
   const std::vector<u8>& flags() const { return flags_; }

@@ -1,0 +1,506 @@
+#include "assembly/streaming_assembler.h"
+
+#include <algorithm>
+
+namespace deepflow::assembly {
+
+namespace {
+
+// Bookkeeping byte estimates for the kAssembly governor account. Approximate
+// by design (like every owner's accounting): per-entry container overheads
+// are flat constants, and add/sub pairs always cancel because the group
+// carries the exact sum it was charged.
+constexpr size_t kMemberBytes = sizeof(u64);
+constexpr size_t kKeyBytes = sizeof(std::pair<u8, u64>) + 16;  // + table slot
+constexpr size_t kIndexEntryBytes = 64;  // map node + shared_ptr control
+constexpr u32 kNoRoot = ~u32{0};
+
+}  // namespace
+
+StreamingAssembler::StreamingAssembler(
+    server::StreamingAssemblyConfig config, server::SpanStore* store,
+    const server::TraceAssembler* assembler, ResourceGovernor* governor)
+    : config_(config),
+      store_(store),
+      assembler_(assembler),
+      governor_(governor),
+      governor_accounting_(governor != nullptr && governor->accounting()),
+      ledger_(config.completeness_window_ns, config.completeness_max_windows) {
+  nodes_.reserve(1024);
+  workers_.reserve(config_.finalize_workers);
+  for (u32 i = 0; i < config_.finalize_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+StreamingAssembler::~StreamingAssembler() {
+  // Workers drain whatever is still queued before exiting, so every detached
+  // group is ledgered even on an unflushed shutdown.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Hand the kAssembly account back so a governor outliving this assembler
+  // does not carry phantom bytes.
+  if (governor_accounting_) {
+    governor_->sub_bytes(
+        GovernorAccount::kAssembly,
+        open_bytes_ + index_bytes_.load(std::memory_order_relaxed));
+  }
+}
+
+TimestampNs StreamingAssembler::watermark_locked() const {
+  // Clamp at zero: near-zero clocks (and the wrap-adjacent fixtures) must
+  // not underflow into a bogus huge watermark.
+  return max_ts_ > config_.disorder_window_ns
+             ? max_ts_ - config_.disorder_window_ns
+             : 0;
+}
+
+TimestampNs StreamingAssembler::watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watermark_locked();
+}
+
+size_t StreamingAssembler::assembly_ceiling() const {
+  if (governor_ == nullptr || !governor_->active()) return 0;
+  return governor_->config().account_budget_bytes[static_cast<size_t>(
+      GovernorAccount::kAssembly)];
+}
+
+u32 StreamingAssembler::find_locked(u32 node) {
+  while (nodes_[node].parent != node) {
+    nodes_[node].parent = nodes_[nodes_[node].parent].parent;  // path halving
+    node = nodes_[node].parent;
+  }
+  return node;
+}
+
+u32 StreamingAssembler::unite_locked(u32 a, u32 b) {
+  a = find_locked(a);
+  b = find_locked(b);
+  if (a == b) return a;
+  // Small-to-large payload merge keeps total move work O(n log n).
+  if (nodes_[a].group.members.size() < nodes_[b].group.members.size()) {
+    std::swap(a, b);
+  }
+  Group& ga = nodes_[a].group;
+  Group& gb = nodes_[b].group;
+  ga.members.insert(ga.members.end(), gb.members.begin(), gb.members.end());
+  ga.keys.insert(ga.keys.end(), gb.keys.begin(), gb.keys.end());
+  ga.first_ts = std::min(ga.first_ts, gb.first_ts);
+  ga.max_ts = std::max(ga.max_ts, gb.max_ts);
+  ga.bytes += gb.bytes;
+  ga.anomalous = ga.anomalous || gb.anomalous;
+  gb = Group{};
+  nodes_[b].parent = a;
+  roots_.erase(b);
+  return a;
+}
+
+void StreamingAssembler::observe_locked(const server::SpanNote& note) {
+  if (note.start_ts > max_ts_) max_ts_ = note.start_ts;
+  ++observed_;
+  const TimestampNs wm = watermark_locked();
+  if (wm > 0 && note.start_ts < wm) {
+    // Straggler: its original group may already be closed. It starts (or
+    // joins) whatever group its keys still map to — degradation is monotone,
+    // never a mutation of a finalized trace.
+    ++late_;
+  }
+
+  // Collect the note's association keys — same presence guards as the batch
+  // assembler's add_new_keys, with req/resp TCP seqs sharing one namespace.
+  std::array<std::pair<u8, u64>, 6> keys;
+  size_t nkeys = 0;
+  if (note.systrace_id != kInvalidSystraceId) {
+    keys[nkeys++] = {kSystrace, note.systrace_id};
+  }
+  if (note.pseudo_key != 0) keys[nkeys++] = {kPseudoThread, note.pseudo_key};
+  if (note.x_request_hash != 0) {
+    keys[nkeys++] = {kXRequestId, note.x_request_hash};
+  }
+  if (note.req_tcp_seq != 0) keys[nkeys++] = {kTcpSeq, note.req_tcp_seq};
+  if (note.resp_tcp_seq != 0 && note.resp_tcp_seq != note.req_tcp_seq) {
+    keys[nkeys++] = {kTcpSeq, note.resp_tcp_seq};
+  }
+  if (note.otel_hash != 0) keys[nkeys++] = {kOtel, note.otel_hash};
+
+  // Pass 1: resolve every already-known key, uniting their groups.
+  u32 root = kNoRoot;
+  std::array<size_t, 6> missing;
+  size_t nmissing = 0;
+  for (size_t i = 0; i < nkeys; ++i) {
+    const u32 node = key_table_.find(keys[i].first, keys[i].second);
+    if (node == KeyTable::kNotFound) {
+      missing[nmissing++] = i;
+      continue;
+    }
+    const u32 r = find_locked(node);
+    root = root == kNoRoot ? r : unite_locked(root, r);
+  }
+  size_t delta = 0;
+  if (root == kNoRoot) {
+    root = static_cast<u32>(nodes_.size());
+    nodes_.push_back(Node{root, Group{}});
+    roots_.insert(root);
+    delta += sizeof(Node) + 16;  // node slot + roots_ entry
+  }
+  // Pass 2: claim the new keys for the (possibly merged) root.
+  Group& g = nodes_[root].group;
+  for (size_t m = 0; m < nmissing; ++m) {
+    const std::pair<u8, u64>& k = keys[missing[m]];
+    key_table_.insert(k.first, k.second, root);
+    g.keys.push_back(k);
+    delta += kKeyBytes;
+  }
+  g.members.push_back(note.span_id);
+  delta += kMemberBytes;
+  g.first_ts = std::min(g.first_ts, note.start_ts);
+  g.max_ts = std::max(g.max_ts, std::max(note.start_ts, note.end_ts));
+  g.anomalous = g.anomalous || note.anomalous;
+  g.bytes += delta;
+  open_bytes_ += delta;
+  if (governor_accounting_) {
+    governor_->add_bytes(GovernorAccount::kAssembly, delta);
+  }
+}
+
+StreamingAssembler::Group StreamingAssembler::detach_locked(u32 root) {
+  Group g = std::move(nodes_[root].group);
+  nodes_[root].group = Group{};
+  // The component owns every key in its merged key list, so plain erasure
+  // cannot touch another live group's mapping. Erasing here is what makes a
+  // post-close straggler open a NEW group instead of resurrecting this one.
+  for (const std::pair<u8, u64>& k : g.keys) {
+    key_table_.erase(k.first, k.second);
+  }
+  open_bytes_ -= std::min(open_bytes_, g.bytes);
+  if (governor_accounting_) {
+    governor_->sub_bytes(GovernorAccount::kAssembly, g.bytes);
+  }
+  return g;
+}
+
+void StreamingAssembler::scan_closable_locked(bool force_all,
+                                              std::vector<Group>* out) {
+  const TimestampNs wm = watermark_locked();
+  // wm == 0 (the run is still inside its first disorder window) cannot close
+  // anything; skip the sweep so the periodic scan costs nothing until the
+  // watermark actually starts moving.
+  if (force_all || wm > 0) {
+    for (auto it = roots_.begin(); it != roots_.end();) {
+      // Strictly below: a span landing exactly AT the watermark can still
+      // join its group (the §3.3 disorder window is inclusive).
+      if (force_all || nodes_[*it].group.max_ts < wm) {
+        out->push_back(detach_locked(*it));
+        it = roots_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (force_all) return;
+
+  const auto oldest_root = [this]() {
+    u32 best = kNoRoot;
+    TimestampNs best_ts = ~TimestampNs{0};
+    for (const u32 r : roots_) {
+      if (best == kNoRoot || nodes_[r].group.first_ts < best_ts) {
+        best = r;
+        best_ts = nodes_[r].group.first_ts;
+      }
+    }
+    return best;
+  };
+  // Hard cap on concurrently open windows: trim oldest-first.
+  while (config_.max_open_windows > 0 &&
+         roots_.size() > config_.max_open_windows) {
+    const u32 r = oldest_root();
+    out->push_back(detach_locked(r));
+    roots_.erase(r);
+    forced_closes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Governor pressure on the kAssembly account: early-close oldest windows
+  // until the account drops under its ceiling (or no open state is left —
+  // the account also carries the completed index, which only queries/
+  // restarts shrink; with everything closed the assembler degrades to
+  // close-immediately mode, which is monotone, not corrupt).
+  const size_t ceiling = assembly_ceiling();
+  if (ceiling == 0) return;
+  while (!roots_.empty() && open_bytes_ > 0 &&
+         governor_->account_bytes(GovernorAccount::kAssembly) > ceiling) {
+    const u32 r = oldest_root();
+    out->push_back(detach_locked(r));
+    roots_.erase(r);
+    pressure_closes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void StreamingAssembler::observe(const server::SpanNote& note) {
+  observe_many(&note, 1);
+}
+
+void StreamingAssembler::observe_many(const server::SpanNote* notes,
+                                      size_t count) {
+  if (count == 0) return;
+  std::vector<Group> to_close;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < count; ++i) observe_locked(notes[i]);
+    spans_since_scan_ += static_cast<u32>(count);
+    if (spans_since_scan_ >= config_.close_check_interval_spans) {
+      spans_since_scan_ = 0;
+      scan_closable_locked(/*force_all=*/false, &to_close);
+    }
+  }
+  dispatch_groups(std::move(to_close));
+}
+
+void StreamingAssembler::flush() {
+  std::vector<Group> to_close;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_since_scan_ = 0;
+    scan_closable_locked(/*force_all=*/true, &to_close);
+  }
+  dispatch_groups(std::move(to_close));
+  wait_drained();
+}
+
+void StreamingAssembler::dispatch_groups(std::vector<Group>&& groups) {
+  if (groups.empty()) return;
+  if (workers_.empty()) {
+    // Synchronous mode: finalization (store search, parent assignment,
+    // sampling, indexing) still runs outside mu_, so concurrent ingest
+    // threads keep grouping while this one finalizes.
+    for (Group& group : groups) finalize_group(std::move(group));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    inflight_ += groups.size();
+    for (Group& group : groups) queue_.push_back(std::move(group));
+  }
+  queue_cv_.notify_all();
+}
+
+void StreamingAssembler::worker_loop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_, and nothing left to drain
+    Group group = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    finalize_group(std::move(group));
+    lock.lock();
+    if (--inflight_ == 0) drained_cv_.notify_all();
+  }
+}
+
+void StreamingAssembler::wait_drained() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drained_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+u64 StreamingAssembler::trace_key_of(
+    const server::AssembledTrace& trace) const {
+  // Content-derived identity mirroring the server's span-level trace key
+  // (x-request-id hash, else systrace id, else span id), reduced with min()
+  // over the whole trace so the verdict is independent of member order and
+  // of which group member seeded the assembly.
+  u64 best_xrid = ~u64{0};
+  bool have_xrid = false;
+  u64 best_sys = ~u64{0};
+  bool have_sys = false;
+  u64 best_id = ~u64{0};
+  for (const server::AssembledSpan& s : trace.spans) {
+    const agent::Span& span = s.span;
+    if (span.lost_placeholder) continue;
+    if (!span.x_request_id.empty()) {
+      have_xrid = true;
+      best_xrid = std::min(best_xrid, fnv1a(span.x_request_id));
+    }
+    if (span.systrace_id != kInvalidSystraceId) {
+      have_sys = true;
+      best_sys = std::min<u64>(best_sys, span.systrace_id);
+    }
+    best_id = std::min(best_id, span.span_id);
+  }
+  if (have_xrid) return best_xrid;
+  if (have_sys) return best_sys;
+  return best_id;
+}
+
+void StreamingAssembler::finalize_group(Group&& group) {
+  std::sort(group.members.begin(), group.members.end());
+  group.members.erase(std::unique(group.members.begin(), group.members.end()),
+                      group.members.end());
+  const std::unordered_set<u64> member_set(group.members.begin(),
+                                           group.members.end());
+  std::unordered_set<u64> covered;
+  // Assemble from each not-yet-covered member: the search closure is
+  // symmetric, so assembling from any member of one trace yields the same
+  // trace; the loop only re-runs when one union-find component (e.g. via a
+  // hash collision) actually spans several traces.
+  for (const u64 seed : group.members) {
+    if (covered.count(seed) != 0) continue;
+    server::AssembledTrace trace = assembler_->assemble(seed);
+    if (trace.spans.empty()) {
+      // The store could not resolve the id (e.g. it was remapped after the
+      // note was taken). Excluded from the ledger entirely — partial notes
+      // would break offered == stored + downsampled + refused.
+      covered.insert(seed);
+      unknown_ids_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // This group's members inside the trace. Spans pulled in from OTHER
+    // groups (still open, or already finalized by their own close) are
+    // ledgered by those groups; counting them here would double-book.
+    std::vector<const agent::Span*> mine;
+    size_t mine_bytes = 0;
+    bool anomalous = group.anomalous;
+    for (const server::AssembledSpan& s : trace.spans) {
+      anomalous = anomalous || !s.span.ok || s.span.incomplete ||
+                  s.span.lost_placeholder;
+      if (s.span.span_id == server::kLostPlaceholderSpanId) continue;
+      if (member_set.count(s.span.span_id) != 0 &&
+          covered.insert(s.span.span_id).second) {
+        mine.push_back(&s.span);
+        mine_bytes += agent::approx_span_bytes(s.span);
+      }
+    }
+    if (mine.empty()) continue;
+
+    enum class Verdict { kStored, kAnomalousKept, kSampledKept, kDropped };
+    Verdict verdict = Verdict::kStored;
+    const server::TailSamplingConfig& sampling = config_.tail_sampling;
+    if (sampling.enabled) {
+      if (anomalous) {
+        verdict = Verdict::kAnomalousKept;
+      } else {
+        const u32 pct = std::min<u32>(sampling.healthy_keep_pct, 100);
+        const u64 h = mix64(trace_key_of(trace) ^ sampling.sample_seed);
+        verdict = h % 100 < pct ? Verdict::kSampledKept : Verdict::kDropped;
+      }
+    }
+    finalized_traces_.fetch_add(1, std::memory_order_relaxed);
+    finalized_spans_.fetch_add(mine.size(), std::memory_order_relaxed);
+    for (const agent::Span* span : mine) {
+      switch (verdict) {
+        case Verdict::kStored:
+          ledger_.note_stored(span->start_ts);
+          break;
+        case Verdict::kAnomalousKept:
+          ledger_.note_anomalous_kept(span->start_ts);
+          break;
+        case Verdict::kSampledKept:
+          ledger_.note_sampled_kept(span->start_ts);
+          break;
+        case Verdict::kDropped:
+          ledger_.note_downsampled(span->start_ts);
+          break;
+      }
+    }
+    if (verdict == Verdict::kDropped) {
+      dropped_traces_.fetch_add(1, std::memory_order_relaxed);
+      dropped_spans_.fetch_add(mine.size(), std::memory_order_relaxed);
+      dropped_bytes_.fetch_add(mine_bytes, std::memory_order_relaxed);
+      if (sampling.drop_from_flush && store_ != nullptr &&
+          store_->storage_enabled()) {
+        std::vector<u64> ids;
+        ids.reserve(mine.size());
+        for (const agent::Span* span : mine) ids.push_back(span->span_id);
+        flush_excluded_.fetch_add(store_->discard_unflushed(ids),
+                                  std::memory_order_relaxed);
+      }
+      continue;
+    }
+    if (verdict == Verdict::kAnomalousKept) {
+      kept_anomalous_.fetch_add(1, std::memory_order_relaxed);
+    } else if (verdict == Verdict::kSampledKept) {
+      kept_sampled_.fetch_add(1, std::memory_order_relaxed);
+    }
+    retained_bytes_.fetch_add(mine_bytes, std::memory_order_relaxed);
+
+    // Materialize into the completed index: every real span id of the trace
+    // maps to one immutable shared object. emplace = first finalization
+    // wins; a straggler group's superset trace never rewrites ids that were
+    // already being served.
+    size_t trace_bytes = sizeof(server::AssembledTrace);
+    for (const server::AssembledSpan& s : trace.spans) {
+      trace_bytes += sizeof(server::ParentRuleId) +
+                     agent::approx_span_bytes(s.span);
+    }
+    auto shared =
+        std::make_shared<const server::AssembledTrace>(std::move(trace));
+    size_t added = 0;
+    {
+      std::unique_lock<std::shared_mutex> lock(index_mu_);
+      for (const server::AssembledSpan& s : shared->spans) {
+        if (s.span.span_id == server::kLostPlaceholderSpanId) continue;
+        if (completed_.emplace(s.span.span_id, shared).second) ++added;
+      }
+    }
+    if (added > 0) {
+      const size_t bytes = trace_bytes + added * kIndexEntryBytes;
+      index_traces_.fetch_add(1, std::memory_order_relaxed);
+      indexed_spans_.fetch_add(added, std::memory_order_relaxed);
+      index_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      if (governor_accounting_) {
+        governor_->add_bytes(GovernorAccount::kAssembly, bytes);
+      }
+    }
+  }
+}
+
+std::shared_ptr<const server::AssembledTrace> StreamingAssembler::completed(
+    u64 span_id) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  const auto it = completed_.find(span_id);
+  return it == completed_.end() ? nullptr : it->second;
+}
+
+std::vector<CompletenessWindow> StreamingAssembler::completeness(
+    TimestampNs from, TimestampNs to) const {
+  return ledger_.windows(from, to);
+}
+
+server::AssemblyTelemetry StreamingAssembler::telemetry() const {
+  server::AssemblyTelemetry t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t.open_windows = roots_.size();
+    t.open_bytes = open_bytes_;
+    t.max_observed_ts = max_ts_;
+    t.watermark_ns = watermark_locked();
+    t.watermark_lag_ns = t.max_observed_ts - t.watermark_ns;
+    t.observed_spans = observed_;
+    t.late_spans = late_;
+  }
+  const auto load = [](const std::atomic<u64>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  t.finalized_traces = load(finalized_traces_);
+  t.finalized_spans = load(finalized_spans_);
+  t.forced_closes = load(forced_closes_);
+  t.pressure_closes = load(pressure_closes_);
+  t.index_traces = load(index_traces_);
+  t.indexed_spans = load(indexed_spans_);
+  t.index_bytes = load(index_bytes_);
+  t.kept_anomalous_traces = load(kept_anomalous_);
+  t.kept_sampled_traces = load(kept_sampled_);
+  t.dropped_traces = load(dropped_traces_);
+  t.dropped_spans = load(dropped_spans_);
+  t.retained_bytes = load(retained_bytes_);
+  t.dropped_bytes = load(dropped_bytes_);
+  t.flush_excluded_spans = load(flush_excluded_);
+  t.unknown_span_ids = load(unknown_ids_);
+  return t;
+}
+
+}  // namespace deepflow::assembly

@@ -1,0 +1,270 @@
+// Streaming trace assembly with watermark windows (ISSUE 10, §3.3).
+//
+// The batch path assembles traces at query time; at scale you cannot keep
+// every span until somebody asks. This assembler runs on the ingest path:
+// every admitted span's association keys land in an incremental union-find
+// grouper, and a group is *closed* once the watermark — max observed
+// start_ts minus the §3.3 disorder window, advancing monotonically — passes
+// its newest member timestamp. Closing finalizes the group through the
+// existing delta-search/parent-assignment machinery (TraceAssembler against
+// the live store, so the result is byte-identical to the batch query path by
+// construction) and hands the completed trace to two consumers:
+//
+//   * the query plane: a materialized span-id -> trace index the server
+//     probes before falling back to batch assembly (first finalization wins,
+//     so a straggler-induced re-finalization never rewrites served history);
+//   * the tail sampler: anomalous traces (error / incomplete / placeholder
+//     spans, or RED latency outliers flagged at ingest) are kept at full
+//     fidelity; healthy traces are kept with probability healthy_keep_pct,
+//     decided by a content-derived trace key so the verdict is independent
+//     of arrival order and worker count. Dropped traces leave the pending
+//     segment flush (disk retention follows the same policy) and every
+//     verdict lands in a CompletenessLedger keyed by span start time.
+//
+// Grouping key kinds mirror TraceAssembler's search exactly — systrace id,
+// pseudo-thread key, X-Request-ID hash, req/resp TCP seq (one shared
+// namespace, as in SearchFilter::tcp_seqs), otel trace id hash — so the
+// union-find component is always a subset of the search closure. The
+// finalizer assembles from each not-yet-covered member, which also handles
+// the (hash-collision) case of one component spanning several traces.
+//
+// The ingest thread only pays for grouping: closed groups are detached under
+// the grouper lock and finalized (store search, parent assignment, sampling,
+// indexing) by a small worker pool — or inline when finalize_workers is 0.
+// The grouper hot path is allocation-light by design: association keys live
+// in one open-addressing table (no per-key node allocations), and the
+// watermark is a subtraction off the running maximum.
+//
+// Degradation is monotone by design: a straggler arriving after its group
+// closed starts a NEW group (late_spans++); its finalized trace may be a
+// superset of the earlier one (the store search still sees the old spans),
+// but the first-closed trace object is immutable and keeps being served.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/governor.h"
+#include "server/span_store.h"
+#include "server/streaming_hook.h"
+#include "server/trace_assembler.h"
+
+namespace deepflow::assembly {
+
+class StreamingAssembler : public server::StreamingHook {
+ public:
+  /// `store` and `assembler` must outlive this object; `governor` may be
+  /// null (or inactive) — the assembler then runs unaccounted and unbounded.
+  StreamingAssembler(server::StreamingAssemblyConfig config,
+                     server::SpanStore* store,
+                     const server::TraceAssembler* assembler,
+                     ResourceGovernor* governor = nullptr);
+  ~StreamingAssembler() override;
+
+  StreamingAssembler(const StreamingAssembler&) = delete;
+  StreamingAssembler& operator=(const StreamingAssembler&) = delete;
+
+  void observe(const server::SpanNote& note) override;
+  void observe_many(const server::SpanNote* notes, size_t count) override;
+  std::shared_ptr<const server::AssembledTrace> completed(u64 span_id)
+      const override;
+  void flush() override;
+  server::AssemblyTelemetry telemetry() const override;
+  std::vector<CompletenessWindow> completeness(TimestampNs from,
+                                               TimestampNs to) const override;
+
+  /// Current watermark: max observed start_ts minus the disorder window,
+  /// clamped at zero. Monotone (the maximum only ever grows).
+  TimestampNs watermark() const;
+
+ private:
+  /// One shared namespace per association attribute; kTcpSeq deliberately
+  /// folds req and resp sequences together, mirroring SearchFilter.
+  enum KeyKind : size_t {
+    kSystrace = 0,
+    kPseudoThread,
+    kXRequestId,
+    kTcpSeq,
+    kOtel,
+    kKeyKinds,
+  };
+
+  /// Open-addressing (kind, key) -> group-node map, linear probing with
+  /// tombstone deletion. The grouper does ~3-5 probes per span on the ingest
+  /// hot path; a node-based map would pay a malloc per insert and a pointer
+  /// chase per probe, which alone blows the streaming overhead budget
+  /// (bench_streaming holds the ingest penalty under 15%).
+  class KeyTable {
+   public:
+    static constexpr u32 kNotFound = ~u32{0};
+
+    KeyTable() { slots_.resize(kInitialCapacity); }
+
+    u32 find(u8 kind, u64 key) const {
+      size_t i = slot_hash(kind, key) & (slots_.size() - 1);
+      for (;; i = (i + 1) & (slots_.size() - 1)) {
+        const Slot& s = slots_[i];
+        if (s.state == kEmpty) return kNotFound;
+        if (s.state == kFull && s.kind == kind && s.key == key) {
+          return s.value;
+        }
+      }
+    }
+
+    /// Insert a key assumed absent (callers always probe first).
+    void insert(u8 kind, u64 key, u32 value) {
+      if ((used_ + 1) * 4 >= slots_.size() * 3) grow();
+      size_t i = slot_hash(kind, key) & (slots_.size() - 1);
+      while (slots_[i].state == kFull) i = (i + 1) & (slots_.size() - 1);
+      if (slots_[i].state == kEmpty) ++used_;  // tombstone reuse keeps used_
+      slots_[i] = Slot{key, value, kind, kFull};
+      ++size_;
+    }
+
+    void erase(u8 kind, u64 key) {
+      size_t i = slot_hash(kind, key) & (slots_.size() - 1);
+      for (;; i = (i + 1) & (slots_.size() - 1)) {
+        Slot& s = slots_[i];
+        if (s.state == kEmpty) return;
+        if (s.state == kFull && s.kind == kind && s.key == key) {
+          s.state = kTombstone;
+          --size_;
+          return;
+        }
+      }
+    }
+
+   private:
+    enum : u8 { kEmpty = 0, kFull = 1, kTombstone = 2 };
+    struct Slot {
+      u64 key = 0;
+      u32 value = 0;
+      u8 kind = 0;
+      u8 state = kEmpty;
+    };
+    static constexpr size_t kInitialCapacity = 1024;  // power of two
+
+    static u64 slot_hash(u8 kind, u64 key) {
+      return mix64(key ^ (u64{kind} * 0x9e3779b97f4a7c15ULL));
+    }
+
+    void grow() {
+      // Rehashing also drops tombstones, so a long-lived table that churns
+      // groups does not degrade into all-tombstone probe chains.
+      std::vector<Slot> old;
+      old.swap(slots_);
+      // Mostly-tombstones -> rehash in place; genuinely full -> double.
+      slots_.resize(size_ * 4 >= old.size() ? old.size() * 2 : old.size());
+      used_ = size_;
+      size_t n = 0;
+      for (const Slot& s : old) {
+        if (s.state != kFull) continue;
+        size_t i = slot_hash(s.kind, s.key) & (slots_.size() - 1);
+        while (slots_[i].state == kFull) i = (i + 1) & (slots_.size() - 1);
+        slots_[i] = s;
+        ++n;
+      }
+      size_ = n;
+    }
+
+    std::vector<Slot> slots_;
+    size_t size_ = 0;  ///< live entries
+    size_t used_ = 0;  ///< live entries + tombstones (probe-chain load)
+  };
+
+  /// Union-find payload, valid only at live roots.
+  struct Group {
+    std::vector<u64> members;
+    std::vector<std::pair<u8, u64>> keys;  // (KeyKind, value) owned entries
+    TimestampNs first_ts = ~TimestampNs{0};
+    TimestampNs max_ts = 0;  ///< max over member start AND end timestamps
+    size_t bytes = 0;        ///< bookkeeping bytes charged to kAssembly
+    bool anomalous = false;  ///< OR of member SpanNote::anomalous bits
+  };
+  struct Node {
+    u32 parent = 0;  // == own index at roots
+    Group group;
+  };
+
+  // All grouper state is guarded by mu_; closes detach groups under mu_ and
+  // finalize (store search + parent assignment + sampling + indexing) off it
+  // — on the worker pool, or inline when finalize_workers == 0 — so ingest
+  // latency stays bounded by grouping work only.
+  u32 find_locked(u32 node);
+  u32 unite_locked(u32 a, u32 b);
+  void observe_locked(const server::SpanNote& note);
+  void scan_closable_locked(bool force_all, std::vector<Group>* out);
+  Group detach_locked(u32 root);
+  void dispatch_groups(std::vector<Group>&& groups);
+  void worker_loop();
+  void wait_drained();
+  void finalize_group(Group&& group);
+  u64 trace_key_of(const server::AssembledTrace& trace) const;
+  TimestampNs watermark_locked() const;
+  size_t assembly_ceiling() const;
+
+  const server::StreamingAssemblyConfig config_;
+  server::SpanStore* const store_;
+  const server::TraceAssembler* const assembler_;
+  ResourceGovernor* const governor_;
+  /// Governor byte reporting resolved once: accounting() is fixed at
+  /// governor construction, so the hot path skips the call entirely when
+  /// deltas would be discarded anyway.
+  const bool governor_accounting_;
+  CompletenessLedger ledger_;
+
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;
+  KeyTable key_table_;
+  std::unordered_set<u32> roots_;
+  /// Global maximum observed start_ts. Only ever grows (under mu_), and the
+  /// watermark is derived from it by a clamped subtraction, so the watermark
+  /// is monotone and deterministic under any ingest interleaving.
+  TimestampNs max_ts_ = 0;
+  u32 spans_since_scan_ = 0;
+  size_t open_bytes_ = 0;
+  // Mutated under mu_ only; telemetry() reads them under mu_.
+  u64 observed_ = 0;
+  u64 late_ = 0;
+
+  // Finalizer pool. Closed groups queue here; inflight_ counts queued plus
+  // in-finalization groups so flush() can wait for a true drain.
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<Group> queue_;
+  size_t inflight_ = 0;
+  bool stopping_ = false;
+
+  mutable std::shared_mutex index_mu_;
+  std::unordered_map<u64, std::shared_ptr<const server::AssembledTrace>>
+      completed_;
+
+  // Counters mutated outside mu_ (finalize path) are atomics.
+  std::atomic<u64> finalized_traces_{0};
+  std::atomic<u64> finalized_spans_{0};
+  std::atomic<u64> forced_closes_{0};
+  std::atomic<u64> pressure_closes_{0};
+  std::atomic<u64> index_traces_{0};
+  std::atomic<u64> indexed_spans_{0};
+  std::atomic<u64> index_bytes_{0};
+  std::atomic<u64> kept_anomalous_{0};
+  std::atomic<u64> kept_sampled_{0};
+  std::atomic<u64> dropped_traces_{0};
+  std::atomic<u64> dropped_spans_{0};
+  std::atomic<u64> retained_bytes_{0};
+  std::atomic<u64> dropped_bytes_{0};
+  std::atomic<u64> flush_excluded_{0};
+  std::atomic<u64> unknown_ids_{0};
+};
+
+}  // namespace deepflow::assembly

@@ -15,8 +15,96 @@ const char* overload_level_name(OverloadLevel level) {
   return "?";
 }
 
+CompletenessLedger::CompletenessLedger(DurationNs window_ns,
+                                       size_t max_windows)
+    : window_ns_(window_ns == 0 ? kSecond : window_ns),
+      max_windows_(max_windows == 0 ? 1 : max_windows) {}
+
+CompletenessWindow& CompletenessLedger::window_locked(TimestampNs ts) {
+  const TimestampNs start = ts - ts % window_ns_;
+  CompletenessWindow& w = ledger_[start];
+  w.window_start = start;
+  if (ledger_.size() > max_windows_) {
+    // Evict the oldest window -- the ledger is bounded like everything else
+    // the governor watches.
+    auto oldest = ledger_.begin();
+    if (oldest->first != start) ledger_.erase(oldest);
+  }
+  return w;
+}
+
+void CompletenessLedger::note_stored(TimestampNs ts, u64 spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CompletenessWindow& w = window_locked(ts);
+  w.offered += spans;
+  w.stored += spans;
+}
+
+void CompletenessLedger::note_anomalous_kept(TimestampNs ts, u64 spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CompletenessWindow& w = window_locked(ts);
+  w.offered += spans;
+  w.stored += spans;
+  w.anomalous_kept += spans;
+}
+
+void CompletenessLedger::note_sampled_kept(TimestampNs ts, u64 spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CompletenessWindow& w = window_locked(ts);
+  w.offered += spans;
+  w.stored += spans;
+}
+
+void CompletenessLedger::note_downsampled(TimestampNs ts, u64 spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CompletenessWindow& w = window_locked(ts);
+  w.offered += spans;
+  w.downsampled += spans;
+}
+
+void CompletenessLedger::note_refused(TimestampNs ts, u64 spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CompletenessWindow& w = window_locked(ts);
+  w.offered += spans;
+  w.refused += spans;
+}
+
+std::vector<CompletenessWindow> CompletenessLedger::windows(
+    TimestampNs from, TimestampNs to) const {
+  std::vector<CompletenessWindow> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  const DurationNs width = window_ns_;
+  for (auto it = ledger_.lower_bound(from >= width ? from - width + 1 : 0);
+       it != ledger_.end() && it->first < to; ++it) {
+    if (it->first + width <= from) continue;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<CompletenessWindow> merge_completeness_windows(
+    std::vector<CompletenessWindow> base,
+    const std::vector<CompletenessWindow>& extra) {
+  std::map<TimestampNs, CompletenessWindow> merged;
+  for (const CompletenessWindow& w : base) merged[w.window_start] = w;
+  for (const CompletenessWindow& w : extra) {
+    CompletenessWindow& m = merged[w.window_start];
+    m.window_start = w.window_start;
+    m.offered += w.offered;
+    m.stored += w.stored;
+    m.downsampled += w.downsampled;
+    m.refused += w.refused;
+    m.anomalous_kept += w.anomalous_kept;
+  }
+  base.clear();
+  base.reserve(merged.size());
+  for (auto& [start, w] : merged) base.push_back(w);
+  return base;
+}
+
 ResourceGovernor::ResourceGovernor(GovernorConfig config)
-    : config_(config) {
+    : config_(config),
+      ledger_(config.completeness_window_ns, config.completeness_max_windows) {
   keep_pct_.store(100, std::memory_order_relaxed);
 }
 
@@ -189,65 +277,33 @@ bool ResourceGovernor::is_anomalous(u64 trace_key) const {
          anomalous_prev_.count(trace_key) > 0;
 }
 
-CompletenessWindow& ResourceGovernor::window_locked(TimestampNs ts) {
-  const DurationNs width =
-      config_.completeness_window_ns == 0 ? kSecond
-                                          : config_.completeness_window_ns;
-  const TimestampNs start = ts - ts % width;
-  CompletenessWindow& w = ledger_[start];
-  w.window_start = start;
-  if (ledger_.size() > config_.completeness_max_windows) {
-    // Evict the oldest window -- the ledger is bounded like everything else
-    // the governor watches.
-    auto oldest = ledger_.begin();
-    if (oldest->first != start) ledger_.erase(oldest);
-  }
-  return w;
-}
-
 void ResourceGovernor::note_stored(TimestampNs ts, u64 spans) {
   if (!active()) return;
-  std::lock_guard<std::mutex> lock(ledger_mu_);
-  CompletenessWindow& w = window_locked(ts);
-  w.offered += spans;
-  w.stored += spans;
+  ledger_.note_stored(ts, spans);
 }
 
 void ResourceGovernor::note_anomalous_kept(TimestampNs ts, u64 spans) {
   if (!active()) return;
   anomalous_kept_spans_.fetch_add(spans, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(ledger_mu_);
-  CompletenessWindow& w = window_locked(ts);
-  w.offered += spans;
-  w.stored += spans;
-  w.anomalous_kept += spans;
+  ledger_.note_anomalous_kept(ts, spans);
 }
 
 void ResourceGovernor::note_sampled_kept(TimestampNs ts, u64 spans) {
   if (!active()) return;
   sampled_kept_spans_.fetch_add(spans, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(ledger_mu_);
-  CompletenessWindow& w = window_locked(ts);
-  w.offered += spans;
-  w.stored += spans;
+  ledger_.note_sampled_kept(ts, spans);
 }
 
 void ResourceGovernor::note_downsampled(TimestampNs ts, u64 spans) {
   if (!active()) return;
   downsampled_spans_.fetch_add(spans, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(ledger_mu_);
-  CompletenessWindow& w = window_locked(ts);
-  w.offered += spans;
-  w.downsampled += spans;
+  ledger_.note_downsampled(ts, spans);
 }
 
 void ResourceGovernor::note_refused(TimestampNs ts, u64 spans) {
   if (!active()) return;
   refused_spans_.fetch_add(spans, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(ledger_mu_);
-  CompletenessWindow& w = window_locked(ts);
-  w.offered += spans;
-  w.refused += spans;
+  ledger_.note_refused(ts, spans);
 }
 
 void ResourceGovernor::note_refused_batch() {
@@ -267,17 +323,7 @@ void ResourceGovernor::note_shed_net(u64 spans) {
 
 std::vector<CompletenessWindow> ResourceGovernor::completeness(
     TimestampNs from, TimestampNs to) const {
-  std::vector<CompletenessWindow> out;
-  std::lock_guard<std::mutex> lock(ledger_mu_);
-  const DurationNs width =
-      config_.completeness_window_ns == 0 ? kSecond
-                                          : config_.completeness_window_ns;
-  for (auto it = ledger_.lower_bound(from >= width ? from - width + 1 : 0);
-       it != ledger_.end() && it->first < to; ++it) {
-    if (it->first + width <= from) continue;
-    out.push_back(it->second);
-  }
-  return out;
+  return ledger_.windows(from, to);
 }
 
 GovernorTelemetry ResourceGovernor::telemetry() const {

@@ -52,7 +52,9 @@ enum class GovernorAccount : u8 {
   kInterner = 4,        ///< StringInterner backing payload + table.
   kDedup = 5,           ///< Idempotent-ingest seen-set entries.
   kArena = 6,           ///< Agent-side batch arena capacity.
-  kCount = 7,
+  kAssembly = 7,        ///< Streaming trace assembler: open watermark-window
+                        ///< state plus the materialized completed-trace index.
+  kCount = 8,
 };
 constexpr size_t kGovernorAccounts =
     static_cast<size_t>(GovernorAccount::kCount);
@@ -130,6 +132,44 @@ struct CompletenessWindow {
                               static_cast<double>(offered);
   }
 };
+
+/// Bounded per-window bookkeeping of admission/sampling outcomes, extracted
+/// from the governor so other subsystems (the streaming assembler's
+/// trace-level tail sampler) can keep their own ledger even when no governor
+/// is active. Thread-safe; windows are evicted oldest-first past max_windows.
+/// The per-window invariant offered == stored + downsampled + refused holds
+/// by construction: every note_* bumps offered alongside its outcome field.
+class CompletenessLedger {
+ public:
+  CompletenessLedger() = default;
+  CompletenessLedger(DurationNs window_ns, size_t max_windows);
+
+  void note_stored(TimestampNs ts, u64 spans = 1);
+  void note_anomalous_kept(TimestampNs ts, u64 spans = 1);
+  void note_sampled_kept(TimestampNs ts, u64 spans = 1);
+  void note_downsampled(TimestampNs ts, u64 spans = 1);
+  void note_refused(TimestampNs ts, u64 spans = 1);
+  /// Ledger windows overlapping [from, to), oldest first.
+  std::vector<CompletenessWindow> windows(TimestampNs from,
+                                          TimestampNs to) const;
+
+ private:
+  CompletenessWindow& window_locked(TimestampNs ts);
+
+  DurationNs window_ns_ = kSecond;
+  size_t max_windows_ = 4096;
+  mutable std::mutex mu_;
+  std::map<TimestampNs, CompletenessWindow> ledger_;
+};
+
+/// Sum `extra` into `base` window-by-window (union of window starts, counts
+/// added field-wise), returning the merged view oldest first. Both sides must
+/// use the same window width for starts to line up. Used by the server to
+/// merge the governor's span-level ledger with the streaming assembler's
+/// trace-level one in query_completeness.
+std::vector<CompletenessWindow> merge_completeness_windows(
+    std::vector<CompletenessWindow> base,
+    const std::vector<CompletenessWindow>& extra);
 
 struct GovernorTelemetry {
   bool active = false;
@@ -222,7 +262,6 @@ class ResourceGovernor {
  private:
   double enter_threshold(OverloadLevel level) const;
   void refresh_keep_pct_locked(double pressure);
-  CompletenessWindow& window_locked(TimestampNs ts);
 
   GovernorConfig config_;
 
@@ -238,8 +277,7 @@ class ResourceGovernor {
   std::unordered_set<u64> anomalous_cur_;
   std::unordered_set<u64> anomalous_prev_;
 
-  mutable std::mutex ledger_mu_;
-  std::map<TimestampNs, CompletenessWindow> ledger_;
+  CompletenessLedger ledger_;
 
   std::atomic<u64> level_transitions_{0};
   std::array<std::atomic<u64>, kOverloadLevels> level_entries_{};

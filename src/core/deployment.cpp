@@ -49,6 +49,14 @@ bool Deployment::deploy() {
     // queues (byte accounting + rung-3 net shedding + kOverloaded
     // backpressure). Federated links keep their own refusal semantics.
     config_.transport.governor = &server_.governor();
+    if (config_.server.streaming.enabled) {
+      // Attach the streaming assembler before any traffic flows so that
+      // every ingested span is observed (the hook is install-once).
+      streaming_ = std::make_unique<assembly::StreamingAssembler>(
+          config_.server.streaming, &server_.mutable_store(),
+          &server_.trace_assembler(), &server_.governor());
+      server_.attach_streaming(streaming_.get());
+    }
   }
 
   u32 agent_index = 0;
@@ -201,6 +209,9 @@ void Deployment::finish() {
     return;
   }
   server_.finalize();
+  // End of run closes every still-open assembly window: traces that were
+  // waiting out the disorder window finalize and become index-servable.
+  if (streaming_ != nullptr) streaming_->flush();
   // Ingest self-telemetry: fold the agents' drain-pipeline counters into
   // the server's view (records/sec, batch sizes, ring pressure).
   server_.note_agent_drain(aggregate_stats());

@@ -19,6 +19,7 @@
 
 #include "agent/agent.h"
 #include "agent/transport.h"
+#include "assembly/streaming_assembler.h"
 #include "cluster/federation.h"
 #include "common/fault.h"
 #include "netsim/cluster.h"
@@ -117,6 +118,14 @@ class Deployment {
   /// or when columnar batching is off/federated).
   const StringInterner* shared_interner() const { return interner_.get(); }
 
+  /// The streaming trace assembler (nullptr unless
+  /// server.streaming.enabled and single-server — federation assembles at
+  /// the query plane across partitions, which streaming does not cover yet).
+  assembly::StreamingAssembler* streaming() { return streaming_.get(); }
+  const assembly::StreamingAssembler* streaming() const {
+    return streaming_.get();
+  }
+
   agent::AgentStats aggregate_stats() const;
   /// Summed transport counters across agents (all-zero in direct mode).
   agent::TransportStats aggregate_transport_stats() const;
@@ -129,6 +138,10 @@ class Deployment {
   netsim::Cluster* cluster_;
   DeploymentConfig config_;
   server::DeepFlowServer server_;
+  /// Declared after server_ (destroyed first): the assembler borrows the
+  /// server's store/assembler/governor and detaches its governor bytes in
+  /// its destructor.
+  std::unique_ptr<assembly::StreamingAssembler> streaming_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<cluster::Federation> federation_;
   std::vector<std::unique_ptr<agent::Agent>> agents_;

@@ -25,6 +25,7 @@ DeepFlowServer::DeepFlowServer(const netsim::ResourceRegistry* registry,
              &governor_),
       assembler_(&store_, config.assembler),
       metrics_(registry, config.metrics, &governor_),
+      streaming_config_(config.streaming),
       reaggregator_(config.reaggregation),
       dedup_window_ns_(config.dedup_window_ns) {
   const size_t stripes = config.store_shards > 0 ? config.store_shards : 1;
@@ -163,6 +164,19 @@ bool DeepFlowServer::admit_sample(const metrics::SpanSample& sample,
   return false;
 }
 
+bool DeepFlowServer::streaming_outlier(const agent::Span& span) const {
+  if (!streaming_config_.tail_sampling.enabled) return false;
+  metrics::SpanSample sample;
+  sample.kind = span.kind;
+  sample.from_server_side = span.from_server_side;
+  sample.ok = span.ok;
+  sample.incomplete = span.incomplete;
+  sample.server_ip = span.int_tags.server_ip;
+  sample.start_ts = span.start_ts;
+  sample.duration = span.duration();
+  return metrics_.is_latency_outlier(sample);
+}
+
 bool DeepFlowServer::admit_span(const agent::Span& span) {
   if (!governor_.active()) return true;
   metrics::SpanSample sample;
@@ -198,6 +212,15 @@ void DeepFlowServer::ingest(agent::Span&& span) {
   ingested_.fetch_add(1, std::memory_order_relaxed);
   note_ingest_clock();
   if (ingest_observer_) ingest_observer_(span);
+  if (streaming_ != nullptr) {
+    // Capture the note BEFORE the store takes ownership, but report the
+    // POST-insert id: insert() remaps colliding ids, and the streaming
+    // grouper must track the id the store (and the query plane) knows.
+    SpanNote note = make_span_note(span, streaming_outlier(span));
+    note.span_id = store_.insert(std::move(span));
+    streaming_->observe(note);
+    return;
+  }
   store_.insert(std::move(span));
 }
 
@@ -322,6 +345,61 @@ void DeepFlowServer::ingest_span_batch(agent::SpanBatch& batch) {
     }
   }
   store_.insert_batch(batch, duplicate);
+  if (streaming_ != nullptr) {
+    // Build the flight's SpanNotes straight from the columns (string-free
+    // except the hashes). Builder ids are unique, so the pre-insert column
+    // id is the stored id in all but the remap edge; a remapped id simply
+    // surfaces later as an unknown_span_ids count at finalize.
+    static thread_local std::vector<SpanNote> notes;
+    notes.clear();
+    notes.reserve(stored);
+    const auto& kinds = batch.kinds();
+    const auto& int_tags = batch.int_tags();
+    const auto& systraces = batch.systrace_ids();
+    const auto& ptids = batch.pseudo_thread_ids();
+    const auto& pids = batch.pids();
+    const auto& reqs = batch.req_tcp_seqs();
+    const auto& resps = batch.resp_tcp_seqs();
+    const auto& ends = batch.end_ts();
+    const auto& flags = batch.flags();
+    for (size_t i = 0; i < n; ++i) {
+      if (duplicate[i] != 0) continue;
+      SpanNote note;
+      note.span_id = ids[i];
+      note.systrace_id = systraces[i];
+      if (ptids[i] != 0) {
+        // Mirror pseudo_thread_key(span) field-for-field.
+        u64 h = fnv1a(batch.host(i));
+        h = hash_combine(h, pids[i]);
+        note.pseudo_key = hash_combine(h, ptids[i]);
+      }
+      const std::string_view xrid = batch.x_request_id(i);
+      note.x_request_hash = xrid.empty() ? 0 : fnv1a(xrid);
+      const std::string_view otel = batch.otel_trace_id(i);
+      note.otel_hash = otel.empty() ? 0 : fnv1a(otel);
+      note.req_tcp_seq = reqs[i];
+      note.resp_tcp_seq = resps[i];
+      note.start_ts = starts[i];
+      note.end_ts = ends[i];
+      bool outlier = false;
+      if (streaming_config_.tail_sampling.enabled) {
+        metrics::SpanSample sample;
+        sample.kind = kinds[i];
+        sample.from_server_side = batch.from_server_side(i);
+        sample.ok = batch.ok(i);
+        sample.incomplete = batch.incomplete(i);
+        sample.server_ip = int_tags[i].server_ip;
+        sample.start_ts = starts[i];
+        sample.duration = batch.duration(i);
+        outlier = metrics_.is_latency_outlier(sample);
+      }
+      note.anomalous =
+          outlier || !batch.ok(i) || batch.incomplete(i) ||
+          (flags[i] & agent::SpanBatch::kLostPlaceholder) != 0;
+      notes.push_back(note);
+    }
+    if (!notes.empty()) streaming_->observe_many(notes.data(), notes.size());
+  }
 }
 
 agent::SinkVerdict DeepFlowServer::try_ingest_batch(
@@ -440,6 +518,16 @@ std::vector<agent::Span> DeepFlowServer::query_span_list(
 }
 
 AssembledTrace DeepFlowServer::query_trace(u64 span_id) const {
+  if (streaming_ != nullptr) {
+    // Closed windows are served from the materialized index; still-open
+    // windows (and traces the tail sampler dropped) fall back to batch
+    // assembly against the live store.
+    if (const auto trace = streaming_->completed(span_id)) {
+      streaming_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *trace;
+    }
+    streaming_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
   return assembler_.assemble(span_id);
 }
 
@@ -448,7 +536,7 @@ std::vector<AssembledTrace> DeepFlowServer::assemble_traces(
   std::vector<AssembledTrace> out(span_ids.size());
   if (workers <= 1 || span_ids.size() <= 1) {
     for (size_t i = 0; i < span_ids.size(); ++i) {
-      out[i] = assembler_.assemble(span_ids[i]);
+      out[i] = query_trace(span_ids[i]);
     }
     return out;
   }
@@ -456,8 +544,18 @@ std::vector<AssembledTrace> DeepFlowServer::assemble_traces(
   // and every worker writes only its own slot.
   ThreadPool pool(workers);
   pool.parallel_for(span_ids.size(), [&](size_t i) {
-    out[i] = assembler_.assemble(span_ids[i]);
+    out[i] = query_trace(span_ids[i]);
   });
+  return out;
+}
+
+std::vector<CompletenessWindow> DeepFlowServer::query_completeness(
+    TimestampNs from, TimestampNs to) const {
+  std::vector<CompletenessWindow> out = governor_.completeness(from, to);
+  if (streaming_ != nullptr) {
+    out = merge_completeness_windows(std::move(out),
+                                     streaming_->completeness(from, to));
+  }
   return out;
 }
 
@@ -476,6 +574,9 @@ QueryTelemetry DeepFlowServer::query_telemetry() const {
   t.assembled_spans = assembler.spans;
   t.orphan_spans = assembler.orphan_spans;
   t.lost_placeholders = assembler.lost_placeholders;
+  t.streaming_index_hits = streaming_hits_.load(std::memory_order_relaxed);
+  t.streaming_fallback_assemblies =
+      streaming_fallbacks_.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -545,7 +646,7 @@ std::string DeepFlowServer::prometheus_metrics() const {
                   static_cast<u64>(gov.level));
     static const char* kAccountNames[kGovernorAccounts] = {
         "hot_store", "unflushed_store", "metrics", "transport_queue",
-        "interner", "dedup",           "arena"};
+        "interner", "dedup",           "arena",   "assembly"};
     writer.family("deepflow_governor_account_bytes", "gauge",
                   "Governed bytes per account.");
     for (size_t i = 0; i < kGovernorAccounts; ++i) {
@@ -606,6 +707,42 @@ std::string DeepFlowServer::prometheus_metrics() const {
     };
     for (const auto& [name, value] : storage_gauges) {
       writer.family(name, "gauge", "Persistent segment-store telemetry.");
+      writer.sample(name, {}, value);
+    }
+  }
+
+  if (streaming_ != nullptr) {
+    const AssemblyTelemetry st = streaming_->telemetry();
+    const std::pair<const char*, u64> assembly_gauges[] = {
+        {"deepflow_assembly_observed_spans", st.observed_spans},
+        {"deepflow_assembly_open_windows", st.open_windows},
+        {"deepflow_assembly_watermark_ns", st.watermark_ns},
+        {"deepflow_assembly_watermark_lag_ns", st.watermark_lag_ns},
+        {"deepflow_assembly_late_spans", st.late_spans},
+        {"deepflow_assembly_finalized_traces", st.finalized_traces},
+        {"deepflow_assembly_finalized_spans", st.finalized_spans},
+        {"deepflow_assembly_forced_closes", st.forced_closes},
+        {"deepflow_assembly_pressure_closes", st.pressure_closes},
+        {"deepflow_assembly_index_traces", st.index_traces},
+        {"deepflow_assembly_indexed_spans", st.indexed_spans},
+        {"deepflow_assembly_open_bytes", st.open_bytes},
+        {"deepflow_assembly_index_bytes", st.index_bytes},
+        {"deepflow_assembly_kept_anomalous_traces", st.kept_anomalous_traces},
+        {"deepflow_assembly_kept_sampled_traces", st.kept_sampled_traces},
+        {"deepflow_assembly_dropped_traces", st.dropped_traces},
+        {"deepflow_assembly_dropped_spans", st.dropped_spans},
+        {"deepflow_assembly_retained_bytes", st.retained_bytes},
+        {"deepflow_assembly_dropped_bytes", st.dropped_bytes},
+        {"deepflow_assembly_flush_excluded_spans", st.flush_excluded_spans},
+        {"deepflow_assembly_unknown_span_ids", st.unknown_span_ids},
+        {"deepflow_assembly_index_hits",
+         streaming_hits_.load(std::memory_order_relaxed)},
+        {"deepflow_assembly_fallback_assemblies",
+         streaming_fallbacks_.load(std::memory_order_relaxed)},
+    };
+    for (const auto& [name, value] : assembly_gauges) {
+      writer.family(name, "gauge",
+                    "Streaming assembly and tail-sampling telemetry.");
       writer.sample(name, {}, value);
     }
   }

@@ -20,6 +20,7 @@
 #include "metrics/aggregator.h"
 #include "netsim/fabric.h"
 #include "server/span_store.h"
+#include "server/streaming_hook.h"
 #include "server/trace_assembler.h"
 
 namespace deepflow::server {
@@ -52,6 +53,11 @@ struct ServerConfig {
   /// the watermark — the 60 s disorder bound every transport honours — are
   /// still filtered. 0 restores the legacy unbounded set.
   DurationNs dedup_window_ns = 60 * kSecond;
+  /// Streaming trace assembly + trace-level tail sampling (off by default;
+  /// query-time batch assembly then remains the only path). The server only
+  /// carries the config and the hook seam — the assembler itself lives in
+  /// src/assembly and is attached by the deployment (attach_streaming).
+  StreamingAssemblyConfig streaming;
 };
 
 /// Snapshot of network metrics correlated to a flow (tag-based correlation,
@@ -121,6 +127,11 @@ struct QueryTelemetry {
   u64 partitions_primary = 0;    // partitions served by their home node
   u64 partitions_failover = 0;   // partitions served by a replica (degraded)
   u64 partitions_unavailable = 0;  // partitions with no live holder
+  // Streaming assembly query plane (zero unless a hook is attached): trace
+  // queries served from the materialized completed-trace index vs falling
+  // back to batch assembly (still-open window, or a dropped trace).
+  u64 streaming_index_hits = 0;
+  u64 streaming_fallback_assemblies = 0;
 };
 
 class DeepFlowServer {
@@ -268,17 +279,35 @@ class DeepFlowServer {
 
   /// Completeness ledger over [from, to): per-window offered/stored/
   /// downsampled/refused counts, so queries can report how complete the
-  /// stored data is for any range that overlapped an overload episode.
+  /// stored data is for any range that overlapped an overload episode or a
+  /// tail-sampling policy. The governor's span-level ledger and the
+  /// streaming assembler's trace-level one are merged window-for-window
+  /// (both default to 1 s windows).
   std::vector<CompletenessWindow> query_completeness(TimestampNs from,
-                                                     TimestampNs to) const {
-    return governor_.completeness(from, to);
-  }
+                                                     TimestampNs to) const;
 
   /// Register the deployment's shared interner so the prometheus scrape
   /// carries its cardinality/overflow gauges.
   void set_shared_interner(std::shared_ptr<const StringInterner> interner) {
     shared_interner_ = std::move(interner);
   }
+
+  // -- Streaming assembly seam. ---------------------------------------------
+
+  /// Attach the streaming assembler (src/assembly, wired by the
+  /// deployment). Install once, before any traffic; the hook must be
+  /// thread-safe like the ingest path, and must outlive the server's
+  /// traffic. Once attached, every span that clears dedup also lands in the
+  /// hook as a SpanNote, and query_trace probes the hook's completed-trace
+  /// index before falling back to batch assembly.
+  void attach_streaming(StreamingHook* hook) { streaming_ = hook; }
+  StreamingHook* streaming_hook() const { return streaming_; }
+
+  /// Accessors the streaming assembler is constructed against: the live
+  /// store (finalization searches it; retention verdicts discard from its
+  /// flush window) and the delta-search batch assembler it reuses.
+  SpanStore& mutable_store() { return store_; }
+  const TraceAssembler& trace_assembler() const { return assembler_; }
 
  private:
   void emit_reaggregated(const std::string& host, agent::Session&& session);
@@ -294,12 +323,19 @@ class DeepFlowServer {
   /// Stable trace identity for sampling decisions: the x-request-id when
   /// present (cross-host), else the systrace id, else the span id.
   static u64 trace_key_of(const agent::Span& span);
+  /// RED latency-outlier probe for the streaming hook's anomaly bit; only
+  /// consulted when streaming tail sampling is enabled.
+  bool streaming_outlier(const agent::Span& span) const;
 
   const netsim::ResourceRegistry* registry_;
   ResourceGovernor governor_;
   SpanStore store_;
   TraceAssembler assembler_;
   metrics::MetricsAggregator metrics_;
+  StreamingHook* streaming_ = nullptr;
+  StreamingAssemblyConfig streaming_config_;
+  mutable std::atomic<u64> streaming_hits_{0};
+  mutable std::atomic<u64> streaming_fallbacks_{0};
   IngestObserver ingest_observer_;
   agent::SessionAggregator reaggregator_;
   std::unordered_map<std::string, agent::SpanBuilder> builders_;

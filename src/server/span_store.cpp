@@ -879,6 +879,37 @@ size_t SpanStore::flush_sealed() {
   return flushed;
 }
 
+size_t SpanStore::discard_unflushed(const std::vector<u64>& ids) {
+  if (storage_ == nullptr || ids.empty()) return 0;
+  const std::unordered_set<u64> drop(ids.begin(), ids.end());
+  size_t removed = 0;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock lock(shard.mu);
+    size_t kept = 0;
+    size_t bytes = 0;
+    for (size_t i = 0; i < shard.unflushed.size(); ++i) {
+      const u64 id = shard.unflushed[i];
+      if (drop.count(id) != 0) {
+        ++removed;
+        if (governor_ != nullptr) {
+          const auto it = shard.rows.find(id);
+          if (it != shard.rows.end()) bytes += governed_row_bytes(it->second);
+        }
+      } else {
+        shard.unflushed[kept++] = id;
+      }
+    }
+    shard.unflushed.resize(kept);
+    if (governor_ != nullptr && bytes > 0) {
+      // The dropped spans will never be sealed, so they no longer count as
+      // durability exposure.
+      governor_->sub_bytes(GovernorAccount::kUnflushedStore, bytes);
+    }
+  }
+  return removed;
+}
+
 void SpanStore::compact_storage() {
   if (storage_ != nullptr) storage_->compact();
 }

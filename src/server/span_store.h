@@ -158,6 +158,14 @@ class SpanStore : public SpanReadBackend {
   /// Flush only shards whose unflushed window reached segment_spans (the
   /// background-flush tick). Returns spans written.
   size_t flush_sealed();
+  /// Remove `ids` from the pending (unflushed) segment-flush window so they
+  /// never reach disk — the streaming tail sampler's retention verdict
+  /// applied to durability. Best-effort: ids already flushed, unknown, or
+  /// recovered are silently skipped (rows stay resident in the hot tier —
+  /// secondary indexes hold stable row pointers, so in-RAM rows are never
+  /// erased; RAM reclamation is the hot-tier ladder's job, not this one's).
+  /// Returns how many ids were actually excluded. Thread-safe.
+  size_t discard_unflushed(const std::vector<u64>& ids);
   /// Merge small segment files (both classes). Thread-safe.
   void compact_storage();
   /// Storage-tier counters (zeroed struct when storage is off).

@@ -1,0 +1,152 @@
+// Streaming trace assembly seam (ISSUE 10). The server ingest path emits one
+// SpanNote per admitted span (post-dedup, post-metrics-fold, post-store) to an
+// attached StreamingHook; the concrete assembler lives in src/assembly and is
+// wired up by core::Deployment, so df_server itself never depends on it.
+//
+// A SpanNote carries only the association keys Algorithm 1 searches on — as
+// precomputed hashes — plus timing and an anomaly bit, so the streaming
+// grouper never touches Span strings on the hot path. The hook's contract:
+//
+//   observe/observe_many  called on the ingest thread(s), thread-safe
+//   completed(id)         materialized trace for a CLOSED window, or nullptr
+//                         (the caller falls back to the batch assembler)
+//   flush()               close every open window (end-of-run finalize)
+//   completeness(a, b)    the tail sampler's per-window verdict ledger
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "agent/span.h"
+#include "common/governor.h"
+#include "common/hash.h"
+#include "server/store_backend.h"
+#include "server/trace_assembler.h"
+
+namespace deepflow::server {
+
+/// Trace-level tail sampling over *completed* streaming windows. Distinct
+/// from the governor's span-level kDownsample rung: this one sees whole
+/// traces, so "anomalous" means any member span is anomalous, and a healthy
+/// trace is kept or dropped atomically.
+struct TailSamplingConfig {
+  bool enabled = false;
+  /// Percentage of healthy (no error / incomplete / placeholder / latency-
+  /// outlier span) traces retained, decided by a deterministic hash of the
+  /// trace's content key — independent of arrival order and worker count.
+  u32 healthy_keep_pct = 25;
+  u64 sample_seed = 0x9e3779b97f4a7c15ULL;
+  /// When true, spans of dropped traces are also excluded from the pending
+  /// segment flush (SpanStore::discard_unflushed), so disk retention follows
+  /// the same policy as the index.
+  bool drop_from_flush = true;
+};
+
+struct StreamingAssemblyConfig {
+  bool enabled = false;
+  /// The §3.3 disorder window: watermark = max observed start_ts minus this,
+  /// clamped at zero and advancing monotonically. A group closes only when
+  /// its newest member timestamp is strictly below the watermark, so a span
+  /// landing exactly at the boundary can still join.
+  DurationNs disorder_window_ns = 60 * kSecond;
+  /// Amortize the close scan: check for closable windows once per this many
+  /// observed spans (flush() always closes everything regardless).
+  u32 close_check_interval_spans = 256;
+  /// Hard cap on concurrently open windows (0 = unbounded); the oldest are
+  /// force-closed past it. Independent of governor byte pressure.
+  size_t max_open_windows = 0;
+  /// Background finalizer threads. Closed groups are handed to this pool so
+  /// the ingest thread only pays for grouping; flush() always waits for the
+  /// queue to drain. 0 = finalize synchronously at close time (deterministic
+  /// mid-run visibility; the unit tests run this way).
+  u32 finalize_workers = 2;
+  /// Ledger granularity for the tail sampler's verdict bookkeeping. Keep the
+  /// width equal to the governor's completeness_window_ns so the two ledgers
+  /// merge window-for-window in query_completeness.
+  DurationNs completeness_window_ns = kSecond;
+  size_t completeness_max_windows = 4096;
+  TailSamplingConfig tail_sampling;
+};
+
+/// Everything the streaming grouper needs from one admitted span. Hashes are
+/// precomputed by the server so the grouper's hot path is string-free.
+struct SpanNote {
+  u64 span_id = 0;
+  SystraceId systrace_id = kInvalidSystraceId;
+  u64 pseudo_key = 0;      ///< pseudo_thread_key(span); 0 = absent
+  u64 x_request_hash = 0;  ///< fnv1a(x_request_id); 0 = absent
+  u64 otel_hash = 0;       ///< fnv1a(otel_trace_id); 0 = absent
+  TcpSeq req_tcp_seq = 0;
+  TcpSeq resp_tcp_seq = 0;
+  TimestampNs start_ts = 0;
+  TimestampNs end_ts = 0;
+  /// Anomaly verdict at ingest time: error / incomplete / placeholder, OR'd
+  /// with the metrics plane's RED latency-outlier signal when tail sampling
+  /// is enabled. Finalization re-ORs over the materialized trace, so a
+  /// conservative false here only costs a redundant check.
+  bool anomalous = false;
+};
+
+inline SpanNote make_span_note(const agent::Span& span, bool latency_outlier) {
+  SpanNote note;
+  note.span_id = span.span_id;
+  note.systrace_id = span.systrace_id;
+  note.pseudo_key = span.pseudo_thread_id != 0 ? pseudo_thread_key(span) : 0;
+  note.x_request_hash =
+      span.x_request_id.empty() ? 0 : fnv1a(span.x_request_id);
+  note.otel_hash = span.otel_trace_id.empty() ? 0 : fnv1a(span.otel_trace_id);
+  note.req_tcp_seq = span.req_tcp_seq;
+  note.resp_tcp_seq = span.resp_tcp_seq;
+  note.start_ts = span.start_ts;
+  note.end_ts = span.end_ts;
+  note.anomalous =
+      latency_outlier || !span.ok || span.incomplete || span.lost_placeholder;
+  return note;
+}
+
+struct AssemblyTelemetry {
+  u64 observed_spans = 0;
+  u64 open_windows = 0;       ///< groups not yet closed by the watermark
+  TimestampNs max_observed_ts = 0;
+  TimestampNs watermark_ns = 0;
+  DurationNs watermark_lag_ns = 0;  ///< max_observed_ts - watermark
+  u64 late_spans = 0;         ///< arrived with start_ts below the watermark
+  u64 finalized_traces = 0;
+  u64 finalized_spans = 0;
+  u64 forced_closes = 0;      ///< max_open_windows trims
+  u64 pressure_closes = 0;    ///< governor kAssembly-ceiling trims
+  u64 index_traces = 0;       ///< traces retained in the completed index
+  u64 indexed_spans = 0;
+  size_t open_bytes = 0;      ///< grouper bookkeeping under GovernorAccount
+  size_t index_bytes = 0;     ///< materialized index under GovernorAccount
+  // Tail-sampling verdicts (trace granularity).
+  u64 kept_anomalous_traces = 0;
+  u64 kept_sampled_traces = 0;
+  u64 dropped_traces = 0;
+  u64 dropped_spans = 0;
+  u64 retained_bytes = 0;     ///< approx span bytes of kept traces
+  u64 dropped_bytes = 0;
+  u64 flush_excluded_spans = 0;  ///< removed from the pending segment flush
+  u64 unknown_span_ids = 0;   ///< noted ids the store could not assemble
+};
+
+class StreamingHook {
+ public:
+  virtual ~StreamingHook() = default;
+
+  virtual void observe(const SpanNote& note) = 0;
+  virtual void observe_many(const SpanNote* notes, size_t count) = 0;
+  /// The finalized trace containing span_id if its window has closed and the
+  /// trace was retained; nullptr otherwise (caller falls back to the batch
+  /// assembler). The returned object is immutable and shared.
+  virtual std::shared_ptr<const AssembledTrace> completed(u64 span_id)
+      const = 0;
+  /// Close and finalize every open window (end-of-run barrier).
+  virtual void flush() = 0;
+  virtual AssemblyTelemetry telemetry() const = 0;
+  virtual std::vector<CompletenessWindow> completeness(TimestampNs from,
+                                                       TimestampNs to)
+      const = 0;
+};
+
+}  // namespace deepflow::server

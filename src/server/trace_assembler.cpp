@@ -7,10 +7,6 @@
 #include <unordered_map>
 
 #include "common/hash.h"
-#include <chrono>
-#include <cstdio>
-#include <cstdlib>
-namespace { double dbg_now() { return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch()).count(); } double dbg_p1=0, dbg_p2=0, dbg_p3=0; int dbg_n=0; }
 
 namespace deepflow::server {
 
@@ -378,7 +374,6 @@ AssembledTrace TraceAssembler::assemble(u64 start_span_id) const {
   // or row lookup after a search. Since hits arrive sorted by span id, the
   // set is a sorted vector maintained by difference/merge scans instead of
   // a hash map.
-  const double dbg_t0 = dbg_now();
   const auto row_id_less = [](const SpanRow* a, const SpanRow* b) {
     return a->span.span_id < b->span.span_id;
   };
@@ -405,7 +400,6 @@ AssembledTrace TraceAssembler::assemble(u64 start_span_id) const {
                std::back_inserter(merged), row_id_less);
     known.swap(merged);
   }
-  const double dbg_t1 = dbg_now();
   // ---- Phase two: parent assignment (Algorithm 1, lines 18-24). Sort the
   // set once into the display order (start time, content ties); position
   // then encodes the naive path's starts_before() predicate. Candidates for
@@ -477,7 +471,6 @@ AssembledTrace TraceAssembler::assemble(u64 start_span_id) const {
     }
   }
 
-  const double dbg_t2 = dbg_now();
   // ---- Phase three: emit in display order (Algorithm 1, line 25). Batch
   // materialization straight from the row pointers: one lock per shard
   // involved, no id directory traffic, and the decoded tag sets are shared
@@ -536,12 +529,6 @@ AssembledTrace TraceAssembler::assemble(u64 start_span_id) const {
     }
   }
 
-  if (std::getenv("DF_PHASE_TIMING")) {
-    dbg_p1 += dbg_t1 - dbg_t0; dbg_p2 += dbg_t2 - dbg_t1; dbg_p3 += dbg_now() - dbg_t2;
-    if (++dbg_n % 400 == 0)
-      std::fprintf(stderr, "phase1=%.4fms phase2=%.4fms phase3=%.4fms (avg over %d)\n",
-                   dbg_p1*1e3/dbg_n, dbg_p2*1e3/dbg_n, dbg_p3*1e3/dbg_n, dbg_n);
-  }
   traces_.fetch_add(1, std::memory_order_relaxed);
   iterations_.fetch_add(trace.iterations_used, std::memory_order_relaxed);
   spans_.fetch_add(trace.spans.size(), std::memory_order_relaxed);

@@ -1,0 +1,289 @@
+// Streaming assembler unit suite: watermark boundary semantics (a span
+// exactly AT the watermark can still join; strictly-older groups close),
+// monotone watermarks under disorder, post-close straggler degradation
+// (new group, never a mutation of served history), u64-wrap-adjacent
+// timestamps, flush/ledger conservation, and the two open-window pressure
+// valves (max_open_windows trims + governor kAssembly-ceiling closes).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "assembly/streaming_assembler.h"
+#include "common/governor.h"
+#include "server/span_store.h"
+#include "server/trace_assembler.h"
+#include "tests/storage/storage_test_util.h"
+
+namespace deepflow {
+namespace {
+
+using assembly::StreamingAssembler;
+using server::SpanNote;
+using server::StreamingAssemblyConfig;
+
+agent::Span make_span(u64 id, SystraceId trace, TimestampNs start,
+                      TimestampNs end) {
+  agent::Span span;
+  span.span_id = id;
+  span.kind = agent::SpanKind::kSystem;
+  span.systrace_id = trace;
+  span.host = "node-0";
+  span.pid = 7;
+  span.tid = 7;
+  span.start_ts = start;
+  span.end_ts = end;
+  return span;
+}
+
+/// Store the span, then feed its note with the store-assigned id (the same
+/// post-insert discipline the server's per-span ingest path uses).
+u64 feed(server::SpanStore& store, StreamingAssembler& sa, agent::Span span) {
+  SpanNote note = server::make_span_note(span, /*latency_outlier=*/false);
+  note.span_id = store.insert(std::move(span));
+  sa.observe(note);
+  return note.span_id;
+}
+
+struct Rig {
+  explicit Rig(StreamingAssemblyConfig config,
+               ResourceGovernor* governor = nullptr)
+      : store(server::EncoderKind::kSmart, nullptr, 1, {}, governor),
+        assembler(&store),
+        sa(config, &store, &assembler, governor) {}
+  server::SpanStore store;
+  server::TraceAssembler assembler;
+  StreamingAssembler sa;
+};
+
+StreamingAssemblyConfig tight_config(DurationNs window = 1000) {
+  StreamingAssemblyConfig config;
+  config.enabled = true;
+  config.disorder_window_ns = window;
+  config.close_check_interval_spans = 1;  // scan after every span
+  // Synchronous finalization: this suite asserts completed()/counter state
+  // immediately after a close, which is only deterministic inline.
+  config.finalize_workers = 0;
+  return config;
+}
+
+TEST(StreamingAssembler, BoundaryExactSpanStaysOpenStrictlyOlderCloses) {
+  Rig rig(tight_config(1000));
+  const u64 a = feed(rig.store, rig.sa, make_span(1, 11, 0, 0));
+  const u64 b = feed(rig.store, rig.sa, make_span(2, 12, 1000, 1000));
+  const u64 c = feed(rig.store, rig.sa, make_span(3, 13, 2000, 2000));
+  // Watermark = 2000 - 1000 = 1000. Group a (max_ts 0) is strictly below it
+  // and closes; group b sits exactly AT the watermark and must stay open.
+  EXPECT_EQ(rig.sa.watermark(), 1000u);
+  EXPECT_NE(rig.sa.completed(a), nullptr);
+  EXPECT_EQ(rig.sa.completed(b), nullptr);
+  EXPECT_EQ(rig.sa.completed(c), nullptr);
+  EXPECT_EQ(rig.sa.telemetry().open_windows, 2u);
+
+  // One more tick of the clock pushes the watermark past b.
+  feed(rig.store, rig.sa, make_span(4, 14, 2001, 2001));
+  EXPECT_EQ(rig.sa.watermark(), 1001u);
+  EXPECT_NE(rig.sa.completed(b), nullptr);
+}
+
+TEST(StreamingAssembler, WatermarkIsMonotoneUnderDisorder) {
+  Rig rig(tight_config(1000));
+  feed(rig.store, rig.sa, make_span(1, 21, 10'000, 10'000));
+  EXPECT_EQ(rig.sa.watermark(), 9000u);
+  // Out-of-order arrivals below the watermark never pull it back.
+  feed(rig.store, rig.sa, make_span(2, 22, 5000, 5000));
+  EXPECT_EQ(rig.sa.watermark(), 9000u);
+  feed(rig.store, rig.sa, make_span(3, 23, 100, 100));
+  feed(rig.store, rig.sa, make_span(4, 24, 3, 3));
+  EXPECT_EQ(rig.sa.watermark(), 9000u);
+  EXPECT_EQ(rig.sa.telemetry().late_spans, 3u);
+}
+
+TEST(StreamingAssembler, StragglerAfterCloseStartsNewGroupKeepsHistory) {
+  Rig rig(tight_config(1000));
+  const u64 a = feed(rig.store, rig.sa, make_span(1, 31, 0, 0));
+  feed(rig.store, rig.sa, make_span(2, 32, 5000, 5000));  // closes a's group
+  const auto first = rig.sa.completed(a);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->spans.size(), 1u);
+
+  // Same systrace key, arriving after its group already closed: it must
+  // start a NEW group (late_spans++), not resurrect the finalized one. The
+  // new group sits entirely below the watermark, so the very next scan
+  // closes it — close-immediately degradation for stragglers.
+  const u64 s = feed(rig.store, rig.sa, make_span(3, 31, 10, 10));
+  EXPECT_EQ(rig.sa.telemetry().late_spans, 1u);
+  // The straggler's finalization sees the full store, so its trace is a
+  // superset containing both spans; `a`'s original entry still wins — the
+  // served trace object for `a` stays the same immutable object.
+  const auto late = rig.sa.completed(s);
+  ASSERT_NE(late, nullptr);
+  EXPECT_EQ(late->spans.size(), 2u);
+  EXPECT_EQ(rig.sa.completed(a).get(), first.get());
+
+  rig.sa.flush();
+  EXPECT_EQ(rig.sa.completed(a).get(), first.get());
+  EXPECT_EQ(rig.sa.completed(s).get(), late.get());
+}
+
+TEST(StreamingAssembler, WrapAdjacentTimestampsDoNotOverflow) {
+  const TimestampNs top = ~TimestampNs{0};
+  Rig rig(tight_config(1000));
+  const u64 old_id =
+      feed(rig.store, rig.sa, make_span(1, 41, top - 2000, top - 2000));
+  feed(rig.store, rig.sa, make_span(2, 42, top, top));
+  // Watermark = ~0 - 1000 with no wraparound; the strictly-older group
+  // closes, the wrap-adjacent one stays open until flush.
+  EXPECT_EQ(rig.sa.watermark(), top - 1000);
+  EXPECT_NE(rig.sa.completed(old_id), nullptr);
+  EXPECT_EQ(rig.sa.telemetry().open_windows, 1u);
+  rig.sa.flush();
+  EXPECT_EQ(rig.sa.telemetry().open_windows, 0u);
+}
+
+TEST(StreamingAssembler, NearZeroClocksClampTheWatermark) {
+  Rig rig(tight_config(1000));
+  feed(rig.store, rig.sa, make_span(1, 51, 5, 5));
+  feed(rig.store, rig.sa, make_span(2, 52, 500, 500));
+  // max observed (500) is inside the disorder window: the watermark clamps
+  // at zero instead of underflowing, and nothing closes.
+  EXPECT_EQ(rig.sa.watermark(), 0u);
+  EXPECT_EQ(rig.sa.telemetry().open_windows, 2u);
+  EXPECT_EQ(rig.sa.telemetry().late_spans, 0u);
+}
+
+TEST(StreamingAssembler, ExtremeTimestampFixturesSurviveAndConserve) {
+  // The storage suites' hostile-span generator: extreme timestamps (0, ~0,
+  // wrap-adjacent, full 64-bit range), random association keys, unicode.
+  StreamingAssemblyConfig config = tight_config(60 * kSecond);
+  config.close_check_interval_spans = 8;
+  Rig rig(config);
+  Rng rng(1234);
+  const size_t kSpans = 200;
+  for (size_t i = 0; i < kSpans; ++i) {
+    storage::testutil::OwnedRow row = storage::testutil::random_row(i + 1, rng);
+    feed(rig.store, rig.sa, row.span);
+  }
+  rig.sa.flush();
+  const server::AssemblyTelemetry t = rig.sa.telemetry();
+  EXPECT_EQ(t.observed_spans, kSpans);
+  EXPECT_EQ(t.open_windows, 0u);
+  // Conservation: every observed span is either ledgered by its group or
+  // counted unknown; with sampling off, stored is the only outcome.
+  u64 offered = 0;
+  u64 stored = 0;
+  u64 other = 0;
+  for (const CompletenessWindow& w :
+       rig.sa.completeness(0, ~TimestampNs{0})) {
+    offered += w.offered;
+    stored += w.stored;
+    other += w.downsampled + w.refused;
+    EXPECT_EQ(w.offered, w.stored + w.downsampled + w.refused);
+  }
+  EXPECT_EQ(other, 0u);
+  EXPECT_EQ(offered, stored);
+  EXPECT_EQ(offered + t.unknown_span_ids, kSpans);
+}
+
+TEST(StreamingAssembler, FlushClosesEverythingWithConservedLedger) {
+  // Default 60 s disorder window >> the 4 s workload: nothing closes until
+  // the end-of-run flush.
+  Rig rig(tight_config(60 * kSecond));
+  std::vector<u64> ids;
+  for (u64 t = 0; t < 10; ++t) {
+    for (u64 k = 0; k < 4; ++k) {
+      const TimestampNs ts = t * 400 * kMillisecond + k * kMillisecond;
+      ids.push_back(
+          feed(rig.store, rig.sa, make_span(100 * t + k + 1, t + 1, ts, ts)));
+    }
+  }
+  EXPECT_EQ(rig.sa.telemetry().finalized_traces, 0u);
+  rig.sa.flush();
+  const server::AssemblyTelemetry t = rig.sa.telemetry();
+  EXPECT_EQ(t.open_windows, 0u);
+  EXPECT_EQ(t.finalized_traces, 10u);
+  EXPECT_EQ(t.finalized_spans, 40u);
+  EXPECT_EQ(t.unknown_span_ids, 0u);
+  for (const u64 id : ids) EXPECT_NE(rig.sa.completed(id), nullptr) << id;
+  u64 offered = 0;
+  u64 stored = 0;
+  for (const CompletenessWindow& w :
+       rig.sa.completeness(0, ~TimestampNs{0})) {
+    offered += w.offered;
+    stored += w.stored;
+    EXPECT_EQ(w.downsampled, 0u);
+    EXPECT_EQ(w.refused, 0u);
+  }
+  EXPECT_EQ(offered, 40u);
+  EXPECT_EQ(offered, stored);
+}
+
+TEST(StreamingAssembler, DuplicateNotesFinalizeOnce) {
+  Rig rig(tight_config(60 * kSecond));
+  agent::Span span = make_span(1, 61, 100, 200);
+  SpanNote note = server::make_span_note(span, false);
+  note.span_id = rig.store.insert(std::move(span));
+  rig.sa.observe(note);
+  rig.sa.observe(note);  // redelivery reaching the hook twice
+  rig.sa.flush();
+  const server::AssemblyTelemetry t = rig.sa.telemetry();
+  EXPECT_EQ(t.observed_spans, 2u);
+  EXPECT_EQ(t.finalized_spans, 1u);
+  EXPECT_EQ(t.finalized_traces, 1u);
+}
+
+TEST(StreamingAssembler, MaxOpenWindowsTrimsOldestFirst) {
+  StreamingAssemblyConfig config = tight_config(60 * kSecond);
+  config.max_open_windows = 2;
+  Rig rig(config);
+  std::vector<u64> ids;
+  for (u64 t = 0; t < 5; ++t) {
+    ids.push_back(feed(rig.store, rig.sa,
+                       make_span(t + 1, 70 + t, t * 1000, t * 1000)));
+  }
+  const server::AssemblyTelemetry t = rig.sa.telemetry();
+  EXPECT_EQ(t.open_windows, 2u);
+  EXPECT_EQ(t.forced_closes, 3u);
+  // Oldest-first: the three earliest traces were force-closed and serve
+  // from the index; the two newest are still open.
+  for (size_t i = 0; i < 3; ++i) EXPECT_NE(rig.sa.completed(ids[i]), nullptr);
+  for (size_t i = 3; i < 5; ++i) EXPECT_EQ(rig.sa.completed(ids[i]), nullptr);
+}
+
+TEST(StreamingAssembler, GovernorPressureForcesEarlyCloses) {
+  GovernorConfig gc;
+  gc.enabled = true;
+  gc.budget_bytes = size_t{1} << 30;  // total never binds
+  gc.account_budget_bytes[static_cast<size_t>(GovernorAccount::kAssembly)] =
+      2048;
+  ResourceGovernor governor(gc);
+  StreamingAssemblyConfig config = tight_config(60 * kSecond);
+  Rig rig(config, &governor);
+  for (u64 t = 0; t < 64; ++t) {
+    feed(rig.store, rig.sa, make_span(t + 1, 200 + t, t * 1000, t * 1000));
+  }
+  const server::AssemblyTelemetry t = rig.sa.telemetry();
+  EXPECT_GT(t.pressure_closes, 0u);
+  EXPECT_LT(t.open_windows, 64u);
+  EXPECT_GT(governor.account_bytes(GovernorAccount::kAssembly), 0u);
+  rig.sa.flush();
+  EXPECT_EQ(rig.sa.telemetry().open_windows, 0u);
+}
+
+TEST(StreamingAssembler, DestructorReturnsGovernorBytes) {
+  GovernorConfig gc;
+  gc.enabled = true;
+  gc.budget_bytes = size_t{1} << 30;
+  ResourceGovernor governor(gc);
+  {
+    Rig rig(tight_config(60 * kSecond), &governor);
+    for (u64 t = 0; t < 8; ++t) {
+      feed(rig.store, rig.sa, make_span(t + 1, 300 + t, t * 1000, t * 1000));
+    }
+    rig.sa.flush();
+    EXPECT_GT(governor.account_bytes(GovernorAccount::kAssembly), 0u);
+  }
+  EXPECT_EQ(governor.account_bytes(GovernorAccount::kAssembly), 0u);
+}
+
+}  // namespace
+}  // namespace deepflow

@@ -1,0 +1,227 @@
+// Streaming-equivalence suite: with tail sampling off, traces served from
+// the streaming assembler's materialized index must be byte-identical to
+// both the frozen naive reference (tests/reference/naive_assembler.h) and a
+// fresh batch TraceAssembler over the same store — over the equivalence
+// topologies, serially and with an 8-shard store / 8-worker batch service.
+// A separate mid-run-close case (tiny disorder window, interleaved trace
+// members) checks the monotone-degradation contract instead: early-closed
+// traces serve a SUBSET of the final closure, and the completeness ledger
+// still conserves every observed span.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "assembly/streaming_assembler.h"
+#include "core/deployment.h"
+#include "server/canonical.h"
+#include "tests/reference/naive_assembler.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+using server::AssembledTrace;
+using workloads::Topology;
+
+std::string trace_signature(const AssembledTrace& trace) {
+  std::string out;
+  for (const auto& s : trace.spans) {
+    out += std::to_string(s.span.span_id) + "<-" +
+           std::to_string(s.span.parent_span_id) + "#" +
+           std::to_string(s.parent_rule) + ";";
+  }
+  return out;
+}
+
+std::vector<u64> span_ids_of(const AssembledTrace& trace) {
+  std::vector<u64> ids;
+  for (const auto& s : trace.spans) {
+    if (s.span.span_id != server::kLostPlaceholderSpanId) {
+      ids.push_back(s.span.span_id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+struct StreamingCase {
+  const char* name;
+  Topology (*make)();
+  double rps;
+  size_t shards;
+  size_t workers;
+};
+
+// Golden seeds, serial store/serial assembly and 8-shard store/8-worker
+// batch assembly. Sampling stays OFF: every finalized trace is retained.
+const StreamingCase kCases[] = {
+    {"spring_boot_demo_serial",
+     [] { return workloads::make_spring_boot_demo(11); }, 25.0, 1, 1},
+    {"spring_boot_demo_8w",
+     [] { return workloads::make_spring_boot_demo(11); }, 25.0, 8, 8},
+    {"bookinfo_serial", [] { return workloads::make_bookinfo(13); }, 20.0, 1,
+     1},
+    {"bookinfo_8w", [] { return workloads::make_bookinfo(13); }, 20.0, 8, 8},
+};
+
+TEST(StreamingEquivalence, IndexServedTracesMatchNaiveAndBatch) {
+  for (const StreamingCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    Topology topo = c.make();
+    core::DeploymentConfig config;
+    config.server.store_shards = c.shards;
+    config.server.streaming.enabled = true;  // 60 s disorder window default
+    core::Deployment deepflow(topo.cluster.get(), config);
+    ASSERT_TRUE(deepflow.deploy()) << deepflow.error();
+    topo.app->run_constant_load(topo.entry, c.rps, 1 * kSecond);
+    deepflow.finish();
+
+    const server::DeepFlowServer& server = deepflow.server();
+    ASSERT_NE(deepflow.streaming(), nullptr);
+    const server::AssemblyTelemetry st = deepflow.streaming()->telemetry();
+    EXPECT_GT(st.finalized_traces, 0u);
+    EXPECT_EQ(st.open_windows, 0u);  // finish() flushed every window
+    EXPECT_EQ(st.unknown_span_ids, 0u);
+
+    // Snapshot before querying: the queries below must be answered by the
+    // index, adding ZERO batch assemblies on the server's assembler.
+    const u64 assembled_before = server.query_telemetry().traces_assembled;
+
+    const server::SpanStore& store = server.store();
+    // An independent assembler instance: its counters are its own, so it
+    // cannot mask whether the server assembled anything.
+    server::TraceAssembler batch(&store);
+    const std::vector<u64> all_ids = store.span_list(0, ~TimestampNs{0});
+    ASSERT_FALSE(all_ids.empty());
+    std::set<u64> claimed;
+    size_t queries = 0;
+    std::vector<std::string> signatures;
+    for (const u64 id : all_ids) {
+      if (claimed.contains(id)) continue;
+      const AssembledTrace served = server.query_trace(id);
+      ++queries;
+      for (const auto& s : served.spans) claimed.insert(s.span.span_id);
+      const AssembledTrace naive =
+          server::reference::assemble_naive(store, id);
+      ASSERT_EQ(trace_signature(naive), trace_signature(served))
+          << c.name << " start=" << id;
+      EXPECT_EQ(trace_signature(batch.assemble(id)), trace_signature(served))
+          << c.name << " start=" << id;
+      EXPECT_EQ(server::canonical_trace(naive), server::canonical_trace(served))
+          << c.name << " start=" << id;
+      signatures.push_back(trace_signature(served));
+    }
+
+    const server::QueryTelemetry qt = server.query_telemetry();
+    EXPECT_EQ(qt.streaming_fallback_assemblies, 0u) << c.name;
+    EXPECT_GE(qt.streaming_index_hits, queries) << c.name;
+    EXPECT_EQ(qt.traces_assembled, assembled_before)
+        << c.name << ": queries fell back to batch assembly";
+
+    // The batch assembly service serves the same index-backed traces at any
+    // worker count, positionally aligned.
+    std::vector<u64> roots;
+    std::vector<std::string> root_signatures;
+    {
+      std::set<u64> seen;
+      for (const u64 id : all_ids) {
+        if (seen.contains(id)) continue;
+        const AssembledTrace t = server.query_trace(id);
+        for (const auto& s : t.spans) seen.insert(s.span.span_id);
+        roots.push_back(id);
+        root_signatures.push_back(trace_signature(t));
+      }
+    }
+    const std::vector<AssembledTrace> fanout =
+        server.assemble_traces(roots, c.workers);
+    ASSERT_EQ(fanout.size(), roots.size());
+    for (size_t i = 0; i < fanout.size(); ++i) {
+      EXPECT_EQ(root_signatures[i], trace_signature(fanout[i]))
+          << c.name << " slot=" << i;
+    }
+  }
+}
+
+// Mid-run closes: a disorder window far smaller than the trace spread, with
+// the members of each trace interleaved across the whole run, forces groups
+// to close before their later members arrive. Contract: monotone
+// degradation — early-served traces are subsets of the final closure, the
+// ledger conserves every span, and served history never mutates.
+TEST(StreamingEquivalence, MidRunClosesServeMonotoneSubsets) {
+  server::ServerConfig config;
+  config.streaming.enabled = true;
+  config.streaming.disorder_window_ns = 100'000;  // 100 us << 4 ms of traffic
+  config.streaming.close_check_interval_spans = 64;
+  // Inline finalization: the mid-run assertions below (finalized > 0, late
+  // stragglers already indexed) need closes visible at deterministic points.
+  config.streaming.finalize_workers = 0;
+  server::DeepFlowServer server(nullptr, config);
+  assembly::StreamingAssembler sa(config.streaming, &server.mutable_store(),
+                                  &server.trace_assembler(),
+                                  &server.governor());
+  server.attach_streaming(&sa);
+
+  // 4000 spans in 500 traces of 8; members of one trace are 500 ids apart,
+  // so a trace spans the whole run and its group is forced to close early.
+  // Every 137th span is withheld until the end of the run: by then its
+  // group has closed, so it arrives below the watermark — a true straggler.
+  const u64 kSpans = 4000;
+  const u64 kTraces = 500;
+  const auto make = [&](u64 i) {
+    agent::Span span;
+    span.span_id = i + 1;
+    span.kind = agent::SpanKind::kSystem;
+    span.systrace_id = (i % kTraces) + 1;
+    span.host = "node-0";
+    span.pid = 7;
+    span.tid = 7;
+    span.start_ts = i * 1000;
+    span.end_ts = span.start_ts + 500;
+    return span;
+  };
+  std::vector<u64> deferred;
+  for (u64 i = 0; i < kSpans; ++i) {
+    if (i % 137 == 3) {
+      deferred.push_back(i);
+      continue;
+    }
+    server.ingest(make(i));
+  }
+  for (const u64 i : deferred) server.ingest(make(i));
+  const server::AssemblyTelemetry mid = sa.telemetry();
+  EXPECT_GT(mid.finalized_traces, 0u);  // closes happened DURING ingest
+  EXPECT_GT(mid.late_spans, 0u);        // interleaving made stragglers
+  sa.flush();
+
+  const server::SpanStore& store = server.store();
+  for (u64 id = 1; id <= kSpans; id += 97) {
+    const AssembledTrace served = server.query_trace(id);
+    const AssembledTrace naive = server::reference::assemble_naive(store, id);
+    const std::vector<u64> served_ids = span_ids_of(served);
+    const std::vector<u64> naive_ids = span_ids_of(naive);
+    ASSERT_FALSE(served_ids.empty()) << id;
+    EXPECT_TRUE(std::includes(naive_ids.begin(), naive_ids.end(),
+                              served_ids.begin(), served_ids.end()))
+        << "id " << id << ": served trace is not a subset of the closure";
+  }
+
+  // Ledger conservation under early closes: every observed span is ledgered
+  // exactly once (or counted unknown), sampling off means all stored.
+  const server::AssemblyTelemetry t = sa.telemetry();
+  u64 offered = 0;
+  u64 stored = 0;
+  for (const CompletenessWindow& w : sa.completeness(0, ~TimestampNs{0})) {
+    EXPECT_EQ(w.offered, w.stored + w.downsampled + w.refused);
+    offered += w.offered;
+    stored += w.stored;
+  }
+  EXPECT_EQ(offered, stored);
+  EXPECT_EQ(offered + t.unknown_span_ids, kSpans);
+  EXPECT_EQ(t.open_windows, 0u);
+}
+
+}  // namespace
+}  // namespace deepflow

@@ -1,0 +1,239 @@
+// Anomaly-aware tail sampling over completed streaming windows: anomalous
+// traces (error / incomplete / placeholder / latency-outlier members) are
+// always kept at full fidelity, healthy traces keep with a deterministic
+// content-keyed probability, every verdict lands in the completeness ledger
+// (offered == stored + downsampled + refused per window), and dropped
+// traces leave the pending segment flush so disk retention follows the
+// same policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "assembly/streaming_assembler.h"
+#include "core/deployment.h"
+#include "server/canonical.h"
+#include "tests/reference/naive_assembler.h"
+#include "tests/storage/storage_test_util.h"
+#include "workloads/topologies.h"
+
+namespace deepflow {
+namespace {
+
+using assembly::StreamingAssembler;
+using server::AssembledTrace;
+
+agent::Span sampled_span(u64 id, SystraceId trace, TimestampNs start,
+                         bool ok) {
+  agent::Span span;
+  span.span_id = id;
+  span.kind = agent::SpanKind::kSystem;
+  span.systrace_id = trace;
+  span.host = "node-0";
+  span.pid = 7;
+  span.tid = 7;
+  span.start_ts = start;
+  span.end_ts = start + 10'000;
+  span.ok = ok;
+  return span;
+}
+
+server::StreamingAssemblyConfig sampling_config(u32 keep_pct) {
+  server::StreamingAssemblyConfig config;
+  config.enabled = true;
+  config.tail_sampling.enabled = true;
+  config.tail_sampling.healthy_keep_pct = keep_pct;
+  return config;
+}
+
+TEST(StreamingTailSampling, AnomalousKeptHealthyDownsampledLedgerConserves) {
+  server::SpanStore store(server::EncoderKind::kSmart, nullptr, 1);
+  server::TraceAssembler assembler(&store);
+  StreamingAssembler sa(sampling_config(20), &store, &assembler);
+
+  // 100 traces x 3 spans spread over ~40 one-second ledger windows; every
+  // 10th trace carries one error span.
+  const u64 kTraces = 100;
+  std::vector<std::vector<u64>> ids(kTraces);
+  for (u64 t = 0; t < kTraces; ++t) {
+    const bool anomalous = t % 10 == 0;
+    for (u64 k = 0; k < 3; ++k) {
+      agent::Span span =
+          sampled_span(100 * t + k + 1, t + 1,
+                       t * 400 * kMillisecond + k * kMillisecond,
+                       /*ok=*/!(anomalous && k == 2));
+      server::SpanNote note =
+          server::make_span_note(span, /*latency_outlier=*/false);
+      note.span_id = store.insert(std::move(span));
+      ids[t].push_back(note.span_id);
+      sa.observe(note);
+    }
+  }
+  sa.flush();
+
+  const server::AssemblyTelemetry t = sa.telemetry();
+  EXPECT_EQ(t.finalized_traces, kTraces);
+  EXPECT_EQ(t.kept_anomalous_traces, 10u);
+  EXPECT_EQ(t.kept_sampled_traces + t.dropped_traces, 90u);
+  // ~20% of 90 healthy traces; the hash is deterministic, the band is wide.
+  EXPECT_GE(t.kept_sampled_traces, 5u);
+  EXPECT_LE(t.kept_sampled_traces, 40u);
+  EXPECT_EQ(t.dropped_spans, t.dropped_traces * 3);
+  EXPECT_GT(t.retained_bytes, 0u);
+  EXPECT_GT(t.dropped_bytes, 0u);
+
+  // Every anomalous trace serves at full fidelity; dropped healthy traces
+  // are absent from the index (queries fall back to batch assembly).
+  u64 indexed_traces = 0;
+  for (u64 trace = 0; trace < kTraces; ++trace) {
+    const bool in_index = sa.completed(ids[trace][0]) != nullptr;
+    for (const u64 id : ids[trace]) {
+      EXPECT_EQ(sa.completed(id) != nullptr, in_index) << id;
+    }
+    if (trace % 10 == 0) EXPECT_TRUE(in_index) << trace;
+    if (in_index) ++indexed_traces;
+  }
+  EXPECT_EQ(indexed_traces, t.kept_anomalous_traces + t.kept_sampled_traces);
+
+  // Per-window conservation plus exact totals across the run.
+  u64 offered = 0;
+  u64 stored = 0;
+  u64 downsampled = 0;
+  u64 anomalous_kept = 0;
+  for (const CompletenessWindow& w : sa.completeness(0, ~TimestampNs{0})) {
+    EXPECT_EQ(w.offered, w.stored + w.downsampled + w.refused);
+    EXPECT_EQ(w.refused, 0u);
+    offered += w.offered;
+    stored += w.stored;
+    downsampled += w.downsampled;
+    anomalous_kept += w.anomalous_kept;
+  }
+  EXPECT_EQ(offered, 300u);
+  EXPECT_EQ(stored, (t.kept_anomalous_traces + t.kept_sampled_traces) * 3);
+  EXPECT_EQ(downsampled, t.dropped_traces * 3);
+  EXPECT_EQ(anomalous_kept, 30u);
+}
+
+TEST(StreamingTailSampling, VerdictsAreArrivalOrderIndependent) {
+  // Same spans, forward vs reverse feed order: the content-keyed hash must
+  // reach identical per-trace verdicts.
+  std::vector<bool> kept_forward;
+  std::vector<bool> kept_reverse;
+  for (const bool reverse : {false, true}) {
+    server::SpanStore store(server::EncoderKind::kSmart, nullptr, 1);
+    server::TraceAssembler assembler(&store);
+    StreamingAssembler sa(sampling_config(30), &store, &assembler);
+    const u64 kTraces = 64;
+    std::vector<u64> first_ids(kTraces);
+    std::vector<server::SpanNote> notes;
+    for (u64 t = 0; t < kTraces; ++t) {
+      agent::Span span = sampled_span(10 * t + 1, t + 1,
+                                      t * 100 * kMillisecond, /*ok=*/true);
+      server::SpanNote note = server::make_span_note(span, false);
+      note.span_id = store.insert(std::move(span));
+      first_ids[t] = note.span_id;
+      notes.push_back(note);
+    }
+    if (reverse) std::reverse(notes.begin(), notes.end());
+    sa.observe_many(notes.data(), notes.size());
+    sa.flush();
+    for (u64 t = 0; t < kTraces; ++t) {
+      (reverse ? kept_reverse : kept_forward)
+          .push_back(sa.completed(first_ids[t]) != nullptr);
+    }
+  }
+  EXPECT_EQ(kept_forward, kept_reverse);
+}
+
+TEST(StreamingTailSampling, DeploymentRunConservesAndFallsBackForDropped) {
+  workloads::Topology topo = workloads::make_spring_boot_demo(11);
+  core::DeploymentConfig config;
+  config.server.streaming.enabled = true;
+  config.server.streaming.tail_sampling.enabled = true;
+  config.server.streaming.tail_sampling.healthy_keep_pct = 25;
+  core::Deployment deepflow(topo.cluster.get(), config);
+  ASSERT_TRUE(deepflow.deploy()) << deepflow.error();
+  topo.app->run_constant_load(topo.entry, 25.0, 1 * kSecond);
+  deepflow.finish();
+
+  const server::DeepFlowServer& server = deepflow.server();
+  ASSERT_NE(deepflow.streaming(), nullptr);
+  const server::AssemblyTelemetry t = deepflow.streaming()->telemetry();
+  EXPECT_GT(t.finalized_traces, 0u);
+
+  // query_completeness merges the (inactive) governor ledger with the
+  // assembler's; the invariant must survive the merge, window for window.
+  u64 offered = 0;
+  for (const CompletenessWindow& w :
+       server.query_completeness(0, ~TimestampNs{0})) {
+    EXPECT_EQ(w.offered, w.stored + w.downsampled + w.refused);
+    offered += w.offered;
+  }
+  EXPECT_GT(offered, 0u);
+  EXPECT_EQ(offered, t.finalized_spans);
+
+  // Dropped traces stay queryable at full fidelity via batch fallback (the
+  // spans remain in the hot store; only index + disk retention degrade).
+  if (t.dropped_traces > 0) {
+    u64 dropped_id = 0;
+    for (const u64 id : server.store().span_list(0, ~TimestampNs{0})) {
+      if (deepflow.streaming()->completed(id) == nullptr) {
+        dropped_id = id;
+        break;
+      }
+    }
+    ASSERT_NE(dropped_id, 0u);
+    const AssembledTrace served = server.query_trace(dropped_id);
+    const AssembledTrace naive =
+        server::reference::assemble_naive(server.store(), dropped_id);
+    EXPECT_EQ(server::canonical_trace(naive), server::canonical_trace(served));
+    EXPECT_GT(server.query_telemetry().streaming_fallback_assemblies, 0u);
+  }
+}
+
+TEST(StreamingTailSampling, DroppedTracesAreExcludedFromSegmentFlush) {
+  storage::testutil::ScopedTempDir dir("df-streaming-sampling");
+  server::ServerConfig config;
+  config.storage.enabled = true;
+  config.storage.dir = dir.str();
+  config.storage.segment_spans = 1 << 20;  // nothing flushes until forced
+  config.streaming = sampling_config(/*keep_pct=*/0);  // drop ALL healthy
+  server::DeepFlowServer server(nullptr, config);
+  StreamingAssembler sa(config.streaming, &server.mutable_store(),
+                        &server.trace_assembler(), &server.governor());
+  server.attach_streaming(&sa);
+
+  // 30 single-span traces, every third anomalous (error span).
+  std::vector<u64> anomalous_ids;
+  std::vector<u64> healthy_ids;
+  for (u64 t = 0; t < 30; ++t) {
+    const bool anomalous = t % 3 == 0;
+    agent::Span span = sampled_span(t + 1, 1000 + t, t * 10 * kMillisecond,
+                                    /*ok=*/!anomalous);
+    (anomalous ? anomalous_ids : healthy_ids).push_back(span.span_id);
+    server.ingest(std::move(span));
+  }
+  server.finalize();
+  sa.flush();  // verdicts discard dropped spans BEFORE the flush below
+  server.mutable_store().flush_storage();
+
+  const server::AssemblyTelemetry t = sa.telemetry();
+  EXPECT_EQ(t.kept_anomalous_traces, 10u);
+  EXPECT_EQ(t.dropped_traces, 20u);
+  EXPECT_EQ(t.flush_excluded_spans, 20u);
+  EXPECT_EQ(server.store().storage_telemetry().flushed_spans, 10u);
+
+  // Restart: only the kept spans were durable.
+  server::SpanStore recovered(server::EncoderKind::kSmart, nullptr, 1,
+                              config.storage);
+  EXPECT_EQ(recovered.recovered_ids().size(), 10u);
+  for (const u64 id : anomalous_ids) {
+    EXPECT_TRUE(recovered.recovered_ids().contains(id)) << id;
+  }
+  for (const u64 id : healthy_ids) {
+    EXPECT_FALSE(recovered.recovered_ids().contains(id)) << id;
+  }
+}
+
+}  // namespace
+}  // namespace deepflow

@@ -1,6 +1,7 @@
 // Unit tests for the Prometheus-style text exposition.
 #include <gtest/gtest.h>
 
+#include "assembly/streaming_assembler.h"
 #include "metrics/exposition.h"
 #include "server/server.h"
 #include "tests/storage/storage_test_util.h"
@@ -121,6 +122,71 @@ TEST(MetricsExposition, StorageGaugeFamilyNamesArePinned) {
   // Without the storage tier the families must be absent, not zero.
   server::DeepFlowServer memory_only(nullptr);
   EXPECT_EQ(memory_only.prometheus_metrics().find("deepflow_storage_"),
+            std::string::npos);
+}
+
+TEST(MetricsExposition, AssemblyGaugeFamilyNamesArePinned) {
+  // The deepflow_assembly_* family names are part of the scrape contract,
+  // like the storage gauges above: pin every family the streaming block
+  // emits, and require total absence when no hook is attached.
+  server::ServerConfig config;
+  config.streaming.enabled = true;
+  server::DeepFlowServer server(nullptr, config);
+  assembly::StreamingAssembler sa(config.streaming, &server.mutable_store(),
+                                  &server.trace_assembler(),
+                                  &server.governor());
+  server.attach_streaming(&sa);
+  for (u64 id = 1; id <= 8; ++id) {
+    agent::Span span;
+    span.span_id = id;
+    span.kind = agent::SpanKind::kSystem;
+    span.systrace_id = id;
+    span.host = "node-0";
+    span.start_ts = id * kMillisecond;
+    span.end_ts = span.start_ts + kMillisecond;
+    server.ingest(std::move(span));
+  }
+  sa.flush();
+
+  const std::string text = server.prometheus_metrics();
+  const char* families[] = {
+      "deepflow_assembly_observed_spans",
+      "deepflow_assembly_open_windows",
+      "deepflow_assembly_watermark_ns",
+      "deepflow_assembly_watermark_lag_ns",
+      "deepflow_assembly_late_spans",
+      "deepflow_assembly_finalized_traces",
+      "deepflow_assembly_finalized_spans",
+      "deepflow_assembly_forced_closes",
+      "deepflow_assembly_pressure_closes",
+      "deepflow_assembly_index_traces",
+      "deepflow_assembly_indexed_spans",
+      "deepflow_assembly_open_bytes",
+      "deepflow_assembly_index_bytes",
+      "deepflow_assembly_kept_anomalous_traces",
+      "deepflow_assembly_kept_sampled_traces",
+      "deepflow_assembly_dropped_traces",
+      "deepflow_assembly_dropped_spans",
+      "deepflow_assembly_retained_bytes",
+      "deepflow_assembly_dropped_bytes",
+      "deepflow_assembly_flush_excluded_spans",
+      "deepflow_assembly_unknown_span_ids",
+      "deepflow_assembly_index_hits",
+      "deepflow_assembly_fallback_assemblies",
+  };
+  for (const char* family : families) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + family + " gauge"),
+              std::string::npos)
+        << family << " family missing from the exposition";
+  }
+  EXPECT_NE(text.find("deepflow_assembly_observed_spans 8"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepflow_assembly_finalized_traces 8"),
+            std::string::npos);
+
+  // Without an attached hook the families must be absent, not zero.
+  server::DeepFlowServer memory_only(nullptr);
+  EXPECT_EQ(memory_only.prometheus_metrics().find("deepflow_assembly_"),
             std::string::npos);
 }
 
